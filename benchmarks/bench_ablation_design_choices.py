@@ -1,0 +1,122 @@
+"""Extended ablations of the design choices flagged in DESIGN.md §4.
+
+Beyond the paper's Figure 8 (refinement and BO ablations), these benches
+isolate four further design decisions:
+
+1. LHS vs independent uniform sampling in profiling (§5.1);
+2. the variety factor v_i in the closeness score (Eq. 2);
+3. refinement history / in-context learning (phase 2 of Algorithm 2);
+4. bad-combination tracking in the predicate search (Algorithm 3's B set).
+
+Each variant runs the Redset_Cost_Medium shape end-to-end; the table shows
+time, final distance, and completion per variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bo import lhs_configs
+from repro.core import BarberConfig, SQLBarber, TemplateProfiler
+from repro.core.config import RefinementPhase
+from repro.benchsuite import benchmark_by_name, format_table
+from repro.datasets import build_database, redset_spec_workload
+from repro.workload import SqlTemplate
+
+VARIANTS: dict[str, dict] = {
+    "full": {},
+    "uniform-profiling": {"profile_sampling": "uniform"},
+    "no-variety-factor": {"use_variety_factor": False},
+    "no-history": {
+        "refinement_phases": (
+            RefinementPhase(0.2, 3, 3, use_history=False),
+            RefinementPhase(0.1, 5, 5, use_history=False),
+        )
+    },
+    "no-bad-combinations": {"track_bad_combinations": False},
+}
+
+
+def test_design_choice_variants(benchmark, settings, record):
+    bench = benchmark_by_name("Redset_Cost_Medium")
+    distribution = bench.distribution(
+        cost_type="plan_cost", num_queries=settings.queries_for("medium")
+    )
+    db_name = "imdb" if "imdb" in settings.dbs else settings.dbs[0]
+    specs = redset_spec_workload(num_specs=8, seed=2024)
+
+    def run_all():
+        rows = []
+        for name, overrides in VARIANTS.items():
+            db = build_database(db_name)
+            config = BarberConfig(seed=0).with_overrides(**overrides)
+            barber = SQLBarber(db, config=config)
+            result = barber.generate_workload(
+                specs, distribution,
+                time_budget_seconds=settings.sqlbarber_budget,
+            )
+            rows.append(
+                {
+                    "variant": name,
+                    "time_s": round(result.elapsed_seconds, 2),
+                    "final_distance": round(result.final_distance, 2),
+                    "complete": result.complete,
+                    "templates": result.num_templates,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record(
+        "ablation_design_choices.txt",
+        format_table(rows, title="Design-choice ablations "
+                                 f"(Redset_Cost_Medium on {db_name})"),
+    )
+    full = next(r for r in rows if r["variant"] == "full")
+    assert full["complete"], "the full configuration must converge"
+    # Every ablated variant is at best as good as the full system.
+    for row in rows:
+        assert row["final_distance"] >= full["final_distance"] - 1e-9
+    benchmark.extra_info["rows"] = rows
+
+
+def test_lhs_coverage_vs_uniform(benchmark, record):
+    """Microbenchmark: LHS strata coverage beats i.i.d. uniform sampling."""
+    db = build_database("tpch")
+    profiler = TemplateProfiler(db, BarberConfig(seed=0))
+    template = SqlTemplate(
+        "t",
+        "SELECT * FROM lineitem WHERE l_extendedprice < {p_1} "
+        "AND l_quantity > {p_2}",
+    )
+    space = profiler.build_space(template)
+    rng = np.random.default_rng(0)
+
+    def coverage():
+        n, strata = 20, 20
+        lhs_points = np.array(
+            [space.to_unit(c) for c in lhs_configs(space, n, rng)]
+        )
+        uniform_points = np.array(
+            [space.to_unit(c) for c in space.sample_many(n, rng)]
+        )
+
+        def strata_hit(points):
+            hit = set()
+            for dim in range(points.shape[1]):
+                codes = np.clip(
+                    (points[:, dim] * strata).astype(int), 0, strata - 1
+                )
+                hit.update((dim, int(c)) for c in codes)
+            return len(hit)
+
+        return strata_hit(lhs_points), strata_hit(uniform_points)
+
+    lhs_hit, uniform_hit = benchmark.pedantic(coverage, rounds=1, iterations=1)
+    record(
+        "ablation_design_choices.txt",
+        f"LHS strata coverage: {lhs_hit} vs uniform {uniform_hit} "
+        f"(out of {2 * 20} dimension-strata)",
+    )
+    assert lhs_hit >= uniform_hit  # the §5.1 claim

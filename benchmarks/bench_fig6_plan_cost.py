@@ -1,0 +1,56 @@
+"""Figure 6: performance comparison with execution plan cost as the target.
+
+Six benchmarks (uniform, normal, Snowset cost x2 shapes, Redset cost x2)
+x two databases x five methods, mirroring Figure 5's structure for the
+plan-cost target.  Execution-time-derived distributions are targeted through
+the optimizer's plan cost estimate, exactly as the paper does (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite import METHODS, cost_benchmarks, distance_trace_text
+
+PANELS = [(b, db) for b in cost_benchmarks() for db in ("tpch", "imdb")]
+PANEL_IDS = [f"{b.name}-{db}" for b, db in PANELS]
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("panel", PANELS, ids=PANEL_IDS)
+def test_fig6(panel, method, benchmark, runner, settings, record):
+    bench, db_name = panel
+    if db_name not in settings.dbs:
+        pytest.skip(f"database {db_name} disabled via REPRO_BENCH_DBS")
+    distribution = bench.distribution(
+        cost_type="plan_cost",
+        num_queries=settings.queries_for(bench.difficulty),
+    )
+
+    def run_once():
+        return runner.run(
+            method,
+            db_name,
+            distribution,
+            benchmark_name=bench.name,
+            time_budget_seconds=settings.sqlbarber_budget,
+            per_interval_budget_seconds=settings.baseline_budget,
+        )
+
+    run = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    benchmark.extra_info["final_distance"] = round(run.final_distance, 2)
+    benchmark.extra_info["queries"] = run.num_queries
+    benchmark.extra_info["complete"] = run.complete
+    row = run.summary_row()
+    record(
+        "fig6_plan_cost.txt",
+        f"{bench.name:24s} {db_name:5s} {method:24s} "
+        f"time={row['time_s']:>8}s distance={row['distance']:>10} "
+        f"queries={row['queries']}\n"
+        f"  trace: {distance_trace_text(run)}",
+    )
+    if method == "sqlbarber":
+        assert run.complete, (
+            f"SQLBarber failed to satisfy {bench.name} on {db_name}: "
+            f"distance={run.final_distance}"
+        )

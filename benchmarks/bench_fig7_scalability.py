@@ -1,0 +1,108 @@
+"""Figure 7: scalability with the number of queries and of intervals.
+
+Row 1 (7a/7b): Redset_Cost_Hard on IMDB, 10 intervals, #queries swept
+(paper: 50/500/5000; scaled here).  Row 2 (7c/7d): same shape, 1000 queries
+(scaled), #intervals swept over 5/10/15/20/25.
+
+Paper shape: SQLBarber's time stays flat and its distance stays zero across
+both sweeps; the baselines' quality degrades as either axis grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite import format_table, scale_intervals, scale_queries
+
+QUERY_SWEEP = (20, 60, 180)  # paper: 50 / 500 / 5000
+INTERVAL_SWEEP = (5, 10, 15, 20, 25)
+METHODS = ("hillclimbing-priority", "learnedsqlgen-priority", "sqlbarber")
+
+
+def _near_complete(run) -> bool:
+    """Distance zero, or a residue under 2% of the empty-workload distance
+    (a single marginal interval on a scaled-down substrate)."""
+    if run.complete:
+        return True
+    empty = run.trace[0][1] if run.trace else 0.0
+    return empty > 0 and run.final_distance <= 0.02 * empty
+
+
+def test_fig7ab_scale_queries(benchmark, runner, settings, record):
+    def run_sweep():
+        return scale_queries(
+            runner,
+            QUERY_SWEEP,
+            db_name="imdb" if "imdb" in settings.dbs else settings.dbs[0],
+            methods=METHODS,
+            num_intervals=10,
+            time_budget_seconds=settings.sqlbarber_budget,
+            per_interval_budget_seconds=settings.baseline_budget,
+        )
+
+    runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        {
+            "#queries": run.extra["num_queries_requested"],
+            "method": run.method,
+            "time_s": round(run.elapsed_seconds, 2),
+            "final_distance": round(run.final_distance, 2),
+            "generated": run.num_queries,
+        }
+        for run in runs
+    ]
+    record(
+        "fig7_scalability.txt",
+        format_table(rows, title="Figure 7a/7b: scaling with #queries "
+                                 "(Redset_Cost_Hard shape)"),
+    )
+    barber = [r for r in runs if r.method == "sqlbarber"]
+    for run in barber:
+        assert _near_complete(run), (
+            f"SQLBarber must scale with N: {run.benchmark} "
+            f"distance={run.final_distance}"
+        )
+    # Flat scaling: the largest N costs SQLBarber at most ~20x the smallest
+    # (the paper shows near-constant minutes across two orders of magnitude).
+    times = [r.elapsed_seconds for r in barber]
+    assert times[-1] <= max(times[0], 1.0) * 20
+    benchmark.extra_info["sqlbarber_times"] = [round(t, 2) for t in times]
+
+
+def test_fig7cd_scale_intervals(benchmark, runner, settings, record):
+    def run_sweep():
+        return scale_intervals(
+            runner,
+            INTERVAL_SWEEP,
+            db_name="imdb" if "imdb" in settings.dbs else settings.dbs[0],
+            methods=METHODS,
+            num_queries=settings.queries_for("medium"),
+            time_budget_seconds=settings.sqlbarber_budget,
+            per_interval_budget_seconds=settings.baseline_budget,
+        )
+
+    runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        {
+            "#intervals": run.extra["num_intervals_requested"],
+            "method": run.method,
+            "time_s": round(run.elapsed_seconds, 2),
+            "final_distance": round(run.final_distance, 2),
+            "generated": run.num_queries,
+        }
+        for run in runs
+    ]
+    record(
+        "fig7_scalability.txt",
+        format_table(rows, title="Figure 7c/7d: scaling with #intervals "
+                                 "(Redset_Cost_Hard shape)"),
+    )
+    barber = [r for r in runs if r.method == "sqlbarber"]
+    for run in barber:
+        assert _near_complete(run), (
+            f"SQLBarber must scale with intervals: {run.benchmark} "
+            f"distance={run.final_distance}"
+        )
+    benchmark.extra_info["sqlbarber_distances"] = [
+        round(r.final_distance, 2) for r in barber
+    ]

@@ -1,0 +1,25 @@
+"""Table 1: the benchmark inventory.
+
+Regenerates the overview of the ten released benchmarks — their source,
+cost type, query count, and interval count — and materializes every target
+distribution to verify the shapes are well-formed.
+"""
+
+from repro.benchsuite import TABLE1_BENCHMARKS, histogram_text, table1_overview
+
+
+def test_table1_overview(benchmark, record):
+    def build():
+        text = table1_overview()
+        histograms = []
+        for bench in TABLE1_BENCHMARKS:
+            distribution = bench.distribution()
+            assert distribution.total_queries == bench.num_queries
+            assert distribution.num_intervals == bench.num_intervals
+            histograms.append(histogram_text(distribution))
+        return text, histograms
+
+    text, histograms = benchmark.pedantic(build, rounds=1, iterations=1)
+    record("table1_overview.txt", text)
+    record("table1_overview.txt", "\n\n".join(histograms))
+    benchmark.extra_info["num_benchmarks"] = len(TABLE1_BENCHMARKS)

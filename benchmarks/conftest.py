@@ -1,0 +1,81 @@
+"""Shared configuration for the paper-reproduction benchmark suite.
+
+Every file in this directory regenerates one table or figure of the paper.
+Scales are configurable through environment variables so the suite can run
+paper-scale if desired:
+
+=============================  =======================  =====================
+variable                       meaning                  default
+=============================  =======================  =====================
+REPRO_BENCH_QUERIES_MEDIUM     #queries, medium bench   60    (paper: 1000)
+REPRO_BENCH_QUERIES_HARD       #queries, hard bench     100   (paper: 2000)
+REPRO_BENCH_DBS                comma-separated DBs      tpch,imdb
+REPRO_BENCH_BASELINE_BUDGET    baseline seconds/interval 0.5  (paper: 3600)
+REPRO_BENCH_SQLBARBER_BUDGET   SQLBarber total seconds  60
+=============================  =======================  =====================
+
+Result tables are printed and also written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass
+
+import pytest
+
+from repro.benchsuite import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    queries_medium: int
+    queries_hard: int
+    dbs: tuple[str, ...]
+    baseline_budget: float
+    sqlbarber_budget: float
+
+    def queries_for(self, difficulty: str) -> int:
+        return self.queries_hard if difficulty == "hard" else self.queries_medium
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchSettings:
+    return BenchSettings(
+        queries_medium=int(os.environ.get("REPRO_BENCH_QUERIES_MEDIUM", "60")),
+        queries_hard=int(os.environ.get("REPRO_BENCH_QUERIES_HARD", "100")),
+        dbs=tuple(
+            os.environ.get("REPRO_BENCH_DBS", "tpch,imdb").split(",")
+        ),
+        baseline_budget=float(
+            os.environ.get("REPRO_BENCH_BASELINE_BUDGET", "0.5")
+        ),
+        sqlbarber_budget=float(
+            os.environ.get("REPRO_BENCH_SQLBARBER_BUDGET", "60")
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(seed=0, num_specs=10, pool_size=64)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Append a result block to a per-figure text file and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    opened: set[str] = set()
+
+    def _record(filename: str, text: str) -> None:
+        path = RESULTS_DIR / filename
+        mode = "w" if filename not in opened else "a"
+        opened.add(filename)
+        with open(path, mode) as handle:
+            handle.write(text + "\n\n")
+        print("\n" + text)
+
+    return _record

@@ -1,0 +1,16 @@
+"""SQLBarber reproduction: LLM-driven customized, cost-targeted SQL workloads.
+
+The package layout mirrors the paper's architecture:
+
+* :mod:`repro.sqldb`     - embedded DBMS (PostgreSQL stand-in)
+* :mod:`repro.llm`       - simulated LLM service with fault injection
+* :mod:`repro.bo`        - Bayesian optimization (SMAC3 stand-in)
+* :mod:`repro.workload`  - templates, specs, queries, cost distributions
+* :mod:`repro.core`      - SQLBarber itself (template generator + cost-aware
+  query generator)
+* :mod:`repro.baselines` - HillClimbing and LearnedSQLGen comparators
+* :mod:`repro.datasets`  - TPC-H / IMDB data and Snowset/Redset distributions
+* :mod:`repro.benchsuite`- the ten benchmarks and experiment harness
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""Baseline SQL generators: HillClimbing and LearnedSQLGen."""
+
+from .base import BaselineGenerator, GenerationRun
+from .hillclimbing import HillClimbing
+from .learnedsqlgen import LearnedSQLGen
+from .template_pool import build_template_pool, perturb_template_sql
+
+__all__ = [
+    "BaselineGenerator",
+    "GenerationRun",
+    "HillClimbing",
+    "LearnedSQLGen",
+    "build_template_pool",
+    "perturb_template_sql",
+]

@@ -1,0 +1,152 @@
+"""Common machinery for the baseline generators.
+
+Both baselines (HillClimbing and LearnedSQLGen) generate queries for *one
+cost range per iteration*, so the order in which intervals are processed
+matters.  The paper evaluates two scheduling heuristics for each:
+
+* ``order``    — fill intervals from the lowest to the highest cost range;
+* ``priority`` — at each iteration, fill the interval with the largest
+  remaining deficit.
+
+The number of iterations equals the number of intervals, and each iteration
+gets a fixed time budget — mirroring the paper's setup of one optimization
+iteration per interval with a per-iteration wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import TemplateProfile, TemplateProfiler
+from repro.workload import (
+    CostDistribution,
+    DistributionTracker,
+    GeneratedQuery,
+)
+
+
+@dataclass
+class GenerationRun:
+    """The outcome of one generator run on one benchmark."""
+
+    method: str
+    queries: list[GeneratedQuery]
+    tracker: DistributionTracker
+    trace: list[tuple[float, float]] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    evaluations: int = 0
+
+    @property
+    def final_distance(self) -> float:
+        return self.tracker.wasserstein
+
+    @property
+    def complete(self) -> bool:
+        return self.tracker.complete
+
+
+class BaselineGenerator(abc.ABC):
+    """A per-interval baseline with order/priority scheduling."""
+
+    #: Overridden by subclasses ("hillclimbing", "learnedsqlgen").
+    base_name: str = "baseline"
+
+    def __init__(
+        self,
+        profiler: TemplateProfiler,
+        pool: list[TemplateProfile],
+        heuristic: str = "priority",
+        seed: int = 0,
+    ):
+        if heuristic not in ("order", "priority"):
+            raise ValueError(f"unknown heuristic {heuristic!r}")
+        self.profiler = profiler
+        self.pool = [p for p in pool if p.is_usable and len(p.space) > 0]
+        self.heuristic = heuristic
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def name(self) -> str:
+        return f"{self.base_name}-{self.heuristic}"
+
+    def generate(
+        self,
+        distribution: CostDistribution,
+        per_interval_budget_seconds: float = 5.0,
+    ) -> GenerationRun:
+        """Run one iteration per interval under the chosen heuristic."""
+        tracker = DistributionTracker(distribution)
+        run = GenerationRun(method=self.name, queries=[], tracker=tracker)
+        started = time.perf_counter()
+        run.trace.append((0.0, tracker.wasserstein))
+        pending = list(range(distribution.num_intervals))
+        for _ in range(distribution.num_intervals):
+            deficits = tracker.deficits
+            target = self._pick_interval(pending, deficits)
+            if target is None:
+                break
+            pending.remove(target)
+            interval_deadline = time.perf_counter() + per_interval_budget_seconds
+            self._fill_interval(target, tracker, run, interval_deadline)
+            run.trace.append(
+                (time.perf_counter() - started, tracker.wasserstein)
+            )
+        run.elapsed_seconds = time.perf_counter() - started
+        return run
+
+    def _pick_interval(
+        self, pending: list[int], deficits: np.ndarray
+    ) -> int | None:
+        open_pending = [j for j in pending if deficits[j] > 0]
+        if not open_pending:
+            return pending[0] if pending else None
+        if self.heuristic == "order":
+            return min(open_pending)
+        return max(open_pending, key=lambda j: deficits[j])
+
+    @abc.abstractmethod
+    def _fill_interval(
+        self,
+        target: int,
+        tracker: DistributionTracker,
+        run: GenerationRun,
+        deadline: float,
+    ) -> None:
+        """Generate queries for interval *target* until the deadline."""
+
+    # -- shared helpers ------------------------------------------------------------
+
+    def _keep_if_useful(
+        self,
+        profile: TemplateProfile,
+        values: dict,
+        cost: float,
+        tracker: DistributionTracker,
+        run: GenerationRun,
+        seen: set,
+    ) -> bool:
+        landed = tracker.target.interval_of(cost)
+        if landed is None or tracker.deficits[landed] <= 0:
+            return False
+        key = (
+            profile.template.template_id,
+            tuple(sorted((k, str(v)) for k, v in values.items())),
+        )
+        if key in seen:
+            return False
+        seen.add(key)
+        tracker.add(cost)
+        run.queries.append(
+            GeneratedQuery(
+                sql=profile.template.instantiate(values),
+                cost=cost,
+                template_id=profile.template.template_id,
+                predicate_values=dict(values),
+                cost_type=tracker.target.cost_type,
+            )
+        )
+        return True

@@ -1,0 +1,134 @@
+"""The HillClimbing baseline (Bruno, Chaudhuri, Thomas — TKDE 2006).
+
+Given a pool of pre-built SQL templates, the method greedily tweaks
+predicate values: starting from a random configuration, each step probes a
+±delta move along every numeric dimension (in the unit cube), takes the move
+that most reduces the distance to the target cost interval, and halves the
+step size when no move improves.  Restarts from fresh random configurations
+keep it going until the per-interval time budget runs out.
+
+The baseline's weakness — total dependence on input template quality and a
+purely local search — is exactly what the paper's comparison highlights.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import TemplateProfile
+from repro.core.predicate_search import interval_objective
+from repro.workload import DistributionTracker
+from .base import BaselineGenerator, GenerationRun
+
+
+class HillClimbing(BaselineGenerator):
+    base_name = "hillclimbing"
+
+    #: Initial step size in the unit cube and its halving floor.
+    initial_step = 0.25
+    min_step = 0.01
+    #: Extra local samples emitted around a configuration that reached the
+    #: target interval (fills the interval, not just touches it).
+    harvest_samples = 8
+
+    def _fill_interval(
+        self,
+        target: int,
+        tracker: DistributionTracker,
+        run: GenerationRun,
+        deadline: float,
+    ) -> None:
+        if not self.pool:
+            return
+        low, high = tracker.target.interval_bounds(target)
+        seen: set = set()
+        while time.perf_counter() < deadline:
+            if tracker.deficits[target] <= 0:
+                break
+            profile = self.pool[int(self._rng.integers(len(self.pool)))]
+            self._climb(
+                profile, (low, high), target, tracker, run, seen, deadline
+            )
+
+    # -- one restart of the greedy climb ------------------------------------------
+
+    def _climb(
+        self,
+        profile: TemplateProfile,
+        interval: tuple[float, float],
+        target: int,
+        tracker: DistributionTracker,
+        run: GenerationRun,
+        seen: set,
+        deadline: float,
+    ) -> None:
+        low, high = interval
+        space = profile.space
+        point = self._rng.random(len(space))
+        cost = self._evaluate(profile, point, tracker, run, seen)
+        if cost is None:
+            return
+        best = interval_objective(cost, low, high)
+        step = self.initial_step
+        while step >= self.min_step and time.perf_counter() < deadline:
+            if best == 0.0:
+                self._harvest(
+                    profile, point, target, tracker, run, seen, deadline, interval
+                )
+                return
+            improved = False
+            for dim in range(len(space)):
+                for direction in (+1.0, -1.0):
+                    candidate = point.copy()
+                    candidate[dim] = float(
+                        np.clip(candidate[dim] + direction * step, 0.0, 1.0)
+                    )
+                    cost = self._evaluate(profile, candidate, tracker, run, seen)
+                    if cost is None:
+                        continue
+                    objective = interval_objective(cost, low, high)
+                    if objective < best:
+                        best = objective
+                        point = candidate
+                        improved = True
+                if time.perf_counter() >= deadline:
+                    return
+            if not improved:
+                step /= 2.0
+
+    def _harvest(
+        self,
+        profile: TemplateProfile,
+        point: np.ndarray,
+        target: int,
+        tracker: DistributionTracker,
+        run: GenerationRun,
+        seen: set,
+        deadline: float,
+        interval: tuple[float, float],
+    ) -> None:
+        """Sample near a successful configuration to fill the interval."""
+        for _ in range(self.harvest_samples):
+            if tracker.deficits[target] <= 0 or time.perf_counter() >= deadline:
+                return
+            jitter = self._rng.normal(0.0, 0.04, len(point))
+            candidate = np.clip(point + jitter, 0.0, 1.0)
+            self._evaluate(profile, candidate, tracker, run, seen)
+
+    def _evaluate(
+        self,
+        profile: TemplateProfile,
+        point: np.ndarray,
+        tracker: DistributionTracker,
+        run: GenerationRun,
+        seen: set,
+    ) -> float | None:
+        values = profile.space.from_unit(point)
+        cost = self.profiler.evaluate(profile.template, values)
+        run.evaluations += 1
+        if cost is None:
+            return None
+        self._keep_if_useful(profile, values, cost, tracker, run, seen)
+        return cost

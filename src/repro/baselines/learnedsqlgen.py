@@ -1,0 +1,113 @@
+"""The LearnedSQLGen baseline (Zhang et al., SIGMOD 2022), CPU edition.
+
+LearnedSQLGen frames constraint-aware SQL generation as reinforcement
+learning: an agent assembles a query step by step and is rewarded when the
+result's cost lands in the target range.  The original uses a GPU-trained
+policy network; this reproduction keeps the algorithmic skeleton — episodic
+generation, epsilon-greedy exploration, temporal-difference value updates —
+with a tabular Q function over (template, placeholder, value-bucket)
+decisions, which preserves the baseline's defining behaviour: it needs a
+large number of sampled episodes before the cost model becomes useful.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core import TemplateProfile
+from repro.core.predicate_search import interval_objective
+from repro.workload import DistributionTracker
+from .base import BaselineGenerator, GenerationRun
+
+_NUM_BUCKETS = 10
+
+
+class LearnedSQLGen(BaselineGenerator):
+    base_name = "learnedsqlgen"
+
+    epsilon = 0.30
+    learning_rate = 0.25
+    epsilon_decay = 0.999
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Q[(interval, "template")][template_index] and
+        # Q[(interval, template_id, placeholder)][bucket]
+        self._q: dict[tuple, np.ndarray] = {}
+
+    def _q_row(self, key: tuple, size: int) -> np.ndarray:
+        if key not in self._q:
+            self._q[key] = np.zeros(size)
+        return self._q[key]
+
+    def _fill_interval(
+        self,
+        target: int,
+        tracker: DistributionTracker,
+        run: GenerationRun,
+        deadline: float,
+    ) -> None:
+        if not self.pool:
+            return
+        low, high = tracker.target.interval_bounds(target)
+        seen: set = set()
+        epsilon = self.epsilon
+        while time.perf_counter() < deadline:
+            if tracker.deficits[target] <= 0:
+                break
+            self._episode(target, (low, high), tracker, run, seen, epsilon)
+            epsilon *= self.epsilon_decay
+
+    def _episode(
+        self,
+        target: int,
+        interval: tuple[float, float],
+        tracker: DistributionTracker,
+        run: GenerationRun,
+        seen: set,
+        epsilon: float,
+    ) -> None:
+        low, high = interval
+        # Action 1: pick a template.
+        template_q = self._q_row((target, "template"), len(self.pool))
+        if self._rng.random() < epsilon:
+            template_index = int(self._rng.integers(len(self.pool)))
+        else:
+            template_index = int(np.argmax(template_q))
+        profile = self.pool[template_index]
+        space = profile.space
+
+        # Actions 2..n: pick a value bucket per placeholder.
+        buckets: list[tuple[tuple, int]] = []
+        point = np.empty(len(space))
+        for dim, parameter in enumerate(space.parameters):
+            key = (target, profile.template.template_id, parameter.name)
+            row = self._q_row(key, _NUM_BUCKETS)
+            if self._rng.random() < epsilon:
+                bucket = int(self._rng.integers(_NUM_BUCKETS))
+            else:
+                bucket = int(np.argmax(row))
+            buckets.append((key, bucket))
+            jitter = self._rng.random() / _NUM_BUCKETS
+            point[dim] = bucket / _NUM_BUCKETS + jitter
+
+        values = space.from_unit(point)
+        cost = self.profiler.evaluate(profile.template, values)
+        run.evaluations += 1
+        if cost is None:
+            reward = -1.0
+        else:
+            objective = interval_objective(cost, low, high)
+            reward = 1.0 if objective == 0.0 else -objective
+            self._keep_if_useful(profile, values, cost, tracker, run, seen)
+
+        # TD(0) update of every decision taken this episode.
+        template_q[template_index] += self.learning_rate * (
+            reward - template_q[template_index]
+        )
+        for key, bucket in buckets:
+            row = self._q[key]
+            row[bucket] += self.learning_rate * (reward - row[bucket])

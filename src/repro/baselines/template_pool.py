@@ -1,0 +1,93 @@
+"""Template pool construction for the baselines.
+
+HillClimbing requires manually crafted templates as input; the paper
+prepares ~16000 of them "by randomly adding or removing predicates in the
+SQL templates provided by the benchmarks".  This module reproduces that
+procedure: starting from the spec-derived seed templates, it perturbs
+predicates (add/remove/re-target) to build a pool of the requested size,
+then profiles every member so the baselines know each template's search
+space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BarberConfig, TemplateProfile, TemplateProfiler
+from repro.llm import FaultModel, SimulatedLLM
+from repro.llm.refine import (  # the same structural edit the LLM uses
+    _add_placeholder_predicate,
+)
+from repro.llm.synthesizer import SchemaModel
+from repro.sqldb import Database, SqlError
+from repro.sqldb.parser import parse_select
+from repro.sqldb.sql_render import render_statement
+from repro.workload import SqlTemplate, TemplateSpec
+
+
+def perturb_template_sql(
+    sql: str, schema: dict, rng: np.random.Generator
+) -> str | None:
+    """Randomly add or remove one predicate, as the paper's pool builder."""
+    model = SchemaModel(schema)
+    if rng.random() < 0.5:
+        return _add_placeholder_predicate(sql, model, (0.0, 1.0), rng)
+    return _remove_random_predicate(sql, rng)
+
+
+def _remove_random_predicate(sql: str, rng: np.random.Generator) -> str | None:
+    from repro.sqldb.planner import conjoin, split_conjuncts
+
+    statement = parse_select(sql)
+    if statement.where is None:
+        return None
+    conjuncts = split_conjuncts(statement.where)
+    if len(conjuncts) <= 1:
+        statement.where = None
+    else:
+        drop = int(rng.integers(len(conjuncts)))
+        statement.where = conjoin(
+            [c for i, c in enumerate(conjuncts) if i != drop]
+        )
+    return render_statement(statement)
+
+
+def build_template_pool(
+    db: Database,
+    seed_specs: list[TemplateSpec],
+    pool_size: int,
+    profiler: TemplateProfiler,
+    schema: dict,
+    seed: int = 0,
+    profile_samples: int = 6,
+) -> list[TemplateProfile]:
+    """Seed templates from the specs, then perturb up to *pool_size*."""
+    from repro.core import CustomizedTemplateGenerator
+
+    rng = np.random.default_rng(seed)
+    generator = CustomizedTemplateGenerator(
+        db,
+        SimulatedLLM(seed=seed, fault_model=FaultModel.perfect()),
+        BarberConfig(seed=seed),
+    )
+    seeds, _ = generator.generate_many(seed_specs)
+    pool_sqls: list[str] = [t.sql for t in seeds]
+    seen = set(pool_sqls)
+    attempts = 0
+    while len(pool_sqls) < pool_size and attempts < pool_size * 20:
+        attempts += 1
+        base = pool_sqls[int(rng.integers(len(pool_sqls)))]
+        try:
+            mutated = perturb_template_sql(base, schema, rng)
+        except SqlError:
+            continue
+        if mutated and mutated not in seen:
+            seen.add(mutated)
+            pool_sqls.append(mutated)
+    profiles: list[TemplateProfile] = []
+    for index, sql in enumerate(pool_sqls[:pool_size]):
+        template = SqlTemplate(template_id=f"pool_{index:05d}", sql=sql)
+        profile = profiler.profile(template, num_samples=profile_samples)
+        if profile.is_usable:
+            profiles.append(profile)
+    return profiles

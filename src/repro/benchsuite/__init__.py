@@ -1,0 +1,55 @@
+"""Experiment harness: benchmarks, runner, ablations, reporting."""
+
+from .ablation import (
+    ABLATION_VARIANTS,
+    ConvergenceResult,
+    RewriteAnalysis,
+    convergence_ablation,
+    rewrite_analysis,
+    variant_config,
+)
+from .benchmarks import (
+    TABLE1_BENCHMARKS,
+    Benchmark,
+    benchmark_by_name,
+    cardinality_benchmarks,
+    cost_benchmarks,
+)
+from .coststudy import CostStudyRow, cost_study
+from .reporting import (
+    distance_trace_text,
+    format_table,
+    histogram_text,
+    method_comparison_table,
+    speedup_summary,
+    table1_overview,
+)
+from .runner import METHODS, ExperimentRunner, MethodRun
+from .scalability import scale_intervals, scale_queries
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "Benchmark",
+    "ConvergenceResult",
+    "CostStudyRow",
+    "ExperimentRunner",
+    "METHODS",
+    "MethodRun",
+    "RewriteAnalysis",
+    "TABLE1_BENCHMARKS",
+    "benchmark_by_name",
+    "cardinality_benchmarks",
+    "convergence_ablation",
+    "cost_benchmarks",
+    "cost_study",
+    "distance_trace_text",
+    "format_table",
+    "histogram_text",
+    "method_comparison_table",
+    "rewrite_analysis",
+    "scale_intervals",
+    "scale_queries",
+    "speedup_summary",
+    "table1_overview",
+    "variant_config",
+]

@@ -1,0 +1,117 @@
+"""Ablation experiments (the paper's Figure 8).
+
+* Figure 8a — rewrite analysis: how many templates become spec-correct and
+  syntax-correct after each rewrite attempt of Algorithm 1.
+* Figure 8b — convergence: full SQLBarber vs. "No-Refine-Prune" (Algorithm 2
+  disabled) vs. "Naive-Search" (random search instead of BO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import BarberConfig, CustomizedTemplateGenerator, SQLBarber
+from repro.datasets import build_database, redset_spec_workload
+from repro.llm import SimulatedLLM
+from repro.workload import CostDistribution
+
+
+@dataclass
+class RewriteAnalysis:
+    """Figure 8a data: cumulative correct templates per rewrite attempt."""
+
+    num_templates: int
+    attempts: int
+    specification: list[int] = field(default_factory=list)
+    syntax: list[int] = field(default_factory=list)
+    alignment_accuracy: float = 0.0
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "attempt": i,
+                "spec_correct": self.specification[i],
+                "syntax_correct": self.syntax[i],
+                "total": self.num_templates,
+            }
+            for i in range(self.attempts)
+        ]
+
+
+def rewrite_analysis(
+    db_name: str = "imdb",
+    num_specs: int = 24,
+    seed: int = 0,
+    max_rewrite_iterations: int = 5,
+) -> RewriteAnalysis:
+    """Run Algorithm 1 over the 24-template spec workload and record the
+    cumulative correctness curves."""
+    db = build_database(db_name)
+    config = BarberConfig(seed=seed, max_rewrite_iterations=max_rewrite_iterations)
+    generator = CustomizedTemplateGenerator(
+        db, SimulatedLLM(seed=seed), config
+    )
+    specs = redset_spec_workload(num_specs=num_specs, seed=seed + 2024)
+    _, report = generator.generate_many(specs)
+    curves = report.cumulative_correct(max_rewrite_iterations)
+    return RewriteAnalysis(
+        num_templates=num_specs,
+        attempts=max_rewrite_iterations,
+        specification=curves["specification"],
+        syntax=curves["syntax"],
+        alignment_accuracy=report.alignment_accuracy,
+    )
+
+
+ABLATION_VARIANTS = ("sqlbarber", "no-refine-prune", "naive-search")
+
+
+def variant_config(variant: str, seed: int = 0) -> BarberConfig:
+    """The BarberConfig for one Figure-8b variant."""
+    base = BarberConfig(seed=seed)
+    if variant == "sqlbarber":
+        return base
+    if variant == "no-refine-prune":
+        return base.with_overrides(enable_refinement=False)
+    if variant == "naive-search":
+        return base.with_overrides(search_strategy="random")
+    raise KeyError(f"unknown ablation variant {variant!r}")
+
+
+@dataclass
+class ConvergenceResult:
+    variant: str
+    elapsed_seconds: float
+    final_distance: float
+    complete: bool
+    trace: list[tuple[float, float]]
+
+
+def convergence_ablation(
+    db_name: str,
+    distribution: CostDistribution,
+    variants: tuple[str, ...] = ABLATION_VARIANTS,
+    seed: int = 0,
+    time_budget_seconds: float | None = 60.0,
+) -> list[ConvergenceResult]:
+    """Figure 8b: distance-over-time for each SQLBarber variant."""
+    from repro.datasets import redset_spec_workload
+
+    results = []
+    specs = redset_spec_workload(num_specs=8, seed=seed + 2024)
+    for variant in variants:
+        db = build_database(db_name)
+        barber = SQLBarber(db, config=variant_config(variant, seed))
+        outcome = barber.generate_workload(
+            specs, distribution, time_budget_seconds=time_budget_seconds
+        )
+        results.append(
+            ConvergenceResult(
+                variant=variant,
+                elapsed_seconds=outcome.elapsed_seconds,
+                final_distance=outcome.final_distance,
+                complete=outcome.complete,
+                trace=outcome.distance_trace,
+            )
+        )
+    return results

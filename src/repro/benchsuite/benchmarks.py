@@ -1,0 +1,128 @@
+"""The ten benchmarks of the paper's Table 1.
+
+Two synthetic shapes (uniform, normal) and eight real-world shapes derived
+from Snowflake (Snowset) and Amazon Redshift (Redset) fleet statistics.
+Medium benchmarks ask for 1000 queries over 10 intervals; Hard benchmarks
+for 2000 queries over 20 intervals, all over the cost range [0, 10k].
+
+``num_queries`` can be scaled down uniformly (``scaled(factor)``) so the
+full suite runs on a laptop; the shape of every distribution is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import fleets
+from repro.workload import CostDistribution
+
+COST_RANGE = fleets.COST_RANGE
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One row of Table 1."""
+
+    name: str
+    source: str  # 'Synthetic' | 'Snowflake' | 'Redshift'
+    cost_type: str  # 'cardinality' | 'execution_time' | 'both'
+    num_queries: int
+    num_intervals: int
+    difficulty: str  # 'medium' | 'hard'
+    shape: str  # 'uniform' | 'normal' | fleet model name
+
+    def distribution(
+        self,
+        cost_type: str | None = None,
+        num_queries: int | None = None,
+        num_intervals: int | None = None,
+    ) -> CostDistribution:
+        """Materialize the target distribution (optionally rescaled)."""
+        resolved_type = cost_type or (
+            "plan_cost" if self.cost_type == "both" else self.cost_type
+        )
+        queries = num_queries or self.num_queries
+        intervals = num_intervals or self.num_intervals
+        if self.shape == "uniform":
+            return CostDistribution.uniform(
+                *COST_RANGE, queries, intervals,
+                name=self.name, cost_type=resolved_type,
+            )
+        if self.shape == "normal":
+            return CostDistribution.normal(
+                *COST_RANGE, queries, intervals,
+                name=self.name, cost_type=resolved_type,
+            )
+        return fleets.fleet_distribution(
+            self.shape, queries, intervals, resolved_type, display_name=self.name
+        )
+
+    def scaled(self, factor: float) -> "Benchmark":
+        from dataclasses import replace
+
+        return replace(
+            self, num_queries=max(int(self.num_queries * factor), self.num_intervals)
+        )
+
+
+TABLE1_BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark("uniform", "Synthetic", "both", 1000, 10, "medium", "uniform"),
+    Benchmark("normal", "Synthetic", "both", 1000, 10, "medium", "normal"),
+    Benchmark(
+        "Snowset_Card_1_Medium", "Snowflake", "cardinality",
+        1000, 10, "medium", "snowset_card_1",
+    ),
+    Benchmark(
+        "Snowset_Card_2_Medium", "Snowflake", "cardinality",
+        1000, 10, "medium", "snowset_card_2",
+    ),
+    Benchmark(
+        "Snowset_Card_1_Hard", "Snowflake", "cardinality",
+        2000, 20, "hard", "snowset_card_1",
+    ),
+    Benchmark(
+        "Snowset_Card_2_Hard", "Snowflake", "cardinality",
+        2000, 20, "hard", "snowset_card_2",
+    ),
+    Benchmark(
+        "Snowset_Cost_Medium", "Snowflake", "execution_time",
+        1000, 10, "medium", "snowset_cost",
+    ),
+    Benchmark(
+        "Snowset_Cost_Hard", "Snowflake", "execution_time",
+        2000, 20, "hard", "snowset_cost",
+    ),
+    Benchmark(
+        "Redset_Cost_Medium", "Redshift", "execution_time",
+        1000, 10, "medium", "redset_cost",
+    ),
+    Benchmark(
+        "Redset_Cost_Hard", "Redshift", "execution_time",
+        2000, 20, "hard", "redset_cost",
+    ),
+)
+
+
+def benchmark_by_name(name: str) -> Benchmark:
+    for benchmark in TABLE1_BENCHMARKS:
+        if benchmark.name.lower() == name.lower():
+            return benchmark
+    raise KeyError(f"unknown benchmark {name!r}")
+
+
+def cardinality_benchmarks() -> list[Benchmark]:
+    """The six Figure-5 benchmarks (cardinality targets)."""
+    return [
+        b
+        for b in TABLE1_BENCHMARKS
+        if b.cost_type in ("cardinality", "both")
+    ]
+
+
+def cost_benchmarks() -> list[Benchmark]:
+    """The six Figure-6 benchmarks (execution plan cost targets)."""
+    return [
+        b
+        for b in TABLE1_BENCHMARKS
+        if b.cost_type in ("execution_time", "both")
+    ]

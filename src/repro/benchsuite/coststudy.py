@@ -1,0 +1,65 @@
+"""The cost study (the paper's Table 2): tokens, templates, and dollars.
+
+Runs SQLBarber end-to-end on IMDB for a set of benchmarks and reports the
+total LLM token usage, the number of SQL templates produced (seed +
+refined), and the monetary cost at o3-mini pricing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import BarberConfig, SQLBarber
+from repro.datasets import build_database, redset_spec_workload
+from repro.llm import O3_MINI_PRICING, PricingModel, SimulatedLLM
+from .benchmarks import Benchmark
+
+
+@dataclass
+class CostStudyRow:
+    benchmark: str
+    tokens_thousands: float
+    num_templates: int
+    cost_usd: float
+    num_queries: int
+
+    def as_dict(self) -> dict:
+        return {
+            "Benchmark": self.benchmark,
+            "Tokens (K)": round(self.tokens_thousands, 1),
+            "#SQL Templates": self.num_templates,
+            "Cost (USD)": round(self.cost_usd, 4),
+            "#Queries": self.num_queries,
+        }
+
+
+def cost_study(
+    benchmarks: list[Benchmark],
+    db_name: str = "imdb",
+    num_queries: int | None = None,
+    num_specs: int = 12,
+    seed: int = 0,
+    pricing: PricingModel = O3_MINI_PRICING,
+    time_budget_seconds: float | None = 90.0,
+) -> list[CostStudyRow]:
+    """Table 2: run SQLBarber per benchmark with a fresh usage meter."""
+    rows: list[CostStudyRow] = []
+    specs = redset_spec_workload(num_specs=num_specs, seed=seed + 2024)
+    for index, benchmark in enumerate(benchmarks):
+        db = build_database(db_name)
+        llm = SimulatedLLM(seed=seed + index)  # fresh meter per benchmark
+        barber = SQLBarber(db, llm=llm, config=BarberConfig(seed=seed + index))
+        distribution = benchmark.distribution(num_queries=num_queries)
+        result = barber.generate_workload(
+            specs, distribution, time_budget_seconds=time_budget_seconds
+        )
+        rows.append(
+            CostStudyRow(
+                benchmark=benchmark.name,
+                tokens_thousands=llm.usage.total_tokens / 1000.0,
+                num_templates=result.num_templates,
+                cost_usd=llm.usage.cost_usd(pricing),
+                num_queries=len(result.workload),
+            )
+        )
+    return rows

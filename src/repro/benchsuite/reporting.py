@@ -1,0 +1,93 @@
+"""Text rendering of experiment results in the paper's table/figure shapes."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workload import CostDistribution
+from .benchmarks import TABLE1_BENCHMARKS, Benchmark
+from .runner import MethodRun
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no results)"
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(str(r.get(h, ""))) for r in rows))
+        for h in headers
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(f"{h:<{widths[h]}}" for h in headers)
+    lines.append(header_line)
+    lines.append("-+-".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append(
+            " | ".join(f"{str(row.get(h, '')):<{widths[h]}}" for h in headers)
+        )
+    return "\n".join(lines)
+
+
+def table1_overview() -> str:
+    """The paper's Table 1: the benchmark inventory."""
+    rows = [
+        {
+            "Source": b.source,
+            "Distribution": b.name,
+            "Cost Type": b.cost_type,
+            "#Queries": b.num_queries,
+            "#Intervals": b.num_intervals,
+        }
+        for b in TABLE1_BENCHMARKS
+    ]
+    return format_table(rows, title="Table 1: Overview of Benchmarks")
+
+
+def method_comparison_table(runs: Sequence[MethodRun], title: str) -> str:
+    """One Figure-5/6 panel as a table: E2E time + final distance."""
+    return format_table([run.summary_row() for run in runs], title=title)
+
+
+def distance_trace_text(run: MethodRun, points: int = 8) -> str:
+    """A compact textual sparkline of distance over time."""
+    if not run.trace:
+        return f"{run.method}: (no trace)"
+    stride = max(len(run.trace) // points, 1)
+    sampled = run.trace[::stride]
+    if run.trace[-1] not in sampled:
+        sampled.append(run.trace[-1])
+    series = " -> ".join(f"{d:.0f}@{t:.1f}s" for t, d in sampled)
+    return f"{run.method}: {series}"
+
+
+def histogram_text(distribution: CostDistribution, width: int = 40) -> str:
+    """The target-distribution subplot as an ASCII histogram."""
+    peak = max(distribution.target_counts) or 1
+    lines = [f"Target distribution '{distribution.name}' "
+             f"({distribution.total_queries} queries, "
+             f"{distribution.num_intervals} intervals):"]
+    for index, count in enumerate(distribution.target_counts):
+        low, high = distribution.interval_bounds(index)
+        bar = "#" * max(int(count / peak * width), 1 if count else 0)
+        lines.append(f"  [{low:>8.0f},{high:>8.0f}) {count:>5d} {bar}")
+    return "\n".join(lines)
+
+
+def speedup_summary(runs: Sequence[MethodRun]) -> str:
+    """The paper's headline: SQLBarber's speedup over each baseline."""
+    barber = next((r for r in runs if r.method == "sqlbarber"), None)
+    if barber is None:
+        return "(no sqlbarber run)"
+    lines = []
+    for run in runs:
+        if run.method == "sqlbarber":
+            continue
+        speedup = run.elapsed_seconds / max(barber.elapsed_seconds, 1e-9)
+        lines.append(
+            f"  sqlbarber vs {run.method}: {speedup:.1f}x faster, "
+            f"distance {barber.final_distance:.1f} vs {run.final_distance:.1f}"
+        )
+    return "\n".join(lines) if lines else "(no baselines)"

@@ -1,0 +1,75 @@
+"""Scalability experiments (the paper's Figure 7).
+
+Row 1: vary the number of queries (paper: 50 / 500 / 5000) at a fixed
+interval count.  Row 2: vary the number of intervals (5..25) at a fixed
+query count.  Both use the Redset_Cost_Hard shape on IMDB.
+"""
+
+from __future__ import annotations
+
+from .benchmarks import benchmark_by_name
+from .runner import ExperimentRunner, MethodRun
+
+SCALABILITY_BENCHMARK = "Redset_Cost_Hard"
+SCALABILITY_DB = "imdb"
+DEFAULT_METHODS = ("hillclimbing-priority", "learnedsqlgen-priority", "sqlbarber")
+
+
+def scale_queries(
+    runner: ExperimentRunner,
+    query_counts: tuple[int, ...],
+    db_name: str = SCALABILITY_DB,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    num_intervals: int = 10,
+    time_budget_seconds: float | None = 60.0,
+    per_interval_budget_seconds: float = 1.0,
+) -> list[MethodRun]:
+    """Figure 7a/7b: time and final distance vs. #queries."""
+    benchmark = benchmark_by_name(SCALABILITY_BENCHMARK)
+    runs: list[MethodRun] = []
+    for count in query_counts:
+        distribution = benchmark.distribution(
+            num_queries=count, num_intervals=num_intervals
+        )
+        for method in methods:
+            run = runner.run(
+                method,
+                db_name,
+                distribution,
+                benchmark_name=f"{benchmark.name}[N={count}]",
+                time_budget_seconds=time_budget_seconds,
+                per_interval_budget_seconds=per_interval_budget_seconds,
+            )
+            run.extra["num_queries_requested"] = count
+            runs.append(run)
+    return runs
+
+
+def scale_intervals(
+    runner: ExperimentRunner,
+    interval_counts: tuple[int, ...],
+    db_name: str = SCALABILITY_DB,
+    methods: tuple[str, ...] = DEFAULT_METHODS,
+    num_queries: int = 1000,
+    time_budget_seconds: float | None = 60.0,
+    per_interval_budget_seconds: float = 1.0,
+) -> list[MethodRun]:
+    """Figure 7c/7d: time and final distance vs. #intervals."""
+    benchmark = benchmark_by_name(SCALABILITY_BENCHMARK)
+    runs: list[MethodRun] = []
+    for intervals in interval_counts:
+        distribution = benchmark.distribution(
+            num_queries=num_queries, num_intervals=intervals
+        )
+        for method in methods:
+            run = runner.run(
+                method,
+                db_name,
+                distribution,
+                benchmark_name=f"{benchmark.name}[I={intervals}]",
+                time_budget_seconds=time_budget_seconds,
+                per_interval_budget_seconds=per_interval_budget_seconds,
+            )
+            run.extra["num_intervals_requested"] = intervals
+            runs.append(run)
+    return runs

@@ -1,0 +1,38 @@
+"""Bayesian optimization substrate (SMAC3 stand-in): spaces, LHS, RF, EI."""
+
+from .acquisition import expected_improvement, upper_confidence_bound
+from .forest import RandomForestRegressor, RegressionTree
+from .lhs import latin_hypercube, lhs_configs
+from .optimizer import (
+    BayesianOptimizer,
+    Observation,
+    OptimizationResult,
+    random_search,
+)
+from .space import (
+    CategoricalParameter,
+    Config,
+    ConfigSpace,
+    FloatParameter,
+    IntegerParameter,
+    Parameter,
+)
+
+__all__ = [
+    "BayesianOptimizer",
+    "CategoricalParameter",
+    "Config",
+    "ConfigSpace",
+    "FloatParameter",
+    "IntegerParameter",
+    "Observation",
+    "OptimizationResult",
+    "Parameter",
+    "RandomForestRegressor",
+    "RegressionTree",
+    "expected_improvement",
+    "latin_hypercube",
+    "lhs_configs",
+    "random_search",
+    "upper_confidence_bound",
+]

@@ -1,0 +1,149 @@
+"""A from-scratch random-forest regressor (the SMAC3-style surrogate).
+
+Regression trees split on variance reduction; the forest combines bootstrap
+resampling with per-split feature subsampling.  ``predict`` returns both the
+mean and the across-tree standard deviation — the epistemic-uncertainty
+signal Expected Improvement needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _TreeNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_TreeNode | None" = None
+    right: "_TreeNode | None" = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """A CART-style regression tree over a float matrix."""
+
+    def __init__(
+        self,
+        max_depth: int = 14,
+        min_samples_leaf: int = 1,
+        max_features: float = 0.8,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng()
+        self._root: _TreeNode | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return np.array([self._predict_one(row) for row in X])
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or np.ptp(y) < 1e-12
+        ):
+            return _TreeNode(value=float(y.mean()))
+        split = self._best_split(X, y)
+        if split is None:
+            return _TreeNode(value=float(y.mean()))
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        left = self._build(X[mask], y[mask], depth + 1)
+        right = self._build(X[~mask], y[~mask], depth + 1)
+        return _TreeNode(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        n_samples, n_features = X.shape
+        n_consider = max(1, int(round(self.max_features * n_features)))
+        features = self._rng.permutation(n_features)[:n_consider]
+        best: tuple[float, int, float] | None = None
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # candidate split positions between distinct x values
+            prefix_sum = np.cumsum(ys)
+            prefix_sq = np.cumsum(ys**2)
+            total_sum, total_sq = prefix_sum[-1], prefix_sq[-1]
+            for i in range(self.min_samples_leaf, n_samples - self.min_samples_leaf + 1):
+                if xs[i - 1] == xs[min(i, n_samples - 1)]:
+                    continue
+                left_n, right_n = i, n_samples - i
+                left_sum, left_sq = prefix_sum[i - 1], prefix_sq[i - 1]
+                right_sum = total_sum - left_sum
+                right_sq = total_sq - left_sq
+                sse = (left_sq - left_sum**2 / left_n) + (
+                    right_sq - right_sum**2 / right_n
+                )
+                if best is None or sse < best[0]:
+                    threshold = (xs[i - 1] + xs[min(i, n_samples - 1)]) / 2.0
+                    best = (float(sse), int(feature), float(threshold))
+        if best is None:
+            return None
+        return best[1], best[2]
+
+
+@dataclass
+class RandomForestRegressor:
+    """Bootstrap ensemble of regression trees with uncertainty estimates."""
+
+    n_trees: int = 20
+    max_depth: int = 14
+    min_samples_leaf: int = 1
+    max_features: float = 0.8
+    seed: int = 0
+    _trees: list[RegressionTree] = field(default_factory=list, repr=False)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) != len(y) or len(y) == 0:
+            raise ValueError("X and y must be non-empty and the same length")
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        for _ in range(self.n_trees):
+            indices = rng.integers(0, len(y), len(y))
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(X[indices], y[indices])
+            self._trees.append(tree)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._trees)
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (mean, std) across the ensemble for each row of X."""
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        per_tree = np.stack([tree.predict(X) for tree in self._trees])
+        return per_tree.mean(axis=0), per_tree.std(axis=0)

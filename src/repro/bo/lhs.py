@@ -1,0 +1,37 @@
+"""Latin Hypercube Sampling (Loh 1996), used by SQLBarber's profiling stage.
+
+LHS stratifies every dimension into *n* equal slices and places exactly one
+sample in each slice per dimension, giving far better coverage of the joint
+space than independent uniform sampling — the paper's Section 5.1 rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .space import Config, ConfigSpace
+
+
+def latin_hypercube(n: int, dims: int, rng: np.random.Generator) -> np.ndarray:
+    """*n* points in the *dims*-dimensional unit cube, LHS-stratified.
+
+    Returns an ``(n, dims)`` array.  Each column is a random permutation of
+    the *n* strata with uniform jitter inside each stratum.
+    """
+    if n <= 0:
+        return np.zeros((0, dims))
+    samples = np.empty((n, dims), dtype=np.float64)
+    strata = (np.arange(n) + 0.0) / n
+    width = 1.0 / n
+    for dim in range(dims):
+        jitter = rng.random(n) * width
+        samples[:, dim] = rng.permutation(strata + jitter)
+    return samples
+
+
+def lhs_configs(
+    space: ConfigSpace, n: int, rng: np.random.Generator
+) -> list[Config]:
+    """*n* LHS-distributed configurations from *space*."""
+    points = latin_hypercube(n, max(len(space), 1), rng)
+    return [space.from_unit(point) for point in points]

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``schema``         — print the schema summary of a built-in dataset;
+* ``generate``       — run SQLBarber end-to-end and export a JSONL workload;
+* ``benchmarks``     — list the ten paper benchmarks (Table 1);
+* ``run-benchmark``  — run one method on one benchmark and print metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.benchsuite import (
+    ExperimentRunner,
+    METHODS,
+    benchmark_by_name,
+    histogram_text,
+    table1_overview,
+)
+from repro.core import BarberConfig, SQLBarber, schema_text
+from repro.datasets import build_database, dataset_names, redset_spec_workload
+from repro.workload import CostDistribution, TemplateSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI with all four sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SQLBarber reproduction: customized, cost-targeted "
+        "SQL workload generation.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    schema = commands.add_parser("schema", help="print a dataset's schema summary")
+    schema.add_argument("--db", choices=dataset_names(), default="tpch")
+    schema.add_argument("--scale", type=float, default=None)
+
+    generate = commands.add_parser(
+        "generate", help="generate a workload and export it as JSONL"
+    )
+    generate.add_argument("--db", choices=dataset_names(), default="tpch")
+    generate.add_argument("--scale", type=float, default=None)
+    generate.add_argument("--queries", type=int, default=100)
+    generate.add_argument("--intervals", type=int, default=10)
+    generate.add_argument(
+        "--shape", default="uniform",
+        help="uniform | normal | snowset_card_1 | snowset_card_2 | "
+             "snowset_cost | redset_cost",
+    )
+    generate.add_argument(
+        "--cost-type", default="plan_cost",
+        choices=["plan_cost", "cardinality", "execution_time"],
+    )
+    generate.add_argument("--cost-min", type=float, default=0.0)
+    generate.add_argument("--cost-max", type=float, default=10_000.0)
+    generate.add_argument(
+        "--spec", action="append", default=[],
+        help="a natural-language template spec (repeatable)",
+    )
+    generate.add_argument(
+        "--specs-file", default=None,
+        help="JSON file: a list of spec objects (num_joins, instructions, ...)",
+    )
+    generate.add_argument("--num-specs", type=int, default=8,
+                          help="fleet-derived specs when none are given")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--time-budget", type=float, default=300.0)
+    generate.add_argument("--output", "-o", default=None,
+                          help="JSONL output path (default: stdout summary only)")
+
+    commands.add_parser("benchmarks", help="list the ten paper benchmarks")
+
+    run = commands.add_parser(
+        "run-benchmark", help="run one method on one paper benchmark"
+    )
+    run.add_argument("--name", required=True, help="benchmark name (Table 1)")
+    run.add_argument("--db", choices=dataset_names(), default="tpch")
+    run.add_argument("--method", choices=METHODS, default="sqlbarber")
+    run.add_argument("--queries", type=int, default=None,
+                     help="override the benchmark's query count")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--time-budget", type=float, default=300.0)
+    run.add_argument("--baseline-interval-budget", type=float, default=2.0)
+    return parser
+
+
+def _load_specs(args) -> list[TemplateSpec]:
+    specs: list[TemplateSpec] = []
+    for index, text in enumerate(args.spec):
+        specs.append(TemplateSpec.from_natural_language(text, spec_id=f"cli_{index}"))
+    if args.specs_file:
+        with open(args.specs_file) as handle:
+            payload = json.load(handle)
+        for index, entry in enumerate(payload):
+            specs.append(
+                TemplateSpec.from_json(entry, spec_id=f"file_{index}")
+            )
+    if not specs:
+        specs = redset_spec_workload(num_specs=args.num_specs, seed=args.seed)
+    return specs
+
+
+def _build_distribution(args) -> CostDistribution:
+    if args.shape == "uniform":
+        return CostDistribution.uniform(
+            args.cost_min, args.cost_max, args.queries, args.intervals,
+            cost_type=args.cost_type,
+        )
+    if args.shape == "normal":
+        return CostDistribution.normal(
+            args.cost_min, args.cost_max, args.queries, args.intervals,
+            cost_type=args.cost_type,
+        )
+    from repro.datasets import fleet_distribution
+
+    return fleet_distribution(
+        args.shape, args.queries, args.intervals, args.cost_type
+    )
+
+
+def cmd_schema(args) -> int:
+    """`repro schema`: print a dataset's human-readable schema summary."""
+    db = build_database(args.db, scale=args.scale)
+    print(schema_text(db))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """`repro generate`: run SQLBarber end-to-end, optionally write JSONL."""
+    db = build_database(args.db, scale=args.scale)
+    specs = _load_specs(args)
+    distribution = _build_distribution(args)
+    print(histogram_text(distribution))
+    barber = SQLBarber(db, config=BarberConfig(seed=args.seed))
+    result = barber.generate_workload(
+        specs, distribution, time_budget_seconds=args.time_budget
+    )
+    print(
+        f"\ngenerated {len(result.workload)}/{distribution.total_queries} "
+        f"queries in {result.elapsed_seconds:.1f}s; "
+        f"Wasserstein distance {result.final_distance:.2f}; "
+        f"templates {result.num_templates}; "
+        f"LLM tokens {result.llm_usage['total_tokens']}"
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.workload.to_jsonl())
+        print(f"workload written to {args.output}")
+    return 0 if result.complete else 1
+
+
+def cmd_benchmarks(_args) -> int:
+    """`repro benchmarks`: print the Table-1 benchmark inventory."""
+    print(table1_overview())
+    return 0
+
+
+def cmd_run_benchmark(args) -> int:
+    """`repro run-benchmark`: one method on one benchmark, JSON metrics."""
+    benchmark = benchmark_by_name(args.name)
+    distribution = benchmark.distribution(num_queries=args.queries)
+    runner = ExperimentRunner(seed=args.seed)
+    run = runner.run(
+        args.method,
+        args.db,
+        distribution,
+        benchmark_name=benchmark.name,
+        time_budget_seconds=args.time_budget,
+        per_interval_budget_seconds=args.baseline_interval_budget,
+    )
+    print(json.dumps(run.summary_row(), indent=2))
+    return 0 if run.complete else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "schema": cmd_schema,
+        "generate": cmd_generate,
+        "benchmarks": cmd_benchmarks,
+        "run-benchmark": cmd_run_benchmark,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""The SQLBarber facade: the declarative end-to-end interface.
+
+Typical use::
+
+    from repro.core import SQLBarber
+    from repro.datasets import build_tpch
+    from repro.workload import CostDistribution, TemplateSpec
+
+    barber = SQLBarber(build_tpch())
+    result = barber.generate_workload(
+        specs=[TemplateSpec.from_natural_language("2 joins and one aggregation")],
+        distribution=CostDistribution.uniform(0, 10_000, 200, 10),
+    )
+    result.workload          # the generated queries
+    result.tracker.wasserstein  # alignment with the target distribution
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.llm import LLMClient, SimulatedLLM
+from repro.sqldb import Database
+from repro.workload import (
+    CostDistribution,
+    DistributionTracker,
+    SqlTemplate,
+    TemplateSpec,
+    Workload,
+)
+from .config import BarberConfig
+from .predicate_search import PredicateSearch, SearchResult
+from .profiler import TemplateProfile, TemplateProfiler
+from .refiner import RefinementResult, TemplateRefiner
+from .schema_summary import schema_payload
+from .template_generator import CustomizedTemplateGenerator, TemplateGenerationReport
+
+
+@dataclass
+class WorkloadResult:
+    """Everything produced by one end-to-end SQLBarber run."""
+
+    workload: Workload
+    tracker: DistributionTracker
+    templates: list[SqlTemplate]
+    profiles: list[TemplateProfile]
+    generation_report: TemplateGenerationReport
+    refinement: RefinementResult | None
+    search: SearchResult
+    elapsed_seconds: float
+    distance_trace: list[tuple[float, float]] = field(default_factory=list)
+    llm_usage: dict = field(default_factory=dict)
+
+    @property
+    def final_distance(self) -> float:
+        return self.tracker.wasserstein
+
+    @property
+    def complete(self) -> bool:
+        return self.tracker.complete
+
+    @property
+    def num_templates(self) -> int:
+        return len(self.profiles)
+
+
+class SQLBarber:
+    """Customized + realistic SQL workload generation (the paper's system)."""
+
+    def __init__(
+        self,
+        db: Database,
+        llm: LLMClient | None = None,
+        config: BarberConfig | None = None,
+    ):
+        self.db = db
+        self.config = config or BarberConfig()
+        self.llm = llm if llm is not None else SimulatedLLM(seed=self.config.seed)
+        self.schema = schema_payload(db)
+
+    # -- component factories (overridable in ablations) -----------------------------
+
+    def template_generator(self) -> CustomizedTemplateGenerator:
+        return CustomizedTemplateGenerator(self.db, self.llm, self.config)
+
+    def profiler(self, cost_type: str) -> TemplateProfiler:
+        return TemplateProfiler(self.db, self.config, cost_metric=cost_type)
+
+    # -- public API ---------------------------------------------------------------------
+
+    def generate_templates(
+        self, specs: list[TemplateSpec]
+    ) -> tuple[list[SqlTemplate], TemplateGenerationReport]:
+        """Section 4 only: customized template generation with Algorithm 1."""
+        return self.template_generator().generate_many(specs)
+
+    def generate_workload(
+        self,
+        specs: list[TemplateSpec],
+        distribution: CostDistribution,
+        templates: list[SqlTemplate] | None = None,
+        time_budget_seconds: float | None = None,
+    ) -> WorkloadResult:
+        """The full pipeline: templates -> profile -> refine/prune -> BO search.
+
+        Pre-generated *templates* can be supplied to skip Section 4 (used by
+        ablations and by callers that iterate on the same template pool).
+        """
+        started = time.perf_counter()
+        budget = (
+            time_budget_seconds
+            if time_budget_seconds is not None
+            else self.config.time_budget_seconds
+        )
+
+        if templates is None:
+            templates, report = self.generate_templates(specs)
+        else:
+            report = TemplateGenerationReport()
+
+        profiler = self.profiler(distribution.cost_type)
+        samples = profiler.profile_samples_per_template(
+            distribution.total_queries, max(len(templates), 1)
+        )
+        profiles = [profiler.profile(t, samples) for t in templates]
+        profiles = [p for p in profiles if p.is_usable]
+
+        refinement: RefinementResult | None = None
+        if self.config.enable_refinement:
+            refiner = TemplateRefiner(self.llm, profiler, self.schema, self.config)
+            specs_by_id = {s.spec_id: s for s in specs}
+            refinement = refiner.refine(
+                profiles, distribution, samples, specs_by_id=specs_by_id
+            )
+            profiles = refinement.profiles
+
+        search = PredicateSearch(profiler, self.config)
+        remaining = None
+        if budget is not None:
+            remaining = max(budget - (time.perf_counter() - started), 1.0)
+        search_result = search.run(profiles, distribution, deadline=remaining)
+
+        elapsed = time.perf_counter() - started
+        setup = elapsed - (search_result.trace[-1][0] if search_result.trace else 0.0)
+        trace = [(setup + t, d) for t, d in search_result.trace]
+        workload = Workload(queries=search_result.queries, name=distribution.name)
+        return WorkloadResult(
+            workload=workload,
+            tracker=search_result.tracker,
+            templates=templates,
+            profiles=profiles,
+            generation_report=report,
+            refinement=refinement,
+            search=search_result,
+            elapsed_seconds=elapsed,
+            distance_trace=trace,
+            llm_usage=self.llm.usage.snapshot(),
+        )

@@ -1,0 +1,76 @@
+"""All SQLBarber tunables in one place.
+
+Field names and defaults follow the paper: the refinement phases use
+(τ1=0.2, k1=3, m1=3) without history and (τ2=0.1, k2=5, m2=5) with history
+(Section 5.2); the predicate search gives each (interval, template) pair a
+budget of 5·Δ evaluations, drops template/interval combinations whose
+utility ratio falls below 5%, and skips an interval after five consecutive
+failed rounds (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RefinementPhase:
+    """One phase of Algorithm 2."""
+
+    coverage_threshold: float  # τ: interval is low-coverage below τ·target
+    iterations: int  # k
+    templates_per_interval: int  # m
+    use_history: bool
+
+
+@dataclass(frozen=True)
+class BarberConfig:
+    """Configuration for the end-to-end SQLBarber pipeline."""
+
+    seed: int = 0
+
+    # -- Algorithm 1: template check and rewrite ------------------------------
+    max_rewrite_iterations: int = 5
+
+    # -- Section 5.1: profiling ------------------------------------------------
+    profile_fraction: float = 0.15  # of the total queries to generate
+    min_profile_samples: int = 8
+    max_profile_samples: int = 60
+    max_categorical_choices: int = 40
+    profile_sampling: str = "lhs"  # 'lhs' | 'uniform' (ablation)
+
+    # -- Section 5.2: refinement and pruning -----------------------------------
+    enable_refinement: bool = True
+    # When True, refined template variants must still satisfy the user spec
+    # of their seed template; cost-shifting edits that break the spec are
+    # pruned.  Off by default: the paper lets refinement drift structurally
+    # to reach uncovered cost ranges.
+    strict_spec_refinement: bool = False
+    refinement_phases: tuple[RefinementPhase, ...] = (
+        RefinementPhase(0.2, 3, 3, use_history=False),
+        RefinementPhase(0.1, 5, 5, use_history=True),
+    )
+
+    # -- Section 5.3: BO predicate search ----------------------------------------
+    search_strategy: str = "bo"  # 'bo' | 'random' (the Naive-Search ablation)
+    use_variety_factor: bool = True  # Eq. 2's v_i term (ablation)
+    track_bad_combinations: bool = True  # Algorithm 3's B set (ablation)
+    budget_multiplier: int = 5  # evaluations per unit of deficit (5Δ)
+    max_budget_per_round: int = 120
+    utility_threshold: float = 0.05
+    interval_failure_limit: int = 5
+    weighted_sample_size: int = 10
+    min_variety: float = 0.02  # LimitedDiversity cut-off on the variety factor
+    space_headroom_multiplier: float = 5.0  # require R[T] >= 5Δ
+    bo_refit_every: int = 4
+    bo_initial_samples: int = 6
+    reuse_history: bool = True  # warm-start BO from profiling observations
+
+    # -- misc ----------------------------------------------------------------------
+    time_budget_seconds: float | None = None
+    unbound_placeholder_range: tuple[int, int] = (1, 1000)
+
+    def with_overrides(self, **kwargs) -> "BarberConfig":
+        from dataclasses import replace
+
+        return replace(self, **kwargs)

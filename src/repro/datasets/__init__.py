@@ -1,0 +1,28 @@
+"""Datasets: TPC-H and IMDB generators plus fleet-derived distributions."""
+
+from .fleets import (
+    COST_RANGE,
+    fleet_distribution,
+    fleet_samples,
+    normal_distribution,
+    uniform_distribution,
+)
+from .imdb import build_imdb
+from .registry import build_database, clear_cache, dataset_names
+from .specs import NL_INSTRUCTIONS, redset_spec_workload
+from .tpch import build_tpch
+
+__all__ = [
+    "COST_RANGE",
+    "NL_INSTRUCTIONS",
+    "build_database",
+    "build_imdb",
+    "build_tpch",
+    "clear_cache",
+    "dataset_names",
+    "fleet_distribution",
+    "fleet_samples",
+    "normal_distribution",
+    "redset_spec_workload",
+    "uniform_distribution",
+]

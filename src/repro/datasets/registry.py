@@ -1,0 +1,53 @@
+"""Dataset registry: build target databases by name, with caching.
+
+Building and analyzing a dataset takes a few seconds, and experiment
+harnesses request the same database repeatedly, so builds are memoized by
+``(name, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sqldb import Database
+from . import imdb, tpch
+
+_BUILDERS: dict[str, Callable[..., Database]] = {
+    "tpch": tpch.build_tpch,
+    "imdb": imdb.build_imdb,
+}
+
+_DEFAULT_SCALES = {
+    "tpch": tpch.DEFAULT_SCALE,
+    "imdb": imdb.DEFAULT_SCALE,
+}
+
+_CACHE: dict[tuple, Database] = {}
+
+
+def dataset_names() -> list[str]:
+    return sorted(_BUILDERS)
+
+
+def build_database(
+    name: str, scale: float | None = None, seed: int | None = None,
+    cached: bool = True,
+) -> Database:
+    """Build (or fetch a cached) dataset by name ("tpch" or "imdb")."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown dataset {name!r}; available: {dataset_names()}")
+    scale = scale if scale is not None else _DEFAULT_SCALES[name]
+    key = (name, scale, seed)
+    if cached and key in _CACHE:
+        return _CACHE[key]
+    kwargs = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    database = _BUILDERS[name](**kwargs)
+    if cached:
+        _CACHE[key] = database
+    return database
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

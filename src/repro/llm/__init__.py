@@ -1,0 +1,40 @@
+"""Simulated LLM service: completion client, prompts, faults, accounting."""
+
+from .accounting import O3_MINI_PRICING, PricingModel, UsageMeter, count_tokens
+from .client import LLMClient, LLMResponse, ScriptedLLM
+from .faults import FaultModel
+from .prompts import (
+    decode_payload,
+    encode_payload,
+    fix_execution_prompt,
+    fix_semantics_prompt,
+    refine_template_prompt,
+    template_generation_prompt,
+    validate_semantics_prompt,
+)
+from .simulated import SimulatedLLM, extract_json, extract_sql, spec_from_payload
+from .synthesizer import SchemaModel, TemplateSynthesizer
+
+__all__ = [
+    "FaultModel",
+    "LLMClient",
+    "LLMResponse",
+    "O3_MINI_PRICING",
+    "PricingModel",
+    "SchemaModel",
+    "ScriptedLLM",
+    "SimulatedLLM",
+    "TemplateSynthesizer",
+    "UsageMeter",
+    "count_tokens",
+    "decode_payload",
+    "encode_payload",
+    "extract_json",
+    "extract_sql",
+    "fix_execution_prompt",
+    "fix_semantics_prompt",
+    "refine_template_prompt",
+    "spec_from_payload",
+    "template_generation_prompt",
+    "validate_semantics_prompt",
+]

@@ -1,0 +1,70 @@
+"""The LLM client interface.
+
+Everything above this layer (SQLBarber's template generator and refiner)
+talks to an :class:`LLMClient` purely through prompt text in / response text
+out, exactly as it would to a remote completion API.  The shipped
+implementation is :class:`~repro.llm.simulated.SimulatedLLM`; a user with
+API access can drop in a client that calls a real provider without touching
+the rest of the system.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from .accounting import UsageMeter, count_tokens
+
+
+@dataclass(frozen=True)
+class LLMResponse:
+    """One completion: text plus token usage."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    model: str
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+class LLMClient(abc.ABC):
+    """Prompt-in, text-out completion interface with usage metering."""
+
+    def __init__(self, model: str = "o3-mini"):
+        self.model = model
+        self.usage = UsageMeter()
+
+    def complete(self, prompt: str, task: str = "unknown") -> LLMResponse:
+        """Send *prompt* and return the completion, recording usage."""
+        text = self._complete_text(prompt)
+        response = LLMResponse(
+            text=text,
+            prompt_tokens=count_tokens(prompt),
+            completion_tokens=count_tokens(text),
+            model=self.model,
+        )
+        self.usage.record(response.prompt_tokens, response.completion_tokens, task)
+        return response
+
+    @abc.abstractmethod
+    def _complete_text(self, prompt: str) -> str:
+        """Produce the completion text for *prompt*."""
+
+
+class ScriptedLLM(LLMClient):
+    """Replays canned responses in order — used for deterministic tests."""
+
+    def __init__(self, responses: list[str], model: str = "scripted"):
+        super().__init__(model=model)
+        self._responses = list(responses)
+        self._cursor = 0
+
+    def _complete_text(self, prompt: str) -> str:
+        if self._cursor >= len(self._responses):
+            raise RuntimeError("ScriptedLLM ran out of responses")
+        text = self._responses[self._cursor]
+        self._cursor += 1
+        return text

@@ -1,0 +1,199 @@
+"""Fault injection: the hallucination model of the simulated LLM.
+
+Real LLMs emit templates with syntax errors, invented identifiers, and spec
+violations; SQLBarber's Algorithm 1 exists to repair exactly those.  The
+:class:`FaultModel` controls how often each fault class appears and how fast
+the rates decay as repair feedback accumulates (LLMs get demonstrably better
+when shown their own error messages).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-call fault probabilities and their per-attempt decay."""
+
+    # Initial generation rates, tuned so that a fresh batch of templates
+    # shows the paper's Figure 8a shape: only a small minority is
+    # spec-compliant and roughly a third executes on the first try.
+    semantic_rate: float = 0.90
+    syntax_rate: float = 0.55
+    hallucination_rate: float = 0.25
+    repair_decay: float = 0.25
+
+    def at_attempt(self, attempt: int) -> "FaultModel":
+        """Rates after *attempt* rounds of feedback (attempt 0 = first try)."""
+        factor = self.repair_decay**attempt if attempt > 0 else 1.0
+        return FaultModel(
+            semantic_rate=self.semantic_rate * factor,
+            syntax_rate=self.syntax_rate * factor,
+            hallucination_rate=self.hallucination_rate * factor,
+            repair_decay=self.repair_decay,
+        )
+
+    @staticmethod
+    def perfect() -> "FaultModel":
+        """A fault-free model (useful for tests and ablations)."""
+        return FaultModel(0.0, 0.0, 0.0, 0.0)
+
+
+_SYNTAX_CORRUPTIONS = (
+    "misspell_select",
+    "misspell_from",
+    "drop_paren",
+    "double_comma",
+    "trailing_and",
+    "double_equals",
+)
+
+
+def corrupt_syntax(sql: str, rng: np.random.Generator) -> str:
+    """Introduce one syntax error of a kind real models produce."""
+    for _ in range(len(_SYNTAX_CORRUPTIONS)):
+        kind = _SYNTAX_CORRUPTIONS[int(rng.integers(len(_SYNTAX_CORRUPTIONS)))]
+        corrupted = _apply_syntax_corruption(sql, kind)
+        if corrupted != sql:
+            return corrupted
+    return sql + " AND"  # guaranteed-broken fallback
+
+
+def _apply_syntax_corruption(sql: str, kind: str) -> str:
+    if kind == "misspell_select":
+        return re.sub(r"\bSELECT\b", "SELEC", sql, count=1, flags=re.IGNORECASE)
+    if kind == "misspell_from":
+        return re.sub(r"\bFROM\b", "FORM", sql, count=1, flags=re.IGNORECASE)
+    if kind == "drop_paren" and ")" in sql:
+        index = sql.rfind(")")
+        return sql[:index] + sql[index + 1 :]
+    if kind == "double_comma" and ", " in sql:
+        return sql.replace(", ", ", , ", 1)
+    if kind == "trailing_and" and " WHERE " in sql.upper():
+        return sql + " AND"
+    if kind == "double_equals" and " = " in sql:
+        return sql.replace(" = ", " == ", 1)
+    return sql
+
+
+def hallucinate_identifier(
+    sql: str, column_names: set[str], rng: np.random.Generator
+) -> str:
+    """Replace one real column name with a plausible invented one."""
+    present = [
+        name
+        for name in sorted(column_names)
+        if re.search(rf"\b{re.escape(name)}\b", sql)
+    ]
+    if not present:
+        return sql
+    victim = present[int(rng.integers(len(present)))]
+    suffixes = ("_ref", "_key", "_val", "_code")
+    fake = victim + suffixes[int(rng.integers(len(suffixes)))]
+    return re.sub(rf"\b{re.escape(victim)}\b", fake, sql, count=1)
+
+
+def perturb_spec(spec: dict, rng: np.random.Generator) -> dict:
+    """Misread the spec — the semantic-hallucination fault.
+
+    Picks one constrained field and changes it so the generated template
+    demonstrably violates the user's requirement.
+    """
+    perturbable: list[str] = []
+    for key in ("num_joins", "num_tables", "num_aggregations", "num_predicates"):
+        if spec.get(key) is not None:
+            perturbable.append(key)
+    for key in (
+        "require_group_by",
+        "require_nested_subquery",
+        "require_order_by",
+        "require_limit",
+        "require_union",
+    ):
+        if spec.get(key):
+            perturbable.append(key)
+    if not perturbable:
+        return dict(spec)
+    field = perturbable[int(rng.integers(len(perturbable)))]
+    mutated = dict(spec)
+    if field.startswith("num_"):
+        current = int(spec[field])
+        delta = 1 if current == 0 else int(rng.choice([-1, 1]))
+        mutated[field] = max(current + delta, 0)
+    else:
+        mutated[field] = False
+    return mutated
+
+
+def repair_syntax(sql: str) -> str:
+    """Undo the known corruption classes (the simulated model's SQL skill)."""
+    fixed = re.sub(r"\bSELEC\b", "SELECT", sql, flags=re.IGNORECASE)
+    fixed = re.sub(r"\bFORM\b", "FROM", fixed, flags=re.IGNORECASE)
+    fixed = fixed.replace("==", "=")
+    fixed = re.sub(r",\s*,", ",", fixed)
+    fixed = re.sub(r"\s+AND\s*$", "", fixed, flags=re.IGNORECASE)
+    opens, closes = fixed.count("("), fixed.count(")")
+    if opens > closes:
+        for _ in range(opens - closes):
+            fixed = _insert_missing_paren(fixed)
+    elif closes > opens:
+        for _ in range(closes - opens):
+            index = fixed.rfind(")")
+            fixed = fixed[:index] + fixed[index + 1 :]
+    return fixed
+
+
+_CLAUSE_KEYWORDS = (" from ", " where ", " group by ", " having ",
+                    " order by ", " limit ")
+
+
+def _insert_missing_paren(sql: str) -> str:
+    """Close the innermost unmatched '(' before the next clause keyword."""
+    depth = 0
+    unmatched = -1
+    for index, ch in enumerate(sql):
+        if ch == "(":
+            depth += 1
+            unmatched = index
+        elif ch == ")":
+            depth -= 1
+    if depth <= 0 or unmatched == -1:
+        return sql + ")"
+    tail = sql[unmatched:].lower()
+    positions = [tail.find(k) for k in _CLAUSE_KEYWORDS if tail.find(k) != -1]
+    if positions:
+        insert_at = unmatched + min(positions)
+        return sql[:insert_at] + ")" + sql[insert_at:]
+    return sql + ")"
+
+
+def repair_identifier(sql: str, error: str, column_names: set[str]) -> str:
+    """Fix an unknown-column error by snapping to the closest real name."""
+    match = re.search(r'column "?([\w.]+)"? does not exist', error)
+    if match is None:
+        match = re.search(r"column ([\w.]+) does not exist", error)
+    if match is None:
+        return sql
+    bad = match.group(1).split(".")[-1]
+    best, best_score = None, -1.0
+    for name in column_names:
+        score = _similarity(bad, name)
+        if score > best_score:
+            best, best_score = name, score
+    if best is None:
+        return sql
+    return re.sub(rf"\b{re.escape(bad)}\b", best, sql)
+
+
+def _similarity(a: str, b: str) -> float:
+    """Cheap string similarity: shared prefix + length penalty."""
+    prefix = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        prefix += 1
+    return prefix - 0.1 * abs(len(a) - len(b))

@@ -1,0 +1,485 @@
+"""Cost-directed template transformations (the RefineTemplate verb).
+
+Given a template, its observed cost profile, and a target cost interval, the
+simulated LLM rewrites the template so its reachable cost range moves toward
+the interval: heavier (add joins, drop LIMIT), lighter (add LIMIT near the
+target, add selective fixed predicates, aggregate down), or finer-grained
+(add an extra placeholder predicate).  History entries let it avoid
+re-proposing rewrites that already failed — the in-context-learning effect
+Algorithm 2's phase 2 relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_select
+from repro.sqldb.sql_render import render_statement
+from .synthesizer import NUMERIC_TYPES, SchemaModel
+
+
+def refine_sql(
+    sql: str,
+    schema: dict,
+    target_interval: tuple[float, float],
+    cost_summary: dict,
+    history: list[dict] | None,
+    rng: np.random.Generator,
+    cost_type: str = "plan_cost",
+) -> str:
+    """Return a rewritten template aimed at *target_interval*."""
+    model = SchemaModel(schema)
+    low, high = float(target_interval[0]), float(target_interval[1])
+    try:
+        compound = parse_select(sql)
+    except Exception:
+        compound = None  # unparseable input: transforms will no-op below
+    if isinstance(compound, ast.CompoundSelect):
+        return _refine_compound(
+            sql, compound, model, (low, high), history, rng
+        )
+    observed_min = float(cost_summary.get("min", 0.0) or 0.0)
+    observed_max = float(cost_summary.get("max", 0.0) or 0.0)
+    if observed_max <= 0.0 and observed_min <= 0.0:
+        direction = "reshape"
+    elif observed_max < low:
+        direction = "heavier"
+    elif observed_min > high:
+        direction = "lighter"
+    else:
+        direction = "reshape"
+
+    seen = {sql.strip()}
+    for entry in history or []:
+        seen.add(str(entry.get("sql", "")).strip())
+
+    transforms = _transforms_for(direction, cost_type)
+    order = rng.permutation(len(transforms)) if direction == "reshape" else range(
+        len(transforms)
+    )
+    for index in order:
+        transform = transforms[index]
+        try:
+            candidate = transform(sql, model, (low, high), rng, cost_summary)
+        except Exception:
+            continue
+        if candidate is None:
+            continue
+        candidate = candidate.strip()
+        if candidate and candidate not in seen:
+            return candidate
+    # Everything known was tried before: fall back to a fresh placeholder
+    # predicate, perturbing until novel.
+    for _ in range(5):
+        try:
+            candidate = _add_placeholder_predicate(
+                sql, model, (low, high), rng, cost_summary
+            )
+        except Exception:
+            break
+        if candidate and candidate.strip() not in seen:
+            return candidate
+    return sql
+
+
+def _refine_compound(
+    sql: str,
+    statement: ast.CompoundSelect,
+    model: SchemaModel,
+    interval: tuple[float, float],
+    history: list[dict] | None,
+    rng: np.random.Generator,
+) -> str:
+    """Refine a UNION template by editing its first branch.
+
+    Only select-list-preserving edits are safe across a UNION (every branch
+    must keep the same column count), so the compound path is limited to
+    predicate additions on the first branch.
+    """
+    seen = {sql.strip()}
+    for entry in history or []:
+        seen.add(str(entry.get("sql", "")).strip())
+    first_sql = render_statement(statement.selects[0])
+    for _ in range(5):
+        try:
+            refined = _add_placeholder_predicate(
+                first_sql, model, interval, rng
+            )
+        except Exception:
+            return sql
+        if not refined:
+            return sql
+        tail = "".join(
+            f" {op.upper()} {render_statement(branch)}"
+            for op, branch in zip(statement.ops, statement.selects[1:])
+        )
+        candidate = refined + tail
+        if candidate.strip() not in seen:
+            return candidate
+    return sql
+
+
+def _transforms_for(direction: str, cost_type: str):
+    if direction == "heavier":
+        if cost_type == "cardinality":
+            # Aggregation and LIMIT cap output cardinality hard; lifting them
+            # matters more than widening the join tree.
+            return [
+                _remove_limit,
+                _remove_grouping,
+                _add_join,
+                _add_placeholder_predicate,
+            ]
+        return [_remove_limit, _add_join, _remove_grouping, _add_placeholder_predicate]
+    if direction == "lighter":
+        if cost_type == "cardinality":
+            return [
+                _add_limit,
+                _add_grouping,
+                _drop_join,
+                _add_selective_predicate,
+                _add_placeholder_predicate,
+            ]
+        return [
+            _drop_join,
+            _add_selective_predicate,
+            _add_limit,
+            _add_grouping,
+            _add_placeholder_predicate,
+        ]
+    return [_add_placeholder_predicate, _widen_to_between, _add_limit, _add_join]
+
+
+# -- individual transforms ------------------------------------------------------
+
+
+def _remove_limit(sql, model, interval, rng, summary=None):
+    statement = parse_select(sql)
+    if statement.limit is None:
+        return None
+    statement.limit = None
+    statement.offset = None
+    return render_statement(statement)
+
+
+def _add_limit(sql, model, interval, rng, summary=None):
+    statement = parse_select(sql)
+    low, high = interval
+    target = max(int(low + (high - low) * (0.25 + 0.5 * rng.random())), 1)
+    statement.limit = target
+    return render_statement(statement)
+
+
+def _placed_tables(statement: ast.SelectStatement) -> dict[str, str]:
+    """alias -> table name for the outer FROM clause."""
+    placed: dict[str, str] = {}
+    if statement.from_clause is None:
+        return placed
+    for node in statement.from_clause.walk():
+        if isinstance(node, ast.TableRef):
+            placed[node.binding_name] = node.name
+    return placed
+
+
+def _column_ndv(model: SchemaModel, table: str, column: str) -> float:
+    for entry in model.table(table).columns:
+        if entry["name"] == column:
+            return float(entry.get("ndv") or 1.0)
+    return 1.0
+
+
+def _add_join(sql, model: SchemaModel, interval, rng, summary=None):
+    """Join one more table, chosen to move the cost toward the interval.
+
+    Candidates are (a) fresh tables reachable over a FK edge — cost gain is
+    roughly one extra scan — and (b) FK-side *self-joins*, which multiply
+    rows by the key's average fan-out and can amplify cost far beyond any
+    single scan.  Each candidate carries a back-of-envelope cost-gain
+    estimate and the one landing closest to the interval midpoint wins.
+    """
+    statement = parse_select(sql)
+    placed = _placed_tables(statement)
+    if not placed:
+        return None
+    tables = set(placed.values())
+    # (estimated cost gain, new_table, new_column, anchor_table, anchor_column)
+    candidates: list[tuple[float, str, str, str, str]] = []
+    for edge in model.edges_touching(tables):
+        if edge["table"] in tables and edge["ref_table"] not in tables:
+            gain = model.table(edge["ref_table"]).scan_cost_estimate()
+            candidates.append(
+                (gain, edge["ref_table"], edge["ref_column"],
+                 edge["table"], edge["column"])
+            )
+        elif edge["ref_table"] in tables and edge["table"] not in tables:
+            gain = model.table(edge["table"]).scan_cost_estimate()
+            candidates.append(
+                (gain, edge["table"], edge["column"],
+                 edge["ref_table"], edge["ref_column"])
+            )
+        elif edge["table"] in tables:
+            # FK-FK self-join: rows multiply by the key's average fan-out.
+            info = model.table(edge["table"])
+            ndv = _column_ndv(model, edge["table"], edge["column"])
+            amplified = info.rows * (info.rows / max(ndv, 1.0))
+            gain = info.scan_cost_estimate() + amplified * 0.01
+            candidates.append(
+                (gain, edge["table"], edge["column"],
+                 edge["table"], edge["column"])
+            )
+    if not candidates:
+        return None
+    low, high = interval
+    observed = float((summary or {}).get("mean") or 0.0)
+    if observed and observed < low:
+        mid = (low + high) / 2.0
+        candidates.sort(key=lambda c: abs(observed + c[0] - mid))
+    else:
+        candidates.sort(key=lambda c: c[0], reverse=True)
+    _, new_table, new_column, anchor_table, anchor_column = candidates[0]
+    anchor_alias = next(a for a, t in placed.items() if t == anchor_table)
+    new_alias = _fresh_alias(placed)
+    condition = ast.BinaryOp(
+        "=",
+        ast.ColumnRef(column=new_column, table=new_alias),
+        ast.ColumnRef(column=anchor_column, table=anchor_alias),
+    )
+    statement.from_clause = ast.Join(
+        "inner",
+        statement.from_clause,
+        ast.TableRef(name=new_table, alias=new_alias),
+        condition,
+    )
+    return render_statement(statement)
+
+
+def _fresh_alias(placed: dict[str, str]) -> str:
+    index = len(placed)
+    while f"t{index}" in placed:
+        index += 1
+    return f"t{index}"
+
+
+def _remove_grouping(sql, model, interval, rng, summary=None):
+    statement = parse_select(sql)
+    if not statement.group_by:
+        return None
+    group_exprs = list(statement.group_by)
+    statement.group_by = []
+    statement.having = None
+    statement.order_by = []
+    # Replace the aggregate select list with the raw grouped columns plus
+    # whatever plain columns the grouping used.
+    items = [ast.SelectItem(expression=g) for g in group_exprs]
+    statement.select_items = items or statement.select_items
+    return render_statement(statement)
+
+
+def _add_grouping(sql, model: SchemaModel, interval, rng, summary=None):
+    statement = parse_select(sql)
+    if statement.group_by:
+        return None
+    placed = _placed_tables(statement)
+    if not placed:
+        return None
+    candidates = []
+    for alias, table_name in placed.items():
+        for column in model.table(table_name).columns:
+            ndv = float(column.get("ndv") or 1e9)
+            candidates.append((ndv, alias, column["name"]))
+    if not candidates:
+        return None
+    candidates.sort()
+    _, alias, column = candidates[0]
+    group_ref = ast.ColumnRef(column=column, table=alias)
+    statement.group_by = [group_ref]
+    statement.select_items = [
+        ast.SelectItem(expression=group_ref),
+        ast.SelectItem(
+            expression=ast.FunctionCall("count", [ast.Star()]), alias="cnt"
+        ),
+    ]
+    statement.order_by = []
+    statement.limit = None
+    return render_statement(statement)
+
+
+def _drop_join(sql, model: SchemaModel, interval, rng, summary=None):
+    """Remove one joined table (and every reference to it).
+
+    The join tree the synthesizer builds is left-deep, so candidate drops are
+    the right side of each join along the spine, tried outermost-first.  A
+    drop only succeeds when GROUP BY / HAVING / ORDER BY do not depend on the
+    dropped binding; SELECT items and WHERE conjuncts that do are removed.
+    """
+    from repro.sqldb.planner import bindings_of, conjoin, split_conjuncts
+
+    probe = parse_select(sql)
+    if not isinstance(probe.from_clause, ast.Join):
+        return None
+    spine_length = 0
+    node = probe.from_clause
+    while isinstance(node, ast.Join):
+        spine_length += 1
+        node = node.left
+    for drop_index in range(spine_length):
+        statement = parse_select(sql)  # fresh copy per attempt
+        parent = None
+        join = statement.from_clause
+        for _ in range(drop_index):
+            parent, join = join, join.left
+        if not isinstance(join, ast.Join) or not isinstance(
+            join.right, ast.TableRef
+        ):
+            continue
+        alias = join.right.binding_name
+        blocked = any(
+            alias in bindings_of(expr)
+            for expr in (
+                list(statement.group_by)
+                + ([statement.having] if statement.having else [])
+                + [o.expression for o in statement.order_by]
+            )
+        )
+        if blocked:
+            continue
+        if parent is None:
+            statement.from_clause = join.left
+        else:
+            parent.left = join.left
+        # An outer join's ON condition may still reference the dropped
+        # binding (chained joins); such candidates are not droppable.
+        dangling = any(
+            isinstance(n, ast.Join)
+            and n.condition is not None
+            and alias in bindings_of(n.condition)
+            for n in statement.from_clause.walk()
+        )
+        if dangling:
+            continue
+        statement.select_items = [
+            item
+            for item in statement.select_items
+            if alias not in bindings_of(item.expression)
+        ] or [ast.SelectItem(ast.FunctionCall("count", [ast.Star()]), alias="cnt")]
+        if statement.where is not None:
+            kept = [
+                c
+                for c in split_conjuncts(statement.where)
+                if alias not in bindings_of(c)
+            ]
+            statement.where = conjoin(kept)
+        return render_statement(statement)
+    return None
+
+
+def _numeric_columns_in(statement, model: SchemaModel, prefer_indexed=False):
+    placed = _placed_tables(statement)
+    columns = []
+    indexed = []
+    for alias, table_name in placed.items():
+        if table_name not in model.tables:
+            continue
+        table = model.table(table_name)
+        for column in table.columns:
+            if column.get("type") in NUMERIC_TYPES and column.get("min") is not None:
+                columns.append((alias, column))
+                if table.is_indexed(column["name"]):
+                    indexed.append((alias, column))
+    if prefer_indexed and indexed:
+        # An indexed column lets the optimizer switch to an index scan, so a
+        # selective predicate there can push cost *below* the seq-scan floor.
+        return indexed
+    return columns
+
+
+def _add_selective_predicate(sql, model: SchemaModel, interval, rng, summary=None):
+    statement = parse_select(sql)
+    columns = _numeric_columns_in(statement, model, prefer_indexed=True)
+    if not columns:
+        return None
+    alias, column = columns[int(rng.integers(len(columns)))]
+    low = float(column["min"])
+    high = float(column["max"])
+    cut = low + (high - low) * (0.02 + 0.45 * rng.random())
+    predicate = ast.BinaryOp(
+        "<=",
+        ast.ColumnRef(column=column["name"], table=alias),
+        ast.Literal(round(cut, 4)),
+    )
+    statement.where = (
+        predicate
+        if statement.where is None
+        else ast.BinaryOp("and", statement.where, predicate)
+    )
+    return render_statement(statement)
+
+
+def _next_placeholder(statement) -> str:
+    used = set(ast.find_placeholders(statement))
+    index = 1
+    while f"p_{index}" in used:
+        index += 1
+    return f"p_{index}"
+
+
+def _add_placeholder_predicate(sql, model: SchemaModel, interval, rng, summary=None):
+    statement = parse_select(sql)
+    prefer_indexed = bool(rng.random() < 0.6)
+    columns = _numeric_columns_in(statement, model, prefer_indexed=prefer_indexed)
+    if not columns:
+        return None
+    alias, column = columns[int(rng.integers(len(columns)))]
+    name = _next_placeholder(statement)
+    op = ["<", ">", "<=", ">="][int(rng.integers(4))]
+    predicate = ast.BinaryOp(
+        op,
+        ast.ColumnRef(column=column["name"], table=alias),
+        ast.Placeholder(name),
+    )
+    statement.where = (
+        predicate
+        if statement.where is None
+        else ast.BinaryOp("and", statement.where, predicate)
+    )
+    return render_statement(statement)
+
+
+def _widen_to_between(sql, model: SchemaModel, interval, rng, summary=None):
+    """Replace a single-placeholder comparison with a two-placeholder
+    BETWEEN, doubling the control the predicate search has over the column."""
+    statement = parse_select(sql)
+    if statement.where is None:
+        return None
+    target: ast.BinaryOp | None = None
+    for node in statement.where.walk():
+        if (
+            isinstance(node, ast.BinaryOp)
+            and node.op in ("<", ">", "<=", ">=")
+            and isinstance(node.right, ast.Placeholder)
+            and isinstance(node.left, ast.ColumnRef)
+        ):
+            target = node
+            break
+    if target is None:
+        return None
+    second = _next_placeholder(statement)
+    replacement = ast.Between(
+        operand=target.left,
+        low=ast.Placeholder(target.right.name),
+        high=ast.Placeholder(second),
+    )
+    statement.where = _replace_node(statement.where, target, replacement)
+    return render_statement(statement)
+
+
+def _replace_node(root, old, new):
+    if root is old:
+        return new
+    if isinstance(root, ast.BinaryOp):
+        root.left = _replace_node(root.left, old, new)
+        root.right = _replace_node(root.right, old, new)
+    elif isinstance(root, ast.UnaryOp):
+        root.operand = _replace_node(root.operand, old, new)
+    return root

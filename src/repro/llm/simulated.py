@@ -1,0 +1,204 @@
+"""The simulated LLM: a drop-in completion client with SQL skills.
+
+:class:`SimulatedLLM` implements the :class:`~repro.llm.client.LLMClient`
+contract.  It parses the structured payload of each prompt and performs the
+requested verb — template generation, semantic validation, semantic repair,
+syntax repair, or cost-directed refinement — with deliberate, configurable
+imperfection supplied by :mod:`repro.llm.faults`.  From the caller's point of
+view it behaves exactly like a remote completion API: text in, text out,
+tokens billed.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+
+from repro.sqldb.errors import SqlError
+from repro.sqldb.parser import parse_select
+from repro.workload.analyzer import check_template
+from repro.workload.spec import TemplateSpec
+from .client import LLMClient
+from .faults import (
+    FaultModel,
+    corrupt_syntax,
+    hallucinate_identifier,
+    perturb_spec,
+    repair_identifier,
+    repair_syntax,
+)
+from .prompts import decode_payload
+from .refine import refine_sql
+from .synthesizer import SchemaModel, TemplateSynthesizer
+
+_SQL_FENCE_RE = re.compile(r"```(?:sql)?\s*(.*?)```", re.DOTALL)
+
+
+def extract_sql(text: str) -> str:
+    """Pull the SQL statement out of a completion (code fences, prose)."""
+    match = _SQL_FENCE_RE.search(text)
+    if match:
+        return match.group(1).strip().rstrip(";")
+    lines = [
+        line
+        for line in text.splitlines()
+        if line.strip() and not line.lstrip().startswith("--")
+    ]
+    return "\n".join(lines).strip().rstrip(";")
+
+
+def extract_json(text: str) -> dict:
+    """Pull the first JSON object out of a completion."""
+    start = text.find("{")
+    end = text.rfind("}")
+    if start == -1 or end == -1:
+        raise ValueError("completion carries no JSON object")
+    return json.loads(text[start : end + 1])
+
+
+_SPEC_FIELDS = (
+    "num_tables",
+    "num_joins",
+    "num_aggregations",
+    "num_predicates",
+    "require_group_by",
+    "require_nested_subquery",
+    "require_order_by",
+    "require_limit",
+    "require_complex_scalar",
+    "require_union",
+)
+
+
+def spec_from_payload(payload_spec: dict) -> TemplateSpec:
+    kwargs = {k: payload_spec.get(k) for k in _SPEC_FIELDS}
+    return TemplateSpec(spec_id=str(payload_spec.get("spec_id", "spec")), **kwargs)
+
+
+class SimulatedLLM(LLMClient):
+    """A deterministic, fault-injected stand-in for a completion API."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        fault_model: FaultModel | None = None,
+        validation_noise: float = 0.03,
+        model: str = "o3-mini-simulated",
+    ):
+        super().__init__(model=model)
+        self._rng = np.random.default_rng(seed)
+        self._synthesizer = TemplateSynthesizer(seed=seed + 1)
+        self.fault_model = fault_model if fault_model is not None else FaultModel()
+        self.validation_noise = validation_noise
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _complete_text(self, prompt: str) -> str:
+        payload = decode_payload(prompt)
+        task = payload.get("task")
+        handlers = {
+            "generate_template": self._generate_template,
+            "validate_semantics": self._validate_semantics,
+            "fix_semantics": self._fix_semantics,
+            "fix_execution": self._fix_execution,
+            "refine_template": self._refine_template,
+        }
+        if task not in handlers:
+            raise ValueError(f"simulated LLM cannot handle task {task!r}")
+        return handlers[task](payload)
+
+    # -- verbs ----------------------------------------------------------------------
+
+    def _generate_template(self, payload: dict) -> str:
+        schema = payload["schema"]
+        spec = dict(payload.get("spec") or {})
+        join_path = payload.get("join_path")
+        rates = self.fault_model
+        effective_spec = spec
+        if self._rng.random() < rates.semantic_rate:
+            effective_spec = perturb_spec(spec, self._rng)
+            if effective_spec != spec:
+                join_path = None  # the misread spec re-derives its own path
+        sql = self._synthesizer.synthesize(schema, join_path, effective_spec)
+        sql = self._apply_output_faults(sql, schema, rates)
+        return self._wrap_sql(sql, "Here is a SQL template for your schema.")
+
+    def _validate_semantics(self, payload: dict) -> str:
+        spec = spec_from_payload(payload.get("spec") or {})
+        template_sql = payload["template"]
+        satisfied, violations = check_template(template_sql, spec)
+        if self._rng.random() < self.validation_noise:
+            # Occasional mis-judgement, as a real LLM judge would produce.
+            if satisfied:
+                satisfied, violations = False, ["judged non-compliant (spurious)"]
+            else:
+                satisfied, violations = True, []
+        return json.dumps({"satisfied": bool(satisfied), "violations": violations})
+
+    def _fix_semantics(self, payload: dict) -> str:
+        schema = payload["schema"]
+        spec = dict(payload.get("spec") or {})
+        attempt = int(payload.get("attempt", 1))
+        rates = self.fault_model.at_attempt(attempt)
+        effective_spec = spec
+        if self._rng.random() < rates.semantic_rate:
+            effective_spec = perturb_spec(spec, self._rng)
+        sql = self._synthesizer.synthesize(schema, None, effective_spec)
+        sql = self._apply_output_faults(sql, schema, rates)
+        return self._wrap_sql(sql, "Rewritten template addressing the violations.")
+
+    def _fix_execution(self, payload: dict) -> str:
+        schema = payload["schema"]
+        template_sql = payload["template"]
+        error = str(payload.get("error", ""))
+        attempt = int(payload.get("attempt", 1))
+        column_names = SchemaModel(schema).all_column_names()
+        fixed = repair_syntax(template_sql)
+        if "does not exist" in error:
+            fixed = repair_identifier(fixed, error, column_names)
+        try:
+            parse_select(fixed)
+        except SqlError:
+            # The damage is beyond patching: regenerate against the spec.
+            rates = self.fault_model.at_attempt(attempt + 1)
+            fixed = self._synthesizer.synthesize(
+                schema, None, dict(payload.get("spec") or {})
+            )
+            fixed = self._apply_output_faults(fixed, schema, rates)
+        return self._wrap_sql(fixed, "Template repaired from the DBMS error.")
+
+    def _refine_template(self, payload: dict) -> str:
+        schema = payload["schema"]
+        sql = refine_sql(
+            payload["template"],
+            schema,
+            tuple(payload["target_interval"]),
+            payload.get("cost_summary") or {},
+            payload.get("history") or [],
+            self._rng,
+            cost_type=payload.get("cost_type", "plan_cost"),
+        )
+        # Refinement output skips the check-and-rewrite loop in Algorithm 2,
+        # so keep a small residual fault rate: broken refinements get pruned.
+        rates = self.fault_model.at_attempt(3)
+        sql = self._apply_output_faults(sql, schema, rates)
+        return self._wrap_sql(sql, "Refined template targeting the interval.")
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _apply_output_faults(
+        self, sql: str, schema: dict, rates: FaultModel
+    ) -> str:
+        if self._rng.random() < rates.hallucination_rate:
+            sql = hallucinate_identifier(
+                sql, SchemaModel(schema).all_column_names(), self._rng
+            )
+        if self._rng.random() < rates.syntax_rate:
+            sql = corrupt_syntax(sql, self._rng)
+        return sql
+
+    @staticmethod
+    def _wrap_sql(sql: str, prose: str) -> str:
+        return f"{prose}\n```sql\n{sql}\n```"

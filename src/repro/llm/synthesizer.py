@@ -1,0 +1,584 @@
+"""Schema-aware SQL template synthesis — the simulated LLM's "knowledge".
+
+Given a schema description, a join path, and a specification, the
+synthesizer builds a SQL template that honours the spec: the right number of
+joins, tables, aggregations and predicate placeholders, plus requested
+features (GROUP BY, nested subqueries, ORDER BY/LIMIT, complex scalar
+expressions).  All randomness flows through one ``numpy`` generator so runs
+are reproducible.
+
+The same module hosts the cost-directed *refinement* transforms used by the
+simulated LLM's RefineTemplate verb (paper Section 5.2): structural edits
+that push a template's reachable cost range up or down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sqldb.parser import parse_select
+from repro.sqldb.sql_render import render_statement
+from repro.sqldb import ast_nodes as ast
+
+NUMERIC_TYPES = {"integer", "bigint", "double precision", "date"}
+
+
+@dataclass
+class _TableInfo:
+    name: str
+    rows: int
+    columns: list[dict]
+    pages: int = 1
+    indexes: tuple[str, ...] = ()
+
+    def columns_of_types(self, types: set[str]) -> list[dict]:
+        return [c for c in self.columns if c.get("type") in types]
+
+    @property
+    def numeric_columns(self) -> list[dict]:
+        return self.columns_of_types(NUMERIC_TYPES)
+
+    @property
+    def text_columns(self) -> list[dict]:
+        return self.columns_of_types({"text"})
+
+    def is_indexed(self, column: str) -> bool:
+        return column in self.indexes
+
+    def scan_cost_estimate(self) -> float:
+        """A back-of-envelope sequential scan cost (pages + per-tuple CPU)."""
+        return float(self.pages) + 0.015 * self.rows
+
+
+class SchemaModel:
+    """Indexed view of the schema payload the prompts carry."""
+
+    def __init__(self, schema: dict):
+        self.tables = {
+            t["name"]: _TableInfo(
+                name=t["name"],
+                rows=int(t.get("rows", 0)),
+                columns=list(t.get("columns", [])),
+                pages=int(t.get("pages", 1) or 1),
+                indexes=tuple(t.get("indexes", ())),
+            )
+            for t in schema.get("tables", [])
+        }
+        self.join_edges = list(schema.get("join_edges", []))
+
+    def table(self, name: str) -> _TableInfo:
+        return self.tables[name]
+
+    def edges_touching(self, tables: set[str]) -> list[dict]:
+        return [
+            e
+            for e in self.join_edges
+            if e["table"] in tables or e["ref_table"] in tables
+        ]
+
+    def all_column_names(self) -> set[str]:
+        names: set[str] = set()
+        for table in self.tables.values():
+            names.update(c["name"] for c in table.columns)
+        return names
+
+    def sample_join_path(
+        self,
+        num_joins: int,
+        rng: np.random.Generator,
+        num_tables: int | None = None,
+    ) -> list[dict]:
+        """A random walk over the join graph with *num_joins* edges.
+
+        Each returned edge attaches one endpoint to the already-placed set.
+        When the graph runs out of fresh tables (or *num_tables* caps them),
+        edges between already-placed tables are reused, which the template
+        builder turns into self-joins.
+        """
+        if num_joins <= 0 or not self.join_edges:
+            return []
+        edges = list(self.join_edges)
+        first = edges[int(rng.integers(len(edges)))]
+        path = [first]
+        placed = {first["table"], first["ref_table"]}
+        while len(path) < num_joins:
+            table_budget_left = num_tables is None or len(placed) < num_tables
+            candidates = []
+            if table_budget_left:
+                candidates = [
+                    e
+                    for e in edges
+                    if (e["table"] in placed) != (e["ref_table"] in placed)
+                ]
+            if not candidates:
+                candidates = [
+                    e
+                    for e in edges
+                    if e["table"] in placed or e["ref_table"] in placed
+                ]
+            if not candidates:
+                candidates = edges
+            edge = candidates[int(rng.integers(len(candidates)))]
+            path.append(edge)
+            placed.update((edge["table"], edge["ref_table"]))
+        return path
+
+
+@dataclass
+class _Relation:
+    alias: str
+    table: _TableInfo
+
+
+class TemplateSynthesizer:
+    """Builds spec-conforming SQL templates over a :class:`SchemaModel`."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def synthesize(
+        self, schema: dict, join_path: list[dict] | None, spec: dict
+    ) -> str:
+        model = SchemaModel(schema)
+        if not model.tables:
+            raise ValueError("schema payload lists no tables")
+        rng = self._rng
+        num_joins = spec.get("num_joins")
+        num_tables = spec.get("num_tables")
+        if join_path is None:
+            join_path = model.sample_join_path(
+                num_joins if num_joins is not None else int(rng.integers(0, 3)),
+                rng,
+                num_tables,
+            )
+        if num_joins is not None:
+            join_path = self._fit_path_to_join_count(model, join_path, num_joins, rng)
+        relations, from_sql = self._build_from(model, join_path, rng, num_tables)
+
+        num_aggregations = spec.get("num_aggregations")
+        if num_aggregations is None:
+            num_aggregations = int(rng.integers(0, 3))
+            if spec.get("require_complex_scalar") and not spec.get(
+                "require_group_by"
+            ):
+                # Complex scalars over an ungrouped aggregate would be
+                # invalid SQL; with aggregations unconstrained, drop them.
+                num_aggregations = 0
+        group_by = spec.get("require_group_by")
+        if group_by is None:
+            group_by = num_aggregations > 0 and bool(rng.random() < 0.5)
+
+        num_predicates = spec.get("num_predicates")
+        if num_predicates is None:
+            num_predicates = int(rng.integers(1, 4))
+        want_subquery = bool(spec.get("require_nested_subquery"))
+        want_union = bool(spec.get("require_union"))
+        want_order = bool(spec.get("require_order_by")) and not want_union
+        want_limit = bool(spec.get("require_limit")) and not want_union
+        want_complex = bool(spec.get("require_complex_scalar"))
+
+        placeholder_budget = _PlaceholderBudget(num_predicates)
+        group_column = self._pick_group_column(relations, rng) if group_by else None
+        select_sql = self._build_select(
+            relations, rng, num_aggregations, group_column, want_complex
+        )
+        where_parts = self._build_predicates(
+            relations, rng, placeholder_budget,
+            reserve=1 if want_subquery else 0,
+        )
+        if want_subquery:
+            where_parts.append(
+                self._build_subquery_predicate(
+                    model,
+                    relations,
+                    rng,
+                    placeholder_budget,
+                    # A table-count constraint means the subquery must not
+                    # introduce a table the outer query does not already use.
+                    restrict_to_placed=num_tables is not None,
+                )
+            )
+        # Spend any remaining placeholder budget on simple predicates.
+        where_parts.extend(
+            self._build_predicates(relations, rng, placeholder_budget, reserve=0)
+        )
+
+        sql = f"SELECT {select_sql} FROM {from_sql}"
+        if where_parts:
+            sql += " WHERE " + " AND ".join(where_parts)
+        having = None
+        if group_by:
+            sql += f" GROUP BY {group_column}"
+            if placeholder_budget.remaining > 0 and rng.random() < 0.5:
+                having = f"count(*) > {{{placeholder_budget.take()}}}"
+        if having:
+            sql += f" HAVING {having}"
+        if want_order:
+            order_target = group_column if group_column else "1"
+            direction = " DESC" if rng.random() < 0.5 else ""
+            sql += f" ORDER BY {order_target}{direction}"
+        if want_limit:
+            sql += f" LIMIT {int(rng.choice([10, 50, 100, 500, 1000]))}"
+        # Any placeholders still owed (rare): append simple predicates.
+        while placeholder_budget.remaining > 0:
+            extra = self._simple_predicate(relations, rng, placeholder_budget)
+            sql = _insert_conjunct(sql, extra)
+        if want_union:
+            sql = self._append_union_branch(sql, relations, rng)
+            if spec.get("require_order_by"):
+                order_target = group_column if group_column else "1"
+                sql += f" ORDER BY {order_target}"
+            if spec.get("require_limit"):
+                sql += f" LIMIT {int(rng.choice([10, 50, 100, 500]))}"
+        return sql
+
+    # -- FROM clause ------------------------------------------------------------
+
+    def _fit_path_to_join_count(
+        self,
+        model: SchemaModel,
+        path: list[dict],
+        num_joins: int,
+        rng: np.random.Generator,
+    ) -> list[dict]:
+        if len(path) > num_joins:
+            return path[:num_joins]
+        while len(path) < num_joins:
+            if path:
+                extendable = model.edges_touching(
+                    {e["table"] for e in path} | {e["ref_table"] for e in path}
+                )
+                pool = extendable or model.join_edges
+            else:
+                pool = model.join_edges
+            if not pool:
+                break
+            path = path + [pool[int(rng.integers(len(pool)))]]
+        return path
+
+    def _build_from(
+        self,
+        model: SchemaModel,
+        join_path: list[dict],
+        rng: np.random.Generator,
+        num_tables: int | None,
+    ) -> tuple[list[_Relation], str]:
+        if not join_path:
+            candidates = list(model.tables.values())
+            if num_tables is not None and num_tables <= 1:
+                pass  # single table either way
+            table = candidates[int(rng.integers(len(candidates)))]
+            relation = _Relation("t0", table)
+            return [relation], f"{table.name} AS t0"
+        relations: list[_Relation] = []
+        alias_of: dict[str, str] = {}
+
+        def place(table_name: str) -> str:
+            alias = f"t{len(relations)}"
+            relations.append(_Relation(alias, model.table(table_name)))
+            alias_of.setdefault(table_name, alias)
+            return alias
+
+        first = join_path[0]
+        base_alias = place(first["table"])
+        sql = f"{first['table']} AS {base_alias}"
+        for edge in join_path:
+            left_placed = edge["table"] in alias_of
+            right_placed = edge["ref_table"] in alias_of
+            if left_placed and right_placed:
+                # Self-join: attach a fresh alias of the ref table.
+                new_alias = place(edge["ref_table"])
+                anchor = alias_of[edge["table"]]
+            elif left_placed:
+                new_alias = place(edge["ref_table"])
+                anchor = alias_of[edge["table"]]
+            elif right_placed:
+                new_alias = place(edge["table"])
+                anchor = alias_of[edge["ref_table"]]
+                sql += (
+                    f" JOIN {edge['table']} AS {new_alias} "
+                    f"ON {new_alias}.{edge['column']} = {anchor}.{edge['ref_column']}"
+                )
+                continue
+            else:
+                # Disconnected edge: anchor arbitrarily on the first relation.
+                new_alias = place(edge["ref_table"])
+                anchor = relations[0].alias
+                anchor_col = relations[0].table.columns[0]["name"]
+                sql += (
+                    f" JOIN {edge['ref_table']} AS {new_alias} "
+                    f"ON {new_alias}.{edge['ref_column']} = {anchor}.{anchor_col}"
+                )
+                continue
+            table_of_new = relations[-1].table.name
+            sql += f" JOIN {table_of_new} AS {new_alias} "
+            sql += f"ON {anchor}.{edge['column']} = {new_alias}.{edge['ref_column']}"
+        return relations, sql
+
+    # -- SELECT list -------------------------------------------------------------
+
+    def _pick_group_column(
+        self, relations: list[_Relation], rng: np.random.Generator
+    ) -> str:
+        candidates: list[tuple[str, float]] = []
+        for relation in relations:
+            for column in relation.table.columns:
+                ndv = float(column.get("ndv") or 1000.0)
+                if column.get("type") in ("text", "integer", "date"):
+                    candidates.append((f"{relation.alias}.{column['name']}", ndv))
+        if not candidates:
+            relation = relations[0]
+            return f"{relation.alias}.{relation.table.columns[0]['name']}"
+        low_ndv = sorted(candidates, key=lambda c: c[1])[: max(3, len(candidates) // 3)]
+        return low_ndv[int(rng.integers(len(low_ndv)))][0]
+
+    def _build_select(
+        self,
+        relations: list[_Relation],
+        rng: np.random.Generator,
+        num_aggregations: int,
+        group_column: str | None,
+        want_complex: bool,
+    ) -> str:
+        items: list[str] = []
+        if group_column:
+            items.append(group_column)
+        aggregates = self._build_aggregates(relations, rng, num_aggregations)
+        items.extend(aggregates)
+        if not items or (not aggregates and group_column is None):
+            items.extend(self._plain_columns(relations, rng))
+        if want_complex:
+            if aggregates and group_column is None:
+                # Global aggregate: the complex expression must wrap an
+                # aggregate, not a bare column (which would be invalid SQL).
+                items[items.index(aggregates[0])] = (
+                    f"round(abs({aggregates[0]}) * 1.07 + 1.0, 2)"
+                )
+            else:
+                items.append(self._complex_scalar(relations, rng, group_column))
+        return ", ".join(dict.fromkeys(items))  # dedupe, keep order
+
+    def _build_aggregates(
+        self, relations: list[_Relation], rng: np.random.Generator, count: int
+    ) -> list[str]:
+        if count <= 0:
+            return []
+        aggregates = ["count(*)"]
+        numeric_pool = [
+            f"{r.alias}.{c['name']}"
+            for r in relations
+            for c in r.table.numeric_columns
+            if c.get("type") != "date"
+        ]
+        functions = ["sum", "avg", "min", "max"]
+        while len(aggregates) < count:
+            if numeric_pool:
+                column = numeric_pool[int(rng.integers(len(numeric_pool)))]
+                func = functions[int(rng.integers(len(functions)))]
+                candidate = f"{func}({column})"
+            else:
+                candidate = "count(*)"
+            if candidate in aggregates:
+                candidate = f"min({numeric_pool[0]})" if numeric_pool else "count(*)"
+            if candidate in aggregates:
+                break
+            aggregates.append(candidate)
+        return aggregates[:count]
+
+    def _plain_columns(
+        self, relations: list[_Relation], rng: np.random.Generator
+    ) -> list[str]:
+        pool = [
+            f"{r.alias}.{c['name']}" for r in relations for c in r.table.columns
+        ]
+        take = min(len(pool), int(rng.integers(2, 5)))
+        picked = rng.choice(len(pool), size=take, replace=False)
+        return [pool[i] for i in sorted(picked)]
+
+    def _complex_scalar(
+        self,
+        relations: list[_Relation],
+        rng: np.random.Generator,
+        group_column: str | None,
+    ) -> str:
+        if group_column is not None:
+            # Must stay a function of the grouped column.
+            return (
+                f"CASE WHEN length(CAST({group_column} AS text)) > 5 "
+                f"THEN upper(CAST({group_column} AS text)) "
+                f"ELSE lower(CAST({group_column} AS text)) END"
+            )
+        relation = relations[0]
+        numeric = relation.table.numeric_columns
+        if numeric:
+            column = f"{relation.alias}.{numeric[0]['name']}"
+            return f"round(abs({column}) * 1.07 + 1.0, 2)"
+        column = f"{relation.alias}.{relation.table.columns[0]['name']}"
+        return f"upper(CAST({column} AS text)) || '_tag'"
+
+    # -- predicates --------------------------------------------------------------
+
+    def _build_predicates(
+        self,
+        relations: list[_Relation],
+        rng: np.random.Generator,
+        budget: "_PlaceholderBudget",
+        reserve: int,
+    ) -> list[str]:
+        parts: list[str] = []
+        while budget.remaining > reserve:
+            parts.append(self._simple_predicate(relations, rng, budget))
+        return parts
+
+    def _simple_predicate(
+        self,
+        relations: list[_Relation],
+        rng: np.random.Generator,
+        budget: "_PlaceholderBudget",
+    ) -> str:
+        name = budget.take()
+        relation = relations[int(rng.integers(len(relations)))]
+        numeric = [
+            c for c in relation.table.numeric_columns
+        ]
+        text = relation.table.text_columns
+        use_text = bool(text) and (not numeric or rng.random() < 0.25)
+        if use_text:
+            column = text[int(rng.integers(len(text)))]
+            return f"{relation.alias}.{column['name']} = {{{name}}}"
+        if not numeric:
+            column = relation.table.columns[0]
+            return f"{relation.alias}.{column['name']} = {{{name}}}"
+        column = numeric[int(rng.integers(len(numeric)))]
+        op = ["<", ">", "<=", ">="][int(rng.integers(4))]
+        return f"{relation.alias}.{column['name']} {op} {{{name}}}"
+
+    def _build_subquery_predicate(
+        self,
+        model: SchemaModel,
+        relations: list[_Relation],
+        rng: np.random.Generator,
+        budget: "_PlaceholderBudget",
+        restrict_to_placed: bool = False,
+    ) -> str:
+        placed_tables = {r.table.name for r in relations}
+        edges = model.edges_touching(placed_tables)
+        if restrict_to_placed:
+            edges = [
+                e
+                for e in edges
+                if e["table"] in placed_tables and e["ref_table"] in placed_tables
+            ]
+        inner_filter = ""
+        for edge in edges:
+            if edge["table"] in placed_tables:
+                outer_alias = next(
+                    r.alias for r in relations if r.table.name == edge["table"]
+                )
+                outer_col, inner_table, inner_col = (
+                    edge["column"], edge["ref_table"], edge["ref_column"],
+                )
+            elif edge["ref_table"] in placed_tables:
+                outer_alias = next(
+                    r.alias for r in relations if r.table.name == edge["ref_table"]
+                )
+                outer_col, inner_table, inner_col = (
+                    edge["ref_column"], edge["table"], edge["column"],
+                )
+            else:
+                continue
+            inner = model.table(inner_table)
+            numeric = [c for c in inner.numeric_columns if c["name"] != inner_col]
+            if numeric and budget.remaining > 0:
+                column = numeric[int(rng.integers(len(numeric)))]
+                inner_filter = f" WHERE {column['name']} > {{{budget.take()}}}"
+            return (
+                f"{outer_alias}.{outer_col} IN "
+                f"(SELECT {inner_col} FROM {inner_table}{inner_filter})"
+            )
+        # No join edge available: nested aggregate comparison on own table.
+        relation = relations[0]
+        numeric = relation.table.numeric_columns
+        column = (numeric or relation.table.columns)[0]["name"]
+        comparison = (
+            f" * 2 > {{{budget.take()}}}" if budget.remaining > 0 else " > 0"
+        )
+        return (
+            f"{relation.alias}.{column} + "
+            f"(SELECT min({column}) FROM {relation.table.name}){comparison}"
+        )
+
+
+    def _append_union_branch(
+        self, sql: str, relations: list[_Relation], rng: np.random.Generator
+    ) -> str:
+        """Duplicate the query as a UNION ALL branch with a constant filter.
+
+        The branch reuses the same select list and FROM clause (so column
+        counts and types line up) and swaps the predicates for one constant
+        comparison, keeping the placeholder count unchanged."""
+        statement = parse_select(sql)
+        branch = parse_select(sql)
+        relation = relations[int(rng.integers(len(relations)))]
+        # A raw numeric literal cannot compare against a DATE column, so the
+        # constant filter draws from non-date numeric columns only.
+        numeric = [
+            c
+            for c in relation.table.numeric_columns
+            if c.get("type") != "date" and c.get("min") is not None
+        ]
+        if numeric:
+            column = numeric[int(rng.integers(len(numeric)))]
+            low = float(column.get("min") or 0.0)
+            high = float(column.get("max") or 1.0)
+            cut = low + (high - low) * 0.5
+            constant = ast.BinaryOp(
+                "<",
+                ast.ColumnRef(column=column["name"], table=relation.alias),
+                ast.Literal(round(cut, 4)),
+            )
+        else:
+            constant = ast.BinaryOp("=", ast.Literal(1), ast.Literal(1))
+        branch.where = constant
+        branch.order_by = []
+        branch.limit = None
+        branch.offset = None
+        statement.order_by = []
+        statement.limit = None
+        statement.offset = None
+        return (
+            f"{render_statement(statement)} UNION ALL {render_statement(branch)}"
+        )
+
+
+class _PlaceholderBudget:
+    """Doles out sequential placeholder names up to a fixed count."""
+
+    def __init__(self, total: int):
+        self.total = max(int(total), 0)
+        self._used = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self._used
+
+    def take(self) -> str:
+        self._used += 1
+        return f"p_{self._used}"
+
+
+def _insert_conjunct(sql: str, conjunct: str) -> str:
+    """Add a conjunct to a statement's WHERE clause (creating one if absent)."""
+    statement = parse_select(sql)
+    extra = parse_select(f"SELECT 1 FROM x WHERE {conjunct}").where
+    if statement.where is None:
+        statement.where = extra
+    else:
+        statement.where = ast.BinaryOp("and", statement.where, extra)
+    return render_statement(statement)

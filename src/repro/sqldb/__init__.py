@@ -1,0 +1,55 @@
+"""An embedded, pure-Python SQL engine (the reproduction's PostgreSQL stand-in).
+
+Public surface::
+
+    from repro.sqldb import Database, Table, Column, SqlType
+
+    db = Database("demo")
+    db.create_table(Table.from_dict("users", {...}, {...}), primary_key=["id"])
+    db.explain("SELECT count(*) FROM users")   # estimates only
+    db.execute("SELECT * FROM users LIMIT 5")  # actual rows
+"""
+
+from .ast_nodes import SelectStatement, find_placeholders
+from .catalog import Catalog, ForeignKey, IndexMeta
+from .database import Database, ExecutionResult
+from .ddl import parse_ddl, run_script, split_statements
+from .errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    SqlError,
+    SqlSyntaxError,
+    UnsupportedSqlError,
+)
+from .explain import ExplainResult
+from .parser import parse_select
+from .storage import Column, Table
+from .types import ColumnType, SqlType, date_to_days, days_to_date
+
+__all__ = [
+    "BindError",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnType",
+    "Database",
+    "ExecutionError",
+    "ExecutionResult",
+    "ExplainResult",
+    "ForeignKey",
+    "IndexMeta",
+    "SelectStatement",
+    "SqlError",
+    "SqlSyntaxError",
+    "SqlType",
+    "Table",
+    "UnsupportedSqlError",
+    "date_to_days",
+    "days_to_date",
+    "find_placeholders",
+    "parse_ddl",
+    "parse_select",
+    "run_script",
+    "split_statements",
+]

@@ -1,0 +1,200 @@
+"""System catalog: table schemas, constraints, indexes, and statistics.
+
+The catalog is the metadata layer SQLBarber's schema-summary step reads
+(Section 4, Step 1 of the paper): table names and row counts, column names,
+types and distinct counts, primary/foreign keys, and index metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import CatalogError
+from .stats import ColumnStats, analyze_column
+from .storage import Table
+from .types import ColumnType, SqlType
+
+PAGE_SIZE_BYTES = 8192
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A single-column foreign-key constraint."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.table}.{self.column} -> {self.ref_table}.{self.ref_column}"
+        )
+
+
+@dataclass(frozen=True)
+class IndexMeta:
+    """Metadata for a (single-column) index."""
+
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+
+
+@dataclass
+class ColumnMeta:
+    """Schema + statistics for one column."""
+
+    name: str
+    column_type: ColumnType
+    stats: ColumnStats | None = None
+
+    @property
+    def sql_type(self) -> SqlType:
+        return self.column_type.sql_type
+
+    @property
+    def distinct_count(self) -> float:
+        return self.stats.distinct_count if self.stats else 0.0
+
+
+@dataclass
+class TableMeta:
+    """Schema + statistics for one table."""
+
+    name: str
+    columns: list[ColumnMeta]
+    primary_key: list[str] = field(default_factory=list)
+    row_count: int = 0
+    row_width: int = 0
+
+    def __post_init__(self) -> None:
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise CatalogError(f"duplicate column in table {self.name}")
+        if not self.row_width:
+            self.row_width = sum(c.sql_type.byte_width for c in self.columns) + 24
+
+    def column(self, name: str) -> ColumnMeta:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"no column {name!r} in {self.name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def page_count(self) -> int:
+        """Heap pages, as the cost model sees them."""
+        if self.row_count == 0:
+            return 1
+        rows_per_page = max(PAGE_SIZE_BYTES // max(self.row_width, 1), 1)
+        return max(-(-self.row_count // rows_per_page), 1)
+
+
+class Catalog:
+    """Registry of tables, foreign keys, and indexes for one database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableMeta] = {}
+        self._data: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+        self._indexes: dict[str, list[IndexMeta]] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register_table(
+        self,
+        data: Table,
+        column_types: dict[str, ColumnType] | None = None,
+        primary_key: list[str] | None = None,
+        analyze: bool = True,
+    ) -> TableMeta:
+        """Add *data* to the catalog and (by default) analyze its columns."""
+        if data.name in self._tables:
+            raise CatalogError(f"table {data.name!r} already exists")
+        columns = []
+        for col in data.columns:
+            ctype = (
+                column_types[col.name]
+                if column_types and col.name in column_types
+                else ColumnType(col.sql_type)
+            )
+            stats = analyze_column(col) if analyze else None
+            columns.append(ColumnMeta(col.name, ctype, stats))
+        meta = TableMeta(
+            name=data.name,
+            columns=columns,
+            primary_key=list(primary_key or []),
+            row_count=data.row_count,
+        )
+        self._tables[data.name] = meta
+        self._data[data.name] = data
+        self._indexes.setdefault(data.name, [])
+        # Primary keys implicitly carry a unique index, like real systems.
+        for pk_col in meta.primary_key:
+            self.add_index(
+                IndexMeta(f"{data.name}_pkey_{pk_col}", data.name, pk_col, True)
+            )
+        return meta
+
+    def add_foreign_key(self, fk: ForeignKey) -> None:
+        self.table(fk.table).column(fk.column)  # validates both ends
+        self.table(fk.ref_table).column(fk.ref_column)
+        self._foreign_keys.append(fk)
+        # FK columns get an index by default (join-friendly, like many DDLs).
+        if not self.index_on(fk.table, fk.column):
+            self.add_index(
+                IndexMeta(f"{fk.table}_{fk.column}_idx", fk.table, fk.column)
+            )
+
+    def add_index(self, index: IndexMeta) -> None:
+        self.table(index.table).column(index.column)
+        existing = self._indexes.setdefault(index.table, [])
+        if any(i.name == index.name for i in existing):
+            raise CatalogError(f"index {index.name!r} already exists")
+        existing.append(index)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def table(self, name: str) -> TableMeta:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f'relation "{name}" does not exist') from None
+
+    def data(self, name: str) -> Table:
+        self.table(name)
+        return self._data[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    @property
+    def foreign_keys(self) -> list[ForeignKey]:
+        return list(self._foreign_keys)
+
+    def foreign_keys_of(self, table: str) -> list[ForeignKey]:
+        return [fk for fk in self._foreign_keys if fk.table == table]
+
+    def indexes_of(self, table: str) -> list[IndexMeta]:
+        return list(self._indexes.get(table, []))
+
+    def index_on(self, table: str, column: str) -> IndexMeta | None:
+        for index in self._indexes.get(table, []):
+            if index.column == column:
+                return index
+        return None
+
+    def column_stats(self, table: str, column: str) -> ColumnStats | None:
+        return self.table(table).column(column).stats

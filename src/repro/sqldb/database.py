@@ -1,0 +1,116 @@
+"""Public facade over the embedded engine.
+
+:class:`Database` is the object every other subsystem talks to.  It exposes
+the same three verbs SQLBarber needs from PostgreSQL:
+
+* :meth:`Database.execute` — run a query, get rows;
+* :meth:`Database.explain` — get the optimizer's estimated cardinality and
+  plan cost without running the query;
+* :attr:`Database.catalog` — schema and statistics metadata.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .binder import Binder
+from .catalog import Catalog, ForeignKey, IndexMeta
+from .errors import SqlError
+from .executor import Executor
+from .explain import ExplainResult, explain_plan
+from .parser import parse_select
+from .plan_nodes import Plan
+from .planner import Planner
+from .storage import Table
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Rows plus basic runtime measurements for one executed query."""
+
+    table: Table
+    elapsed_seconds: float
+
+    @property
+    def row_count(self) -> int:
+        return self.table.row_count
+
+
+class Database:
+    """An embedded, in-memory SQL database."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._catalog = Catalog()
+        self._binder = Binder(self._catalog)
+        self._planner = Planner(self._catalog)
+        self._executor = Executor(self._catalog)
+
+    # -- schema management ---------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def create_table(
+        self,
+        data: Table,
+        primary_key: list[str] | None = None,
+    ) -> None:
+        """Register *data* as a base table (statistics are gathered eagerly)."""
+        self._catalog.register_table(data, primary_key=primary_key)
+
+    def add_foreign_key(
+        self, table: str, column: str, ref_table: str, ref_column: str
+    ) -> None:
+        self._catalog.add_foreign_key(ForeignKey(table, column, ref_table, ref_column))
+
+    def add_index(self, table: str, column: str, unique: bool = False) -> None:
+        self._catalog.add_index(
+            IndexMeta(f"{table}_{column}_idx", table, column, unique)
+        )
+
+    # -- query processing ------------------------------------------------------
+
+    def plan(self, sql: str) -> Plan:
+        """Parse, bind, and plan *sql* without executing it."""
+        statement = parse_select(sql)
+        bound = self._binder.bind(statement)
+        return self._planner.plan(bound)
+
+    def explain(self, sql: str) -> ExplainResult:
+        """The equivalent of ``EXPLAIN <sql>``: estimates only, no execution.
+
+        Raises :class:`~repro.sqldb.errors.SqlError` subclasses exactly as a
+        real server would reject the statement, which is what SQLBarber's
+        template validation relies on.
+        """
+        return explain_plan(self.plan(sql))
+
+    def execute(self, sql: str) -> ExecutionResult:
+        """Run *sql* and return its result rows with wall-clock timing."""
+        started = time.perf_counter()
+        plan = self.plan(sql)
+        table = self._executor.execute(plan)
+        elapsed = time.perf_counter() - started
+        return ExecutionResult(table=table, elapsed_seconds=elapsed)
+
+    def explain_analyze(self, sql: str) -> tuple[ExplainResult, ExecutionResult]:
+        """``EXPLAIN ANALYZE``: the optimizer's estimates plus actual
+        execution, in one call — the optimizer-regression-hunting primitive.
+        """
+        plan = self.plan(sql)
+        estimates = explain_plan(plan)
+        started = time.perf_counter()
+        table = self._executor.execute(plan)
+        elapsed = time.perf_counter() - started
+        return estimates, ExecutionResult(table=table, elapsed_seconds=elapsed)
+
+    def validate(self, sql: str) -> tuple[bool, str | None]:
+        """Check that *sql* parses, binds, and plans; return (ok, error)."""
+        try:
+            self.plan(sql)
+            return True, None
+        except SqlError as exc:
+            return False, str(exc)

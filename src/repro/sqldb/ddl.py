@@ -1,0 +1,425 @@
+"""DDL and DML statements: CREATE TABLE, INSERT INTO, CREATE INDEX.
+
+The query engine's SELECT grammar lives in :mod:`repro.sqldb.parser`; this
+module adds the statements needed to build a database from a plain SQL
+script, so users can load their own schemas instead of the built-in
+generators::
+
+    db = Database("mine")
+    run_script(db, '''
+        CREATE TABLE users (
+            id integer PRIMARY KEY,
+            name text NOT NULL
+        );
+        CREATE TABLE orders (
+            oid integer PRIMARY KEY,
+            uid integer REFERENCES users(id),
+            amount double precision
+        );
+        INSERT INTO users VALUES (1, 'ann'), (2, 'bob');
+    ''')
+
+Statistics are analyzed lazily: tables register un-analyzed while INSERTs
+accumulate rows and :func:`run_script` finalizes each table once the script
+ends (re-registering with statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .database import Database
+from .errors import SqlSyntaxError, UnsupportedSqlError
+from .lexer import Token, TokenType, tokenize
+from .storage import Table
+from .types import SqlType, date_to_days, parse_type_name
+
+
+@dataclass
+class ColumnDef:
+    """One column in a CREATE TABLE statement."""
+
+    name: str
+    sql_type: SqlType
+    not_null: bool = False
+    primary_key: bool = False
+    references: tuple[str, str] | None = None  # (table, column)
+
+
+@dataclass
+class CreateTable:
+    """A parsed CREATE TABLE statement."""
+
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+    primary_key: list[str] = field(default_factory=list)
+    foreign_keys: list[tuple[str, str, str]] = field(default_factory=list)
+    # (column, ref_table, ref_column)
+
+
+@dataclass
+class Insert:
+    """A parsed INSERT INTO ... VALUES statement."""
+
+    table: str
+    columns: list[str] | None
+    rows: list[list[object]] = field(default_factory=list)
+
+
+@dataclass
+class CreateIndex:
+    """A parsed CREATE [UNIQUE] INDEX statement."""
+
+    table: str
+    column: str
+    unique: bool = False
+
+
+Statement = CreateTable | Insert | CreateIndex
+
+
+def split_statements(script: str) -> list[str]:
+    """Split a SQL script on top-level semicolons (strings respected)."""
+    statements: list[str] = []
+    depth = 0
+    current: list[str] = []
+    in_string = False
+    i = 0
+    while i < len(script):
+        ch = script[i]
+        if in_string:
+            current.append(ch)
+            if ch == "'":
+                if i + 1 < len(script) and script[i + 1] == "'":
+                    current.append("'")
+                    i += 1
+                else:
+                    in_string = False
+        elif ch == "'":
+            in_string = True
+            current.append(ch)
+        elif ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            current.append(ch)
+        elif ch == ";" and depth == 0:
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+class _DdlParser:
+    """A small recursive-descent parser over the shared lexer's tokens."""
+
+    def __init__(self, sql: str):
+        self._tokens = tokenize(sql)
+        self._pos = 0
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _accept_word(self, *words: str) -> bool:
+        token = self._current
+        if (
+            token.type in (TokenType.KEYWORD, TokenType.IDENTIFIER)
+            and token.value in words
+        ):
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            self._error(f'expected "{word.upper()}"')
+
+    def _expect_identifier(self, what: str) -> str:
+        token = self._current
+        if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            self._error(f"expected {what}")
+        self._advance()
+        return token.value
+
+    def _accept_punct(self, value: str) -> bool:
+        token = self._current
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._accept_punct(value):
+            self._error(f'expected "{value}"')
+
+    def _error(self, message: str) -> None:
+        token = self._current
+        near = token.value or "end of input"
+        raise SqlSyntaxError(
+            f'{message}, at or near "{near}"', position=token.position
+        )
+
+    # -- statements --------------------------------------------------------------
+
+    def parse(self) -> Statement:
+        if self._accept_word("create"):
+            unique = self._accept_word("unique")
+            if self._accept_word("index"):
+                return self._parse_create_index(unique)
+            if unique:
+                self._error("expected INDEX after UNIQUE")
+            self._expect_word("table")
+            return self._parse_create_table()
+        if self._accept_word("insert"):
+            self._expect_word("into")
+            return self._parse_insert()
+        raise UnsupportedSqlError(
+            "only CREATE TABLE / CREATE INDEX / INSERT INTO are supported here"
+        )
+
+    def _parse_create_table(self) -> CreateTable:
+        statement = CreateTable(name=self._expect_identifier("table name"))
+        self._expect_punct("(")
+        while True:
+            if self._accept_word("primary"):
+                self._expect_word("key")
+                self._expect_punct("(")
+                statement.primary_key.append(
+                    self._expect_identifier("primary key column")
+                )
+                while self._accept_punct(","):
+                    statement.primary_key.append(
+                        self._expect_identifier("primary key column")
+                    )
+                self._expect_punct(")")
+            elif self._accept_word("foreign"):
+                self._expect_word("key")
+                self._expect_punct("(")
+                column = self._expect_identifier("foreign key column")
+                self._expect_punct(")")
+                self._expect_word("references")
+                ref_table = self._expect_identifier("referenced table")
+                self._expect_punct("(")
+                ref_column = self._expect_identifier("referenced column")
+                self._expect_punct(")")
+                statement.foreign_keys.append((column, ref_table, ref_column))
+            else:
+                statement.columns.append(self._parse_column_def())
+            if self._accept_punct(","):
+                continue
+            self._expect_punct(")")
+            break
+        for column in statement.columns:
+            if column.primary_key and column.name not in statement.primary_key:
+                statement.primary_key.append(column.name)
+            if column.references is not None:
+                statement.foreign_keys.append(
+                    (column.name, column.references[0], column.references[1])
+                )
+        return statement
+
+    def _parse_column_def(self) -> ColumnDef:
+        name = self._expect_identifier("column name")
+        type_words = [self._expect_identifier("type name")]
+        # Multi-word types: "double precision"; skip length suffix "(25)".
+        if type_words[0] == "double" and self._accept_word("precision"):
+            type_words.append("precision")
+        if self._accept_punct("("):
+            while not self._accept_punct(")"):
+                self._advance()
+        try:
+            sql_type = parse_type_name(" ".join(type_words))
+        except ValueError as exc:
+            raise SqlSyntaxError(str(exc)) from None
+        column = ColumnDef(name=name, sql_type=sql_type)
+        while True:
+            if self._accept_word("not"):
+                self._expect_word("null")
+                column.not_null = True
+            elif self._accept_word("primary"):
+                self._expect_word("key")
+                column.primary_key = True
+            elif self._accept_word("references"):
+                ref_table = self._expect_identifier("referenced table")
+                self._expect_punct("(")
+                ref_column = self._expect_identifier("referenced column")
+                self._expect_punct(")")
+                column.references = (ref_table, ref_column)
+            elif self._accept_word("unique"):
+                pass  # accepted and ignored (single-column indexes cover it)
+            else:
+                return column
+
+    def _parse_insert(self) -> Insert:
+        table = self._expect_identifier("table name")
+        columns: list[str] | None = None
+        if self._accept_punct("("):
+            columns = [self._expect_identifier("column name")]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        self._expect_word("values")
+        insert = Insert(table=table, columns=columns)
+        while True:
+            self._expect_punct("(")
+            row: list[object] = [self._parse_literal()]
+            while self._accept_punct(","):
+                row.append(self._parse_literal())
+            self._expect_punct(")")
+            insert.rows.append(row)
+            if not self._accept_punct(","):
+                break
+        return insert
+
+    def _parse_literal(self):
+        token = self._current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.matches_keyword("null"):
+            self._advance()
+            return None
+        if token.matches_keyword("true"):
+            self._advance()
+            return True
+        if token.matches_keyword("false"):
+            self._advance()
+            return False
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            value = self._parse_literal()
+            if not isinstance(value, (int, float)):
+                self._error("expected a number after '-'")
+            return -value
+        self._error("expected a literal value")
+
+    def _parse_create_index(self, unique: bool) -> CreateIndex:
+        self._expect_identifier("index name")  # name accepted, derived anyway
+        self._expect_word("on")
+        table = self._expect_identifier("table name")
+        self._expect_punct("(")
+        column = self._expect_identifier("column name")
+        self._expect_punct(")")
+        return CreateIndex(table=table, column=column, unique=unique)
+
+
+def parse_ddl(sql: str) -> Statement:
+    """Parse one CREATE TABLE / CREATE INDEX / INSERT statement."""
+    parser = _DdlParser(sql.strip().rstrip(";"))
+    statement = parser.parse()
+    return statement
+
+
+def run_script(db: Database, script: str) -> Database:
+    """Execute a DDL/DML script against *db* and analyze the new tables.
+
+    Rows from all INSERTs into a table are buffered and the table is
+    registered once, with statistics, after the whole script is processed.
+    """
+    pending: dict[str, CreateTable] = {}
+    rows: dict[str, list[list[object]]] = {}
+    indexes: list[CreateIndex] = []
+    for text in split_statements(script):
+        statement = parse_ddl(text)
+        if isinstance(statement, CreateTable):
+            if statement.name in pending or db.catalog.has_table(statement.name):
+                raise SqlSyntaxError(f"table {statement.name!r} already exists")
+            pending[statement.name] = statement
+            rows[statement.name] = []
+        elif isinstance(statement, Insert):
+            if statement.table not in pending:
+                raise SqlSyntaxError(
+                    f"INSERT into unknown table {statement.table!r} "
+                    "(CREATE TABLE must appear in the same script)"
+                )
+            definition = pending[statement.table]
+            for row in statement.rows:
+                rows[statement.table].append(
+                    _reorder(row, statement.columns, definition)
+                )
+        else:
+            indexes.append(statement)
+    for name, definition in pending.items():
+        _materialize(db, definition, rows[name])
+    for index in indexes:
+        db.add_index(index.table, index.column, unique=index.unique)
+    return db
+
+
+def _reorder(
+    row: list[object], columns: list[str] | None, definition: CreateTable
+) -> list[object]:
+    names = [c.name for c in definition.columns]
+    if columns is None:
+        if len(row) != len(names):
+            raise SqlSyntaxError(
+                f"INSERT into {definition.name!r}: expected {len(names)} "
+                f"values, got {len(row)}"
+            )
+        return list(row)
+    if len(row) != len(columns):
+        raise SqlSyntaxError(
+            f"INSERT into {definition.name!r}: {len(columns)} columns "
+            f"but {len(row)} values"
+        )
+    by_name = dict(zip(columns, row))
+    unknown = set(columns) - set(names)
+    if unknown:
+        raise SqlSyntaxError(
+            f"INSERT into {definition.name!r}: unknown columns {sorted(unknown)}"
+        )
+    return [by_name.get(name) for name in names]
+
+
+def _coerce(value, sql_type: SqlType):
+    if value is None:
+        return None
+    if sql_type is SqlType.DATE and isinstance(value, str):
+        return date_to_days(value)
+    if sql_type in (SqlType.INTEGER, SqlType.BIGINT) and isinstance(value, float):
+        return int(value)
+    if sql_type is SqlType.DOUBLE and isinstance(value, int):
+        return float(value)
+    return value
+
+
+def _materialize(db: Database, definition: CreateTable, rows: list[list[object]]):
+    for column in definition.columns:
+        if column.not_null:
+            index = [c.name for c in definition.columns].index(column.name)
+            for row in rows:
+                if row[index] is None:
+                    raise SqlSyntaxError(
+                        f"NULL in NOT NULL column {definition.name}.{column.name}"
+                    )
+    data = {
+        column.name: [
+            _coerce(row[i], column.sql_type) for row in rows
+        ]
+        for i, column in enumerate(definition.columns)
+    }
+    types = {c.name: c.sql_type for c in definition.columns}
+    db.create_table(
+        Table.from_dict(definition.name, data, types),
+        primary_key=definition.primary_key or None,
+    )
+    for column, ref_table, ref_column in definition.foreign_keys:
+        db.add_foreign_key(definition.name, column, ref_table, ref_column)

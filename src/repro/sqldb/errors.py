@@ -1,0 +1,44 @@
+"""Error hierarchy for the embedded SQL engine.
+
+The error classes mirror the categories a client sees from a real DBMS:
+lexing/parsing problems surface as :class:`SqlSyntaxError`, name-resolution
+and type problems as :class:`BindError`, and problems found while running a
+plan as :class:`ExecutionError`.  SQLBarber's check-and-rewrite loop relies on
+the distinction: syntax and binder errors are fed back to the LLM verbatim.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for every error raised by :mod:`repro.sqldb`."""
+
+
+class SqlSyntaxError(SqlError):
+    """The statement could not be tokenized or parsed.
+
+    Carries an optional source position so error messages can point at the
+    offending token, e.g. ``syntax error at or near "FORM" (position 8)``.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(SqlError):
+    """Name resolution or type checking failed (unknown table/column, etc.)."""
+
+
+class CatalogError(SqlError):
+    """Catalog manipulation failed (duplicate table, unknown constraint...)."""
+
+
+class ExecutionError(SqlError):
+    """A runtime failure while executing a plan (division by zero, etc.)."""
+
+
+class UnsupportedSqlError(SqlError):
+    """The statement is valid SQL but outside the supported dialect subset."""

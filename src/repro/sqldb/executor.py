@@ -1,0 +1,611 @@
+"""Plan execution over columnar batches.
+
+The executor is materializing: every operator consumes and produces a whole
+:class:`~repro.sqldb.storage.Table` whose columns are keyed
+``binding.column`` until projection gives them their output names.  Aggregate
+results ride alongside the representative-row table so HAVING, ORDER BY, and
+the projection can all reference them by AST node identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import ast_nodes as ast
+from .errors import ExecutionError
+from .expr_eval import EvalContext, SubqueryValue, Vec, evaluate, truthy
+from .catalog import Catalog
+from .plan_nodes import (
+    AggregateNode,
+    AppendNode,
+    DistinctNode,
+    FilterNode,
+    HashJoinNode,
+    IndexScanNode,
+    LimitNode,
+    NestedLoopJoinNode,
+    Plan,
+    PlanNode,
+    ProjectNode,
+    ResultNode,
+    SeqScanNode,
+    SortNode,
+    SubqueryScanNode,
+)
+from .storage import Column, Table
+from .types import SqlType
+
+
+@dataclass
+class _Frame:
+    """An intermediate result: qualified columns plus aggregate side-band."""
+
+    columns: dict[str, Column]
+    row_count: int
+    aggregate_values: dict[int, Vec] = field(default_factory=dict)
+
+    def context(self, subquery_values: dict[int, SubqueryValue]) -> EvalContext:
+        vectors = {name: Vec.from_column(col) for name, col in self.columns.items()}
+        return EvalContext(
+            vectors, self.row_count, self.aggregate_values, subquery_values
+        )
+
+    def filter(self, keep: np.ndarray) -> "_Frame":
+        columns = {name: col.filter(keep) for name, col in self.columns.items()}
+        aggregates = {
+            key: Vec(
+                vec.data[keep],
+                None if vec.mask is None else vec.mask[keep],
+                vec.sql_type,
+            )
+            for key, vec in self.aggregate_values.items()
+        }
+        return _Frame(columns, int(keep.sum()), aggregates)
+
+    def take(self, indices: np.ndarray) -> "_Frame":
+        columns = {name: col.take(indices) for name, col in self.columns.items()}
+        aggregates = {
+            key: Vec(
+                vec.data[indices],
+                None if vec.mask is None else vec.mask[indices],
+                vec.sql_type,
+            )
+            for key, vec in self.aggregate_values.items()
+        }
+        return _Frame(columns, len(indices), aggregates)
+
+
+class Executor:
+    """Executes physical plans against the catalog's stored tables."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    def execute(self, plan: Plan) -> Table:
+        """Run *plan* and return the result with its output column names."""
+        subquery_values = {
+            node_id: self._run_subplan(subplan.kind, subplan.plan)
+            for node_id, subplan in plan.subplans.items()
+        }
+        frame = self._run(plan.root, subquery_values)
+        columns = list(frame.columns.values())
+        # Projection already renamed columns; assert the schema lines up.
+        if plan.output_names and len(columns) == len(plan.output_names):
+            columns = [
+                Column(name, col.sql_type, col.data, col.null_mask)
+                for name, col in zip(plan.output_names, columns)
+            ]
+        return Table("result", columns)
+
+    def _run_subplan(self, kind: str, plan: Plan) -> SubqueryValue:
+        result = self.execute(plan)
+        if kind == "exists":
+            return SubqueryValue(kind="exists", exists=result.row_count > 0)
+        if not result.columns:
+            raise ExecutionError("subquery returned no columns")
+        first = result.columns[0]
+        if kind == "in":
+            values = first.non_null_values()
+            return SubqueryValue(kind="in", values=values, had_null=first.has_nulls)
+        # scalar
+        if result.row_count == 0:
+            return SubqueryValue(kind="scalar", scalar=None, scalar_type=first.sql_type)
+        if result.row_count > 1:
+            raise ExecutionError("more than one row returned by a scalar subquery")
+        is_null = first.null_mask is not None and bool(first.null_mask[0])
+        scalar = None if is_null else _to_python(first.data[0])
+        return SubqueryValue(kind="scalar", scalar=scalar, scalar_type=first.sql_type)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _run(
+        self, node: PlanNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        if isinstance(node, (SeqScanNode, IndexScanNode)):
+            return self._run_scan(node, subquery_values)
+        if isinstance(node, SubqueryScanNode):
+            return self._run_subquery_scan(node, subquery_values)
+        if isinstance(node, HashJoinNode):
+            return self._run_hash_join(node, subquery_values)
+        if isinstance(node, NestedLoopJoinNode):
+            return self._run_nested_loop(node, subquery_values)
+        if isinstance(node, FilterNode):
+            frame = self._run(node.child, subquery_values)
+            return self._apply_filter(frame, node.condition, subquery_values)
+        if isinstance(node, AggregateNode):
+            return self._run_aggregate(node, subquery_values)
+        if isinstance(node, SortNode):
+            return self._run_sort(node, subquery_values)
+        if isinstance(node, ProjectNode):
+            return self._run_project(node, subquery_values)
+        if isinstance(node, DistinctNode):
+            return self._run_distinct(node, subquery_values)
+        if isinstance(node, LimitNode):
+            return self._run_limit(node, subquery_values)
+        if isinstance(node, ResultNode):
+            return self._run_result(node, subquery_values)
+        if isinstance(node, AppendNode):
+            return self._run_append(node)
+        raise ExecutionError(f"cannot execute node {type(node).__name__}")
+
+    # -- scans --------------------------------------------------------------------
+
+    def _run_scan(
+        self,
+        node: SeqScanNode | IndexScanNode,
+        subquery_values: dict[int, SubqueryValue],
+    ) -> _Frame:
+        data = self._catalog.data(node.table_name)
+        columns = {
+            f"{node.binding}.{col.name}": col for col in data.columns
+        }
+        frame = _Frame(columns, data.row_count)
+        return self._apply_filter(frame, node.filter, subquery_values)
+
+    def _run_subquery_scan(
+        self, node: SubqueryScanNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        result = self.execute(node.subplan)
+        columns = {f"{node.alias}.{col.name}": col for col in result.columns}
+        frame = _Frame(columns, result.row_count)
+        return self._apply_filter(frame, node.filter, subquery_values)
+
+    def _apply_filter(
+        self,
+        frame: _Frame,
+        condition: ast.Expression | None,
+        subquery_values: dict[int, SubqueryValue],
+    ) -> _Frame:
+        if condition is None:
+            return frame
+        keep = truthy(evaluate(condition, frame.context(subquery_values)))
+        return frame.filter(keep)
+
+    # -- joins ---------------------------------------------------------------------
+
+    def _run_hash_join(
+        self, node: HashJoinNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        left = self._run(node.left, subquery_values)
+        right = self._run(node.right, subquery_values)
+        left_codes, left_valid = _join_key_codes(
+            node.left_keys, left, right, subquery_values, prefer=left
+        )
+        right_codes, right_valid = _join_key_codes(
+            node.right_keys, left, right, subquery_values, prefer=right
+        )
+        # Build hash table on the right side.
+        table: dict[object, list[int]] = {}
+        for i in np.flatnonzero(right_valid):
+            table.setdefault(right_codes[i], []).append(int(i))
+        left_idx: list[int] = []
+        right_idx: list[int] = []
+        matched_left = np.zeros(left.row_count, dtype=bool)
+        matched_right = np.zeros(right.row_count, dtype=bool)
+        for i in np.flatnonzero(left_valid):
+            bucket = table.get(left_codes[i])
+            if bucket:
+                for j in bucket:
+                    left_idx.append(int(i))
+                    right_idx.append(j)
+        li = np.array(left_idx, dtype=np.int64)
+        ri = np.array(right_idx, dtype=np.int64)
+        joined = _combine_frames(left.take(li), right.take(ri))
+        if node.residual is not None:
+            keep = truthy(
+                evaluate(node.residual, joined.context(subquery_values))
+            )
+            joined = joined.filter(keep)
+            li, ri = li[keep], ri[keep]
+        matched_left[li] = True
+        matched_right[ri] = True
+        if node.join_type in ("left", "full"):
+            joined = _append_outer_rows(joined, left, right, ~matched_left, side="left")
+        if node.join_type in ("right", "full"):
+            joined = _append_outer_rows(joined, left, right, ~matched_right, side="right")
+        return joined
+
+    def _run_nested_loop(
+        self, node: NestedLoopJoinNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        left = self._run(node.left, subquery_values)
+        right = self._run(node.right, subquery_values)
+        li = np.repeat(np.arange(left.row_count), right.row_count)
+        ri = np.tile(np.arange(right.row_count), left.row_count)
+        joined = _combine_frames(left.take(li), right.take(ri))
+        if node.condition is not None:
+            keep = truthy(
+                evaluate(node.condition, joined.context(subquery_values))
+            )
+            if node.join_type == "left":
+                matched = np.zeros(left.row_count, dtype=bool)
+                matched[li[keep]] = True
+                joined = joined.filter(keep)
+                joined = _append_outer_rows(joined, left, right, ~matched, side="left")
+                return joined
+            joined = joined.filter(keep)
+        return joined
+
+    # -- aggregation -----------------------------------------------------------------
+
+    def _run_aggregate(
+        self, node: AggregateNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        child = self._run(node.child, subquery_values)
+        context = child.context(subquery_values)
+        if node.group_exprs:
+            key_vecs = [evaluate(g, context) for g in node.group_exprs]
+            codes, num_groups = _factorize_many(key_vecs, child.row_count)
+        else:
+            codes = np.zeros(child.row_count, dtype=np.int64)
+            num_groups = 1  # global aggregate: one group even over zero rows
+        representatives = _first_index_per_group(codes, num_groups, child.row_count)
+        aggregates: dict[int, Vec] = {}
+        for call in node.aggregate_calls:
+            if id(call) not in aggregates:
+                aggregates[id(call)] = _compute_aggregate(
+                    call, codes, num_groups, context
+                )
+        frame = child.take(representatives)
+        frame.aggregate_values = aggregates
+        frame.row_count = num_groups
+        if node.having is not None:
+            keep = truthy(evaluate(node.having, frame.context(subquery_values)))
+            frame = frame.filter(keep)
+        return frame
+
+    # -- sort / project / distinct / limit ----------------------------------------------
+
+    def _run_sort(
+        self, node: SortNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        frame = self._run(node.child, subquery_values)
+        if frame.row_count <= 1 or not node.order_items:
+            return frame
+        context = frame.context(subquery_values)
+        keys: list[np.ndarray] = []
+        for order in node.order_items:
+            vec = evaluate(order.expression, context)
+            keys.append(_sort_key(vec, order.descending))
+        # np.lexsort sorts by the last key first.
+        order_idx = np.lexsort(tuple(reversed(keys)))
+        return frame.take(order_idx)
+
+    def _run_project(
+        self, node: ProjectNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        frame = self._run(node.child, subquery_values)
+        context = frame.context(subquery_values)
+        columns: dict[str, Column] = {}
+        for name, item in zip(node.output_names, node.items):
+            vec = evaluate(item.expression, context)
+            columns[name] = vec.to_column(name)
+        return _Frame(columns, frame.row_count)
+
+    def _run_distinct(
+        self, node: DistinctNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        frame = self._run(node.child, subquery_values)
+        if frame.row_count == 0:
+            return frame
+        vecs = [Vec.from_column(col) for col in frame.columns.values()]
+        codes, num_groups = _factorize_many(vecs, frame.row_count)
+        firsts = _first_index_per_group(codes, num_groups, frame.row_count)
+        firsts.sort()  # keep first occurrences in their original order
+        return frame.take(firsts)
+
+    def _run_limit(
+        self, node: LimitNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        frame = self._run(node.child, subquery_values)
+        start = node.offset or 0
+        stop = frame.row_count if node.limit is None else start + node.limit
+        indices = np.arange(start, min(stop, frame.row_count), dtype=np.int64)
+        return frame.take(indices)
+
+    def _run_append(self, node: AppendNode) -> _Frame:
+        """UNION [ALL]: run each branch and concatenate positionally."""
+        tables = [self.execute(plan) for plan in node.plans]
+        first = tables[0]
+        columns: dict[str, Column] = {}
+        for index, proto in enumerate(first.columns):
+            branch_columns = [t.columns[index] for t in tables]
+            columns[f"__u{index}.{proto.name}"] = _concat_columns(
+                proto.name, branch_columns
+            )
+        frame = _Frame(columns, sum(t.row_count for t in tables))
+        if node.deduplicate and frame.row_count:
+            vecs = [Vec.from_column(c) for c in frame.columns.values()]
+            codes, num_groups = _factorize_many(vecs, frame.row_count)
+            firsts = _first_index_per_group(codes, num_groups, frame.row_count)
+            firsts.sort()
+            frame = frame.take(firsts)
+        return frame
+
+    def _run_result(
+        self, node: ResultNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        context = EvalContext({}, 1, {}, subquery_values)
+        columns: dict[str, Column] = {}
+        for name, item in zip(node.output_names, node.items):
+            vec = evaluate(item.expression, context)
+            columns[name] = vec.to_column(name)
+        return _Frame(columns, 1)
+
+
+# -- join helpers -------------------------------------------------------------------
+
+
+def _join_key_codes(
+    keys: list[ast.Expression],
+    left: _Frame,
+    right: _Frame,
+    subquery_values: dict[int, SubqueryValue],
+    prefer: _Frame,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate join keys on *prefer* and hash them to comparable tuples."""
+    context = prefer.context(subquery_values)
+    vecs = [evaluate(k, context) for k in keys]
+    valid = np.ones(prefer.row_count, dtype=bool)
+    for vec in vecs:
+        if vec.mask is not None:
+            valid &= ~vec.mask
+    normalized = []
+    for vec in vecs:
+        if vec.sql_type is SqlType.TEXT:
+            normalized.append(np.array([str(v) for v in vec.data], dtype=object))
+        else:
+            normalized.append(vec.data.astype(np.float64))
+    if len(normalized) == 1:
+        codes = normalized[0]
+    else:
+        codes = np.array(list(zip(*normalized)), dtype=object)
+        codes = np.array([tuple(row) for row in codes], dtype=object)
+    return codes, valid
+
+
+def _combine_frames(left: _Frame, right: _Frame) -> _Frame:
+    columns = dict(left.columns)
+    for name, col in right.columns.items():
+        if name in columns:
+            raise ExecutionError(f"duplicate column binding {name!r} in join")
+        columns[name] = col
+    return _Frame(columns, left.row_count)
+
+
+def _append_outer_rows(
+    joined: _Frame,
+    left: _Frame,
+    right: _Frame,
+    unmatched: np.ndarray,
+    side: str,
+) -> _Frame:
+    count = int(unmatched.sum())
+    if count == 0:
+        return joined
+    preserved = left if side == "left" else right
+    null_side = right if side == "left" else left
+    indices = np.flatnonzero(unmatched)
+    preserved_rows = preserved.take(indices)
+    columns: dict[str, Column] = {}
+    for name in joined.columns:
+        if name in preserved.columns:
+            source = preserved_rows.columns[name]
+        else:
+            proto = null_side.columns[name]
+            data = _null_array(proto, count)
+            source = Column(proto.name, proto.sql_type, data, np.ones(count, dtype=bool))
+        existing = joined.columns[name]
+        merged_data = np.concatenate(
+            [existing.data.astype(object), source.data.astype(object)]
+        ) if existing.data.dtype == object or source.data.dtype == object else np.concatenate(
+            [existing.data, source.data]
+        )
+        existing_mask = (
+            existing.null_mask
+            if existing.null_mask is not None
+            else np.zeros(len(existing), dtype=bool)
+        )
+        source_mask = (
+            source.null_mask
+            if source.null_mask is not None
+            else np.zeros(len(source), dtype=bool)
+        )
+        merged_mask = np.concatenate([existing_mask, source_mask])
+        columns[name] = Column(
+            existing.name,
+            existing.sql_type,
+            merged_data,
+            merged_mask if merged_mask.any() else None,
+        )
+    return _Frame(columns, joined.row_count + count)
+
+
+def _concat_columns(name: str, columns: list[Column]) -> Column:
+    """Concatenate per-branch columns, widening to a common representation."""
+    types = {c.sql_type for c in columns}
+    if len(types) == 1:
+        out_type = columns[0].sql_type
+    elif all(t.is_numeric for t in types):
+        out_type = SqlType.DOUBLE
+    else:
+        out_type = SqlType.TEXT
+    pieces = []
+    for column in columns:
+        data = column.data
+        if out_type is SqlType.TEXT and data.dtype != object:
+            data = np.array([str(v) for v in data], dtype=object)
+        elif out_type is SqlType.DOUBLE and data.dtype != np.float64:
+            data = data.astype(np.float64)
+        pieces.append(data)
+    merged = np.concatenate(pieces) if pieces else np.zeros(0)
+    masks = [
+        c.null_mask
+        if c.null_mask is not None
+        else np.zeros(len(c), dtype=bool)
+        for c in columns
+    ]
+    mask = np.concatenate(masks) if masks else None
+    if mask is not None and not mask.any():
+        mask = None
+    return Column(name, out_type, merged, mask)
+
+
+def _null_array(proto: Column, count: int) -> np.ndarray:
+    if proto.data.dtype == object:
+        return np.full(count, None, dtype=object)
+    return np.zeros(count, dtype=proto.data.dtype)
+
+
+# -- grouping helpers --------------------------------------------------------------
+
+
+def _factorize(vec: Vec) -> np.ndarray:
+    """Dense integer codes for *vec* values; NULL gets its own code."""
+    if vec.sql_type is SqlType.TEXT or vec.data.dtype == object:
+        values = np.array([str(v) for v in vec.data], dtype=object)
+        _, codes = np.unique(values, return_inverse=True)
+    else:
+        _, codes = np.unique(vec.data, return_inverse=True)
+    codes = codes.astype(np.int64) + 1
+    if vec.mask is not None:
+        codes[vec.mask] = 0
+    return codes
+
+
+def _factorize_many(vecs: list[Vec], row_count: int) -> tuple[np.ndarray, int]:
+    """Combine per-key codes into dense group ids; returns (codes, #groups)."""
+    if row_count == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    combined = np.zeros(row_count, dtype=np.int64)
+    for vec in vecs:
+        codes = _factorize(vec)
+        combined = combined * (int(codes.max()) + 1) + codes
+    _, dense = np.unique(combined, return_inverse=True)
+    return dense.astype(np.int64), int(dense.max()) + 1
+
+
+def _first_index_per_group(
+    codes: np.ndarray, num_groups: int, row_count: int
+) -> np.ndarray:
+    if row_count == 0:
+        # Global aggregate over an empty input: a single synthetic group with
+        # no representative row (the take() of an empty index set).
+        return np.zeros(0, dtype=np.int64)
+    # codes are dense 0..G-1, so unique() returns first occurrences in order.
+    _, firsts = np.unique(codes, return_index=True)
+    return firsts.astype(np.int64)
+
+
+def _compute_aggregate(
+    call: ast.FunctionCall,
+    codes: np.ndarray,
+    num_groups: int,
+    context: EvalContext,
+) -> Vec:
+    name = call.name
+    row_count = len(codes)
+    if name == "count" and (not call.args or isinstance(call.args[0], ast.Star)):
+        counts = np.bincount(codes, minlength=num_groups) if row_count else np.zeros(
+            num_groups, dtype=np.int64
+        )
+        return Vec(counts.astype(np.int64), None, SqlType.BIGINT)
+    arg = evaluate(call.args[0], context)
+    valid = ~arg.mask if arg.mask is not None else np.ones(row_count, dtype=bool)
+    if call.distinct:
+        pair_codes = codes * (row_count + 1) + _factorize(arg)
+        _, first_of_pair = np.unique(pair_codes, return_index=True)
+        keep = np.zeros(row_count, dtype=bool)
+        keep[first_of_pair] = True
+        valid = valid & keep
+    if name == "count":
+        counts = np.bincount(codes[valid], minlength=num_groups)
+        return Vec(counts.astype(np.int64), None, SqlType.BIGINT)
+    if arg.sql_type is SqlType.TEXT:
+        # MIN/MAX over text: per-group python reduction.
+        out = np.full(num_groups, None, dtype=object)
+        for group in range(num_groups):
+            members = (codes == group) & valid
+            if members.any():
+                strings = [str(v) for v in arg.data[members]]
+                out[group] = min(strings) if name == "min" else max(strings)
+        mask = np.array([v is None for v in out], dtype=bool)
+        return Vec(out, mask if mask.any() else None, SqlType.TEXT)
+    values = arg.data.astype(np.float64)
+    group_counts = np.bincount(codes[valid], minlength=num_groups)
+    empty = group_counts == 0
+    if name in ("sum", "avg"):
+        sums = np.bincount(codes[valid], weights=values[valid], minlength=num_groups)
+        if name == "sum":
+            out_type = SqlType.DOUBLE if arg.sql_type is SqlType.DOUBLE else SqlType.BIGINT
+            data = sums if out_type is SqlType.DOUBLE else np.round(sums).astype(np.int64)
+            return Vec(data, empty if empty.any() else None, out_type)
+        means = np.divide(
+            sums, np.maximum(group_counts, 1), where=~empty, out=np.zeros(num_groups)
+        )
+        return Vec(means, empty if empty.any() else None, SqlType.DOUBLE)
+    # min / max via sort + reduceat on valid rows
+    result = np.zeros(num_groups, dtype=np.float64)
+    if valid.any():
+        sub_codes = codes[valid]
+        sub_values = values[valid]
+        order = np.argsort(sub_codes, kind="stable")
+        sorted_codes = sub_codes[order]
+        sorted_values = sub_values[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_codes[1:] != sorted_codes[:-1]))
+        )
+        reducer = np.minimum if name == "min" else np.maximum
+        reduced = reducer.reduceat(sorted_values, starts)
+        result[sorted_codes[starts]] = reduced
+    out_type = arg.sql_type if arg.sql_type.is_numeric or arg.sql_type is SqlType.DATE else SqlType.DOUBLE
+    if out_type in (SqlType.INTEGER, SqlType.BIGINT, SqlType.DATE):
+        result = result.astype(np.int64)
+    return Vec(result, empty if empty.any() else None, out_type)
+
+
+def _sort_key(vec: Vec, descending: bool) -> np.ndarray:
+    """Map a Vec to float codes where lexsort ascending gives SQL order.
+
+    PostgreSQL defaults: NULLS LAST for ASC, NULLS FIRST for DESC — both fall
+    out of mapping NULL to +inf and negating for DESC.
+    """
+    if vec.sql_type is SqlType.TEXT or vec.data.dtype == object:
+        values = np.array([str(v) for v in vec.data], dtype=object)
+        uniques, codes = np.unique(values, return_inverse=True)
+        key = codes.astype(np.float64)
+    else:
+        key = vec.data.astype(np.float64)
+    if descending:
+        key = -key
+    if vec.mask is not None:
+        key = key.copy()
+        # ASC: nulls last (+inf); DESC: nulls first (-inf after negation).
+        key[vec.mask] = -np.inf if descending else np.inf
+    return key
+
+
+def _to_python(value):
+    return value.item() if hasattr(value, "item") else value

@@ -1,0 +1,59 @@
+"""EXPLAIN output: the optimizer's cardinality and cost estimates.
+
+:func:`render_plan` produces a PostgreSQL-flavoured plan tree string;
+:class:`ExplainResult` is the structured form SQLBarber consumes (estimated
+rows = "cardinality", total cost = "execution plan cost").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan_nodes import Plan, PlanNode
+
+
+@dataclass(frozen=True)
+class ExplainResult:
+    """The estimates a client gets from ``EXPLAIN <query>``."""
+
+    estimated_rows: float
+    startup_cost: float
+    total_cost: float
+    plan_text: str
+
+    @property
+    def cardinality(self) -> float:
+        """Alias used throughout SQLBarber: estimated output row count."""
+        return self.estimated_rows
+
+
+def explain_plan(plan: Plan) -> ExplainResult:
+    return ExplainResult(
+        estimated_rows=plan.est_rows,
+        startup_cost=plan.startup_cost,
+        total_cost=plan.total_cost,
+        plan_text=render_plan(plan),
+    )
+
+
+def render_plan(plan: Plan) -> str:
+    lines: list[str] = []
+    _render_node(plan.root, lines, depth=0)
+    for index, subplan in enumerate(plan.subplans.values(), start=1):
+        lines.append(f"  SubPlan {index} ({subplan.kind})")
+        _render_node(subplan.plan.root, lines, depth=2)
+    return "\n".join(lines)
+
+
+def _render_node(node: PlanNode, lines: list[str], depth: int) -> None:
+    indent = "  " * depth
+    arrow = "" if depth == 0 else "->  "
+    detail = node.describe()
+    detail_text = f" {detail}" if detail else ""
+    lines.append(
+        f"{indent}{arrow}{node.node_type}{detail_text}  "
+        f"(cost={node.cost.startup:.2f}..{node.cost.total:.2f} "
+        f"rows={max(round(node.est_rows), 0)})"
+    )
+    for child in node.children():
+        _render_node(child, lines, depth + 1)

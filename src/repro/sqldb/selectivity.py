@@ -1,0 +1,220 @@
+"""Predicate selectivity estimation over the AST.
+
+This is the glue between the statistics in :mod:`repro.sqldb.stats` and the
+planner: given a WHERE-clause expression and a way to look up column
+statistics, estimate the fraction of rows that survive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from . import ast_nodes as ast
+from .stats import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    ColumnStats,
+    like_selectivity,
+)
+from .types import date_to_days
+
+StatsResolver = Callable[[Optional[str], str], Optional[ColumnStats]]
+
+IN_SUBQUERY_SELECTIVITY = 0.5
+EXISTS_SELECTIVITY = 0.5
+BOOL_EXPR_SELECTIVITY = 0.5
+COLUMN_EQ_COLUMN_SELECTIVITY = 0.05
+
+
+def constant_value(expression: ast.Expression):
+    """Fold *expression* to a Python constant, or return ``None`` if dynamic.
+
+    Handles literals, unary minus over literals, casts of literals, and ISO
+    date strings (converted to day numbers so they are comparable with DATE
+    column statistics).
+    """
+    if isinstance(expression, ast.Literal):
+        value = expression.value
+        if isinstance(value, str) and _looks_like_date(value):
+            try:
+                return date_to_days(value)
+            except ValueError:
+                return value
+        return value
+    if isinstance(expression, ast.UnaryOp) and expression.op == "-":
+        inner = constant_value(expression.operand)
+        if isinstance(inner, (int, float)) and not isinstance(inner, bool):
+            return -inner
+        return None
+    if isinstance(expression, ast.Cast):
+        return constant_value(expression.operand)
+    if isinstance(expression, ast.BinaryOp) and expression.op in "+-*/":
+        left = constant_value(expression.left)
+        right = constant_value(expression.right)
+        if _is_number(left) and _is_number(right):
+            try:
+                ops = {
+                    "+": lambda a, b: a + b,
+                    "-": lambda a, b: a - b,
+                    "*": lambda a, b: a * b,
+                    "/": lambda a, b: a / b if b else None,
+                }
+                return ops[expression.op](left, right)
+            except Exception:
+                return None
+    return None
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _looks_like_date(value: str) -> bool:
+    return (
+        len(value) == 10 and value[4] == "-" and value[7] == "-"
+        and value[:4].isdigit()
+    )
+
+
+def estimate_selectivity(
+    expression: ast.Expression | None, resolve: StatsResolver
+) -> float:
+    """Estimate the fraction of rows satisfying *expression* (1.0 for None)."""
+    if expression is None:
+        return 1.0
+    sel = _estimate(expression, resolve)
+    return float(min(max(sel, 0.0), 1.0))
+
+
+def _estimate(expression: ast.Expression, resolve: StatsResolver) -> float:
+    if isinstance(expression, ast.BinaryOp):
+        if expression.op == "and":
+            return _estimate(expression.left, resolve) * _estimate(
+                expression.right, resolve
+            )
+        if expression.op == "or":
+            left = _estimate(expression.left, resolve)
+            right = _estimate(expression.right, resolve)
+            return left + right - left * right
+        if expression.op in ("=", "<>", "<", "<=", ">", ">="):
+            return _estimate_comparison(expression, resolve)
+        return BOOL_EXPR_SELECTIVITY
+    if isinstance(expression, ast.UnaryOp) and expression.op == "not":
+        return 1.0 - _estimate(expression.operand, resolve)
+    if isinstance(expression, ast.IsNull):
+        stats = _column_stats(expression.operand, resolve)
+        fraction = stats.null_fraction if stats else DEFAULT_EQ_SELECTIVITY
+        return 1.0 - fraction if expression.negated else fraction
+    if isinstance(expression, ast.Between):
+        sel = _estimate_between(expression, resolve)
+        return 1.0 - sel if expression.negated else sel
+    if isinstance(expression, ast.InList):
+        sel = _estimate_in_list(expression, resolve)
+        return 1.0 - sel if expression.negated else sel
+    if isinstance(expression, ast.InSubquery):
+        sel = IN_SUBQUERY_SELECTIVITY
+        return 1.0 - sel if expression.negated else sel
+    if isinstance(expression, ast.Exists):
+        sel = EXISTS_SELECTIVITY
+        return 1.0 - sel if expression.negated else sel
+    if isinstance(expression, ast.Like):
+        sel = _estimate_like(expression, resolve)
+        return 1.0 - sel if expression.negated else sel
+    if isinstance(expression, ast.Literal):
+        if expression.value is True:
+            return 1.0
+        if expression.value in (False, None):
+            return 0.0
+        return BOOL_EXPR_SELECTIVITY
+    return BOOL_EXPR_SELECTIVITY
+
+
+def _column_stats(
+    expression: ast.Expression, resolve: StatsResolver
+) -> ColumnStats | None:
+    if isinstance(expression, ast.ColumnRef):
+        return resolve(expression.table, expression.column)
+    return None
+
+
+def _estimate_comparison(expression: ast.BinaryOp, resolve: StatsResolver) -> float:
+    left, right, op = expression.left, expression.right, expression.op
+    left_stats = _column_stats(left, resolve)
+    right_stats = _column_stats(right, resolve)
+    left_const = constant_value(left)
+    right_const = constant_value(right)
+    # Normalize to column <op> constant.
+    if left_stats is None and right_stats is not None and left_const is not None:
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        op = flipped.get(op, op)
+        left_stats, right_const = right_stats, left_const
+    if left_stats is not None and right_const is not None:
+        if op == "=":
+            return left_stats.eq_selectivity(right_const)
+        if op == "<>":
+            return 1.0 - left_stats.eq_selectivity(right_const)
+        return left_stats.range_selectivity(op, right_const)
+    if left_stats is not None and right_stats is not None:
+        # column-to-column comparison (usually a join predicate handled
+        # elsewhere; as a residual filter use a flat default).
+        if op == "=":
+            largest = max(left_stats.distinct_count, right_stats.distinct_count, 1.0)
+            return 1.0 / largest
+        return DEFAULT_RANGE_SELECTIVITY
+    if op == "=":
+        return DEFAULT_EQ_SELECTIVITY
+    if op == "<>":
+        return 1.0 - DEFAULT_EQ_SELECTIVITY
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _estimate_between(expression: ast.Between, resolve: StatsResolver) -> float:
+    stats = _column_stats(expression.operand, resolve)
+    low = constant_value(expression.low)
+    high = constant_value(expression.high)
+    if stats is not None and low is not None and high is not None:
+        return stats.between_selectivity(low, high)
+    return DEFAULT_RANGE_SELECTIVITY * 0.5
+
+
+def _estimate_in_list(expression: ast.InList, resolve: StatsResolver) -> float:
+    stats = _column_stats(expression.operand, resolve)
+    total = 0.0
+    for item in expression.items:
+        value = constant_value(item)
+        if stats is not None and value is not None:
+            total += stats.eq_selectivity(value)
+        else:
+            total += DEFAULT_EQ_SELECTIVITY
+    return min(total, 1.0)
+
+
+def _estimate_like(expression: ast.Like, resolve: StatsResolver) -> float:
+    pattern = constant_value(expression.pattern)
+    if isinstance(pattern, str):
+        return like_selectivity(pattern)
+    return like_selectivity("%abc%")
+
+
+def count_operators(expression: ast.Expression | None) -> int:
+    """Number of operator applications, used to charge per-row CPU cost."""
+    if expression is None:
+        return 0
+    count = 0
+    for node in expression.walk():
+        if isinstance(
+            node,
+            (
+                ast.BinaryOp,
+                ast.UnaryOp,
+                ast.Between,
+                ast.Like,
+                ast.IsNull,
+                ast.FunctionCall,
+                ast.CaseWhen,
+            ),
+        ):
+            count += 1
+        elif isinstance(node, ast.InList):
+            count += max(len(node.items), 1)
+    return max(count, 1)

@@ -1,0 +1,191 @@
+"""Render an AST back to SQL text.
+
+The inverse of :mod:`repro.sqldb.parser` for the supported dialect,
+including ``{placeholder}`` markers.  ``parse_select(render(stmt))`` is
+structurally equivalent to ``stmt``, which the template-refinement machinery
+relies on when it mutates parsed templates.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .errors import UnsupportedSqlError
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4, "<>": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5, "||": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+def render_statement(statement: ast.SelectStatement | ast.CompoundSelect) -> str:
+    if isinstance(statement, ast.CompoundSelect):
+        parts = [render_statement(statement.selects[0])]
+        for op, branch in zip(statement.ops, statement.selects[1:]):
+            parts.append(op.upper())
+            parts.append(render_statement(branch))
+        return " ".join(parts)
+    parts = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(
+        ", ".join(_render_select_item(i) for i in statement.select_items)
+    )
+    if statement.from_clause is not None:
+        parts.append("FROM " + _render_table(statement.from_clause))
+    if statement.where is not None:
+        parts.append("WHERE " + render_expression(statement.where))
+    if statement.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(render_expression(g) for g in statement.group_by)
+        )
+    if statement.having is not None:
+        parts.append("HAVING " + render_expression(statement.having))
+    if statement.order_by:
+        rendered = [
+            render_expression(o.expression) + (" DESC" if o.descending else "")
+            for o in statement.order_by
+        ]
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if statement.limit is not None:
+        parts.append(f"LIMIT {statement.limit}")
+    if statement.offset is not None:
+        parts.append(f"OFFSET {statement.offset}")
+    return " ".join(parts)
+
+
+def _render_select_item(item: ast.SelectItem) -> str:
+    text = render_expression(item.expression)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _render_table(node: ast.TableExpression) -> str:
+    if isinstance(node, ast.TableRef):
+        if node.alias and node.alias != node.name:
+            return f"{node.name} AS {node.alias}"
+        return node.name
+    if isinstance(node, ast.DerivedTable):
+        return f"({render_statement(node.subquery)}) AS {node.alias}"
+    if isinstance(node, ast.Join):
+        left = _render_table(node.left)
+        right = _render_table(node.right)
+        if node.join_type == "cross":
+            return f"{left} CROSS JOIN {right}"
+        keyword = {
+            "inner": "JOIN",
+            "left": "LEFT JOIN",
+            "right": "RIGHT JOIN",
+            "full": "FULL JOIN",
+        }[node.join_type]
+        condition = render_expression(node.condition) if node.condition else "TRUE"
+        return f"{left} {keyword} {right} ON {condition}"
+    raise UnsupportedSqlError(f"cannot render {type(node).__name__}")
+
+
+def render_expression(expression: ast.Expression, parent_prec: int = 0) -> str:
+    text, prec = _render_expr(expression)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _render_expr(expression: ast.Expression) -> tuple[str, int]:
+    if isinstance(expression, ast.Literal):
+        return _render_literal(expression.value), 10
+    if isinstance(expression, ast.Placeholder):
+        return f"{{{expression.name}}}", 10
+    if isinstance(expression, ast.ColumnRef):
+        return str(expression), 10
+    if isinstance(expression, ast.Star):
+        return f"{expression.table}.*" if expression.table else "*", 10
+    if isinstance(expression, ast.BinaryOp):
+        prec = _PRECEDENCE.get(expression.op, 3)
+        op = expression.op.upper() if expression.op in ("and", "or") else expression.op
+        left = render_expression(expression.left, prec)
+        right = render_expression(expression.right, prec + 1)
+        return f"{left} {op} {right}", prec
+    if isinstance(expression, ast.UnaryOp):
+        if expression.op == "not":
+            return f"NOT {render_expression(expression.operand, 3)}", 3
+        return f"-{render_expression(expression.operand, 7)}", 7
+    if isinstance(expression, ast.IsNull):
+        keyword = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"{render_expression(expression.operand, 4)} {keyword}", 4
+    if isinstance(expression, ast.Between):
+        negated = "NOT " if expression.negated else ""
+        return (
+            f"{render_expression(expression.operand, 5)} {negated}BETWEEN "
+            f"{render_expression(expression.low, 5)} AND "
+            f"{render_expression(expression.high, 5)}",
+            4,
+        )
+    if isinstance(expression, ast.InList):
+        negated = "NOT " if expression.negated else ""
+        items = ", ".join(render_expression(i) for i in expression.items)
+        return f"{render_expression(expression.operand, 5)} {negated}IN ({items})", 4
+    if isinstance(expression, ast.InSubquery):
+        negated = "NOT " if expression.negated else ""
+        return (
+            f"{render_expression(expression.operand, 5)} {negated}IN "
+            f"({render_statement(expression.subquery)})",
+            4,
+        )
+    if isinstance(expression, ast.Exists):
+        negated = "NOT " if expression.negated else ""
+        return f"{negated}EXISTS ({render_statement(expression.subquery)})", 4
+    if isinstance(expression, ast.ScalarSubquery):
+        return f"({render_statement(expression.subquery)})", 10
+    if isinstance(expression, ast.Like):
+        keyword = "ILIKE" if expression.case_insensitive else "LIKE"
+        negated = "NOT " if expression.negated else ""
+        return (
+            f"{render_expression(expression.operand, 5)} {negated}{keyword} "
+            f"{render_expression(expression.pattern, 5)}",
+            4,
+        )
+    if isinstance(expression, ast.FunctionCall):
+        distinct = "DISTINCT " if expression.distinct else ""
+        if expression.name == "extract" and len(expression.args) == 2:
+            part = expression.args[0]
+            part_text = (
+                str(part.value) if isinstance(part, ast.Literal) else
+                render_expression(part)
+            )
+            return (
+                f"EXTRACT({part_text} FROM "
+                f"{render_expression(expression.args[1])})",
+                10,
+            )
+        args = ", ".join(render_expression(a) for a in expression.args)
+        return f"{expression.name}({distinct}{args})", 10
+    if isinstance(expression, ast.Cast):
+        return (
+            f"CAST({render_expression(expression.operand)} AS {expression.type_name})",
+            10,
+        )
+    if isinstance(expression, ast.CaseWhen):
+        parts = ["CASE"]
+        for condition, value in expression.whens:
+            parts.append(
+                f"WHEN {render_expression(condition)} THEN {render_expression(value)}"
+            )
+        if expression.default is not None:
+            parts.append(f"ELSE {render_expression(expression.default)}")
+        parts.append("END")
+        return " ".join(parts), 10
+    raise UnsupportedSqlError(f"cannot render {type(expression).__name__}")
+
+
+def _render_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)

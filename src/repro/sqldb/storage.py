@@ -1,0 +1,156 @@
+"""Columnar in-memory storage.
+
+A :class:`Table` is an ordered collection of :class:`Column` objects, each a
+numpy array plus an optional null mask.  All executor operators exchange
+tables, so the storage layer doubles as the intermediate-result format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import CatalogError
+from .types import SqlType
+
+
+@dataclass
+class Column:
+    """One column of data: values plus an optional validity mask.
+
+    ``null_mask[i] is True`` means row *i* is NULL.  A ``None`` mask means the
+    column contains no NULLs, which keeps the common case allocation-free.
+    """
+
+    name: str
+    sql_type: SqlType
+    data: np.ndarray
+    null_mask: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.null_mask is not None and len(self.null_mask) != len(self.data):
+            raise ValueError("null mask length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def has_nulls(self) -> bool:
+        """Whether any row of this column is NULL."""
+        return self.null_mask is not None and bool(self.null_mask.any())
+
+    def valid_mask(self) -> np.ndarray:
+        """Boolean array that is True where the value is NOT NULL."""
+        if self.null_mask is None:
+            return np.ones(len(self.data), dtype=bool)
+        return ~self.null_mask
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by position, preserving nulls."""
+        mask = None if self.null_mask is None else self.null_mask[indices]
+        return Column(self.name, self.sql_type, self.data[indices], mask)
+
+    def filter(self, keep: np.ndarray) -> "Column":
+        """Keep the rows where *keep* is True."""
+        mask = None if self.null_mask is None else self.null_mask[keep]
+        return Column(self.name, self.sql_type, self.data[keep], mask)
+
+    def non_null_values(self) -> np.ndarray:
+        """The values of all non-NULL rows, in row order."""
+        if self.null_mask is None:
+            return self.data
+        return self.data[~self.null_mask]
+
+    @staticmethod
+    def from_values(name: str, sql_type: SqlType, values: Sequence) -> "Column":
+        """Build a column from a Python sequence, treating ``None`` as NULL."""
+        nulls = np.array([v is None for v in values], dtype=bool)
+        dtype = sql_type.numpy_dtype
+        if dtype == np.dtype(object):
+            data = np.array(list(values), dtype=object)
+        else:
+            fill: object = 0
+            cleaned = [fill if v is None else v for v in values]
+            data = np.array(cleaned, dtype=dtype)
+        mask = nulls if nulls.any() else None
+        return Column(name, sql_type, data, mask)
+
+
+@dataclass
+class Table:
+    """A named, ordered collection of equal-length columns."""
+
+    name: str
+    columns: list[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        lengths = {len(c) for c in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns in table {self.name}: {lengths}")
+        self._by_name = {c.name: c for c in self.columns}
+        if len(self._by_name) != len(self.columns):
+            raise CatalogError(f"duplicate column name in table {self.name}")
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows (0 for a table without columns)."""
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name (CatalogError if absent)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column named *name* exists."""
+        return name in self._by_name
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Gather rows by position across all columns."""
+        return Table(self.name, [c.take(indices) for c in self.columns])
+
+    def filter(self, keep: np.ndarray) -> "Table":
+        """Keep the rows where the boolean mask is True."""
+        return Table(self.name, [c.filter(keep) for c in self.columns])
+
+    def head(self, n: int) -> "Table":
+        """The first *n* rows."""
+        return Table(self.name, [
+            Column(c.name, c.sql_type, c.data[:n],
+                   None if c.null_mask is None else c.null_mask[:n])
+            for c in self.columns
+        ])
+
+    def rows(self) -> Iterable[tuple]:
+        """Iterate rows as tuples (NULL becomes ``None``); for tests/demos."""
+        for i in range(self.row_count):
+            yield tuple(
+                None
+                if (c.null_mask is not None and c.null_mask[i])
+                else c.data[i].item() if hasattr(c.data[i], "item") else c.data[i]
+                for c in self.columns
+            )
+
+    @staticmethod
+    def from_dict(
+        name: str,
+        data: Mapping[str, Sequence],
+        types: Mapping[str, SqlType],
+    ) -> "Table":
+        """Build a table from ``{column: values}`` with explicit types."""
+        columns = [
+            Column.from_values(col, types[col], values)
+            for col, values in data.items()
+        ]
+        return Table(name, columns)

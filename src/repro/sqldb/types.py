@@ -1,0 +1,130 @@
+"""SQL type system for the embedded engine.
+
+Only the types that TPC-H and IMDB need are implemented.  Dates are stored
+as integer days since the Unix epoch so that range predicates over dates are
+plain integer comparisons in both the executor and the histogram code.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class SqlType(enum.Enum):
+    """Concrete column types supported by the engine."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DOUBLE = "double precision"
+    TEXT = "text"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (SqlType.INTEGER, SqlType.BIGINT, SqlType.DOUBLE)
+
+    @property
+    def is_orderable(self) -> bool:
+        """Whether values can appear in range predicates and histograms."""
+        return self is not SqlType.BOOLEAN
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The dtype used by :mod:`repro.sqldb.storage` for this type."""
+        mapping = {
+            SqlType.INTEGER: np.dtype(np.int64),
+            SqlType.BIGINT: np.dtype(np.int64),
+            SqlType.DOUBLE: np.dtype(np.float64),
+            SqlType.TEXT: np.dtype(object),
+            SqlType.DATE: np.dtype(np.int64),
+            SqlType.BOOLEAN: np.dtype(np.bool_),
+        }
+        return mapping[self]
+
+    @property
+    def byte_width(self) -> int:
+        """Approximate on-disk width, used by the cost model for page counts."""
+        mapping = {
+            SqlType.INTEGER: 4,
+            SqlType.BIGINT: 8,
+            SqlType.DOUBLE: 8,
+            SqlType.TEXT: 32,
+            SqlType.DATE: 4,
+            SqlType.BOOLEAN: 1,
+        }
+        return mapping[self]
+
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_days(value: datetime.date | str) -> int:
+    """Convert a date (or ISO string) to integer days since the epoch."""
+    if isinstance(value, str):
+        value = datetime.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> datetime.date:
+    """Inverse of :func:`date_to_days`."""
+    return _EPOCH + datetime.timedelta(days=int(days))
+
+
+def parse_type_name(name: str) -> SqlType:
+    """Map a SQL type name (as written in DDL) to a :class:`SqlType`."""
+    normalized = name.strip().lower()
+    aliases = {
+        "int": SqlType.INTEGER,
+        "integer": SqlType.INTEGER,
+        "int4": SqlType.INTEGER,
+        "bigint": SqlType.BIGINT,
+        "int8": SqlType.BIGINT,
+        "double": SqlType.DOUBLE,
+        "double precision": SqlType.DOUBLE,
+        "float": SqlType.DOUBLE,
+        "float8": SqlType.DOUBLE,
+        "real": SqlType.DOUBLE,
+        "numeric": SqlType.DOUBLE,
+        "decimal": SqlType.DOUBLE,
+        "text": SqlType.TEXT,
+        "varchar": SqlType.TEXT,
+        "char": SqlType.TEXT,
+        "string": SqlType.TEXT,
+        "date": SqlType.DATE,
+        "boolean": SqlType.BOOLEAN,
+        "bool": SqlType.BOOLEAN,
+    }
+    # Strip a length suffix such as varchar(25).
+    if "(" in normalized:
+        normalized = normalized.split("(", 1)[0].strip()
+    if normalized not in aliases:
+        raise ValueError(f"unknown SQL type name: {name!r}")
+    return aliases[normalized]
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A column's type plus nullability, as recorded in the catalog."""
+
+    sql_type: SqlType
+    nullable: bool = True
+
+    def __str__(self) -> str:
+        suffix = "" if self.nullable else " not null"
+        return f"{self.sql_type.value}{suffix}"
+
+
+def common_numeric_type(left: SqlType, right: SqlType) -> SqlType:
+    """The result type of an arithmetic expression over two numeric types."""
+    if not (left.is_numeric and right.is_numeric):
+        raise ValueError(f"not numeric: {left}, {right}")
+    if SqlType.DOUBLE in (left, right):
+        return SqlType.DOUBLE
+    if SqlType.BIGINT in (left, right):
+        return SqlType.BIGINT
+    return SqlType.INTEGER

@@ -1,0 +1,34 @@
+"""Shared workload data model: templates, specs, queries, distributions."""
+
+from .analyzer import TemplateStructure, analyze_sql, analyze_statement, check_template
+from .distribution import CostDistribution, DistributionTracker
+from .placeholders import infer_placeholder_bindings
+from .query import GeneratedQuery, Workload
+from .replay import QueryOutcome, ReplayReport, replay_workload
+from .spec import TemplateSpec, parse_instructions
+from .stats import CostSummary, StructuralMix, WorkloadReport, describe_workload
+from .template import PlaceholderInfo, SqlTemplate, render_literal
+
+__all__ = [
+    "CostDistribution",
+    "CostSummary",
+    "DistributionTracker",
+    "GeneratedQuery",
+    "QueryOutcome",
+    "ReplayReport",
+    "StructuralMix",
+    "replay_workload",
+    "WorkloadReport",
+    "describe_workload",
+    "PlaceholderInfo",
+    "SqlTemplate",
+    "TemplateSpec",
+    "TemplateStructure",
+    "Workload",
+    "analyze_sql",
+    "analyze_statement",
+    "check_template",
+    "infer_placeholder_bindings",
+    "parse_instructions",
+    "render_literal",
+]

@@ -1,0 +1,162 @@
+"""Ground-truth structural analysis of SQL statements.
+
+:func:`analyze_sql` computes the structural features a
+:class:`~repro.workload.spec.TemplateSpec` constrains — table count, join
+count, aggregation count, placeholder count, GROUP BY / subquery / ORDER BY /
+LIMIT presence.  It is the arbiter for the paper's "Template Alignment
+Accuracy" metric, and the simulated LLM's semantic validator consults it
+(with optional noise) to mimic LLM self-checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_select
+from .spec import TemplateSpec
+
+
+@dataclass(frozen=True)
+class TemplateStructure:
+    """Measured structural features of one SQL statement."""
+
+    num_tables: int
+    num_joins: int
+    num_aggregations: int
+    num_predicates: int
+    num_scans: int
+    has_group_by: bool
+    has_nested_subquery: bool
+    has_order_by: bool
+    has_limit: bool
+    has_complex_scalar: bool
+    has_union: bool = False
+
+    def violations(self, spec: TemplateSpec) -> list[str]:
+        """Human-readable explanations of every spec mismatch (empty = ok)."""
+        problems: list[str] = []
+        checks = [
+            ("num_tables", self.num_tables, "accesses {got} tables, expected {want}"),
+            ("num_joins", self.num_joins, "has {got} joins, expected {want}"),
+            (
+                "num_aggregations",
+                self.num_aggregations,
+                "has {got} aggregations, expected {want}",
+            ),
+            (
+                "num_predicates",
+                self.num_predicates,
+                "has {got} predicate placeholders, expected {want}",
+            ),
+        ]
+        for name, got, message in checks:
+            want = getattr(spec, name)
+            if want is not None and got != want:
+                problems.append(message.format(got=got, want=want))
+        flags = [
+            ("require_group_by", self.has_group_by, "GROUP BY"),
+            ("require_nested_subquery", self.has_nested_subquery, "a nested subquery"),
+            ("require_order_by", self.has_order_by, "ORDER BY"),
+            ("require_limit", self.has_limit, "LIMIT"),
+            (
+                "require_complex_scalar",
+                self.has_complex_scalar,
+                "complex scalar expressions",
+            ),
+            ("require_union", self.has_union, "a UNION of subqueries"),
+        ]
+        for name, got, label in flags:
+            want = getattr(spec, name)
+            if want is True and not got:
+                problems.append(f"is missing {label}")
+            elif want is False and got:
+                problems.append(f"must not use {label}")
+        return problems
+
+    def satisfies(self, spec: TemplateSpec) -> bool:
+        return not self.violations(spec)
+
+
+def analyze_sql(sql: str) -> TemplateStructure:
+    """Parse *sql* (queries and templates alike) and measure its structure."""
+    return analyze_statement(parse_select(sql))
+
+
+def analyze_statement(
+    statement: ast.SelectStatement | ast.CompoundSelect,
+) -> TemplateStructure:
+    branches = (
+        statement.selects
+        if isinstance(statement, ast.CompoundSelect)
+        else [statement]
+    )
+    # Per-branch counts: a spec's "2 joins" constrains the query's shape,
+    # which UNION repeats per branch — so structural counts are the maximum
+    # over branches, while tables and placeholders aggregate across them.
+    tables: set[str] = set()
+    num_joins = 0
+    num_aggregations = 0
+    num_scans = 0
+    has_nested_subquery = False
+    complex_scalar_score = 0
+    for branch in branches:
+        branch_joins = branch_aggs = branch_scans = branch_complex = 0
+        for node in branch.walk():
+            if isinstance(node, ast.TableRef):
+                tables.add(node.name)
+                branch_scans += 1
+            elif isinstance(node, ast.Join):
+                branch_joins += 1
+            elif isinstance(node, ast.FunctionCall):
+                if node.is_aggregate:
+                    branch_aggs += 1
+                else:
+                    branch_complex += 1
+            elif isinstance(
+                node,
+                (ast.InSubquery, ast.Exists, ast.ScalarSubquery, ast.DerivedTable),
+            ):
+                has_nested_subquery = True
+            elif isinstance(node, ast.CaseWhen):
+                branch_complex += 2
+            elif isinstance(node, (ast.Cast,)):
+                branch_complex += 1
+            elif isinstance(node, ast.BinaryOp) and node.op in (
+                "+", "-", "*", "/", "||",
+            ):
+                branch_complex += 1
+        num_joins = max(num_joins, branch_joins)
+        num_aggregations = max(num_aggregations, branch_aggs)
+        num_scans = max(num_scans, branch_scans)
+        complex_scalar_score = max(complex_scalar_score, branch_complex)
+
+    placeholders = ast.find_placeholders(statement)
+    return TemplateStructure(
+        num_tables=len(tables),
+        num_joins=num_joins,
+        num_aggregations=num_aggregations,
+        num_predicates=len(placeholders),
+        num_scans=num_scans,
+        has_group_by=any(b.group_by for b in branches),
+        has_nested_subquery=has_nested_subquery,
+        has_order_by=any(b.order_by for b in branches),
+        has_limit=any(b.limit is not None for b in branches),
+        has_complex_scalar=complex_scalar_score >= 3,
+        has_union=len(branches) > 1,
+    )
+
+
+def check_template(sql: str, spec: TemplateSpec) -> tuple[bool, list[str]]:
+    """Convenience wrapper: (satisfies, violations) for *sql* against *spec*.
+
+    A syntactically invalid statement is reported as a single violation
+    rather than an exception, so callers can treat "cannot parse" uniformly
+    with "parsed but wrong".
+    """
+    try:
+        structure = analyze_sql(sql)
+    except Exception as exc:  # SqlSyntaxError and friends
+        return False, [f"could not parse template: {exc}"]
+    violations = structure.violations(spec)
+    return not violations, violations

@@ -1,0 +1,191 @@
+"""Placeholder-to-column inference.
+
+To search predicate values, the system must know which column each
+placeholder is compared against.  This module walks a template's AST, builds
+the FROM-clause binding map against the catalog, and attributes every
+placeholder to (table, column, operator) — the metadata that drives both the
+value domains of profiling/LHS sampling and the Bayesian search space.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.catalog import Catalog
+from .template import PlaceholderInfo
+
+
+def infer_placeholder_bindings(
+    statement: ast.SelectStatement, catalog: Catalog
+) -> list[PlaceholderInfo]:
+    """Return one :class:`PlaceholderInfo` per distinct placeholder."""
+    found: dict[str, PlaceholderInfo] = {}
+    _scan_statement(statement, catalog, found)
+    # Keep document order of first appearance.
+    ordered = []
+    for name in ast.find_placeholders(statement):
+        ordered.append(found.get(name, PlaceholderInfo(name=name)))
+    return ordered
+
+
+def _scan_statement(
+    statement: ast.SelectStatement | ast.CompoundSelect,
+    catalog: Catalog,
+    found: dict[str, PlaceholderInfo],
+) -> None:
+    if isinstance(statement, ast.CompoundSelect):
+        for branch in statement.selects:
+            _scan_statement(branch, catalog, found)
+        return
+    bindings = _binding_map(statement.from_clause, catalog)
+    clauses: list[ast.Expression] = [i.expression for i in statement.select_items]
+    if statement.where is not None:
+        clauses.append(statement.where)
+    if statement.having is not None:
+        clauses.append(statement.having)
+    clauses.extend(statement.group_by)
+    clauses.extend(o.expression for o in statement.order_by)
+    if statement.from_clause is not None:
+        for node in statement.from_clause.walk():
+            if isinstance(node, ast.Join) and node.condition is not None:
+                clauses.append(node.condition)
+            if isinstance(node, ast.DerivedTable):
+                _scan_statement(node.subquery, catalog, found)
+    for clause in clauses:
+        _scan_expression(clause, bindings, catalog, found)
+
+
+def _binding_map(
+    from_clause: ast.TableExpression | None, catalog: Catalog
+) -> dict[str, str]:
+    """binding name -> base table name (derived tables are skipped)."""
+    bindings: dict[str, str] = {}
+    if from_clause is None:
+        return bindings
+    for node in from_clause.walk():
+        if isinstance(node, ast.TableRef) and catalog.has_table(node.name):
+            bindings[node.binding_name] = node.name
+    return bindings
+
+
+def _scan_expression(
+    expression: ast.Expression,
+    bindings: dict[str, str],
+    catalog: Catalog,
+    found: dict[str, PlaceholderInfo],
+) -> None:
+    if isinstance(expression, ast.BinaryOp):
+        if expression.op in ("=", "<>", "<", "<=", ">", ">="):
+            self_ph = _placeholder_of(expression.right)
+            column = _column_of(expression.left)
+            if self_ph is None and _placeholder_of(expression.left) is not None:
+                self_ph = _placeholder_of(expression.left)
+                column = _column_of(expression.right)
+            if self_ph is not None and column is not None:
+                _record(self_ph, column, expression.op, bindings, catalog, found)
+        _scan_expression(expression.left, bindings, catalog, found)
+        _scan_expression(expression.right, bindings, catalog, found)
+        return
+    if isinstance(expression, ast.Between):
+        column = _column_of(expression.operand)
+        for bound in (expression.low, expression.high):
+            name = _placeholder_of(bound)
+            if name is not None and column is not None:
+                _record(name, column, "between", bindings, catalog, found)
+        for child in (expression.operand, expression.low, expression.high):
+            _scan_expression(child, bindings, catalog, found)
+        return
+    if isinstance(expression, ast.InList):
+        column = _column_of(expression.operand)
+        for item in expression.items:
+            name = _placeholder_of(item)
+            if name is not None and column is not None:
+                _record(name, column, "in", bindings, catalog, found)
+            _scan_expression(item, bindings, catalog, found)
+        _scan_expression(expression.operand, bindings, catalog, found)
+        return
+    if isinstance(expression, ast.Like):
+        name = _placeholder_of(expression.pattern)
+        column = _column_of(expression.operand)
+        if name is not None and column is not None:
+            _record(name, column, "like", bindings, catalog, found)
+        _scan_expression(expression.operand, bindings, catalog, found)
+        _scan_expression(expression.pattern, bindings, catalog, found)
+        return
+    if isinstance(expression, (ast.InSubquery,)):
+        _scan_expression(expression.operand, bindings, catalog, found)
+        _scan_statement(expression.subquery, catalog, found)
+        return
+    if isinstance(expression, (ast.Exists, ast.ScalarSubquery)):
+        _scan_statement(expression.subquery, catalog, found)
+        return
+    for child in expression.children():
+        if isinstance(child, ast.Expression):
+            _scan_expression(child, bindings, catalog, found)
+        elif isinstance(child, ast.SelectStatement):
+            _scan_statement(child, catalog, found)
+
+
+def _placeholder_of(expression: ast.Expression) -> str | None:
+    if isinstance(expression, ast.Placeholder):
+        return expression.name
+    # Allow simple arithmetic around the placeholder, e.g. {p_1} * 100.
+    if isinstance(expression, ast.BinaryOp) and expression.op in "+-*/":
+        left = _placeholder_of(expression.left)
+        if left is not None:
+            return left
+        return _placeholder_of(expression.right)
+    if isinstance(expression, ast.UnaryOp):
+        return _placeholder_of(expression.operand)
+    return None
+
+
+def _column_of(expression: ast.Expression) -> ast.ColumnRef | None:
+    if isinstance(expression, ast.ColumnRef):
+        return expression
+    if isinstance(expression, ast.FunctionCall) and expression.args:
+        # e.g. round(col, 2) > {p}: attribute the placeholder to col
+        for arg in expression.args:
+            column = _column_of(arg)
+            if column is not None:
+                return column
+    if isinstance(expression, ast.BinaryOp):
+        return _column_of(expression.left) or _column_of(expression.right)
+    if isinstance(expression, ast.Cast):
+        return _column_of(expression.operand)
+    return None
+
+
+def _record(
+    name: str,
+    column: ast.ColumnRef,
+    operator: str,
+    bindings: dict[str, str],
+    catalog: Catalog,
+    found: dict[str, PlaceholderInfo],
+) -> None:
+    if name in found:
+        return
+    table = None
+    if column.table is not None:
+        table = bindings.get(column.table, column.table)
+    else:
+        for candidate in bindings.values():
+            if catalog.has_table(candidate) and catalog.table(candidate).has_column(
+                column.column
+            ):
+                table = candidate
+                break
+    sql_type = None
+    if table is not None and catalog.has_table(table):
+        meta = catalog.table(table)
+        if meta.has_column(column.column):
+            sql_type = meta.column(column.column).sql_type
+        else:
+            table = None
+    found[name] = PlaceholderInfo(
+        name=name,
+        table=table,
+        column=column.column if table else None,
+        sql_type=sql_type,
+        operator=operator,
+    )

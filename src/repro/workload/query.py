@@ -1,0 +1,78 @@
+"""Generated queries and workload containers."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One executable SQL query produced by a generator."""
+
+    sql: str
+    cost: float
+    template_id: str | None = None
+    predicate_values: Mapping[str, object] | None = None
+    cost_type: str = "plan_cost"
+
+    def to_json(self) -> dict:
+        return {
+            "sql": self.sql,
+            "cost": self.cost,
+            "template_id": self.template_id,
+            "predicate_values": dict(self.predicate_values or {}),
+            "cost_type": self.cost_type,
+        }
+
+
+@dataclass
+class Workload:
+    """An ordered collection of generated queries."""
+
+    queries: list[GeneratedQuery] = field(default_factory=list)
+    name: str = "workload"
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[GeneratedQuery]:
+        return iter(self.queries)
+
+    def add(self, query: GeneratedQuery) -> None:
+        self.queries.append(query)
+
+    def extend(self, queries: Iterable[GeneratedQuery]) -> None:
+        self.queries.extend(queries)
+
+    @property
+    def costs(self) -> list[float]:
+        return [q.cost for q in self.queries]
+
+    @property
+    def template_ids(self) -> set[str]:
+        return {q.template_id for q in self.queries if q.template_id}
+
+    def to_jsonl(self) -> str:
+        """Serialize as one JSON object per line (workload export format)."""
+        return "\n".join(json.dumps(q.to_json()) for q in self.queries)
+
+    @staticmethod
+    def from_jsonl(text: str, name: str = "workload") -> "Workload":
+        queries = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            queries.append(
+                GeneratedQuery(
+                    sql=payload["sql"],
+                    cost=float(payload["cost"]),
+                    template_id=payload.get("template_id"),
+                    predicate_values=payload.get("predicate_values") or None,
+                    cost_type=payload.get("cost_type", "plan_cost"),
+                )
+            )
+        return Workload(queries=queries, name=name)

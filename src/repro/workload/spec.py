@@ -1,0 +1,179 @@
+"""Template specifications (paper Def. 2.5) and their NL/JSON front-ends.
+
+A :class:`TemplateSpec` captures the structural constraints a user puts on one
+SQL template: counts (tables, joins, aggregations, predicates) and boolean
+features (nested subquery, GROUP BY, ORDER BY, complex scalar expressions).
+Specs can be built programmatically, parsed from JSON dictionaries, or parsed
+from free-form natural-language instructions — SQLBarber's declarative
+interface accepts all three.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """Structural constraints for one SQL template."""
+
+    spec_id: str = "spec"
+    num_tables: int | None = None
+    num_joins: int | None = None
+    num_aggregations: int | None = None
+    num_predicates: int | None = None
+    require_group_by: bool | None = None
+    require_nested_subquery: bool | None = None
+    require_order_by: bool | None = None
+    require_limit: bool | None = None
+    require_complex_scalar: bool | None = None
+    require_union: bool | None = None
+    instructions: tuple[str, ...] = field(default_factory=tuple)
+
+    def merged_with_instructions(self, *texts: str) -> "TemplateSpec":
+        """Fold extra natural-language instructions into this spec."""
+        extra = parse_instructions(" ".join(texts))
+        merged = self
+        for name, value in extra.items():
+            if getattr(merged, name, None) is None:
+                merged = replace(merged, **{name: value})
+        return replace(
+            merged, instructions=tuple(self.instructions) + tuple(texts)
+        )
+
+    def to_prompt_text(self) -> str:
+        """Human/LLM-readable description used in prompt construction."""
+        parts: list[str] = []
+        if self.num_tables is not None:
+            parts.append(f"access exactly {self.num_tables} table(s)")
+        if self.num_joins is not None:
+            parts.append(f"contain exactly {self.num_joins} join(s)")
+        if self.num_aggregations is not None:
+            parts.append(f"use exactly {self.num_aggregations} aggregation(s)")
+        if self.num_predicates is not None:
+            parts.append(
+                f"have exactly {self.num_predicates} predicate placeholder(s)"
+            )
+        if self.require_group_by:
+            parts.append("include a GROUP BY clause")
+        if self.require_group_by is False:
+            parts.append("not use GROUP BY")
+        if self.require_nested_subquery:
+            parts.append("contain a nested subquery")
+        if self.require_order_by:
+            parts.append("include an ORDER BY clause")
+        if self.require_limit:
+            parts.append("include a LIMIT clause")
+        if self.require_complex_scalar:
+            parts.append("use complex scalar expressions")
+        if self.require_union:
+            parts.append("combine two subqueries with UNION")
+        body = "; ".join(parts) if parts else "no structural constraints"
+        text = f"The SQL template must {body}."
+        for instruction in self.instructions:
+            text += f"\nUser instruction: {instruction}"
+        return text
+
+    @staticmethod
+    def from_json(payload: dict, spec_id: str | None = None) -> "TemplateSpec":
+        """Build a spec from a JSON-style dict (Redset-like annotations)."""
+        aliases = {
+            "template_id": "spec_id",
+            "id": "spec_id",
+            "num_tables_accessed": "num_tables",
+            "num_tables": "num_tables",
+            "num_joins": "num_joins",
+            "num_aggregations": "num_aggregations",
+            "num_aggregates": "num_aggregations",
+            "num_predicates": "num_predicates",
+            "group_by": "require_group_by",
+            "nested_subquery": "require_nested_subquery",
+            "order_by": "require_order_by",
+            "limit": "require_limit",
+        }
+        kwargs: dict = {}
+        instructions: list[str] = []
+        for key, value in payload.items():
+            key_lower = key.lower()
+            if key_lower in ("instructions", "natural_language"):
+                if isinstance(value, str):
+                    instructions.append(value)
+                else:
+                    instructions.extend(value)
+                continue
+            if key_lower in aliases:
+                target = aliases[key_lower]
+                kwargs[target] = (
+                    str(value) if target == "spec_id" else value
+                )
+        if spec_id is not None:
+            kwargs["spec_id"] = spec_id
+        kwargs.setdefault("spec_id", "spec")
+        spec = TemplateSpec(**kwargs)
+        if instructions:
+            spec = spec.merged_with_instructions(*instructions)
+        return spec
+
+    @staticmethod
+    def from_natural_language(text: str, spec_id: str = "spec") -> "TemplateSpec":
+        """Parse a free-form instruction into a spec (plus keep the text)."""
+        fields = parse_instructions(text)
+        return TemplateSpec(spec_id=spec_id, instructions=(text,), **fields)
+
+
+_NUMBER_WORDS = {
+    "no": 0, "zero": 0, "one": 1, "two": 2, "three": 3, "four": 4,
+    "five": 5, "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+}
+
+
+def _parse_count(match: re.Match) -> int:
+    token = match.group(1).lower()
+    return _NUMBER_WORDS.get(token, None) if token in _NUMBER_WORDS else int(token)
+
+
+def parse_instructions(text: str) -> dict:
+    """Extract structural constraints from natural-language instructions.
+
+    Recognizes phrasing like "5 joins", "three aggregations", "no joins",
+    "a nested subquery", "two predicates", "use GROUP BY", "accesses 3
+    tables".  Anything it cannot parse is simply carried along as prose for
+    the LLM prompt — the parse is a convenience, not a gatekeeper.
+    """
+    lowered = text.lower()
+    fields: dict = {}
+    count = r"(\d+|no|zero|one|two|three|four|five|six|seven|eight|nine|ten)"
+    patterns = {
+        "num_joins": rf"{count}\s+joins?\b",
+        "num_tables": rf"(?:access(?:es)?\s+)?{count}\s+tables?\b",
+        "num_aggregations": rf"{count}\s+aggregat\w*",
+        "num_predicates": rf"{count}\s+predicates?(?:\s+values?)?\b",
+    }
+    for name, pattern in patterns.items():
+        match = re.search(pattern, lowered)
+        if match:
+            fields[name] = _parse_count(match)
+    if re.search(r"nested\s+(?:sub)?quer", lowered) or "subquery" in lowered:
+        fields["require_nested_subquery"] = not re.search(
+            r"(?:no|without)\s+(?:a\s+)?(?:nested\s+)?subquer", lowered
+        )
+    if "group by" in lowered or "groupby" in lowered:
+        fields["require_group_by"] = not re.search(
+            r"(?:no|without|not use)\s+(?:a\s+)?group\s*by", lowered
+        )
+    if "order by" in lowered:
+        fields["require_order_by"] = not re.search(
+            r"(?:no|without)\s+(?:an\s+)?order\s*by", lowered
+        )
+    if re.search(r"\blimit\b", lowered):
+        fields["require_limit"] = not re.search(r"(?:no|without)\s+limit", lowered)
+    if "complex scalar" in lowered:
+        fields["require_complex_scalar"] = True
+    if re.search(r"\bunion\b", lowered):
+        fields["require_union"] = not re.search(
+            r"(?:no|without)\s+(?:a\s+)?union", lowered
+        )
+    if re.search(r"(?:no|without)\s+joins?\b", lowered):
+        fields["num_joins"] = 0
+    return fields

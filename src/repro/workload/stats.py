@@ -1,0 +1,130 @@
+"""Workload-level statistics and reporting.
+
+Given a generated :class:`~repro.workload.query.Workload`, summarise what a
+benchmark consumer cares about: the cost distribution actually achieved,
+per-template contribution, and the structural mix (joins, aggregations,
+subqueries) across queries — the same lenses the paper uses to argue a
+workload is "realistic".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .analyzer import analyze_sql
+from .distribution import CostDistribution
+from .query import Workload
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    p95: float
+
+    @staticmethod
+    def of(costs: list[float]) -> "CostSummary":
+        if not costs:
+            return CostSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        array = np.asarray(costs, dtype=np.float64)
+        return CostSummary(
+            count=len(costs),
+            minimum=float(array.min()),
+            maximum=float(array.max()),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            p95=float(np.percentile(array, 95)),
+        )
+
+
+@dataclass
+class StructuralMix:
+    """Distribution of structural features across a workload's queries."""
+
+    joins: dict[int, int] = field(default_factory=dict)
+    aggregations: dict[int, int] = field(default_factory=dict)
+    tables: dict[int, int] = field(default_factory=dict)
+    with_group_by: int = 0
+    with_subquery: int = 0
+    with_order_by: int = 0
+    with_limit: int = 0
+    unparseable: int = 0
+
+
+@dataclass
+class WorkloadReport:
+    """Everything :func:`describe_workload` computes."""
+
+    name: str
+    cost: CostSummary
+    structure: StructuralMix
+    queries_per_template: dict[str, int]
+    alignment: float | None = None  # Wasserstein vs. a target, if given
+
+    def to_text(self) -> str:
+        lines = [f"Workload '{self.name}': {self.cost.count} queries"]
+        lines.append(
+            f"  cost: min={self.cost.minimum:.1f} median={self.cost.median:.1f} "
+            f"mean={self.cost.mean:.1f} p95={self.cost.p95:.1f} "
+            f"max={self.cost.maximum:.1f}"
+        )
+        if self.alignment is not None:
+            lines.append(f"  Wasserstein distance to target: {self.alignment:.2f}")
+        joins = ", ".join(
+            f"{k}j:{v}" for k, v in sorted(self.structure.joins.items())
+        )
+        lines.append(f"  joins: {joins}")
+        aggregates = ", ".join(
+            f"{k}a:{v}" for k, v in sorted(self.structure.aggregations.items())
+        )
+        lines.append(f"  aggregations: {aggregates}")
+        lines.append(
+            f"  group_by={self.structure.with_group_by} "
+            f"subquery={self.structure.with_subquery} "
+            f"order_by={self.structure.with_order_by} "
+            f"limit={self.structure.with_limit}"
+        )
+        lines.append(f"  templates used: {len(self.queries_per_template)}")
+        return "\n".join(lines)
+
+
+def describe_workload(
+    workload: Workload, target: CostDistribution | None = None
+) -> WorkloadReport:
+    """Compute the full report for *workload* (optionally vs. a target)."""
+    structure = StructuralMix()
+    per_template: dict[str, int] = {}
+    for query in workload:
+        template_id = query.template_id or "(none)"
+        per_template[template_id] = per_template.get(template_id, 0) + 1
+        try:
+            features = analyze_sql(query.sql)
+        except Exception:
+            structure.unparseable += 1
+            continue
+        structure.joins[features.num_joins] = (
+            structure.joins.get(features.num_joins, 0) + 1
+        )
+        structure.aggregations[features.num_aggregations] = (
+            structure.aggregations.get(features.num_aggregations, 0) + 1
+        )
+        structure.tables[features.num_tables] = (
+            structure.tables.get(features.num_tables, 0) + 1
+        )
+        structure.with_group_by += features.has_group_by
+        structure.with_subquery += features.has_nested_subquery
+        structure.with_order_by += features.has_order_by
+        structure.with_limit += features.has_limit
+    alignment = target.wasserstein(workload.costs) if target else None
+    return WorkloadReport(
+        name=workload.name,
+        cost=CostSummary.of(workload.costs),
+        structure=structure,
+        queries_per_template=per_template,
+        alignment=alignment,
+    )

@@ -1,0 +1,107 @@
+"""SQL templates and their instantiation into executable queries.
+
+A template is a SQL statement with ``{name}`` placeholders (paper Def. 2.1).
+Instantiating a template substitutes concrete predicate values for the
+placeholders (Def. 2.3).  Values are rendered as SQL literals with proper
+quoting, so substitution is purely textual and the template's own SQL text
+stays the single source of truth.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.sqldb import SelectStatement, days_to_date, find_placeholders, parse_select
+from repro.sqldb.types import SqlType
+
+
+def render_literal(value: object, sql_type: SqlType | None = None) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, datetime.date):
+        return f"'{value.isoformat()}'"
+    if isinstance(value, float):
+        if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+            return str(int(round(value)))
+        return repr(float(value))
+    if isinstance(value, int):
+        if sql_type is SqlType.DATE:
+            return f"'{days_to_date(value).isoformat()}'"
+        if sql_type is SqlType.DOUBLE:
+            return repr(float(value))
+        return str(int(value))
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+@dataclass(frozen=True)
+class PlaceholderInfo:
+    """What the engine knows about one placeholder in a template.
+
+    ``table``/``column`` identify the column the placeholder is compared
+    against, which is how the predicate search derives its value domain.
+    """
+
+    name: str
+    table: str | None = None
+    column: str | None = None
+    sql_type: SqlType | None = None
+    operator: str | None = None  # '=', '<', 'between', 'in', 'like', ...
+
+
+@dataclass
+class SqlTemplate:
+    """A SQL template: text with placeholders plus derived metadata."""
+
+    template_id: str
+    sql: str
+    spec_id: str | None = None
+    parent_id: str | None = None  # set when refined from another template
+    placeholders: list[PlaceholderInfo] = field(default_factory=list)
+
+    _parsed: SelectStatement | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def placeholder_names(self) -> list[str]:
+        if self.placeholders:
+            return [p.name for p in self.placeholders]
+        return find_placeholders(self.parse())
+
+    def parse(self) -> SelectStatement:
+        """Parse (and cache) the template text."""
+        if self._parsed is None:
+            self._parsed = parse_select(self.sql)
+        return self._parsed
+
+    def instantiate(self, values: Mapping[str, object]) -> str:
+        """Substitute *values* for the placeholders and return runnable SQL.
+
+        Raises :class:`KeyError` if a placeholder has no value.
+        """
+        sql = self.sql
+        info_by_name = {p.name: p for p in self.placeholders}
+        for name in self.placeholder_names:
+            if name not in values:
+                raise KeyError(f"no value for placeholder {{{name}}}")
+            info = info_by_name.get(name)
+            literal = render_literal(
+                values[name], info.sql_type if info else None
+            )
+            sql = sql.replace(f"{{{name}}}", literal)
+        return sql
+
+    def with_sql(self, sql: str, template_id: str) -> "SqlTemplate":
+        """A copy of this template with new SQL (used by refinement)."""
+        return SqlTemplate(
+            template_id=template_id,
+            sql=sql,
+            spec_id=self.spec_id,
+            parent_id=self.template_id,
+        )

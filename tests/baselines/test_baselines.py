@@ -1,0 +1,153 @@
+"""Baseline generators: pool construction, scheduling, and search behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HillClimbing,
+    LearnedSQLGen,
+    build_template_pool,
+    perturb_template_sql,
+)
+from repro.core import BarberConfig, TemplateProfiler, schema_payload
+from repro.datasets import build_tpch, redset_spec_workload
+from repro.sqldb.parser import parse_select
+from repro.workload import CostDistribution, analyze_sql
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_tpch(scale=0.002)
+
+
+@pytest.fixture(scope="module")
+def profiler(db):
+    return TemplateProfiler(db, BarberConfig(seed=0))
+
+
+@pytest.fixture(scope="module")
+def schema(db):
+    return schema_payload(db)
+
+
+@pytest.fixture(scope="module")
+def pool(db, profiler, schema):
+    return build_template_pool(
+        db,
+        redset_spec_workload(num_specs=4),
+        pool_size=30,
+        profiler=profiler,
+        schema=schema,
+        seed=0,
+    )
+
+
+class TestPerturbation:
+    def test_perturbed_sql_parses(self, schema):
+        rng = np.random.default_rng(0)
+        base = "SELECT * FROM orders WHERE o_totalprice > {p_1}"
+        for _ in range(10):
+            mutated = perturb_template_sql(base, schema, rng)
+            if mutated is not None:
+                parse_select(mutated)
+
+    def test_perturbation_changes_predicate_count(self, schema):
+        rng = np.random.default_rng(1)
+        base = "SELECT * FROM orders WHERE o_totalprice > {p_1}"
+        counts = set()
+        for _ in range(20):
+            mutated = perturb_template_sql(base, schema, rng)
+            if mutated:
+                counts.add(analyze_sql(mutated).num_predicates)
+        assert len(counts) >= 2  # sometimes adds, sometimes removes
+
+
+class TestPool:
+    def test_pool_size_and_usability(self, pool):
+        assert len(pool) >= 20
+        assert all(p.is_usable for p in pool)
+
+    def test_pool_templates_distinct(self, pool):
+        sqls = {p.template.sql for p in pool}
+        assert len(sqls) == len(pool)
+
+    def test_pool_has_cost_diversity(self, pool):
+        mins = min(p.min_cost for p in pool)
+        maxs = max(p.max_cost for p in pool)
+        assert maxs > mins * 2
+
+
+class TestScheduling:
+    def test_invalid_heuristic_rejected(self, profiler, pool):
+        with pytest.raises(ValueError):
+            HillClimbing(profiler, pool, heuristic="zigzag")
+
+    def test_names(self, profiler, pool):
+        assert HillClimbing(profiler, pool, "order").name == "hillclimbing-order"
+        assert (
+            LearnedSQLGen(profiler, pool, "priority").name
+            == "learnedsqlgen-priority"
+        )
+
+    def test_order_heuristic_fills_low_intervals_first(self, profiler, pool):
+        generator = HillClimbing(profiler, pool, heuristic="order", seed=0)
+        distribution = CostDistribution.uniform(0, 800, 20, 4)
+        run = generator.generate(distribution, per_interval_budget_seconds=0.3)
+        # With a tiny budget, earlier (cheaper) intervals get filled first.
+        achieved = run.tracker.achieved
+        assert achieved[0] >= achieved[-1]
+
+
+@pytest.mark.parametrize("generator_cls", [HillClimbing, LearnedSQLGen])
+class TestGeneration:
+    def test_fills_easy_target(self, generator_cls, profiler, pool):
+        generator = generator_cls(profiler, pool, heuristic="priority", seed=1)
+        distribution = CostDistribution.uniform(0, 800, 30, 3)
+        run = generator.generate(distribution, per_interval_budget_seconds=3.0)
+        assert run.final_distance < distribution.wasserstein([])
+        assert len(run.queries) > 0
+
+    def test_queries_are_deduplicated(self, generator_cls, profiler, pool):
+        generator = generator_cls(profiler, pool, heuristic="priority", seed=2)
+        distribution = CostDistribution.uniform(0, 800, 20, 2)
+        run = generator.generate(distribution, per_interval_budget_seconds=2.0)
+        keys = [
+            (q.template_id, tuple(sorted(q.predicate_values.items())))
+            for q in run.queries
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_unreachable_interval_stays_empty(self, generator_cls, profiler, pool):
+        generator = generator_cls(profiler, pool, heuristic="priority", seed=3)
+        ceiling = max(p.max_cost for p in pool)
+        distribution = CostDistribution(ceiling * 100, ceiling * 200, (5, 5))
+        run = generator.generate(distribution, per_interval_budget_seconds=0.5)
+        assert len(run.queries) == 0
+        assert not run.complete
+
+    def test_trace_recorded(self, generator_cls, profiler, pool):
+        generator = generator_cls(profiler, pool, heuristic="order", seed=4)
+        distribution = CostDistribution.uniform(0, 800, 10, 2)
+        run = generator.generate(distribution, per_interval_budget_seconds=1.0)
+        assert len(run.trace) >= 2
+        times = [t for t, _ in run.trace]
+        assert times == sorted(times)
+
+    def test_respects_per_interval_budget(self, generator_cls, profiler, pool):
+        generator = generator_cls(profiler, pool, heuristic="order", seed=5)
+        ceiling = max(p.max_cost for p in pool)
+        # Unreachable: every interval burns its full budget.
+        distribution = CostDistribution(
+            ceiling * 100, ceiling * 200, (5, 5, 5)
+        )
+        run = generator.generate(distribution, per_interval_budget_seconds=0.4)
+        assert 1.0 <= run.elapsed_seconds < 4.0
+
+
+class TestLearnedSQLGenSpecifics:
+    def test_q_values_updated(self, profiler, pool):
+        generator = LearnedSQLGen(profiler, pool, heuristic="priority", seed=6)
+        distribution = CostDistribution.uniform(0, 800, 10, 2)
+        generator.generate(distribution, per_interval_budget_seconds=1.0)
+        assert generator._q  # learned something
+        assert any(row.any() for row in generator._q.values())

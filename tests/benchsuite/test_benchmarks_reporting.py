@@ -1,0 +1,92 @@
+"""Benchmark definitions (Table 1) and report formatting."""
+
+import pytest
+
+from repro.benchsuite import (
+    TABLE1_BENCHMARKS,
+    benchmark_by_name,
+    cardinality_benchmarks,
+    cost_benchmarks,
+    format_table,
+    histogram_text,
+    table1_overview,
+)
+
+
+class TestTable1:
+    def test_ten_benchmarks(self):
+        assert len(TABLE1_BENCHMARKS) == 10
+
+    def test_sources(self):
+        sources = [b.source for b in TABLE1_BENCHMARKS]
+        assert sources.count("Synthetic") == 2
+        assert sources.count("Snowflake") == 6
+        assert sources.count("Redshift") == 2
+
+    def test_medium_hard_split(self):
+        mediums = [b for b in TABLE1_BENCHMARKS if b.difficulty == "medium"]
+        hards = [b for b in TABLE1_BENCHMARKS if b.difficulty == "hard"]
+        assert all(b.num_queries == 1000 and b.num_intervals == 10 for b in mediums)
+        assert all(b.num_queries == 2000 and b.num_intervals == 20 for b in hards)
+
+    def test_cardinality_benchmarks_all_from_snowflake_or_synthetic(self):
+        for bench in cardinality_benchmarks():
+            assert bench.source in ("Synthetic", "Snowflake")
+
+    def test_figure5_and_figure6_panels(self):
+        assert len(cardinality_benchmarks()) == 6
+        assert len(cost_benchmarks()) == 6
+
+    def test_lookup_case_insensitive(self):
+        assert benchmark_by_name("redset_cost_hard").name == "Redset_Cost_Hard"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark_by_name("bigquery_hard")
+
+    def test_distribution_materialization(self):
+        bench = benchmark_by_name("Snowset_Card_1_Medium")
+        dist = bench.distribution()
+        assert dist.total_queries == 1000
+        assert dist.num_intervals == 10
+        assert dist.cost_type == "cardinality"
+
+    def test_both_cost_type_resolves(self):
+        bench = benchmark_by_name("uniform")
+        assert bench.distribution().cost_type == "plan_cost"
+        assert bench.distribution(cost_type="cardinality").cost_type == "cardinality"
+
+    def test_scaled_preserves_intervals(self):
+        bench = benchmark_by_name("Redset_Cost_Hard").scaled(0.05)
+        assert bench.num_queries == 100
+        assert bench.num_intervals == 20
+
+    def test_rescale_at_materialization(self):
+        bench = benchmark_by_name("normal")
+        dist = bench.distribution(num_queries=73, num_intervals=7)
+        assert dist.total_queries == 73
+        assert dist.num_intervals == 7
+
+
+class TestReporting:
+    def test_table1_text(self):
+        text = table1_overview()
+        assert "Snowset_Card_1_Medium" in text
+        assert "Redshift" in text
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no results)"
+
+    def test_histogram_text(self):
+        bench = benchmark_by_name("Redset_Cost_Medium")
+        text = histogram_text(bench.distribution(num_queries=100))
+        assert "#" in text
+        assert text.count("\n") == 10  # one line per interval + title

@@ -1,0 +1,160 @@
+"""The experiment runner, ablation helpers, and cost study (small scale)."""
+
+import pytest
+
+from repro.benchsuite import (
+    ExperimentRunner,
+    benchmark_by_name,
+    convergence_ablation,
+    cost_study,
+    distance_trace_text,
+    method_comparison_table,
+    rewrite_analysis,
+    scale_intervals,
+    scale_queries,
+    speedup_summary,
+    variant_config,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=0, num_specs=4, pool_size=16)
+
+
+@pytest.fixture(scope="module")
+def tiny_distribution():
+    bench = benchmark_by_name("Redset_Cost_Medium")
+    return bench.distribution(num_queries=20, num_intervals=4)
+
+
+class TestRunner:
+    def test_sqlbarber_run(self, runner, tiny_distribution):
+        run = runner.run_sqlbarber(
+            "tpch", tiny_distribution, "tiny", time_budget_seconds=60
+        )
+        assert run.method == "sqlbarber"
+        assert run.final_distance == pytest.approx(0.0)
+        assert run.num_queries == 20
+        assert run.extra["llm_usage"]["total_tokens"] > 0
+
+    def test_baseline_run(self, runner, tiny_distribution):
+        run = runner.run_baseline(
+            "hillclimbing-priority",
+            "tpch",
+            tiny_distribution,
+            "tiny",
+            per_interval_budget_seconds=1.0,
+        )
+        assert run.method == "hillclimbing-priority"
+        assert run.extra["evaluations"] > 0
+        assert run.num_queries <= 20
+
+    def test_unknown_method(self, runner, tiny_distribution):
+        with pytest.raises(KeyError):
+            runner.run_baseline("simulated-annealing", "tpch", tiny_distribution)
+
+    def test_pool_cached(self, runner):
+        a = runner.pool("tpch", "plan_cost")
+        b = runner.pool("tpch", "plan_cost")
+        assert a is b
+
+    def test_specs_stable(self, runner):
+        assert runner.specs() is runner.specs()
+
+    def test_summary_row_shape(self, runner, tiny_distribution):
+        run = runner.run_sqlbarber(
+            "tpch", tiny_distribution, "tiny", time_budget_seconds=30
+        )
+        row = run.summary_row()
+        assert set(row) == {
+            "method", "benchmark", "db", "time_s", "distance", "queries",
+            "complete",
+        }
+
+    def test_reporting_helpers(self, runner, tiny_distribution):
+        run = runner.run_sqlbarber(
+            "tpch", tiny_distribution, "tiny", time_budget_seconds=30
+        )
+        table = method_comparison_table([run], "t")
+        assert "sqlbarber" in table
+        assert "sqlbarber" in distance_trace_text(run)
+        assert "no sqlbarber" not in speedup_summary([run])
+
+
+class TestAblationHelpers:
+    def test_variant_configs(self):
+        assert variant_config("sqlbarber").enable_refinement
+        assert not variant_config("no-refine-prune").enable_refinement
+        assert variant_config("naive-search").search_strategy == "random"
+        with pytest.raises(KeyError):
+            variant_config("no-llm")
+
+    def test_rewrite_analysis_shape(self):
+        analysis = rewrite_analysis(db_name="tpch", num_specs=6, seed=1)
+        assert analysis.num_templates == 6
+        assert len(analysis.specification) == analysis.attempts
+        assert analysis.specification == sorted(analysis.specification)
+        assert analysis.syntax == sorted(analysis.syntax)
+        # Faulty first attempts, repaired later (Figure 8a shape).
+        assert analysis.specification[0] < analysis.specification[-1] or (
+            analysis.specification[0] == 6
+        )
+        assert analysis.rows()[0]["attempt"] == 0
+
+    def test_convergence_ablation_variants(self):
+        bench = benchmark_by_name("Redset_Cost_Medium")
+        distribution = bench.distribution(num_queries=16, num_intervals=4)
+        results = convergence_ablation(
+            "tpch", distribution, seed=2, time_budget_seconds=20.0
+        )
+        assert [r.variant for r in results] == [
+            "sqlbarber", "no-refine-prune", "naive-search",
+        ]
+        full = results[0]
+        assert full.final_distance <= min(r.final_distance for r in results) + 1e-9
+
+
+class TestScalabilityHelpers:
+    def test_scale_queries(self, runner):
+        runs = scale_queries(
+            runner,
+            (8, 16),
+            db_name="tpch",
+            methods=("sqlbarber",),
+            num_intervals=4,
+            time_budget_seconds=30,
+        )
+        assert len(runs) == 2
+        assert runs[0].extra["num_queries_requested"] == 8
+        assert all(r.final_distance == pytest.approx(0.0) for r in runs)
+
+    def test_scale_intervals(self, runner):
+        runs = scale_intervals(
+            runner,
+            (2, 4),
+            db_name="tpch",
+            methods=("sqlbarber",),
+            num_queries=12,
+            time_budget_seconds=30,
+        )
+        assert len(runs) == 2
+        assert runs[1].extra["num_intervals_requested"] == 4
+
+
+class TestCostStudy:
+    def test_rows_shape(self):
+        bench = benchmark_by_name("uniform")
+        rows = cost_study(
+            [bench], db_name="tpch", num_queries=12, num_specs=3,
+            time_budget_seconds=30,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.tokens_thousands > 0
+        assert row.num_templates > 0
+        assert row.cost_usd > 0
+        assert set(row.as_dict()) == {
+            "Benchmark", "Tokens (K)", "#SQL Templates", "Cost (USD)",
+            "#Queries",
+        }

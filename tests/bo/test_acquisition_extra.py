@@ -1,0 +1,48 @@
+"""Remaining acquisition-function behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.bo import expected_improvement, upper_confidence_bound
+
+
+class TestUpperConfidenceBound:
+    def test_prefers_low_mean(self):
+        scores = upper_confidence_bound(
+            mean=np.array([1.0, 5.0]), std=np.array([0.1, 0.1])
+        )
+        assert scores[0] > scores[1]
+
+    def test_uncertainty_bonus(self):
+        scores = upper_confidence_bound(
+            mean=np.array([1.0, 1.0]), std=np.array([0.0, 2.0]), beta=2.0
+        )
+        assert scores[1] > scores[0]
+
+    def test_beta_scales_bonus(self):
+        low = upper_confidence_bound(
+            np.array([0.0]), np.array([1.0]), beta=0.5
+        )[0]
+        high = upper_confidence_bound(
+            np.array([0.0]), np.array([1.0]), beta=4.0
+        )[0]
+        assert high > low
+
+
+class TestExpectedImprovementEdges:
+    def test_all_zero_std_greedy_fallback(self):
+        ei = expected_improvement(
+            mean=np.array([0.2, 0.8]), std=np.zeros(2), best=1.0
+        )
+        assert ei[0] > ei[1] > 0.0
+
+    def test_scalar_like_inputs(self):
+        ei = expected_improvement(np.array([0.5]), np.array([0.5]), best=1.0)
+        assert ei.shape == (1,)
+        assert ei[0] > 0
+
+    def test_monotone_in_best(self):
+        candidate = (np.array([1.0]), np.array([0.3]))
+        worse_incumbent = expected_improvement(*candidate, best=5.0)[0]
+        better_incumbent = expected_improvement(*candidate, best=1.1)[0]
+        assert worse_incumbent > better_incumbent

@@ -1,0 +1,159 @@
+"""Random-forest surrogate, EI, and the full BO loop."""
+
+import numpy as np
+import pytest
+
+from repro.bo import (
+    BayesianOptimizer,
+    ConfigSpace,
+    FloatParameter,
+    IntegerParameter,
+    RandomForestRegressor,
+    expected_improvement,
+    random_search,
+)
+
+
+class TestForest:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((200, 2))
+        y = np.sin(X[:, 0] * 3) + X[:, 1] ** 2
+        forest = RandomForestRegressor(n_trees=15, seed=1).fit(X, y)
+        mean, _ = forest.predict(X[:50])
+        rmse = np.sqrt(np.mean((mean - y[:50]) ** 2))
+        assert rmse < 0.25
+
+    def test_uncertainty_higher_off_data(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((100, 1)) * 0.5  # train only on [0, 0.5]
+        y = X[:, 0] * 2
+        forest = RandomForestRegressor(seed=2).fit(X, y)
+        _, std_in = forest.predict(np.array([[0.25]]))
+        _, std_out = forest.predict(np.array([[0.95]]))
+        assert std_out[0] >= std_in[0]
+
+    def test_constant_target(self):
+        X = np.random.default_rng(3).random((30, 2))
+        y = np.full(30, 7.0)
+        forest = RandomForestRegressor(seed=0).fit(X, y)
+        mean, std = forest.predict(X[:5])
+        assert mean == pytest.approx(np.full(5, 7.0))
+        assert std == pytest.approx(np.zeros(5), abs=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestExpectedImprovement:
+    def test_better_mean_higher_ei(self):
+        ei = expected_improvement(
+            mean=np.array([0.1, 0.9]), std=np.array([0.1, 0.1]), best=1.0
+        )
+        assert ei[0] > ei[1]
+
+    def test_uncertainty_adds_ei(self):
+        ei = expected_improvement(
+            mean=np.array([1.5, 1.5]), std=np.array([0.0, 1.0]), best=1.0
+        )
+        assert ei[1] > ei[0]
+
+    def test_nonnegative(self):
+        ei = expected_improvement(
+            mean=np.array([5.0]), std=np.array([0.0]), best=0.0
+        )
+        assert ei[0] >= 0.0
+
+
+def quadratic_space():
+    return ConfigSpace(
+        [FloatParameter("x", -5.0, 5.0), FloatParameter("y", -5.0, 5.0)]
+    )
+
+
+def quadratic(config):
+    return (config["x"] - 1.2) ** 2 + (config["y"] + 2.4) ** 2
+
+
+class TestOptimizer:
+    def test_minimizes_quadratic(self):
+        opt = BayesianOptimizer(quadratic_space(), seed=0)
+        result = opt.minimize(quadratic, budget=60)
+        assert result.best_value < 0.5
+
+    def test_beats_random_search_on_average(self):
+        bo_scores, rs_scores = [], []
+        for seed in range(3):
+            bo = BayesianOptimizer(quadratic_space(), seed=seed).minimize(
+                quadratic, budget=40
+            )
+            rs = random_search(quadratic_space(), quadratic, budget=40, seed=seed)
+            bo_scores.append(bo.best_value)
+            rs_scores.append(rs.best_value)
+        assert np.mean(bo_scores) <= np.mean(rs_scores) * 1.5
+
+    def test_stop_at_short_circuits(self):
+        opt = BayesianOptimizer(quadratic_space(), seed=1)
+        result = opt.minimize(quadratic, budget=500, stop_at=1.0)
+        assert result.best_value <= 1.0
+        assert result.num_evaluations < 500
+
+    def test_ask_tell_protocol(self):
+        opt = BayesianOptimizer(quadratic_space(), seed=2, n_initial=4)
+        for _ in range(12):
+            config = opt.ask()
+            opt.tell(config, quadratic(config))
+        assert opt.best is not None
+        assert len(opt.observations) == 12
+
+    def test_warm_start_accelerates(self):
+        space = quadratic_space()
+        # History: dense evaluations around the optimum.
+        history = []
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            config = {"x": 1.2 + rng.normal(0, 0.3), "y": -2.4 + rng.normal(0, 0.3)}
+            history.append((config, quadratic(config)))
+        warm = BayesianOptimizer(space, seed=4, n_initial=0)
+        warm.warm_start(history)
+        result = warm.minimize(quadratic, budget=10)
+        assert result.best_value < 0.5
+
+    def test_integer_space(self):
+        space = ConfigSpace([IntegerParameter("n", 0, 1000)])
+        opt = BayesianOptimizer(space, seed=5)
+        result = opt.minimize(lambda c: abs(c["n"] - 777), budget=60)
+        assert result.best_value <= 30
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(ConfigSpace([]))
+
+    def test_observations_are_copies(self):
+        opt = BayesianOptimizer(quadratic_space(), seed=6)
+        config = opt.ask()
+        opt.tell(config, 1.0)
+        config["x"] = 999.0  # mutating the caller's dict must not leak
+        assert opt.observations[0].config["x"] != 999.0
+
+
+class TestRandomSearch:
+    def test_finds_something(self):
+        result = random_search(quadratic_space(), quadratic, budget=100, seed=0)
+        assert result.best_value < 10.0
+
+    def test_stop_at(self):
+        result = random_search(
+            quadratic_space(), quadratic, budget=10_000, seed=0, stop_at=2.0
+        )
+        assert result.best_value <= 2.0
+        assert result.num_evaluations < 10_000
+
+    def test_zero_budget(self):
+        result = random_search(quadratic_space(), quadratic, budget=0)
+        assert result.best_config is None

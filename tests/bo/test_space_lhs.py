@@ -1,0 +1,133 @@
+"""Configuration spaces and Latin Hypercube Sampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bo import (
+    CategoricalParameter,
+    ConfigSpace,
+    FloatParameter,
+    IntegerParameter,
+    latin_hypercube,
+    lhs_configs,
+)
+
+
+def make_space():
+    return ConfigSpace(
+        [
+            IntegerParameter("i", 0, 100),
+            FloatParameter("f", 1.0, 10.0),
+            CategoricalParameter("c", ("a", "b", "c")),
+        ]
+    )
+
+
+class TestParameters:
+    def test_integer_roundtrip(self):
+        p = IntegerParameter("x", 5, 25)
+        for v in (5, 10, 25):
+            assert p.from_unit(p.to_unit(v)) == v
+
+    def test_integer_clamps(self):
+        p = IntegerParameter("x", 0, 10)
+        assert p.from_unit(-0.5) == 0
+        assert p.from_unit(1.5) == 10
+
+    def test_integer_degenerate_range(self):
+        p = IntegerParameter("x", 3, 3)
+        assert p.from_unit(0.7) == 3
+        assert p.to_unit(3) == 0.5
+
+    def test_float_roundtrip(self):
+        p = FloatParameter("x", 2.0, 8.0)
+        assert p.from_unit(p.to_unit(5.0)) == pytest.approx(5.0)
+
+    def test_log_scale(self):
+        p = FloatParameter("x", 1.0, 10000.0, log=True)
+        assert p.from_unit(0.5) == pytest.approx(100.0, rel=0.01)
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            FloatParameter("x", 0.0, 1.0, log=True)
+
+    def test_categorical_roundtrip(self):
+        p = CategoricalParameter("x", ("red", "green", "blue"))
+        for choice in p.choices:
+            assert p.from_unit(p.to_unit(choice)) == choice
+
+    def test_categorical_empty(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter("x", ())
+
+    def test_cardinalities(self):
+        assert IntegerParameter("x", 0, 9).cardinality() == 10
+        assert CategoricalParameter("x", ("a", "b")).cardinality() == 2
+        assert math.isinf(FloatParameter("x", 0, 1).cardinality())
+
+
+class TestConfigSpace:
+    def test_roundtrip(self):
+        space = make_space()
+        config = {"i": 42, "f": 3.5, "c": "b"}
+        assert space.from_unit(space.to_unit(config)) == pytest.approx(
+            config, rel=1e-9
+        ) or space.from_unit(space.to_unit(config)) == config
+
+    def test_sample_in_bounds(self):
+        space = make_space()
+        rng = np.random.default_rng(0)
+        for config in space.sample_many(50, rng):
+            assert 0 <= config["i"] <= 100
+            assert 1.0 <= config["f"] <= 10.0
+            assert config["c"] in ("a", "b", "c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace([IntegerParameter("x", 0, 1), IntegerParameter("x", 0, 1)])
+
+    def test_cardinality(self):
+        space = ConfigSpace(
+            [IntegerParameter("i", 0, 9), CategoricalParameter("c", ("a", "b"))]
+        )
+        assert space.cardinality() == 20
+        assert math.isinf(make_space().cardinality())
+
+
+class TestLhs:
+    def test_shape(self):
+        points = latin_hypercube(10, 3, np.random.default_rng(0))
+        assert points.shape == (10, 3)
+
+    def test_unit_cube(self):
+        points = latin_hypercube(20, 2, np.random.default_rng(1))
+        assert (points >= 0).all() and (points <= 1).all()
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_stratification_property(self, n, dims):
+        # Exactly one sample falls in each of the n strata per dimension.
+        points = latin_hypercube(n, dims, np.random.default_rng(42))
+        for dim in range(dims):
+            strata = np.floor(points[:, dim] * n).astype(int)
+            strata = np.clip(strata, 0, n - 1)
+            assert sorted(strata.tolist()) == list(range(n))
+
+    def test_zero_samples(self):
+        assert latin_hypercube(0, 3, np.random.default_rng(0)).shape == (0, 3)
+
+    def test_lhs_configs_valid(self):
+        configs = lhs_configs(make_space(), 9, np.random.default_rng(0))
+        assert len(configs) == 9
+        values = {c["i"] for c in configs}
+        assert len(values) >= 7  # spread across the integer range
+
+    def test_lhs_beats_clumping(self):
+        # LHS 1-D coverage: max gap between sorted samples is bounded by 2/n.
+        points = latin_hypercube(50, 1, np.random.default_rng(5))[:, 0]
+        gaps = np.diff(np.sort(points))
+        assert gaps.max() <= 2.0 / 50 + 1e-9

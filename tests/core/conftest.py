@@ -1,0 +1,35 @@
+"""Shared fixtures for core tests: a small TPC-H and common objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BarberConfig, TemplateProfiler, schema_payload
+from repro.datasets import build_tpch
+from repro.llm import FaultModel, SimulatedLLM
+
+
+@pytest.fixture(scope="session")
+def small_tpch():
+    return build_tpch(scale=0.002)
+
+
+@pytest.fixture(scope="session")
+def schema(small_tpch):
+    return schema_payload(small_tpch)
+
+
+@pytest.fixture()
+def config():
+    return BarberConfig(seed=0)
+
+
+@pytest.fixture()
+def perfect_llm():
+    return SimulatedLLM(seed=0, fault_model=FaultModel.perfect(),
+                        validation_noise=0.0)
+
+
+@pytest.fixture()
+def profiler(small_tpch, config):
+    return TemplateProfiler(small_tpch, config, cost_metric="plan_cost")

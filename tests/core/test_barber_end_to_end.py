@@ -1,0 +1,101 @@
+"""End-to-end SQLBarber runs: the paper's headline behaviour in miniature."""
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.datasets import redset_spec_workload
+from repro.llm import SimulatedLLM
+from repro.workload import CostDistribution, TemplateSpec, check_template
+
+
+@pytest.fixture(scope="module")
+def result(small_tpch):
+    barber = SQLBarber(small_tpch, config=BarberConfig(seed=1))
+    specs = redset_spec_workload(num_specs=5)
+    # The cost range is chosen to be reachable at the test's tiny scale
+    # (a full multi-way join on scale-0.002 TPC-H costs ~2k).
+    distribution = CostDistribution.uniform(0, 1200, 60, 6)
+    return barber.generate_workload(specs, distribution, time_budget_seconds=120)
+
+
+class TestEndToEnd:
+    def test_distribution_satisfied(self, result):
+        assert result.complete
+        assert result.final_distance == pytest.approx(0.0)
+
+    def test_workload_size(self, result):
+        assert len(result.workload) == 60
+
+    def test_queries_executable(self, small_tpch, result):
+        for query in result.workload.queries[:10]:
+            ok, error = small_tpch.validate(query.sql)
+            assert ok, error
+
+    def test_costs_match_reported(self, small_tpch, result):
+        for query in result.workload.queries[:5]:
+            explain = small_tpch.explain(query.sql)
+            assert explain.total_cost == pytest.approx(query.cost)
+
+    def test_trace_converges(self, result):
+        distances = [d for _, d in result.distance_trace]
+        assert distances[-1] == pytest.approx(0.0)
+        assert distances[0] > 0
+
+    def test_llm_usage_tracked(self, result):
+        assert result.llm_usage["total_tokens"] > 0
+        assert "generate_template" in result.llm_usage["calls_by_task"]
+
+    def test_alignment_reported(self, result):
+        assert 0.0 <= result.generation_report.alignment_accuracy <= 1.0
+
+    def test_templates_profiled(self, result):
+        assert result.num_templates >= len(result.templates)
+
+
+class TestVariants:
+    def test_cardinality_target(self, small_tpch):
+        barber = SQLBarber(small_tpch, config=BarberConfig(seed=2))
+        max_rows = small_tpch.catalog.table("lineitem").row_count
+        distribution = CostDistribution.uniform(
+            0, max_rows, 40, 4, cost_type="cardinality"
+        )
+        specs = redset_spec_workload(num_specs=4)
+        result = barber.generate_workload(specs, distribution,
+                                          time_budget_seconds=120)
+        assert result.final_distance < distribution.wasserstein([])
+
+    def test_pregenerated_templates_skip_section4(self, small_tpch, perfect_llm):
+        barber = SQLBarber(small_tpch, llm=perfect_llm,
+                           config=BarberConfig(seed=3))
+        templates, _ = barber.generate_templates(
+            [TemplateSpec(spec_id="s", num_joins=1, num_predicates=2)]
+        )
+        distribution = CostDistribution.uniform(0, 2000, 20, 2)
+        result = barber.generate_workload(
+            [], distribution, templates=templates, time_budget_seconds=60
+        )
+        assert result.generation_report.traces == []
+        assert len(result.workload) > 0
+
+    def test_no_refinement_variant_runs(self, small_tpch):
+        barber = SQLBarber(
+            small_tpch,
+            config=BarberConfig(seed=4, enable_refinement=False),
+        )
+        specs = redset_spec_workload(num_specs=3)
+        distribution = CostDistribution.uniform(0, 2000, 30, 3)
+        result = barber.generate_workload(specs, distribution,
+                                          time_budget_seconds=60)
+        assert result.refinement is None or result.refinement.refine_calls == 0
+
+    def test_custom_nl_spec_flows_through(self, small_tpch, perfect_llm):
+        barber = SQLBarber(small_tpch, llm=perfect_llm,
+                           config=BarberConfig(seed=5))
+        spec = TemplateSpec.from_natural_language(
+            "a template with 2 joins, one aggregation and a GROUP BY",
+            spec_id="nl",
+        )
+        templates, report = barber.generate_templates([spec])
+        assert report.alignment_accuracy == 1.0
+        ok, violations = check_template(templates[0].sql, spec)
+        assert ok, violations

@@ -1,0 +1,73 @@
+"""User-defined cost metrics (Definition 2.10's 'any user-defined one')."""
+
+import pytest
+
+from repro.core import BarberConfig, PredicateSearch, TemplateProfiler
+from repro.workload import CostDistribution, SqlTemplate
+
+TEMPLATE = SqlTemplate(
+    "t_custom", "SELECT * FROM orders WHERE o_totalprice < {p_1}"
+)
+
+
+def rows_squared(sql, db):
+    """A deliberately odd user-defined metric: estimated rows, squared."""
+    return db.explain(sql).estimated_rows ** 2
+
+
+class TestCustomMetric:
+    def test_callable_metric_used(self, small_tpch):
+        profiler = TemplateProfiler(
+            small_tpch, BarberConfig(seed=0), cost_metric=rows_squared
+        )
+        assert profiler.cost_metric == "rows_squared"
+        profile = profiler.profile(TEMPLATE, num_samples=8)
+        baseline = TemplateProfiler(
+            small_tpch, BarberConfig(seed=0), cost_metric="cardinality"
+        ).profile(TEMPLATE, num_samples=8)
+        # Same LHS samples (same seed), squared relationship between costs.
+        for (_, squared), (_, plain) in zip(
+            profile.observations, baseline.observations
+        ):
+            assert squared == pytest.approx(plain**2, rel=1e-6)
+
+    def test_search_against_custom_metric(self, small_tpch):
+        profiler = TemplateProfiler(
+            small_tpch, BarberConfig(seed=1), cost_metric=rows_squared
+        )
+        profile = profiler.profile(TEMPLATE, num_samples=12)
+        distribution = CostDistribution.uniform(
+            profile.min_cost, profile.max_cost, 10, 2, cost_type="custom"
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=1))
+        result = search.run([profile], distribution)
+        assert result.complete
+
+    def test_metric_exceptions_do_not_crash(self, small_tpch):
+        def flaky(sql, db):
+            from repro.sqldb import SqlError
+
+            raise SqlError("metric backend unavailable")
+
+        profiler = TemplateProfiler(
+            small_tpch, BarberConfig(seed=2), cost_metric=flaky
+        )
+        profile = profiler.profile(TEMPLATE, num_samples=4)
+        assert not profile.is_usable
+        assert profile.errors == 4
+
+
+class TestExplainAnalyze:
+    def test_returns_both(self, small_tpch):
+        estimates, execution = small_tpch.explain_analyze(
+            "SELECT count(*) FROM orders WHERE o_totalprice > 1000"
+        )
+        assert estimates.total_cost > 0
+        assert execution.row_count == 1
+
+    def test_single_plan_consistency(self, small_tpch):
+        sql = "SELECT * FROM orders WHERE o_totalprice > 50000"
+        estimates, execution = small_tpch.explain_analyze(sql)
+        # Estimated and actual row counts refer to the same plan/query.
+        assert estimates.estimated_rows >= 0
+        assert execution.row_count >= 0

@@ -1,0 +1,122 @@
+"""Failure injection: the pipeline degrades gracefully, never crashes."""
+
+import pytest
+
+from repro.core import (
+    BarberConfig,
+    PredicateSearch,
+    SQLBarber,
+    TemplateRefiner,
+)
+from repro.llm import FaultModel, LLMClient, ScriptedLLM, SimulatedLLM
+from repro.workload import CostDistribution, SqlTemplate, TemplateSpec
+
+
+class GarbageLLM(LLMClient):
+    """Returns non-SQL garbage for every prompt."""
+
+    def __init__(self):
+        super().__init__(model="garbage")
+
+    def _complete_text(self, prompt: str) -> str:
+        return "I'm sorry, I can't help with that."
+
+
+class AlwaysBrokenLLM(LLMClient):
+    """Returns syntactically broken SQL for every prompt."""
+
+    def __init__(self):
+        super().__init__(model="broken")
+
+    def _complete_text(self, prompt: str) -> str:
+        if "validate" in prompt[:200].lower() or '"satisfied"' in prompt:
+            return '{"satisfied": false, "violations": ["always broken"]}'
+        return "```sql\nSELEC FORM WHERE ((\n```"
+
+
+class TestHostileLLMs:
+    def test_garbage_llm_yields_no_templates_but_no_crash(self, small_tpch):
+        barber = SQLBarber(small_tpch, llm=GarbageLLM(),
+                           config=BarberConfig(seed=0))
+        templates, report = barber.generate_templates(
+            [TemplateSpec(spec_id="x", num_joins=1)]
+        )
+        assert templates == []
+        assert report.alignment_accuracy == 0.0
+
+    def test_broken_llm_workload_run_terminates(self, small_tpch):
+        barber = SQLBarber(small_tpch, llm=AlwaysBrokenLLM(),
+                           config=BarberConfig(seed=0))
+        distribution = CostDistribution.uniform(0, 100, 10, 2)
+        result = barber.generate_workload(
+            [TemplateSpec(spec_id="x", num_joins=1)],
+            distribution,
+            time_budget_seconds=20,
+        )
+        assert len(result.workload) == 0
+        assert not result.complete
+
+    def test_scripted_llm_runs_out_cleanly(self, small_tpch):
+        barber = SQLBarber(small_tpch, llm=ScriptedLLM([]),
+                           config=BarberConfig(seed=0))
+        with pytest.raises(RuntimeError, match="ran out"):
+            barber.generate_templates([TemplateSpec(spec_id="x")])
+
+
+class TestBrokenTemplates:
+    def test_search_with_unusable_profiles_only(self, profiler):
+        broken = profiler.profile(
+            SqlTemplate("t_broken", "SELECT ghost FROM nowhere"), num_samples=4
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=1))
+        distribution = CostDistribution.uniform(0, 100, 10, 2)
+        result = search.run([broken], distribution)
+        assert result.queries == []
+        assert not result.complete
+
+    def test_search_with_empty_pool(self, profiler):
+        search = PredicateSearch(profiler, BarberConfig(seed=2))
+        distribution = CostDistribution.uniform(0, 100, 10, 2)
+        result = search.run([], distribution)
+        assert result.queries == []
+
+    def test_refiner_with_unusable_seed(self, profiler, perfect_llm, schema):
+        broken = profiler.profile(
+            SqlTemplate("t_broken", "SELECT ghost FROM nowhere"), num_samples=4
+        )
+        refiner = TemplateRefiner(perfect_llm, profiler, schema,
+                                  BarberConfig(seed=3))
+        distribution = CostDistribution.uniform(0, 100, 10, 2)
+        result = refiner.refine([broken], distribution)
+        # Nothing to rank, so nothing gets refined — but no exception.
+        assert result.accepted == []
+
+
+class TestFaultSaturation:
+    def test_maximum_fault_rates_still_terminate(self, small_tpch):
+        llm = SimulatedLLM(
+            seed=4,
+            fault_model=FaultModel(
+                semantic_rate=1.0,
+                syntax_rate=1.0,
+                hallucination_rate=1.0,
+                repair_decay=1.0,  # never improves
+            ),
+        )
+        barber = SQLBarber(small_tpch, llm=llm, config=BarberConfig(seed=4))
+        templates, report = barber.generate_templates(
+            [TemplateSpec(spec_id="x", num_joins=1, num_predicates=1)]
+        )
+        # Every attempt is corrupted and never repaired: the iteration
+        # budget bounds the loop.
+        for trace in report.traces:
+            assert len(trace.attempts) <= BarberConfig().max_rewrite_iterations
+
+    def test_zero_iteration_budget(self, small_tpch):
+        config = BarberConfig(seed=5, max_rewrite_iterations=0)
+        barber = SQLBarber(small_tpch, config=config)
+        templates, report = barber.generate_templates(
+            [TemplateSpec(spec_id="x", num_joins=1)]
+        )
+        assert len(report.traces) == 1
+        assert report.traces[0].attempts == []

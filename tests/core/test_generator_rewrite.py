@@ -1,0 +1,179 @@
+"""Template generation (Section 4) and Algorithm 1's check-and-rewrite."""
+
+import pytest
+
+from repro.core import (
+    BarberConfig,
+    CustomizedTemplateGenerator,
+    check_and_rewrite,
+    probe_values,
+    template_error,
+)
+from repro.llm import FaultModel, SimulatedLLM
+from repro.workload import (
+    SqlTemplate,
+    TemplateSpec,
+    check_template,
+    infer_placeholder_bindings,
+)
+
+GOOD_TEMPLATE = (
+    "SELECT o_orderpriority, count(*) FROM orders "
+    "WHERE o_totalprice > {p_1} GROUP BY o_orderpriority"
+)
+
+
+class TestValidation:
+    def test_good_template_validates(self, small_tpch, config):
+        assert template_error(GOOD_TEMPLATE, small_tpch, config) is None
+
+    def test_syntax_error_reported(self, small_tpch, config):
+        error = template_error("SELEC * FROM orders", small_tpch, config)
+        assert error is not None and "selec" in error
+
+    def test_unknown_column_reported(self, small_tpch, config):
+        error = template_error(
+            "SELECT o_nonexistent FROM orders", small_tpch, config
+        )
+        assert "does not exist" in error
+
+    def test_probe_values_types(self, small_tpch, config):
+        template = SqlTemplate("t", GOOD_TEMPLATE)
+        infos = infer_placeholder_bindings(template.parse(), small_tpch.catalog)
+        values = probe_values(infos, small_tpch, config)
+        assert isinstance(values["p_1"], float)
+
+    def test_probe_values_text_and_like(self, small_tpch, config):
+        template = SqlTemplate(
+            "t",
+            "SELECT 1 FROM customer WHERE c_mktsegment = {seg} "
+            "AND c_name LIKE {pat}",
+        )
+        infos = infer_placeholder_bindings(template.parse(), small_tpch.catalog)
+        values = probe_values(infos, small_tpch, config)
+        assert isinstance(values["seg"], str)
+        assert "%" in values["pat"]
+
+    def test_unbound_placeholder_gets_default(self, small_tpch, config):
+        template = SqlTemplate(
+            "t",
+            "SELECT o_orderpriority FROM orders GROUP BY o_orderpriority "
+            "HAVING count(*) > {p_1}",
+        )
+        infos = infer_placeholder_bindings(template.parse(), small_tpch.catalog)
+        values = probe_values(infos, small_tpch, config)
+        assert isinstance(values["p_1"], int)
+
+
+class TestCheckAndRewrite:
+    def test_compliant_template_passes_immediately(
+        self, small_tpch, schema, config, perfect_llm
+    ):
+        spec = TemplateSpec(num_joins=0, require_group_by=True)
+        trace = check_and_rewrite(
+            GOOD_TEMPLATE, spec, small_tpch, perfect_llm, schema, config
+        )
+        assert trace.final_ok
+        assert trace.rewrites == 0
+        assert trace.attempts[0].fully_ok
+
+    def test_broken_syntax_gets_repaired(
+        self, small_tpch, schema, config, perfect_llm
+    ):
+        spec = TemplateSpec(num_joins=0, require_group_by=True)
+        broken = GOOD_TEMPLATE.replace("SELECT", "SELEC")
+        trace = check_and_rewrite(
+            broken, spec, small_tpch, perfect_llm, schema, config
+        )
+        assert trace.final_ok
+        assert not trace.attempts[0].syntax_ok
+        assert trace.rewrites >= 1
+
+    def test_spec_violation_gets_rewritten(
+        self, small_tpch, schema, config, perfect_llm
+    ):
+        spec = TemplateSpec(num_joins=2, num_predicates=1)
+        trace = check_and_rewrite(
+            GOOD_TEMPLATE, spec, small_tpch, perfect_llm, schema, config
+        )
+        assert trace.final_ok
+        assert not trace.attempts[0].spec_ok
+        ok, _ = check_template(trace.final_sql, spec)
+        assert ok
+
+    def test_faulty_llm_converges_within_budget(self, small_tpch, schema):
+        config = BarberConfig(seed=3, max_rewrite_iterations=6)
+        llm = SimulatedLLM(seed=3)  # default fault rates
+        spec = TemplateSpec(num_joins=1, num_aggregations=1,
+                            require_group_by=True)
+        converged = 0
+        for attempt in range(6):
+            trace = check_and_rewrite(
+                "SELEC broken", spec, small_tpch, llm, schema, config
+            )
+            converged += trace.final_ok
+        assert converged >= 4  # decaying faults converge almost always
+
+    def test_trace_first_ok_attempts(self, small_tpch, schema, config, perfect_llm):
+        spec = TemplateSpec(num_joins=0, require_group_by=True)
+        trace = check_and_rewrite(
+            GOOD_TEMPLATE, spec, small_tpch, perfect_llm, schema, config
+        )
+        assert trace.first_spec_ok_attempt() == 0
+        assert trace.first_syntax_ok_attempt() == 0
+
+
+class TestTemplateGenerator:
+    def test_generates_compliant_templates(self, small_tpch, perfect_llm, config):
+        generator = CustomizedTemplateGenerator(small_tpch, perfect_llm, config)
+        specs = [
+            TemplateSpec(spec_id="a", num_joins=1, num_aggregations=1,
+                         require_group_by=True),
+            TemplateSpec(spec_id="b", num_joins=2, num_predicates=2),
+            TemplateSpec(spec_id="c", num_joins=0,
+                         require_nested_subquery=True, num_predicates=2),
+        ]
+        templates, report = generator.generate_many(specs)
+        assert len(templates) == 3
+        assert report.alignment_accuracy == 1.0
+        for template, spec in zip(templates, specs):
+            ok, violations = check_template(template.sql, spec)
+            assert ok, (template.sql, violations)
+            assert template.spec_id == spec.spec_id
+
+    def test_placeholders_inferred(self, small_tpch, perfect_llm, config):
+        generator = CustomizedTemplateGenerator(small_tpch, perfect_llm, config)
+        template, _ = generator.generate(
+            TemplateSpec(spec_id="x", num_joins=1, num_predicates=2)
+        )
+        assert template is not None
+        assert len(template.placeholders) == 2
+        assert any(p.table is not None for p in template.placeholders)
+
+    def test_faulty_llm_still_mostly_succeeds(self, small_tpch):
+        config = BarberConfig(seed=11)
+        generator = CustomizedTemplateGenerator(
+            small_tpch, SimulatedLLM(seed=11), config
+        )
+        specs = [
+            TemplateSpec(spec_id=f"s{i}", num_joins=i % 3, num_aggregations=1)
+            for i in range(8)
+        ]
+        templates, report = generator.generate_many(specs)
+        assert len(templates) >= 6
+        assert report.alignment_accuracy >= 0.6
+
+    def test_report_cumulative_counts_monotone(self, small_tpch):
+        config = BarberConfig(seed=5)
+        generator = CustomizedTemplateGenerator(
+            small_tpch, SimulatedLLM(seed=5), config
+        )
+        specs = [
+            TemplateSpec(spec_id=f"s{i}", num_joins=1, require_group_by=True)
+            for i in range(6)
+        ]
+        _, report = generator.generate_many(specs)
+        curves = report.cumulative_correct(config.max_rewrite_iterations)
+        for series in curves.values():
+            assert series == sorted(series)
+            assert series[-1] <= len(specs)

@@ -1,0 +1,68 @@
+"""End-to-end integration on the 21-table IMDB database."""
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.datasets import build_imdb, fleet_distribution, redset_spec_workload
+from repro.workload import analyze_sql, describe_workload
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return build_imdb(scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def imdb_result(imdb):
+    barber = SQLBarber(imdb, config=BarberConfig(seed=7))
+    specs = redset_spec_workload(num_specs=6, seed=7)
+    # A fleet-shaped target within the small-scale database's reach.
+    distribution = fleet_distribution(
+        "snowset_cost", 40, 8, "plan_cost"
+    ).scaled_to(40)
+    distribution = type(distribution)(
+        lower=0.0, upper=2000.0,
+        target_counts=distribution.target_counts,
+        name=distribution.name, cost_type="plan_cost",
+    )
+    return barber.generate_workload(specs, distribution,
+                                    time_budget_seconds=120)
+
+
+class TestImdbEndToEnd:
+    def test_converges(self, imdb_result):
+        first = imdb_result.distance_trace[0][1]
+        assert imdb_result.final_distance < 0.1 * max(first, 1.0)
+
+    def test_queries_reference_job_tables(self, imdb, imdb_result):
+        job_tables = set(imdb.catalog.table_names)
+        seen: set = set()
+        for query in imdb_result.workload:
+            structure = analyze_sql(query.sql)
+            assert structure.num_tables >= 1
+            for table in job_tables:
+                if f" {table} " in f" {query.sql} ".replace("AS", " "):
+                    seen.add(table)
+        assert len(seen) >= 3  # the workload spreads across the schema
+
+    def test_queries_executable_on_imdb(self, imdb, imdb_result):
+        for query in imdb_result.workload.queries[:8]:
+            ok, error = imdb.validate(query.sql)
+            assert ok, (error, query.sql)
+
+    def test_workload_report(self, imdb_result):
+        report = describe_workload(imdb_result.workload)
+        assert report.cost.count == len(imdb_result.workload)
+        assert report.structure.unparseable == 0
+        assert len(report.queries_per_template) >= 2
+
+    def test_zipf_skew_visible_to_optimizer(self, imdb):
+        # The most popular movie dominates cast_info: an equality filter on
+        # it must get a far larger estimate than on an unpopular movie.
+        popular = imdb.explain(
+            "SELECT * FROM cast_info WHERE movie_id = 0"
+        ).estimated_rows
+        obscure = imdb.explain(
+            "SELECT * FROM cast_info WHERE movie_id = 1500"
+        ).estimated_rows
+        assert popular > obscure * 10

@@ -1,0 +1,189 @@
+"""Algorithm 2 (refine & prune) and Algorithm 3 (BO predicate search)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BarberConfig,
+    PredicateSearch,
+    TemplateRefiner,
+    interval_objective,
+)
+from repro.workload import CostDistribution, SqlTemplate
+
+CHEAP_TEMPLATE = SqlTemplate(
+    "t_cheap", "SELECT * FROM nation WHERE n_nationkey < {p_1}"
+)
+WIDE_TEMPLATE = SqlTemplate(
+    "t_wide", "SELECT * FROM lineitem WHERE l_extendedprice < {p_1}"
+)
+
+
+class TestIntervalObjective:
+    def test_inside_is_zero(self):
+        assert interval_objective(5.0, 0.0, 10.0) == 0.0
+
+    def test_boundaries_are_zero(self):
+        assert interval_objective(0.0, 0.0, 10.0) == 0.0
+        assert interval_objective(10.0, 0.0, 10.0) == 0.0
+
+    def test_outside_positive(self):
+        assert interval_objective(20.0, 0.0, 10.0) > 0.0
+
+    def test_farther_is_worse(self):
+        near = interval_objective(12.0, 0.0, 10.0)
+        far = interval_objective(100.0, 0.0, 10.0)
+        assert far > near
+
+    def test_zero_lower_bound_safe(self):
+        assert interval_objective(50.0, 0.0, 10.0) == pytest.approx(0.8)
+
+    @given(st.floats(min_value=0.001, max_value=1e6),
+           st.floats(min_value=1.0, max_value=1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_in_unit_interval(self, cost, low):
+        high = low * 2
+        value = interval_objective(cost, low, high)
+        assert 0.0 <= value <= 1.0
+
+
+@pytest.fixture()
+def profiles(profiler):
+    return [
+        profiler.profile(CHEAP_TEMPLATE, num_samples=10),
+        profiler.profile(WIDE_TEMPLATE, num_samples=10),
+    ]
+
+
+class TestRefiner:
+    def make_refiner(self, perfect_llm, profiler, schema, **overrides):
+        config = BarberConfig(seed=0).with_overrides(**overrides)
+        return TemplateRefiner(perfect_llm, profiler, schema, config)
+
+    def test_refinement_extends_cost_coverage(
+        self, perfect_llm, profiler, schema, profiles
+    ):
+        # Targets well above both templates' reach: refinement must create
+        # heavier templates.
+        max_reach = max(p.max_cost for p in profiles)
+        distribution = CostDistribution.uniform(0, max_reach * 4, 100, 10)
+        refiner = self.make_refiner(perfect_llm, profiler, schema)
+        result = refiner.refine(profiles, distribution, profile_samples=8)
+        assert result.refine_calls > 0
+        new_max = max(p.max_cost for p in result.profiles)
+        assert new_max > max_reach
+
+    def test_disabled_refinement_is_noop(
+        self, perfect_llm, profiler, schema, profiles
+    ):
+        refiner = self.make_refiner(
+            perfect_llm, profiler, schema, enable_refinement=False
+        )
+        distribution = CostDistribution.uniform(0, 100000, 100, 10)
+        result = refiner.refine(profiles, distribution)
+        assert result.refine_calls == 0
+        assert result.profiles == profiles
+
+    def test_covered_distribution_needs_no_refinement(
+        self, perfect_llm, profiler, schema, profiles
+    ):
+        # A target matching what the templates already produce.
+        costs = [c for p in profiles for c in p.costs]
+        distribution = CostDistribution.from_samples(
+            costs, min(costs) - 1, max(costs) + 1, 50, 4
+        )
+        refiner = self.make_refiner(perfect_llm, profiler, schema)
+        result = refiner.refine(profiles, distribution, profile_samples=6)
+        assert result.refine_calls == 0
+
+    def test_pruning_counts(self, perfect_llm, profiler, schema, profiles):
+        refiner = self.make_refiner(perfect_llm, profiler, schema)
+        distribution = CostDistribution.uniform(0, 1_000_000, 100, 20)
+        result = refiner.refine(profiles, distribution, profile_samples=6)
+        # accepted + pruned equals the number of refine calls that returned
+        # a novel template
+        assert result.pruned + len(result.accepted) <= result.refine_calls
+
+    def test_accepted_templates_record_parent(
+        self, perfect_llm, profiler, schema, profiles
+    ):
+        refiner = self.make_refiner(perfect_llm, profiler, schema)
+        max_reach = max(p.max_cost for p in profiles)
+        distribution = CostDistribution.uniform(0, max_reach * 4, 100, 10)
+        result = refiner.refine(profiles, distribution, profile_samples=6)
+        for template in result.accepted:
+            assert template.parent_id is not None
+
+
+class TestPredicateSearch:
+    def test_fills_reachable_distribution(self, profiler, profiles):
+        profile = profiles[1]  # the wide lineitem template
+        distribution = CostDistribution.uniform(
+            profile.min_cost, profile.max_cost, 40, 4
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=0))
+        result = search.run([profile], distribution)
+        assert result.complete
+        assert result.final_distance == pytest.approx(0.0)
+        assert len(result.queries) == 40
+
+    def test_queries_have_costs_in_their_intervals(self, profiler, profiles):
+        profile = profiles[1]
+        distribution = CostDistribution.uniform(
+            profile.min_cost, profile.max_cost, 20, 4
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=1))
+        result = search.run([profile], distribution)
+        for query in result.queries:
+            assert distribution.interval_of(query.cost) is not None
+            assert "{" not in query.sql  # fully instantiated
+
+    def test_no_duplicate_queries(self, profiler, profiles):
+        profile = profiles[1]
+        distribution = CostDistribution.uniform(
+            profile.min_cost, profile.max_cost, 30, 3
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=2))
+        result = search.run([profile], distribution)
+        keys = [(q.template_id, tuple(sorted(q.predicate_values.items())))
+                for q in result.queries]
+        assert len(keys) == len(set(keys))
+
+    def test_unreachable_interval_gets_skipped(self, profiler, profiles):
+        profile = profiles[0]  # cheap template: cost ceiling is tiny
+        distribution = CostDistribution(
+            profile.max_cost * 1000, profile.max_cost * 2000, (10,)
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=3))
+        result = search.run([profile], distribution)
+        assert not result.complete
+        assert 0 in result.skipped_intervals
+
+    def test_trace_is_monotone_in_time(self, profiler, profiles):
+        profile = profiles[1]
+        distribution = CostDistribution.uniform(
+            profile.min_cost, profile.max_cost, 20, 2
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=4))
+        result = search.run([profile], distribution)
+        times = [t for t, _ in result.trace]
+        assert times == sorted(times)
+        assert result.trace[-1][1] <= result.trace[0][1]
+
+    def test_deadline_stops_early(self, profiler, profiles):
+        distribution = CostDistribution.uniform(0, 1_000_000, 500, 20)
+        search = PredicateSearch(profiler, BarberConfig(seed=5))
+        result = search.run(profiles, distribution, deadline=0.5)
+        assert not result.complete  # impossible target, bounded time
+
+    def test_random_strategy_also_fills_easy_targets(self, profiler, profiles):
+        profile = profiles[1]
+        distribution = CostDistribution.uniform(
+            profile.min_cost, profile.max_cost, 20, 2
+        )
+        search = PredicateSearch(
+            profiler, BarberConfig(seed=6, search_strategy="random")
+        )
+        result = search.run([profile], distribution)
+        assert result.complete

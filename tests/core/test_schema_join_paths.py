@@ -1,0 +1,105 @@
+"""Schema summarisation (Step 1) and join path machinery (Step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    enumerate_join_paths,
+    join_graph,
+    path_tables,
+    sample_join_path,
+    schema_payload,
+    schema_text,
+)
+
+
+class TestSchemaPayload:
+    def test_all_tables_listed(self, small_tpch, schema):
+        names = {t["name"] for t in schema["tables"]}
+        assert names == set(small_tpch.catalog.table_names)
+
+    def test_column_metadata(self, schema):
+        orders = next(t for t in schema["tables"] if t["name"] == "orders")
+        price = next(c for c in orders["columns"] if c["name"] == "o_totalprice")
+        assert price["type"] == "double precision"
+        assert price["ndv"] > 0
+        assert price["min"] < price["max"]
+
+    def test_row_counts(self, small_tpch, schema):
+        for table in schema["tables"]:
+            assert table["rows"] == small_tpch.catalog.table(table["name"]).row_count
+
+    def test_join_edges_cover_fks(self, small_tpch, schema):
+        assert len(schema["join_edges"]) == len(small_tpch.catalog.foreign_keys)
+
+    def test_primary_keys_and_indexes(self, schema):
+        orders = next(t for t in schema["tables"] if t["name"] == "orders")
+        assert orders["primary_key"] == ["o_orderkey"]
+        assert "o_custkey" in orders["indexes"]  # FK column is indexed
+
+    def test_schema_text_readable(self, small_tpch):
+        text = schema_text(small_tpch)
+        assert "lineitem" in text
+        assert "Foreign keys" in text
+        assert "rows" in text
+
+
+class TestJoinGraph:
+    def test_nodes_are_tables(self, small_tpch):
+        graph = join_graph(small_tpch)
+        assert set(graph.nodes) == set(small_tpch.catalog.table_names)
+
+    def test_edges_are_fks(self, small_tpch):
+        graph = join_graph(small_tpch)
+        assert graph.number_of_edges() == len(small_tpch.catalog.foreign_keys)
+
+
+class TestEnumeratePaths:
+    def test_single_join_paths(self, small_tpch):
+        paths = enumerate_join_paths(small_tpch, max_joins=1)
+        assert all(len(p) == 1 for p in paths)
+        assert len(paths) == len(small_tpch.catalog.foreign_keys)
+
+    def test_longer_paths_are_simple(self, small_tpch):
+        paths = enumerate_join_paths(small_tpch, max_joins=3)
+        for path in paths:
+            tables = path_tables(path)
+            assert len(tables) == len(path) + 1  # simple path: no repeats
+
+    def test_limit_respected(self, small_tpch):
+        paths = enumerate_join_paths(small_tpch, max_joins=4, limit=5)
+        assert len(paths) == 5
+
+
+class TestSamplePath:
+    def test_exact_join_count(self, small_tpch):
+        rng = np.random.default_rng(0)
+        for joins in (1, 2, 3, 5):
+            path = sample_join_path(small_tpch, joins, rng)
+            assert len(path) == joins
+
+    def test_zero_joins(self, small_tpch):
+        assert sample_join_path(small_tpch, 0, np.random.default_rng(0)) == []
+
+    def test_connectivity(self, small_tpch):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            path = sample_join_path(small_tpch, 3, rng)
+            placed = {path[0]["table"], path[0]["ref_table"]}
+            for edge in path[1:]:
+                assert edge["table"] in placed or edge["ref_table"] in placed
+                placed.update((edge["table"], edge["ref_table"]))
+
+    def test_table_budget(self, small_tpch):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            path = sample_join_path(small_tpch, 4, rng, num_tables=3)
+            # Budget is soft (the first edge places two tables), but once
+            # reached, self-joins are preferred over fresh tables.
+            assert len(path_tables(path)) <= 3
+
+    def test_diverse_across_samples(self, small_tpch):
+        rng = np.random.default_rng(3)
+        starts = {sample_join_path(small_tpch, 2, rng)[0]["table"]
+                  for _ in range(20)}
+        assert len(starts) >= 3

@@ -1,0 +1,81 @@
+"""Behaviours added on top of the paper's Algorithm 3 pseudo-code:
+profile harvesting, headroom relaxation, and stepping-stone refinement."""
+
+import pytest
+
+from repro.core import BarberConfig, PredicateSearch, TemplateRefiner
+from repro.workload import CostDistribution, SqlTemplate
+
+
+SMALL_SPACE_TEMPLATE = SqlTemplate(
+    "t_small",
+    # ps_suppkey has only a handful of distinct values at tiny scale, so the
+    # whole search space is a few dozen configurations.
+    "SELECT * FROM partsupp WHERE ps_suppkey <= {p_1}",
+)
+WIDE_TEMPLATE = SqlTemplate(
+    "t_wide", "SELECT * FROM lineitem WHERE l_extendedprice < {p_1}"
+)
+
+
+class TestProfileHarvesting:
+    def test_profiled_hits_become_queries(self, profiler):
+        profile = profiler.profile(WIDE_TEMPLATE, num_samples=20)
+        # A target the profile alone can satisfy.
+        distribution = CostDistribution.from_samples(
+            profile.costs, profile.min_cost, profile.max_cost, 10, 2
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=0))
+        result = search.run([profile], distribution)
+        assert result.complete
+        # Most (often all) queries come straight from the profile: the
+        # search loop barely needs to evaluate anything new.
+        assert result.evaluations <= 20
+
+    def test_harvested_queries_are_instantiated(self, profiler):
+        profile = profiler.profile(WIDE_TEMPLATE, num_samples=12)
+        distribution = CostDistribution.uniform(
+            profile.min_cost, profile.max_cost, 6, 2
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=1))
+        result = search.run([profile], distribution)
+        for query in result.queries:
+            assert "{" not in query.sql
+
+
+class TestHeadroomRelaxation:
+    def test_small_space_still_searched(self, profiler):
+        profile = profiler.profile(SMALL_SPACE_TEMPLATE, num_samples=8)
+        assert profile.space_size() <= 60
+        distribution = CostDistribution.uniform(
+            max(profile.min_cost - 1, 0), profile.max_cost + 1, 8, 2
+        )
+        search = PredicateSearch(profiler, BarberConfig(seed=2))
+        result = search.run([profile], distribution)
+        # With the strict 5Δ headroom alone this space would be filtered
+        # out entirely and zero queries generated.
+        assert len(result.queries) > 0
+
+
+class TestSteppingStoneRefinement:
+    def test_out_of_reach_interval_is_bridged(
+        self, small_tpch, perfect_llm, profiler, schema
+    ):
+        seed = profiler.profile(
+            SqlTemplate(
+                "t_seed",
+                "SELECT o_orderpriority, count(*) FROM orders "
+                "WHERE o_custkey <= {p_1} GROUP BY o_orderpriority",
+            ),
+            num_samples=8,
+        )
+        # Far above the seed's reach: only a chain of refinements gets there.
+        target_low = seed.max_cost * 20
+        distribution = CostDistribution(
+            0, target_low * 1.5, (5, 5, 5), cost_type="plan_cost"
+        )
+        refiner = TemplateRefiner(perfect_llm, profiler, schema, BarberConfig(seed=3))
+        result = refiner.refine([seed], distribution, profile_samples=8)
+        assert max(p.max_cost for p in result.profiles) > seed.max_cost * 5
+        # Intermediate templates were kept even before reaching the target.
+        assert len(result.profiles) > 1

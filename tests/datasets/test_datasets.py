@@ -1,0 +1,187 @@
+"""Dataset generators: schema shape, determinism, and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    COST_RANGE,
+    build_database,
+    build_imdb,
+    build_tpch,
+    dataset_names,
+    fleet_distribution,
+    fleet_samples,
+    normal_distribution,
+    redset_spec_workload,
+    uniform_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return build_tpch(scale=0.002)
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return build_imdb(scale=0.25)
+
+
+class TestTpch:
+    def test_eight_tables(self, tpch):
+        assert len(tpch.catalog.table_names) == 8
+
+    def test_fixed_small_tables(self, tpch):
+        assert tpch.catalog.table("region").row_count == 5
+        assert tpch.catalog.table("nation").row_count == 25
+
+    def test_ratio_lineitem_to_orders(self, tpch):
+        lineitem = tpch.catalog.table("lineitem").row_count
+        orders = tpch.catalog.table("orders").row_count
+        assert 3.0 <= lineitem / orders <= 5.0
+
+    def test_foreign_keys_registered(self, tpch):
+        fks = {str(fk) for fk in tpch.catalog.foreign_keys}
+        assert "orders.o_custkey -> customer.c_custkey" in fks
+        assert "lineitem.l_orderkey -> orders.o_orderkey" in fks
+
+    def test_statistics_analyzed(self, tpch):
+        stats = tpch.catalog.column_stats("orders", "o_totalprice")
+        assert stats is not None and stats.histogram is not None
+
+    def test_fk_values_in_domain(self, tpch):
+        result = tpch.execute(
+            "SELECT count(*) FROM orders WHERE o_custkey >= "
+            "(SELECT max(c_custkey) + 1 FROM customer)"
+        )
+        assert list(result.table.rows()) == [(0,)]
+
+    def test_queries_run(self, tpch):
+        result = tpch.execute(
+            "SELECT o_orderpriority, count(*) FROM orders "
+            "GROUP BY o_orderpriority"
+        )
+        assert result.row_count == 5
+
+    def test_deterministic(self):
+        a = build_tpch(scale=0.001, seed=3)
+        b = build_tpch(scale=0.001, seed=3)
+        ra = list(a.execute("SELECT sum(o_totalprice) FROM orders").table.rows())
+        rb = list(b.execute("SELECT sum(o_totalprice) FROM orders").table.rows())
+        assert ra == rb
+
+
+class TestImdb:
+    def test_twentyone_tables(self, imdb):
+        assert len(imdb.catalog.table_names) == 21
+
+    def test_job_core_tables_present(self, imdb):
+        names = set(imdb.catalog.table_names)
+        assert {"title", "name", "cast_info", "movie_info", "movie_keyword",
+                "movie_companies", "char_name", "company_name", "keyword",
+                "info_type", "kind_type", "role_type"} <= names
+
+    def test_skewed_references(self, imdb):
+        # Zipf-skewed movie_id: the most popular movie dominates.
+        result = imdb.execute(
+            "SELECT movie_id, count(*) AS c FROM cast_info GROUP BY movie_id "
+            "ORDER BY c DESC LIMIT 1"
+        )
+        top_count = list(result.table.rows())[0][1]
+        total = imdb.catalog.table("cast_info").row_count
+        assert top_count > total * 0.05
+
+    def test_join_graph_connected_to_title(self, imdb):
+        title_fks = [
+            fk for fk in imdb.catalog.foreign_keys if fk.ref_table == "title"
+        ]
+        assert len(title_fks) >= 6
+
+    def test_three_way_join_runs(self, imdb):
+        result = imdb.execute(
+            "SELECT count(*) FROM title t JOIN cast_info ci ON ci.movie_id = t.id "
+            "JOIN name n ON ci.person_id = n.id WHERE t.production_year > 2000"
+        )
+        assert result.row_count == 1
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["imdb", "tpch"]
+
+    def test_cache_returns_same_object(self):
+        a = build_database("tpch", scale=0.001)
+        b = build_database("tpch", scale=0.001)
+        assert a is b
+
+    def test_uncached_builds_fresh(self):
+        a = build_database("tpch", scale=0.001, cached=False)
+        b = build_database("tpch", scale=0.001, cached=False)
+        assert a is not b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_database("oracle")
+
+
+class TestFleetDistributions:
+    def test_samples_in_range(self):
+        samples = fleet_samples("redset_cost", n=5000)
+        assert samples.min() >= COST_RANGE[0]
+        assert samples.max() <= COST_RANGE[1]
+
+    def test_deterministic(self):
+        a = fleet_samples("snowset_card_1", n=1000)
+        b = fleet_samples("snowset_card_1", n=1000)
+        assert np.array_equal(a, b)
+
+    def test_heavy_tail_shape(self):
+        dist = fleet_distribution("redset_cost", 1000, 10, "plan_cost")
+        # Fleet workloads are dominated by cheap queries.
+        assert dist.target_counts[0] > dist.target_counts[-1]
+        assert dist.target_counts[0] > 300
+
+    def test_all_fleets_build(self):
+        for name in ("snowset_card_1", "snowset_card_2", "snowset_cost",
+                     "redset_cost"):
+            dist = fleet_distribution(name, 2000, 20, "cardinality")
+            assert dist.total_queries == 2000
+            assert dist.num_intervals == 20
+
+    def test_unknown_fleet(self):
+        with pytest.raises(KeyError):
+            fleet_samples("bigquery")
+
+    def test_synthetic_builders(self):
+        assert uniform_distribution(1000, 10).name == "uniform"
+        assert normal_distribution(1000, 10).name == "normal"
+
+
+class TestRedsetSpecs:
+    def test_twenty_four_specs(self):
+        specs = redset_spec_workload()
+        assert len(specs) == 24
+
+    def test_every_spec_has_instruction(self):
+        for spec in redset_spec_workload():
+            assert len(spec.instructions) >= 1
+
+    def test_annotations_present(self):
+        for spec in redset_spec_workload():
+            assert spec.num_tables is not None
+            assert spec.num_joins is not None
+            assert spec.num_aggregations is not None
+
+    def test_join_distribution_small_heavy(self):
+        specs = redset_spec_workload(num_specs=200)
+        small = sum(1 for s in specs if s.num_joins <= 1)
+        assert small > 80
+
+    def test_deterministic(self):
+        assert redset_spec_workload() == redset_spec_workload()
+
+    def test_instruction_fields_folded_in(self):
+        specs = redset_spec_workload(num_specs=100)
+        assert any(s.require_nested_subquery for s in specs)
+        assert any(s.require_group_by for s in specs)
+        assert any(s.num_predicates is not None for s in specs)

@@ -1,0 +1,55 @@
+"""Shared schema payload used by the LLM-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def schema_payload() -> dict:
+    return {
+        "tables": [
+            {
+                "name": "users",
+                "rows": 1000,
+                "columns": [
+                    {"name": "user_id", "type": "integer", "ndv": 1000,
+                     "min": 0, "max": 999},
+                    {"name": "name", "type": "text", "ndv": 37},
+                    {"name": "age", "type": "integer", "ndv": 60,
+                     "min": 18, "max": 79},
+                ],
+            },
+            {
+                "name": "orders",
+                "rows": 5000,
+                "columns": [
+                    {"name": "order_id", "type": "integer", "ndv": 5000,
+                     "min": 0, "max": 4999},
+                    {"name": "user_id", "type": "integer", "ndv": 1000,
+                     "min": 0, "max": 999},
+                    {"name": "amount", "type": "double precision",
+                     "ndv": 4500, "min": 0.1, "max": 900.0},
+                    {"name": "status", "type": "text", "ndv": 4},
+                ],
+            },
+            {
+                "name": "items",
+                "rows": 20000,
+                "columns": [
+                    {"name": "item_id", "type": "integer", "ndv": 20000,
+                     "min": 0, "max": 19999},
+                    {"name": "order_id", "type": "integer", "ndv": 5000,
+                     "min": 0, "max": 4999},
+                    {"name": "price", "type": "double precision",
+                     "ndv": 9000, "min": 0.5, "max": 100.0},
+                ],
+            },
+        ],
+        "join_edges": [
+            {"table": "orders", "column": "user_id",
+             "ref_table": "users", "ref_column": "user_id"},
+            {"table": "items", "column": "order_id",
+             "ref_table": "orders", "ref_column": "order_id"},
+        ],
+    }

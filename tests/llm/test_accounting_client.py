@@ -1,0 +1,90 @@
+"""Token accounting, pricing, and the client interface."""
+
+import pytest
+
+from repro.llm import (
+    O3_MINI_PRICING,
+    PricingModel,
+    ScriptedLLM,
+    UsageMeter,
+    count_tokens,
+)
+
+
+class TestCountTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_scales_with_length(self):
+        assert count_tokens("a" * 400) == 100
+
+    def test_word_floor(self):
+        assert count_tokens("a b c d e") >= 5
+
+    def test_deterministic(self):
+        text = "SELECT * FROM users WHERE age > 5"
+        assert count_tokens(text) == count_tokens(text)
+
+
+class TestPricing:
+    def test_o3_mini_rates(self):
+        assert O3_MINI_PRICING.usd_per_million_input == pytest.approx(1.10)
+        assert O3_MINI_PRICING.usd_per_million_output == pytest.approx(4.40)
+
+    def test_cost_formula(self):
+        pricing = PricingModel("m", 1.0, 2.0)
+        assert pricing.cost_usd(1_000_000, 500_000) == pytest.approx(2.0)
+
+
+class TestUsageMeter:
+    def test_record_accumulates(self):
+        meter = UsageMeter()
+        meter.record(100, 50, task="generate")
+        meter.record(200, 25, task="generate")
+        meter.record(10, 5, task="fix")
+        assert meter.prompt_tokens == 310
+        assert meter.completion_tokens == 80
+        assert meter.total_tokens == 390
+        assert meter.num_calls == 3
+        assert meter.calls_by_task == {"generate": 2, "fix": 1}
+
+    def test_cost(self):
+        meter = UsageMeter()
+        meter.record(1_000_000, 0)
+        assert meter.cost_usd() == pytest.approx(1.10)
+
+    def test_merge(self):
+        a, b = UsageMeter(), UsageMeter()
+        a.record(10, 10, task="x")
+        b.record(5, 5, task="x")
+        a.merge(b)
+        assert a.total_tokens == 30
+        assert a.calls_by_task == {"x": 2}
+
+    def test_snapshot(self):
+        meter = UsageMeter()
+        meter.record(1, 2, task="t")
+        snap = meter.snapshot()
+        assert snap["total_tokens"] == 3
+        assert snap["calls_by_task"] == {"t": 1}
+
+
+class TestScriptedClient:
+    def test_replays_in_order(self):
+        llm = ScriptedLLM(["first", "second"])
+        assert llm.complete("a").text == "first"
+        assert llm.complete("b").text == "second"
+
+    def test_exhaustion_raises(self):
+        llm = ScriptedLLM([])
+        with pytest.raises(RuntimeError):
+            llm.complete("x")
+
+    def test_usage_recorded(self):
+        llm = ScriptedLLM(["hello world response text"])
+        response = llm.complete("some prompt text here", task="demo")
+        assert response.prompt_tokens > 0
+        assert response.completion_tokens > 0
+        assert llm.usage.num_calls == 1
+        assert llm.usage.calls_by_task == {"demo": 1}
+        assert response.total_tokens == llm.usage.total_tokens

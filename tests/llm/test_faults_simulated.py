@@ -1,0 +1,281 @@
+"""Fault injection, repair skills, and the simulated LLM's verb dispatch."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    FaultModel,
+    SimulatedLLM,
+    encode_payload,
+    extract_json,
+    extract_sql,
+)
+from repro.llm.faults import (
+    corrupt_syntax,
+    hallucinate_identifier,
+    perturb_spec,
+    repair_identifier,
+    repair_syntax,
+)
+from repro.sqldb import SqlError
+from repro.sqldb.parser import parse_select
+from repro.workload import TemplateSpec, check_template
+
+GOOD_SQL = (
+    "SELECT t0.status, count(*) FROM orders AS t0 "
+    "WHERE t0.amount > {p_1} GROUP BY t0.status"
+)
+
+
+class TestFaultModel:
+    def test_decay(self):
+        model = FaultModel(semantic_rate=0.8, syntax_rate=0.4, repair_decay=0.5)
+        decayed = model.at_attempt(2)
+        assert decayed.semantic_rate == pytest.approx(0.2)
+        assert decayed.syntax_rate == pytest.approx(0.1)
+
+    def test_attempt_zero_unchanged(self):
+        model = FaultModel()
+        assert model.at_attempt(0).semantic_rate == model.semantic_rate
+
+    def test_perfect(self):
+        perfect = FaultModel.perfect()
+        assert perfect.semantic_rate == 0.0
+        assert perfect.syntax_rate == 0.0
+
+
+class TestCorruptions:
+    def test_syntax_corruption_breaks_parsing(self):
+        rng = np.random.default_rng(0)
+        broken = 0
+        for _ in range(20):
+            corrupted = corrupt_syntax(GOOD_SQL, rng)
+            try:
+                parse_select(corrupted)
+            except SqlError:
+                broken += 1
+        assert broken >= 15  # corruption is nearly always effective
+
+    def test_hallucination_changes_a_column(self):
+        rng = np.random.default_rng(1)
+        mutated = hallucinate_identifier(GOOD_SQL, {"status", "amount"}, rng)
+        assert mutated != GOOD_SQL
+
+    def test_hallucination_no_known_columns(self):
+        rng = np.random.default_rng(2)
+        assert hallucinate_identifier(GOOD_SQL, {"zzz"}, rng) == GOOD_SQL
+
+    def test_perturb_spec_changes_constrained_field(self):
+        rng = np.random.default_rng(3)
+        spec = {"num_joins": 2, "require_group_by": True}
+        changed = sum(perturb_spec(spec, rng) != spec for _ in range(10))
+        assert changed == 10
+
+    def test_perturb_unconstrained_spec_is_noop(self):
+        rng = np.random.default_rng(4)
+        assert perturb_spec({}, rng) == {}
+
+
+class TestRepairs:
+    def test_repairs_roundtrip_all_corruption_kinds(self):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            corrupted = corrupt_syntax(GOOD_SQL, rng)
+            repaired = repair_syntax(corrupted)
+            parse_select(repaired)  # must not raise
+
+    def test_identifier_repair_snaps_to_closest(self):
+        sql = "SELECT amount_ref FROM orders"
+        fixed = repair_identifier(
+            sql, 'column "amount_ref" does not exist', {"amount", "status"}
+        )
+        assert "amount" in fixed and "amount_ref" not in fixed
+
+    def test_identifier_repair_unknown_error_format(self):
+        assert repair_identifier(GOOD_SQL, "weird error", {"amount"}) == GOOD_SQL
+
+
+def make_prompt(task, schema, **kwargs):
+    payload = {"task": task, "schema": schema, **kwargs}
+    return f"instruction text\n{encode_payload(payload)}"
+
+
+SPEC = {
+    "num_joins": 1,
+    "num_aggregations": 1,
+    "num_predicates": 2,
+    "require_group_by": True,
+}
+
+
+class TestSimulatedLLMVerbs:
+    def test_generate_template_perfect(self, schema_payload):
+        llm = SimulatedLLM(seed=0, fault_model=FaultModel.perfect())
+        response = llm.complete(
+            make_prompt("generate_template", schema_payload, spec=SPEC,
+                        join_path=None),
+            task="generate_template",
+        )
+        sql = extract_sql(response.text)
+        ok, violations = check_template(
+            sql, TemplateSpec(num_joins=1, num_aggregations=1,
+                              num_predicates=2, require_group_by=True)
+        )
+        assert ok, violations
+
+    def test_generate_with_faults_often_fails(self, schema_payload):
+        llm = SimulatedLLM(seed=1)  # default high fault rates
+        failures = 0
+        for _ in range(20):
+            response = llm.complete(
+                make_prompt("generate_template", schema_payload, spec=SPEC,
+                            join_path=None),
+                task="generate_template",
+            )
+            sql = extract_sql(response.text)
+            ok, _ = check_template(
+                sql, TemplateSpec(num_joins=1, num_aggregations=1,
+                                  num_predicates=2, require_group_by=True)
+            )
+            failures += not ok
+        assert failures >= 12  # hallucination is the common case at attempt 0
+
+    def test_validate_semantics_ground_truth(self, schema_payload):
+        llm = SimulatedLLM(seed=2, validation_noise=0.0)
+        response = llm.complete(
+            make_prompt(
+                "validate_semantics",
+                schema_payload,
+                spec={"num_joins": 5},
+                template=GOOD_SQL,
+            ),
+            task="validate_semantics",
+        )
+        verdict = extract_json(response.text)
+        assert verdict["satisfied"] is False
+        assert any("joins" in v for v in verdict["violations"])
+
+    def test_fix_semantics_converges(self, schema_payload):
+        llm = SimulatedLLM(seed=3)
+        spec = TemplateSpec(num_joins=1, num_aggregations=1,
+                            num_predicates=2, require_group_by=True)
+        successes = 0
+        for attempt in (3, 4, 5):  # late attempts: decayed fault rates
+            response = llm.complete(
+                make_prompt("fix_semantics", schema_payload, spec=SPEC,
+                            template=GOOD_SQL, violations=["has 0 joins"],
+                            attempt=attempt),
+                task="fix_semantics",
+            )
+            ok, _ = check_template(extract_sql(response.text), spec)
+            successes += ok
+        assert successes >= 2
+
+    def test_fix_execution_repairs_syntax(self, schema_payload):
+        llm = SimulatedLLM(seed=4, fault_model=FaultModel.perfect())
+        response = llm.complete(
+            make_prompt(
+                "fix_execution",
+                schema_payload,
+                template=GOOD_SQL.replace("SELECT", "SELEC"),
+                error='syntax error at or near "selec"',
+                spec=SPEC,
+                attempt=1,
+            ),
+            task="fix_execution",
+        )
+        parse_select(extract_sql(response.text))
+
+    def test_fix_execution_repairs_hallucination(self, schema_payload):
+        llm = SimulatedLLM(seed=5, fault_model=FaultModel.perfect())
+        response = llm.complete(
+            make_prompt(
+                "fix_execution",
+                schema_payload,
+                template=GOOD_SQL.replace("amount", "amount_ref"),
+                error='column "amount_ref" does not exist',
+                spec=SPEC,
+                attempt=1,
+            ),
+            task="fix_execution",
+        )
+        assert "amount_ref" not in extract_sql(response.text)
+
+    def test_refine_template_moves_heavier(self, schema_payload):
+        llm = SimulatedLLM(seed=6, fault_model=FaultModel.perfect())
+        sql_with_limit = GOOD_SQL + " LIMIT 10"
+        response = llm.complete(
+            make_prompt(
+                "refine_template",
+                schema_payload,
+                template=sql_with_limit,
+                target_interval=[5000.0, 6000.0],
+                cost_summary={"min": 10.0, "max": 50.0, "mean": 30.0},
+                history=[],
+                cost_type="plan_cost",
+            ),
+            task="refine_template",
+        )
+        refined = extract_sql(response.text)
+        assert refined != sql_with_limit
+        parse_select(refined)
+
+    def test_refine_avoids_history(self, schema_payload):
+        llm = SimulatedLLM(seed=7, fault_model=FaultModel.perfect())
+        first = extract_sql(
+            llm.complete(
+                make_prompt(
+                    "refine_template", schema_payload, template=GOOD_SQL,
+                    target_interval=[5000.0, 6000.0],
+                    cost_summary={"min": 1.0, "max": 2.0}, history=[],
+                ),
+                task="refine_template",
+            ).text
+        )
+        second = extract_sql(
+            llm.complete(
+                make_prompt(
+                    "refine_template", schema_payload, template=GOOD_SQL,
+                    target_interval=[5000.0, 6000.0],
+                    cost_summary={"min": 1.0, "max": 2.0},
+                    history=[{"sql": first}],
+                ),
+                task="refine_template",
+            ).text
+        )
+        assert second != first
+
+    def test_unknown_task_rejected(self, schema_payload):
+        llm = SimulatedLLM(seed=8)
+        with pytest.raises(ValueError):
+            llm.complete(make_prompt("write_poem", schema_payload))
+
+    def test_usage_metering_accumulates(self, schema_payload):
+        llm = SimulatedLLM(seed=9, fault_model=FaultModel.perfect())
+        for _ in range(3):
+            llm.complete(
+                make_prompt("generate_template", schema_payload, spec=SPEC,
+                            join_path=None),
+                task="generate_template",
+            )
+        assert llm.usage.num_calls == 3
+        assert llm.usage.total_tokens > 0
+        assert llm.usage.cost_usd() > 0
+
+
+class TestExtractors:
+    def test_extract_sql_from_fence(self):
+        text = "Some prose.\n```sql\nSELECT 1;\n```"
+        assert extract_sql(text) == "SELECT 1"
+
+    def test_extract_sql_without_fence(self):
+        assert extract_sql("-- comment\nSELECT 2") == "SELECT 2"
+
+    def test_extract_json(self):
+        assert extract_json('noise {"a": 1} trailing')["a"] == 1
+
+    def test_extract_json_missing(self):
+        with pytest.raises(ValueError):
+            extract_json("no json here")

@@ -1,0 +1,97 @@
+"""Prompt construction and payload encoding."""
+
+import pytest
+
+from repro.llm import (
+    decode_payload,
+    encode_payload,
+    fix_execution_prompt,
+    fix_semantics_prompt,
+    refine_template_prompt,
+    template_generation_prompt,
+    validate_semantics_prompt,
+)
+
+
+class TestPayloadCodec:
+    def test_roundtrip(self):
+        payload = {"task": "generate_template", "spec": {"num_joins": 2}}
+        assert decode_payload(f"prose {encode_payload(payload)}") == payload
+
+    def test_missing_payload_raises(self):
+        with pytest.raises(ValueError):
+            decode_payload("no payload here")
+
+    def test_sorted_keys_deterministic(self):
+        a = encode_payload({"b": 1, "a": 2})
+        b = encode_payload({"a": 2, "b": 1})
+        assert a == b
+
+
+class TestPromptBuilders:
+    def test_generation_prompt_sections(self, schema_payload):
+        prompt = template_generation_prompt(
+            schema_payload,
+            schema_payload["join_edges"][:1],
+            "The SQL template must contain exactly 1 join.",
+            {"task": "generate_template"},
+        )
+        assert "## DATABASE SCHEMA" in prompt
+        assert "## SUGGESTED JOIN PATH" in prompt
+        assert "## SPECIFICATION" in prompt
+        assert "orders.user_id" in prompt
+        assert decode_payload(prompt)["task"] == "generate_template"
+
+    def test_generation_prompt_no_joins(self, schema_payload):
+        prompt = template_generation_prompt(
+            schema_payload, [], "no joins", {"task": "generate_template"}
+        )
+        assert "single-table template" in prompt
+
+    def test_schema_section_includes_stats(self, schema_payload):
+        prompt = template_generation_prompt(
+            schema_payload, [], "spec", {"task": "generate_template"}
+        )
+        assert "ndv=" in prompt
+        assert "rows" in prompt
+
+    def test_validate_prompt(self):
+        prompt = validate_semantics_prompt(
+            "SELECT 1", "must have a join", {"task": "validate_semantics"}
+        )
+        assert "SELECT 1" in prompt
+        assert "satisfied" in prompt
+
+    def test_fix_semantics_prompt_lists_violations(self):
+        prompt = fix_semantics_prompt(
+            "SELECT 1", "spec", ["has 0 joins, expected 2"],
+            {"task": "fix_semantics"},
+        )
+        assert "has 0 joins, expected 2" in prompt
+        assert "## VIOLATIONS" in prompt
+
+    def test_fix_execution_prompt_carries_error(self):
+        prompt = fix_execution_prompt(
+            "SELEC 1", 'syntax error at or near "selec"',
+            {"task": "fix_execution"},
+        )
+        assert "## DBMS ERROR" in prompt
+        assert "selec" in prompt
+
+    def test_refine_prompt_interval_and_history(self):
+        prompt = refine_template_prompt(
+            "SELECT 1",
+            {"min": 5.0, "max": 10.0},
+            (100.0, 200.0),
+            [{"sql": "SELECT 2", "min_cost": 1, "max_cost": 2}],
+            {"task": "refine_template"},
+        )
+        assert "[100.0, 200.0]" in prompt
+        assert "PREVIOUS ATTEMPTS" in prompt
+        assert "SELECT 2" in prompt
+
+    def test_refine_prompt_without_history(self):
+        prompt = refine_template_prompt(
+            "SELECT 1", {}, (1.0, 2.0), None, {"task": "refine_template"}
+        )
+        assert "PREVIOUS ATTEMPTS" not in prompt

@@ -1,0 +1,139 @@
+"""The cost-directed refinement transforms behind RefineTemplate."""
+
+import numpy as np
+import pytest
+
+from repro.llm.refine import refine_sql
+from repro.sqldb.parser import parse_select
+from repro.workload import analyze_sql
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+BASE = (
+    "SELECT t0.status, count(*) FROM orders AS t0 "
+    "WHERE t0.amount > {p_1} GROUP BY t0.status"
+)
+PLAIN = "SELECT t0.order_id, t0.amount FROM orders AS t0 WHERE t0.amount > {p_1}"
+JOINED = (
+    "SELECT t0.amount, t1.name FROM orders AS t0 "
+    "JOIN users AS t1 ON t0.user_id = t1.user_id WHERE t0.amount > {p_1}"
+)
+
+
+def summary(lo, hi):
+    return {"min": lo, "max": hi, "mean": (lo + hi) / 2}
+
+
+class TestDirections:
+    def test_heavier_output_parses(self, schema_payload, rng):
+        out = refine_sql(BASE, schema_payload, (9000.0, 10000.0),
+                         summary(10, 50), [], rng)
+        assert out != BASE
+        parse_select(out)
+
+    def test_heavier_adds_structure(self, schema_payload, rng):
+        out = refine_sql(PLAIN, schema_payload, (9000.0, 10000.0),
+                         summary(10, 50), [], rng)
+        before = analyze_sql(PLAIN)
+        after = analyze_sql(out)
+        assert (
+            after.num_joins > before.num_joins
+            or not after.has_limit
+        )
+
+    def test_lighter_from_joined(self, schema_payload, rng):
+        out = refine_sql(JOINED, schema_payload, (1.0, 5.0),
+                         summary(5000, 9000), [], rng)
+        after = analyze_sql(out)
+        before = analyze_sql(JOINED)
+        lighter_markers = (
+            after.num_joins < before.num_joins
+            or after.has_limit
+            or after.has_group_by
+            or after.num_predicates > before.num_predicates
+        )
+        assert lighter_markers, out
+
+    def test_lighter_cardinality_prefers_limit_or_group(self, schema_payload, rng):
+        out = refine_sql(PLAIN, schema_payload, (1.0, 10.0),
+                         summary(3000, 5000), [], rng,
+                         cost_type="cardinality")
+        after = analyze_sql(out)
+        assert after.has_limit or after.has_group_by
+
+    def test_reshape_when_interval_inside_span(self, schema_payload, rng):
+        out = refine_sql(PLAIN, schema_payload, (100.0, 200.0),
+                         summary(10, 5000), [], rng)
+        assert out != PLAIN
+        parse_select(out)
+
+    def test_no_profile_treated_as_reshape(self, schema_payload, rng):
+        out = refine_sql(PLAIN, schema_payload, (100.0, 200.0), {}, [], rng)
+        parse_select(out)
+
+
+class TestSelfJoinAmplifier:
+    def test_exhausted_graph_adds_self_join(self, schema_payload, rng):
+        # Join all three tables first, then ask for far more cost.
+        sql = (
+            "SELECT t0.item_id FROM items AS t0 "
+            "JOIN orders AS t1 ON t0.order_id = t1.order_id "
+            "JOIN users AS t2 ON t1.user_id = t2.user_id "
+            "WHERE t0.price > {p_1}"
+        )
+        out = refine_sql(sql, schema_payload, (1e6, 2e6),
+                         summary(100, 500), [], rng)
+        before = analyze_sql(sql)
+        after = analyze_sql(out)
+        assert after.num_joins > before.num_joins
+        # All three tables were already placed, so the extra join must be a
+        # self-join: more scans than distinct tables.
+        assert after.num_scans > after.num_tables
+
+
+class TestHistoryAvoidance:
+    def test_history_prevents_repeats(self, schema_payload):
+        rng = np.random.default_rng(1)
+        outputs = set()
+        history = []
+        for _ in range(4):
+            out = refine_sql(BASE, schema_payload, (9000.0, 10000.0),
+                             summary(10, 50), history, rng)
+            assert out not in outputs, "refinement repeated a failed attempt"
+            outputs.add(out)
+            history.append({"sql": out})
+
+    def test_fixed_point_when_everything_tried(self, schema_payload):
+        # With an enormous history the refiner may eventually return the
+        # input unchanged, but it must never crash.
+        rng = np.random.default_rng(2)
+        history = []
+        sql = BASE
+        for _ in range(12):
+            out = refine_sql(BASE, schema_payload, (9000.0, 10000.0),
+                             summary(10, 50), history, rng)
+            history.append({"sql": out})
+        parse_select(out)
+
+
+class TestRobustness:
+    def test_keeps_placeholders_valid(self, schema_payload, rng):
+        out = refine_sql(PLAIN, schema_payload, (100.0, 200.0),
+                         summary(10, 5000), [], rng)
+        structure = analyze_sql(out)
+        assert structure.num_predicates >= 1
+
+    def test_output_always_reparseable_over_many_seeds(self, schema_payload):
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            for interval, obs in (
+                ((9000.0, 9500.0), summary(5, 20)),
+                ((1.0, 5.0), summary(4000, 9000)),
+                ((50.0, 80.0), summary(10, 500)),
+            ):
+                out = refine_sql(JOINED, schema_payload, interval, obs, [], rng)
+                parse_select(out)

@@ -1,0 +1,140 @@
+"""The schema-aware template synthesizer honours specs."""
+
+import pytest
+
+from repro.llm import SchemaModel, TemplateSynthesizer
+from repro.sqldb.parser import parse_select
+from repro.workload import TemplateSpec, analyze_sql, check_template
+
+import numpy as np
+
+
+class TestSchemaModel:
+    def test_tables_indexed(self, schema_payload):
+        model = SchemaModel(schema_payload)
+        assert set(model.tables) == {"users", "orders", "items"}
+        assert model.table("orders").rows == 5000
+
+    def test_column_classification(self, schema_payload):
+        orders = SchemaModel(schema_payload).table("orders")
+        numeric = {c["name"] for c in orders.numeric_columns}
+        assert "amount" in numeric and "status" not in numeric
+        assert [c["name"] for c in orders.text_columns] == ["status"]
+
+    def test_edges_touching(self, schema_payload):
+        model = SchemaModel(schema_payload)
+        edges = model.edges_touching({"users"})
+        assert len(edges) == 1
+        assert edges[0]["ref_table"] == "users"
+
+    def test_sample_join_path_walk(self, schema_payload):
+        model = SchemaModel(schema_payload)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            path = model.sample_join_path(2, rng)
+            assert len(path) == 2
+            # Every edge after the first touches an already-placed table
+            placed = {path[0]["table"], path[0]["ref_table"]}
+            for edge in path[1:]:
+                assert edge["table"] in placed or edge["ref_table"] in placed
+                placed.update((edge["table"], edge["ref_table"]))
+
+    def test_sample_zero_joins(self, schema_payload):
+        model = SchemaModel(schema_payload)
+        assert model.sample_join_path(0, np.random.default_rng(0)) == []
+
+
+class TestSynthesizer:
+    def synth(self, schema_payload, spec, seed=0):
+        return TemplateSynthesizer(seed=seed).synthesize(schema_payload, None, spec)
+
+    def test_output_parses(self, schema_payload):
+        for seed in range(10):
+            sql = self.synth(schema_payload, {}, seed=seed)
+            parse_select(sql)  # must not raise
+
+    def test_join_count_honoured(self, schema_payload):
+        for joins in (0, 1, 2, 3):
+            sql = self.synth(schema_payload, {"num_joins": joins}, seed=joins)
+            assert analyze_sql(sql).num_joins == joins, sql
+
+    def test_aggregation_count(self, schema_payload):
+        for count in (1, 2, 3):
+            sql = self.synth(
+                schema_payload,
+                {"num_aggregations": count, "require_group_by": True,
+                 "num_joins": 1},
+                seed=count,
+            )
+            assert analyze_sql(sql).num_aggregations == count, sql
+
+    def test_predicate_count(self, schema_payload):
+        for count in (1, 2, 4):
+            sql = self.synth(
+                schema_payload, {"num_predicates": count, "num_joins": 1}, seed=count
+            )
+            assert analyze_sql(sql).num_predicates == count, sql
+
+    def test_nested_subquery(self, schema_payload):
+        sql = self.synth(
+            schema_payload,
+            {"require_nested_subquery": True, "num_joins": 1, "num_predicates": 2},
+        )
+        assert analyze_sql(sql).has_nested_subquery
+
+    def test_order_and_limit(self, schema_payload):
+        sql = self.synth(
+            schema_payload,
+            {"require_order_by": True, "require_limit": True, "num_joins": 0,
+             "num_aggregations": 1, "require_group_by": True},
+        )
+        structure = analyze_sql(sql)
+        assert structure.has_order_by and structure.has_limit
+
+    def test_complex_scalar(self, schema_payload):
+        sql = self.synth(
+            schema_payload,
+            {"require_complex_scalar": True, "num_joins": 0, "num_predicates": 1},
+        )
+        assert analyze_sql(sql).has_complex_scalar
+
+    def test_full_spec_compliance(self, schema_payload):
+        spec = TemplateSpec(
+            num_joins=2,
+            num_aggregations=2,
+            num_predicates=2,
+            require_group_by=True,
+            require_nested_subquery=True,
+        )
+        spec_dict = {
+            "num_joins": 2, "num_aggregations": 2, "num_predicates": 2,
+            "require_group_by": True, "require_nested_subquery": True,
+        }
+        for seed in range(8):
+            sql = self.synth(schema_payload, spec_dict, seed=seed)
+            ok, violations = check_template(sql, spec)
+            assert ok, (sql, violations)
+
+    def test_deterministic_given_seed(self, schema_payload):
+        spec = {"num_joins": 1, "num_predicates": 2}
+        a = TemplateSynthesizer(seed=5).synthesize(schema_payload, None, spec)
+        b = TemplateSynthesizer(seed=5).synthesize(schema_payload, None, spec)
+        assert a == b
+
+    def test_diversity_across_calls(self, schema_payload):
+        synth = TemplateSynthesizer(seed=0)
+        outputs = {
+            synth.synthesize(schema_payload, None, {"num_joins": 1})
+            for _ in range(10)
+        }
+        assert len(outputs) >= 5
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateSynthesizer().synthesize({"tables": []}, None, {})
+
+    def test_self_join_when_graph_exhausted(self, schema_payload):
+        # 5 joins > 2 edges: the synthesizer must produce self-joins.
+        sql = self.synth(schema_payload, {"num_joins": 5}, seed=1)
+        assert analyze_sql(sql).num_joins == 5, sql
+        parse_select(sql)

@@ -1,0 +1,56 @@
+"""Shared fixtures: a small, deterministic demo database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sqldb import Database, SqlType, Table
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    """A two-table users/orders database with known, deterministic content."""
+    database = Database("demo")
+    rng = np.random.default_rng(42)
+    n_users, n_orders = 200, 1000
+    users = Table.from_dict(
+        "users",
+        {
+            "user_id": list(range(n_users)),
+            "name": [f"user_{i % 23}" for i in range(n_users)],
+            "age": rng.integers(18, 80, n_users).tolist(),
+            "city": [
+                None if i % 17 == 0 else f"city_{i % 7}" for i in range(n_users)
+            ],
+        },
+        {
+            "user_id": SqlType.INTEGER,
+            "name": SqlType.TEXT,
+            "age": SqlType.INTEGER,
+            "city": SqlType.TEXT,
+        },
+    )
+    database.create_table(users, primary_key=["user_id"])
+    orders = Table.from_dict(
+        "orders",
+        {
+            "order_id": list(range(n_orders)),
+            "user_id": rng.integers(0, n_users, n_orders).tolist(),
+            "amount": rng.exponential(100.0, n_orders).round(2).tolist(),
+            "status": [
+                ["new", "paid", "shipped", "done"][i % 4] for i in range(n_orders)
+            ],
+            "order_date": [11000 + (i % 365) for i in range(n_orders)],
+        },
+        {
+            "order_id": SqlType.INTEGER,
+            "user_id": SqlType.INTEGER,
+            "amount": SqlType.DOUBLE,
+            "status": SqlType.TEXT,
+            "order_date": SqlType.DATE,
+        },
+    )
+    database.create_table(orders, primary_key=["order_id"])
+    database.add_foreign_key("orders", "user_id", "users", "user_id")
+    return database

@@ -1,0 +1,167 @@
+"""Cost-model formulas and AST-level selectivity estimation."""
+
+import pytest
+
+from repro.sqldb import cost
+from repro.sqldb.parser import parse_select
+from repro.sqldb.selectivity import (
+    constant_value,
+    count_operators,
+    estimate_selectivity,
+)
+from repro.sqldb.stats import ColumnStats, analyze_column
+from repro.sqldb.storage import Column
+from repro.sqldb.types import SqlType
+
+
+class TestCostFormulas:
+    def test_seq_scan_scales_with_pages(self):
+        small = cost.seq_scan_cost(10, 1000, 1)
+        large = cost.seq_scan_cost(100, 1000, 1)
+        assert large.total > small.total
+
+    def test_seq_scan_scales_with_quals(self):
+        one = cost.seq_scan_cost(10, 1000, 1)
+        five = cost.seq_scan_cost(10, 1000, 5)
+        assert five.total > one.total
+
+    def test_index_scan_cheap_when_selective(self):
+        seq = cost.seq_scan_cost(500, 50_000, 1)
+        index = cost.index_scan_cost(500, 50_000, 0.001, 1)
+        assert index.total < seq.total
+
+    def test_index_scan_expensive_when_unselective(self):
+        seq = cost.seq_scan_cost(500, 50_000, 1)
+        index = cost.index_scan_cost(500, 50_000, 0.9, 1)
+        assert index.total > seq.total
+
+    def test_index_scan_monotone_in_selectivity(self):
+        costs = [
+            cost.index_scan_cost(500, 50_000, s, 1).total
+            for s in (0.001, 0.01, 0.1, 0.5, 1.0)
+        ]
+        assert costs == sorted(costs)
+
+    def test_hash_join_startup_includes_build(self):
+        child = cost.Cost(0.0, 100.0)
+        join = cost.hash_join_cost(child, child, 1000, 1000, 1000)
+        assert join.startup > child.total
+        assert join.total > join.startup
+
+    def test_nested_loop_quadratic_term(self):
+        child = cost.Cost(0.0, 10.0)
+        small = cost.nested_loop_cost(child, child, 10, 10, 100)
+        big = cost.nested_loop_cost(child, child, 1000, 1000, 100)
+        assert big.total > small.total * 100
+
+    def test_sort_superlinear(self):
+        child = cost.Cost(0.0, 0.0)
+        small = cost.sort_cost(child, 1000)
+        big = cost.sort_cost(child, 100_000)
+        assert big.total > small.total * 100
+
+    def test_limit_scales_run_cost(self):
+        child = cost.Cost(10.0, 110.0)
+        limited = cost.limit_cost(child, 1000, 10)
+        assert limited.total == pytest.approx(10.0 + 100.0 * 0.01)
+
+    def test_limit_fraction_capped(self):
+        child = cost.Cost(0.0, 100.0)
+        assert cost.limit_cost(child, 10, 100).total == pytest.approx(100.0)
+
+    def test_cost_addition(self):
+        total = cost.Cost(1.0, 2.0) + cost.Cost(3.0, 4.0)
+        assert (total.startup, total.total) == (4.0, 6.0)
+
+
+def stats_for(values):
+    return analyze_column(Column.from_values("x", SqlType.INTEGER, values))
+
+
+def make_resolver(**column_stats):
+    def resolve(binding, column):
+        return column_stats.get(column)
+
+    return resolve
+
+
+def where_of(sql_condition):
+    return parse_select(f"SELECT 1 FROM t WHERE {sql_condition}").where
+
+
+class TestConstantFolding:
+    def test_literal(self):
+        assert constant_value(where_of("a = 5").right) == 5
+
+    def test_negative(self):
+        assert constant_value(where_of("a = -5").right) == -5
+
+    def test_arithmetic(self):
+        assert constant_value(where_of("a = 2 + 3 * 4").right) == 14
+
+    def test_date_string(self):
+        value = constant_value(where_of("a = '1970-01-11'").right)
+        assert value == 10  # days since epoch
+
+    def test_non_date_string_stays_string(self):
+        assert constant_value(where_of("a = 'hello'").right) == "hello"
+
+    def test_column_is_dynamic(self):
+        assert constant_value(where_of("a = b").right) is None
+
+
+class TestEstimateSelectivity:
+    def setup_method(self):
+        self.stats = stats_for(list(range(1000)))
+        self.resolve = make_resolver(a=self.stats)
+
+    def sel(self, condition):
+        return estimate_selectivity(where_of(condition), self.resolve)
+
+    def test_none_is_one(self):
+        assert estimate_selectivity(None, self.resolve) == 1.0
+
+    def test_range(self):
+        assert self.sel("a < 500") == pytest.approx(0.5, abs=0.05)
+
+    def test_flipped_comparison(self):
+        assert self.sel("500 > a") == pytest.approx(self.sel("a < 500"), abs=0.02)
+
+    def test_conjunction_multiplies(self):
+        both = self.sel("a < 500 AND a < 500")
+        assert both == pytest.approx(0.25, abs=0.05)
+
+    def test_disjunction(self):
+        either = self.sel("a < 500 OR a < 500")
+        assert either == pytest.approx(0.75, abs=0.05)
+
+    def test_negation(self):
+        assert self.sel("NOT a < 500") == pytest.approx(0.5, abs=0.05)
+
+    def test_between(self):
+        assert self.sel("a BETWEEN 250 AND 750") == pytest.approx(0.5, abs=0.05)
+
+    def test_in_list_sums(self):
+        assert self.sel("a IN (1, 2, 3, 4)") == pytest.approx(0.004, abs=0.002)
+
+    def test_unknown_column_uses_default(self):
+        sel = self.sel("z = 42")
+        assert 0.0 < sel < 0.05
+
+    def test_always_clamped(self):
+        for condition in ("a < 500", "a IN (1,2)", "NOT a > 0", "a LIKE 'x%'"):
+            assert 0.0 <= self.sel(condition) <= 1.0
+
+
+class TestCountOperators:
+    def test_simple(self):
+        assert count_operators(where_of("a > 1")) == 1
+
+    def test_conjunction_counts_each(self):
+        assert count_operators(where_of("a > 1 AND b < 2")) == 3
+
+    def test_in_list_counts_items(self):
+        assert count_operators(where_of("a IN (1,2,3)")) == 3
+
+    def test_none_is_zero(self):
+        assert count_operators(None) == 0

@@ -1,0 +1,159 @@
+"""DDL scripts: CREATE TABLE, INSERT INTO, CREATE INDEX."""
+
+import pytest
+
+from repro.sqldb import (
+    Database,
+    SqlSyntaxError,
+    SqlType,
+    UnsupportedSqlError,
+    run_script,
+    split_statements,
+)
+from repro.sqldb.ddl import CreateIndex, CreateTable, Insert, parse_ddl
+
+SCRIPT = """
+CREATE TABLE users (
+    id integer PRIMARY KEY,
+    name text NOT NULL,
+    age integer,
+    joined date
+);
+CREATE TABLE orders (
+    oid integer PRIMARY KEY,
+    uid integer REFERENCES users(id),
+    amount double precision
+);
+INSERT INTO users VALUES
+    (1, 'ann', 34, '2020-01-05'),
+    (2, 'bob', NULL, '2021-06-30'),
+    (3, 'cho', 29, '2019-11-11');
+INSERT INTO orders (oid, uid, amount) VALUES (10, 1, 99.5), (11, 3, 12.0);
+INSERT INTO orders VALUES (12, 1, -7.25);
+CREATE INDEX users_age_idx ON users (age);
+"""
+
+
+@pytest.fixture()
+def scripted_db():
+    return run_script(Database("scripted"), SCRIPT)
+
+
+class TestSplitStatements:
+    def test_splits_on_semicolons(self):
+        assert len(split_statements(SCRIPT)) == 6
+
+    def test_semicolon_in_string_preserved(self):
+        parts = split_statements("INSERT INTO t VALUES ('a;b'); SELECT 1")
+        assert len(parts) == 2
+        assert "'a;b'" in parts[0]
+
+    def test_trailing_statement_without_semicolon(self):
+        assert split_statements("CREATE TABLE t (a integer)") != []
+
+
+class TestParse:
+    def test_create_table_shape(self):
+        statement = parse_ddl(
+            "CREATE TABLE t (a integer PRIMARY KEY, b text, "
+            "FOREIGN KEY (b) REFERENCES s(x))"
+        )
+        assert isinstance(statement, CreateTable)
+        assert [c.name for c in statement.columns] == ["a", "b"]
+        assert statement.primary_key == ["a"]
+        assert statement.foreign_keys == [("b", "s", "x")]
+
+    def test_varchar_length_ignored(self):
+        statement = parse_ddl("CREATE TABLE t (s varchar(25))")
+        assert statement.columns[0].sql_type is SqlType.TEXT
+
+    def test_insert_with_negatives_and_nulls(self):
+        statement = parse_ddl("INSERT INTO t VALUES (-3, NULL, 'x', TRUE)")
+        assert isinstance(statement, Insert)
+        assert statement.rows == [[-3, None, "x", True]]
+
+    def test_create_unique_index(self):
+        statement = parse_ddl("CREATE UNIQUE INDEX i ON t (a)")
+        assert isinstance(statement, CreateIndex)
+        assert statement.unique
+
+    def test_unknown_statement(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_ddl("DROP TABLE t")
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_ddl("CREATE TABLE t (a blob)")
+
+
+class TestRunScript:
+    def test_tables_created_with_rows(self, scripted_db):
+        assert scripted_db.catalog.table("users").row_count == 3
+        assert scripted_db.catalog.table("orders").row_count == 3
+
+    def test_types_coerced(self, scripted_db):
+        result = scripted_db.execute(
+            "SELECT name FROM users WHERE joined < '2020-06-01'"
+        )
+        assert list(result.table.rows()) == [("ann",), ("cho",)]
+
+    def test_null_inserted(self, scripted_db):
+        result = scripted_db.execute("SELECT count(*) FROM users WHERE age IS NULL")
+        assert list(result.table.rows()) == [(1,)]
+
+    def test_foreign_key_registered(self, scripted_db):
+        fks = scripted_db.catalog.foreign_keys_of("orders")
+        assert len(fks) == 1 and fks[0].ref_table == "users"
+
+    def test_joins_work_on_scripted_schema(self, scripted_db):
+        result = scripted_db.execute(
+            "SELECT u.name, sum(o.amount) FROM users u "
+            "JOIN orders o ON o.uid = u.id GROUP BY u.name ORDER BY u.name"
+        )
+        assert list(result.table.rows()) == [
+            ("ann", pytest.approx(92.25)), ("cho", pytest.approx(12.0)),
+        ]
+
+    def test_statistics_analyzed(self, scripted_db):
+        stats = scripted_db.catalog.column_stats("users", "age")
+        assert stats is not None and stats.null_fraction > 0
+
+    def test_index_created(self, scripted_db):
+        assert scripted_db.catalog.index_on("users", "age") is not None
+
+    def test_not_null_enforced(self):
+        with pytest.raises(SqlSyntaxError, match="NOT NULL"):
+            run_script(
+                Database(),
+                "CREATE TABLE t (a text NOT NULL); INSERT INTO t VALUES (NULL)",
+            )
+
+    def test_insert_into_unknown_table(self):
+        with pytest.raises(SqlSyntaxError, match="unknown table"):
+            run_script(Database(), "INSERT INTO ghosts VALUES (1)")
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(SqlSyntaxError, match="expected 2 values"):
+            run_script(
+                Database(),
+                "CREATE TABLE t (a integer, b integer); "
+                "INSERT INTO t VALUES (1)",
+            )
+
+    def test_duplicate_table(self):
+        with pytest.raises(SqlSyntaxError, match="already exists"):
+            run_script(
+                Database(),
+                "CREATE TABLE t (a integer); CREATE TABLE t (a integer)",
+            )
+
+    def test_sqlbarber_runs_on_scripted_database(self, scripted_db):
+        from repro.core import BarberConfig, SQLBarber
+        from repro.workload import CostDistribution, TemplateSpec
+
+        barber = SQLBarber(scripted_db, config=BarberConfig(seed=0))
+        templates, report = barber.generate_templates(
+            [TemplateSpec(spec_id="s", num_joins=1, num_predicates=1)]
+        )
+        assert report.alignment_accuracy > 0
+        assert templates

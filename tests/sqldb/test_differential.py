@@ -1,0 +1,242 @@
+"""Differential testing: the engine vs. a naive Python reference evaluator.
+
+Random queries are generated over a small table, executed by the engine,
+and re-evaluated with plain Python over the same rows.  Any mismatch is an
+engine bug.  The query generator covers filters (comparisons, BETWEEN, IN,
+NULL handling), global aggregates, and GROUP BY aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sqldb import Database, SqlType, Table
+
+N_ROWS = 300
+
+
+@pytest.fixture(scope="module")
+def db_and_rows():
+    rng = np.random.default_rng(99)
+    values = {
+        "id": list(range(N_ROWS)),
+        "v": rng.integers(0, 100, N_ROWS).tolist(),
+        "w": [
+            None if rng.random() < 0.1 else float(rng.normal(50, 20))
+            for _ in range(N_ROWS)
+        ],
+        "tag": rng.choice(["red", "green", "blue", "black"], N_ROWS).tolist(),
+    }
+    db = Database("diff")
+    db.create_table(
+        Table.from_dict(
+            "t",
+            values,
+            {
+                "id": SqlType.INTEGER,
+                "v": SqlType.INTEGER,
+                "w": SqlType.DOUBLE,
+                "tag": SqlType.TEXT,
+            },
+        ),
+        primary_key=["id"],
+    )
+    rows = [
+        {
+            "id": values["id"][i],
+            "v": values["v"][i],
+            "w": values["w"][i],
+            "tag": values["tag"][i],
+        }
+        for i in range(N_ROWS)
+    ]
+    return db, rows
+
+
+def predicate_cases():
+    """(SQL condition, python predicate) pairs; None values never match."""
+    return [
+        ("v > 50", lambda r: r["v"] > 50),
+        ("v <= 17", lambda r: r["v"] <= 17),
+        ("v = 42", lambda r: r["v"] == 42),
+        ("v <> 42", lambda r: r["v"] != 42),
+        ("v BETWEEN 20 AND 60", lambda r: 20 <= r["v"] <= 60),
+        ("v NOT BETWEEN 20 AND 60", lambda r: not 20 <= r["v"] <= 60),
+        ("tag = 'red'", lambda r: r["tag"] == "red"),
+        ("tag IN ('red', 'blue')", lambda r: r["tag"] in ("red", "blue")),
+        ("tag NOT IN ('red', 'blue')", lambda r: r["tag"] not in ("red", "blue")),
+        ("tag LIKE 'b%'", lambda r: r["tag"].startswith("b")),
+        ("w IS NULL", lambda r: r["w"] is None),
+        ("w IS NOT NULL", lambda r: r["w"] is not None),
+        ("w > 50", lambda r: r["w"] is not None and r["w"] > 50),
+        (
+            "v > 30 AND tag = 'green'",
+            lambda r: r["v"] > 30 and r["tag"] == "green",
+        ),
+        (
+            "v < 10 OR v > 90",
+            lambda r: r["v"] < 10 or r["v"] > 90,
+        ),
+        (
+            "NOT (v > 30 AND v < 70)",
+            lambda r: not (30 < r["v"] < 70),
+        ),
+        (
+            "w > 40 OR tag = 'red'",
+            lambda r: (r["w"] is not None and r["w"] > 40) or r["tag"] == "red",
+        ),
+        ("v % 7 = 0", lambda r: r["v"] % 7 == 0),
+        ("v * 2 + 1 > 99", lambda r: r["v"] * 2 + 1 > 99),
+    ]
+
+
+class TestFilters:
+    @pytest.mark.parametrize(
+        "condition,reference",
+        predicate_cases(),
+        ids=[c for c, _ in predicate_cases()],
+    )
+    def test_filter_matches_reference(self, db_and_rows, condition, reference):
+        db, rows = db_and_rows
+        got = db.execute(f"SELECT id FROM t WHERE {condition}")
+        engine_ids = sorted(r[0] for r in got.table.rows())
+        expected_ids = sorted(r["id"] for r in rows if reference(r))
+        assert engine_ids == expected_ids, condition
+
+
+class TestGlobalAggregates:
+    def test_count_sum_min_max_avg(self, db_and_rows):
+        db, rows = db_and_rows
+        got = list(
+            db.execute(
+                "SELECT count(*), count(w), sum(v), min(v), max(v), avg(v) FROM t"
+            ).table.rows()
+        )[0]
+        ws = [r["w"] for r in rows if r["w"] is not None]
+        vs = [r["v"] for r in rows]
+        assert got[0] == len(rows)
+        assert got[1] == len(ws)
+        assert got[2] == sum(vs)
+        assert got[3] == min(vs)
+        assert got[4] == max(vs)
+        assert got[5] == pytest.approx(sum(vs) / len(vs))
+
+    def test_sum_of_nullable(self, db_and_rows):
+        db, rows = db_and_rows
+        got = list(db.execute("SELECT sum(w) FROM t").table.rows())[0][0]
+        expected = sum(r["w"] for r in rows if r["w"] is not None)
+        assert got == pytest.approx(expected)
+
+    def test_filtered_aggregate(self, db_and_rows):
+        db, rows = db_and_rows
+        got = list(
+            db.execute("SELECT count(*) FROM t WHERE v > 50 AND tag = 'red'")
+            .table.rows()
+        )[0][0]
+        expected = sum(1 for r in rows if r["v"] > 50 and r["tag"] == "red")
+        assert got == expected
+
+
+class TestGroupedAggregates:
+    def test_group_by_matches_reference(self, db_and_rows):
+        db, rows = db_and_rows
+        got = {
+            r[0]: (r[1], r[2])
+            for r in db.execute(
+                "SELECT tag, count(*), sum(v) FROM t GROUP BY tag"
+            ).table.rows()
+        }
+        expected: dict[str, list[int]] = {}
+        for row in rows:
+            expected.setdefault(row["tag"], []).append(row["v"])
+        assert set(got) == set(expected)
+        for tag, values in expected.items():
+            assert got[tag] == (len(values), sum(values))
+
+    def test_having_matches_reference(self, db_and_rows):
+        db, rows = db_and_rows
+        got = {
+            r[0]
+            for r in db.execute(
+                "SELECT tag FROM t GROUP BY tag HAVING avg(v) > 50"
+            ).table.rows()
+        }
+        groups: dict[str, list[int]] = {}
+        for row in rows:
+            groups.setdefault(row["tag"], []).append(row["v"])
+        expected = {
+            tag for tag, vs in groups.items() if sum(vs) / len(vs) > 50
+        }
+        assert got == expected
+
+    def test_group_by_expression(self, db_and_rows):
+        db, rows = db_and_rows
+        got = {
+            r[0]: r[1]
+            for r in db.execute(
+                "SELECT v % 10, count(*) FROM t GROUP BY v % 10"
+            ).table.rows()
+        }
+        expected: dict[int, int] = {}
+        for row in rows:
+            expected[row["v"] % 10] = expected.get(row["v"] % 10, 0) + 1
+        assert got == expected
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_limit(self, db_and_rows):
+        db, rows = db_and_rows
+        got = [
+            r[0]
+            for r in db.execute(
+                "SELECT id FROM t ORDER BY v, id LIMIT 25"
+            ).table.rows()
+        ]
+        expected = [
+            r["id"] for r in sorted(rows, key=lambda r: (r["v"], r["id"]))
+        ][:25]
+        assert got == expected
+
+    def test_distinct_matches_set(self, db_and_rows):
+        db, rows = db_and_rows
+        got = {r[0] for r in db.execute("SELECT DISTINCT tag FROM t").table.rows()}
+        assert got == {r["tag"] for r in rows}
+
+    def test_distinct_count_expression(self, db_and_rows):
+        db, rows = db_and_rows
+        got = list(
+            db.execute("SELECT count(DISTINCT v % 10) FROM t").table.rows()
+        )[0][0]
+        assert got == len({r["v"] % 10 for r in rows})
+
+
+class TestRandomizedConjunctions:
+    def test_random_two_clause_filters(self, db_and_rows):
+        db, rows = db_and_rows
+        rng = np.random.default_rng(5)
+        comparators = {
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+        }
+        for _ in range(30):
+            op1, f1 = list(comparators.items())[int(rng.integers(4))]
+            op2, f2 = list(comparators.items())[int(rng.integers(4))]
+            c1 = int(rng.integers(0, 100))
+            c2 = int(rng.integers(0, 100))
+            connective = "AND" if rng.random() < 0.5 else "OR"
+            sql = f"SELECT count(*) FROM t WHERE v {op1} {c1} {connective} id {op2} {c2}"
+            got = list(db.execute(sql).table.rows())[0][0]
+            if connective == "AND":
+                expected = sum(
+                    1 for r in rows if f1(r["v"], c1) and f2(r["id"], c2)
+                )
+            else:
+                expected = sum(
+                    1 for r in rows if f1(r["v"], c1) or f2(r["id"], c2)
+                )
+            assert got == expected, sql

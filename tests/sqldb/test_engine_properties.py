@@ -1,0 +1,153 @@
+"""Property-based invariants of the whole engine (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database, SqlType, Table
+
+
+@pytest.fixture(scope="module")
+def pdb():
+    db = Database("props")
+    rng = np.random.default_rng(7)
+    n = 500
+    db.create_table(
+        Table.from_dict(
+            "items",
+            {
+                "id": list(range(n)),
+                "value": rng.integers(0, 1000, n).tolist(),
+                "bucket": rng.integers(0, 10, n).tolist(),
+            },
+            {
+                "id": SqlType.INTEGER,
+                "value": SqlType.INTEGER,
+                "bucket": SqlType.INTEGER,
+            },
+        ),
+        primary_key=["id"],
+    )
+    return db
+
+
+class TestFilterPartition:
+    def test_partition_examples(self, pdb):
+        for v in (-50, 0, 123, 500, 999, 1100):
+            below = pdb.execute(f"SELECT count(*) FROM items WHERE value <= {v}")
+            above = pdb.execute(f"SELECT count(*) FROM items WHERE value > {v}")
+            total = pdb.execute("SELECT count(*) FROM items")
+            assert (
+                list(below.table.rows())[0][0] + list(above.table.rows())[0][0]
+                == list(total.table.rows())[0][0]
+            )
+
+    def test_between_equals_two_comparisons(self, pdb):
+        for low, high in ((0, 100), (250, 750), (900, 2000), (700, 100)):
+            between = pdb.execute(
+                f"SELECT count(*) FROM items WHERE value BETWEEN {low} AND {high}"
+            )
+            pair = pdb.execute(
+                f"SELECT count(*) FROM items WHERE value >= {low} AND value <= {high}"
+            )
+            assert list(between.table.rows()) == list(pair.table.rows())
+
+
+class TestAggregationInvariants:
+    def test_group_counts_sum_to_total(self, pdb):
+        per_group = pdb.execute(
+            "SELECT bucket, count(*) AS c FROM items GROUP BY bucket"
+        )
+        total = sum(row[1] for row in per_group.table.rows())
+        assert total == 500
+
+    def test_group_sums_match_global_sum(self, pdb):
+        per_group = pdb.execute(
+            "SELECT bucket, sum(value) AS s FROM items GROUP BY bucket"
+        )
+        global_sum = list(
+            pdb.execute("SELECT sum(value) FROM items").table.rows()
+        )[0][0]
+        assert sum(row[1] for row in per_group.table.rows()) == global_sum
+
+    def test_min_le_avg_le_max_per_group(self, pdb):
+        result = pdb.execute(
+            "SELECT bucket, min(value), avg(value), max(value) FROM items "
+            "GROUP BY bucket"
+        )
+        for _, mn, avg, mx in result.table.rows():
+            assert mn <= avg <= mx
+
+    def test_distinct_count_bounded(self, pdb):
+        distinct = pdb.execute("SELECT count(DISTINCT value) FROM items")
+        total = pdb.execute("SELECT count(value) FROM items")
+        assert (
+            list(distinct.table.rows())[0][0] <= list(total.table.rows())[0][0]
+        )
+
+
+class TestOrderingInvariants:
+    def test_order_by_produces_sorted_output(self, pdb):
+        result = pdb.execute("SELECT value FROM items ORDER BY value")
+        got = [row[0] for row in result.table.rows()]
+        assert got == sorted(got)
+
+    def test_order_desc_is_reverse(self, pdb):
+        asc = [r[0] for r in pdb.execute(
+            "SELECT id FROM items ORDER BY value, id").table.rows()]
+        desc = [r[0] for r in pdb.execute(
+            "SELECT id FROM items ORDER BY value DESC, id DESC").table.rows()]
+        assert asc == list(reversed(desc))
+
+    def test_limit_is_prefix_of_full_result(self, pdb):
+        full = [r[0] for r in pdb.execute(
+            "SELECT id FROM items ORDER BY value, id").table.rows()]
+        limited = [r[0] for r in pdb.execute(
+            "SELECT id FROM items ORDER BY value, id LIMIT 17").table.rows()]
+        assert limited == full[:17]
+
+
+class TestExplainExecuteConsistency:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_explain_never_crashes_where_execute_works(self, threshold):
+        # Build a tiny db inline: hypothesis cannot use module fixtures.
+        db = _tiny_db()
+        sql = f"SELECT count(*) FROM t WHERE v > {threshold}"
+        explain = db.explain(sql)
+        assert explain.total_cost > 0
+        result = db.execute(sql)
+        assert result.row_count == 1
+
+    @given(
+        st.integers(min_value=0, max_value=999),
+        st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_range_estimates_monotone(self, a, b):
+        db = _tiny_db()
+        low, high = min(a, b), max(a, b)
+        narrow = db.explain(f"SELECT * FROM t WHERE v > {high}").estimated_rows
+        wide = db.explain(f"SELECT * FROM t WHERE v > {low}").estimated_rows
+        assert wide >= narrow - 1e-6
+
+
+_CACHED_DB = None
+
+
+def _tiny_db():
+    global _CACHED_DB
+    if _CACHED_DB is None:
+        db = Database("hyp")
+        rng = np.random.default_rng(3)
+        db.create_table(
+            Table.from_dict(
+                "t",
+                {"id": list(range(300)), "v": rng.integers(0, 1000, 300).tolist()},
+                {"id": SqlType.INTEGER, "v": SqlType.INTEGER},
+            ),
+            primary_key=["id"],
+        )
+        _CACHED_DB = db
+    return _CACHED_DB

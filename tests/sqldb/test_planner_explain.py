@@ -1,0 +1,181 @@
+"""Planner behaviour: estimates, cost monotonicity, plan shapes, EXPLAIN."""
+
+import pytest
+
+from repro.sqldb.plan_nodes import (
+    AggregateNode,
+    HashJoinNode,
+    IndexScanNode,
+    LimitNode,
+    SeqScanNode,
+)
+
+
+def find_nodes(root, node_type):
+    found = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, node_type):
+            found.append(node)
+        stack.extend(node.children())
+    return found
+
+
+class TestEstimates:
+    def test_full_scan_rows(self, db):
+        result = db.explain("SELECT * FROM orders")
+        assert result.estimated_rows == pytest.approx(1000, rel=0.01)
+
+    def test_filter_reduces_estimate(self, db):
+        full = db.explain("SELECT * FROM orders").estimated_rows
+        filtered = db.explain("SELECT * FROM orders WHERE amount > 200").estimated_rows
+        assert 0 < filtered < full
+
+    def test_estimate_close_to_actual_for_range(self, db):
+        estimated = db.explain("SELECT * FROM orders WHERE amount < 100").estimated_rows
+        actual = db.execute("SELECT * FROM orders WHERE amount < 100").row_count
+        assert estimated == pytest.approx(actual, rel=0.25)
+
+    def test_eq_estimate_uses_ndv(self, db):
+        estimated = db.explain("SELECT * FROM orders WHERE status = 'paid'").estimated_rows
+        assert estimated == pytest.approx(250, rel=0.2)
+
+    def test_join_estimate_reasonable(self, db):
+        estimated = db.explain(
+            "SELECT * FROM users u JOIN orders o ON u.user_id = o.user_id"
+        ).estimated_rows
+        actual = db.execute(
+            "SELECT * FROM users u JOIN orders o ON u.user_id = o.user_id"
+        ).row_count
+        assert estimated == pytest.approx(actual, rel=0.3)
+
+    def test_limit_caps_estimate(self, db):
+        result = db.explain("SELECT * FROM orders LIMIT 7")
+        assert result.estimated_rows == 7
+
+    def test_group_by_estimate_uses_ndv(self, db):
+        result = db.explain("SELECT status, count(*) FROM orders GROUP BY status")
+        assert result.estimated_rows == pytest.approx(4, rel=0.01)
+
+    def test_distinct_estimate(self, db):
+        result = db.explain("SELECT DISTINCT name FROM users")
+        assert result.estimated_rows == pytest.approx(23, rel=0.01)
+
+
+class TestCostMonotonicity:
+    def test_cost_grows_with_selectivity(self, db):
+        # A more selective predicate must not cost more at the top (the
+        # downstream operators see fewer rows).
+        costs = [
+            db.explain(f"SELECT * FROM orders WHERE amount > {v}").total_cost
+            for v in (0, 100, 300, 600)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_join_more_expensive_than_scan(self, db):
+        scan = db.explain("SELECT * FROM orders").total_cost
+        join = db.explain(
+            "SELECT * FROM users u JOIN orders o ON u.user_id = o.user_id"
+        ).total_cost
+        assert join > scan
+
+    def test_sort_adds_cost(self, db):
+        plain = db.explain("SELECT * FROM orders").total_cost
+        sorted_cost = db.explain("SELECT * FROM orders ORDER BY amount").total_cost
+        assert sorted_cost > plain
+
+    def test_subquery_cost_included(self, db):
+        plain = db.explain("SELECT * FROM users").total_cost
+        with_sub = db.explain(
+            "SELECT * FROM users WHERE user_id IN (SELECT user_id FROM orders)"
+        ).total_cost
+        assert with_sub > plain
+
+    def test_limit_reduces_cost(self, db):
+        full = db.explain("SELECT * FROM orders").total_cost
+        limited = db.explain("SELECT * FROM orders LIMIT 1").total_cost
+        assert limited < full
+
+
+class TestPlanShapes:
+    def test_equi_join_uses_hash_join(self, db):
+        plan = db.plan(
+            "SELECT * FROM users u JOIN orders o ON u.user_id = o.user_id"
+        )
+        assert find_nodes(plan.root, HashJoinNode)
+
+    def test_pk_point_lookup_uses_index(self, db):
+        plan = db.plan("SELECT * FROM orders WHERE order_id = 5")
+        assert find_nodes(plan.root, IndexScanNode)
+
+    def test_unselective_predicate_uses_seq_scan(self, db):
+        plan = db.plan("SELECT * FROM orders WHERE order_id > 0")
+        assert find_nodes(plan.root, SeqScanNode)
+
+    def test_filter_pushed_into_scan(self, db):
+        plan = db.plan(
+            "SELECT * FROM users u JOIN orders o ON u.user_id = o.user_id "
+            "WHERE o.amount > 500"
+        )
+        scans = find_nodes(plan.root, (SeqScanNode, IndexScanNode))
+        order_scans = [s for s in scans if s.table_name == "orders"]
+        assert order_scans and order_scans[0].filter is not None
+
+    def test_aggregate_node_present(self, db):
+        plan = db.plan("SELECT status, count(*) FROM orders GROUP BY status")
+        assert find_nodes(plan.root, AggregateNode)
+
+    def test_limit_node_on_top(self, db):
+        plan = db.plan("SELECT * FROM orders LIMIT 3")
+        assert isinstance(plan.root, LimitNode)
+
+    def test_greedy_ordering_starts_with_filtered_side(self, db):
+        # Join ordering should prefer the heavily-filtered orders side first;
+        # we only check that the plan estimate stays near the truth.
+        plan = db.plan(
+            "SELECT * FROM users u JOIN orders o ON u.user_id = o.user_id "
+            "WHERE o.amount > 600"
+        )
+        assert plan.est_rows < 100
+
+
+class TestExplainOutput:
+    def test_plan_text_structure(self, db):
+        result = db.explain(
+            "SELECT status, count(*) FROM orders GROUP BY status ORDER BY status"
+        )
+        text = result.plan_text
+        assert "HashAggregate" in text
+        assert "Seq Scan on orders" in text
+        assert "cost=" in text and "rows=" in text
+
+    def test_subplan_rendered(self, db):
+        result = db.explain(
+            "SELECT * FROM users WHERE user_id IN (SELECT user_id FROM orders)"
+        )
+        assert "SubPlan 1 (in)" in result.plan_text
+
+    def test_cardinality_alias(self, db):
+        result = db.explain("SELECT * FROM users")
+        assert result.cardinality == result.estimated_rows
+
+    def test_index_scan_named_in_text(self, db):
+        result = db.explain("SELECT * FROM orders WHERE order_id = 5")
+        assert "Index Scan using" in result.plan_text
+
+
+class TestOuterJoinPlanning:
+    def test_left_join_estimate_at_least_left(self, db):
+        result = db.explain(
+            "SELECT * FROM users u LEFT JOIN orders o ON u.user_id = o.user_id "
+            "AND o.amount > 100000"
+        )
+        assert result.estimated_rows >= 200
+
+    def test_outer_join_tree_not_reordered(self, db):
+        plan = db.plan(
+            "SELECT * FROM users u LEFT JOIN orders o ON u.user_id = o.user_id"
+        )
+        joins = find_nodes(plan.root, HashJoinNode)
+        assert joins and joins[0].join_type == "left"

@@ -1,0 +1,121 @@
+"""AST -> SQL rendering: round-trips through the parser."""
+
+import numpy as np
+import pytest
+
+from repro.llm import TemplateSynthesizer
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_select
+from repro.sqldb.sql_render import render_expression, render_statement
+
+
+def roundtrip(sql: str) -> str:
+    """parse -> render -> parse -> render must be a fixed point."""
+    once = render_statement(parse_select(sql))
+    twice = render_statement(parse_select(once))
+    assert once == twice, (sql, once, twice)
+    return once
+
+
+CASES = [
+    "SELECT 1",
+    "SELECT a, b AS x FROM t",
+    "SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 5 OFFSET 2",
+    "SELECT * FROM t WHERE a > 1 AND b < 2 OR c = 3",
+    "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.z",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT count(*), sum(x), count(DISTINCT y) FROM t GROUP BY z HAVING count(*) > 2",
+    "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t",
+    "SELECT CAST(a AS text) FROM t",
+    "SELECT * FROM t WHERE a BETWEEN 1 AND 2",
+    "SELECT * FROM t WHERE a NOT IN (1, 2, 3)",
+    "SELECT * FROM t WHERE name LIKE 'x%' AND other NOT ILIKE '%y'",
+    "SELECT * FROM t WHERE a IS NULL OR b IS NOT NULL",
+    "SELECT * FROM t WHERE a IN (SELECT b FROM s WHERE c > 1)",
+    "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM s)",
+    "SELECT * FROM t WHERE x = (SELECT max(y) FROM s)",
+    "SELECT * FROM (SELECT a FROM t) AS sub WHERE sub.a > 0",
+    "SELECT a + b * c - d / e FROM t",
+    "SELECT (a + b) * c FROM t",
+    "SELECT -a FROM t",
+    "SELECT NOT a = 1 FROM t",
+    "SELECT a || '-' || b FROM t",
+    "SELECT EXTRACT(year FROM d) FROM t",
+    "SELECT * FROM t WHERE a > {p_1} AND s = {p_2}",
+    "SELECT upper(name), round(x, 2), coalesce(a, b, 0) FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", CASES)
+def test_roundtrip_fixed_point(sql):
+    roundtrip(sql)
+
+
+class TestStructuralEquivalence:
+    def test_precedence_preserved(self):
+        # (a + b) * c must keep its parentheses through the round trip.
+        rendered = render_statement(parse_select("SELECT (a + b) * c FROM t"))
+        stmt = parse_select(rendered)
+        expr = stmt.select_items[0].expression
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_or_inside_and(self):
+        rendered = render_statement(
+            parse_select("SELECT 1 FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        )
+        stmt = parse_select(rendered)
+        assert stmt.where.op == "and"
+        assert stmt.where.left.op == "or"
+
+    def test_placeholders_preserved(self):
+        rendered = render_statement(
+            parse_select("SELECT 1 FROM t WHERE a > {p_1}")
+        )
+        assert "{p_1}" in rendered
+
+    def test_string_escaping(self):
+        rendered = render_statement(parse_select("SELECT 'it''s' FROM t"))
+        assert "''" in rendered
+        parse_select(rendered)
+
+    def test_render_expression_standalone(self):
+        expr = parse_select("SELECT 1 FROM t WHERE a > 1 AND b < 2").where
+        text = render_expression(expr)
+        assert text == "a > 1 AND b < 2"
+
+
+class TestSynthesizedTemplatesRoundtrip:
+    def test_random_templates_roundtrip(self, synth_schema=None):
+        schema = {
+            "tables": [
+                {"name": "users", "rows": 100, "columns": [
+                    {"name": "id", "type": "integer", "ndv": 100,
+                     "min": 0, "max": 99},
+                    {"name": "name", "type": "text", "ndv": 10}]},
+                {"name": "orders", "rows": 500, "columns": [
+                    {"name": "oid", "type": "integer", "ndv": 500,
+                     "min": 0, "max": 499},
+                    {"name": "uid", "type": "integer", "ndv": 100,
+                     "min": 0, "max": 99},
+                    {"name": "amt", "type": "double precision", "ndv": 400,
+                     "min": 0.0, "max": 1e4}]},
+            ],
+            "join_edges": [{"table": "orders", "column": "uid",
+                            "ref_table": "users", "ref_column": "id"}],
+        }
+        synth = TemplateSynthesizer(seed=123)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            spec = {
+                "num_joins": int(rng.integers(0, 3)),
+                "num_predicates": int(rng.integers(0, 4)),
+                "require_group_by": bool(rng.random() < 0.4),
+                "require_nested_subquery": bool(rng.random() < 0.3),
+                "require_order_by": bool(rng.random() < 0.3),
+                "require_limit": bool(rng.random() < 0.3),
+            }
+            if spec["require_group_by"]:
+                spec["num_aggregations"] = int(rng.integers(1, 3))
+            sql = synth.synthesize(schema, None, spec)
+            roundtrip(sql)

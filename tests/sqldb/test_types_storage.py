@@ -1,0 +1,143 @@
+"""Type system and columnar storage behaviour."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.sqldb.errors import CatalogError
+from repro.sqldb.storage import Column, Table
+from repro.sqldb.types import (
+    SqlType,
+    common_numeric_type,
+    date_to_days,
+    days_to_date,
+    parse_type_name,
+)
+
+
+class TestSqlType:
+    def test_numeric_flags(self):
+        assert SqlType.INTEGER.is_numeric
+        assert SqlType.DOUBLE.is_numeric
+        assert not SqlType.TEXT.is_numeric
+
+    def test_orderable(self):
+        assert SqlType.DATE.is_orderable
+        assert not SqlType.BOOLEAN.is_orderable
+
+    def test_dtypes(self):
+        assert SqlType.INTEGER.numpy_dtype == np.dtype(np.int64)
+        assert SqlType.TEXT.numpy_dtype == np.dtype(object)
+
+    def test_byte_widths_positive(self):
+        for t in SqlType:
+            assert t.byte_width > 0
+
+    def test_parse_type_aliases(self):
+        assert parse_type_name("varchar(25)") is SqlType.TEXT
+        assert parse_type_name("INT") is SqlType.INTEGER
+        assert parse_type_name("double precision") is SqlType.DOUBLE
+        assert parse_type_name("decimal(12,2)") is SqlType.DOUBLE
+
+    def test_parse_unknown_type(self):
+        with pytest.raises(ValueError):
+            parse_type_name("blob")
+
+    def test_common_numeric(self):
+        assert common_numeric_type(SqlType.INTEGER, SqlType.DOUBLE) is SqlType.DOUBLE
+        assert common_numeric_type(SqlType.INTEGER, SqlType.BIGINT) is SqlType.BIGINT
+        with pytest.raises(ValueError):
+            common_numeric_type(SqlType.TEXT, SqlType.INTEGER)
+
+
+class TestDates:
+    def test_roundtrip(self):
+        d = datetime.date(2024, 2, 29)
+        assert days_to_date(date_to_days(d)) == d
+
+    def test_epoch_is_zero(self):
+        assert date_to_days(datetime.date(1970, 1, 1)) == 0
+
+    def test_iso_string(self):
+        assert date_to_days("1970-01-02") == 1
+
+
+class TestColumn:
+    def test_from_values_with_nulls(self):
+        col = Column.from_values("x", SqlType.INTEGER, [1, None, 3])
+        assert col.has_nulls
+        assert col.null_mask.tolist() == [False, True, False]
+        assert col.non_null_values().tolist() == [1, 3]
+
+    def test_from_values_no_nulls_has_no_mask(self):
+        col = Column.from_values("x", SqlType.INTEGER, [1, 2])
+        assert col.null_mask is None
+
+    def test_take_preserves_nulls(self):
+        col = Column.from_values("x", SqlType.INTEGER, [1, None, 3])
+        taken = col.take(np.array([1, 2]))
+        assert taken.null_mask.tolist() == [True, False]
+
+    def test_filter(self):
+        col = Column.from_values("x", SqlType.INTEGER, [1, 2, 3])
+        kept = col.filter(np.array([True, False, True]))
+        assert kept.data.tolist() == [1, 3]
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Column("x", SqlType.INTEGER, np.array([1, 2]), np.array([True]))
+
+    def test_text_column(self):
+        col = Column.from_values("s", SqlType.TEXT, ["a", None, "c"])
+        assert col.data.dtype == object
+        assert list(col.non_null_values()) == ["a", "c"]
+
+
+class TestTable:
+    def make(self):
+        return Table.from_dict(
+            "t",
+            {"a": [1, 2, 3], "b": ["x", "y", "z"]},
+            {"a": SqlType.INTEGER, "b": SqlType.TEXT},
+        )
+
+    def test_row_count(self):
+        assert self.make().row_count == 3
+
+    def test_column_lookup(self):
+        assert self.make().column("a").data.tolist() == [1, 2, 3]
+
+    def test_missing_column(self):
+        with pytest.raises(CatalogError):
+            self.make().column("nope")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [
+                Column.from_values("a", SqlType.INTEGER, [1]),
+                Column.from_values("b", SqlType.INTEGER, [1, 2]),
+            ])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("bad", [
+                Column.from_values("a", SqlType.INTEGER, [1]),
+                Column.from_values("a", SqlType.INTEGER, [2]),
+            ])
+
+    def test_rows_iteration(self):
+        assert list(self.make().rows()) == [(1, "x"), (2, "y"), (3, "z")]
+
+    def test_rows_null_becomes_none(self):
+        table = Table.from_dict(
+            "t", {"a": [1, None]}, {"a": SqlType.INTEGER}
+        )
+        assert list(table.rows()) == [(1,), (None,)]
+
+    def test_head(self):
+        assert self.make().head(2).row_count == 2
+
+    def test_take(self):
+        taken = self.make().take(np.array([2, 0]))
+        assert list(taken.rows()) == [(3, "z"), (1, "x")]

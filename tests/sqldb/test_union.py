@@ -1,0 +1,116 @@
+"""UNION / UNION ALL end-to-end behaviour."""
+
+import pytest
+
+from repro.sqldb import BindError, Database, SqlType, Table
+from repro.sqldb.parser import parse_select
+from repro.sqldb.sql_render import render_statement
+
+
+@pytest.fixture(scope="module")
+def udb():
+    db = Database("uniondb")
+    db.create_table(
+        Table.from_dict(
+            "a",
+            {"x": [1, 2, 3, 3], "s": ["p", "q", "r", "r"]},
+            {"x": SqlType.INTEGER, "s": SqlType.TEXT},
+        )
+    )
+    db.create_table(
+        Table.from_dict(
+            "b",
+            {"y": [3, 4], "t": ["r", "s"]},
+            {"y": SqlType.INTEGER, "t": SqlType.TEXT},
+        )
+    )
+    return db
+
+
+def rows(db, sql):
+    return sorted(db.execute(sql).table.rows())
+
+
+class TestExecution:
+    def test_union_all_keeps_duplicates(self, udb):
+        got = rows(udb, "SELECT x FROM a UNION ALL SELECT y FROM b")
+        assert got == [(1,), (2,), (3,), (3,), (3,), (4,)]
+
+    def test_union_deduplicates(self, udb):
+        got = rows(udb, "SELECT x FROM a UNION SELECT y FROM b")
+        assert got == [(1,), (2,), (3,), (4,)]
+
+    def test_multi_column_union(self, udb):
+        got = rows(udb, "SELECT x, s FROM a UNION SELECT y, t FROM b")
+        assert got == [(1, "p"), (2, "q"), (3, "r"), (4, "s")]
+
+    def test_union_with_filters_and_aggregates(self, udb):
+        got = rows(
+            udb,
+            "SELECT count(*) FROM a WHERE x > 1 "
+            "UNION ALL SELECT count(*) FROM b",
+        )
+        assert got == [(2,), (3,)]
+
+    def test_mixed_numeric_types_widen(self, udb):
+        got = rows(udb, "SELECT x FROM a UNION ALL SELECT y * 1.5 FROM b")
+        assert (4.5 in {v[0] for v in got}) and (1.0 in {v[0] for v in got})
+
+    def test_output_names_from_first_branch(self, udb):
+        result = udb.execute("SELECT x AS value FROM a UNION ALL SELECT y FROM b")
+        assert result.table.column_names == ["value"]
+
+
+class TestBinding:
+    def test_column_count_mismatch(self, udb):
+        with pytest.raises(BindError, match="same number of columns"):
+            udb.execute("SELECT x, s FROM a UNION SELECT y FROM b")
+
+    def test_type_mismatch(self, udb):
+        with pytest.raises(BindError, match="mismatched types"):
+            udb.execute("SELECT x FROM a UNION SELECT t FROM b")
+
+
+class TestPlanning:
+    def test_explain_shows_append(self, udb):
+        plan_text = udb.explain(
+            "SELECT x FROM a UNION ALL SELECT y FROM b"
+        ).plan_text
+        assert "Append" in plan_text
+        assert plan_text.count("Seq Scan") == 2
+
+    def test_union_all_estimate_is_sum(self, udb):
+        estimate = udb.explain(
+            "SELECT x FROM a UNION ALL SELECT y FROM b"
+        ).estimated_rows
+        assert estimate == pytest.approx(6, rel=0.01)
+
+    def test_union_estimate_below_sum(self, udb):
+        dedup = udb.explain("SELECT x FROM a UNION SELECT y FROM b")
+        keep = udb.explain("SELECT x FROM a UNION ALL SELECT y FROM b")
+        assert dedup.estimated_rows < keep.estimated_rows
+        assert dedup.total_cost > keep.total_cost
+
+
+class TestRendering:
+    def test_roundtrip(self):
+        sql = "SELECT x FROM a UNION ALL SELECT y FROM b UNION SELECT z FROM c"
+        once = render_statement(parse_select(sql))
+        assert render_statement(parse_select(once)) == once
+        assert "UNION ALL" in once and " UNION SELECT" in once
+
+
+class TestTemplatesWithUnion:
+    def test_placeholders_across_branches(self, udb):
+        from repro.workload import SqlTemplate, infer_placeholder_bindings
+
+        template = SqlTemplate(
+            "t_union",
+            "SELECT x FROM a WHERE x > {p_1} UNION ALL "
+            "SELECT y FROM b WHERE y < {p_2}",
+        )
+        infos = infer_placeholder_bindings(template.parse(), udb.catalog)
+        assert [i.name for i in infos] == ["p_1", "p_2"]
+        assert infos[0].table == "a" and infos[1].table == "b"
+        sql = template.instantiate({"p_1": 1, "p_2": 4})
+        assert udb.execute(sql).row_count == 4

@@ -1,0 +1,88 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.db == "tpch"
+        assert args.queries == 100
+        assert args.shape == "uniform"
+
+    def test_unknown_db_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schema", "--db", "oracle"])
+
+
+class TestCommands:
+    def test_benchmarks_lists_table1(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "Redset_Cost_Hard" in out
+        assert "Snowset_Card_1_Medium" in out
+
+    def test_schema(self, capsys):
+        assert main(["schema", "--db", "tpch", "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "lineitem" in out
+        assert "Foreign keys" in out
+
+    def test_generate_writes_jsonl(self, capsys, tmp_path):
+        output = tmp_path / "w.jsonl"
+        code = main([
+            "generate", "--db", "tpch", "--scale", "0.002",
+            "--queries", "12", "--intervals", "3", "--cost-max", "800",
+            "--spec", "one join and two predicate values",
+            "--time-budget", "60", "-o", str(output),
+        ])
+        assert code == 0
+        lines = output.read_text().splitlines()
+        assert len(lines) == 12
+        record = json.loads(lines[0])
+        assert "sql" in record and "cost" in record
+        out = capsys.readouterr().out
+        assert "Wasserstein distance 0.00" in out
+
+    def test_generate_with_specs_file(self, capsys, tmp_path):
+        specs_file = tmp_path / "specs.json"
+        specs_file.write_text(json.dumps([
+            {"num_joins": 1, "num_aggregations": 1, "group_by": True},
+        ]))
+        code = main([
+            "generate", "--db", "tpch", "--scale", "0.002",
+            "--queries", "8", "--intervals", "2", "--cost-max", "600",
+            "--specs-file", str(specs_file), "--time-budget", "60",
+        ])
+        assert code == 0
+
+    def test_generate_fleet_shape(self, capsys):
+        code = main([
+            "generate", "--db", "tpch", "--scale", "0.002",
+            "--queries", "10", "--intervals", "2", "--cost-max", "800",
+            "--shape", "redset_cost", "--time-budget", "60",
+        ])
+        assert code == 0
+
+    def test_run_benchmark_json_output(self, capsys):
+        code = main([
+            "run-benchmark", "--name", "uniform", "--db", "tpch",
+            "--method", "sqlbarber", "--queries", "15",
+            "--time-budget", "60",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "sqlbarber"
+        assert payload["complete"] is True
+
+    def test_run_benchmark_unknown_name(self):
+        with pytest.raises(KeyError):
+            main(["run-benchmark", "--name", "nope"])

@@ -1,0 +1,110 @@
+"""Workload replay against the engine."""
+
+import pytest
+
+from repro.sqldb import Database, SqlType, Table
+from repro.workload import GeneratedQuery, Workload, replay_workload
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database("replaydb")
+    database.create_table(
+        Table.from_dict(
+            "t",
+            {"id": list(range(100)), "v": [i % 10 for i in range(100)]},
+            {"id": SqlType.INTEGER, "v": SqlType.INTEGER},
+        ),
+        primary_key=["id"],
+    )
+    return database
+
+
+def make_workload(*sqls):
+    workload = Workload(name="replay")
+    for index, sql in enumerate(sqls):
+        workload.add(GeneratedQuery(sql=sql, cost=1.0, template_id=f"t{index}"))
+    return workload
+
+
+class TestReplay:
+    def test_all_succeed(self, db):
+        report = replay_workload(
+            make_workload(
+                "SELECT count(*) FROM t",
+                "SELECT id FROM t WHERE v = 3",
+                "SELECT v, count(*) FROM t GROUP BY v",
+            ),
+            db,
+        )
+        assert report.succeeded == 3
+        assert report.failed == 0
+        assert report.success_rate == 1.0
+        assert report.total_seconds > 0
+
+    def test_outcomes_carry_measurements(self, db):
+        report = replay_workload(
+            make_workload("SELECT id FROM t WHERE v = 3"), db
+        )
+        outcome = report.outcomes[0]
+        assert outcome.rows == 10
+        assert outcome.estimated_rows > 0
+        assert outcome.estimated_cost > 0
+        assert outcome.elapsed_seconds > 0
+
+    def test_q_error_exact_estimate(self, db):
+        report = replay_workload(make_workload("SELECT count(*) FROM t"), db)
+        assert report.outcomes[0].q_error >= 1.0
+
+    def test_failures_recorded(self, db):
+        report = replay_workload(
+            make_workload("SELECT ghost FROM t", "SELECT count(*) FROM t"), db
+        )
+        assert report.failed == 1
+        assert report.succeeded == 1
+        assert "does not exist" in report.outcomes[0].error
+
+    def test_fail_fast(self, db):
+        report = replay_workload(
+            make_workload("SELECT ghost FROM t", "SELECT count(*) FROM t"),
+            db,
+            fail_fast=True,
+        )
+        assert len(report.outcomes) == 1
+
+    def test_percentiles_and_worst(self, db):
+        report = replay_workload(
+            make_workload(
+                "SELECT id FROM t WHERE v = 1",
+                "SELECT id FROM t WHERE v = 2 AND id > 50",
+            ),
+            db,
+        )
+        percentiles = report.q_error_percentiles()
+        assert percentiles["p50"] >= 1.0
+        assert len(report.worst_estimates(1)) == 1
+
+    def test_text_summary(self, db):
+        report = replay_workload(make_workload("SELECT count(*) FROM t"), db)
+        text = report.to_text()
+        assert "1 ok" in text and "q-error" in text
+
+    def test_empty_workload(self, db):
+        report = replay_workload(Workload(), db)
+        assert report.success_rate == 0.0
+        assert report.q_error_percentiles()["max"] == 0.0
+
+    def test_generated_workload_replays_cleanly(self):
+        from repro.core import BarberConfig, SQLBarber
+        from repro.datasets import build_tpch, redset_spec_workload
+        from repro.workload import CostDistribution
+
+        tpch = build_tpch(scale=0.002)
+        barber = SQLBarber(tpch, config=BarberConfig(seed=0))
+        result = barber.generate_workload(
+            redset_spec_workload(num_specs=3),
+            CostDistribution.uniform(0, 800, 12, 3),
+            time_budget_seconds=60,
+        )
+        report = replay_workload(result.workload, tpch)
+        assert report.success_rate == 1.0  # every generated query executes

@@ -1,0 +1,156 @@
+"""Specs (JSON + natural language) and the ground-truth analyzer."""
+
+import pytest
+
+from repro.workload import TemplateSpec, analyze_sql, check_template, parse_instructions
+
+
+class TestParseInstructions:
+    def test_join_count(self):
+        assert parse_instructions("I want 5 joins")["num_joins"] == 5
+
+    def test_word_numbers(self):
+        assert parse_instructions("use three aggregations")["num_aggregations"] == 3
+
+    def test_no_joins(self):
+        assert parse_instructions("no joins but complex scalar expressions") == {
+            "num_joins": 0,
+            "require_complex_scalar": True,
+        }
+
+    def test_nested_subquery(self):
+        assert parse_instructions("have a nested subquery")[
+            "require_nested_subquery"
+        ]
+
+    def test_without_subquery(self):
+        fields = parse_instructions("without a nested subquery")
+        assert fields["require_nested_subquery"] is False
+
+    def test_group_by(self):
+        assert parse_instructions("use the GROUP BY operator")["require_group_by"]
+
+    def test_tables(self):
+        assert parse_instructions("accesses 3 tables")["num_tables"] == 3
+
+    def test_predicates(self):
+        assert parse_instructions("have two predicate values")["num_predicates"] == 2
+
+    def test_unparseable_text_yields_nothing(self):
+        assert parse_instructions("make it interesting") == {}
+
+
+class TestTemplateSpec:
+    def test_from_json_aliases(self):
+        spec = TemplateSpec.from_json(
+            {"template_id": 7, "num_tables_accessed": 2, "num_joins": 1,
+             "num_aggregations": 3}
+        )
+        assert spec.spec_id == "7"
+        assert spec.num_tables == 2
+        assert spec.num_joins == 1
+        assert spec.num_aggregations == 3
+
+    def test_from_json_with_instructions(self):
+        spec = TemplateSpec.from_json(
+            {"num_joins": 2, "instructions": ["have a nested subquery"]}
+        )
+        assert spec.require_nested_subquery
+        assert spec.instructions == ("have a nested subquery",)
+
+    def test_from_natural_language(self):
+        spec = TemplateSpec.from_natural_language(
+            "a complex template with 2 joins and one aggregation"
+        )
+        assert spec.num_joins == 2
+        assert spec.num_aggregations == 1
+
+    def test_merged_with_instructions_does_not_override(self):
+        spec = TemplateSpec(num_joins=5).merged_with_instructions("no joins")
+        assert spec.num_joins == 5  # explicit field wins
+
+    def test_prompt_text_mentions_constraints(self):
+        text = TemplateSpec(
+            num_joins=2, require_group_by=True, instructions=("keep it simple",)
+        ).to_prompt_text()
+        assert "2 join" in text
+        assert "GROUP BY" in text
+        assert "keep it simple" in text
+
+
+JOIN_AGG_SQL = """
+SELECT u.name, count(*) AS c, sum(o.amount) AS s
+FROM users u
+JOIN orders o ON u.user_id = o.user_id
+WHERE o.amount > {p_1}
+GROUP BY u.name
+HAVING count(*) > {p_2}
+ORDER BY s DESC
+LIMIT 10
+"""
+
+
+class TestAnalyzer:
+    def test_join_agg_features(self):
+        s = analyze_sql(JOIN_AGG_SQL)
+        assert s.num_tables == 2
+        assert s.num_joins == 1
+        assert s.num_aggregations == 3  # count, sum, count in HAVING
+        assert s.num_predicates == 2
+        assert s.has_group_by
+        assert s.has_order_by
+        assert s.has_limit
+        assert not s.has_nested_subquery
+
+    def test_nested_subquery_detected(self):
+        s = analyze_sql(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM s WHERE c > {p})"
+        )
+        assert s.has_nested_subquery
+        assert s.num_tables == 2
+
+    def test_self_join_counts_one_table(self):
+        s = analyze_sql("SELECT 1 FROM t a JOIN t b ON a.x = b.x")
+        assert s.num_tables == 1
+        assert s.num_scans == 2
+        assert s.num_joins == 1
+
+    def test_no_joins(self):
+        assert analyze_sql("SELECT a FROM t").num_joins == 0
+
+    def test_complex_scalar_detection(self):
+        simple = analyze_sql("SELECT a FROM t")
+        complex_ = analyze_sql(
+            "SELECT CASE WHEN a > 1 THEN upper(b) ELSE lower(b) END || '!' FROM t"
+        )
+        assert not simple.has_complex_scalar
+        assert complex_.has_complex_scalar
+
+
+class TestCheckTemplate:
+    def test_satisfying_template(self):
+        ok, violations = check_template(
+            JOIN_AGG_SQL,
+            TemplateSpec(num_joins=1, num_tables=2, require_group_by=True),
+        )
+        assert ok and violations == []
+
+    def test_violations_are_descriptive(self):
+        ok, violations = check_template(
+            JOIN_AGG_SQL, TemplateSpec(num_joins=3, require_nested_subquery=True)
+        )
+        assert not ok
+        assert any("joins" in v for v in violations)
+        assert any("subquery" in v for v in violations)
+
+    def test_forbidden_feature(self):
+        ok, violations = check_template(
+            JOIN_AGG_SQL, TemplateSpec(require_group_by=False)
+        )
+        assert not ok
+        assert any("must not use GROUP BY" in v for v in violations)
+
+    def test_unparseable_sql(self):
+        ok, violations = check_template("SELEC oops", TemplateSpec())
+        assert not ok
+        assert "could not parse" in violations[0]

@@ -1,0 +1,84 @@
+"""Workload-level statistics and reporting."""
+
+import pytest
+
+from repro.workload import (
+    CostDistribution,
+    CostSummary,
+    GeneratedQuery,
+    Workload,
+    describe_workload,
+)
+
+
+def make_workload():
+    workload = Workload(name="w")
+    workload.extend(
+        [
+            GeneratedQuery(
+                "SELECT a FROM t WHERE a > 1", 10.0, template_id="t1"
+            ),
+            GeneratedQuery(
+                "SELECT a, count(*) FROM t GROUP BY a", 20.0, template_id="t1"
+            ),
+            GeneratedQuery(
+                "SELECT * FROM t JOIN s ON t.a = s.a ORDER BY t.a LIMIT 5",
+                90.0,
+                template_id="t2",
+            ),
+            GeneratedQuery(
+                "SELECT a FROM t WHERE a IN (SELECT b FROM s)", 40.0,
+                template_id="t2",
+            ),
+        ]
+    )
+    return workload
+
+
+class TestCostSummary:
+    def test_empty(self):
+        summary = CostSummary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_values(self):
+        summary = CostSummary.of([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+
+
+class TestDescribeWorkload:
+    def test_structure_counts(self):
+        report = describe_workload(make_workload())
+        assert report.structure.joins == {0: 3, 1: 1}
+        assert report.structure.with_group_by == 1
+        assert report.structure.with_subquery == 1
+        assert report.structure.with_order_by == 1
+        assert report.structure.with_limit == 1
+        assert report.structure.unparseable == 0
+
+    def test_per_template(self):
+        report = describe_workload(make_workload())
+        assert report.queries_per_template == {"t1": 2, "t2": 2}
+
+    def test_alignment_with_target(self):
+        target = CostDistribution.uniform(0, 100, 4, 2)
+        report = describe_workload(make_workload(), target=target)
+        assert report.alignment is not None
+        assert report.alignment >= 0.0
+
+    def test_unparseable_counted(self):
+        workload = Workload()
+        workload.add(GeneratedQuery("SELEC garbage", 1.0))
+        report = describe_workload(workload)
+        assert report.structure.unparseable == 1
+
+    def test_text_rendering(self):
+        target = CostDistribution.uniform(0, 100, 4, 2)
+        text = describe_workload(make_workload(), target=target).to_text()
+        assert "4 queries" in text
+        assert "Wasserstein" in text
+        assert "templates used: 2" in text

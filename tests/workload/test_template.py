@@ -1,0 +1,188 @@
+"""Templates, literal rendering, and placeholder inference."""
+
+import datetime
+
+import pytest
+
+from repro.sqldb import Database, SqlType, Table
+from repro.workload import (
+    SqlTemplate,
+    infer_placeholder_bindings,
+    render_literal,
+)
+
+
+class TestRenderLiteral:
+    def test_integers(self):
+        assert render_literal(42) == "42"
+
+    def test_floats(self):
+        assert render_literal(2.5) == "2.5"
+
+    def test_float_coerced_to_int_type(self):
+        assert render_literal(2.6, SqlType.INTEGER) == "3"
+
+    def test_strings_quoted(self):
+        assert render_literal("abc") == "'abc'"
+
+    def test_quote_escaping(self):
+        assert render_literal("it's") == "'it''s'"
+
+    def test_null(self):
+        assert render_literal(None) == "NULL"
+
+    def test_booleans(self):
+        assert render_literal(True) == "TRUE"
+
+    def test_date_object(self):
+        assert render_literal(datetime.date(2020, 1, 2)) == "'2020-01-02'"
+
+    def test_int_as_date_type(self):
+        assert render_literal(1, SqlType.DATE) == "'1970-01-02'"
+
+    def test_int_as_double_type(self):
+        assert render_literal(3, SqlType.DOUBLE) == "3.0"
+
+
+class TestSqlTemplate:
+    def make(self):
+        return SqlTemplate(
+            template_id="t1",
+            sql="SELECT a FROM t WHERE a > {p_1} AND b < {p_2}",
+        )
+
+    def test_placeholder_names(self):
+        assert self.make().placeholder_names == ["p_1", "p_2"]
+
+    def test_instantiate(self):
+        sql = self.make().instantiate({"p_1": 10, "p_2": 20})
+        assert sql == "SELECT a FROM t WHERE a > 10 AND b < 20"
+
+    def test_instantiate_missing_value(self):
+        with pytest.raises(KeyError):
+            self.make().instantiate({"p_1": 10})
+
+    def test_instantiate_string_value(self):
+        template = SqlTemplate("t", "SELECT 1 FROM t WHERE s = {p_1}")
+        assert template.instantiate({"p_1": "x"}) == "SELECT 1 FROM t WHERE s = 'x'"
+
+    def test_repeated_placeholder(self):
+        template = SqlTemplate("t", "SELECT 1 FROM t WHERE a > {p} AND b > {p}")
+        assert template.instantiate({"p": 5}).count("5") == 2
+
+    def test_parse_caches(self):
+        template = self.make()
+        assert template.parse() is template.parse()
+
+    def test_with_sql_records_parent(self):
+        child = self.make().with_sql("SELECT 1", "t2")
+        assert child.parent_id == "t1"
+        assert child.template_id == "t2"
+
+
+@pytest.fixture(scope="module")
+def catalog_db():
+    db = Database("ph")
+    db.create_table(
+        Table.from_dict(
+            "sales",
+            {
+                "sale_id": [1, 2, 3],
+                "price": [1.0, 2.0, 3.0],
+                "region": ["n", "s", "e"],
+                "sold_on": [10, 20, 30],
+            },
+            {
+                "sale_id": SqlType.INTEGER,
+                "price": SqlType.DOUBLE,
+                "region": SqlType.TEXT,
+                "sold_on": SqlType.DATE,
+            },
+        ),
+        primary_key=["sale_id"],
+    )
+    db.create_table(
+        Table.from_dict(
+            "stores",
+            {"store_id": [1, 2], "city": ["a", "b"]},
+            {"store_id": SqlType.INTEGER, "city": SqlType.TEXT},
+        ),
+        primary_key=["store_id"],
+    )
+    return db
+
+
+class TestPlaceholderInference:
+    def infer(self, db, sql):
+        template = SqlTemplate("t", sql)
+        return infer_placeholder_bindings(template.parse(), db.catalog)
+
+    def test_simple_comparison(self, catalog_db):
+        infos = self.infer(catalog_db, "SELECT 1 FROM sales WHERE price > {p_1}")
+        assert infos[0].table == "sales"
+        assert infos[0].column == "price"
+        assert infos[0].sql_type is SqlType.DOUBLE
+        assert infos[0].operator == ">"
+
+    def test_reversed_comparison(self, catalog_db):
+        infos = self.infer(catalog_db, "SELECT 1 FROM sales WHERE {p_1} < price")
+        assert infos[0].column == "price"
+
+    def test_between(self, catalog_db):
+        infos = self.infer(
+            catalog_db, "SELECT 1 FROM sales WHERE price BETWEEN {lo} AND {hi}"
+        )
+        assert [i.operator for i in infos] == ["between", "between"]
+        assert all(i.column == "price" for i in infos)
+
+    def test_in_list(self, catalog_db):
+        infos = self.infer(
+            catalog_db, "SELECT 1 FROM sales WHERE region IN ({a}, {b})"
+        )
+        assert all(i.column == "region" for i in infos)
+        assert infos[0].sql_type is SqlType.TEXT
+
+    def test_like(self, catalog_db):
+        infos = self.infer(catalog_db, "SELECT 1 FROM sales WHERE region LIKE {p}")
+        assert infos[0].operator == "like"
+
+    def test_qualified_with_alias(self, catalog_db):
+        infos = self.infer(
+            catalog_db,
+            "SELECT 1 FROM sales s JOIN stores t ON s.sale_id = t.store_id "
+            "WHERE t.city = {p}",
+        )
+        assert infos[0].table == "stores"
+        assert infos[0].column == "city"
+
+    def test_placeholder_in_subquery(self, catalog_db):
+        infos = self.infer(
+            catalog_db,
+            "SELECT 1 FROM stores WHERE store_id IN "
+            "(SELECT sale_id FROM sales WHERE price > {p})",
+        )
+        assert infos[0].column == "price"
+
+    def test_placeholder_in_having(self, catalog_db):
+        infos = self.infer(
+            catalog_db,
+            "SELECT region, count(*) FROM sales GROUP BY region "
+            "HAVING count(*) > {p}",
+        )
+        # count(*) is not a base column; the placeholder stays unbound
+        assert infos[0].table is None
+
+    def test_arithmetic_around_placeholder(self, catalog_db):
+        infos = self.infer(
+            catalog_db, "SELECT 1 FROM sales WHERE price > {p} * 2"
+        )
+        assert infos[0].column == "price"
+
+    def test_unbound_placeholder_still_listed(self, catalog_db):
+        infos = self.infer(catalog_db, "SELECT {p} FROM sales")
+        assert infos[0].name == "p"
+        assert infos[0].table is None
+
+    def test_date_placeholder(self, catalog_db):
+        infos = self.infer(catalog_db, "SELECT 1 FROM sales WHERE sold_on < {d}")
+        assert infos[0].sql_type is SqlType.DATE
