@@ -110,6 +110,7 @@ class ExperimentRunner:
         time_budget_seconds: float | None = None,
         per_interval_budget_seconds: float = 2.0,
         config: BarberConfig | None = None,
+        sinks: list | None = None,
     ) -> MethodRun:
         if method == "sqlbarber":
             return self.run_sqlbarber(
@@ -118,6 +119,7 @@ class ExperimentRunner:
                 benchmark_name,
                 time_budget_seconds=time_budget_seconds,
                 config=config,
+                sinks=sinks,
             )
         return self.run_baseline(
             method,
@@ -134,9 +136,12 @@ class ExperimentRunner:
         benchmark_name: str = "custom",
         time_budget_seconds: float | None = None,
         config: BarberConfig | None = None,
+        sinks: list | None = None,
     ) -> MethodRun:
         db = build_database(db_name)
-        barber = SQLBarber(db, config=config or BarberConfig(seed=self.seed))
+        barber = SQLBarber(
+            db, config=config or BarberConfig(seed=self.seed), sinks=sinks
+        )
         result = barber.generate_workload(
             self.specs(), distribution, time_budget_seconds=time_budget_seconds
         )
@@ -155,6 +160,7 @@ class ExperimentRunner:
                 "num_templates": result.num_templates,
                 "llm_usage": result.llm_usage,
                 "alignment_accuracy": result.generation_report.alignment_accuracy,
+                "stage_seconds": dict(result.stage_seconds),
             },
         )
 

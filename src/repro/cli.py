@@ -5,13 +5,21 @@ Commands:
 * ``schema``         — print the schema summary of a built-in dataset;
 * ``generate``       — run SQLBarber end-to-end and export a JSONL workload;
 * ``benchmarks``     — list the ten paper benchmarks (Table 1);
-* ``run-benchmark``  — run one method on one benchmark and print metrics.
+* ``run-benchmark``  — run one method on one benchmark and print metrics;
+* ``trace-report``   — per-stage time/token/call breakdown of a trace file.
+
+Output discipline: *data* (schema text, tables, JSON summaries, reports)
+goes to stdout; *diagnostics* (progress, target histograms) go through the
+``repro`` logger to stderr, so ``--output``/JSON consumers can pipe stdout
+without scraping.  ``--log-level debug`` additionally streams every
+telemetry span through the logger.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
 from repro.benchsuite import (
@@ -23,15 +31,23 @@ from repro.benchsuite import (
 )
 from repro.core import BarberConfig, SQLBarber, schema_text
 from repro.datasets import build_database, dataset_names, redset_spec_workload
+from repro.obs import JsonlSink, LoggingSink, render_report_file, setup_logging
 from repro.workload import CostDistribution, TemplateSpec
+
+logger = logging.getLogger("repro.cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse CLI with all four sub-commands."""
+    """Construct the argparse CLI with all five sub-commands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SQLBarber reproduction: customized, cost-targeted "
         "SQL workload generation.",
+    )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="diagnostic verbosity on stderr (debug also streams spans)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -71,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--time-budget", type=float, default=300.0)
     generate.add_argument("--output", "-o", default=None,
                           help="JSONL output path (default: stdout summary only)")
+    generate.add_argument(
+        "--trace-out", default=None,
+        help="write the run's telemetry (spans + metrics) to this JSONL file; "
+             "inspect it with `repro trace-report`",
+    )
 
     commands.add_parser("benchmarks", help="list the ten paper benchmarks")
 
@@ -85,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--time-budget", type=float, default=300.0)
     run.add_argument("--baseline-interval-budget", type=float, default=2.0)
+    run.add_argument(
+        "--trace-out", default=None,
+        help="telemetry JSONL output (sqlbarber method only)",
+    )
+
+    report = commands.add_parser(
+        "trace-report",
+        help="print a per-stage time/token/call breakdown of a trace file",
+    )
+    report.add_argument("trace", help="JSONL trace written with --trace-out")
     return parser
 
 
@@ -122,6 +153,18 @@ def _build_distribution(args) -> CostDistribution:
     )
 
 
+def _telemetry_sinks(trace_out: str | None) -> list:
+    sinks: list = [LoggingSink()]
+    if trace_out:
+        try:
+            sinks.append(JsonlSink(trace_out))
+        except OSError as exc:
+            raise SystemExit(
+                f"repro: error: cannot write trace to {trace_out!r}: {exc}"
+            ) from exc
+    return sinks
+
+
 def cmd_schema(args) -> int:
     """`repro schema`: print a dataset's human-readable schema summary."""
     db = build_database(args.db, scale=args.scale)
@@ -130,26 +173,52 @@ def cmd_schema(args) -> int:
 
 
 def cmd_generate(args) -> int:
-    """`repro generate`: run SQLBarber end-to-end, optionally write JSONL."""
+    """`repro generate`: run SQLBarber end-to-end, optionally write JSONL.
+
+    Stdout carries exactly one JSON summary object; the target histogram and
+    progress diagnostics go to the logger (stderr).
+    """
     db = build_database(args.db, scale=args.scale)
     specs = _load_specs(args)
     distribution = _build_distribution(args)
-    print(histogram_text(distribution))
-    barber = SQLBarber(db, config=BarberConfig(seed=args.seed))
+    logger.info("target distribution:\n%s", histogram_text(distribution))
+    barber = SQLBarber(
+        db,
+        config=BarberConfig(seed=args.seed),
+        sinks=_telemetry_sinks(args.trace_out),
+    )
     result = barber.generate_workload(
         specs, distribution, time_budget_seconds=args.time_budget
     )
-    print(
-        f"\ngenerated {len(result.workload)}/{distribution.total_queries} "
-        f"queries in {result.elapsed_seconds:.1f}s; "
-        f"Wasserstein distance {result.final_distance:.2f}; "
-        f"templates {result.num_templates}; "
-        f"LLM tokens {result.llm_usage['total_tokens']}"
+    logger.info(
+        "generated %d/%d queries in %.1fs; Wasserstein distance %.2f; "
+        "templates %d; LLM tokens %d",
+        len(result.workload), distribution.total_queries,
+        result.elapsed_seconds, result.final_distance,
+        result.num_templates, result.llm_usage["total_tokens"],
     )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(result.workload.to_jsonl())
-        print(f"workload written to {args.output}")
+        logger.info("workload written to %s", args.output)
+    if args.trace_out:
+        logger.info("telemetry trace written to %s", args.trace_out)
+    summary = {
+        "generated": len(result.workload),
+        "target_queries": distribution.total_queries,
+        "complete": result.complete,
+        "elapsed_seconds": round(result.elapsed_seconds, 3),
+        "wasserstein_distance": round(result.final_distance, 4),
+        "num_templates": result.num_templates,
+        "stage_seconds": {
+            stage: round(seconds, 3)
+            for stage, seconds in result.stage_seconds.items()
+        },
+        "llm_usage": result.llm_usage,
+        "output": args.output,
+        "trace": args.trace_out,
+    }
+    print(json.dumps(summary, indent=2))
     return 0 if result.complete else 1
 
 
@@ -171,19 +240,41 @@ def cmd_run_benchmark(args) -> int:
         benchmark_name=benchmark.name,
         time_budget_seconds=args.time_budget,
         per_interval_budget_seconds=args.baseline_interval_budget,
+        sinks=_telemetry_sinks(args.trace_out) if args.trace_out else None,
     )
+    if args.trace_out:
+        logger.info("telemetry trace written to %s", args.trace_out)
     print(json.dumps(run.summary_row(), indent=2))
     return 0 if run.complete else 1
+
+
+def cmd_trace_report(args) -> int:
+    """`repro trace-report`: offline breakdown of a --trace-out file."""
+    try:
+        print(render_report_file(args.trace))
+    except OSError as exc:
+        print(f"repro: error: cannot read trace file: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(
+            f"repro: error: {args.trace!r} is not a JSONL trace "
+            f"(line {exc.lineno}: {exc.msg})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    setup_logging(args.log_level)
     handlers = {
         "schema": cmd_schema,
         "generate": cmd_generate,
         "benchmarks": cmd_benchmarks,
         "run-benchmark": cmd_run_benchmark,
+        "trace-report": cmd_trace_report,
     }
     return handlers[args.command](args)
 

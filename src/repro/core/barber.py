@@ -13,14 +13,25 @@ Typical use::
     )
     result.workload          # the generated queries
     result.tracker.wasserstein  # alignment with the target distribution
+    result.telemetry         # trace tree + metrics for the run
+    result.stage_seconds     # {"templates": ..., "profile": ..., ...}
+
+Every run carries a :class:`~repro.obs.Telemetry`: four stage spans
+(``stage:templates`` / ``stage:profile`` / ``stage:refine`` /
+``stage:search``) under one ``generate_workload`` root, with per-stage
+LLM-token and engine-call deltas attached as span attributes.  Sinks passed
+to the constructor (e.g. :class:`~repro.obs.JsonlSink`) receive every span
+as it closes plus a final metrics snapshot.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.llm import LLMClient, SimulatedLLM
+from repro.obs import Telemetry, use_telemetry
 from repro.sqldb import Database
 from repro.workload import (
     CostDistribution,
@@ -35,6 +46,9 @@ from .profiler import TemplateProfile, TemplateProfiler
 from .refiner import RefinementResult, TemplateRefiner
 from .schema_summary import schema_payload
 from .template_generator import CustomizedTemplateGenerator, TemplateGenerationReport
+
+# Pipeline stages in execution order; each gets a `stage:<name>` span.
+PIPELINE_STAGES = ("templates", "profile", "refine", "search")
 
 
 @dataclass
@@ -51,6 +65,11 @@ class WorkloadResult:
     elapsed_seconds: float
     distance_trace: list[tuple[float, float]] = field(default_factory=list)
     llm_usage: dict = field(default_factory=dict)
+    # Directly-measured stage boundaries (no back-computation from traces).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    # The run's Telemetry: trace tree (telemetry.tracer.roots) and metrics
+    # (telemetry.metrics.snapshot()).
+    telemetry: Telemetry | None = None
 
     @property
     def final_distance(self) -> float:
@@ -64,6 +83,31 @@ class WorkloadResult:
     def num_templates(self) -> int:
         return len(self.profiles)
 
+    @property
+    def setup_seconds(self) -> float:
+        """Time spent before the predicate search started."""
+        return sum(
+            seconds
+            for stage, seconds in self.stage_seconds.items()
+            if stage != "search"
+        )
+
+
+def _substrate_totals(telemetry: Telemetry) -> dict[str, float]:
+    """Current LLM/engine counter totals, for per-stage deltas."""
+    metrics = telemetry.metrics
+    return {
+        "llm_calls": metrics.total("llm.calls"),
+        "llm_tokens": (
+            metrics.total("llm.tokens.prompt")
+            + metrics.total("llm.tokens.completion")
+        ),
+        "db_calls": (
+            metrics.total("sqldb.explain.calls")
+            + metrics.total("sqldb.execute.calls")
+        ),
+    }
+
 
 class SQLBarber:
     """Customized + realistic SQL workload generation (the paper's system)."""
@@ -73,11 +117,16 @@ class SQLBarber:
         db: Database,
         llm: LLMClient | None = None,
         config: BarberConfig | None = None,
+        sinks: list | None = None,
     ):
         self.db = db
         self.config = config or BarberConfig()
         self.llm = llm if llm is not None else SimulatedLLM(seed=self.config.seed)
         self.schema = schema_payload(db)
+        # Telemetry sinks attached to every generate_workload run (a fresh
+        # Telemetry is created per run; sinks are closed when it finishes,
+        # so file-backed sinks serve exactly one run).
+        self.sinks = list(sinks) if sinks else []
 
     # -- component factories (overridable in ablations) -----------------------------
 
@@ -95,54 +144,134 @@ class SQLBarber:
         """Section 4 only: customized template generation with Algorithm 1."""
         return self.template_generator().generate_many(specs)
 
+    @contextmanager
+    def _stage(self, telemetry: Telemetry, name: str, stage_seconds: dict):
+        """One `stage:<name>` span, recording duration + substrate deltas."""
+        before = _substrate_totals(telemetry)
+        started = time.perf_counter()
+        with telemetry.span(f"stage:{name}") as span:
+            try:
+                yield span
+            finally:
+                after = _substrate_totals(telemetry)
+                stage_seconds[name] = time.perf_counter() - started
+                span.set(
+                    **{key: after[key] - before[key] for key in after}
+                )
+
     def generate_workload(
         self,
         specs: list[TemplateSpec],
         distribution: CostDistribution,
         templates: list[SqlTemplate] | None = None,
         time_budget_seconds: float | None = None,
+        telemetry: Telemetry | None = None,
     ) -> WorkloadResult:
         """The full pipeline: templates -> profile -> refine/prune -> BO search.
 
         Pre-generated *templates* can be supplied to skip Section 4 (used by
         ablations and by callers that iterate on the same template pool).
+        A caller-supplied *telemetry* overrides the per-run default (fresh
+        :class:`~repro.obs.Telemetry` over the constructor's sinks).
         """
+        run_telemetry = (
+            telemetry if telemetry is not None else Telemetry(sinks=self.sinks)
+        )
+        with use_telemetry(run_telemetry):
+            result = self._generate_workload(
+                specs, distribution, templates, time_budget_seconds, run_telemetry
+            )
+        run_telemetry.finish()
+        result.telemetry = run_telemetry
+        return result
+
+    def _generate_workload(
+        self,
+        specs: list[TemplateSpec],
+        distribution: CostDistribution,
+        templates: list[SqlTemplate] | None,
+        time_budget_seconds: float | None,
+        telemetry: Telemetry,
+    ) -> WorkloadResult:
         started = time.perf_counter()
         budget = (
             time_budget_seconds
             if time_budget_seconds is not None
             else self.config.time_budget_seconds
         )
+        stage_seconds: dict[str, float] = {}
 
-        if templates is None:
-            templates, report = self.generate_templates(specs)
-        else:
-            report = TemplateGenerationReport()
+        with telemetry.span(
+            "generate_workload",
+            db=self.db.name,
+            target_queries=distribution.total_queries,
+            num_intervals=distribution.num_intervals,
+            cost_type=distribution.cost_type,
+            num_specs=len(specs),
+        ) as root:
+            with self._stage(telemetry, "templates", stage_seconds) as span:
+                if templates is None:
+                    templates, report = self.generate_templates(specs)
+                else:
+                    report = TemplateGenerationReport()
+                span.set(
+                    templates=len(templates),
+                    alignment_accuracy=round(report.alignment_accuracy, 4),
+                )
 
-        profiler = self.profiler(distribution.cost_type)
-        samples = profiler.profile_samples_per_template(
-            distribution.total_queries, max(len(templates), 1)
-        )
-        profiles = [profiler.profile(t, samples) for t in templates]
-        profiles = [p for p in profiles if p.is_usable]
+            with self._stage(telemetry, "profile", stage_seconds) as span:
+                profiler = self.profiler(distribution.cost_type)
+                samples = profiler.profile_samples_per_template(
+                    distribution.total_queries, max(len(templates), 1)
+                )
+                profiles = [profiler.profile(t, samples) for t in templates]
+                profiles = [p for p in profiles if p.is_usable]
+                span.set(samples_per_template=samples, usable=len(profiles))
 
-        refinement: RefinementResult | None = None
-        if self.config.enable_refinement:
-            refiner = TemplateRefiner(self.llm, profiler, self.schema, self.config)
-            specs_by_id = {s.spec_id: s for s in specs}
-            refinement = refiner.refine(
-                profiles, distribution, samples, specs_by_id=specs_by_id
+            refinement: RefinementResult | None = None
+            with self._stage(telemetry, "refine", stage_seconds) as span:
+                if self.config.enable_refinement:
+                    refiner = TemplateRefiner(
+                        self.llm, profiler, self.schema, self.config
+                    )
+                    specs_by_id = {s.spec_id: s for s in specs}
+                    refinement = refiner.refine(
+                        profiles, distribution, samples, specs_by_id=specs_by_id
+                    )
+                    profiles = refinement.profiles
+                    span.set(
+                        refine_calls=refinement.refine_calls,
+                        accepted=len(refinement.accepted),
+                        pruned=refinement.pruned,
+                    )
+                else:
+                    span.set(skipped=True)
+
+            with self._stage(telemetry, "search", stage_seconds) as span:
+                search = PredicateSearch(profiler, self.config)
+                remaining = None
+                if budget is not None:
+                    remaining = max(
+                        budget - (time.perf_counter() - started), 1.0
+                    )
+                search_result = search.run(
+                    profiles, distribution, deadline=remaining
+                )
+                span.set(
+                    queries=len(search_result.queries),
+                    evaluations=search_result.evaluations,
+                    final_distance=round(search_result.final_distance, 4),
+                )
+
+            elapsed = time.perf_counter() - started
+            root.set(
+                elapsed_seconds=round(elapsed, 6),
+                complete=search_result.complete,
             )
-            profiles = refinement.profiles
 
-        search = PredicateSearch(profiler, self.config)
-        remaining = None
-        if budget is not None:
-            remaining = max(budget - (time.perf_counter() - started), 1.0)
-        search_result = search.run(profiles, distribution, deadline=remaining)
-
-        elapsed = time.perf_counter() - started
-        setup = elapsed - (search_result.trace[-1][0] if search_result.trace else 0.0)
+        # Stage boundaries are measured directly: the search trace offset is
+        # everything that ran before the search stage started.
+        setup = sum(stage_seconds[s] for s in PIPELINE_STAGES if s != "search")
         trace = [(setup + t, d) for t, d in search_result.trace]
         workload = Workload(queries=search_result.queries, name=distribution.name)
         return WorkloadResult(
@@ -156,4 +285,5 @@ class SQLBarber:
             elapsed_seconds=elapsed,
             distance_trace=trace,
             llm_usage=self.llm.usage.snapshot(),
+            stage_seconds=stage_seconds,
         )

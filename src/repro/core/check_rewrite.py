@@ -20,6 +20,7 @@ from repro.llm import (
     fix_semantics_prompt,
     validate_semantics_prompt,
 )
+from repro.obs import current as current_telemetry
 from repro.sqldb import Database
 from repro.workload import TemplateSpec, check_template
 from .config import BarberConfig
@@ -86,6 +87,7 @@ def check_and_rewrite(
     config: BarberConfig,
 ) -> RewriteTrace:
     """Run Algorithm 1 on one candidate template."""
+    telemetry = current_telemetry()
     trace = RewriteTrace(spec_id=spec.spec_id)
     spec_payload = spec_to_payload(spec)
     current = sql
@@ -93,6 +95,7 @@ def check_and_rewrite(
         truth_spec_ok, _ = check_template(current, spec)
         truth_syntax_ok = template_error(current, db, config) is None
         trace.attempts.append(AttemptStatus(truth_spec_ok, truth_syntax_ok))
+        telemetry.count("generator.attempts")
 
         # Phase 1: specification compliance, judged and fixed by the LLM.
         satisfied, violations = _llm_validate(current, spec, llm, schema, spec_payload)
@@ -101,6 +104,7 @@ def check_and_rewrite(
                 current, spec, violations, llm, schema, spec_payload, iteration
             )
             trace.rewrites += 1
+            telemetry.count("generator.rewrites", phase="semantics")
 
         # Phase 2: executability, judged by the DBMS and fixed by the LLM.
         error = template_error(current, db, config)
@@ -109,6 +113,7 @@ def check_and_rewrite(
                 current, error, llm, schema, spec_payload, iteration
             )
             trace.rewrites += 1
+            telemetry.count("generator.rewrites", phase="execution")
             error = template_error(current, db, config)
 
         if satisfied and error is None:

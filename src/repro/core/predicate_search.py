@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bo import BayesianOptimizer, Config
+from repro.obs import current as current_telemetry
 from repro.workload import (
     CostDistribution,
     DistributionTracker,
@@ -75,6 +76,7 @@ class PredicateSearch:
         distribution: CostDistribution,
         deadline: float | None = None,
     ) -> SearchResult:
+        telemetry = current_telemetry()
         tracker = DistributionTracker(distribution)
         result = SearchResult(queries=[], tracker=tracker)
         start = time.perf_counter()
@@ -116,42 +118,63 @@ class PredicateSearch:
             )
             if not candidates:
                 result.skipped_intervals.add(target)
+                telemetry.count("search.intervals.skipped")
                 continue
 
-            improved = False
-            for profile in candidates:
-                before = int(tracker.achieved[target])
-                kept, evaluated = self._optimize_template(
-                    profile,
-                    target,
-                    (low, high),
-                    gap,
-                    tracker,
-                    result,
-                    seen_queries,
-                    deadline,
-                    start,
-                )
-                result.evaluations += evaluated
-                after = int(tracker.achieved[target])
-                if after > before:
-                    improved = True
-                if (
-                    self.config.track_bad_combinations
-                    and evaluated > 0
-                    and kept / evaluated < self.config.utility_threshold
-                ):
-                    bad_combinations.add((target, profile.template.template_id))
-                result.trace.append((elapsed(), tracker.wasserstein))
-                if tracker.deficits[target] <= 0:
-                    break
-                if deadline is not None and elapsed() > deadline:
-                    break
+            with telemetry.span(
+                "search.round", interval=target, gap=gap,
+                candidates=len(candidates),
+            ) as round_span:
+                distance_before = tracker.wasserstein
+                round_evaluated = round_kept = 0
+                improved = False
+                for profile in candidates:
+                    before = int(tracker.achieved[target])
+                    kept, evaluated = self._optimize_template(
+                        profile,
+                        target,
+                        (low, high),
+                        gap,
+                        tracker,
+                        result,
+                        seen_queries,
+                        deadline,
+                        start,
+                    )
+                    result.evaluations += evaluated
+                    round_evaluated += evaluated
+                    round_kept += kept
+                    after = int(tracker.achieved[target])
+                    if after > before:
+                        improved = True
+                    if (
+                        self.config.track_bad_combinations
+                        and evaluated > 0
+                        and kept / evaluated < self.config.utility_threshold
+                    ):
+                        bad_combinations.add(
+                            (target, profile.template.template_id)
+                        )
+                    result.trace.append((elapsed(), tracker.wasserstein))
+                    if tracker.deficits[target] <= 0:
+                        break
+                    if deadline is not None and elapsed() > deadline:
+                        break
+                if telemetry.enabled:
+                    round_span.set(
+                        evaluations=round_evaluated,
+                        kept=round_kept,
+                        distance_before=round(distance_before, 4),
+                        distance_after=round(tracker.wasserstein, 4),
+                    )
+                    telemetry.count("search.bo.iterations", round_evaluated)
+                    telemetry.gauge("search.distance", tracker.wasserstein)
 
             if not improved:
                 failure_counts[target] = failure_counts.get(target, 0) + 1
                 if failure_counts[target] >= self.config.interval_failure_limit:
                     result.skipped_intervals.add(target)
+                    telemetry.count("search.intervals.skipped")
         result.trace.append((elapsed(), tracker.wasserstein))
         return result
 
@@ -328,6 +351,7 @@ class PredicateSearch:
         if key in seen_queries:
             return 0
         seen_queries.add(key)
+        current_telemetry().count("search.queries.kept")
         tracker.add(cost)
         result.queries.append(
             GeneratedQuery(

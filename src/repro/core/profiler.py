@@ -22,6 +22,7 @@ from repro.bo import (
     IntegerParameter,
     lhs_configs,
 )
+from repro.obs import current as current_telemetry
 from repro.sqldb import Database, SqlError
 from repro.sqldb.types import SqlType
 from repro.workload import SqlTemplate, infer_placeholder_bindings
@@ -219,6 +220,27 @@ class TemplateProfiler:
         self, template: SqlTemplate, num_samples: int | None = None
     ) -> TemplateProfile:
         """LHS-profile a template; errors are counted, not raised."""
+        telemetry = current_telemetry()
+        with telemetry.span(
+            "profile.template", template_id=template.template_id
+        ) as span:
+            profile = self._profile_inner(template, num_samples)
+            if telemetry.enabled:
+                span.set(
+                    samples=len(profile.observations),
+                    errors=profile.errors,
+                    cost_min=profile.min_cost,
+                    cost_max=profile.max_cost,
+                )
+                telemetry.count("profiler.templates")
+                telemetry.count("profiler.samples", len(profile.observations))
+                if profile.errors:
+                    telemetry.count("profiler.errors", profile.errors)
+        return profile
+
+    def _profile_inner(
+        self, template: SqlTemplate, num_samples: int | None
+    ) -> TemplateProfile:
         try:
             space = self.build_space(template)
         except SqlError:

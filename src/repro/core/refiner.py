@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.llm import LLMClient, extract_sql, refine_template_prompt
+from repro.obs import current as current_telemetry
 from repro.workload import CostDistribution, SqlTemplate, TemplateSpec, check_template
 from .config import BarberConfig, RefinementPhase
 from .profiler import TemplateProfile, TemplateProfiler
@@ -113,43 +114,67 @@ class TemplateRefiner:
         history: dict[int, list[dict]],
         profile_samples: int | None,
     ) -> list[TemplateProfile]:
+        telemetry = current_telemetry()
         new_profiles: list[TemplateProfile] = []
         for j in intervals:
             low, high = distribution.interval_bounds(j)
-            ranked = sorted(
-                (p for p in result.profiles if p.is_usable),
-                key=lambda p: p.closeness(
-                    low, high, use_variety=self.config.use_variety_factor
-                ),
-                reverse=True,
-            )
-            for profile in ranked[: phase.templates_per_interval]:
-                interval_history = history.get(j) if phase.use_history else None
-                new_sql = self._llm_refine(
-                    profile, (low, high), interval_history, distribution.cost_type
+            with telemetry.span(
+                "refine.interval", interval=j, low=low, high=high,
+                with_history=phase.use_history,
+            ) as span:
+                attempts = accepted = pruned_count = 0
+                ranked = sorted(
+                    (p for p in result.profiles if p.is_usable),
+                    key=lambda p: p.closeness(
+                        low, high, use_variety=self.config.use_variety_factor
+                    ),
+                    reverse=True,
                 )
-                result.refine_calls += 1
-                if not new_sql or new_sql.strip() == profile.template.sql.strip():
-                    continue
-                template = self._make_template(profile.template, new_sql)
-                new_profile = self.profiler.profile(template, profile_samples)
-                pruned = self._prune(new_profile, intervals, result, distribution)
-                # Record every attempt — including pruned ones — so phase 2's
-                # in-context history steers the LLM away from rewrites that
-                # already failed to reach the interval.
-                history.setdefault(j, []).append(
-                    {
-                        "sql": template.sql,
-                        "min_cost": new_profile.min_cost,
-                        "max_cost": new_profile.max_cost,
-                        "accepted": not pruned,
-                    }
-                )
-                if pruned:
-                    result.pruned += 1
-                    continue
-                new_profiles.append(new_profile)
-                result.accepted.append(template)
+                for profile in ranked[: phase.templates_per_interval]:
+                    interval_history = (
+                        history.get(j) if phase.use_history else None
+                    )
+                    new_sql = self._llm_refine(
+                        profile, (low, high), interval_history,
+                        distribution.cost_type,
+                    )
+                    result.refine_calls += 1
+                    attempts += 1
+                    if not new_sql or (
+                        new_sql.strip() == profile.template.sql.strip()
+                    ):
+                        continue
+                    template = self._make_template(profile.template, new_sql)
+                    new_profile = self.profiler.profile(template, profile_samples)
+                    pruned = self._prune(
+                        new_profile, intervals, result, distribution
+                    )
+                    # Record every attempt — including pruned ones — so
+                    # phase 2's in-context history steers the LLM away from
+                    # rewrites that already failed to reach the interval.
+                    history.setdefault(j, []).append(
+                        {
+                            "sql": template.sql,
+                            "min_cost": new_profile.min_cost,
+                            "max_cost": new_profile.max_cost,
+                            "accepted": not pruned,
+                        }
+                    )
+                    if pruned:
+                        result.pruned += 1
+                        pruned_count += 1
+                        continue
+                    new_profiles.append(new_profile)
+                    result.accepted.append(template)
+                    accepted += 1
+                if telemetry.enabled:
+                    span.set(
+                        attempts=attempts, accepted=accepted,
+                        pruned=pruned_count,
+                    )
+                    telemetry.count("refine.attempts", attempts)
+                    telemetry.count("refine.accepted", accepted)
+                    telemetry.count("refine.pruned", pruned_count)
         return new_profiles
 
     def _llm_refine(

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.llm import LLMClient, SimulatedLLM, extract_sql, template_generation_prompt
+from repro.obs import current as current_telemetry
 from repro.sqldb import Database
 from repro.workload import (
     SqlTemplate,
@@ -77,27 +78,39 @@ class CustomizedTemplateGenerator:
 
     def generate(self, spec: TemplateSpec) -> tuple[SqlTemplate | None, RewriteTrace]:
         """Steps 2-5 for one spec: sample path, prompt, generate, rewrite."""
-        num_joins = spec.num_joins if spec.num_joins is not None else int(
-            self._rng.integers(0, 3)
-        )
-        join_path = sample_join_path(
-            self.db, num_joins, self._rng, num_tables=spec.num_tables
-        )
-        payload = {
-            "task": "generate_template",
-            "schema": self._schema,
-            "join_path": join_path,
-            "spec": spec_to_payload(spec),
-        }
-        prompt = template_generation_prompt(
-            self._schema, join_path, spec.to_prompt_text(), payload
-        )
-        response = self.llm.complete(prompt, task="generate_template")
-        candidate = extract_sql(response.text)
-        trace = check_and_rewrite(
-            candidate, spec, self.db, self.llm, self._schema, self.config
-        )
-        template = self._finalize(trace.final_sql, spec)
+        telemetry = current_telemetry()
+        with telemetry.span("template.generate", spec_id=spec.spec_id) as span:
+            num_joins = spec.num_joins if spec.num_joins is not None else int(
+                self._rng.integers(0, 3)
+            )
+            join_path = sample_join_path(
+                self.db, num_joins, self._rng, num_tables=spec.num_tables
+            )
+            payload = {
+                "task": "generate_template",
+                "schema": self._schema,
+                "join_path": join_path,
+                "spec": spec_to_payload(spec),
+            }
+            prompt = template_generation_prompt(
+                self._schema, join_path, spec.to_prompt_text(), payload
+            )
+            response = self.llm.complete(prompt, task="generate_template")
+            candidate = extract_sql(response.text)
+            trace = check_and_rewrite(
+                candidate, spec, self.db, self.llm, self._schema, self.config
+            )
+            template = self._finalize(trace.final_sql, spec)
+            if telemetry.enabled:
+                span.set(
+                    attempts=len(trace.attempts),
+                    rewrites=trace.rewrites,
+                    final_ok=trace.final_ok,
+                    usable=template is not None,
+                )
+                telemetry.count("generator.templates")
+                if template is None:
+                    telemetry.count("generator.dropped")
         return template, trace
 
     def generate_many(

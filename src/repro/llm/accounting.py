@@ -46,6 +46,9 @@ class UsageMeter:
     completion_tokens: int = 0
     num_calls: int = 0
     calls_by_task: dict[str, int] = field(default_factory=dict)
+    # Per-task token spend — the raw material of the paper's Table-2 cost
+    # breakdown: {task: {"prompt_tokens": int, "completion_tokens": int}}.
+    tokens_by_task: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def record(
         self, prompt_tokens: int, completion_tokens: int, task: str = "unknown"
@@ -54,6 +57,11 @@ class UsageMeter:
         self.completion_tokens += completion_tokens
         self.num_calls += 1
         self.calls_by_task[task] = self.calls_by_task.get(task, 0) + 1
+        bucket = self.tokens_by_task.setdefault(
+            task, {"prompt_tokens": 0, "completion_tokens": 0}
+        )
+        bucket["prompt_tokens"] += prompt_tokens
+        bucket["completion_tokens"] += completion_tokens
 
     @property
     def total_tokens(self) -> int:
@@ -62,12 +70,28 @@ class UsageMeter:
     def cost_usd(self, pricing: PricingModel = O3_MINI_PRICING) -> float:
         return pricing.cost_usd(self.prompt_tokens, self.completion_tokens)
 
+    def task_cost_usd(
+        self, task: str, pricing: PricingModel = O3_MINI_PRICING
+    ) -> float:
+        bucket = self.tokens_by_task.get(task)
+        if bucket is None:
+            return 0.0
+        return pricing.cost_usd(
+            bucket["prompt_tokens"], bucket["completion_tokens"]
+        )
+
     def merge(self, other: "UsageMeter") -> None:
         self.prompt_tokens += other.prompt_tokens
         self.completion_tokens += other.completion_tokens
         self.num_calls += other.num_calls
         for task, count in other.calls_by_task.items():
             self.calls_by_task[task] = self.calls_by_task.get(task, 0) + count
+        for task, tokens in other.tokens_by_task.items():
+            bucket = self.tokens_by_task.setdefault(
+                task, {"prompt_tokens": 0, "completion_tokens": 0}
+            )
+            bucket["prompt_tokens"] += tokens["prompt_tokens"]
+            bucket["completion_tokens"] += tokens["completion_tokens"]
 
     def snapshot(self) -> dict:
         return {
@@ -76,4 +100,8 @@ class UsageMeter:
             "total_tokens": self.total_tokens,
             "num_calls": self.num_calls,
             "calls_by_task": dict(self.calls_by_task),
+            "tokens_by_task": {
+                task: dict(tokens)
+                for task, tokens in self.tokens_by_task.items()
+            },
         }

@@ -13,6 +13,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from repro.obs import current as current_telemetry
+
 from .accounting import UsageMeter, count_tokens
 
 
@@ -36,17 +38,42 @@ class LLMClient(abc.ABC):
     def __init__(self, model: str = "o3-mini"):
         self.model = model
         self.usage = UsageMeter()
+        # Fault classes injected into the *latest* completion.  Reset by
+        # complete(); fault-aware implementations (SimulatedLLM) append to
+        # it so telemetry can flag hallucinated/corrupted outputs per call.
+        self.last_faults: list[str] = []
 
     def complete(self, prompt: str, task: str = "unknown") -> LLMResponse:
         """Send *prompt* and return the completion, recording usage."""
-        text = self._complete_text(prompt)
-        response = LLMResponse(
-            text=text,
-            prompt_tokens=count_tokens(prompt),
-            completion_tokens=count_tokens(text),
-            model=self.model,
-        )
-        self.usage.record(response.prompt_tokens, response.completion_tokens, task)
+        telemetry = current_telemetry()
+        self.last_faults = []
+        with telemetry.span("llm.call", task=task, model=self.model) as span:
+            text = self._complete_text(prompt)
+            response = LLMResponse(
+                text=text,
+                prompt_tokens=count_tokens(prompt),
+                completion_tokens=count_tokens(text),
+                model=self.model,
+            )
+            self.usage.record(
+                response.prompt_tokens, response.completion_tokens, task
+            )
+            if telemetry.enabled:
+                span.set(
+                    prompt_tokens=response.prompt_tokens,
+                    completion_tokens=response.completion_tokens,
+                    fault_injected=bool(self.last_faults),
+                    faults=list(self.last_faults),
+                )
+                telemetry.count("llm.calls", task=task)
+                telemetry.count(
+                    "llm.tokens.prompt", response.prompt_tokens, task=task
+                )
+                telemetry.count(
+                    "llm.tokens.completion", response.completion_tokens, task=task
+                )
+                if self.last_faults:
+                    telemetry.count("llm.faults", len(self.last_faults))
         return response
 
     @abc.abstractmethod

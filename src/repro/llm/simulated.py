@@ -121,6 +121,7 @@ class SimulatedLLM(LLMClient):
             effective_spec = perturb_spec(spec, self._rng)
             if effective_spec != spec:
                 join_path = None  # the misread spec re-derives its own path
+                self.last_faults.append("semantic")
         sql = self._synthesizer.synthesize(schema, join_path, effective_spec)
         sql = self._apply_output_faults(sql, schema, rates)
         return self._wrap_sql(sql, "Here is a SQL template for your schema.")
@@ -145,6 +146,8 @@ class SimulatedLLM(LLMClient):
         effective_spec = spec
         if self._rng.random() < rates.semantic_rate:
             effective_spec = perturb_spec(spec, self._rng)
+            if effective_spec != spec:
+                self.last_faults.append("semantic")
         sql = self._synthesizer.synthesize(schema, None, effective_spec)
         sql = self._apply_output_faults(sql, schema, rates)
         return self._wrap_sql(sql, "Rewritten template addressing the violations.")
@@ -192,11 +195,17 @@ class SimulatedLLM(LLMClient):
         self, sql: str, schema: dict, rates: FaultModel
     ) -> str:
         if self._rng.random() < rates.hallucination_rate:
-            sql = hallucinate_identifier(
+            hallucinated = hallucinate_identifier(
                 sql, SchemaModel(schema).all_column_names(), self._rng
             )
+            if hallucinated != sql:
+                self.last_faults.append("hallucination")
+            sql = hallucinated
         if self._rng.random() < rates.syntax_rate:
-            sql = corrupt_syntax(sql, self._rng)
+            corrupted = corrupt_syntax(sql, self._rng)
+            if corrupted != sql:
+                self.last_faults.append("syntax")
+            sql = corrupted
         return sql
 
     @staticmethod

@@ -387,7 +387,19 @@ class TemplateSynthesizer:
             if candidate in aggregates:
                 candidate = f"min({numeric_pool[0]})" if numeric_pool else "count(*)"
             if candidate in aggregates:
-                break
+                # Small column pools collide repeatedly; scan every
+                # function/column combination before giving up.
+                candidate = next(
+                    (
+                        f"{func}({column})"
+                        for func in functions
+                        for column in numeric_pool
+                        if f"{func}({column})" not in aggregates
+                    ),
+                    None,
+                )
+                if candidate is None:
+                    break
             aggregates.append(candidate)
         return aggregates[:count]
 

@@ -1,0 +1,58 @@
+"""Observability: structured tracing, metrics, and event export.
+
+A dependency-free layer threaded through the whole SQLBarber pipeline.  The
+paper's evaluation is about where time, LLM tokens, and engine calls go;
+this package makes every run answer that directly:
+
+* :class:`Tracer` / :class:`Span` — nested timed spans with attributes and
+  error capture, forming a run-scoped trace tree;
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms;
+* sinks — :class:`InMemoryCollector`, :class:`JsonlSink`,
+  :class:`LoggingSink`;
+* :class:`Telemetry` — the per-run bundle, installed as ambient context via
+  :func:`use_telemetry` and read by instrumented code via :func:`current`.
+
+See DESIGN.md ("Observability") for the span and metric naming scheme.
+"""
+
+from .logging_setup import setup_logging
+from .metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+from .report import (
+    render_report,
+    render_report_file,
+    split_events,
+    stage_rows,
+    task_rows,
+)
+from .sinks import InMemoryCollector, JsonlSink, LoggingSink, read_events
+from .telemetry import NULL, NullTelemetry, Telemetry, current, use_telemetry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "Histogram",
+    "InMemoryCollector",
+    "JsonlSink",
+    "LoggingSink",
+    "MetricsRegistry",
+    "NULL",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "current",
+    "metric_key",
+    "read_events",
+    "render_report",
+    "render_report_file",
+    "setup_logging",
+    "split_events",
+    "stage_rows",
+    "task_rows",
+    "use_telemetry",
+]

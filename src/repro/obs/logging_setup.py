@@ -1,0 +1,53 @@
+"""Process-wide logging configuration for the ``repro`` namespace.
+
+All diagnostics flow through the ``repro.*`` logger hierarchy to stderr,
+keeping stdout machine-clean for data (JSONL workloads, JSON summaries).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+class _StderrHandler(logging.StreamHandler):
+    """StreamHandler that resolves ``sys.stderr`` at emit time, so stream
+    redirection (pytest capture, shells) after setup keeps working."""
+
+    def __init__(self):
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, _value):
+        pass
+
+
+def setup_logging(level: str = "info", stream=None) -> logging.Logger:
+    """Configure the root ``repro`` logger to *stream* (default stderr).
+
+    Idempotent: repeated calls replace the handler this function installed
+    rather than stacking duplicates, so tests and REPL sessions can call it
+    freely.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, str(level).upper(), logging.INFO))
+    logger.propagate = False
+    logger.handlers = [
+        handler
+        for handler in logger.handlers
+        if not getattr(handler, "_repro_managed", False)
+    ]
+    handler = (
+        logging.StreamHandler(stream) if stream is not None else _StderrHandler()
+    )
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+    handler._repro_managed = True
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,131 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The registry is label-aware in the Prometheus style: a metric is identified
+by a name plus a (possibly empty) label set, e.g. ``llm.calls{task=refine}``.
+Histograms use fixed, pre-declared bucket boundaries with ``value <= edge``
+(less-or-equal) semantics plus an overflow bucket, so percentile-ish
+summaries can be derived without storing every observation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+# Latency buckets (seconds): micro-benchmark floor to multi-second tail.
+DEFAULT_SECONDS_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def metric_key(name: str, labels: dict) -> str:
+    """Canonical flat key: ``name`` or ``name{k1=v1,k2=v2}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: counts[i] is observations <= buckets[i];
+    counts[-1] is the overflow bucket."""
+
+    buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min_value: float | None = None
+    max_value: float | None = None
+
+    def __post_init__(self):
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min_value,
+            "max": self.max_value,
+            "buckets": [
+                [edge, count]
+                for edge, count in zip((*self.buckets, float("inf")), self.counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Holds every counter, gauge, and histogram of one telemetry scope."""
+
+    def __init__(self):
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._histogram_buckets: dict[str, tuple[float, ...]] = {}
+
+    # -- declaration -----------------------------------------------------------
+
+    def declare_histogram(self, name: str, buckets: tuple[float, ...]) -> None:
+        """Pre-declare bucket edges for *name* (else DEFAULT_SECONDS_BUCKETS)."""
+        self._histogram_buckets[name] = tuple(sorted(buckets))
+
+    # -- recording -------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1, **labels) -> None:
+        key = metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self._gauges[metric_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = metric_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            buckets = self._histogram_buckets.get(name, DEFAULT_SECONDS_BUCKETS)
+            histogram = self._histograms[key] = Histogram(buckets=buckets)
+        histogram.observe(value)
+
+    # -- reading ---------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        return self._counters.get(metric_key(name, labels), 0)
+
+    def total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        prefix = name + "{"
+        return sum(
+            value
+            for key, value in self._counters.items()
+            if key == name or key.startswith(prefix)
+        )
+
+    def histogram(self, name: str, **labels) -> Histogram | None:
+        return self._histograms.get(metric_key(name, labels))
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                key: hist.snapshot()
+                for key, hist in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,144 @@
+"""Offline trace analysis: the ``repro trace-report`` implementation.
+
+Consumes a JSONL trace file written by :class:`~repro.obs.sinks.JsonlSink`
+and renders the paper-style breakdown — where time, LLM tokens, and engine
+calls went, per pipeline stage and per LLM task.
+"""
+
+from __future__ import annotations
+
+from .sinks import read_events
+
+STAGE_PREFIX = "stage:"
+ROOT_SPAN = "generate_workload"
+
+# Substrate deltas the pipeline attaches to every stage span.
+_STAGE_FIELDS = ("llm_calls", "llm_tokens", "db_calls")
+
+
+def _format_table(rows: list[dict], title: str | None = None) -> str:
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(str(r.get(h, ""))) for r in rows))
+        for h in headers
+    }
+    lines = [title] if title else []
+    lines.append(" | ".join(f"{h:<{widths[h]}}" for h in headers))
+    lines.append("-+-".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append(
+            " | ".join(f"{str(row.get(h, '')):<{widths[h]}}" for h in headers)
+        )
+    return "\n".join(lines)
+
+
+def split_events(events: list[dict]) -> tuple[list[dict], dict]:
+    """Partition a trace into (span events, final metrics snapshot)."""
+    spans = [e for e in events if e.get("type") == "span"]
+    metrics: dict = {}
+    for event in events:
+        if event.get("type") == "metrics":
+            metrics = event.get("metrics", {})
+    return spans, metrics
+
+
+def stage_rows(spans: list[dict]) -> list[dict]:
+    """Per-stage breakdown rows from the stage spans of the last run."""
+    roots = [s for s in spans if s["name"] == ROOT_SPAN]
+    if roots:
+        root = roots[-1]
+        stages = [
+            s
+            for s in spans
+            if s.get("parent_id") == root["span_id"]
+            and s["name"].startswith(STAGE_PREFIX)
+        ]
+    else:  # degenerate trace: accept orphan stage spans
+        stages = [s for s in spans if s["name"].startswith(STAGE_PREFIX)]
+    rows = []
+    for span in stages:
+        attrs = span.get("attributes", {})
+        row = {
+            "stage": span["name"][len(STAGE_PREFIX):],
+            "seconds": round(span.get("duration_s", 0.0), 3),
+        }
+        for key in _STAGE_FIELDS:
+            row[key] = int(attrs.get(key, 0))
+        rows.append(row)
+    if rows:
+        total = {"stage": "total",
+                 "seconds": round(sum(r["seconds"] for r in rows), 3)}
+        for key in _STAGE_FIELDS:
+            total[key] = sum(r[key] for r in rows)
+        rows.append(total)
+    return rows
+
+
+def task_rows(metrics: dict) -> list[dict]:
+    """Per-LLM-task call/token rows (the Table-2 shape) from the counters."""
+    counters = metrics.get("counters", {})
+    tasks: dict[str, dict] = {}
+
+    def bucket(task: str) -> dict:
+        return tasks.setdefault(
+            task, {"task": task, "calls": 0, "prompt_tokens": 0,
+                   "completion_tokens": 0}
+        )
+
+    for key, value in counters.items():
+        for name, column in (
+            ("llm.calls{task=", "calls"),
+            ("llm.tokens.prompt{task=", "prompt_tokens"),
+            ("llm.tokens.completion{task=", "completion_tokens"),
+        ):
+            if key.startswith(name):
+                task = key[len(name):].rstrip("}")
+                bucket(task)[column] += int(value)
+    rows = sorted(tasks.values(), key=lambda r: -r["prompt_tokens"])
+    if rows:
+        rows.append({
+            "task": "total",
+            "calls": sum(r["calls"] for r in rows),
+            "prompt_tokens": sum(r["prompt_tokens"] for r in rows),
+            "completion_tokens": sum(r["completion_tokens"] for r in rows),
+        })
+    return rows
+
+
+def render_report(events: list[dict]) -> str:
+    """The full human-readable report for one trace."""
+    spans, metrics = split_events(events)
+    sections: list[str] = []
+    roots = [s for s in spans if s["name"] == ROOT_SPAN]
+    if roots:
+        root = roots[-1]
+        sections.append(
+            f"run: {ROOT_SPAN} elapsed={root.get('duration_s', 0.0):.3f}s "
+            f"spans={len(spans)}"
+        )
+    rows = stage_rows(spans)
+    if rows:
+        sections.append(_format_table(rows, title="Per-stage breakdown"))
+    else:
+        sections.append("(no stage spans in trace)")
+    tasks = task_rows(metrics)
+    if tasks:
+        sections.append(_format_table(tasks, title="LLM usage by task"))
+    counters = metrics.get("counters", {})
+    engine = {
+        key: value
+        for key, value in counters.items()
+        if key.startswith("sqldb.")
+    }
+    if engine:
+        sections.append(_format_table(
+            [{"counter": k, "value": int(v)} for k, v in sorted(engine.items())],
+            title="Engine counters",
+        ))
+    return "\n\n".join(sections)
+
+
+def render_report_file(path: str) -> str:
+    return render_report(read_events(path))

@@ -1,0 +1,101 @@
+"""Telemetry sinks: where finished spans and final metrics go.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``.  Three are
+shipped:
+
+* :class:`InMemoryCollector` — keeps the raw event list (tests, notebooks);
+* :class:`JsonlSink` — one JSON object per line, the export format consumed
+  by ``repro trace-report``;
+* :class:`LoggingSink` — human-readable lines through :mod:`logging`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+
+class InMemoryCollector:
+    """Buffers every event in order; never drops anything."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+        self.closed = False
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def spans(self) -> list[dict]:
+        return [e for e in self.events if e.get("type") == "span"]
+
+    def metrics(self) -> dict | None:
+        for event in reversed(self.events):
+            if event.get("type") == "metrics":
+                return event["metrics"]
+        return None
+
+
+class JsonlSink:
+    """Appends one JSON line per event to *path* (opened eagerly)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "w")
+
+    def emit(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, default=str))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+class LoggingSink:
+    """Renders events as log records (default: DEBUG on ``repro.obs``)."""
+
+    def __init__(self, logger: logging.Logger | None = None,
+                 level: int = logging.DEBUG):
+        self._logger = logger or logging.getLogger("repro.obs")
+        self._level = level
+
+    def emit(self, event: dict) -> None:
+        if not self._logger.isEnabledFor(self._level):
+            return
+        if event.get("type") == "span":
+            attrs = " ".join(
+                f"{k}={v}" for k, v in event.get("attributes", {}).items()
+            )
+            error = event.get("error")
+            suffix = f" error={error!r}" if error else ""
+            self._logger.log(
+                self._level,
+                "span %s %.4fs %s%s",
+                event["name"], event.get("duration_s", 0.0), attrs, suffix,
+            )
+        elif event.get("type") == "metrics":
+            counters = event.get("metrics", {}).get("counters", {})
+            self._logger.log(
+                self._level, "metrics %s",
+                " ".join(f"{k}={v}" for k, v in counters.items()),
+            )
+        else:
+            self._logger.log(self._level, "event %s", event)
+
+    def close(self) -> None:
+        pass
+
+
+def read_events(path: str) -> list[dict]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    events: list[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

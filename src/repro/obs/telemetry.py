@@ -1,0 +1,135 @@
+"""The telemetry facade and the ambient-telemetry runtime.
+
+:class:`Telemetry` bundles one :class:`~repro.obs.tracing.Tracer` and one
+:class:`~repro.obs.metrics.MetricsRegistry` with a list of sinks.  It is
+installed as the *ambient* telemetry of a pipeline run with
+:func:`use_telemetry`; instrumented code anywhere in the process (the LLM
+client, the SQL engine) picks it up via :func:`current` without any
+plumbing through constructors.
+
+When nothing is installed, :func:`current` returns the :data:`NULL`
+singleton whose every operation is a no-op — instrumentation costs one
+context-variable read plus a no-op call on the default path, keeping the
+uninstrumented-baseline overhead within noise.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+
+class _NullSpan:
+    """Shared, reusable no-op stand-in for a Span context manager."""
+
+    __slots__ = ()
+    attributes: dict = {}
+    error = None
+    duration = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb):
+        return False
+
+    def set(self, **_attributes) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """Telemetry that records nothing; every call is a cheap no-op."""
+
+    enabled = False
+
+    def span(self, _name, **_attributes):
+        return _NULL_SPAN
+
+    def count(self, _name, _value=1, **_labels) -> None:
+        pass
+
+    def gauge(self, _name, _value, **_labels) -> None:
+        pass
+
+    def observe(self, _name, _value, **_labels) -> None:
+        pass
+
+    def emit(self, _event) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+NULL = NullTelemetry()
+
+
+class Telemetry:
+    """Tracer + metrics + sinks for one pipeline run."""
+
+    enabled = True
+
+    def __init__(self, sinks=()):
+        self.sinks = [sink for sink in sinks if sink is not None]
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(on_end=self._span_ended)
+        self._finished = False
+
+    # -- tracing ---------------------------------------------------------------
+
+    def span(self, name: str, **attributes):
+        return self.tracer.span(name, **attributes)
+
+    def _span_ended(self, span) -> None:
+        if self.sinks:
+            self.emit(span.to_event())
+
+    # -- metrics ---------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1, **labels) -> None:
+        self.metrics.count(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self.metrics.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        self.metrics.observe(name, value, **labels)
+
+    # -- export ----------------------------------------------------------------
+
+    def emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def finish(self) -> None:
+        """Emit the final metrics snapshot and close every sink (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self.emit({"type": "metrics", "metrics": self.metrics.snapshot()})
+        for sink in self.sinks:
+            sink.close()
+
+
+_ACTIVE: ContextVar = ContextVar("repro_obs_telemetry", default=NULL)
+
+
+def current():
+    """The ambient telemetry of the calling context (NULL when none)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_telemetry(telemetry):
+    """Install *telemetry* as the ambient telemetry for the enclosed block."""
+    token = _ACTIVE.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE.reset(token)

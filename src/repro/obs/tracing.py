@@ -1,0 +1,142 @@
+"""Structured tracing: nested timed spans with attributes and error capture.
+
+A :class:`Tracer` produces a run-scoped tree of :class:`Span` objects.  Code
+opens spans as context managers::
+
+    with tracer.span("stage:profile", templates=4) as span:
+        ...
+        span.set(samples=120)
+
+Span nesting follows the dynamic call structure (the innermost open span is
+the parent of the next one opened).  An exception escaping a span is recorded
+on it as ``error`` and re-raised, so a trace of a failed run still shows
+where the failure happened.  Finished spans are handed to an ``on_end``
+callback, which is how :class:`~repro.obs.telemetry.Telemetry` fans them out
+to sinks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One timed operation in the trace tree."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float  # seconds since the tracer's epoch
+    attributes: dict = field(default_factory=dict)
+    end: float | None = None
+    error: str | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from open to close (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def set(self, **attributes) -> None:
+        """Attach or overwrite attributes on the span."""
+        self.attributes.update(attributes)
+
+    def iter_subtree(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def to_event(self) -> dict:
+        """The flat, JSON-serializable record exported to sinks."""
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start, 6),
+            "duration_s": round(self.duration, 6),
+            "attributes": dict(self.attributes),
+            "error": self.error,
+        }
+
+
+class _SpanContext:
+    """Reusable-per-call context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is not None and self._span.error is None:
+            self._span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._close(self._span)
+        return False  # never swallow the exception
+
+
+class Tracer:
+    """Builds a tree of spans for one run.
+
+    Not thread-safe: one tracer serves one pipeline run, which is
+    single-threaded by construction.
+    """
+
+    def __init__(self, on_end=None, clock=time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._on_end = on_end
+        self._next_id = 1
+        self._stack: list[Span] = []
+        self.roots: list[Span] = []
+
+    def span(self, name: str, **attributes) -> _SpanContext:
+        """Open a span as a context manager; yields the :class:`Span`."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            start=self._clock() - self._epoch,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock() - self._epoch
+        # Unwind to the closed span even if inner spans leaked (e.g. an
+        # exception bypassed an inner __exit__ somehow): the trace stays sane.
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+        if self._on_end is not None:
+            self._on_end(span)
+
+    def iter_spans(self):
+        """Yield every finished-or-open span, depth-first across roots."""
+        for root in self.roots:
+            yield from root.iter_subtree()
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with exactly this name."""
+        return [s for s in self.iter_spans() if s.name == name]

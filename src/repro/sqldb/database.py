@@ -14,6 +14,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.obs import current as current_telemetry
+
 from .binder import Binder
 from .catalog import Catalog, ForeignKey, IndexMeta
 from .errors import SqlError
@@ -86,14 +88,41 @@ class Database:
         real server would reject the statement, which is what SQLBarber's
         template validation relies on.
         """
-        return explain_plan(self.plan(sql))
+        telemetry = current_telemetry()
+        if not telemetry.enabled:
+            return explain_plan(self.plan(sql))
+        started = time.perf_counter()
+        try:
+            result = explain_plan(self.plan(sql))
+        except SqlError:
+            telemetry.count("sqldb.explain.errors")
+            raise
+        finally:
+            telemetry.count("sqldb.explain.calls")
+            telemetry.observe(
+                "sqldb.explain.seconds", time.perf_counter() - started
+            )
+        return result
 
     def execute(self, sql: str) -> ExecutionResult:
         """Run *sql* and return its result rows with wall-clock timing."""
+        telemetry = current_telemetry()
         started = time.perf_counter()
-        plan = self.plan(sql)
-        table = self._executor.execute(plan)
+        try:
+            plan = self.plan(sql)
+            table = self._executor.execute(plan)
+        except SqlError:
+            if telemetry.enabled:
+                telemetry.count("sqldb.execute.errors")
+                telemetry.count("sqldb.execute.calls")
+                telemetry.observe(
+                    "sqldb.execute.seconds", time.perf_counter() - started
+                )
+            raise
         elapsed = time.perf_counter() - started
+        if telemetry.enabled:
+            telemetry.count("sqldb.execute.calls")
+            telemetry.observe("sqldb.execute.seconds", elapsed)
         return ExecutionResult(table=table, elapsed_seconds=elapsed)
 
     def explain_analyze(self, sql: str) -> tuple[ExplainResult, ExecutionResult]:

@@ -1,0 +1,110 @@
+"""Counters, gauges, and histogram bucket-edge semantics."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry, metric_key
+
+
+class TestMetricKey:
+    def test_no_labels(self):
+        assert metric_key("llm.calls", {}) == "llm.calls"
+
+    def test_labels_sorted(self):
+        key = metric_key("llm.tokens", {"task": "refine", "a": 1})
+        assert key == "llm.tokens{a=1,task=refine}"
+
+
+class TestCounters:
+    def test_count_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.count("llm.calls", task="generate")
+        registry.count("llm.calls", task="generate")
+        registry.count("llm.calls", task="refine")
+        assert registry.counter_value("llm.calls", task="generate") == 2
+        assert registry.counter_value("llm.calls", task="refine") == 1
+        assert registry.counter_value("llm.calls", task="missing") == 0
+
+    def test_total_sums_across_labels(self):
+        registry = MetricsRegistry()
+        registry.count("llm.tokens.prompt", 10, task="a")
+        registry.count("llm.tokens.prompt", 5, task="b")
+        registry.count("llm.tokens.promptx", 100)  # prefix must not match
+        assert registry.total("llm.tokens.prompt") == 15
+
+    def test_unlabelled_counter_total(self):
+        registry = MetricsRegistry()
+        registry.count("sqldb.explain.calls", 3)
+        assert registry.total("sqldb.explain.calls") == 3
+
+
+class TestGauges:
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("search.distance", 10.0)
+        registry.gauge("search.distance", 4.5)
+        assert registry.snapshot()["gauges"]["search.distance"] == 4.5
+
+
+class TestHistogramBuckets:
+    def test_value_on_edge_lands_in_that_bucket(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        hist.observe(2.0)  # exactly an edge: le semantics
+        assert hist.counts == [0, 1, 0, 0]
+
+    def test_value_above_edge_goes_to_next_bucket(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        hist.observe(2.0000001)
+        assert hist.counts == [0, 0, 1, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        hist.observe(100.0)
+        assert hist.counts == [0, 0, 0, 1]
+
+    def test_below_first_edge(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        hist.observe(0.5)
+        assert hist.counts == [1, 0, 0, 0]
+
+    def test_summary_stats(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(5.0)
+        assert hist.mean == pytest.approx(5.0 / 3)
+        assert hist.min_value == 0.5
+        assert hist.max_value == 3.0
+
+    def test_snapshot_pairs_edges_with_counts(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [[1.0, 0], [2.0, 1], [float("inf"), 0]]
+        assert snap["count"] == 1
+
+
+class TestRegistryHistograms:
+    def test_declared_buckets_are_used(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("search.gap", (10.0, 100.0))
+        registry.observe("search.gap", 50.0)
+        hist = registry.histogram("search.gap")
+        assert hist.buckets == (10.0, 100.0)
+        assert hist.counts == [0, 1, 0]
+
+    def test_default_buckets_for_undeclared(self):
+        registry = MetricsRegistry()
+        registry.observe("sqldb.explain.seconds", 0.003)
+        hist = registry.histogram("sqldb.explain.seconds")
+        assert hist.count == 1
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.count("c", 2, task="x")
+        registry.gauge("g", 1.0)
+        registry.observe("h", 0.01)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c{task=x}": 2}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1

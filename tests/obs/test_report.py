@@ -1,0 +1,130 @@
+"""The trace-report builder and CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import render_report, stage_rows, task_rows
+
+
+def _span(span_id, parent_id, name, duration, attributes=None):
+    return {
+        "type": "span",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start_s": 0.0,
+        "duration_s": duration,
+        "attributes": attributes or {},
+        "error": None,
+    }
+
+
+SYNTHETIC = [
+    _span(2, 1, "stage:templates", 1.0,
+          {"llm_calls": 4, "llm_tokens": 600, "db_calls": 0}),
+    _span(3, 1, "stage:profile", 0.5,
+          {"llm_calls": 0, "llm_tokens": 0, "db_calls": 40}),
+    _span(4, 1, "stage:refine", 0.25,
+          {"llm_calls": 2, "llm_tokens": 400, "db_calls": 10}),
+    _span(5, 1, "stage:search", 2.25,
+          {"llm_calls": 0, "llm_tokens": 0, "db_calls": 300}),
+    _span(1, None, "generate_workload", 4.0),
+    {
+        "type": "metrics",
+        "metrics": {
+            "counters": {
+                "llm.calls{task=generate_template}": 4,
+                "llm.calls{task=refine_template}": 2,
+                "llm.tokens.prompt{task=generate_template}": 500,
+                "llm.tokens.completion{task=generate_template}": 100,
+                "llm.tokens.prompt{task=refine_template}": 350,
+                "llm.tokens.completion{task=refine_template}": 50,
+                "sqldb.explain.calls": 350,
+            },
+            "gauges": {},
+            "histograms": {},
+        },
+    },
+]
+
+
+class TestStageRows:
+    def test_rows_and_total(self):
+        rows = stage_rows([e for e in SYNTHETIC if e["type"] == "span"])
+        assert [r["stage"] for r in rows] == [
+            "templates", "profile", "refine", "search", "total"
+        ]
+        total = rows[-1]
+        assert total["seconds"] == pytest.approx(4.0)
+        assert total["llm_tokens"] == 1000
+        assert total["db_calls"] == 350
+
+    def test_empty_trace(self):
+        assert stage_rows([]) == []
+
+
+class TestTaskRows:
+    def test_tasks_aggregated_from_counters(self):
+        rows = task_rows(SYNTHETIC[-1]["metrics"])
+        by_task = {r["task"]: r for r in rows}
+        assert by_task["generate_template"]["calls"] == 4
+        assert by_task["generate_template"]["prompt_tokens"] == 500
+        assert by_task["refine_template"]["completion_tokens"] == 50
+        assert by_task["total"]["prompt_tokens"] == 850
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(SYNTHETIC)
+        assert "Per-stage breakdown" in text
+        assert "LLM usage by task" in text
+        assert "Engine counters" in text
+        assert "elapsed=4.000s" in text
+
+
+class TestCliRoundTrip:
+    def test_generate_then_trace_report(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "generate", "--db", "tpch", "--scale", "0.002",
+            "--queries", "12", "--intervals", "3", "--cost-max", "800",
+            "--spec", "one join and two predicate values",
+            "--time-budget", "60", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        for stage in ("templates", "profile", "refine", "search", "total"):
+            assert stage in out
+        assert "Per-stage breakdown" in out
+        assert "generate_template" in out
+
+    def test_report_stage_times_and_tokens_match_summary(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "generate", "--db", "tpch", "--scale", "0.002",
+            "--queries", "12", "--intervals", "3", "--cost-max", "800",
+            "--spec", "one join and two predicate values",
+            "--time-budget", "60", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+
+        from repro.obs import read_events, split_events
+        spans, metrics = split_events(read_events(str(trace)))
+        rows = stage_rows(spans)
+        total = rows[-1]
+        # Stage times sum to ~elapsed_seconds.
+        assert total["seconds"] == pytest.approx(
+            summary["elapsed_seconds"], abs=0.05
+        )
+        # Trace token totals match WorkloadResult.llm_usage.
+        assert total["llm_tokens"] == summary["llm_usage"]["total_tokens"]
+        tasks = task_rows(metrics)
+        assert tasks[-1]["calls"] == summary["llm_usage"]["num_calls"]

@@ -1,0 +1,126 @@
+"""Sinks (JSONL round-trip, logging) and the ambient-telemetry runtime."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    InMemoryCollector,
+    JsonlSink,
+    LoggingSink,
+    NULL,
+    Telemetry,
+    current,
+    read_events,
+    use_telemetry,
+)
+
+
+class TestAmbientTelemetry:
+    def test_default_is_null(self):
+        assert current() is NULL
+        assert not current().enabled
+
+    def test_use_telemetry_installs_and_restores(self):
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            assert current() is telemetry
+        assert current() is NULL
+
+    def test_null_span_is_reusable_noop(self):
+        with NULL.span("anything", a=1) as span:
+            span.set(b=2)
+        with NULL.span("again") as span2:
+            assert span2 is span  # shared singleton
+        NULL.count("x")
+        NULL.gauge("y", 1.0)
+        NULL.observe("z", 0.5)
+        NULL.finish()
+
+
+class TestTelemetry:
+    def test_spans_feed_metrics_and_collector(self):
+        collector = InMemoryCollector()
+        telemetry = Telemetry(sinks=[collector])
+        with telemetry.span("outer"):
+            with telemetry.span("inner", kind="leaf"):
+                telemetry.count("ops")
+        telemetry.finish()
+        names = [e["name"] for e in collector.spans()]
+        assert names == ["inner", "outer"]  # close order
+        assert collector.metrics()["counters"] == {"ops": 1}
+        assert collector.closed
+
+    def test_finish_is_idempotent(self):
+        collector = InMemoryCollector()
+        telemetry = Telemetry(sinks=[collector])
+        telemetry.finish()
+        telemetry.finish()
+        assert sum(1 for e in collector.events if e["type"] == "metrics") == 1
+
+
+class TestJsonlRoundTrip:
+    def test_events_survive_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        collector = InMemoryCollector()
+        telemetry = Telemetry(sinks=[JsonlSink(path), collector])
+        with telemetry.span("generate_workload", db="tpch"):
+            with telemetry.span("stage:profile") as span:
+                span.set(samples=12)
+            telemetry.count("llm.calls", 3, task="generate_template")
+            telemetry.observe("sqldb.explain.seconds", 0.004)
+        telemetry.finish()
+
+        loaded = read_events(path)
+        assert loaded == json.loads(json.dumps(collector.events))
+        span_names = [e["name"] for e in loaded if e["type"] == "span"]
+        assert span_names == ["stage:profile", "generate_workload"]
+        stage = next(e for e in loaded if e["name"] == "stage:profile")
+        assert stage["attributes"] == {"samples": 12}
+        metrics = loaded[-1]
+        assert metrics["type"] == "metrics"
+        counters = metrics["metrics"]["counters"]
+        assert counters["llm.calls{task=generate_template}"] == 3
+        assert (
+            metrics["metrics"]["histograms"]["sqldb.explain.seconds"]["count"]
+            == 1
+        )
+
+    def test_error_spans_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        telemetry = Telemetry(sinks=[JsonlSink(path)])
+        with pytest.raises(RuntimeError):
+            with telemetry.span("failing"):
+                raise RuntimeError("nope")
+        telemetry.finish()
+        events = read_events(path)
+        assert events[0]["error"] == "RuntimeError: nope"
+
+
+class TestLoggingSink:
+    def test_span_events_reach_logger(self, caplog):
+        # A logger outside the `repro` hierarchy: setup_logging() (run by
+        # CLI tests) disables propagation on `repro`, which would hide
+        # these records from caplog's root handler.
+        logger = logging.getLogger("obs-sink-test")
+        sink = LoggingSink(logger=logger, level=logging.INFO)
+        telemetry = Telemetry(sinks=[sink])
+        with caplog.at_level(logging.INFO, logger="obs-sink-test"):
+            with telemetry.span("llm.call", task="refine"):
+                pass
+            telemetry.finish()
+        text = caplog.text
+        assert "span llm.call" in text
+        assert "task=refine" in text
+        assert "metrics" in text
+
+    def test_disabled_level_emits_nothing(self, caplog):
+        logger = logging.getLogger("obs-sink-test2")
+        logger.setLevel(logging.WARNING)
+        sink = LoggingSink(logger=logger, level=logging.DEBUG)
+        telemetry = Telemetry(sinks=[sink])
+        with telemetry.span("quiet"):
+            pass
+        telemetry.finish()
+        assert "quiet" not in caplog.text

@@ -1,0 +1,120 @@
+"""Span nesting, attributes, error capture, and event export."""
+
+import pytest
+
+from repro.obs import Span, Tracer
+
+
+class TestNesting:
+    def test_root_and_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                with tracer.span("leaf"):
+                    pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_parent_ids_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert inner.span_id != outer.span_id
+
+    def test_siblings_after_close_attach_to_root(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_iter_spans_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.iter_spans()] == ["a", "b", "b"]
+        assert len(tracer.find("b")) == 2
+
+
+class TestAttributes:
+    def test_initial_and_set(self):
+        tracer = Tracer()
+        with tracer.span("op", template_id="t1") as span:
+            span.set(samples=12, errors=0)
+            span.set(errors=3)
+        assert span.attributes == {
+            "template_id": "t1", "samples": 12, "errors": 3
+        }
+
+    def test_duration_is_monotone(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.end is not None
+        assert outer.duration >= inner.duration >= 0.0
+
+
+class TestErrorCapture:
+    def test_exception_is_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("risky"):
+                raise ValueError("boom")
+        span = tracer.roots[0]
+        assert span.error == "ValueError: boom"
+        assert span.end is not None
+        assert not span.ok
+
+    def test_error_propagates_through_ancestors(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("inner failed")
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert inner.error == "RuntimeError: inner failed"
+        assert outer.error == "RuntimeError: inner failed"
+
+    def test_clean_span_has_no_error(self):
+        tracer = Tracer()
+        with tracer.span("fine"):
+            pass
+        assert tracer.roots[0].ok
+
+
+class TestEvents:
+    def test_on_end_fires_inner_first(self):
+        ended = []
+        tracer = Tracer(on_end=lambda s: ended.append(s.name))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert ended == ["inner", "outer"]
+
+    def test_to_event_shape(self):
+        tracer = Tracer()
+        with tracer.span("op", key="value") as span:
+            pass
+        event = span.to_event()
+        assert event["type"] == "span"
+        assert event["name"] == "op"
+        assert event["attributes"] == {"key": "value"}
+        assert event["error"] is None
+        assert event["duration_s"] >= 0.0
+        assert isinstance(event["span_id"], int)
+
+    def test_open_span_duration_is_zero(self):
+        span = Span(name="open", span_id=1, parent_id=None, start=5.0)
+        assert span.duration == 0.0

@@ -49,8 +49,43 @@ class TestCommands:
         assert len(lines) == 12
         record = json.loads(lines[0])
         assert "sql" in record and "cost" in record
-        out = capsys.readouterr().out
-        assert "Wasserstein distance 0.00" in out
+        # Stdout is machine-clean: exactly one JSON summary object.
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["wasserstein_distance"] == 0.0
+        assert summary["generated"] == 12
+        assert set(summary["stage_seconds"]) == {
+            "templates", "profile", "refine", "search"
+        }
+
+    def test_generate_diagnostics_go_to_stderr(self, capsys):
+        code = main([
+            "generate", "--db", "tpch", "--scale", "0.002",
+            "--queries", "8", "--intervals", "2", "--cost-max", "600",
+            "--spec", "one join and two predicate values",
+            "--time-budget", "60",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout parses as pure JSON
+        assert "target distribution" in captured.err
+        assert "Wasserstein distance" in captured.err
+
+    def test_generate_trace_out(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "generate", "--db", "tpch", "--scale", "0.002",
+            "--queries", "8", "--intervals", "2", "--cost-max", "600",
+            "--spec", "one join and two predicate values",
+            "--time-budget", "60", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        names = {e.get("name") for e in events if e["type"] == "span"}
+        assert "generate_workload" in names
+        assert {"stage:templates", "stage:search"} <= names
+        assert events[-1]["type"] == "metrics"
 
     def test_generate_with_specs_file(self, capsys, tmp_path):
         specs_file = tmp_path / "specs.json"
