@@ -1,0 +1,260 @@
+"""Fastpath benchmark: EXPLAIN cache and parallel profiling speedups.
+
+Standalone (not a pytest-benchmark figure — run it directly):
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py            # full run
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --smoke    # CI smoke
+
+Measures, on the bundled TPC-H:
+
+* cold EXPLAIN throughput (cache disabled, full parse/bind/plan per call)
+  vs cached throughput (same statements repeated, served from the cache);
+* serial vs parallel ``profile_many`` wall-clock (process backend, so the
+  planning work actually overlaps under the GIL);
+* the cache hit rate of the cached phase.
+
+Writes ``BENCH_fastpath.json`` (see ``--output``).  ``--check`` additionally
+enforces the acceptance thresholds (>=5x cached explain, >1.5x parallel
+profiling) and exits non-zero when they are missed.  The parallel threshold
+is hardware-gated: profiling is pure CPU work, so on a single-core machine
+4 processes merely timeshare the core and the "speedup" measures scheduling
+overhead, not a fastpath regression — the check is skipped (and marked so
+in the JSON) when fewer than 2 CPUs are available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.bo import lhs_configs
+from repro.core import BarberConfig, TemplateProfiler
+from repro.datasets import build_tpch
+from repro.workload import SqlTemplate
+
+TEMPLATES = [
+    SqlTemplate(
+        "bench_scan",
+        "select l_orderkey from lineitem where l_quantity < {v1}",
+    ),
+    SqlTemplate(
+        "bench_range",
+        "select l_orderkey, l_quantity from lineitem "
+        "where l_quantity < {v1} and l_discount between {v2} and {v3}",
+    ),
+    SqlTemplate(
+        "bench_price",
+        "select o_orderkey from orders where o_totalprice between {v1} and {v2}",
+    ),
+    SqlTemplate(
+        "bench_date",
+        "select o_orderkey from orders where o_orderdate < {d1}",
+    ),
+    SqlTemplate(
+        "bench_join",
+        "select c_name, o_totalprice from customer c "
+        "join orders o on c.c_custkey = o.o_custkey "
+        "where o.o_totalprice > {v1} and c.c_acctbal > {v2}",
+    ),
+    SqlTemplate(
+        "bench_join3",
+        "select c_name from customer c "
+        "join orders o on c.c_custkey = o.o_custkey "
+        "join lineitem l on o.o_orderkey = l.l_orderkey "
+        "where l.l_quantity > {v1}",
+    ),
+    SqlTemplate(
+        "bench_group",
+        "select o_orderdate, count(*), sum(o_totalprice) from orders "
+        "where o_totalprice > {v1} group by o_orderdate "
+        "order by o_orderdate limit 10",
+    ),
+    SqlTemplate(
+        "bench_having",
+        "select l_orderkey, avg(l_extendedprice) from lineitem "
+        "where l_quantity > {v1} group by l_orderkey "
+        "having avg(l_extendedprice) > {v2}",
+    ),
+    SqlTemplate(
+        "bench_text",
+        "select p_partkey from part where p_type like {s1}",
+    ),
+    SqlTemplate(
+        "bench_in",
+        "select s_name from supplier where s_nationkey in ({v1}, {v2})",
+    ),
+    SqlTemplate(
+        "bench_negative",
+        "select c_name from customer where c_acctbal > {v1} and c_acctbal < {v2}",
+    ),
+    SqlTemplate(
+        "bench_agg",
+        "select count(*), max(l_extendedprice) from lineitem "
+        "where l_discount < {v1}",
+    ),
+]
+
+
+def build_corpus(profiler, per_template: int) -> list[str]:
+    """Deterministic instantiated statements, *per_template* per template."""
+    corpus: list[str] = []
+    for template in TEMPLATES:
+        space = profiler.build_space(template)
+        rng = np.random.default_rng([7, len(corpus)])
+        for values in lhs_configs(space, per_template, rng):
+            corpus.append(template.instantiate(values))
+    return corpus
+
+
+def bench_explain(db, corpus: list[str], repeats: int) -> dict:
+    """Cold (uncached) vs cached throughput over the same statements."""
+    db.set_explain_cache(False)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for sql in corpus:
+            db.explain(sql)
+    cold_seconds = time.perf_counter() - started
+    cold_calls = repeats * len(corpus)
+
+    db.set_explain_cache(True)
+    db.explain_cache.clear()
+    for sql in corpus:  # warm pass: one miss per statement
+        db.explain(sql)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for sql in corpus:
+            db.explain(sql)
+    cached_seconds = time.perf_counter() - started
+    cached_calls = repeats * len(corpus)
+    stats = db.explain_cache.stats()
+
+    cold_ops = cold_calls / cold_seconds
+    cached_ops = cached_calls / cached_seconds
+    return {
+        "corpus_size": len(corpus),
+        "repeats": repeats,
+        "cold_seconds": round(cold_seconds, 4),
+        "cached_seconds": round(cached_seconds, 4),
+        "cold_ops_per_s": round(cold_ops, 1),
+        "cached_ops_per_s": round(cached_ops, 1),
+        "speedup": round(cached_ops / cold_ops, 2),
+        "cache": stats,
+    }
+
+
+def bench_profiling(db, samples: int, workers: int) -> dict:
+    """Serial vs process-parallel profile_many over the template set."""
+    profiler = TemplateProfiler(db, BarberConfig(seed=0))
+    profiler.profile_many(TEMPLATES[:2], 2)  # warm compile/import paths
+    db.explain_cache.clear()
+
+    started = time.perf_counter()
+    serial = profiler.profile_many(TEMPLATES, samples, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    db.explain_cache.clear()
+    started = time.perf_counter()
+    parallel = profiler.profile_many(
+        TEMPLATES, samples, workers=workers, backend="process"
+    )
+    parallel_seconds = time.perf_counter() - started
+
+    identical = all(
+        a.observations == b.observations and a.errors == b.errors
+        for a, b in zip(serial, parallel)
+    )
+    return {
+        "templates": len(TEMPLATES),
+        "samples_per_template": samples,
+        "workers": workers,
+        "backend": "process",
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "results_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="TPC-H scale factor (default 0.02)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="passes over the explain corpus per phase")
+    parser.add_argument("--bindings", type=int, default=4,
+                        help="instantiated statements per template")
+    parser.add_argument("--samples", type=int, default=800,
+                        help="profile samples per template")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--output", "-o", default="BENCH_fastpath.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration (fast, no thresholds)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless speedups meet the acceptance bars "
+                             "(>=5x cached explain, >1.5x parallel profiling)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.scale, args.repeats, args.bindings, args.samples = 0.002, 2, 2, 8
+
+    db = build_tpch(scale=args.scale, seed=3)
+    profiler = TemplateProfiler(db, BarberConfig(seed=0, use_fastpath=False))
+    corpus = build_corpus(profiler, args.bindings)
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cpus = os.cpu_count() or 1
+
+    explain = bench_explain(db, corpus, args.repeats)
+    profiling = bench_profiling(db, args.samples, args.workers)
+    report = {
+        "benchmark": "fastpath",
+        "scale": args.scale,
+        "smoke": args.smoke,
+        "cpus": cpus,
+        "explain": explain,
+        "profiling": profiling,
+    }
+    profiling["parallel_threshold"] = (
+        "skipped_single_cpu"
+        if cpus < 2
+        else ("met" if profiling["speedup"] > 1.5 else "missed")
+    )
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+
+    if not profiling["results_identical"]:
+        print("FAIL: parallel profiles diverged from serial", file=sys.stderr)
+        return 1
+    if args.check:
+        failures = []
+        if explain["speedup"] < 5.0:
+            failures.append(
+                f"cached explain speedup {explain['speedup']}x < 5x"
+            )
+        if cpus < 2:
+            print(
+                "SKIP: parallel profiling threshold needs >=2 CPUs "
+                f"(found {cpus}); measured {profiling['speedup']}x is a "
+                "timesharing artifact",
+                file=sys.stderr,
+            )
+        elif profiling["speedup"] <= 1.5:
+            failures.append(
+                f"parallel profiling speedup {profiling['speedup']}x <= 1.5x"
+            )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

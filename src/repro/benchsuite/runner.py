@@ -111,6 +111,8 @@ class ExperimentRunner:
         per_interval_budget_seconds: float = 2.0,
         config: BarberConfig | None = None,
         sinks: list | None = None,
+        workers: int | None = None,
+        explain_cache: bool = True,
     ) -> MethodRun:
         if method == "sqlbarber":
             return self.run_sqlbarber(
@@ -120,6 +122,8 @@ class ExperimentRunner:
                 time_budget_seconds=time_budget_seconds,
                 config=config,
                 sinks=sinks,
+                workers=workers,
+                explain_cache=explain_cache,
             )
         return self.run_baseline(
             method,
@@ -137,11 +141,16 @@ class ExperimentRunner:
         time_budget_seconds: float | None = None,
         config: BarberConfig | None = None,
         sinks: list | None = None,
+        workers: int | None = None,
+        explain_cache: bool = True,
     ) -> MethodRun:
         db = build_database(db_name)
-        barber = SQLBarber(
-            db, config=config or BarberConfig(seed=self.seed), sinks=sinks
-        )
+        if not explain_cache:
+            db.set_explain_cache(False)
+        config = config or BarberConfig(seed=self.seed)
+        if workers is not None:
+            config = config.with_overrides(workers=workers)
+        barber = SQLBarber(db, config=config, sinks=sinks)
         result = barber.generate_workload(
             self.specs(), distribution, time_budget_seconds=time_budget_seconds
         )
@@ -161,6 +170,7 @@ class ExperimentRunner:
                 "llm_usage": result.llm_usage,
                 "alignment_accuracy": result.generation_report.alignment_accuracy,
                 "stage_seconds": dict(result.stage_seconds),
+                "explain_cache": db.explain_cache.stats(),
             },
         )
 

@@ -84,6 +84,20 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--num-specs", type=int, default=8,
                           help="fleet-derived specs when none are given")
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for profiling/refinement fan-out (results are "
+             "bit-identical to --workers 1)",
+    )
+    generate.add_argument(
+        "--parallel-backend", default="thread", choices=["thread", "process"],
+        help="pool flavour for --workers > 1 (process pays a fork per worker "
+             "but overlaps CPU-bound planning)",
+    )
+    generate.add_argument(
+        "--no-explain-cache", action="store_true",
+        help="disable the EXPLAIN result cache (debugging escape hatch)",
+    )
     generate.add_argument("--time-budget", type=float, default=300.0)
     generate.add_argument("--output", "-o", default=None,
                           help="JSONL output path (default: stdout summary only)")
@@ -104,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--queries", type=int, default=None,
                      help="override the benchmark's query count")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker count for the sqlbarber method's profiling fan-out",
+    )
+    run.add_argument(
+        "--no-explain-cache", action="store_true",
+        help="disable the EXPLAIN result cache (sqlbarber method only)",
+    )
     run.add_argument("--time-budget", type=float, default=300.0)
     run.add_argument("--baseline-interval-budget", type=float, default=2.0)
     run.add_argument(
@@ -179,12 +201,18 @@ def cmd_generate(args) -> int:
     progress diagnostics go to the logger (stderr).
     """
     db = build_database(args.db, scale=args.scale)
+    if args.no_explain_cache:
+        db.set_explain_cache(False)
     specs = _load_specs(args)
     distribution = _build_distribution(args)
     logger.info("target distribution:\n%s", histogram_text(distribution))
     barber = SQLBarber(
         db,
-        config=BarberConfig(seed=args.seed),
+        config=BarberConfig(
+            seed=args.seed,
+            workers=args.workers,
+            parallel_backend=args.parallel_backend,
+        ),
         sinks=_telemetry_sinks(args.trace_out),
     )
     result = barber.generate_workload(
@@ -215,6 +243,7 @@ def cmd_generate(args) -> int:
             for stage, seconds in result.stage_seconds.items()
         },
         "llm_usage": result.llm_usage,
+        "explain_cache": db.explain_cache.stats(),
         "output": args.output,
         "trace": args.trace_out,
     }
@@ -241,6 +270,8 @@ def cmd_run_benchmark(args) -> int:
         time_budget_seconds=args.time_budget,
         per_interval_budget_seconds=args.baseline_interval_budget,
         sinks=_telemetry_sinks(args.trace_out) if args.trace_out else None,
+        workers=args.workers,
+        explain_cache=not args.no_explain_cache,
     )
     if args.trace_out:
         logger.info("telemetry trace written to %s", args.trace_out)

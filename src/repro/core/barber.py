@@ -224,7 +224,7 @@ class SQLBarber:
                 samples = profiler.profile_samples_per_template(
                     distribution.total_queries, max(len(templates), 1)
                 )
-                profiles = [profiler.profile(t, samples) for t in templates]
+                profiles = profiler.profile_many(templates, samples)
                 profiles = [p for p in profiles if p.is_usable]
                 span.set(samples_per_template=samples, usable=len(profiles))
 

@@ -66,6 +66,17 @@ class BarberConfig:
     bo_initial_samples: int = 6
     reuse_history: bool = True  # warm-start BO from profiling observations
 
+    # -- repro.fastpath: caching and parallelism ---------------------------------
+    # Worker count for the profile/refine fan-out; 1 = serial (the default,
+    # observably identical to pre-fastpath behaviour).  Results are
+    # bit-identical across worker counts thanks to per-template seeding.
+    workers: int = 1
+    parallel_backend: str = "thread"  # 'thread' | 'process'
+    # Compile templates once and re-plan per binding instead of running the
+    # full lexer/parser/binder per EXPLAIN.  The differential suite pins
+    # this path byte-identical to the cold one.
+    use_fastpath: bool = True
+
     # -- misc ----------------------------------------------------------------------
     time_budget_seconds: float | None = None
     unbound_placeholder_range: tuple[int, int] = (1, 1000)

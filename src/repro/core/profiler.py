@@ -10,6 +10,7 @@ interval (via the closeness score of Eq. 2).
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -136,7 +137,26 @@ class TemplateProfiler:
         elif cost_metric not in ("plan_cost", "cardinality", "measured_time"):
             raise ValueError(f"unknown cost metric {cost_metric!r}")
         self.cost_metric = cost_metric
-        self._rng = np.random.default_rng(self.config.seed + 17)
+        # Compiled fast-path per template id; None marks a template whose
+        # compilation failed, pinning it to the cold path permanently.
+        self._compiled: dict[str, object | None] = {}
+
+    def _template_rng(self, template: SqlTemplate) -> np.random.Generator:
+        """A private RNG per template, independent of profiling order.
+
+        Seeding from (config seed, template id) makes each template's sample
+        stream a pure function of the template, so profiles are bit-identical
+        whether templates run serially or fan out across workers.
+        """
+        return np.random.default_rng(
+            [self.config.seed + 17, zlib.crc32(template.template_id.encode())]
+        )
+
+    def __getstate__(self) -> dict:
+        # Compiled templates hold locks; workers recompile on demand.
+        state = dict(self.__dict__)
+        state["_compiled"] = {}
+        return state
 
     # -- search space construction ------------------------------------------------
 
@@ -195,6 +215,20 @@ class TemplateProfiler:
 
     def evaluate(self, template: SqlTemplate, values: Config) -> float | None:
         """Instantiate + measure one configuration; None on any SQL error."""
+        if (
+            self.config.use_fastpath
+            and self._custom_metric is None
+            and self.cost_metric in ("plan_cost", "cardinality")
+        ):
+            compiled = self._compiled_for(template)
+            if compiled is not None:
+                try:
+                    explain = compiled.explain(values)
+                except (KeyError, SqlError):
+                    return None
+                if self.cost_metric == "cardinality":
+                    return float(explain.estimated_rows)
+                return float(explain.total_cost)
         try:
             sql = template.instantiate(values)
         except KeyError:
@@ -210,6 +244,50 @@ class TemplateProfiler:
         if self.cost_metric == "cardinality":
             return float(explain.estimated_rows)
         return float(explain.total_cost)
+
+    def _compiled_for(self, template: SqlTemplate):
+        """The template's compiled fast path, or None when it cannot compile
+        (it then stays on the cold path for the rest of the run)."""
+        key = template.template_id
+        if key not in self._compiled:
+            from repro.fastpath.compiled import CompiledTemplate
+
+            try:
+                self._compiled[key] = CompiledTemplate(
+                    self.db, template, self._placeholder_literal_types(template)
+                )
+            except SqlError:
+                self._compiled[key] = None
+        return self._compiled[key]
+
+    def _placeholder_literal_types(self, template: SqlTemplate) -> dict[str, SqlType]:
+        """The *bound* type of each placeholder's rendered literal.
+
+        Mirrors :meth:`build_space`'s parameter choices: integer parameters
+        render as integer literals, float parameters as doubles, and
+        categorical/date parameters as quoted strings (TEXT).
+        """
+        if not template.placeholders:
+            template.placeholders = infer_placeholder_bindings(
+                template.parse(), self.db.catalog
+            )
+        types: dict[str, SqlType] = {}
+        for info in template.placeholders:
+            if info.table is None or info.column is None:
+                types[info.name] = SqlType.INTEGER
+                continue
+            stats = self.db.catalog.column_stats(info.table, info.column)
+            if info.sql_type is SqlType.TEXT or stats is None or (
+                stats.min_value is None
+            ):
+                types[info.name] = SqlType.TEXT
+            elif info.sql_type is SqlType.DATE:
+                types[info.name] = SqlType.TEXT  # rendered as a quoted ISO date
+            elif info.sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+                types[info.name] = SqlType.INTEGER
+            else:
+                types[info.name] = SqlType.DOUBLE
+        return types
 
     def instantiate(self, template: SqlTemplate, values: Config) -> str:
         return template.instantiate(values)
@@ -238,6 +316,30 @@ class TemplateProfiler:
                     telemetry.count("profiler.errors", profile.errors)
         return profile
 
+    def profile_many(
+        self,
+        templates,
+        num_samples: int | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> list[TemplateProfile]:
+        """Profile several templates, fanning out when workers > 1.
+
+        Defaults come from the config (``workers``, ``parallel_backend``).
+        Output order matches input order, and per-template seeding makes the
+        profiles bit-identical to the serial loop at any worker count.
+        """
+        templates = list(templates)
+        workers = self.config.workers if workers is None else workers
+        backend = self.config.parallel_backend if backend is None else backend
+        if workers <= 1 or len(templates) <= 1:
+            return [self.profile(t, num_samples) for t in templates]
+        from repro.fastpath.parallel import ParallelProfiler
+
+        return ParallelProfiler(self, workers, backend).profile_many(
+            templates, num_samples
+        )
+
     def _profile_inner(
         self, template: SqlTemplate, num_samples: int | None
     ) -> TemplateProfile:
@@ -262,10 +364,11 @@ class TemplateProfiler:
             self.config.min_profile_samples
         )
         count = max(count, 1)
+        rng = self._template_rng(template)
         if self.config.profile_sampling == "uniform":
-            samples = space.sample_many(count, self._rng)
+            samples = space.sample_many(count, rng)
         else:
-            samples = lhs_configs(space, count, self._rng)
+            samples = lhs_configs(space, count, rng)
         for values in samples:
             cost = self.evaluate(template, values)
             if cost is None:

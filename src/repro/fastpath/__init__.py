@@ -1,0 +1,39 @@
+"""Hot-path acceleration for the SQLBarber cost loops.
+
+Three pieces, composable but independent:
+
+* :class:`ExplainCache` / :func:`normalize_sql` — memoize EXPLAIN results
+  keyed by normalized SQL, invalidated by the catalog's statistics epoch;
+* :class:`CompiledTemplate` — parse/bind a template once, re-plan per
+  literal binding with no lexer/parser/binder on the hot path;
+* :class:`ParallelProfiler` — fan template profiling across a thread or
+  process pool with deterministic per-template seeding.
+
+Exports resolve lazily (PEP 562): :mod:`repro.sqldb.database` imports the
+cache module at import time, while :mod:`~repro.fastpath.compiled` imports
+sqldb submodules — laziness keeps that cycle unwound.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "ExplainCache": ("repro.fastpath.cache", "ExplainCache"),
+    "normalize_sql": ("repro.fastpath.cache", "normalize_sql"),
+    "DEFAULT_CACHE_SIZE": ("repro.fastpath.cache", "DEFAULT_CACHE_SIZE"),
+    "CompiledTemplate": ("repro.fastpath.compiled", "CompiledTemplate"),
+    "literal_expression": ("repro.fastpath.compiled", "literal_expression"),
+    "substitute_placeholders": ("repro.fastpath.compiled", "substitute_placeholders"),
+    "ParallelProfiler": ("repro.fastpath.parallel", "ParallelProfiler"),
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,199 @@
+"""Compile a SQL template once, re-cost predicate bindings cheaply.
+
+The cost-targeted loops (template profiling, Algorithm 2 refinement, the BO
+predicate search) evaluate the *same* template text under thousands of
+different literal bindings.  The cold path pays lexer + parser + binder +
+planner for every binding; only the literals change, so everything up to
+planning is recomputable work.
+
+:class:`CompiledTemplate` hoists the invariant part: it parses the template
+text once and binds it once in the binder's *template mode* (placeholders
+bind to the type their rendered literal will have).  Re-costing a binding
+then only (1) renders the instantiated SQL for the cache key, and on a cache
+miss (2) deep-copies the bound AST with literal nodes substituted for the
+placeholders and (3) runs the planner — no lexing, parsing, or name
+resolution on the hot path.
+
+Correctness contract (enforced by ``tests/fastpath``): the substituted AST
+is structurally identical to what ``parse_select(instantiated_sql)`` +
+``Binder.bind`` would produce, so the resulting :class:`ExplainResult` is
+byte-identical to the cold pipeline.  Two guards protect the contract:
+
+* compilation failures (e.g. a template the binder's template mode cannot
+  type) surface as exceptions the caller treats as "use the cold path";
+* a per-call type check compares each substituted literal's bound type to
+  the type the template was compiled under and silently re-plans cold when
+  they diverge (e.g. an out-of-int32-range value binding as BIGINT).
+
+Statistics-epoch changes (DDL, data loads, re-analyze) invalidate the
+compiled bind the same way they invalidate the EXPLAIN cache: the next call
+recompiles against the current catalog.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import threading
+from dataclasses import fields as dataclass_fields
+from typing import Mapping
+
+from repro.obs import current as current_telemetry
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.binder import Binder, BoundQuery, _literal_type
+from repro.sqldb.errors import BindError
+from repro.sqldb.explain import ExplainResult, explain_plan
+from repro.sqldb.parser import parse_select
+from repro.sqldb.types import SqlType, days_to_date
+
+
+def literal_expression(value: object, sql_type: SqlType | None = None) -> ast.Expression:
+    """The AST the parser would produce for ``render_literal(value, sql_type)``.
+
+    Mirrors :func:`repro.workload.template.render_literal` rule for rule;
+    notably the parser represents negative numbers as unary minus over the
+    absolute value, never as a negative literal token.
+    """
+    if value is None:
+        return ast.Literal(None)
+    if isinstance(value, bool):
+        return ast.Literal(value)
+    if isinstance(value, datetime.date):
+        return ast.Literal(value.isoformat())
+    if isinstance(value, float):
+        if sql_type in (SqlType.INTEGER, SqlType.BIGINT):
+            return _numeric_literal(int(round(value)))
+        return _numeric_literal(float(value))
+    if isinstance(value, int):
+        if sql_type is SqlType.DATE:
+            return ast.Literal(days_to_date(value).isoformat())
+        if sql_type is SqlType.DOUBLE:
+            return _numeric_literal(float(value))
+        return _numeric_literal(int(value))
+    return ast.Literal(str(value))
+
+
+def _numeric_literal(value: int | float) -> ast.Expression:
+    if isinstance(value, float) and not math.isfinite(value):
+        # repr(inf/nan) lexes as a bare identifier, which the cold path
+        # rejects as an unknown column; fail the same way.
+        name = repr(value).lstrip("-")
+        raise BindError(f'column "{name}" does not exist')
+    negative = value < 0 or (isinstance(value, float) and math.copysign(1.0, value) < 0)
+    if negative:
+        return ast.UnaryOp("-", ast.Literal(-value))
+    return ast.Literal(value)
+
+
+def bound_literal_type(expression: ast.Expression) -> SqlType:
+    """The type the cold binder would assign to a substituted literal."""
+    if isinstance(expression, ast.UnaryOp):
+        return bound_literal_type(expression.operand)
+    assert isinstance(expression, ast.Literal)
+    return _literal_type(expression.value)
+
+
+def substitute_placeholders(
+    node: object,
+    values: Mapping[str, object],
+    render_types: Mapping[str, SqlType | None],
+):
+    """A deep copy of *node* with every Placeholder replaced by its literal.
+
+    Non-placeholder leaves (strings, numbers, enums) are shared, not copied:
+    binding never mutates them.  Each placeholder occurrence gets a fresh
+    literal node, so repeated placeholders stay independent.
+    """
+    if isinstance(node, ast.Placeholder):
+        if node.name not in values:
+            raise KeyError(f"no value for placeholder {{{node.name}}}")
+        return literal_expression(values[node.name], render_types.get(node.name))
+    if isinstance(node, ast.Node):
+        kwargs = {
+            f.name: _substitute_value(getattr(node, f.name), values, render_types)
+            for f in dataclass_fields(node)
+        }
+        return type(node)(**kwargs)
+    return node
+
+
+def _substitute_value(value, values, render_types):
+    if isinstance(value, ast.Node):
+        return substitute_placeholders(value, values, render_types)
+    if isinstance(value, list):
+        return [_substitute_value(item, values, render_types) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_substitute_value(item, values, render_types) for item in value)
+    return value
+
+
+class CompiledTemplate:
+    """A template parsed and bound once, re-plannable per literal binding."""
+
+    def __init__(self, database, template, placeholder_types: dict[str, SqlType]):
+        """*placeholder_types* maps each placeholder to the *bound* type of
+        its rendered literal (what the binder's template mode needs), as
+        opposed to the column types recorded on the template's
+        :class:`~repro.workload.template.PlaceholderInfo` entries, which
+        drive literal rendering.  Raises :class:`SqlError` when the template
+        cannot be compiled; callers fall back to the cold path permanently.
+        """
+        self._db = database
+        self._template = template
+        self._placeholder_types = dict(placeholder_types)
+        self._render_types = {
+            info.name: info.sql_type for info in template.placeholders
+        }
+        self._lock = threading.Lock()
+        self._state: tuple[int, BoundQuery] | None = None
+        self._bound()  # compile eagerly so failures surface at build time
+
+    @property
+    def template(self):
+        return self._template
+
+    def _bound(self) -> BoundQuery:
+        epoch = self._db.catalog.statistics_epoch
+        with self._lock:
+            if self._state is None or self._state[0] != epoch:
+                statement = parse_select(self._template.sql)
+                binder = Binder(
+                    self._db.catalog, placeholder_types=self._placeholder_types
+                )
+                self._state = (epoch, binder.bind(statement))
+            return self._state[1]
+
+    def explain(self, values: Mapping[str, object]) -> ExplainResult:
+        """EXPLAIN the template instantiated with *values*.
+
+        Byte-identical to ``database.explain(template.instantiate(values))``
+        — same result, same errors, same cache interaction — minus the
+        lex/parse/bind work on cache misses.
+        """
+        sql = self._template.instantiate(values)
+        return self._db.explain_estimates(
+            sql, compute=lambda: self._replan(sql, values)
+        )
+
+    def _replan(self, sql: str, values: Mapping[str, object]) -> ExplainResult:
+        bound = self._bound()
+        for name in self._template.placeholder_names:
+            expected = self._placeholder_types.get(name, SqlType.INTEGER)
+            actual = bound_literal_type(
+                literal_expression(values[name], self._render_types.get(name))
+            )
+            if actual is not expected:
+                # The value binds differently than the compiled assumption
+                # (e.g. out-of-int32-range); re-plan cold for this call.
+                return explain_plan(self._db.plan(sql))
+        statement = substitute_placeholders(
+            bound.statement, values, self._render_types
+        )
+        current_telemetry().count("fastpath.compiled.explains")
+        replanned = BoundQuery(
+            statement=statement,
+            scope=bound.scope,
+            output_names=list(bound.output_names),
+            output_types=list(bound.output_types),
+        )
+        return explain_plan(self._db._planner.plan(replanned))

@@ -57,6 +57,23 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s observations into this histogram (same buckets)."""
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        if other.min_value is not None and (
+            self.min_value is None or other.min_value < self.min_value
+        ):
+            self.min_value = other.min_value
+        if other.max_value is not None and (
+            self.max_value is None or other.max_value > self.max_value
+        ):
+            self.max_value = other.max_value
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
@@ -119,6 +136,21 @@ class MetricsRegistry:
 
     def histogram(self, name: str, **labels) -> Histogram | None:
         return self._histograms.get(metric_key(name, labels))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other* into this registry: counters and histogram
+        observations add; gauges take *other*'s value (last write wins,
+        matching sequential recording order)."""
+        for key, value in other._counters.items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        self._gauges.update(other._gauges)
+        for key, histogram in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                self._histograms[key] = merged = Histogram(buckets=histogram.buckets)
+                merged.merge(histogram)
+            else:
+                mine.merge(histogram)
 
     def snapshot(self) -> dict:
         return {

@@ -102,10 +102,22 @@ class BoundQuery:
 
 
 class Binder:
-    """Binds statements against a :class:`~repro.sqldb.catalog.Catalog`."""
+    """Binds statements against a :class:`~repro.sqldb.catalog.Catalog`.
 
-    def __init__(self, catalog: Catalog):
+    *placeholder_types* switches the binder into template mode: instead of
+    rejecting ``{name}`` placeholders, each one binds to the declared type
+    (the type its rendered literal will have once instantiated).  This is
+    what lets :mod:`repro.fastpath` bind a template once and re-plan it per
+    predicate binding without re-running name resolution.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        placeholder_types: dict[str, SqlType] | None = None,
+    ):
         self._catalog = catalog
+        self._placeholder_types = placeholder_types
 
     def bind(
         self, statement: ast.SelectStatement | ast.CompoundSelect
@@ -239,6 +251,10 @@ class Binder:
         if isinstance(expression, ast.Literal):
             return _literal_type(expression.value)
         if isinstance(expression, ast.Placeholder):
+            if self._placeholder_types is not None:
+                return self._placeholder_types.get(
+                    expression.name, SqlType.INTEGER
+                )
             raise BindError(
                 f"template placeholder {{{expression.name}}} cannot be executed; "
                 "instantiate the template first"

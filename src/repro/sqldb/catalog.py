@@ -99,13 +99,30 @@ class TableMeta:
 
 
 class Catalog:
-    """Registry of tables, foreign keys, and indexes for one database."""
+    """Registry of tables, foreign keys, and indexes for one database.
+
+    Every mutation that can change plans or estimates — registering a table,
+    adding an index or foreign key, re-analyzing statistics — bumps the
+    :attr:`statistics_epoch`.  Plan and EXPLAIN caches key their entries to
+    the epoch and drop everything when it moves, so a DDL or data load can
+    never serve stale costs.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, TableMeta] = {}
         self._data: dict[str, Table] = {}
         self._foreign_keys: list[ForeignKey] = []
         self._indexes: dict[str, list[IndexMeta]] = {}
+        self._statistics_epoch = 0
+
+    @property
+    def statistics_epoch(self) -> int:
+        """Monotonic counter of schema/statistics changes."""
+        return self._statistics_epoch
+
+    def bump_statistics_epoch(self) -> None:
+        """Invalidate every epoch-keyed cache derived from this catalog."""
+        self._statistics_epoch += 1
 
     # -- registration --------------------------------------------------------
 
@@ -142,6 +159,7 @@ class Catalog:
             self.add_index(
                 IndexMeta(f"{data.name}_pkey_{pk_col}", data.name, pk_col, True)
             )
+        self.bump_statistics_epoch()
         return meta
 
     def add_foreign_key(self, fk: ForeignKey) -> None:
@@ -153,6 +171,7 @@ class Catalog:
             self.add_index(
                 IndexMeta(f"{fk.table}_{fk.column}_idx", fk.table, fk.column)
             )
+        self.bump_statistics_epoch()
 
     def add_index(self, index: IndexMeta) -> None:
         self.table(index.table).column(index.column)
@@ -160,6 +179,23 @@ class Catalog:
         if any(i.name == index.name for i in existing):
             raise CatalogError(f"index {index.name!r} already exists")
         existing.append(index)
+        self.bump_statistics_epoch()
+
+    def reanalyze(self, name: str) -> TableMeta:
+        """Recompute row count and column statistics of *name* from its data.
+
+        The equivalent of PostgreSQL's ``ANALYZE <table>``: callers that
+        mutate a registered table's column arrays in place run this to make
+        the optimizer see the new value distribution.  Bumps the statistics
+        epoch so cached estimates are invalidated.
+        """
+        meta = self.table(name)
+        data = self.data(name)
+        for column_meta in meta.columns:
+            column_meta.stats = analyze_column(data.column(column_meta.name))
+        meta.row_count = data.row_count
+        self.bump_statistics_epoch()
+        return meta
 
     # -- lookups ---------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.fastpath.cache import DEFAULT_CACHE_SIZE, ExplainCache, normalize_sql
 from repro.obs import current as current_telemetry
 
 from .binder import Binder
@@ -42,18 +43,47 @@ class ExecutionResult:
 class Database:
     """An embedded, in-memory SQL database."""
 
-    def __init__(self, name: str = "db"):
+    def __init__(self, name: str = "db", explain_cache_size: int = DEFAULT_CACHE_SIZE):
         self.name = name
         self._catalog = Catalog()
         self._binder = Binder(self._catalog)
         self._planner = Planner(self._catalog)
         self._executor = Executor(self._catalog)
+        self._explain_cache = ExplainCache(maxsize=explain_cache_size)
+        self._explain_cache_enabled = True
 
     # -- schema management ---------------------------------------------------
 
     @property
     def catalog(self) -> Catalog:
         return self._catalog
+
+    @property
+    def explain_cache(self) -> ExplainCache:
+        return self._explain_cache
+
+    @property
+    def explain_cache_enabled(self) -> bool:
+        return self._explain_cache_enabled
+
+    def set_explain_cache(self, enabled: bool) -> None:
+        """Toggle EXPLAIN result caching (the ``--no-explain-cache`` hatch).
+
+        Disabling also clears the cache so a later re-enable starts cold.
+        """
+        self._explain_cache_enabled = enabled
+        if not enabled:
+            self._explain_cache.clear()
+
+    def analyze(self, table: str | None = None) -> None:
+        """Refresh optimizer statistics (``ANALYZE [table]``).
+
+        Recomputes row counts and column statistics from the stored data and
+        bumps the statistics epoch, invalidating cached EXPLAIN results.
+        """
+        names = [table] if table is not None else self._catalog.table_names
+        for name in names:
+            self._catalog.reanalyze(name)
 
     def create_table(
         self,
@@ -88,12 +118,40 @@ class Database:
         real server would reject the statement, which is what SQLBarber's
         template validation relies on.
         """
+        return self.explain_estimates(sql)
+
+    def explain_estimates(self, sql: str, compute=None) -> ExplainResult:
+        """The single cache-aware entry point for optimizer estimates.
+
+        Every path that produces an :class:`ExplainResult` — ``explain``,
+        ``explain_analyze``, compiled-template re-costing — funnels through
+        here so the ``sqldb.explain.*`` and ``sqldb.explain.cache.*``
+        counters stay mutually consistent.  ``sqldb.explain.calls`` /
+        ``.seconds`` record *computed* estimates (cache misses and uncached
+        calls); cache hits are counted under ``sqldb.explain.cache.hits``
+        and skip the histogram, so its count always equals the calls total.
+
+        *compute* overrides the cold pipeline (parse → bind → plan) with a
+        cheaper equivalent producer of the same result; callers guarantee
+        byte-identical output (the differential suite enforces this).
+        """
+        if compute is None:
+            compute = lambda: explain_plan(self.plan(sql))  # noqa: E731
+        if not self._explain_cache_enabled:
+            return self._record_explain(compute)
+        return self._explain_cache.get_or_compute(
+            normalize_sql(sql),
+            self._catalog.statistics_epoch,
+            lambda: self._record_explain(compute),
+        )
+
+    def _record_explain(self, compute) -> ExplainResult:
         telemetry = current_telemetry()
         if not telemetry.enabled:
-            return explain_plan(self.plan(sql))
+            return compute()
         started = time.perf_counter()
         try:
-            result = explain_plan(self.plan(sql))
+            result = compute()
         except SqlError:
             telemetry.count("sqldb.explain.errors")
             raise
@@ -130,7 +188,10 @@ class Database:
         execution, in one call — the optimizer-regression-hunting primitive.
         """
         plan = self.plan(sql)
-        estimates = explain_plan(plan)
+        # Route estimates through the cache-aware entry point (reusing the
+        # plan we already built on a miss) so explain_calls and cache
+        # hit/miss counters agree with plain ``explain``.
+        estimates = self.explain_estimates(sql, compute=lambda: explain_plan(plan))
         started = time.perf_counter()
         table = self._executor.execute(plan)
         elapsed = time.perf_counter() - started

@@ -1,0 +1,251 @@
+"""Differential battery: the fastpath must be byte-identical to the cold path.
+
+Every assertion here compares a fastpath result (compiled-template re-plan or
+EXPLAIN-cache hit) against the cold full pipeline (lex → parse → bind → plan)
+on the same SQL.  ``ExplainResult`` is a frozen dataclass, so ``==`` compares
+estimated rows, startup cost, total cost, and the rendered plan text — any
+divergence in any field fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_template_pool
+from repro.bo import lhs_configs
+from repro.core import BarberConfig, TemplateProfiler, schema_payload
+from repro.datasets import build_tpch, redset_spec_workload
+from repro.fastpath import normalize_sql
+from repro.fastpath.compiled import literal_expression
+from repro.sqldb.ast_nodes import Literal, UnaryOp
+from repro.sqldb.explain import explain_plan
+from repro.sqldb.types import SqlType
+from repro.workload import SqlTemplate
+
+# Hand-written corpus covering every predicate shape the generator emits:
+# point/range comparisons, BETWEEN, LIKE, IN, joins, aggregation, ORDER BY
+# with LIMIT, date placeholders, text placeholders, and a column whose domain
+# includes negative values (c_acctbal), which exercises the unary-minus
+# literal representation.
+CORPUS = [
+    SqlTemplate(
+        "diff_eq",
+        "select l_orderkey from lineitem where l_linenumber = {v1}",
+    ),
+    SqlTemplate(
+        "diff_range",
+        "select l_orderkey, l_quantity from lineitem "
+        "where l_quantity < {v1} and l_discount between {v2} and {v3}",
+    ),
+    SqlTemplate(
+        "diff_negative",
+        "select c_name from customer where c_acctbal > {v1} and c_acctbal < {v2}",
+    ),
+    SqlTemplate(
+        "diff_date",
+        "select o_orderkey from orders where o_orderdate < {d1}",
+    ),
+    SqlTemplate(
+        "diff_text",
+        "select p_partkey from part where p_type like {s1}",
+    ),
+    SqlTemplate(
+        "diff_in",
+        "select s_name from supplier where s_nationkey in ({v1}, {v2})",
+    ),
+    SqlTemplate(
+        "diff_join",
+        "select c_name, o_totalprice from customer c "
+        "join orders o on c.c_custkey = o.o_custkey "
+        "where o.o_totalprice > {v1} and c.c_acctbal > {v2}",
+    ),
+    SqlTemplate(
+        "diff_group",
+        "select o_orderdate, count(*), sum(o_totalprice) from orders "
+        "where o_totalprice > {v1} group by o_orderdate "
+        "order by o_orderdate limit 10",
+    ),
+    SqlTemplate(
+        "diff_agg_having",
+        "select l_orderkey, avg(l_extendedprice) from lineitem "
+        "where l_quantity > {v1} group by l_orderkey "
+        "having avg(l_extendedprice) > {v2}",
+    ),
+]
+
+SAMPLES_PER_TEMPLATE = 10
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_tpch(scale=0.002, seed=3)
+
+
+@pytest.fixture(scope="module")
+def profiler(db):
+    return TemplateProfiler(db, BarberConfig(seed=0))
+
+
+def cold_explain(db, sql):
+    """The uncached, uncompiled reference: full pipeline, no counters."""
+    return explain_plan(db.plan(sql))
+
+
+def bindings_for(profiler, template, count=SAMPLES_PER_TEMPLATE):
+    import zlib
+
+    space = profiler.build_space(template)
+    rng = np.random.default_rng(zlib.crc32(template.template_id.encode()))
+    return lhs_configs(space, count, rng)
+
+
+class TestCompiledDifferential:
+    @pytest.mark.parametrize("template", CORPUS, ids=lambda t: t.template_id)
+    def test_replan_matches_cold_pipeline(self, db, profiler, template):
+        compiled = profiler._compiled_for(template)
+        assert compiled is not None, f"{template.template_id} failed to compile"
+        for values in bindings_for(profiler, template):
+            sql = template.instantiate(values)
+            assert compiled._replan(sql, values) == cold_explain(db, sql), (
+                template.template_id,
+                values,
+            )
+
+    @pytest.mark.parametrize("template", CORPUS, ids=lambda t: t.template_id)
+    def test_evaluate_matches_cold_evaluate(self, db, template):
+        fast = TemplateProfiler(db, BarberConfig(seed=0))
+        cold = TemplateProfiler(db, BarberConfig(seed=0, use_fastpath=False))
+        db.set_explain_cache(False)
+        try:
+            for values in bindings_for(fast, template):
+                assert fast.evaluate(template, values) == cold.evaluate(
+                    template, values
+                )
+        finally:
+            db.set_explain_cache(True)
+
+    def test_generated_pool_differential(self, db, profiler):
+        """Randomly generated templates (the baseline pool generator) must
+        also re-cost identically — the corpus above is not the only shape."""
+        pool = build_template_pool(
+            db,
+            redset_spec_workload(num_specs=4, seed=21),
+            pool_size=12,
+            profiler=profiler,
+            schema=schema_payload(db),
+            seed=21,
+        )
+        compiled_count = 0
+        checked = 0
+        for profile in pool:
+            template = profile.template
+            compiled = profiler._compiled_for(template)
+            if compiled is None:
+                continue
+            compiled_count += 1
+            for values in bindings_for(profiler, template, count=4):
+                try:
+                    sql = template.instantiate(values)
+                except KeyError:
+                    continue
+                try:
+                    cold = cold_explain(db, sql)
+                except Exception:
+                    # The cold path rejects this instantiation; the compiled
+                    # path must reject it too (profiler maps both to None).
+                    with pytest.raises(Exception):
+                        compiled._replan(sql, values)
+                    continue
+                assert compiled._replan(sql, values) == cold
+                checked += 1
+        assert compiled_count >= len(pool) // 2, "most pool templates should compile"
+        assert checked >= 10
+
+
+class TestExplainCacheDifferential:
+    def test_cache_hits_return_identical_results(self, db):
+        db.explain_cache.clear()
+        for template in CORPUS:
+            profiler = TemplateProfiler(db, BarberConfig(seed=1))
+            for values in bindings_for(profiler, template, count=3):
+                sql = template.instantiate(values)
+                reference = cold_explain(db, sql)
+                first = db.explain(sql)
+                second = db.explain(sql)
+                assert first == reference
+                assert second == reference
+
+    def test_normalized_variants_share_one_entry(self, db):
+        db.explain_cache.clear()
+        base = "select count(*) from nation where n_regionkey = 2"
+        variants = [
+            base,
+            "select  count(*)   from nation\n where n_regionkey = 2 ;",
+            "\tselect count(*) from nation where n_regionkey = 2;",
+        ]
+        results = [db.explain(sql) for sql in variants]
+        assert results[0] == results[1] == results[2]
+        key = normalize_sql(variants[1])
+        assert key == normalize_sql(base)
+        assert db.explain_cache.contains(key)
+
+    def test_disabled_cache_still_matches(self, db):
+        sql = "select count(*) from region"
+        cached = db.explain(sql)
+        db.set_explain_cache(False)
+        try:
+            assert db.explain(sql) == cached == cold_explain(db, sql)
+        finally:
+            db.set_explain_cache(True)
+
+
+class TestNormalizeSql:
+    def test_collapses_whitespace_outside_strings(self):
+        assert (
+            normalize_sql("select  a ,\n b\tfrom t")
+            == "select a , b from t"
+        )
+
+    def test_preserves_string_literals(self):
+        sql = "select * from t where name = 'a  b\tc'"
+        assert normalize_sql(sql) == sql
+
+    def test_strips_trailing_semicolons(self):
+        assert normalize_sql("select 1 ; ") == "select 1"
+
+    def test_quote_escape_stays_inside_string(self):
+        # '' is an escaped quote: the parser sees one literal, and the
+        # normalizer must not treat the text after it as code.
+        sql = "select * from t where name = 'it''s  a' and x = 1"
+        assert normalize_sql(sql) == sql
+
+
+class TestLiteralExpression:
+    """literal_expression must mirror what parsing render_literal() yields."""
+
+    def test_negative_int_is_unary_minus(self):
+        expr = literal_expression(-7)
+        assert expr == UnaryOp("-", Literal(7))
+
+    def test_negative_float_is_unary_minus(self):
+        assert literal_expression(-2.5) == UnaryOp("-", Literal(2.5))
+
+    def test_negative_zero_float_keeps_sign_shape(self):
+        # repr(-0.0) == "-0.0" parses as unary minus over 0.0.
+        assert literal_expression(-0.0) == UnaryOp("-", Literal(0.0))
+
+    def test_int_for_date_column_renders_iso_text(self):
+        expr = literal_expression(0, SqlType.DATE)
+        assert isinstance(expr, Literal) and isinstance(expr.value, str)
+
+    def test_float_for_integer_column_rounds(self):
+        assert literal_expression(41.6, SqlType.INTEGER) == Literal(42)
+
+    def test_nonfinite_float_raises_like_cold_path(self):
+        from repro.sqldb import SqlError
+
+        with pytest.raises(SqlError):
+            literal_expression(float("inf"))
+        with pytest.raises(SqlError):
+            literal_expression(float("nan"))

@@ -1,0 +1,126 @@
+"""ParallelProfiler: fan-out must be bit-identical to the serial loop.
+
+Profiles carry the exact sampled configurations and their float costs, so
+``observations`` equality below is bit-level: any drift in RNG seeding,
+scheduling-dependent sampling, or literal rendering across workers fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BarberConfig, TemplateProfiler
+from repro.datasets import build_tpch
+from repro.fastpath.parallel import ParallelProfiler
+from repro.obs import Telemetry, use_telemetry
+from repro.workload import SqlTemplate
+
+TEMPLATES = [
+    SqlTemplate(
+        "par_scan",
+        "select l_orderkey from lineitem where l_quantity < {v1}",
+    ),
+    SqlTemplate(
+        "par_range",
+        "select o_orderkey from orders "
+        "where o_totalprice between {v1} and {v2}",
+    ),
+    SqlTemplate(
+        "par_join",
+        "select c_name from customer c "
+        "join orders o on c.c_custkey = o.o_custkey "
+        "where o.o_totalprice > {v1}",
+    ),
+    SqlTemplate(
+        "par_group",
+        "select o_orderdate, count(*) from orders "
+        "where o_totalprice > {v1} group by o_orderdate",
+    ),
+    SqlTemplate(
+        "par_text",
+        "select p_partkey from part where p_type like {s1}",
+    ),
+]
+
+SAMPLES = 6
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_tpch(scale=0.002, seed=3)
+
+
+def serial_profiles(db):
+    profiler = TemplateProfiler(db, BarberConfig(seed=5))
+    return [profiler.profile(t, SAMPLES) for t in TEMPLATES]
+
+
+def assert_identical(parallel, serial):
+    assert len(parallel) == len(serial)
+    for got, want in zip(parallel, serial):
+        assert got.template.template_id == want.template.template_id
+        assert got.observations == want.observations
+        assert got.errors == want.errors
+
+
+def test_thread_backend_matches_serial(db):
+    serial = serial_profiles(db)
+    profiler = TemplateProfiler(db, BarberConfig(seed=5))
+    parallel = ParallelProfiler(profiler, workers=4, backend="thread")
+    assert_identical(parallel.profile_many(TEMPLATES, SAMPLES), serial)
+
+
+def test_process_backend_matches_serial(db):
+    serial = serial_profiles(db)
+    profiler = TemplateProfiler(db, BarberConfig(seed=5))
+    parallel = ParallelProfiler(profiler, workers=2, backend="process")
+    assert_identical(parallel.profile_many(TEMPLATES, SAMPLES), serial)
+
+
+def test_profile_many_entry_point_matches_serial(db):
+    serial = serial_profiles(db)
+    profiler = TemplateProfiler(
+        db, BarberConfig(seed=5, workers=4, parallel_backend="thread")
+    )
+    assert_identical(profiler.profile_many(TEMPLATES, SAMPLES), serial)
+
+
+def test_thread_backend_merges_counters(db):
+    profiler = TemplateProfiler(db, BarberConfig(seed=5))
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        profiles = ParallelProfiler(profiler, workers=4).profile_many(
+            TEMPLATES, SAMPLES
+        )
+    total_observations = sum(len(p.observations) for p in profiles)
+    assert telemetry.metrics.total("profiler.templates") == len(TEMPLATES)
+    assert telemetry.metrics.total("profiler.samples") == total_observations
+
+
+def test_process_backend_merges_child_counters(db):
+    profiler = TemplateProfiler(db, BarberConfig(seed=5))
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        profiles = ParallelProfiler(
+            profiler, workers=2, backend="process"
+        ).profile_many(TEMPLATES, SAMPLES)
+    total_observations = sum(len(p.observations) for p in profiles)
+    assert telemetry.metrics.total("profiler.templates") == len(TEMPLATES)
+    assert telemetry.metrics.total("profiler.samples") == total_observations
+
+
+def test_unpicklable_profiler_falls_back_to_thread(db):
+    # A closure cost metric cannot cross a process boundary; the process
+    # backend must downgrade to threads instead of crashing.
+    profiler = TemplateProfiler(
+        db, BarberConfig(seed=5), cost_metric=lambda sql, _db: float(len(sql))
+    )
+    serial = [profiler.profile(t, SAMPLES) for t in TEMPLATES]
+    parallel = ParallelProfiler(profiler, workers=2, backend="process")
+    assert_identical(parallel.profile_many(TEMPLATES, SAMPLES), serial)
+
+
+def test_unknown_backend_rejected(db):
+    profiler = TemplateProfiler(db, BarberConfig(seed=5))
+    with pytest.raises(ValueError):
+        ParallelProfiler(profiler, workers=2, backend="greenlet")

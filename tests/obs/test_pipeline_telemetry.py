@@ -131,3 +131,44 @@ class TestSubstrateMetrics:
         assert metrics.total("search.queries.kept") == len(
             run_result.workload
         )
+
+
+class TestExplainAnalyzeCacheCounters:
+    """Regression: explain_analyze must route its estimate through the same
+    cache-aware entry as explain, so cached estimates never re-count as
+    fresh engine calls and the seconds histogram stays consistent."""
+
+    def test_analyze_after_explain_is_a_cache_hit(self):
+        from repro.obs import Telemetry, use_telemetry
+
+        db = build_tpch(scale=0.002, seed=3)
+        sql = "select count(*) from nation where n_regionkey = 1"
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            first = db.explain(sql)
+            estimates, execution = db.explain_analyze(sql)
+        metrics = telemetry.metrics
+        assert estimates == first
+        assert execution.row_count == 1
+        # One computed estimate (the cold explain); the analyze reused it.
+        assert metrics.total("sqldb.explain.calls") == 1
+        assert metrics.total("sqldb.explain.cache.misses") == 1
+        assert metrics.total("sqldb.explain.cache.hits") == 1
+        histogram = metrics.histogram("sqldb.explain.seconds")
+        assert histogram.count == metrics.total("sqldb.explain.calls")
+
+    def test_analyze_with_cache_disabled_counts_each_call(self):
+        from repro.obs import Telemetry, use_telemetry
+
+        db = build_tpch(scale=0.002, seed=3)
+        db.set_explain_cache(False)
+        sql = "select count(*) from nation where n_regionkey = 1"
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            db.explain(sql)
+            db.explain_analyze(sql)
+        metrics = telemetry.metrics
+        assert metrics.total("sqldb.explain.calls") == 2
+        assert metrics.total("sqldb.explain.cache.hits") == 0
+        histogram = metrics.histogram("sqldb.explain.seconds")
+        assert histogram.count == 2
