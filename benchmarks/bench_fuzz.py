@@ -1,0 +1,117 @@
+"""Fuzz throughput benchmark: statements/second per differential oracle.
+
+Standalone (not a pytest-benchmark figure — run it directly):
+
+    PYTHONPATH=src python benchmarks/bench_fuzz.py            # full run
+    PYTHONPATH=src python benchmarks/bench_fuzz.py --smoke    # CI smoke
+
+Measures, on the standard fuzz database:
+
+* raw grammar generation throughput (statements/s, no oracles);
+* per-oracle checking throughput — each oracle run alone over the same
+  statement stream, so the numbers are attributable;
+* the full default-oracle campaign throughput (what ``repro fuzz`` does).
+
+Writes ``BENCH_fuzz.json`` (see ``--output``).  These numbers size fuzz
+budgets: the nightly budget should target minutes, the PR-gate smoke
+seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.fuzz import FuzzGrammar, FuzzRunner, build_fuzz_database
+from repro.fuzz.oracles import default_oracles
+
+
+def bench_generation(seed: int, budget: int) -> dict:
+    grammar = FuzzGrammar(build_fuzz_database(seed).catalog, seed=seed)
+    started = time.perf_counter()
+    statements = grammar.statements(budget)
+    elapsed = time.perf_counter() - started
+    return {
+        "statements": len(statements),
+        "seconds": round(elapsed, 4),
+        "statements_per_second": round(len(statements) / elapsed, 1),
+    }
+
+
+def bench_oracle(name: str, seed: int, budget: int) -> dict:
+    """One oracle alone over a fresh database and the same stream."""
+    db = build_fuzz_database(seed)
+    oracles = [o for o in default_oracles() if o.name == name]
+    runner = FuzzRunner(db=db, seed=seed, oracles=oracles, shrink=False)
+    started = time.perf_counter()
+    report = runner.run(budget)
+    elapsed = time.perf_counter() - started
+    stats = report.oracles.get(name, {"checks": 0, "skips": 0, "fails": 0})
+    checked = stats["checks"]
+    return {
+        "checks": checked,
+        "skips": stats["skips"],
+        "disagreements": stats["fails"],
+        "seconds": round(elapsed, 4),
+        "statements_per_second": round(budget / elapsed, 1),
+        "checks_per_second": round(checked / elapsed, 1) if checked else 0.0,
+    }
+
+
+def bench_full_campaign(seed: int, budget: int) -> dict:
+    runner = FuzzRunner(db=build_fuzz_database(seed), seed=seed)
+    started = time.perf_counter()
+    report = runner.run(budget)
+    elapsed = time.perf_counter() - started
+    return {
+        "statements": report.statements,
+        "disagreements": len(report.disagreements),
+        "seconds": round(elapsed, 4),
+        "statements_per_second": round(report.statements / elapsed, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--budget", type=int, default=300,
+        help="statements per measured phase",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny budget for CI: checks the harness, not the numbers",
+    )
+    parser.add_argument("-o", "--output", default="BENCH_fuzz.json")
+    args = parser.parse_args(argv)
+
+    budget = 40 if args.smoke else args.budget
+    report: dict = {
+        "benchmark": "fuzz",
+        "seed": args.seed,
+        "budget": budget,
+        "smoke": args.smoke,
+        "generation": bench_generation(args.seed, budget),
+        "oracles": {},
+    }
+    for oracle in default_oracles():
+        report["oracles"][oracle.name] = bench_oracle(
+            oracle.name, args.seed, budget
+        )
+    report["full_campaign"] = bench_full_campaign(args.seed, budget)
+
+    disagreements = report["full_campaign"]["disagreements"] + sum(
+        o["disagreements"] for o in report["oracles"].values()
+    )
+    report["ok"] = disagreements == 0
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,8 @@ Commands:
 * ``generate``       — run SQLBarber end-to-end and export a JSONL workload;
 * ``benchmarks``     — list the ten paper benchmarks (Table 1);
 * ``run-benchmark``  — run one method on one benchmark and print metrics;
-* ``trace-report``   — per-stage time/token/call breakdown of a trace file.
+* ``trace-report``   — per-stage time/token/call breakdown of a trace file;
+* ``fuzz``           — grammar-fuzz the SQL engine against its oracles.
 
 Output discipline: *data* (schema text, tables, JSON summaries, reports)
 goes to stdout; *diagnostics* (progress, target histograms) go through the
@@ -38,7 +39,7 @@ logger = logging.getLogger("repro.cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse CLI with all five sub-commands."""
+    """Construct the argparse CLI with all six sub-commands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SQLBarber reproduction: customized, cost-targeted "
@@ -138,6 +139,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a per-stage time/token/call breakdown of a trace file",
     )
     report.add_argument("trace", help="JSONL trace written with --trace-out")
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="grammar-fuzz the SQL engine against its differential oracles",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--budget", type=int, default=200,
+        help="number of statements to generate and check",
+    )
+    fuzz.add_argument(
+        "--db", choices=list(dataset_names()) + ["fuzz"], default="fuzz",
+        help="target database: the dedicated fuzz schema or a dataset",
+    )
+    fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="regression corpus directory; failures are appended as JSON "
+        "(default: no corpus writes)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="record failures without delta-debugging them first",
+    )
     return parser
 
 
@@ -296,6 +320,41 @@ def cmd_trace_report(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """`repro fuzz`: grammar-fuzz the engine; JSON report on stdout.
+
+    Exit code 0 iff every oracle agreed on every statement.  The report is
+    byte-identical across runs with the same seed/budget/database, so CI
+    can diff two runs to prove reproducibility.
+    """
+    from repro.fuzz import Corpus, FuzzRunner, build_fuzz_database
+    from repro.obs import Telemetry, use_telemetry
+
+    if args.db == "fuzz":
+        database = build_fuzz_database(args.seed)
+    else:
+        # cached=False: the cache oracle bumps the statistics epoch, which
+        # must not leak into other commands' shared dataset instances.
+        database = build_database(args.db, cached=False)
+    corpus = Corpus(args.corpus) if args.corpus else None
+    runner = FuzzRunner(
+        db=database,
+        seed=args.seed,
+        corpus=corpus,
+        shrink=not args.no_shrink,
+    )
+    with use_telemetry(Telemetry(sinks=[LoggingSink()])):
+        report = runner.run(args.budget)
+    print(report.to_json(), end="")
+    logger.info(
+        "fuzz: %d statements, %d disagreements, %d invalid",
+        report.statements,
+        len(report.disagreements),
+        report.invalid,
+    )
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -306,6 +365,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmarks": cmd_benchmarks,
         "run-benchmark": cmd_run_benchmark,
         "trace-report": cmd_trace_report,
+        "fuzz": cmd_fuzz,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,102 @@
+"""Regression corpus: every shrunk fuzz failure becomes a pytest case.
+
+Each entry is one JSON file under ``tests/fuzz/corpus/`` named
+``<entry_id>.json``, where ``entry_id`` is a content hash of
+``(oracle, sql)`` — appending the same failure twice is a no-op, and file
+names stay stable across runs so the corpus diffs cleanly in review.
+Entries carry the provenance needed to regenerate them: the seed, the
+grammar version, and the statement index.
+
+``tests/fuzz/test_corpus_replay.py`` replays every entry against the
+standard fuzz database and fails if any past disagreement resurfaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+#: Default on-disk location, relative to the repository root.
+DEFAULT_CORPUS_DIR = Path("tests/fuzz/corpus")
+
+
+def entry_id_for(oracle: str, sql: str) -> str:
+    return hashlib.sha256(f"{oracle}|{sql}".encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One regression case: a statement plus the oracle it once failed."""
+
+    entry_id: str
+    oracle: str
+    sql: str
+    detail: str = ""
+    seed: int | None = None
+    index: int | None = None
+    grammar_version: str | None = None
+    tightened_sql: str | None = None
+    shrunk_from: str | None = None  # original statement before shrinking
+
+    @classmethod
+    def create(
+        cls,
+        oracle: str,
+        sql: str,
+        *,
+        detail: str = "",
+        seed: int | None = None,
+        index: int | None = None,
+        grammar_version: str | None = None,
+        tightened_sql: str | None = None,
+        shrunk_from: str | None = None,
+    ) -> "CorpusEntry":
+        return cls(
+            entry_id=entry_id_for(oracle, sql),
+            oracle=oracle,
+            sql=sql,
+            detail=detail,
+            seed=seed,
+            index=index,
+            grammar_version=grammar_version,
+            tightened_sql=tightened_sql,
+            shrunk_from=shrunk_from,
+        )
+
+    def to_json(self) -> str:
+        # sort_keys + no timestamps: the file content is a pure function of
+        # the entry, so re-running the fuzzer never churns the corpus.
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+
+class Corpus:
+    """A directory of :class:`CorpusEntry` JSON files."""
+
+    def __init__(self, path: str | Path = DEFAULT_CORPUS_DIR):
+        self.path = Path(path)
+
+    def entries(self) -> list[CorpusEntry]:
+        out = []
+        for file in sorted(self.path.glob("*.json")):
+            out.append(self.load(file))
+        return out
+
+    @staticmethod
+    def load(file: str | Path) -> CorpusEntry:
+        data = json.loads(Path(file).read_text())
+        known = {f.name for f in CorpusEntry.__dataclass_fields__.values()}
+        return CorpusEntry(**{k: v for k, v in data.items() if k in known})
+
+    def append(self, entry: CorpusEntry) -> Path | None:
+        """Write *entry*; returns the new path, or None if already present."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        target = self.path / f"{entry.entry_id}.json"
+        if target.exists():
+            return None
+        target.write_text(entry.to_json())
+        return target
+
+
+__all__ = ["Corpus", "CorpusEntry", "DEFAULT_CORPUS_DIR", "entry_id_for"]

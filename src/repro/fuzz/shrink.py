@@ -1,0 +1,257 @@
+"""Delta-debugging shrinker: reduce a failing statement to a minimal one.
+
+Classic greedy ddmin over the AST rather than the text: each round
+enumerates structure-preserving simplifications (drop a UNION branch, drop
+ORDER BY/LIMIT/DISTINCT, keep one select item, replace a join by one of its
+sides, replace ``a AND b`` by ``a`` or ``b``, collapse BETWEEN/IN ...),
+re-renders each candidate, and keeps the first one that still *fails* the
+caller's predicate.  Rounds repeat until no candidate fails — a local
+minimum, which for differential-oracle failures is virtually always the
+global one because the oracles are monotone in statement structure.
+
+The predicate receives SQL text and must return True only for candidates
+that still reproduce the original failure (the runner's predicate also
+requires the candidate to still be valid, so the shrinker cannot wander
+into syntax errors).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_select
+from repro.sqldb.sql_render import render_statement
+
+#: Upper bound on candidates tried per round, to keep shrinking O(seconds).
+_MAX_CANDIDATES_PER_ROUND = 300
+
+
+def shrink_sql(
+    sql: str,
+    still_fails: Callable[[str], bool],
+    max_rounds: int = 50,
+) -> str:
+    """The smallest statement (by candidate order) still failing
+    *still_fails*.  Returns *sql* unchanged when nothing smaller fails."""
+    try:
+        current = parse_select(sql)
+    except Exception:
+        return sql
+    current_sql = render_statement(current)
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in _candidates(current):
+            candidate_sql = render_statement(candidate)
+            if candidate_sql == current_sql:
+                continue
+            try:
+                failed = still_fails(candidate_sql)
+            except Exception:
+                continue
+            if failed:
+                current, current_sql = candidate, candidate_sql
+                improved = True
+                break
+        if not improved:
+            return current_sql
+    return current_sql
+
+
+def clause_count(sql: str) -> int:
+    """A size metric for reproducers: boolean leaves in WHERE/HAVING plus
+    joins, grouping, ordering, set-operation branches, and extra select
+    items.  A 'minimal' reproducer per the acceptance bar has <= 3."""
+    statement = parse_select(sql)
+    if isinstance(statement, ast.CompoundSelect):
+        return sum(clause_count(render_statement(s)) for s in statement.selects)
+    count = 0
+    count += max(len(statement.select_items) - 1, 0)
+    if statement.where is not None:
+        count += _leaves(statement.where)
+    if statement.having is not None:
+        count += _leaves(statement.having)
+    count += len(statement.group_by)
+    count += len(statement.order_by)
+    if statement.limit is not None:
+        count += 1
+    if statement.from_clause is not None:
+        count += _join_count(statement.from_clause)
+    return count
+
+
+def _leaves(expr: ast.Expression) -> int:
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("and", "or"):
+        return _leaves(expr.left) + _leaves(expr.right)
+    if isinstance(expr, ast.UnaryOp) and expr.op == "not":
+        return _leaves(expr.operand)
+    return 1
+
+
+def _join_count(table: ast.TableExpression) -> int:
+    if isinstance(table, ast.Join):
+        return 1 + _join_count(table.left) + _join_count(table.right)
+    if isinstance(table, ast.DerivedTable):
+        return 1 + clause_count(render_statement(table.subquery))
+    return 0
+
+
+# -- candidate enumeration -----------------------------------------------------
+
+
+def _candidates(statement):
+    """Yield simplified copies of *statement*, most aggressive first."""
+    emitted = 0
+    for candidate in _statement_candidates(statement):
+        yield candidate
+        emitted += 1
+        if emitted >= _MAX_CANDIDATES_PER_ROUND:
+            return
+
+
+def _statement_candidates(statement):
+    if isinstance(statement, ast.CompoundSelect):
+        # Each branch alone, then the chain minus one branch.
+        for branch in statement.selects:
+            yield copy.deepcopy(branch)
+        if len(statement.selects) > 2:
+            for i in range(len(statement.selects)):
+                clone = copy.deepcopy(statement)
+                del clone.selects[i]
+                del clone.ops[min(i, len(clone.ops) - 1)]
+                yield clone
+        for i, branch in enumerate(statement.selects):
+            for simplified in _statement_candidates(branch):
+                clone = copy.deepcopy(statement)
+                clone.selects[i] = simplified
+                yield clone
+        return
+
+    # Drop whole clauses, cheapest wins first.
+    for attr, empty in (
+        ("where", None),
+        ("having", None),
+        ("order_by", []),
+        ("group_by", []),
+        ("limit", None),
+        ("offset", None),
+    ):
+        if getattr(statement, attr):
+            clone = copy.deepcopy(statement)
+            setattr(clone, attr, copy.copy(empty))
+            if attr == "limit":
+                clone.offset = None
+            if attr == "group_by":
+                # Grouping columns in the select list would no longer bind
+                # as plain columns; keep only aggregate items if any.
+                aggs = [
+                    item
+                    for item in clone.select_items
+                    if _has_aggregate(item.expression)
+                ]
+                if aggs:
+                    clone.select_items = aggs
+                clone.having = None
+                clone.order_by = []
+            yield clone
+    if statement.distinct:
+        clone = copy.deepcopy(statement)
+        clone.distinct = False
+        yield clone
+
+    # Fewer select items (keep order-by positions valid by dropping those).
+    if len(statement.select_items) > 1:
+        for i in range(len(statement.select_items)):
+            clone = copy.deepcopy(statement)
+            clone.select_items = [clone.select_items[i]]
+            clone.order_by = []
+            clone.group_by = []
+            clone.having = None
+            yield clone
+
+    # Simplify the FROM clause: replace each join by one side — both as-is
+    # (keeps the select list when it still binds) and as a compound
+    # candidate with the select list collapsed to COUNT(*), which survives
+    # dropping whichever table the remaining items referenced.
+    if statement.from_clause is not None:
+        for table in _table_candidates(statement.from_clause):
+            clone = copy.deepcopy(statement)
+            clone.from_clause = table
+            yield clone
+            reduced = copy.deepcopy(statement)
+            reduced.from_clause = copy.deepcopy(table)
+            reduced.select_items = [
+                ast.SelectItem(ast.FunctionCall("count", [ast.Star()]))
+            ]
+            reduced.order_by = []
+            reduced.group_by = []
+            reduced.having = None
+            reduced.distinct = False
+            yield reduced
+
+    # Simplify WHERE / HAVING expressions.
+    if statement.where is not None:
+        for expr in _expression_candidates(statement.where):
+            clone = copy.deepcopy(statement)
+            clone.where = expr
+            yield clone
+    if statement.having is not None:
+        for expr in _expression_candidates(statement.having):
+            clone = copy.deepcopy(statement)
+            clone.having = expr
+            yield clone
+
+
+def _table_candidates(table: ast.TableExpression):
+    if isinstance(table, ast.Join):
+        yield copy.deepcopy(table.left)
+        yield copy.deepcopy(table.right)
+        for left in _table_candidates(table.left):
+            yield ast.Join(
+                table.join_type, left, copy.deepcopy(table.right), copy.deepcopy(table.condition)
+            )
+        for right in _table_candidates(table.right):
+            yield ast.Join(
+                table.join_type, copy.deepcopy(table.left), right, copy.deepcopy(table.condition)
+            )
+    elif isinstance(table, ast.DerivedTable):
+        for sub in _statement_candidates(table.subquery):
+            yield ast.DerivedTable(sub, table.alias)
+
+
+def _expression_candidates(expr: ast.Expression):
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("and", "or"):
+        yield copy.deepcopy(expr.left)
+        yield copy.deepcopy(expr.right)
+        for left in _expression_candidates(expr.left):
+            yield ast.BinaryOp(expr.op, left, copy.deepcopy(expr.right))
+        for right in _expression_candidates(expr.right):
+            yield ast.BinaryOp(expr.op, copy.deepcopy(expr.left), right)
+    elif isinstance(expr, ast.UnaryOp) and expr.op == "not":
+        yield copy.deepcopy(expr.operand)
+        for inner in _expression_candidates(expr.operand):
+            yield ast.UnaryOp("not", inner)
+    elif isinstance(expr, ast.Between):
+        yield ast.BinaryOp(">=", copy.deepcopy(expr.operand), copy.deepcopy(expr.low))
+        yield ast.BinaryOp("<=", copy.deepcopy(expr.operand), copy.deepcopy(expr.high))
+    elif isinstance(expr, ast.InList) and len(expr.items) > 1:
+        for item in expr.items:
+            yield ast.InList(
+                copy.deepcopy(expr.operand), [copy.deepcopy(item)], expr.negated
+            )
+    elif isinstance(expr, (ast.InSubquery, ast.Exists)):
+        for sub in _statement_candidates(expr.subquery):
+            clone = copy.deepcopy(expr)
+            clone.subquery = sub
+            yield clone
+
+
+def _has_aggregate(expr: ast.Expression) -> bool:
+    return any(
+        isinstance(node, ast.FunctionCall) and node.is_aggregate
+        for node in expr.walk()
+    )
+
+
+__all__ = ["shrink_sql", "clause_count"]

@@ -53,10 +53,16 @@ class Placeholder(Expression):
 
 @dataclass
 class ColumnRef(Expression):
-    """A (possibly qualified) column reference."""
+    """A (possibly qualified) column reference.
+
+    ``position`` is the character offset of the reference in the source text
+    (None for synthesized nodes); it is excluded from equality so structural
+    AST comparisons (render round-trips, template substitution) ignore it.
+    """
 
     column: str
     table: Optional[str] = None
+    position: Optional[int] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"{self.table}.{self.column}" if self.table else self.column
@@ -140,6 +146,7 @@ class FunctionCall(Expression):
     name: str
     args: list[Expression]
     distinct: bool = False
+    position: Optional[int] = field(default=None, compare=False, repr=False)
 
     AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
 
@@ -187,6 +194,7 @@ class TableRef(TableExpression):
 
     name: str
     alias: Optional[str] = None
+    position: Optional[int] = field(default=None, compare=False, repr=False)
 
     @property
     def binding_name(self) -> str:

@@ -73,17 +73,24 @@ class Scope:
                 if relation.binding == ref.table:
                     if not relation.has(ref.column):
                         raise BindError(
-                            f'column {ref.table}.{ref.column} does not exist'
+                            f'column {ref.table}.{ref.column} does not exist',
+                            position=ref.position,
                         )
                     return relation.binding, relation.columns[ref.column]
             raise BindError(
-                f'missing FROM-clause entry for table "{ref.table}"'
+                f'missing FROM-clause entry for table "{ref.table}"',
+                position=ref.position,
             )
         matches = [r for r in self.relations if r.has(ref.column)]
         if not matches:
-            raise BindError(f'column "{ref.column}" does not exist')
+            raise BindError(
+                f'column "{ref.column}" does not exist', position=ref.position
+            )
         if len(matches) > 1:
-            raise BindError(f'column reference "{ref.column}" is ambiguous')
+            raise BindError(
+                f'column reference "{ref.column}" is ambiguous',
+                position=ref.position,
+            )
         return matches[0].binding, matches[0].columns[ref.column]
 
     @property
@@ -188,7 +195,10 @@ class Binder:
     def _collect_relations(self, node: ast.TableExpression, scope: Scope) -> None:
         if isinstance(node, ast.TableRef):
             if not self._catalog.has_table(node.name):
-                raise BindError(f'relation "{node.name}" does not exist')
+                raise BindError(
+                    f'relation "{node.name}" does not exist',
+                    position=node.position,
+                )
             meta = self._catalog.table(node.name)
             scope.add(
                 RelationSchema(
@@ -357,7 +367,10 @@ class Binder:
         name = call.name
         if call.is_aggregate:
             if not allow_aggregates:
-                raise BindError(f"aggregate function {name.upper()} is not allowed here")
+                raise BindError(
+                    f"aggregate function {name.upper()} is not allowed here",
+                    position=call.position,
+                )
             if name == "count":
                 if call.args and not isinstance(call.args[0], ast.Star):
                     self._bind_expression(call.args[0], scope, allow_aggregates=False)
@@ -373,7 +386,9 @@ class Binder:
                 return SqlType.DOUBLE if arg_type is SqlType.DOUBLE else SqlType.BIGINT
             return arg_type  # min/max
         if name not in SCALAR_FUNCTIONS:
-            raise BindError(f"function {name}() does not exist")
+            raise BindError(
+                f"function {name}() does not exist", position=call.position
+            )
         arg_types = [
             self._bind_expression(arg, scope, allow_aggregates) for arg in call.args
         ]

@@ -106,10 +106,18 @@ class Database:
     # -- query processing ------------------------------------------------------
 
     def plan(self, sql: str) -> Plan:
-        """Parse, bind, and plan *sql* without executing it."""
-        statement = parse_select(sql)
-        bound = self._binder.bind(statement)
-        return self._planner.plan(bound)
+        """Parse, bind, and plan *sql* without executing it.
+
+        Errors leave with the statement text attached, so callers (the LLM
+        repair loop, the fuzz shrinker) can render a line/column snippet via
+        :meth:`~repro.sqldb.errors.SqlError.context_snippet`.
+        """
+        try:
+            statement = parse_select(sql)
+            bound = self._binder.bind(statement)
+            return self._planner.plan(bound)
+        except SqlError as exc:
+            raise exc.attach_source(sql)
 
     def explain(self, sql: str) -> ExplainResult:
         """The equivalent of ``EXPLAIN <sql>``: estimates only, no execution.

@@ -5,13 +5,60 @@ lexing/parsing problems surface as :class:`SqlSyntaxError`, name-resolution
 and type problems as :class:`BindError`, and problems found while running a
 plan as :class:`ExecutionError`.  SQLBarber's check-and-rewrite loop relies on
 the distinction: syntax and binder errors are fed back to the LLM verbatim.
+
+Every error can carry the character offset of the offending token
+(``position``), and — once :meth:`SqlError.attach_source` has run, which
+:func:`repro.sqldb.parser.parse_select` and ``Database.plan`` do
+automatically — the 1-based ``line``/``column`` pair plus a caret snippet
+(:meth:`SqlError.context_snippet`).  The fuzz shrinker and the LLM repair
+prompts use the snippet to point at the exact token that broke.
 """
 
 from __future__ import annotations
 
 
+def line_column(sql: str, position: int) -> tuple[int, int]:
+    """1-based (line, column) of character offset *position* in *sql*."""
+    position = max(min(position, len(sql)), 0)
+    prefix = sql[:position]
+    line = prefix.count("\n") + 1
+    column = position - (prefix.rfind("\n") + 1) + 1
+    return line, column
+
+
 class SqlError(Exception):
-    """Base class for every error raised by :mod:`repro.sqldb`."""
+    """Base class for every error raised by :mod:`repro.sqldb`.
+
+    ``position`` is the character offset of the offending token in the
+    statement text (None when unknown); ``line``/``column`` are filled in by
+    :meth:`attach_source` once the raising layer knows the source text.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+        self.line: int | None = None
+        self.column: int | None = None
+        self.source: str | None = None
+
+    def attach_source(self, sql: str) -> "SqlError":
+        """Record the statement text and derive line/column from position."""
+        if self.source is None and sql is not None:
+            self.source = sql
+            if self.position is not None:
+                self.line, self.column = line_column(sql, self.position)
+        return self
+
+    def context_snippet(self) -> str | None:
+        """A PostgreSQL-style ``LINE n: ...`` excerpt with a caret marker.
+
+        Returns None until both a source and a position are known.
+        """
+        if self.source is None or self.position is None or self.line is None:
+            return None
+        text = self.source.split("\n")[self.line - 1]
+        caret_indent = " " * (len(f"LINE {self.line}: ") + self.column - 1)
+        return f"LINE {self.line}: {text}\n{caret_indent}^"
 
 
 class SqlSyntaxError(SqlError):
@@ -24,8 +71,7 @@ class SqlSyntaxError(SqlError):
     def __init__(self, message: str, position: int | None = None):
         if position is not None:
             message = f"{message} (position {position})"
-        super().__init__(message)
-        self.position = position
+        super().__init__(message, position)
 
 
 class BindError(SqlError):

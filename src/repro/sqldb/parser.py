@@ -37,10 +37,17 @@ _NON_RESERVED = frozenset(
 
 
 def parse_select(sql: str) -> ast.SelectStatement | ast.CompoundSelect:
-    """Parse *sql* into a (possibly UNION-compound) SELECT statement."""
-    parser = _Parser(tokenize(sql))
-    statement = parser.parse_statement()
-    parser.expect_end()
+    """Parse *sql* into a (possibly UNION-compound) SELECT statement.
+
+    Syntax errors leave the parser with line/column information attached
+    (see :meth:`~repro.sqldb.errors.SqlError.attach_source`).
+    """
+    try:
+        parser = _Parser(tokenize(sql))
+        statement = parser.parse_statement()
+        parser.expect_end()
+    except SqlSyntaxError as exc:
+        raise exc.attach_source(sql)
     return statement
 
 
@@ -265,13 +272,14 @@ class _Parser:
             inner = self._parse_table_expression()
             self._expect_punct(")")
             return inner
+        position = self._current.position
         name = self._expect_identifier("table name")
         alias = None
         if self._accept_keyword("as"):
             alias = self._expect_identifier("table alias")
         elif self._current.type is TokenType.IDENTIFIER:
             alias = self._advance().value
-        return ast.TableRef(name=name, alias=alias)
+        return ast.TableRef(name=name, alias=alias, position=position)
 
     # -- expressions (precedence climbing) ----------------------------------
 
@@ -422,10 +430,13 @@ class _Parser:
         raise AssertionError("unreachable")
 
     def _parse_identifier_expression(self) -> ast.Expression:
+        start = self._current
         name = self._advance().value
         # Function call?
         if self._current.type is TokenType.PUNCTUATION and self._current.value == "(":
-            return self._parse_function_call(name, already_consumed_name=True)
+            return self._parse_function_call(
+                name, already_consumed_name=True, position=start.position
+            )
         # Qualified reference?
         if self._accept_operator("."):
             token = self._current
@@ -433,13 +444,17 @@ class _Parser:
                 self._advance()
                 return ast.Star(table=name)
             column = self._expect_identifier("column name")
-            return ast.ColumnRef(column=column, table=name)
-        return ast.ColumnRef(column=name)
+            return ast.ColumnRef(column=column, table=name, position=start.position)
+        return ast.ColumnRef(column=name, position=start.position)
 
     def _parse_function_call(
-        self, name: str, already_consumed_name: bool = False
+        self,
+        name: str,
+        already_consumed_name: bool = False,
+        position: int | None = None,
     ) -> ast.Expression:
         if not already_consumed_name:
+            position = self._current.position
             self._advance()
         self._expect_punct("(")
         distinct = self._accept_keyword("distinct")
@@ -449,7 +464,9 @@ class _Parser:
             while self._accept_punct(","):
                 args.append(self._parse_expression())
             self._expect_punct(")")
-        return ast.FunctionCall(name=name, args=args, distinct=distinct)
+        return ast.FunctionCall(
+            name=name, args=args, distinct=distinct, position=position
+        )
 
     def _parse_case(self) -> ast.Expression:
         self._expect_keyword("case")

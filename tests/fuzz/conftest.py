@@ -1,0 +1,19 @@
+"""Shared fixtures for the fuzz suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzGrammar, build_fuzz_database
+
+
+@pytest.fixture(scope="module")
+def fuzz_db():
+    """The standard fuzz target (module-scoped: oracles bump its
+    statistics epoch, which is harmless but mutating)."""
+    return build_fuzz_database(0)
+
+
+@pytest.fixture()
+def grammar(fuzz_db):
+    return FuzzGrammar(fuzz_db.catalog, seed=11)

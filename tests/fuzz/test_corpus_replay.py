@@ -1,0 +1,77 @@
+"""Regression corpus: persistence round-trips and pytest replay.
+
+Every JSON file under ``tests/fuzz/corpus/`` is one past disagreement
+(shrunk to its minimal reproducer) or a seeded regression case; replaying
+it against the standard fuzz database must come back clean.  A failure
+here means a previously-fixed engine disagreement has resurfaced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import Corpus, CorpusEntry
+from repro.fuzz.runner import replay_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+_ENTRIES = Corpus(CORPUS_DIR).entries()
+
+
+class TestPersistence:
+    def test_append_load_round_trip(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        entry = CorpusEntry.create(
+            "round_trip",
+            "SELECT t0.age FROM users AS t0 WHERE t0.age > 30",
+            detail="demo",
+            seed=7,
+            index=12,
+            grammar_version="1",
+        )
+        path = corpus.append(entry)
+        assert path is not None and path.exists()
+        [loaded] = corpus.entries()
+        assert loaded == entry
+
+    def test_append_is_idempotent(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        entry = CorpusEntry.create("execution", "SELECT 1")
+        assert corpus.append(entry) is not None
+        assert corpus.append(entry) is None
+        assert len(corpus.entries()) == 1
+
+    def test_entry_id_is_content_addressed(self):
+        a = CorpusEntry.create("execution", "SELECT 1", detail="x")
+        b = CorpusEntry.create("execution", "SELECT 1", detail="y")
+        c = CorpusEntry.create("round_trip", "SELECT 1")
+        assert a.entry_id == b.entry_id
+        assert a.entry_id != c.entry_id
+
+    def test_entry_json_is_deterministic(self):
+        entry = CorpusEntry.create("execution", "SELECT 1", seed=3)
+        assert entry.to_json() == entry.to_json()
+        assert '"entry_id"' in entry.to_json()
+
+
+class TestReplay:
+    def test_corpus_is_not_empty(self):
+        # The corpus ships with seeded regression cases; an accidentally
+        # emptied directory would silently disable replay coverage.
+        assert len(_ENTRIES) >= 3
+
+    @pytest.mark.parametrize(
+        "entry", _ENTRIES, ids=[e.entry_id for e in _ENTRIES]
+    )
+    def test_replay_stays_clean(self, fuzz_db, entry):
+        detail = replay_entry(fuzz_db, entry, seed=entry.seed or 0)
+        assert detail is None, (
+            f"corpus regression {entry.entry_id} resurfaced under oracle "
+            f"{entry.oracle!r}: {detail}\nsql: {entry.sql}"
+        )
+
+    def test_unknown_oracle_fails_loudly(self, fuzz_db):
+        entry = CorpusEntry.create("no_such_oracle", "SELECT 1")
+        assert "unknown oracle" in replay_entry(fuzz_db, entry)

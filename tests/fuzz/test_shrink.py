@@ -1,0 +1,142 @@
+"""Shrinker: convergence on a planted bug, and the size metric it targets.
+
+The acceptance scenario: an estimator bug is injected (monkeypatched) so
+cached EXPLAIN results are corrupted for any statement containing BETWEEN.
+The cache oracle must catch the disagreement, and the shrinker must reduce
+the sprawling original statement to a <= 3-clause reproducer that lands in
+the regression corpus.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.fastpath.cache import ExplainCache
+from repro.fuzz import Corpus, FuzzRunner, build_fuzz_database, clause_count
+from repro.fuzz.grammar import GeneratedStatement
+from repro.fuzz.oracles import ExplainCacheOracle
+from repro.fuzz.shrink import shrink_sql
+from repro.sqldb.explain import ExplainResult
+
+PLANTED_SQL = (
+    "SELECT t0.age, t0.name, coalesce(t0.city, 'nowhere') AS e2 "
+    "FROM users AS t0 "
+    "WHERE (t0.age BETWEEN 30 AND 40 AND t0.name LIKE 'user_1%') "
+    "OR t0.city IS NULL "
+    "ORDER BY 1 DESC, 2 LIMIT 25 OFFSET 3"
+)
+
+
+def _plant_cache_bug(monkeypatch):
+    """Corrupt cached estimates for statements containing BETWEEN.
+
+    The cold pipeline (direct plan + explain) stays honest, so the cache
+    oracle sees cold vs cached disagree — exactly the class of bug the
+    EXPLAIN cache layer could realistically introduce."""
+    original = ExplainCache.get_or_compute
+
+    def corrupted(self, key, epoch, compute):
+        result = original(self, key, epoch, compute)
+        if "BETWEEN" in key:
+            return ExplainResult(
+                estimated_rows=result.estimated_rows + 1000.0,
+                startup_cost=result.startup_cost,
+                total_cost=result.total_cost,
+                plan_text=result.plan_text,
+            )
+        return result
+
+    monkeypatch.setattr(ExplainCache, "get_or_compute", corrupted)
+
+
+class TestPlantedBug:
+    def test_oracle_catches_and_shrinker_minimizes(self, monkeypatch, tmp_path):
+        _plant_cache_bug(monkeypatch)
+        db = build_fuzz_database(0)
+        corpus = Corpus(tmp_path / "corpus")
+        runner = FuzzRunner(
+            db=db,
+            seed=0,
+            oracles=[ExplainCacheOracle()],
+            corpus=corpus,
+            shrink=True,
+        )
+        gen = GeneratedStatement(index=0, sql=PLANTED_SQL, shape="simple")
+        runner.grammar.statement = lambda index: gen  # inject the case
+        report = runner.run(budget=1)
+
+        assert not report.ok
+        [disagreement] = report.disagreements
+        assert disagreement.oracle == "explain_cache"
+        assert "cold vs cached" in disagreement.detail
+
+        # Shrunk to a minimal reproducer that still contains the trigger.
+        shrunk = disagreement.shrunk_sql
+        assert shrunk is not None
+        assert "BETWEEN" in shrunk
+        assert clause_count(shrunk) <= 3
+        assert len(shrunk) < len(PLANTED_SQL)
+        # The noise is gone.
+        for gone in ("LIKE", "IS NULL", "ORDER BY", "LIMIT", "coalesce"):
+            assert gone not in shrunk, shrunk
+
+        # ... and landed in the corpus.
+        [entry_file] = sorted((tmp_path / "corpus").glob("*.json"))
+        data = json.loads(entry_file.read_text())
+        assert data["sql"] == shrunk
+        assert data["oracle"] == "explain_cache"
+        assert data["shrunk_from"] == PLANTED_SQL
+        assert report.corpus_added == [data["entry_id"]]
+
+    def test_without_bug_the_same_statement_passes(self):
+        db = build_fuzz_database(0)
+        runner = FuzzRunner(db=db, seed=0, oracles=[ExplainCacheOracle()])
+        gen = GeneratedStatement(index=0, sql=PLANTED_SQL, shape="simple")
+        runner.grammar.statement = lambda index: gen
+        report = runner.run(budget=1)
+        assert report.ok, report.to_json()
+
+
+class TestShrinkMechanics:
+    def test_shrink_is_a_fixpoint_under_monotone_predicates(self, fuzz_db):
+        # Predicate: "mentions the orders table" — minimal statement is a
+        # bare single-column select from orders.
+        sql = (
+            "SELECT t0.name, t1.amount FROM users AS t0 "
+            "JOIN orders AS t1 ON t0.user_id = t1.user_id "
+            "WHERE t1.amount > 10 AND t0.age < 60 ORDER BY 1 LIMIT 5"
+        )
+
+        def still_fails(candidate: str) -> bool:
+            ok, _ = fuzz_db.validate(candidate)
+            return ok and "orders" in candidate
+
+        shrunk = shrink_sql(sql, still_fails)
+        assert "orders" in shrunk
+        assert "users" not in shrunk
+        assert clause_count(shrunk) <= 1
+
+    def test_shrink_returns_input_when_nothing_smaller_fails(self, fuzz_db):
+        sql = "SELECT t0.user_id FROM users AS t0"
+
+        def still_fails(candidate: str) -> bool:
+            ok, _ = fuzz_db.validate(candidate)
+            return ok and candidate == sql
+
+        assert shrink_sql(sql, still_fails) == sql
+
+
+class TestClauseCount:
+    def test_counts_where_leaves_and_joins(self):
+        assert clause_count("SELECT a FROM t") == 0
+        assert clause_count("SELECT a FROM t WHERE a > 1") == 1
+        assert clause_count("SELECT a FROM t WHERE a > 1 AND b < 2") == 2
+        assert (
+            clause_count(
+                "SELECT a FROM t JOIN s ON t.a = s.a WHERE t.a > 1 OR t.b < 2"
+            )
+            == 3
+        )
+
+    def test_counts_order_limit_and_extra_items(self):
+        assert clause_count("SELECT a, b FROM t ORDER BY 1 LIMIT 3") == 3

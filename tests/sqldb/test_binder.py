@@ -184,3 +184,45 @@ class TestOrderByBinding:
     def test_order_by_unknown_column(self, binder):
         with pytest.raises(BindError):
             bind(binder, "SELECT age FROM users ORDER BY salary")
+
+
+class TestErrorPositions:
+    """Bind errors carry the source offset of the offending token, and
+    Database.plan attaches line/column plus a caret snippet."""
+
+    def test_unknown_column_position(self, binder):
+        sql = "SELECT nope FROM users"
+        with pytest.raises(BindError) as excinfo:
+            bind(binder, sql)
+        assert excinfo.value.position == sql.index("nope")
+
+    def test_unknown_table_position(self, binder):
+        sql = "SELECT age FROM ghosts"
+        with pytest.raises(BindError) as excinfo:
+            bind(binder, sql)
+        assert excinfo.value.position == sql.index("ghosts")
+
+    def test_unknown_function_position(self, binder):
+        sql = "SELECT frobnicate(age) FROM users"
+        with pytest.raises(BindError) as excinfo:
+            bind(binder, sql)
+        assert excinfo.value.position == sql.index("frobnicate")
+
+    def test_ambiguous_column_position(self, binder):
+        sql = (
+            "SELECT user_id FROM users "
+            "JOIN orders ON users.user_id = orders.user_id"
+        )
+        with pytest.raises(BindError) as excinfo:
+            bind(binder, sql)
+        assert excinfo.value.position == sql.index("user_id")
+
+    def test_database_plan_attaches_line_column(self, db):
+        sql = "SELECT age,\n       nope\nFROM users"
+        with pytest.raises(BindError) as excinfo:
+            db.plan(sql)
+        err = excinfo.value
+        assert (err.line, err.column) == (2, 8)
+        snippet = err.context_snippet()
+        assert snippet.startswith("LINE 2:        nope")
+        assert snippet.splitlines()[1].index("^") == len("LINE 2: ") + 7

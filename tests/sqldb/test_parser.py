@@ -271,3 +271,37 @@ class TestWalk:
         stmt = parse_select("SELECT CASE WHEN a = 1 THEN b ELSE c END FROM t")
         refs = [n.column for n in stmt.walk() if isinstance(n, ast.ColumnRef)]
         assert set(refs) == {"a", "b", "c"}
+
+
+class TestErrorPositions:
+    """Syntax errors point at the offending token (offset + line/column)."""
+
+    def test_position_and_line_column(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_select("select from t")
+        err = excinfo.value
+        assert err.position == 7  # the FROM keyword
+        assert (err.line, err.column) == (1, 8)
+
+    def test_multiline_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_select("select a\nfrom t\nwhere a >")
+        err = excinfo.value
+        assert err.position == len("select a\nfrom t\nwhere a >")
+        assert err.line == 3
+
+    def test_context_snippet_caret(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_select("select a,, b from t")
+        snippet = excinfo.value.context_snippet()
+        assert snippet is not None
+        line, caret = snippet.split("\n")
+        assert line == "LINE 1: select a,, b from t"
+        # The caret column lines up with the second comma.
+        assert caret.index("^") == len("LINE 1: ") + line[len("LINE 1: "):].index(",,") + 1
+
+    def test_trailing_input_position(self):
+        sql = "select a from t banana extra"
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_select(sql)
+        assert excinfo.value.position == sql.index("extra")

@@ -121,3 +121,29 @@ class TestCommands:
     def test_run_benchmark_unknown_name(self):
         with pytest.raises(KeyError):
             main(["run-benchmark", "--name", "nope"])
+
+
+class TestFuzz:
+    def test_fuzz_reports_json_and_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--budget", "25"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["statements"] == 25
+        assert payload["disagreements"] == []
+        assert set(payload["oracles"]) >= {"round_trip", "explain_cache"}
+
+    def test_fuzz_report_is_reproducible(self, capsys):
+        assert main(["fuzz", "--seed", "11", "--budget", "15"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fuzz", "--seed", "11", "--budget", "15"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_fuzz_writes_corpus_dir(self, capsys, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        code = main([
+            "fuzz", "--seed", "7", "--budget", "5",
+            "--corpus", str(corpus_dir), "--no-shrink",
+        ])
+        assert code == 0
+        # Clean run: no entries written, directory untouched or empty.
+        assert not list(corpus_dir.glob("*.json")) if corpus_dir.exists() else True
