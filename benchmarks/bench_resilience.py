@@ -1,0 +1,169 @@
+"""Resilience overhead benchmark: what does the safety net cost when
+nothing goes wrong?
+
+Standalone (not a pytest-benchmark figure — run it directly):
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py           # full run
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke   # CI smoke
+
+Runs the same small end-to-end pipeline (fuzz database, two specs, 16
+queries) three ways and compares wall-clock:
+
+* ``plain`` — bare ``SimulatedLLM``, no wrapper, no checkpoints;
+* ``wrapped`` — the same client behind ``ResilientLLMClient`` (retry +
+  breaker + budget guard armed, zero faults injected);
+* ``checkpointed`` — wrapped *and* saving a checkpoint after every stage
+  and every 4 templates.
+
+All three must produce bit-identical fingerprints; ``--check`` additionally
+enforces the acceptance bar (wrapped overhead < 5% over plain, measured on
+best-of-N to shave scheduler noise).  A fourth ``storm`` phase runs under a
+40% transport-fault storm purely to report what recovery costs — it has no
+threshold, since its work depends on how many faults the seed draws.
+
+Writes ``BENCH_resilience.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.core import BarberConfig, SQLBarber
+from repro.fuzz.runner import build_fuzz_database
+from repro.llm import SimulatedLLM, TransportFaultModel
+from repro.obs import Telemetry
+from repro.resilience import ResilientLLMClient, RetryPolicy, SimulatedClock
+from repro.workload import CostDistribution, TemplateSpec
+
+SEED = 5
+
+SPECS = [
+    TemplateSpec(spec_id="bench_a", num_joins=1, num_aggregations=1),
+    TemplateSpec(spec_id="bench_b", num_joins=0, require_order_by=True),
+]
+DISTRIBUTION = CostDistribution.uniform(0.0, 200.0, 16, 4)
+
+
+def run_once(db, mode: str, storm=None) -> tuple[float, str, Telemetry]:
+    """One pipeline run; returns (seconds, fingerprint, telemetry)."""
+    inner = SimulatedLLM(seed=SEED, transport_faults=storm)
+    if mode == "plain":
+        llm = inner
+    else:
+        llm = ResilientLLMClient(
+            inner,
+            retry=RetryPolicy(max_attempts=6, base_delay_seconds=0.01),
+            clock=SimulatedClock(),  # backoff costs zero wall-clock
+            jitter_seed=SEED + 1,
+            max_tokens=10_000_000,  # armed but never tripped
+        )
+    barber = SQLBarber(db, llm=llm, config=BarberConfig(seed=SEED))
+    telemetry = Telemetry()
+    workdir = tempfile.mkdtemp(prefix="bench-resilience-") if mode == "checkpointed" else None
+    try:
+        started = time.perf_counter()
+        result = barber.generate_workload(
+            SPECS, DISTRIBUTION, telemetry=telemetry, checkpoint_dir=workdir
+        )
+        seconds = time.perf_counter() - started
+    finally:
+        if workdir is not None:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return seconds, result.fingerprint_json(), telemetry
+
+
+def bench_mode(db, mode: str, repeats: int, storm=None) -> dict:
+    times, fingerprints, last_telemetry = [], set(), None
+    for _ in range(repeats):
+        seconds, fingerprint, last_telemetry = run_once(db, mode, storm=storm)
+        times.append(seconds)
+        fingerprints.add(fingerprint)
+    entry = {
+        "repeats": repeats,
+        "best_seconds": round(min(times), 4),
+        "mean_seconds": round(sum(times) / len(times), 4),
+        "deterministic": len(fingerprints) == 1,
+    }
+    if mode == "checkpointed":
+        entry["checkpoint_saves"] = int(
+            last_telemetry.metrics.total("checkpoint.saves")
+        )
+    if storm is not None:
+        metrics = last_telemetry.metrics
+        entry["faults_injected"] = int(metrics.total("llm.transport.injected"))
+        entry["retry_attempts"] = int(metrics.total("llm.retry.attempts"))
+        entry["retries_recovered"] = int(metrics.total("llm.retry.recovered"))
+    return entry, fingerprints
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=9,
+                        help="runs per mode (best-of is compared)")
+    parser.add_argument("--output", "-o", default="BENCH_resilience.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration (fast, no thresholds)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless wrapped overhead < 5% over plain")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.repeats = 3
+
+    db = build_fuzz_database(0)
+    run_once(db, "wrapped")  # warm imports/caches off the clock
+
+    plain, plain_fp = bench_mode(db, "plain", args.repeats)
+    wrapped, wrapped_fp = bench_mode(db, "wrapped", args.repeats)
+    checkpointed, checkpointed_fp = bench_mode(db, "checkpointed", args.repeats)
+    storm, _ = bench_mode(
+        db, "storm", max(args.repeats // 3, 1),
+        storm=TransportFaultModel.storm(0.4),
+    )
+
+    identical = plain_fp == wrapped_fp == checkpointed_fp and len(plain_fp) == 1
+    wrapped_overhead = (
+        (wrapped["best_seconds"] - plain["best_seconds"])
+        / plain["best_seconds"] * 100.0
+    )
+    checkpoint_overhead = (
+        (checkpointed["best_seconds"] - plain["best_seconds"])
+        / plain["best_seconds"] * 100.0
+    )
+    report = {
+        "benchmark": "resilience",
+        "smoke": args.smoke,
+        "plain": plain,
+        "wrapped": wrapped,
+        "checkpointed": checkpointed,
+        "storm": storm,
+        "fingerprints_identical": identical,
+        "wrapped_overhead_percent": round(wrapped_overhead, 2),
+        "checkpoint_overhead_percent": round(checkpoint_overhead, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+
+    if not identical:
+        print(
+            "FAIL: plain/wrapped/checkpointed fingerprints diverged",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and wrapped_overhead >= 5.0:
+        print(
+            f"FAIL: fault-free wrapper overhead {wrapped_overhead:.2f}% >= 5%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,10 @@ Commands:
 * ``benchmarks``     — list the ten paper benchmarks (Table 1);
 * ``run-benchmark``  — run one method on one benchmark and print metrics;
 * ``trace-report``   — per-stage time/token/call breakdown of a trace file;
-* ``fuzz``           — grammar-fuzz the SQL engine against its oracles.
+* ``fuzz``           — grammar-fuzz the SQL engine against its oracles;
+* ``chaos``          — run the pipeline under a seeded transport-fault
+  storm with kills and budget exhaustion, verifying graceful degradation
+  and bit-identical resume.
 
 Output discipline: *data* (schema text, tables, JSON summaries, reports)
 goes to stdout; *diagnostics* (progress, target histograms) go through the
@@ -100,6 +103,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the EXPLAIN result cache (debugging escape hatch)",
     )
     generate.add_argument("--time-budget", type=float, default=300.0)
+    generate.add_argument(
+        "--max-tokens", type=int, default=None,
+        help="hard LLM token ceiling; the run aborts gracefully (partial "
+             "result, exit 1) when reached",
+    )
+    generate.add_argument(
+        "--max-cost-dollars", type=float, default=None,
+        help="hard LLM spend ceiling in USD (see --max-tokens)",
+    )
+    generate.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="save resumable run state here after every stage (and every "
+             "few templates within stages)",
+    )
+    generate.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint-dir's checkpoint; the resumed run "
+             "is bit-identical to an uninterrupted one",
+    )
     generate.add_argument("--output", "-o", default=None,
                           help="JSONL output path (default: stdout summary only)")
     generate.add_argument(
@@ -161,6 +183,21 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--no-shrink", action="store_true",
         help="record failures without delta-debugging them first",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the pipeline under seeded transport-fault storms, kills, "
+             "and budget exhaustion",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--runs", type=int, default=30,
+        help="number of chaos runs (cycling storm / kill / budget scenarios)",
+    )
+    chaos.add_argument(
+        "--intensity", type=float, default=0.3,
+        help="upper bound on the total per-call transport-fault probability",
     )
     return parser
 
@@ -236,11 +273,14 @@ def cmd_generate(args) -> int:
             seed=args.seed,
             workers=args.workers,
             parallel_backend=args.parallel_backend,
+            max_tokens=args.max_tokens,
+            max_cost_dollars=args.max_cost_dollars,
         ),
         sinks=_telemetry_sinks(args.trace_out),
     )
     result = barber.generate_workload(
-        specs, distribution, time_budget_seconds=args.time_budget
+        specs, distribution, time_budget_seconds=args.time_budget,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
     )
     logger.info(
         "generated %d/%d queries in %.1fs; Wasserstein distance %.2f; "
@@ -249,6 +289,13 @@ def cmd_generate(args) -> int:
         result.elapsed_seconds, result.final_distance,
         result.num_templates, result.llm_usage["total_tokens"],
     )
+    if result.aborted:
+        logger.warning(
+            "run aborted in stage %s (%s); partial result%s",
+            result.abort_stage, result.abort_reason,
+            f"; resume with --checkpoint-dir {args.checkpoint_dir} --resume"
+            if args.checkpoint_dir else "",
+        )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(result.workload.to_jsonl())
@@ -268,6 +315,10 @@ def cmd_generate(args) -> int:
         },
         "llm_usage": result.llm_usage,
         "explain_cache": db.explain_cache.stats(),
+        "aborted": result.aborted,
+        "abort_stage": result.abort_stage,
+        "abort_reason": result.abort_reason,
+        "checkpoint": result.checkpoint_path,
         "output": args.output,
         "trace": args.trace_out,
     }
@@ -355,6 +406,29 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    """`repro chaos`: seeded chaos campaign; JSON report on stdout.
+
+    Exit code 0 iff every run completed, aborted gracefully, or resumed
+    bit-identically after its injected kill.  The report is byte-identical
+    across runs with the same seed/runs/intensity, so CI can diff two runs
+    to prove reproducibility.
+    """
+    from repro.resilience import run_chaos_campaign
+
+    report = run_chaos_campaign(
+        seed=args.seed, runs=args.runs, intensity=args.intensity
+    )
+    print(report.to_json(), end="")
+    logger.info(
+        "chaos: %d runs, %d completed, %d aborted, %d kills, "
+        "%d resumed identical, %d failures",
+        report.runs, report.completed, report.aborted, report.kills_fired,
+        report.resumed_identical, len(report.failures),
+    )
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -366,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
         "run-benchmark": cmd_run_benchmark,
         "trace-report": cmd_trace_report,
         "fuzz": cmd_fuzz,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

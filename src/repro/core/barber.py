@@ -31,7 +31,22 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.llm import LLMClient, SimulatedLLM
+from repro.llm.errors import PIPELINE_ABORT_ERRORS
 from repro.obs import Telemetry, use_telemetry
+from repro.resilience import CheckpointManager, ResilientLLMClient
+from repro.resilience.checkpoint import (
+    canonical_json,
+    profile_from_state,
+    profile_to_state,
+    refinement_from_state,
+    restore_usage,
+    run_key,
+    template_from_state,
+    template_to_state,
+    trace_from_state,
+    trace_to_state,
+    usage_to_state,
+)
 from repro.sqldb import Database
 from repro.workload import (
     CostDistribution,
@@ -61,7 +76,8 @@ class WorkloadResult:
     profiles: list[TemplateProfile]
     generation_report: TemplateGenerationReport
     refinement: RefinementResult | None
-    search: SearchResult
+    # None when the run aborted before the search stage.
+    search: SearchResult | None
     elapsed_seconds: float
     distance_trace: list[tuple[float, float]] = field(default_factory=list)
     llm_usage: dict = field(default_factory=dict)
@@ -70,6 +86,13 @@ class WorkloadResult:
     # The run's Telemetry: trace tree (telemetry.tracer.roots) and metrics
     # (telemetry.metrics.snapshot()).
     telemetry: Telemetry | None = None
+    # Graceful degradation: a stage abort (budget exhausted, retries
+    # exhausted, circuit stuck open) yields this partial-but-valid result
+    # instead of an exception.  Resume from `checkpoint_path` if set.
+    aborted: bool = False
+    abort_stage: str | None = None
+    abort_reason: str | None = None
+    checkpoint_path: str | None = None
 
     @property
     def final_distance(self) -> float:
@@ -77,7 +100,33 @@ class WorkloadResult:
 
     @property
     def complete(self) -> bool:
-        return self.tracker.complete
+        return not self.aborted and self.tracker.complete
+
+    def fingerprint(self) -> dict:
+        """The run's semantic content, minus anything wall-clock dependent.
+
+        Two runs with identical fingerprints produced the same workload —
+        the equality the chaos campaign asserts between an uninterrupted
+        run and a killed-then-resumed one.
+        """
+        return {
+            "queries": [q.to_json() for q in self.workload.queries],
+            "templates": [
+                {"template_id": t.template_id, "sql": t.sql} for t in self.templates
+            ],
+            "profiles": [
+                {"template_id": p.template.template_id, "costs": p.costs}
+                for p in self.profiles
+            ],
+            "final_distance": self.tracker.wasserstein,
+            "llm_usage": dict(self.llm_usage),
+            "aborted": self.aborted,
+            "abort_stage": self.abort_stage,
+            "complete": self.complete,
+        }
+
+    def fingerprint_json(self) -> str:
+        return canonical_json(self.fingerprint())
 
     @property
     def num_templates(self) -> int:
@@ -122,6 +171,18 @@ class SQLBarber:
         self.db = db
         self.config = config or BarberConfig()
         self.llm = llm if llm is not None else SimulatedLLM(seed=self.config.seed)
+        if (
+            self.config.max_tokens is not None
+            or self.config.max_cost_dollars is not None
+        ) and not isinstance(self.llm, ResilientLLMClient):
+            # Budgeted runs get the resilient wrapper automatically so the
+            # ceilings are enforced on every call path.
+            self.llm = ResilientLLMClient(
+                self.llm,
+                max_tokens=self.config.max_tokens,
+                max_cost_dollars=self.config.max_cost_dollars,
+                jitter_seed=self.config.seed + 101,
+            )
         self.schema = schema_payload(db)
         # Telemetry sinks attached to every generate_workload run (a fresh
         # Telemetry is created per run; sinks are closed when it finishes,
@@ -166,6 +227,9 @@ class SQLBarber:
         templates: list[SqlTemplate] | None = None,
         time_budget_seconds: float | None = None,
         telemetry: Telemetry | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        on_checkpoint_save=None,
     ) -> WorkloadResult:
         """The full pipeline: templates -> profile -> refine/prune -> BO search.
 
@@ -173,13 +237,34 @@ class SQLBarber:
         ablations and by callers that iterate on the same template pool).
         A caller-supplied *telemetry* overrides the per-run default (fresh
         :class:`~repro.obs.Telemetry` over the constructor's sinks).
+
+        With *checkpoint_dir* set, the run saves its state after every
+        stage (and every ``config.checkpoint_every_templates`` templates
+        inside profiling, every iteration inside refinement) to a
+        content-hashed JSON file.  ``resume=True`` picks the run up from
+        that file, bit-identically: a killed-and-resumed run fingerprints
+        the same as an uninterrupted one.  *on_checkpoint_save* is a hook
+        called after each durable save (the chaos harness's kill switch).
         """
+        manager = None
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(
+                checkpoint_dir,
+                run_key(specs, distribution, self.config, self.db.name),
+                on_save=on_checkpoint_save,
+            )
         run_telemetry = (
             telemetry if telemetry is not None else Telemetry(sinks=self.sinks)
         )
         with use_telemetry(run_telemetry):
             result = self._generate_workload(
-                specs, distribution, templates, time_budget_seconds, run_telemetry
+                specs,
+                distribution,
+                templates,
+                time_budget_seconds,
+                run_telemetry,
+                manager,
+                resume,
             )
         run_telemetry.finish()
         result.telemetry = run_telemetry
@@ -192,6 +277,8 @@ class SQLBarber:
         templates: list[SqlTemplate] | None,
         time_budget_seconds: float | None,
         telemetry: Telemetry,
+        manager: CheckpointManager | None = None,
+        resume: bool = False,
     ) -> WorkloadResult:
         started = time.perf_counter()
         budget = (
@@ -201,6 +288,48 @@ class SQLBarber:
         )
         stage_seconds: dict[str, float] = {}
 
+        state = manager.load() if (manager is not None and resume) else None
+        resume_stage = state.get("stage") if state is not None else None
+        if state is not None:
+            # Rewind the LLM to the exact stream positions and spend the
+            # saved run had — the resumed trajectory must coincide with an
+            # uninterrupted run's, call for call.
+            if state.get("llm_rng") is not None:
+                self.llm.set_rng_state(state["llm_rng"])
+            restore_usage(self.llm.usage, state["usage"])
+
+        aborted = False
+        abort_stage: str | None = None
+        abort_reason: str | None = None
+        report = TemplateGenerationReport()
+        profiles: list[TemplateProfile] = []
+        refinement: RefinementResult | None = None
+        search_result: SearchResult | None = None
+
+        def abort(stage: str, error: Exception) -> None:
+            nonlocal aborted, abort_stage, abort_reason
+            aborted = True
+            abort_stage = stage
+            abort_reason = f"{type(error).__name__}: {error}"
+            if telemetry.enabled:
+                telemetry.count(
+                    "pipeline.aborted", stage=stage, error=type(error).__name__
+                )
+
+        def save(stage: str, **extra) -> None:
+            if manager is None:
+                return
+            manager.save(
+                {
+                    "stage": stage,
+                    "templates": [template_to_state(t) for t in (templates or [])],
+                    "traces": [trace_to_state(t) for t in report.traces],
+                    "llm_rng": self.llm.rng_state(),
+                    "usage": usage_to_state(self.llm.usage),
+                    **extra,
+                }
+            )
+
         with telemetry.span(
             "generate_workload",
             db=self.db.name,
@@ -208,76 +337,197 @@ class SQLBarber:
             num_intervals=distribution.num_intervals,
             cost_type=distribution.cost_type,
             num_specs=len(specs),
+            resumed=state is not None,
         ) as root:
             with self._stage(telemetry, "templates", stage_seconds) as span:
-                if templates is None:
-                    templates, report = self.generate_templates(specs)
-                else:
-                    report = TemplateGenerationReport()
+                if state is not None:
+                    templates = [template_from_state(t) for t in state["templates"]]
+                    report = TemplateGenerationReport(
+                        traces=[trace_from_state(t) for t in state["traces"]]
+                    )
+                    span.set(resumed=True)
+                elif templates is None:
+                    try:
+                        templates, report = self.generate_templates(specs)
+                    except PIPELINE_ABORT_ERRORS as error:
+                        templates = []
+                        abort("templates", error)
                 span.set(
-                    templates=len(templates),
+                    templates=len(templates or []),
                     alignment_accuracy=round(report.alignment_accuracy, 4),
                 )
+                if not aborted and state is None:
+                    save("templates")
 
             with self._stage(telemetry, "profile", stage_seconds) as span:
                 profiler = self.profiler(distribution.cost_type)
                 samples = profiler.profile_samples_per_template(
-                    distribution.total_queries, max(len(templates), 1)
+                    distribution.total_queries, max(len(templates or []), 1)
                 )
-                profiles = profiler.profile_many(templates, samples)
-                profiles = [p for p in profiles if p.is_usable]
-                span.set(samples_per_template=samples, usable=len(profiles))
+                if aborted:
+                    span.set(skipped=True)
+                elif resume_stage in ("refine", "refined"):
+                    # Profiling finished in the saved run; the refine stage
+                    # below restores the pool it needs.
+                    span.set(resumed=True)
+                elif resume_stage == "profiled":
+                    profiles = [
+                        profile_from_state(p, profiler)
+                        for p in state["profiles"]
+                    ]
+                    span.set(resumed=True, usable=len(profiles))
+                else:
+                    raw: list[TemplateProfile] = []
+                    position = 0
+                    if resume_stage == "profile":
+                        progress = state["profile_progress"]
+                        raw = [
+                            profile_from_state(p, profiler)
+                            for p in progress["profiles"]
+                        ]
+                        position = int(progress["position"])
+                    # Per-template seeding makes chunked profiling
+                    # bit-identical to the one-shot call, so checkpointed
+                    # runs pay nothing for the finer save granularity.
+                    chunk = (
+                        max(int(self.config.checkpoint_every_templates), 1)
+                        if manager is not None
+                        else max(len(templates), 1)
+                    )
+                    while position < len(templates):
+                        batch = templates[position : position + chunk]
+                        raw.extend(profiler.profile_many(batch, samples))
+                        position += len(batch)
+                        if manager is not None and position < len(templates):
+                            save(
+                                "profile",
+                                profile_progress={
+                                    "position": position,
+                                    "profiles": [
+                                        profile_to_state(p) for p in raw
+                                    ],
+                                },
+                            )
+                    profiles = [p for p in raw if p.is_usable]
+                    span.set(samples_per_template=samples, usable=len(profiles))
+                    save(
+                        "profiled",
+                        profiles=[profile_to_state(p) for p in profiles],
+                    )
 
-            refinement: RefinementResult | None = None
             with self._stage(telemetry, "refine", stage_seconds) as span:
-                if self.config.enable_refinement:
+                if aborted:
+                    span.set(skipped=True)
+                elif resume_stage == "refined":
+                    if state.get("refine") is not None:
+                        refinement = refinement_from_state(
+                            state["refine"], profiler
+                        )
+                        profiles = refinement.profiles
+                    else:
+                        profiles = [
+                            profile_from_state(p, profiler)
+                            for p in state["profiles"]
+                        ]
+                    span.set(resumed=True)
+                elif self.config.enable_refinement:
                     refiner = TemplateRefiner(
                         self.llm, profiler, self.schema, self.config
                     )
                     specs_by_id = {s.spec_id: s for s in specs}
-                    refinement = refiner.refine(
-                        profiles, distribution, samples, specs_by_id=specs_by_id
+                    resume_refine = (
+                        state["refine"] if resume_stage == "refine" else None
                     )
-                    profiles = refinement.profiles
-                    span.set(
-                        refine_calls=refinement.refine_calls,
-                        accepted=len(refinement.accepted),
-                        pruned=refinement.pruned,
-                    )
+                    checkpoint_cb = None
+                    if manager is not None:
+                        def checkpoint_cb(refine_state: dict) -> None:
+                            save("refine", refine=refine_state)
+                    try:
+                        refinement = refiner.refine(
+                            profiles,
+                            distribution,
+                            samples,
+                            specs_by_id=specs_by_id,
+                            checkpoint=checkpoint_cb,
+                            resume_state=resume_refine,
+                        )
+                    except PIPELINE_ABORT_ERRORS as error:
+                        abort("refine", error)
+                    else:
+                        profiles = refinement.profiles
+                        span.set(
+                            refine_calls=refinement.refine_calls,
+                            accepted=len(refinement.accepted),
+                            pruned=refinement.pruned,
+                        )
+                        save(
+                            "refined",
+                            profiles=[],
+                            refine={
+                                "profiles": [
+                                    profile_to_state(p) for p in profiles
+                                ],
+                                "accepted": [
+                                    template_to_state(t)
+                                    for t in refinement.accepted
+                                ],
+                                "pruned": refinement.pruned,
+                                "refine_calls": refinement.refine_calls,
+                            },
+                        )
                 else:
                     span.set(skipped=True)
+                    save(
+                        "refined",
+                        profiles=[profile_to_state(p) for p in profiles],
+                        refine=None,
+                    )
 
             with self._stage(telemetry, "search", stage_seconds) as span:
-                search = PredicateSearch(profiler, self.config)
-                remaining = None
-                if budget is not None:
-                    remaining = max(
-                        budget - (time.perf_counter() - started), 1.0
+                if aborted:
+                    span.set(skipped=True)
+                else:
+                    search = PredicateSearch(profiler, self.config)
+                    remaining = None
+                    if budget is not None:
+                        remaining = max(
+                            budget - (time.perf_counter() - started), 1.0
+                        )
+                    search_result = search.run(
+                        profiles, distribution, deadline=remaining
                     )
-                search_result = search.run(
-                    profiles, distribution, deadline=remaining
-                )
-                span.set(
-                    queries=len(search_result.queries),
-                    evaluations=search_result.evaluations,
-                    final_distance=round(search_result.final_distance, 4),
-                )
+                    span.set(
+                        queries=len(search_result.queries),
+                        evaluations=search_result.evaluations,
+                        final_distance=round(search_result.final_distance, 4),
+                    )
 
             elapsed = time.perf_counter() - started
             root.set(
                 elapsed_seconds=round(elapsed, 6),
-                complete=search_result.complete,
+                complete=bool(
+                    search_result is not None and search_result.complete
+                ),
+                aborted=aborted,
             )
 
         # Stage boundaries are measured directly: the search trace offset is
         # everything that ran before the search stage started.
         setup = sum(stage_seconds[s] for s in PIPELINE_STAGES if s != "search")
-        trace = [(setup + t, d) for t, d in search_result.trace]
-        workload = Workload(queries=search_result.queries, name=distribution.name)
+        if search_result is not None:
+            trace = [(setup + t, d) for t, d in search_result.trace]
+            workload = Workload(
+                queries=search_result.queries, name=distribution.name
+            )
+            tracker = search_result.tracker
+        else:
+            trace = []
+            workload = Workload(queries=[], name=distribution.name)
+            tracker = DistributionTracker(target=distribution)
         return WorkloadResult(
             workload=workload,
-            tracker=search_result.tracker,
-            templates=templates,
+            tracker=tracker,
+            templates=list(templates or []),
             profiles=profiles,
             generation_report=report,
             refinement=refinement,
@@ -286,4 +536,8 @@ class SQLBarber:
             distance_trace=trace,
             llm_usage=self.llm.usage.snapshot(),
             stage_seconds=stage_seconds,
+            aborted=aborted,
+            abort_stage=abort_stage,
+            abort_reason=abort_reason,
+            checkpoint_path=str(manager.path) if manager is not None else None,
         )

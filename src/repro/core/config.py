@@ -77,6 +77,16 @@ class BarberConfig:
     # this path byte-identical to the cold one.
     use_fastpath: bool = True
 
+    # -- repro.resilience: budgets and checkpointing -------------------------------
+    # Hard spend ceilings, checked before every LLM call.  Reaching one
+    # raises BudgetExhausted, which the pipeline converts into a graceful
+    # partial WorkloadResult (complete=False, abort reason recorded).
+    max_tokens: int | None = None
+    max_cost_dollars: float | None = None
+    # How many templates the profiling stage completes between checkpoint
+    # saves (when a checkpoint directory is configured).
+    checkpoint_every_templates: int = 4
+
     # -- misc ----------------------------------------------------------------------
     time_budget_seconds: float | None = None
     unbound_placeholder_range: tuple[int, int] = (1, 1000)

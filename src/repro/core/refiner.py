@@ -53,14 +53,39 @@ class TemplateRefiner:
         distribution: CostDistribution,
         profile_samples: int | None = None,
         specs_by_id: dict[str, TemplateSpec] | None = None,
+        checkpoint=None,
+        resume_state: dict | None = None,
     ) -> RefinementResult:
+        """Run Algorithm 2, optionally checkpointing at iteration boundaries.
+
+        *checkpoint*, when given, is called with a serialized working state
+        after every completed iteration.  *resume_state* (a dict a previous
+        run's checkpoint callback received) restores the pool, history, and
+        (phase, iteration) position; the *profiles* argument is then ignored
+        and the run continues bit-identically from where it stopped.
+        """
         result = RefinementResult(profiles=list(profiles))
         if not self.config.enable_refinement:
             return result
         self._specs_by_id = specs_by_id or {}
         history: dict[int, list[dict]] = {}
-        for phase in self.config.refinement_phases:
-            for _ in range(phase.iterations):
+        start_phase = start_iteration = 0
+        if resume_state is not None:
+            from repro.resilience.checkpoint import refinement_from_state
+
+            result = refinement_from_state(resume_state, self.profiler)
+            history = {
+                int(j): [dict(e) for e in entries]
+                for j, entries in resume_state["history"].items()
+            }
+            self._refined_counter = int(resume_state["refined_counter"])
+            start_phase = int(resume_state["phase"])
+            start_iteration = int(resume_state["iteration"])
+        phases = self.config.refinement_phases
+        for phase_index in range(start_phase, len(phases)):
+            phase = phases[phase_index]
+            first = start_iteration if phase_index == start_phase else 0
+            for iteration in range(first, phase.iterations):
                 low_intervals = self._low_coverage_intervals(
                     result.profiles, distribution, phase.coverage_threshold
                 )
@@ -75,7 +100,24 @@ class TemplateRefiner:
                     profile_samples,
                 )
                 result.profiles.extend(new_profiles)
+                if checkpoint is not None:
+                    checkpoint(self._checkpoint_state(
+                        result, history, phase_index, iteration + 1
+                    ))
         return result
+
+    def _checkpoint_state(
+        self,
+        result: RefinementResult,
+        history: dict[int, list[dict]],
+        phase: int,
+        iteration: int,
+    ) -> dict:
+        from repro.resilience.checkpoint import refinement_to_state
+
+        return refinement_to_state(
+            result, history, phase, iteration, self._refined_counter
+        )
 
     # -- coverage ---------------------------------------------------------------
 

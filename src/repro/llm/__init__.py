@@ -2,7 +2,20 @@
 
 from .accounting import O3_MINI_PRICING, PricingModel, UsageMeter, count_tokens
 from .client import LLMClient, LLMResponse, ScriptedLLM
-from .faults import FaultModel
+from .errors import (
+    PIPELINE_ABORT_ERRORS,
+    BudgetExhausted,
+    CircuitOpenError,
+    LLMError,
+    LLMExhaustedError,
+    LLMMalformedResponseError,
+    LLMRateLimitError,
+    LLMRetryExhausted,
+    LLMServerError,
+    LLMTimeoutError,
+    LLMTransportError,
+)
+from .faults import MALFORMED_RESPONSE, FaultModel, TransportFaultModel
 from .prompts import (
     decode_payload,
     encode_payload,
@@ -16,10 +29,23 @@ from .simulated import SimulatedLLM, extract_json, extract_sql, spec_from_payloa
 from .synthesizer import SchemaModel, TemplateSynthesizer
 
 __all__ = [
+    "BudgetExhausted",
+    "CircuitOpenError",
     "FaultModel",
     "LLMClient",
+    "LLMError",
+    "LLMExhaustedError",
+    "LLMMalformedResponseError",
+    "LLMRateLimitError",
     "LLMResponse",
+    "LLMRetryExhausted",
+    "LLMServerError",
+    "LLMTimeoutError",
+    "LLMTransportError",
+    "MALFORMED_RESPONSE",
     "O3_MINI_PRICING",
+    "PIPELINE_ABORT_ERRORS",
+    "TransportFaultModel",
     "PricingModel",
     "SchemaModel",
     "ScriptedLLM",

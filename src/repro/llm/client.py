@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.obs import current as current_telemetry
 
 from .accounting import UsageMeter, count_tokens
+from .errors import LLMExhaustedError
 
 
 @dataclass(frozen=True)
@@ -48,7 +49,15 @@ class LLMClient(abc.ABC):
         telemetry = current_telemetry()
         self.last_faults = []
         with telemetry.span("llm.call", task=task, model=self.model) as span:
-            text = self._complete_text(prompt)
+            try:
+                text = self._complete_text(prompt)
+            except Exception:
+                # A failed call delivered nothing: faults noted mid-attempt
+                # must not leak into the next call's telemetry.
+                self.last_faults = []
+                if telemetry.enabled:
+                    telemetry.count("llm.call.errors", task=task)
+                raise
             response = LLMResponse(
                 text=text,
                 prompt_tokens=count_tokens(prompt),
@@ -80,6 +89,20 @@ class LLMClient(abc.ABC):
     def _complete_text(self, prompt: str) -> str:
         """Produce the completion text for *prompt*."""
 
+    # -- checkpoint hooks ---------------------------------------------------------
+    #
+    # Clients that consume randomness (or any other per-call state) expose
+    # it here so a checkpointed pipeline can fast-forward a freshly built
+    # client to the exact stream position of a saved run.  The base client
+    # is stateless between calls.
+
+    def rng_state(self) -> dict | None:
+        """JSON-serializable call-stream state, or None when stateless."""
+        return None
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`rng_state`."""
+
 
 class ScriptedLLM(LLMClient):
     """Replays canned responses in order — used for deterministic tests."""
@@ -91,7 +114,16 @@ class ScriptedLLM(LLMClient):
 
     def _complete_text(self, prompt: str) -> str:
         if self._cursor >= len(self._responses):
-            raise RuntimeError("ScriptedLLM ran out of responses")
+            raise LLMExhaustedError(
+                f"ScriptedLLM ran out of responses after "
+                f"{len(self._responses)} calls"
+            )
         text = self._responses[self._cursor]
         self._cursor += 1
         return text
+
+    def rng_state(self) -> dict | None:
+        return {"cursor": self._cursor}
+
+    def set_rng_state(self, state: dict) -> None:
+        self._cursor = int(state["cursor"])

@@ -1,0 +1,105 @@
+"""The LLM error taxonomy: content faults vs. transport faults vs. budgets.
+
+SQLBarber's Algorithm 1 repairs *content* faults (bad SQL inside a
+well-delivered completion).  Everything in this module is about the calls
+that never deliver a usable completion at all: the API times out, sheds
+load, returns a 5xx, truncates the stream, or the caller's spend ceiling is
+reached.  :class:`~repro.resilience.ResilientLLMClient` retries the
+retryable subset; the pipeline converts whatever escapes into a graceful
+partial :class:`~repro.core.barber.WorkloadResult` instead of a stack
+trace.
+"""
+
+from __future__ import annotations
+
+
+class LLMError(Exception):
+    """Base class for every failure raised by the LLM client stack."""
+
+
+class LLMTransportError(LLMError):
+    """A completion call failed before a usable response was delivered.
+
+    ``retryable`` tells the resilience layer whether trying again can
+    plausibly succeed (timeouts, rate limits, 5xx) or not.
+    """
+
+    retryable: bool = True
+
+
+class LLMTimeoutError(LLMTransportError):
+    """The call (or its enclosing deadline) ran out of time."""
+
+
+class LLMRateLimitError(LLMTransportError):
+    """The provider shed load; honour ``retry_after`` before retrying."""
+
+    def __init__(self, message: str = "rate limited", retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class LLMServerError(LLMTransportError):
+    """A transient provider-side failure (HTTP 5xx class)."""
+
+    def __init__(self, message: str = "server error", status: int = 500):
+        super().__init__(message)
+        self.status = status
+
+
+class LLMMalformedResponseError(LLMTransportError):
+    """The response arrived but is unusable (truncated or garbage payload)."""
+
+
+class CircuitOpenError(LLMTransportError):
+    """The per-task circuit breaker is open; the call was not attempted."""
+
+
+class LLMExhaustedError(LLMError, RuntimeError):
+    """A scripted/finite client has no responses left.
+
+    Retrying cannot help (``RuntimeError`` ancestry keeps older callers
+    that matched on it working).
+    """
+
+    retryable = False
+
+
+class LLMRetryExhausted(LLMTransportError):
+    """Every retry attempt failed; ``last_error`` is the final failure."""
+
+    retryable = False
+
+    def __init__(self, message: str, attempts: int, last_error: Exception | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class BudgetExhausted(LLMError):
+    """The run's token or dollar ceiling was reached.
+
+    Raised *before* the call that would overspend, so the recorded usage
+    never exceeds the configured limit by more than one in-flight call.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tokens: int | None = None,
+        max_tokens: int | None = None,
+        cost_usd: float | None = None,
+        max_cost_dollars: float | None = None,
+    ):
+        super().__init__(message)
+        self.tokens = tokens
+        self.max_tokens = max_tokens
+        self.cost_usd = cost_usd
+        self.max_cost_dollars = max_cost_dollars
+
+
+#: Errors that abort a pipeline stage but must degrade gracefully: the
+#: barber catches these, records the abort, and returns a partial (but
+#: well-formed, possibly checkpoint-resumable) result.
+PIPELINE_ABORT_ERRORS = (LLMError,)

@@ -43,6 +43,83 @@ class FaultModel:
         return FaultModel(0.0, 0.0, 0.0, 0.0)
 
 
+@dataclass(frozen=True)
+class TransportFaultModel:
+    """Per-call transport-fault probabilities (the layer *below* content).
+
+    Content faults (above) corrupt the SQL inside a delivered completion;
+    transport faults make the call itself fail the way a remote API does:
+    timeouts, rate limits, transient 5xx errors, truncated streams, and
+    malformed (non-completion) payloads.  All rates default to zero, so a
+    plain :class:`~repro.llm.simulated.SimulatedLLM` behaves exactly as it
+    did before this model existed.  Injection draws come from a dedicated
+    RNG stream, keeping the content stream byte-identical whether or not a
+    storm is configured.
+    """
+
+    timeout_rate: float = 0.0
+    rate_limit_rate: float = 0.0
+    server_error_rate: float = 0.0
+    truncation_rate: float = 0.0
+    malformed_rate: float = 0.0
+    # Retry-After hint attached to injected rate-limit errors (seconds).
+    retry_after_seconds: float = 0.05
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.timeout_rate > 0
+            or self.rate_limit_rate > 0
+            or self.server_error_rate > 0
+            or self.truncation_rate > 0
+            or self.malformed_rate > 0
+        )
+
+    @staticmethod
+    def none() -> "TransportFaultModel":
+        """A fault-free transport (the default)."""
+        return TransportFaultModel()
+
+    @staticmethod
+    def storm(intensity: float = 0.3) -> "TransportFaultModel":
+        """A mixed storm splitting *intensity* across all five classes."""
+        share = intensity / 5.0
+        return TransportFaultModel(
+            timeout_rate=share,
+            rate_limit_rate=share,
+            server_error_rate=share,
+            truncation_rate=share,
+            malformed_rate=share,
+        )
+
+
+#: The payload an injected "malformed response" delivers: a load balancer
+#: answered instead of the model.  Deterministic so tests can match it.
+MALFORMED_RESPONSE = "<html><body>502 Bad Gateway</body></html>"
+
+
+def truncate_completion(text: str, rng: np.random.Generator) -> str:
+    """Cut a completion short the way a dropped stream does.
+
+    Fenced completions lose their closing fence (leaving an odd number of
+    ``` markers); everything else loses its tail.  The result is always a
+    strict prefix, detectable by the client-side response validator.
+    """
+    fence = text.rfind("```")
+    if fence > 0 and text.count("```") >= 2:
+        # Cut at or shortly before the closing fence, never before the end
+        # of the opening one, so the odd fence count survives for the
+        # validator to spot.
+        opening_end = text.find("```") + 3
+        low = max(opening_end, fence - 20)
+        span = fence - low
+        cut = fence - (int(rng.integers(0, span + 1)) if span > 0 else 0)
+        return text[:cut]
+    if len(text) <= 1:
+        return ""
+    return text[: max(len(text) // 2, 1)]
+
+
 _SYNTAX_CORRUPTIONS = (
     "misspell_select",
     "misspell_from",

@@ -16,18 +16,23 @@ import re
 
 import numpy as np
 
+from repro.obs import current as current_telemetry
 from repro.sqldb.errors import SqlError
 from repro.sqldb.parser import parse_select
 from repro.workload.analyzer import check_template
 from repro.workload.spec import TemplateSpec
 from .client import LLMClient
+from .errors import LLMRateLimitError, LLMServerError, LLMTimeoutError
 from .faults import (
+    MALFORMED_RESPONSE,
     FaultModel,
+    TransportFaultModel,
     corrupt_syntax,
     hallucinate_identifier,
     perturb_spec,
     repair_identifier,
     repair_syntax,
+    truncate_completion,
 )
 from .prompts import decode_payload
 from .refine import refine_sql
@@ -86,16 +91,68 @@ class SimulatedLLM(LLMClient):
         fault_model: FaultModel | None = None,
         validation_noise: float = 0.03,
         model: str = "o3-mini-simulated",
+        transport_faults: TransportFaultModel | None = None,
     ):
         super().__init__(model=model)
         self._rng = np.random.default_rng(seed)
         self._synthesizer = TemplateSynthesizer(seed=seed + 1)
         self.fault_model = fault_model if fault_model is not None else FaultModel()
         self.validation_noise = validation_noise
+        self.transport_faults = (
+            transport_faults
+            if transport_faults is not None
+            else TransportFaultModel()
+        )
+        # Transport draws come from their own stream so enabling a storm
+        # never shifts the content RNG (and vice versa).
+        self._transport_rng = np.random.default_rng(seed + 7919)
 
     # -- dispatch -----------------------------------------------------------------
 
     def _complete_text(self, prompt: str) -> str:
+        model = self.transport_faults
+        draws = self._transport_rng.random(5) if model.active else None
+        if draws is not None:
+            self._maybe_raise_transport(model, draws)
+        text = self._dispatch(prompt)
+        if draws is not None:
+            text = self._maybe_corrupt_transport(text, model, draws)
+        return text
+
+    def _maybe_raise_transport(
+        self, model: TransportFaultModel, draws
+    ) -> None:
+        """Faults that kill the call before any content is produced."""
+        telemetry = current_telemetry()
+        if draws[0] < model.timeout_rate:
+            telemetry.count("llm.transport.injected", kind="timeout")
+            raise LLMTimeoutError("simulated request timeout")
+        if draws[1] < model.rate_limit_rate:
+            telemetry.count("llm.transport.injected", kind="rate_limit")
+            raise LLMRateLimitError(
+                "simulated 429: rate limited",
+                retry_after=model.retry_after_seconds,
+            )
+        if draws[2] < model.server_error_rate:
+            telemetry.count("llm.transport.injected", kind="server_error")
+            raise LLMServerError("simulated 503: overloaded", status=503)
+
+    def _maybe_corrupt_transport(
+        self, text: str, model: TransportFaultModel, draws
+    ) -> str:
+        """Faults that deliver the response, but broken."""
+        telemetry = current_telemetry()
+        if draws[3] < model.truncation_rate:
+            telemetry.count("llm.transport.injected", kind="truncated")
+            self.last_faults.append("transport:truncated")
+            return truncate_completion(text, self._transport_rng)
+        if draws[4] < model.malformed_rate:
+            telemetry.count("llm.transport.injected", kind="malformed")
+            self.last_faults.append("transport:malformed")
+            return MALFORMED_RESPONSE
+        return text
+
+    def _dispatch(self, prompt: str) -> str:
         payload = decode_payload(prompt)
         task = payload.get("task")
         handlers = {
@@ -188,6 +245,21 @@ class SimulatedLLM(LLMClient):
         rates = self.fault_model.at_attempt(3)
         sql = self._apply_output_faults(sql, schema, rates)
         return self._wrap_sql(sql, "Refined template targeting the interval.")
+
+    # -- checkpoint hooks ---------------------------------------------------------
+
+    def rng_state(self) -> dict | None:
+        """All three RNG stream positions, for bit-identical resume."""
+        return {
+            "content": self._rng.bit_generator.state,
+            "synthesizer": self._synthesizer.rng.bit_generator.state,
+            "transport": self._transport_rng.bit_generator.state,
+        }
+
+    def set_rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["content"]
+        self._synthesizer.rng.bit_generator.state = state["synthesizer"]
+        self._transport_rng.bit_generator.state = state["transport"]
 
     # -- helpers ----------------------------------------------------------------------
 

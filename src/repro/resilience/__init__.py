@@ -1,0 +1,53 @@
+"""repro.resilience: surviving an unreliable LLM API and killed processes.
+
+Three layers, composable and individually usable:
+
+* :mod:`~repro.resilience.client` — :class:`ResilientLLMClient`: retry with
+  backoff + jitter, per-task circuit breakers, deadline propagation, and
+  hard token/dollar budgets around any :class:`~repro.llm.client.LLMClient`.
+* :mod:`~repro.resilience.checkpoint` — atomic, content-hashed run
+  checkpoints that make ``SQLBarber.generate_workload`` resumable
+  bit-identically after a crash or budget exhaustion.
+* :mod:`~repro.resilience.chaos` — a seeded chaos campaign that runs the
+  full pipeline under transport-fault storms and process kills, asserting
+  every run either completes or leaves a valid, resumable checkpoint.
+"""
+
+from .checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    canonical_json,
+    content_hash,
+    run_key,
+    to_jsonable,
+)
+from .chaos import ChaosReport, ChaosRunner, InjectedCrash, run_chaos_campaign
+from .clock import Clock, SimulatedClock, SystemClock
+from .client import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    ResilientLLMClient,
+    RetryPolicy,
+    default_response_validator,
+)
+
+__all__ = [
+    "ChaosReport",
+    "ChaosRunner",
+    "CheckpointError",
+    "CheckpointManager",
+    "CircuitBreaker",
+    "CircuitBreakerPolicy",
+    "Clock",
+    "InjectedCrash",
+    "ResilientLLMClient",
+    "RetryPolicy",
+    "SimulatedClock",
+    "SystemClock",
+    "canonical_json",
+    "content_hash",
+    "default_response_validator",
+    "run_chaos_campaign",
+    "run_key",
+    "to_jsonable",
+]

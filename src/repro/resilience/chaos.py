@@ -1,0 +1,314 @@
+"""Chaos campaigns: the full pipeline under seeded fault storms and kills.
+
+Every campaign run drives ``SQLBarber.generate_workload`` end to end on a
+small database while one of three deterministic disruptions plays out:
+
+* ``storm`` — a transport-fault storm (timeouts, 429s, 5xx, truncation,
+  garbage payloads) rages for the whole run.
+* ``kill`` — the same storm, plus the process "dies" (an
+  :class:`InjectedCrash` raised from the checkpoint save hook) right after
+  its k-th checkpoint reaches disk; the run is then resumed and must
+  fingerprint identically to an uninterrupted control run.
+* ``budget`` — a hard token ceiling is set low enough to trip mid-run;
+  the run must degrade into a partial-but-valid aborted result.
+
+The acceptance bar mirrors ``repro.fuzz``: a campaign's report is a pure
+function of ``(seed, runs, intensity)`` — byte-identical JSON across
+repeats, no timestamps, no filesystem paths — and a campaign *passes* when
+every run either completed, aborted gracefully, or resumed bit-identically
+after its kill.  A stack trace escaping the pipeline is a failure.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.llm import SimulatedLLM, TransportFaultModel
+from repro.obs import Telemetry, current as current_telemetry, use_telemetry
+
+from .client import CircuitBreakerPolicy, ResilientLLMClient, RetryPolicy
+from .clock import SimulatedClock
+
+SCENARIOS = ("storm", "kill", "budget")
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death (raised from the checkpoint save hook).
+
+    Deliberately *not* an :class:`Exception` subclass: nothing in the
+    pipeline may catch it, exactly like a SIGKILL.
+    """
+
+
+@dataclass
+class ChaosReport:
+    """Deterministic summary of one chaos campaign."""
+
+    seed: int
+    runs: int
+    intensity: float
+    database: str
+    scenarios: dict = field(default_factory=dict)  # scenario -> run count
+    completed: int = 0
+    aborted: int = 0
+    kills_fired: int = 0
+    resumed_identical: int = 0
+    transport_faults_injected: int = 0
+    retry_attempts: int = 0
+    mismatches: list = field(default_factory=list)  # resume != control
+    failures: list = field(default_factory=list)  # unhandled exceptions
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "runs": self.runs,
+            "intensity": self.intensity,
+            "database": self.database,
+            "scenarios": dict(sorted(self.scenarios.items())),
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "kills_fired": self.kills_fired,
+            "resumed_identical": self.resumed_identical,
+            "transport_faults_injected": self.transport_faults_injected,
+            "retry_attempts": self.retry_attempts,
+            "mismatches": list(self.mismatches),
+            "failures": list(self.failures),
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+@dataclass(frozen=True)
+class _RunPlan:
+    """Everything one chaos run needs, drawn up front so the control run,
+    the killed run, and the resumed run all see identical knobs."""
+
+    index: int
+    scenario: str
+    llm_seed: int
+    barber_seed: int
+    storm: TransportFaultModel
+    kill_at_save: int
+    max_tokens: int | None
+
+
+class ChaosRunner:
+    """Run a seeded chaos campaign over the standard fuzz database."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        runs: int = 30,
+        intensity: float = 0.3,
+        db=None,
+    ):
+        from repro.fuzz.runner import build_fuzz_database
+
+        self.seed = seed
+        self.runs = runs
+        self.intensity = float(intensity)
+        self.db = db if db is not None else build_fuzz_database(seed)
+        # Small but complete: two specs exercising joins, aggregation, and
+        # ordering; 16 target queries across 4 intervals.
+        from repro.workload import CostDistribution, TemplateSpec
+
+        self.specs = [
+            TemplateSpec(spec_id="chaos_a", num_joins=1, num_aggregations=1),
+            TemplateSpec(spec_id="chaos_b", num_joins=0, require_order_by=True),
+        ]
+        self.distribution = CostDistribution.uniform(0.0, 200.0, 16, 4)
+
+    # -- planning -----------------------------------------------------------------
+
+    def _plan(self, index: int) -> _RunPlan:
+        rng = np.random.default_rng([self.seed, index])
+        scenario = SCENARIOS[index % len(SCENARIOS)]
+        # Split a bounded intensity across the five fault classes so retry
+        # exhaustion stays rare; when it does happen, the run degrades
+        # gracefully and both the control and resumed runs degrade alike.
+        storm_intensity = float(rng.uniform(0.3, 1.0)) * self.intensity
+        return _RunPlan(
+            index=index,
+            scenario=scenario,
+            llm_seed=int(rng.integers(1, 2**31)),
+            barber_seed=int(rng.integers(1, 2**31)),
+            storm=TransportFaultModel.storm(storm_intensity),
+            kill_at_save=int(rng.integers(1, 12)),
+            max_tokens=int(rng.integers(2_000, 30_000)),
+        )
+
+    # -- one pipeline invocation ----------------------------------------------------
+
+    def _make_barber(self, plan: _RunPlan, budgeted: bool):
+        from repro.core import BarberConfig, SQLBarber
+
+        inner = SimulatedLLM(seed=plan.llm_seed, transport_faults=plan.storm)
+        client = ResilientLLMClient(
+            inner,
+            retry=RetryPolicy(max_attempts=6, base_delay_seconds=0.01),
+            breaker=CircuitBreakerPolicy(failure_threshold=8),
+            clock=SimulatedClock(),
+            jitter_seed=plan.llm_seed + 1,
+            max_tokens=plan.max_tokens if budgeted else None,
+        )
+        config = BarberConfig(
+            seed=plan.barber_seed,
+            checkpoint_every_templates=1,
+            max_tokens=plan.max_tokens if budgeted else None,
+        )
+        return SQLBarber(self.db, llm=client, config=config)
+
+    def _pipeline(
+        self,
+        plan: _RunPlan,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+        on_save=None,
+        budgeted: bool = False,
+    ):
+        barber = self._make_barber(plan, budgeted)
+        return barber.generate_workload(
+            self.specs,
+            self.distribution,
+            telemetry=Telemetry(),  # isolated per pipeline run
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            on_checkpoint_save=on_save,
+        )
+
+    # -- the campaign -----------------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        report = ChaosReport(
+            seed=self.seed,
+            runs=self.runs,
+            intensity=self.intensity,
+            database=self.db.name,
+        )
+        telemetry = current_telemetry()
+        with telemetry.span("chaos.run", seed=self.seed, runs=self.runs):
+            for index in range(self.runs):
+                plan = self._plan(index)
+                report.scenarios[plan.scenario] = (
+                    report.scenarios.get(plan.scenario, 0) + 1
+                )
+                try:
+                    self._one_run(plan, report)
+                except Exception as error:  # the bar: never a stack trace
+                    report.failures.append(
+                        {
+                            "run": index,
+                            "scenario": plan.scenario,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    )
+                    telemetry.count("chaos.failures", scenario=plan.scenario)
+                telemetry.count("chaos.runs", scenario=plan.scenario)
+        return report
+
+    def _one_run(self, plan: _RunPlan, report: ChaosReport) -> None:
+        if plan.scenario == "storm":
+            result = self._pipeline(plan)
+            self._record_outcome(result, report)
+        elif plan.scenario == "budget":
+            result = self._pipeline(plan, budgeted=True)
+            self._record_outcome(result, report)
+            if result.aborted and not str(result.abort_reason).startswith(
+                ("BudgetExhausted", "LLMRetryExhausted", "CircuitOpenError")
+            ):
+                report.failures.append(
+                    {
+                        "run": plan.index,
+                        "scenario": plan.scenario,
+                        "error": f"unexpected abort: {result.abort_reason}",
+                    }
+                )
+            self._check_degraded_shape(plan, result, report)
+        else:  # kill
+            self._kill_and_resume(plan, report)
+
+    def _kill_and_resume(self, plan: _RunPlan, report: ChaosReport) -> None:
+        control = self._pipeline(plan)
+        workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+        try:
+            fired = {"saves": 0, "killed": False}
+
+            def killer(manager, payload) -> None:
+                fired["saves"] += 1
+                if fired["saves"] == plan.kill_at_save:
+                    fired["killed"] = True
+                    raise InjectedCrash(
+                        f"injected crash after save #{fired['saves']}"
+                    )
+
+            try:
+                outcome = self._pipeline(plan, checkpoint_dir=workdir, on_save=killer)
+            except InjectedCrash:
+                report.kills_fired += 1
+                outcome = self._pipeline(
+                    plan, checkpoint_dir=workdir, resume=True
+                )
+            self._record_outcome(outcome, report)
+            if outcome.fingerprint_json() == control.fingerprint_json():
+                report.resumed_identical += 1
+            else:
+                report.mismatches.append(
+                    {
+                        "run": plan.index,
+                        "killed": fired["killed"],
+                        "kill_at_save": plan.kill_at_save,
+                    }
+                )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def _record_outcome(self, result, report: ChaosReport) -> None:
+        if result.aborted:
+            report.aborted += 1
+        else:
+            report.completed += 1
+        metrics = result.telemetry.metrics if result.telemetry else None
+        if metrics is not None:
+            report.transport_faults_injected += int(
+                metrics.total("llm.transport.injected")
+            )
+            report.retry_attempts += int(metrics.total("llm.retry.attempts"))
+
+    def _check_degraded_shape(self, plan: _RunPlan, result, report) -> None:
+        """An aborted run must still be a well-formed partial result."""
+        from repro.core.barber import PIPELINE_STAGES
+
+        problems = []
+        if set(result.stage_seconds) != set(PIPELINE_STAGES):
+            problems.append(f"stage_seconds incomplete: {sorted(result.stage_seconds)}")
+        if result.aborted:
+            if result.abort_stage not in PIPELINE_STAGES:
+                problems.append(f"bad abort_stage: {result.abort_stage!r}")
+            if result.complete:
+                problems.append("aborted result claims complete")
+            if result.search is not None:
+                problems.append("aborted run still ran the search stage")
+        for problem in problems:
+            report.failures.append(
+                {"run": plan.index, "scenario": plan.scenario, "error": problem}
+            )
+
+
+def run_chaos_campaign(
+    seed: int = 0, runs: int = 30, intensity: float = 0.3
+) -> ChaosReport:
+    """Convenience wrapper used by the CLI and CI smoke job."""
+    runner = ChaosRunner(seed=seed, runs=runs, intensity=intensity)
+    with use_telemetry(Telemetry()):
+        return runner.run()

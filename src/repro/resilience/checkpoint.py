@@ -1,0 +1,326 @@
+"""Checkpoint/resume for the SQLBarber pipeline.
+
+A checkpoint is one JSON file holding everything a fresh process needs to
+continue a run *bit-identically*: completed stage outputs (templates,
+profiles, refinement bookkeeping), the LLM client's RNG stream positions,
+and the usage meter.  Files are written atomically (temp file +
+``os.replace``) and carry a content hash plus a *run key* — a hash of the
+run's identity (specs, distribution, config, database, seed) — so a stale
+or foreign checkpoint is rejected with :class:`CheckpointError` instead of
+silently corrupting a resume.
+
+Serialization is lossy on purpose where lossless would be wasteful:
+template placeholders and profile search spaces are derived data (pure
+functions of template SQL + catalog), so resume re-infers them instead of
+storing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+
+class CheckpointError(Exception):
+    """A checkpoint file is missing, corrupt, or belongs to another run."""
+
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+# -- canonical JSON ---------------------------------------------------------------
+
+
+def to_jsonable(obj):
+    """Recursively convert *obj* to plain JSON types (numpy included)."""
+    # numpy scalars first: np.float64 *is* a float subclass, and letting it
+    # through unconverted would leak numpy types into the JSON encoder.
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return [to_jsonable(v) for v in items]
+    raise TypeError(f"cannot serialize {type(obj).__name__} into a checkpoint")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(obj) -> str:
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+# -- state <-> object helpers -----------------------------------------------------
+
+
+def template_to_state(template) -> dict:
+    """Serialize a SqlTemplate.  Placeholders are re-inferred on resume."""
+    return {
+        "template_id": template.template_id,
+        "sql": template.sql,
+        "spec_id": template.spec_id,
+        "parent_id": template.parent_id,
+    }
+
+
+def template_from_state(state: dict):
+    from repro.workload import SqlTemplate
+
+    return SqlTemplate(
+        template_id=state["template_id"],
+        sql=state["sql"],
+        spec_id=state.get("spec_id"),
+        parent_id=state.get("parent_id"),
+    )
+
+
+def profile_to_state(profile) -> dict:
+    return {
+        "template": template_to_state(profile.template),
+        "observations": [
+            [config, cost] for config, cost in profile.observations
+        ],
+        "errors": profile.errors,
+    }
+
+
+def profile_from_state(state: dict, profiler):
+    """Rebuild a TemplateProfile; the space comes back from the catalog."""
+    from repro.bo import ConfigSpace
+    from repro.core.profiler import TemplateProfile
+    from repro.sqldb import SqlError
+
+    template = template_from_state(state["template"])
+    try:
+        space = profiler.build_space(template)
+    except SqlError:
+        space = ConfigSpace()
+    profile = TemplateProfile(template=template, space=space)
+    for config, cost in state["observations"]:
+        profile.add(config, cost)
+    profile.errors = int(state.get("errors", 0))
+    return profile
+
+
+def trace_to_state(trace) -> dict:
+    return {
+        "spec_id": trace.spec_id,
+        "attempts": [[a.spec_ok, a.syntax_ok] for a in trace.attempts],
+        "rewrites": trace.rewrites,
+        "final_sql": trace.final_sql,
+        "final_ok": trace.final_ok,
+    }
+
+
+def trace_from_state(state: dict):
+    from repro.core.check_rewrite import AttemptStatus, RewriteTrace
+
+    return RewriteTrace(
+        spec_id=state["spec_id"],
+        attempts=[
+            AttemptStatus(spec_ok=bool(s), syntax_ok=bool(x))
+            for s, x in state["attempts"]
+        ],
+        rewrites=int(state["rewrites"]),
+        final_sql=state["final_sql"],
+        final_ok=bool(state["final_ok"]),
+    )
+
+
+def usage_to_state(meter) -> dict:
+    return meter.snapshot()
+
+
+def usage_from_state(state: dict):
+    from repro.llm import UsageMeter
+
+    meter = UsageMeter()
+    meter.prompt_tokens = int(state["prompt_tokens"])
+    meter.completion_tokens = int(state["completion_tokens"])
+    meter.num_calls = int(state["num_calls"])
+    meter.calls_by_task = {k: int(v) for k, v in state["calls_by_task"].items()}
+    meter.tokens_by_task = {
+        task: {k: int(v) for k, v in tokens.items()}
+        for task, tokens in state["tokens_by_task"].items()
+    }
+    return meter
+
+
+def restore_usage(meter, state: dict) -> None:
+    """Overwrite *meter* in place with a saved snapshot."""
+    restored = usage_from_state(state)
+    meter.prompt_tokens = restored.prompt_tokens
+    meter.completion_tokens = restored.completion_tokens
+    meter.num_calls = restored.num_calls
+    meter.calls_by_task = restored.calls_by_task
+    meter.tokens_by_task = restored.tokens_by_task
+
+
+def refinement_to_state(
+    result, history: dict, phase: int, iteration: int, refined_counter: int
+) -> dict:
+    """Serialize Algorithm 2's full working state at an iteration boundary."""
+    return {
+        "profiles": [profile_to_state(p) for p in result.profiles],
+        "accepted": [template_to_state(t) for t in result.accepted],
+        "pruned": result.pruned,
+        "refine_calls": result.refine_calls,
+        "history": {str(j): entries for j, entries in history.items()},
+        "refined_counter": refined_counter,
+        "phase": phase,
+        "iteration": iteration,
+    }
+
+
+def refinement_from_state(state: dict, profiler):
+    from repro.core.refiner import RefinementResult
+
+    return RefinementResult(
+        profiles=[profile_from_state(p, profiler) for p in state["profiles"]],
+        accepted=[template_from_state(t) for t in state["accepted"]],
+        pruned=int(state["pruned"]),
+        refine_calls=int(state["refine_calls"]),
+    )
+
+
+#: Config fields that shape *execution* (spend ceilings, parallelism,
+#: checkpoint cadence) but provably not the generated content.  They are
+#: excluded from the run key so a budget-exhausted run can be resumed with
+#: a topped-up budget, or on a machine with a different worker count.
+_EXECUTION_ONLY_CONFIG_FIELDS = frozenset(
+    {
+        "max_tokens",
+        "max_cost_dollars",
+        "checkpoint_every_templates",
+        "time_budget_seconds",
+        "workers",
+        "parallel_backend",
+    }
+)
+
+
+def run_key(specs, distribution, config, db_name: str) -> str:
+    """Hash of the run's identity — what a checkpoint may be resumed into."""
+    from dataclasses import asdict
+
+    from repro.core.check_rewrite import spec_to_payload
+
+    identity = {
+        "specs": [spec_to_payload(s) for s in specs],
+        "distribution": {
+            "lower": distribution.lower,
+            "upper": distribution.upper,
+            "target_counts": list(distribution.target_counts),
+            "name": distribution.name,
+            "cost_type": distribution.cost_type,
+        },
+        "config": {
+            k: v
+            for k, v in asdict(config).items()
+            if k not in _EXECUTION_ONLY_CONFIG_FIELDS
+        },
+        "db": db_name,
+    }
+    return content_hash(identity)
+
+
+# -- the manager ------------------------------------------------------------------
+
+
+class CheckpointManager:
+    """Atomic, hash-verified saves of run state to one JSON file.
+
+    ``on_save(manager, payload)`` fires *after* each durable write — the
+    chaos harness uses it to simulate a process dying right after its k-th
+    checkpoint hit disk.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        run_key: str,
+        on_save: Callable | None = None,
+    ):
+        self.directory = Path(directory)
+        self.run_key = run_key
+        self.on_save = on_save
+        self.saves = 0
+
+    @property
+    def path(self) -> Path:
+        return self.directory / "checkpoint.json"
+
+    def save(self, state: dict) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        body = to_jsonable(state)
+        payload = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "run_key": self.run_key,
+            "content_hash": content_hash(body),
+            "state": body,
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, self.path)
+        self.saves += 1
+        from repro.obs import current as current_telemetry
+
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("checkpoint.saves", stage=str(state.get("stage")))
+        if self.on_save is not None:
+            self.on_save(self, payload)
+        return self.path
+
+    def load(self) -> dict | None:
+        """The saved state, None when no checkpoint exists yet.
+
+        Raises :class:`CheckpointError` on version/run-key/hash mismatch or
+        an unparsable file (a torn write cannot happen thanks to the atomic
+        replace, but a truncated disk or foreign file can).
+        """
+        if not self.path.exists():
+            return None
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"unreadable checkpoint {self.path}: {error}"
+            ) from error
+        if payload.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has format version "
+                f"{payload.get('format_version')!r}; expected "
+                f"{CHECKPOINT_FORMAT_VERSION}"
+            )
+        if payload.get("run_key") != self.run_key:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to a different run "
+                f"(specs/distribution/config/db/seed changed)"
+            )
+        state = payload.get("state")
+        if content_hash(state) != payload.get("content_hash"):
+            raise CheckpointError(f"checkpoint {self.path} failed hash check")
+        from repro.obs import current as current_telemetry
+
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("checkpoint.loads", stage=str(state.get("stage")))
+        return state

@@ -1,0 +1,318 @@
+"""A resilient wrapper around any :class:`~repro.llm.client.LLMClient`.
+
+:class:`ResilientLLMClient` adds the production concerns a remote
+completion API demands and the simulated one lets us test exhaustively:
+
+* **Retry with backoff + jitter** on retryable transport errors, honouring
+  ``Retry-After`` hints, on a pluggable (and in tests, simulated) clock.
+* **Per-task circuit breaking**: a task whose calls keep failing stops
+  being attempted for a cool-down window instead of burning budget.
+* **Deadline propagation**: a deadline (absolute clock time) caps both the
+  sleeps between retries and whether another attempt starts at all.
+* **Budget guarding**: hard token/dollar ceilings checked *before* each
+  call so a runaway loop raises a clean :class:`BudgetExhausted` instead
+  of overspending.
+* **Response validation**: truncated or garbage payloads (delivered, but
+  useless) are converted into retryable
+  :class:`LLMMalformedResponseError`.
+
+Every decision is surfaced through ``repro.obs`` counters
+(``llm.retry.*``, ``llm.circuit.*``, ``llm.budget.*``) so a trace of a
+stormy run explains exactly what the client did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import current as current_telemetry
+
+from repro.llm.accounting import O3_MINI_PRICING, PricingModel
+from repro.llm.client import LLMClient, LLMResponse
+from repro.llm.errors import (
+    BudgetExhausted,
+    CircuitOpenError,
+    LLMMalformedResponseError,
+    LLMRetryExhausted,
+    LLMTimeoutError,
+    LLMTransportError,
+)
+from .clock import Clock, SystemClock
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 5
+    base_delay_seconds: float = 0.05
+    max_delay_seconds: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25  # fraction of the delay randomized away
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Sleep before retry *attempt* (1 = first retry)."""
+        raw = self.base_delay_seconds * self.multiplier ** (attempt - 1)
+        capped = min(raw, self.max_delay_seconds)
+        if self.jitter <= 0:
+            return capped
+        # Full jitter over [1 - jitter, 1]: deterministic given the rng.
+        return capped * (1.0 - self.jitter * float(rng.random()))
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """When to open a task's circuit and how long to keep it open."""
+
+    failure_threshold: int = 5  # consecutive failures to open
+    cooldown_seconds: float = 5.0  # open -> half-open after this long
+    half_open_successes: int = 1  # successes in half-open to close
+
+
+class CircuitBreaker:
+    """Classic closed / open / half-open breaker on a pluggable clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, policy: CircuitBreakerPolicy, clock: Clock, task: str):
+        self.policy = policy
+        self.clock = clock
+        self.task = task
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.half_open_successes = 0
+        self.opened_at: float | None = None
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (May transition open→half-open.)"""
+        if self.state == self.OPEN:
+            assert self.opened_at is not None
+            if self.clock.now() - self.opened_at >= self.policy.cooldown_seconds:
+                self._transition(self.HALF_OPEN)
+                self.half_open_successes = 0
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self.half_open_successes += 1
+            if self.half_open_successes >= self.policy.half_open_successes:
+                self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            self._trip()
+        elif (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.opened_at = self.clock.now()
+        self._transition(self.OPEN)
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("llm.circuit.transitions", task=self.task, state=state)
+
+
+def default_response_validator(text: str) -> str | None:
+    """Reject delivered-but-unusable payloads; return the defect or None.
+
+    Catches the transport-corruption classes the simulated API injects —
+    and their real-world counterparts: empty bodies, HTML error pages from
+    an intermediary, truncated code fences, and JSON cut off mid-object.
+    """
+    stripped = text.strip()
+    if not stripped:
+        return "empty completion"
+    if stripped[:100].lstrip().lower().startswith(("<html", "<!doctype")):
+        return "non-completion payload (HTML error page)"
+    if stripped.count("```") % 2 == 1:
+        return "truncated completion (unterminated code fence)"
+    if stripped.startswith("{") and not stripped.endswith("}"):
+        return "truncated JSON object"
+    return None
+
+
+class ResilientLLMClient(LLMClient):
+    """Retry, circuit-break, deadline-cap, and budget-guard an inner client.
+
+    Drop-in: callers use ``complete(prompt, task)`` exactly as before.
+    Usage accounting stays on the *inner* client's meter (exposed here as
+    ``usage``), so budget checks see every token the wrapped client billed,
+    including completions the validator later rejected.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreakerPolicy | None = None,
+        clock: Clock | None = None,
+        max_tokens: int | None = None,
+        max_cost_dollars: float | None = None,
+        pricing: PricingModel = O3_MINI_PRICING,
+        deadline: float | None = None,
+        jitter_seed: int = 0,
+        validator=default_response_validator,
+    ):
+        # Deliberately no super().__init__(): usage must delegate to the
+        # inner client so both views of spend are one meter.
+        self.inner = inner
+        self.model = inner.model
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker_policy = (
+            breaker if breaker is not None else CircuitBreakerPolicy()
+        )
+        self.clock = clock if clock is not None else SystemClock()
+        self.max_tokens = max_tokens
+        self.max_cost_dollars = max_cost_dollars
+        self.pricing = pricing
+        self.deadline = deadline  # absolute, in self.clock time
+        self.validator = validator
+        self._jitter_rng = np.random.default_rng(jitter_seed)
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    # -- delegation ---------------------------------------------------------------
+
+    @property
+    def usage(self):
+        return self.inner.usage
+
+    @property
+    def last_faults(self) -> list[str]:
+        return self.inner.last_faults
+
+    @last_faults.setter
+    def last_faults(self, value: list[str]) -> None:
+        self.inner.last_faults = value
+
+    def rng_state(self) -> dict | None:
+        return self.inner.rng_state()
+
+    def set_rng_state(self, state: dict) -> None:
+        self.inner.set_rng_state(state)
+
+    def _complete_text(self, prompt: str) -> str:  # pragma: no cover
+        raise NotImplementedError("ResilientLLMClient wraps complete() directly")
+
+    # -- budget -------------------------------------------------------------------
+
+    def check_budget(self) -> None:
+        """Raise :class:`BudgetExhausted` if the next call would overspend."""
+        meter = self.inner.usage
+        if self.max_tokens is not None and meter.total_tokens >= self.max_tokens:
+            self._count_budget("tokens")
+            raise BudgetExhausted(
+                f"token budget exhausted: {meter.total_tokens} >= "
+                f"{self.max_tokens}",
+                tokens=meter.total_tokens,
+                max_tokens=self.max_tokens,
+            )
+        if self.max_cost_dollars is not None:
+            cost = meter.cost_usd(self.pricing)
+            if cost >= self.max_cost_dollars:
+                self._count_budget("dollars")
+                raise BudgetExhausted(
+                    f"dollar budget exhausted: ${cost:.4f} >= "
+                    f"${self.max_cost_dollars:.4f}",
+                    cost_usd=cost,
+                    max_cost_dollars=self.max_cost_dollars,
+                )
+
+    def _count_budget(self, kind: str) -> None:
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("llm.budget.exhausted", kind=kind)
+
+    # -- the resilient call -------------------------------------------------------
+
+    def complete(self, prompt: str, task: str = "unknown") -> LLMResponse:
+        self.check_budget()
+        breaker = self._breaker_for(task)
+        telemetry = current_telemetry()
+        last_error: Exception | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            self._check_deadline(task)
+            if not breaker.allow():
+                if telemetry.enabled:
+                    telemetry.count("llm.circuit.rejected", task=task)
+                raise CircuitOpenError(
+                    f"circuit open for task {task!r} after "
+                    f"{breaker.consecutive_failures} consecutive failures"
+                )
+            try:
+                response = self.inner.complete(prompt, task=task)
+                defect = self.validator(response.text) if self.validator else None
+                if defect is not None:
+                    raise LLMMalformedResponseError(defect)
+            except LLMTransportError as error:
+                breaker.record_failure()
+                last_error = error
+                if not error.retryable or attempt >= self.retry.max_attempts:
+                    break
+                if telemetry.enabled:
+                    telemetry.count(
+                        "llm.retry.attempts",
+                        task=task,
+                        error=type(error).__name__,
+                    )
+                self._backoff(attempt, error, task)
+                continue
+            breaker.record_success()
+            if telemetry.enabled and attempt > 1:
+                telemetry.count("llm.retry.recovered", task=task)
+            return response
+        assert last_error is not None
+        if telemetry.enabled:
+            telemetry.count("llm.retry.exhausted", task=task)
+        raise LLMRetryExhausted(
+            f"task {task!r} failed after {self.retry.max_attempts} attempts: "
+            f"{type(last_error).__name__}: {last_error}",
+            attempts=self.retry.max_attempts,
+            last_error=last_error,
+        ) from last_error
+
+    def _breaker_for(self, task: str) -> CircuitBreaker:
+        breaker = self._breakers.get(task)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_policy, self.clock, task)
+            self._breakers[task] = breaker
+        return breaker
+
+    def _check_deadline(self, task: str) -> None:
+        if self.deadline is not None and self.clock.now() >= self.deadline:
+            telemetry = current_telemetry()
+            if telemetry.enabled:
+                telemetry.count("llm.deadline.exceeded", task=task)
+            raise LLMTimeoutError(f"deadline exceeded before task {task!r} call")
+
+    def _backoff(self, attempt: int, error: Exception, task: str) -> None:
+        delay = self.retry.delay(attempt, self._jitter_rng)
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        if self.deadline is not None:
+            remaining = self.deadline - self.clock.now()
+            if delay >= remaining:
+                telemetry = current_telemetry()
+                if telemetry.enabled:
+                    telemetry.count("llm.deadline.exceeded", task=task)
+                raise LLMTimeoutError(
+                    f"deadline leaves no room for a {delay:.3f}s backoff "
+                    f"before retrying task {task!r}"
+                ) from error
+        self.clock.sleep(delay)

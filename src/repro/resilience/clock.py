@@ -1,0 +1,60 @@
+"""Clocks for the resilience layer.
+
+Retry backoff, circuit-breaker cool-downs, and deadlines all need a notion
+of "now" and "sleep".  Production code uses :class:`SystemClock`; every
+test, chaos campaign, and checkpointed run uses :class:`SimulatedClock`, a
+purely arithmetic clock whose sleeps complete instantly and whose timeline
+is therefore fully deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic now/sleep interface."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time: real ``monotonic`` + real ``sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class SimulatedClock(Clock):
+    """A clock that only moves when told to — sleeps are free and exact.
+
+    Deterministic by construction: the same sequence of ``sleep`` calls
+    always produces the same timeline, which keeps retry/backoff schedules
+    reproducible across chaos-campaign runs.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.total_slept = 0.0
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        self._now += seconds
+        self.total_slept += seconds
+        self.sleeps.append(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        self._now += max(float(seconds), 0.0)

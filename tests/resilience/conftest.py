@@ -1,0 +1,25 @@
+"""Shared fixtures for the resilience suite: a tiny pipeline that runs in
+tenths of a second but exercises every stage."""
+
+import pytest
+
+from repro.fuzz.runner import build_fuzz_database
+from repro.workload import CostDistribution, TemplateSpec
+
+
+@pytest.fixture(scope="session")
+def chaos_db():
+    return build_fuzz_database(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_specs():
+    return [
+        TemplateSpec(spec_id="a", num_joins=1, num_aggregations=1),
+        TemplateSpec(spec_id="b", num_joins=0, require_order_by=True),
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_distribution():
+    return CostDistribution.uniform(0.0, 200.0, 16, 4)

@@ -1,0 +1,68 @@
+"""The chaos campaign itself: deterministic, and its bar actually holds."""
+
+import pytest
+
+from repro.resilience import ChaosRunner, InjectedCrash, run_chaos_campaign
+
+
+class TestInjectedCrash:
+    def test_not_catchable_as_exception(self):
+        # A simulated SIGKILL must sail through `except Exception` blocks.
+        assert not issubclass(InjectedCrash, Exception)
+        assert issubclass(InjectedCrash, BaseException)
+        with pytest.raises(InjectedCrash):
+            try:
+                raise InjectedCrash("boom")
+            except Exception:  # must NOT catch it
+                pytest.fail("InjectedCrash was swallowed by `except Exception`")
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # 6 runs = each scenario (storm/kill/budget) exercised twice.
+        return run_chaos_campaign(seed=1, runs=6, intensity=0.4)
+
+    def test_campaign_passes(self, report):
+        assert report.ok, report.to_json()
+        assert report.failures == []
+        assert report.mismatches == []
+
+    def test_every_scenario_ran(self, report):
+        assert report.scenarios == {"storm": 2, "kill": 2, "budget": 2}
+
+    def test_all_runs_accounted_for(self, report):
+        assert report.completed + report.aborted >= report.runs
+
+    def test_storms_actually_injected_faults(self, report):
+        assert report.transport_faults_injected > 0
+        assert report.retry_attempts > 0
+
+    def test_report_is_byte_identical_across_repeats(self, report):
+        again = run_chaos_campaign(seed=1, runs=6, intensity=0.4)
+        assert again.to_json() == report.to_json()
+
+    def test_report_json_has_no_environment_leakage(self, report):
+        text = report.to_json()
+        assert "/tmp" not in text and "repro-chaos-" not in text
+
+    def test_different_seed_different_campaign(self, report):
+        other = run_chaos_campaign(seed=2, runs=6, intensity=0.4)
+        assert other.ok
+        assert other.to_json() != report.to_json()
+
+
+class TestRunnerPlanning:
+    def test_plans_are_deterministic_and_scenario_cycled(self):
+        runner = ChaosRunner(seed=3, runs=6)
+        plans = [runner._plan(i) for i in range(6)]
+        again = [runner._plan(i) for i in range(6)]
+        assert plans == again
+        assert [p.scenario for p in plans] == [
+            "storm", "kill", "budget", "storm", "kill", "budget",
+        ]
+
+    def test_intensity_scales_the_storm(self):
+        calm = ChaosRunner(seed=3, runs=1, intensity=0.1)._plan(0).storm
+        wild = ChaosRunner(seed=3, runs=1, intensity=1.0)._plan(0).storm
+        assert wild.timeout_rate > calm.timeout_rate

@@ -1,0 +1,192 @@
+"""Checkpoint serialization and the CheckpointManager's safety checks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.check_rewrite import AttemptStatus, RewriteTrace
+from repro.llm import UsageMeter
+from repro.resilience import (
+    CheckpointError,
+    CheckpointManager,
+    canonical_json,
+    content_hash,
+    run_key,
+    to_jsonable,
+)
+from repro.resilience.checkpoint import (
+    restore_usage,
+    template_from_state,
+    template_to_state,
+    trace_from_state,
+    trace_to_state,
+    usage_from_state,
+    usage_to_state,
+)
+from repro.workload import SqlTemplate
+
+
+class TestJsonable:
+    def test_numpy_scalars_become_python(self):
+        converted = to_jsonable(
+            {"i": np.int64(3), "f": np.float64(1.5), "b": np.bool_(True)}
+        )
+        assert converted == {"i": 3, "f": 1.5, "b": True}
+        assert type(converted["i"]) is int
+        assert type(converted["f"]) is float
+        assert type(converted["b"]) is bool
+
+    def test_arrays_sets_and_tuples(self):
+        converted = to_jsonable(
+            {"a": np.array([1, 2]), "s": {3, 1, 2}, "t": (4, 5)}
+        )
+        assert converted == {"a": [1, 2], "s": [1, 2, 3], "t": [4, 5]}
+
+    def test_unserializable_raises_type_error(self):
+        with pytest.raises(TypeError, match="object"):
+            to_jsonable({"bad": object()})
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+        assert content_hash({"b": 1, "a": 2}) == content_hash({"a": 2, "b": 1})
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+
+class TestStateRoundtrips:
+    def test_template(self):
+        template = SqlTemplate(
+            template_id="t1",
+            sql="SELECT user_id FROM users WHERE user_id = {v}",
+            spec_id="s",
+            parent_id="t0",
+        )
+        back = template_from_state(template_to_state(template))
+        assert back.template_id == template.template_id
+        assert back.sql == template.sql
+        assert back.spec_id == template.spec_id
+        assert back.parent_id == template.parent_id
+
+    def test_trace(self):
+        trace = RewriteTrace(
+            spec_id="s",
+            attempts=[
+                AttemptStatus(spec_ok=False, syntax_ok=True),
+                AttemptStatus(spec_ok=True, syntax_ok=True),
+            ],
+            rewrites=1,
+            final_sql="SELECT 1",
+            final_ok=True,
+        )
+        back = trace_from_state(to_jsonable(trace_to_state(trace)))
+        assert back.spec_id == "s"
+        assert [(a.spec_ok, a.syntax_ok) for a in back.attempts] == [
+            (False, True),
+            (True, True),
+        ]
+        assert back.rewrites == 1
+        assert back.final_ok is True
+
+    def test_usage(self):
+        meter = UsageMeter()
+        meter.record(100, 50, "generate_template")
+        meter.record(30, 20, "refine_template")
+        back = usage_from_state(usage_to_state(meter))
+        assert back.snapshot() == meter.snapshot()
+
+    def test_restore_usage_overwrites_in_place(self):
+        source = UsageMeter()
+        source.record(10, 5, "t")
+        target = UsageMeter()
+        target.record(999, 999, "junk")
+        restore_usage(target, usage_to_state(source))
+        assert target.snapshot() == source.snapshot()
+
+
+class TestRunKey:
+    def _key(self, config):
+        from repro.workload import CostDistribution, TemplateSpec
+
+        specs = [TemplateSpec(spec_id="a", num_joins=1)]
+        dist = CostDistribution.uniform(0.0, 100.0, 8, 4)
+        return run_key(specs, dist, config, "db")
+
+    def test_execution_only_fields_do_not_change_the_key(self):
+        from repro.core import BarberConfig
+
+        base = self._key(BarberConfig(seed=1))
+        topped_up = self._key(
+            BarberConfig(seed=1, max_tokens=5000, max_cost_dollars=1.0)
+        )
+        recadenced = self._key(BarberConfig(seed=1, checkpoint_every_templates=99))
+        assert base == topped_up == recadenced
+
+    def test_seed_and_content_fields_do_change_the_key(self):
+        from repro.core import BarberConfig
+
+        assert self._key(BarberConfig(seed=1)) != self._key(BarberConfig(seed=2))
+        assert self._key(BarberConfig(seed=1)) != self._key(
+            BarberConfig(seed=1, max_rewrite_iterations=9)
+        )
+
+
+class TestManager:
+    def test_save_load_roundtrip(self, tmp_path):
+        manager = CheckpointManager(tmp_path, run_key="k1")
+        state = {"stage": "templates", "templates": [{"sql": "SELECT 1"}]}
+        path = manager.save(state)
+        assert path == manager.path
+        assert manager.saves == 1
+        assert CheckpointManager(tmp_path, run_key="k1").load() == state
+
+    def test_missing_checkpoint_loads_none(self, tmp_path):
+        assert CheckpointManager(tmp_path, run_key="k1").load() is None
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        manager = CheckpointManager(tmp_path, run_key="k1")
+        manager.save({"stage": "templates"})
+        assert [p.name for p in tmp_path.iterdir()] == ["checkpoint.json"]
+
+    def test_foreign_run_key_rejected(self, tmp_path):
+        CheckpointManager(tmp_path, run_key="k1").save({"stage": "x"})
+        with pytest.raises(CheckpointError, match="different run"):
+            CheckpointManager(tmp_path, run_key="k2").load()
+
+    def test_corrupted_content_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path, run_key="k1")
+        manager.save({"stage": "templates", "value": 1})
+        payload = json.loads(manager.path.read_text())
+        payload["state"]["value"] = 2  # tampered, hash now stale
+        manager.path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="hash"):
+            manager.load()
+
+    def test_unparsable_file_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path, run_key="k1")
+        manager.directory.mkdir(exist_ok=True)
+        manager.path.write_text("{ not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            manager.load()
+
+    def test_wrong_format_version_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path, run_key="k1")
+        manager.save({"stage": "x"})
+        payload = json.loads(manager.path.read_text())
+        payload["format_version"] = 999
+        manager.path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="format version"):
+            manager.load()
+
+    def test_on_save_fires_after_durable_write(self, tmp_path):
+        seen = []
+
+        def hook(manager, payload):
+            # The file must already be fully written when the hook runs.
+            on_disk = json.loads(manager.path.read_text())
+            seen.append(on_disk["state"]["stage"])
+            assert on_disk == payload
+
+        manager = CheckpointManager(tmp_path, run_key="k1", on_save=hook)
+        manager.save({"stage": "templates"})
+        manager.save({"stage": "profile"})
+        assert seen == ["templates", "profile"]

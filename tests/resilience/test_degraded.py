@@ -1,0 +1,178 @@
+"""Degraded-mode pipeline behaviour: every stage x fault class combination
+produces a graceful partial result, never a stack trace.
+
+Transport faults can only surface from the two LLM-calling stages
+(templates and refine); interruption of profile/search is covered by the
+kill/resume tests, which crash inside those stages' checkpoint saves.
+"""
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.core.barber import PIPELINE_STAGES
+from repro.llm import (
+    LLMRateLimitError,
+    LLMServerError,
+    LLMTimeoutError,
+    SimulatedLLM,
+)
+from repro.llm.client import LLMClient
+from repro.obs import Telemetry
+from repro.resilience import ResilientLLMClient
+from repro.resilience.client import CircuitBreakerPolicy, RetryPolicy
+from repro.resilience.clock import SimulatedClock
+
+
+class TaskFaultLLM(LLMClient):
+    """Delegates to a SimulatedLLM but always fails one task's calls."""
+
+    def __init__(self, inner: SimulatedLLM, fail_task: str, error: Exception):
+        self.inner = inner  # before super().__init__, which sets last_faults
+        super().__init__(model=inner.model)
+        self.fail_task = fail_task
+        self.error = error
+
+    @property
+    def usage(self):
+        return self.inner.usage
+
+    @usage.setter
+    def usage(self, value):  # base __init__ assigns; keep it on the inner
+        pass
+
+    @property
+    def last_faults(self):
+        return self.inner.last_faults
+
+    @last_faults.setter
+    def last_faults(self, value):
+        self.inner.last_faults = value
+
+    def complete(self, prompt, task="unknown"):
+        if task == self.fail_task:
+            raise self.error
+        return self.inner.complete(prompt, task=task)
+
+    def _complete_text(self, prompt):  # pragma: no cover
+        raise NotImplementedError
+
+    def rng_state(self):
+        return self.inner.rng_state()
+
+    def set_rng_state(self, state):
+        self.inner.set_rng_state(state)
+
+
+FAULTS = [
+    LLMTimeoutError("injected timeout"),
+    LLMRateLimitError("injected 429", retry_after=0.01),
+    LLMServerError("injected 503", status=503),
+]
+
+STAGE_BY_TASK = {
+    "generate_template": "templates",
+    "refine_template": "refine",
+}
+
+
+def run_with_fault(db, specs, distribution, fail_task, error):
+    inner = SimulatedLLM(seed=5)
+    llm = ResilientLLMClient(
+        TaskFaultLLM(inner, fail_task, error),
+        retry=RetryPolicy(max_attempts=3, base_delay_seconds=0.001),
+        breaker=CircuitBreakerPolicy(failure_threshold=4),
+        clock=SimulatedClock(),
+    )
+    barber = SQLBarber(db, llm=llm, config=BarberConfig(seed=5))
+    telemetry = Telemetry()
+    result = barber.generate_workload(specs, distribution, telemetry=telemetry)
+    return result, telemetry
+
+
+def assert_graceful_abort(result, telemetry, expected_stage):
+    assert result.aborted
+    assert result.abort_stage == expected_stage
+    assert not result.complete
+    assert result.search is None
+    assert result.workload.queries == []
+    assert result.abort_reason
+    # Degraded mode keeps its instrumentation: every stage has a duration
+    # (skipped stages report ~0) and the abort is counted.
+    assert set(result.stage_seconds) == set(PIPELINE_STAGES)
+    assert telemetry.metrics.total("pipeline.aborted") == 1
+
+
+@pytest.mark.parametrize("fail_task", sorted(STAGE_BY_TASK))
+@pytest.mark.parametrize("error", FAULTS, ids=lambda e: type(e).__name__)
+class TestStageFaultMatrix:
+    def test_persistent_fault_aborts_in_the_failing_stage(
+        self, fail_task, error, chaos_db, tiny_specs, tiny_distribution
+    ):
+        result, telemetry = run_with_fault(
+            chaos_db, tiny_specs, tiny_distribution, fail_task, error
+        )
+        assert_graceful_abort(result, telemetry, STAGE_BY_TASK[fail_task])
+        assert "LLMRetryExhausted" in result.abort_reason
+
+    def test_abort_reason_names_the_root_cause(
+        self, fail_task, error, chaos_db, tiny_specs, tiny_distribution
+    ):
+        result, _ = run_with_fault(
+            chaos_db, tiny_specs, tiny_distribution, fail_task, error
+        )
+        assert type(error).__name__ in result.abort_reason
+
+
+class TestBudgetDegradation:
+    def test_tiny_token_budget_aborts_in_templates(
+        self, chaos_db, tiny_specs, tiny_distribution
+    ):
+        barber = SQLBarber(
+            chaos_db,
+            llm=SimulatedLLM(seed=5),
+            config=BarberConfig(seed=5, max_tokens=500),
+        )
+        telemetry = Telemetry()
+        result = barber.generate_workload(
+            tiny_specs, tiny_distribution, telemetry=telemetry
+        )
+        assert_graceful_abort(result, telemetry, "templates")
+        assert result.abort_reason.startswith("BudgetExhausted")
+
+    def test_dollar_budget_aborts_gracefully(
+        self, chaos_db, tiny_specs, tiny_distribution
+    ):
+        barber = SQLBarber(
+            chaos_db,
+            llm=SimulatedLLM(seed=5),
+            config=BarberConfig(seed=5, max_cost_dollars=1e-6),
+        )
+        telemetry = Telemetry()
+        result = barber.generate_workload(
+            tiny_specs, tiny_distribution, telemetry=telemetry
+        )
+        assert result.aborted
+        assert result.abort_reason.startswith("BudgetExhausted")
+
+    def test_config_budget_auto_wraps_plain_llm(self, chaos_db):
+        barber = SQLBarber(
+            chaos_db,
+            llm=SimulatedLLM(seed=5),
+            config=BarberConfig(seed=5, max_tokens=10_000),
+        )
+        assert isinstance(barber.llm, ResilientLLMClient)
+        assert barber.llm.max_tokens == 10_000
+
+    def test_generous_budget_completes(
+        self, chaos_db, tiny_specs, tiny_distribution
+    ):
+        barber = SQLBarber(
+            chaos_db,
+            llm=SimulatedLLM(seed=5),
+            config=BarberConfig(seed=5, max_tokens=10_000_000),
+        )
+        result = barber.generate_workload(
+            tiny_specs, tiny_distribution, telemetry=Telemetry()
+        )
+        assert not result.aborted
+        assert result.workload.queries

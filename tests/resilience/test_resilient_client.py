@@ -1,0 +1,254 @@
+"""ResilientLLMClient: retry/backoff, circuit breaking, deadlines, budgets.
+
+All timing runs on a :class:`SimulatedClock`, so the exact backoff sequence
+is asserted, not approximated.
+"""
+
+import pytest
+
+from repro.llm import (
+    BudgetExhausted,
+    CircuitOpenError,
+    LLMMalformedResponseError,
+    LLMRateLimitError,
+    LLMRetryExhausted,
+    LLMServerError,
+    LLMTimeoutError,
+    ScriptedLLM,
+    SimulatedLLM,
+)
+from repro.llm.client import LLMClient
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    ResilientLLMClient,
+    RetryPolicy,
+    SimulatedClock,
+)
+
+
+class FlakyLLM(LLMClient):
+    """Scripted inner client: each item is a response string or an error."""
+
+    def __init__(self, script):
+        super().__init__(model="flaky")
+        self.script = list(script)
+        self.calls = 0
+
+    def _complete_text(self, prompt: str) -> str:
+        self.calls += 1
+        item = self.script.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+
+def make_client(script, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(jitter=0.0))
+    kwargs.setdefault("clock", SimulatedClock())
+    return ResilientLLMClient(FlakyLLM(script), **kwargs)
+
+
+class TestRetry:
+    def test_success_needs_no_retries(self):
+        client = make_client(["ok"])
+        assert client.complete("p").text == "ok"
+        assert client.clock.sleeps == []
+
+    def test_exact_backoff_sequence(self):
+        client = make_client(
+            [LLMServerError("boom"), LLMServerError("boom"), "ok"],
+            retry=RetryPolicy(
+                base_delay_seconds=0.05, multiplier=2.0, jitter=0.0
+            ),
+        )
+        assert client.complete("p").text == "ok"
+        assert client.clock.sleeps == [pytest.approx(0.05), pytest.approx(0.1)]
+        assert client.inner.calls == 3
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay_seconds=1.0, max_delay_seconds=1.5, jitter=0.0
+        )
+        client = make_client([LLMServerError("x")] * 3 + ["ok"], retry=policy)
+        client.complete("p")
+        assert client.clock.sleeps == [1.0, 1.5, 1.5]
+
+    def test_retry_after_hint_extends_backoff(self):
+        client = make_client(
+            [LLMRateLimitError("slow down", retry_after=3.0), "ok"]
+        )
+        client.complete("p")
+        assert client.clock.sleeps == [3.0]
+
+    def test_jitter_shrinks_delay_deterministically(self):
+        policy = RetryPolicy(base_delay_seconds=1.0, jitter=0.5)
+        first = make_client([LLMServerError("x"), "ok"], retry=policy, jitter_seed=9)
+        second = make_client([LLMServerError("x"), "ok"], retry=policy, jitter_seed=9)
+        first.complete("p")
+        second.complete("p")
+        assert first.clock.sleeps == second.clock.sleeps
+        assert 0.5 <= first.clock.sleeps[0] <= 1.0
+
+    def test_exhaustion_raises_with_attempt_count(self):
+        client = make_client(
+            [LLMServerError(f"fail {i}") for i in range(3)],
+            retry=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        with pytest.raises(LLMRetryExhausted) as excinfo:
+            client.complete("p")
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, LLMServerError)
+        assert not excinfo.value.retryable
+
+    def test_non_retryable_error_fails_fast(self):
+        error = LLMServerError("fatal")
+        error.retryable = False
+        client = make_client([error, "never reached"])
+        with pytest.raises(LLMRetryExhausted):
+            client.complete("p")
+        assert client.inner.calls == 1
+
+    def test_malformed_response_is_retried(self):
+        client = make_client(["```sql\nSELECT 1", "```sql\nSELECT 1\n```"])
+        response = client.complete("p")
+        assert response.text == "```sql\nSELECT 1\n```"
+        assert client.inner.calls == 2
+
+    def test_validator_disabled_passes_garbage_through(self):
+        client = make_client(["```sql\nSELECT 1"], validator=None)
+        assert client.complete("p").text == "```sql\nSELECT 1"
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_rejects(self):
+        policy = CircuitBreakerPolicy(failure_threshold=2, cooldown_seconds=10.0)
+        client = make_client(
+            [LLMServerError("x")] * 2,
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            breaker=policy,
+        )
+        with pytest.raises(LLMRetryExhausted):
+            client.complete("p", task="t")
+        # Two consecutive failures tripped the task's breaker.
+        assert client._breakers["t"].state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            client.complete("p", task="t")
+
+    def test_breakers_are_per_task(self):
+        policy = CircuitBreakerPolicy(failure_threshold=1, cooldown_seconds=10.0)
+        client = make_client(
+            [LLMServerError("x"), "ok"],
+            retry=RetryPolicy(max_attempts=1, jitter=0.0),
+            breaker=policy,
+        )
+        with pytest.raises(LLMRetryExhausted):
+            client.complete("p", task="bad")
+        # A different task has its own closed breaker.
+        assert client.complete("p", task="good").text == "ok"
+
+    def test_half_open_then_close_after_cooldown(self):
+        clock = SimulatedClock()
+        policy = CircuitBreakerPolicy(failure_threshold=1, cooldown_seconds=5.0)
+        client = make_client(
+            [LLMServerError("x"), "ok"],
+            retry=RetryPolicy(max_attempts=1, jitter=0.0),
+            breaker=policy,
+            clock=clock,
+        )
+        with pytest.raises(LLMRetryExhausted):
+            client.complete("p", task="t")
+        breaker = client._breakers["t"]
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert client.complete("p", task="t").text == "ok"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        clock = SimulatedClock()
+        policy = CircuitBreakerPolicy(failure_threshold=1, cooldown_seconds=5.0)
+        breaker = CircuitBreaker(policy, clock, task="t")
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert breaker.allow()  # open -> half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+
+class TestDeadline:
+    def test_deadline_blocks_new_attempts(self):
+        clock = SimulatedClock()
+        client = make_client(["ok"], clock=clock, deadline=10.0)
+        assert client.complete("p").text == "ok"
+        clock.advance(11.0)
+        with pytest.raises(LLMTimeoutError, match="deadline"):
+            client.complete("p")
+
+    def test_deadline_caps_backoff_sleep(self):
+        clock = SimulatedClock()
+        client = make_client(
+            [LLMRateLimitError("wait", retry_after=100.0), "never"],
+            clock=clock,
+            deadline=5.0,
+        )
+        with pytest.raises(LLMTimeoutError, match="backoff"):
+            client.complete("p")
+        # It refused to sleep past the deadline rather than sleeping then failing.
+        assert clock.sleeps == []
+
+
+class TestBudget:
+    def test_token_budget_checked_before_call(self):
+        client = make_client(["ok"] * 10, max_tokens=1)
+        client.complete("some prompt")  # first call spends tokens
+        with pytest.raises(BudgetExhausted) as excinfo:
+            client.complete("p")
+        assert excinfo.value.max_tokens == 1
+        assert excinfo.value.tokens >= 1
+        assert client.inner.calls == 1  # the guarded call never went out
+
+    def test_dollar_budget(self):
+        client = make_client(["ok"] * 10, max_cost_dollars=1e-9)
+        client.complete("some prompt")
+        with pytest.raises(BudgetExhausted, match="dollar"):
+            client.complete("p")
+
+    def test_no_budget_never_raises(self):
+        client = make_client(["ok"] * 3)
+        for _ in range(3):
+            client.complete("p")
+
+
+class TestDelegation:
+    def test_usage_is_the_inner_meter(self):
+        client = make_client(["ok"])
+        client.complete("hello world")
+        assert client.usage is client.inner.usage
+        assert client.usage.num_calls == 1
+
+    def test_rng_state_delegates(self):
+        inner = ScriptedLLM(["a", "b"])
+        client = ResilientLLMClient(inner, clock=SimulatedClock())
+        client.complete("p")
+        assert client.rng_state() == {"cursor": 1}
+        client.set_rng_state({"cursor": 0})
+        assert inner._cursor == 0
+
+    def test_fault_free_passthrough_is_identity(self):
+        """With no faults, wrapping must not change a single completion."""
+        from repro.llm.prompts import encode_payload
+
+        payload = {
+            "task": "validate_semantics",
+            "spec": {"spec_id": "s", "num_joins": 0},
+            "template": "SELECT user_id FROM users WHERE user_id = {v}",
+        }
+        prompt = "check\n" + encode_payload(payload)
+        plain = SimulatedLLM(seed=21)
+        wrapped = ResilientLLMClient(SimulatedLLM(seed=21), clock=SimulatedClock())
+        for _ in range(6):
+            assert plain.complete(prompt).text == wrapped.complete(prompt).text
+        assert wrapped.clock.sleeps == []

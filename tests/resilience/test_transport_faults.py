@@ -1,0 +1,169 @@
+"""Transport-fault injection in the simulated LLM (the layer below content
+faults), plus the satellite contracts on the base client."""
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    LLMExhaustedError,
+    LLMTransportError,
+    MALFORMED_RESPONSE,
+    ScriptedLLM,
+    SimulatedLLM,
+    TransportFaultModel,
+)
+from repro.llm.faults import truncate_completion
+from repro.llm.prompts import encode_payload
+from repro.resilience import default_response_validator
+
+
+def _prompt(schema: dict | None = None) -> str:
+    payload = {
+        "task": "validate_semantics",
+        "spec": {"spec_id": "s", "num_joins": 0},
+        "template": "SELECT user_id FROM users WHERE user_id = {v}",
+    }
+    return "check this\n" + encode_payload(payload)
+
+
+class TestTransportFaultModel:
+    def test_inactive_by_default(self):
+        assert not TransportFaultModel().active
+        assert not TransportFaultModel.none().active
+
+    def test_storm_splits_intensity(self):
+        storm = TransportFaultModel.storm(0.5)
+        assert storm.active
+        total = (
+            storm.timeout_rate
+            + storm.rate_limit_rate
+            + storm.server_error_rate
+            + storm.truncation_rate
+            + storm.malformed_rate
+        )
+        assert total == pytest.approx(0.5)
+
+
+class TestInjection:
+    def test_zero_rates_leave_content_stream_untouched(self):
+        plain = SimulatedLLM(seed=11)
+        with_model = SimulatedLLM(seed=11, transport_faults=TransportFaultModel())
+        for _ in range(5):
+            assert (
+                plain.complete(_prompt()).text
+                == with_model.complete(_prompt()).text
+            )
+
+    def test_storm_is_deterministic_per_seed(self):
+        def outcomes(seed):
+            llm = SimulatedLLM(
+                seed=seed, transport_faults=TransportFaultModel.storm(0.8)
+            )
+            out = []
+            for _ in range(30):
+                try:
+                    out.append(("ok", llm.complete(_prompt()).text))
+                except LLMTransportError as error:
+                    out.append(("err", type(error).__name__))
+            return out
+
+        first, second = outcomes(3), outcomes(3)
+        assert first == second
+        kinds = {kind for kind, _ in first}
+        assert "err" in kinds  # the storm actually raised something
+
+    def test_raising_fault_resets_last_faults(self):
+        llm = SimulatedLLM(
+            seed=0,
+            transport_faults=TransportFaultModel(timeout_rate=1.0),
+        )
+        with pytest.raises(LLMTransportError):
+            llm.complete(_prompt())
+        # A failed call delivered nothing; stale fault labels must not leak.
+        assert llm.last_faults == []
+
+    def test_corruption_marks_last_faults(self):
+        llm = SimulatedLLM(
+            seed=0,
+            transport_faults=TransportFaultModel(malformed_rate=1.0),
+        )
+        response = llm.complete(_prompt())
+        assert response.text == MALFORMED_RESPONSE
+        assert "transport:malformed" in llm.last_faults
+
+    def test_rng_state_roundtrip(self):
+        llm = SimulatedLLM(
+            seed=4, transport_faults=TransportFaultModel.storm(0.4)
+        )
+        for _ in range(7):
+            try:
+                llm.complete(_prompt())
+            except LLMTransportError:
+                pass
+        state = llm.rng_state()
+        twin = SimulatedLLM(
+            seed=4, transport_faults=TransportFaultModel.storm(0.4)
+        )
+        twin.set_rng_state(state)
+
+        def drain(client):
+            out = []
+            for _ in range(10):
+                try:
+                    out.append(client.complete(_prompt()).text)
+                except LLMTransportError as error:
+                    out.append(type(error).__name__)
+            return out
+
+        assert drain(llm) == drain(twin)
+
+
+class TestTruncation:
+    def test_fenced_completion_loses_closing_fence(self):
+        text = "Here you go\n```sql\nSELECT 1\n```"
+        cut = truncate_completion(text, np.random.default_rng(0))
+        assert cut != text
+        assert text.startswith(cut)
+        assert cut.count("```") % 2 == 1
+
+    def test_unfenced_text_loses_tail(self):
+        text = "a" * 100
+        cut = truncate_completion(text, np.random.default_rng(0))
+        assert cut == "a" * 50
+
+    def test_validator_catches_all_corruptions(self):
+        assert default_response_validator(MALFORMED_RESPONSE) is not None
+        assert default_response_validator("```sql\nSELECT 1") is not None
+        assert default_response_validator("") is not None
+        assert default_response_validator('{"satisfied": tru') is not None
+        assert default_response_validator("```sql\nSELECT 1\n```") is None
+        assert default_response_validator('{"satisfied": true}') is None
+
+
+class TestScriptedExhaustion:
+    def test_raises_llm_exhausted(self):
+        llm = ScriptedLLM(["one"])
+        llm.complete("p")
+        with pytest.raises(LLMExhaustedError, match="ran out"):
+            llm.complete("p")
+
+    def test_exhaustion_is_still_a_runtime_error(self):
+        # Backwards compatibility: older callers matched on RuntimeError.
+        llm = ScriptedLLM([])
+        with pytest.raises(RuntimeError):
+            llm.complete("p")
+
+    def test_exhaustion_resets_last_faults(self):
+        llm = ScriptedLLM([])
+        llm.last_faults = ["stale"]
+        with pytest.raises(LLMExhaustedError):
+            llm.complete("p")
+        assert llm.last_faults == []
+
+    def test_cursor_state_roundtrip(self):
+        llm = ScriptedLLM(["one", "two", "three"])
+        llm.complete("p")
+        state = llm.rng_state()
+        twin = ScriptedLLM(["one", "two", "three"])
+        twin.set_rng_state(state)
+        assert twin.complete("p").text == "two"
