@@ -1,0 +1,191 @@
+"""Governor overhead benchmark: what does resource governance cost when
+no limit ever trips?
+
+Standalone (not a pytest-benchmark figure — run it directly):
+
+    PYTHONPATH=src python benchmarks/bench_governor.py           # full run
+    PYTHONPATH=src python benchmarks/bench_governor.py --smoke   # CI smoke
+
+Runs the same small end-to-end pipeline (fuzz database, two specs, 16
+queries) two ways and compares wall-clock:
+
+* ``off``   — no governor: every limit ``None``, the executor's fast path;
+* ``armed`` — generous limits (a 300s deadline, a 1 GiB memory budget, a
+  100M row budget) that the workload never approaches, so every operator
+  boundary pays the full governed bookkeeping but nothing trips.
+
+Both must produce bit-identical fingerprints — an armed-but-idle governor
+must not change content — and ``--check`` enforces the acceptance bar
+(armed overhead < 5% over off, measured on best-of-N to shave scheduler
+noise).  A third ``quarantine`` phase runs a planted template pool whose
+runaway cross join trips tight limits and gets benched; it is reported for
+scale but has no threshold, since its cost is dominated by how fast the
+governor refuses the cross product (the refusal itself is the feature).
+
+Writes ``BENCH_governor.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import BarberConfig, SQLBarber
+from repro.fuzz.runner import build_fuzz_database
+from repro.llm import SimulatedLLM
+from repro.obs import Telemetry
+from repro.workload import CostDistribution, SqlTemplate, TemplateSpec
+
+SEED = 11
+
+SPECS = [
+    TemplateSpec(spec_id="bench_a", num_joins=1, num_aggregations=1),
+    TemplateSpec(spec_id="bench_b", num_joins=0, require_order_by=True),
+]
+DISTRIBUTION = CostDistribution.uniform(0.0, 200.0, 16, 4)
+
+#: Never-tripped ceilings: far above anything the bench workload touches.
+ARMED = dict(
+    query_timeout_seconds=300.0,
+    memory_budget_mb=1024.0,
+    row_budget=100_000_000,
+)
+
+#: Tight ceilings for the quarantine phase, on a simulated clock so the
+#: phase is deterministic.
+TIGHT = dict(
+    query_timeout_seconds=2.0,
+    governor_cost_per_row_seconds=1e-4,
+    memory_budget_mb=8.0,
+    row_budget=5_000,
+    governor_clock="simulated",
+    quarantine_after=2,
+)
+
+
+def _quarantine_pool() -> list[SqlTemplate]:
+    return [
+        SqlTemplate(
+            template_id="bench_users",
+            sql="SELECT * FROM users WHERE users.age > {age}",
+        ),
+        SqlTemplate(
+            template_id="bench_orders",
+            sql=(
+                "SELECT * FROM orders WHERE orders.amount > {amount} "
+                "ORDER BY orders.amount"
+            ),
+        ),
+        SqlTemplate(
+            template_id="bench_runaway",
+            sql="SELECT * FROM users, orders, items WHERE users.age > {age}",
+        ),
+    ]
+
+
+def run_once(db, mode: str) -> tuple[float, str, object]:
+    """One pipeline run; returns (seconds, fingerprint, result)."""
+    knobs = {"off": {}, "armed": ARMED, "quarantine": TIGHT}[mode]
+    barber = SQLBarber(
+        db,
+        llm=SimulatedLLM(seed=SEED),
+        config=BarberConfig(seed=SEED, **knobs),
+    )
+    if mode == "quarantine":
+        distribution = CostDistribution.uniform(
+            0.0, 700.0, 12, 4, cost_type="actual_rows"
+        )
+        templates = _quarantine_pool()
+    else:
+        distribution, templates = DISTRIBUTION, None
+    started = time.perf_counter()
+    result = barber.generate_workload(
+        SPECS, distribution, templates=templates, telemetry=Telemetry()
+    )
+    return time.perf_counter() - started, result.fingerprint_json(), result
+
+
+def bench_mode(db, mode: str, repeats: int) -> tuple[dict, set]:
+    times, fingerprints, last = [], set(), None
+    for _ in range(repeats):
+        seconds, fingerprint, last = run_once(db, mode)
+        times.append(seconds)
+        fingerprints.add(fingerprint)
+    entry = {
+        "repeats": repeats,
+        "best_seconds": round(min(times), 4),
+        "mean_seconds": round(sum(times) / len(times), 4),
+        "deterministic": len(fingerprints) == 1,
+    }
+    if mode == "quarantine":
+        metrics = last.telemetry.metrics
+        entry["quarantined"] = len(last.quarantined)
+        entry["strikes"] = int(metrics.total("governor.strikes"))
+        entry["complete"] = bool(last.complete)
+    return entry, fingerprints
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=9,
+                        help="runs per mode (best-of is compared)")
+    parser.add_argument("--output", "-o", default="BENCH_governor.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration (fast, no thresholds)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless armed overhead < 5% over off")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.repeats = 3
+
+    db = build_fuzz_database(0)
+    run_once(db, "armed")  # warm imports/caches off the clock
+
+    off, off_fp = bench_mode(db, "off", args.repeats)
+    armed, armed_fp = bench_mode(db, "armed", args.repeats)
+    quarantine, _ = bench_mode(db, "quarantine", max(args.repeats // 3, 1))
+
+    identical = off_fp == armed_fp and len(off_fp) == 1
+    armed_overhead = (
+        (armed["best_seconds"] - off["best_seconds"])
+        / off["best_seconds"] * 100.0
+    )
+    report = {
+        "benchmark": "governor",
+        "smoke": args.smoke,
+        "off": off,
+        "armed": armed,
+        "quarantine": quarantine,
+        "fingerprints_identical": identical,
+        "armed_overhead_percent": round(armed_overhead, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+
+    if not identical:
+        print(
+            "FAIL: an armed-but-idle governor changed the workload",
+            file=sys.stderr,
+        )
+        return 1
+    if not quarantine["quarantined"]:
+        print(
+            "FAIL: the planted runaway cross join escaped quarantine",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check and armed_overhead >= 5.0:
+        print(
+            f"FAIL: fault-free governor overhead {armed_overhead:.2f}% >= 5%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

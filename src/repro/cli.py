@@ -73,7 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument(
         "--cost-type", default="plan_cost",
-        choices=["plan_cost", "cardinality", "execution_time"],
+        choices=["plan_cost", "cardinality", "execution_time", "actual_rows"],
     )
     generate.add_argument("--cost-min", type=float, default=0.0)
     generate.add_argument("--cost-max", type=float, default=10_000.0)
@@ -111,6 +111,26 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--max-cost-dollars", type=float, default=None,
         help="hard LLM spend ceiling in USD (see --max-tokens)",
+    )
+    generate.add_argument(
+        "--query-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-query deadline enforced cooperatively inside the engine; "
+             "a tripped deadline is a quarantine strike, not a crash",
+    )
+    generate.add_argument(
+        "--memory-budget", type=float, default=None, metavar="MB",
+        help="per-operator memory ceiling (estimated bytes of any "
+             "materialized frame)",
+    )
+    generate.add_argument(
+        "--row-budget", type=int, default=None,
+        help="per-query processed-row ceiling; unbounded cross products "
+             "are refused before materializing",
+    )
+    generate.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="N",
+        help="bench a template after N resource strikes (default 3); the "
+             "run continues without it and records why",
     )
     generate.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
@@ -193,11 +213,18 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument(
         "--runs", type=int, default=30,
-        help="number of chaos runs (cycling storm / kill / budget scenarios)",
+        help="number of chaos runs (cycling storm / kill / budget / engine "
+             "scenarios)",
     )
     chaos.add_argument(
         "--intensity", type=float, default=0.3,
         help="upper bound on the total per-call transport-fault probability",
+    )
+    chaos.add_argument(
+        "--scenario", default=None,
+        choices=["storm", "kill", "budget", "engine"],
+        help="pin every run to one scenario instead of cycling "
+             "(engine = governor limits + engine-side fault storm)",
     )
     return parser
 
@@ -275,6 +302,10 @@ def cmd_generate(args) -> int:
             parallel_backend=args.parallel_backend,
             max_tokens=args.max_tokens,
             max_cost_dollars=args.max_cost_dollars,
+            query_timeout_seconds=args.query_timeout,
+            memory_budget_mb=args.memory_budget,
+            row_budget=args.row_budget,
+            quarantine_after=args.quarantine_after,
         ),
         sinks=_telemetry_sinks(args.trace_out),
     )
@@ -295,6 +326,12 @@ def cmd_generate(args) -> int:
             result.abort_stage, result.abort_reason,
             f"; resume with --checkpoint-dir {args.checkpoint_dir} --resume"
             if args.checkpoint_dir else "",
+        )
+    if result.quarantined:
+        logger.warning(
+            "%d template(s) quarantined by the resource governor: %s",
+            len(result.quarantined),
+            ", ".join(record.template_id for record in result.quarantined),
         )
     if args.output:
         with open(args.output, "w") as handle:
@@ -318,6 +355,7 @@ def cmd_generate(args) -> int:
         "aborted": result.aborted,
         "abort_stage": result.abort_stage,
         "abort_reason": result.abort_reason,
+        "quarantined": [record.to_dict() for record in result.quarantined],
         "checkpoint": result.checkpoint_path,
         "output": args.output,
         "trace": args.trace_out,
@@ -417,7 +455,8 @@ def cmd_chaos(args) -> int:
     from repro.resilience import run_chaos_campaign
 
     report = run_chaos_campaign(
-        seed=args.seed, runs=args.runs, intensity=args.intensity
+        seed=args.seed, runs=args.runs, intensity=args.intensity,
+        scenario=args.scenario,
     )
     print(report.to_json(), end="")
     logger.info(

@@ -30,6 +30,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.governor import QuarantineRecord
 from repro.llm import LLMClient, SimulatedLLM
 from repro.llm.errors import PIPELINE_ABORT_ERRORS
 from repro.obs import Telemetry, use_telemetry
@@ -93,6 +94,9 @@ class WorkloadResult:
     abort_stage: str | None = None
     abort_reason: str | None = None
     checkpoint_path: str | None = None
+    # Templates benched by the resource governor (repro.governor): who,
+    # why, after how many strikes, and the bindings that tripped the limit.
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
 
     @property
     def final_distance(self) -> float:
@@ -123,6 +127,7 @@ class WorkloadResult:
             "aborted": self.aborted,
             "abort_stage": self.abort_stage,
             "complete": self.complete,
+            "quarantined": [r.to_dict() for r in self.quarantined],
         }
 
     def fingerprint_json(self) -> str:
@@ -155,6 +160,11 @@ def _substrate_totals(telemetry: Telemetry) -> dict[str, float]:
             metrics.total("sqldb.explain.calls")
             + metrics.total("sqldb.execute.calls")
         ),
+        "governor_strikes": metrics.total("governor.strikes"),
+        "governor_cancellations": (
+            metrics.total("governor.watchdog_cancellations")
+        ),
+        "governor_quarantines": metrics.total("governor.quarantines"),
     }
 
 
@@ -209,6 +219,7 @@ class SQLBarber:
     def _stage(self, telemetry: Telemetry, name: str, stage_seconds: dict):
         """One `stage:<name>` span, recording duration + substrate deltas."""
         before = _substrate_totals(telemetry)
+        before_peak = telemetry.metrics.max_gauge("governor.peak_bytes")
         started = time.perf_counter()
         with telemetry.span(f"stage:{name}") as span:
             try:
@@ -216,9 +227,18 @@ class SQLBarber:
             finally:
                 after = _substrate_totals(telemetry)
                 stage_seconds[name] = time.perf_counter() - started
-                span.set(
-                    **{key: after[key] - before[key] for key in after}
+                deltas = {key: after[key] - before[key] for key in after}
+                # Governor attributes appear only on stages with governor
+                # activity, so ungoverned runs keep their pre-governor spans.
+                for key in [k for k in deltas if k.startswith("governor_")]:
+                    if not deltas[key]:
+                        del deltas[key]
+                span.set(**deltas)
+                after_peak = telemetry.metrics.max_gauge(
+                    "governor.peak_bytes"
                 )
+                if after_peak is not None and after_peak != before_peak:
+                    span.set(governor_peak_bytes=int(after_peak))
 
     def generate_workload(
         self,
@@ -305,6 +325,14 @@ class SQLBarber:
         profiles: list[TemplateProfile] = []
         refinement: RefinementResult | None = None
         search_result: SearchResult | None = None
+        # Quarantine records accumulate across stages and ride in every
+        # checkpoint save, so a resumed run skips known-bad templates and
+        # fingerprints identically to an uninterrupted one.
+        quarantined: list[QuarantineRecord] = (
+            [QuarantineRecord.from_dict(r) for r in state.get("quarantined", [])]
+            if state is not None
+            else []
+        )
 
         def abort(stage: str, error: Exception) -> None:
             nonlocal aborted, abort_stage, abort_reason
@@ -326,6 +354,7 @@ class SQLBarber:
                     "traces": [trace_to_state(t) for t in report.traces],
                     "llm_rng": self.llm.rng_state(),
                     "usage": usage_to_state(self.llm.usage),
+                    "quarantined": [r.to_dict() for r in quarantined],
                     **extra,
                 }
             )
@@ -408,8 +437,19 @@ class SQLBarber:
                                     ],
                                 },
                             )
+                    # Quarantine records are derived from the complete raw
+                    # pool — on a mid-profile resume the restored profiles
+                    # carry their strike bookkeeping, so this rebuild is
+                    # exact and never double-counts.
+                    quarantined[:] = [
+                        QuarantineRecord.from_profile(p)
+                        for p in raw
+                        if p.quarantined
+                    ]
                     profiles = [p for p in raw if p.is_usable]
                     span.set(samples_per_template=samples, usable=len(profiles))
+                    if quarantined:
+                        span.set(quarantined=len(quarantined))
                     save(
                         "profiled",
                         profiles=[profile_to_state(p) for p in profiles],
@@ -455,11 +495,25 @@ class SQLBarber:
                         abort("refine", error)
                     else:
                         profiles = refinement.profiles
+                        for record in refinement.quarantined:
+                            # A mid-refine resume restores records that are
+                            # already on the run-level list; only new ones
+                            # are appended, keeping order deterministic.
+                            if not any(
+                                q.template_id == record.template_id
+                                and q.stage == record.stage
+                                for q in quarantined
+                            ):
+                                quarantined.append(record)
                         span.set(
                             refine_calls=refinement.refine_calls,
                             accepted=len(refinement.accepted),
                             pruned=refinement.pruned,
                         )
+                        if refinement.quarantined:
+                            span.set(
+                                quarantined=len(refinement.quarantined)
+                            )
                         save(
                             "refined",
                             profiles=[],
@@ -473,6 +527,10 @@ class SQLBarber:
                                 ],
                                 "pruned": refinement.pruned,
                                 "refine_calls": refinement.refine_calls,
+                                "quarantined": [
+                                    r.to_dict()
+                                    for r in refinement.quarantined
+                                ],
                             },
                         )
                 else:
@@ -540,4 +598,5 @@ class SQLBarber:
             abort_stage=abort_stage,
             abort_reason=abort_reason,
             checkpoint_path=str(manager.path) if manager is not None else None,
+            quarantined=quarantined,
         )

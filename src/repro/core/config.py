@@ -87,9 +87,90 @@ class BarberConfig:
     # saves (when a checkpoint directory is configured).
     checkpoint_every_templates: int = 4
 
+    # -- repro.governor: engine-side resource governance ----------------------------
+    # Per-query ceilings enforced cooperatively at executor operator
+    # boundaries.  All None = ungoverned (the default, zero overhead).
+    query_timeout_seconds: float | None = None
+    memory_budget_mb: float | None = None
+    row_budget: int | None = None
+    # Virtual seconds charged per processed row.  > 0 makes deadline trips a
+    # pure function of the query (deterministic under the simulated clock).
+    governor_cost_per_row_seconds: float = 0.0
+    # 'system' = wall-clock deadlines; 'simulated' = per-query deterministic
+    # timeline that only advances via charged cost (tests, chaos campaigns).
+    governor_clock: str = "system"
+    # Resource strikes a template survives before it is quarantined for the
+    # rest of the run.
+    quarantine_after: int = 3
+    # Seeded engine fault model (repro.governor.EngineFaultModel) or None.
+    engine_faults: object | None = None
+    # Out-of-band wall-clock guard for stuck profiling workers; None = off.
+    # Nondeterministic by nature — never enable in reproducibility tests.
+    watchdog_timeout_seconds: float | None = None
+
     # -- misc ----------------------------------------------------------------------
     time_budget_seconds: float | None = None
     unbound_placeholder_range: tuple[int, int] = (1, 1000)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        """Reject nonsensical limits up front, with actionable messages.
+
+        A zero timeout would cancel every query; a negative budget would
+        quarantine every template.  Those are configuration bugs, not
+        workloads, and surfacing them at construction beats diagnosing a
+        fully-quarantined run.
+        """
+
+        def _positive(name: str, value, *, allow_none: bool = True) -> None:
+            if value is None:
+                if not allow_none:
+                    raise ValueError(f"BarberConfig.{name} must be set")
+                return
+            if value <= 0:
+                raise ValueError(
+                    f"BarberConfig.{name} must be positive (got {value!r}); "
+                    f"use None to disable the limit"
+                )
+
+        if self.workers < 1:
+            raise ValueError(
+                f"BarberConfig.workers must be >= 1 (got {self.workers})"
+            )
+        if self.parallel_backend not in ("thread", "process"):
+            raise ValueError(
+                f"BarberConfig.parallel_backend must be 'thread' or "
+                f"'process' (got {self.parallel_backend!r})"
+            )
+        if self.governor_clock not in ("system", "simulated"):
+            raise ValueError(
+                f"BarberConfig.governor_clock must be 'system' or "
+                f"'simulated' (got {self.governor_clock!r})"
+            )
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"BarberConfig.quarantine_after must be >= 1 "
+                f"(got {self.quarantine_after})"
+            )
+        if self.governor_cost_per_row_seconds < 0:
+            raise ValueError(
+                f"BarberConfig.governor_cost_per_row_seconds must be >= 0 "
+                f"(got {self.governor_cost_per_row_seconds!r})"
+            )
+        if self.checkpoint_every_templates < 1:
+            raise ValueError(
+                f"BarberConfig.checkpoint_every_templates must be >= 1 "
+                f"(got {self.checkpoint_every_templates})"
+            )
+        _positive("query_timeout_seconds", self.query_timeout_seconds)
+        _positive("memory_budget_mb", self.memory_budget_mb)
+        _positive("row_budget", self.row_budget)
+        _positive("watchdog_timeout_seconds", self.watchdog_timeout_seconds)
+        _positive("time_budget_seconds", self.time_budget_seconds)
+        _positive("max_tokens", self.max_tokens)
+        _positive("max_cost_dollars", self.max_cost_dollars)
 
     def with_overrides(self, **kwargs) -> "BarberConfig":
         from dataclasses import replace

@@ -10,6 +10,7 @@ interval (via the closeness score of Eq. 2).
 from __future__ import annotations
 
 import math
+import time
 import zlib
 from dataclasses import dataclass, field
 
@@ -23,8 +24,20 @@ from repro.bo import (
     IntegerParameter,
     lhs_configs,
 )
+from repro.governor import (
+    GOVERNOR_SEED_OFFSET,
+    GovernorBoard,
+    GovernorLimits,
+    TemplateGuard,
+    use_governor,
+)
 from repro.obs import current as current_telemetry
-from repro.sqldb import Database, SqlError
+from repro.sqldb import (
+    Database,
+    ResourceExceeded,
+    SqlError,
+    TransientStorageError,
+)
 from repro.sqldb.types import SqlType
 from repro.workload import SqlTemplate, infer_placeholder_bindings
 from .config import BarberConfig
@@ -49,6 +62,12 @@ class TemplateProfile:
     space: ConfigSpace
     observations: list[tuple[Config, float]] = field(default_factory=list)
     errors: int = 0
+    # -- resource governance (repro.governor) -------------------------------
+    quarantined: bool = False
+    resource_strikes: int = 0
+    quarantine_reason: str | None = None
+    offending_bindings: list = field(default_factory=list)
+    peak_bytes: int = 0
 
     @property
     def costs(self) -> list[float]:
@@ -56,7 +75,9 @@ class TemplateProfile:
 
     @property
     def is_usable(self) -> bool:
-        return bool(self.observations)
+        # A quarantined template is benched even if some samples succeeded:
+        # refinement/search would keep re-running its pathological queries.
+        return bool(self.observations) and not self.quarantined
 
     @property
     def min_cost(self) -> float:
@@ -134,9 +155,17 @@ class TemplateProfiler:
             # The paper (Section 6.1) targets execution-time distributions
             # through the optimizer's plan cost estimate via EXPLAIN.
             cost_metric = "plan_cost"
-        elif cost_metric not in ("plan_cost", "cardinality", "measured_time"):
+        elif cost_metric not in (
+            "plan_cost",
+            "cardinality",
+            "measured_time",
+            "actual_rows",
+        ):
             raise ValueError(f"unknown cost metric {cost_metric!r}")
         self.cost_metric = cost_metric
+        # In-flight governor registry for the (optional) watchdog.  Dropped
+        # on pickling — process workers are watched by their own lifecycle.
+        self.board = GovernorBoard()
         # Compiled fast-path per template id; None marks a template whose
         # compilation failed, pinning it to the cold path permanently.
         self._compiled: dict[str, object | None] = {}
@@ -153,9 +182,12 @@ class TemplateProfiler:
         )
 
     def __getstate__(self) -> dict:
-        # Compiled templates hold locks; workers recompile on demand.
+        # Compiled templates hold locks; workers recompile on demand.  The
+        # governor board holds a lock too (and a watchdog is per-process by
+        # design), so process workers start with no board.
         state = dict(self.__dict__)
         state["_compiled"] = {}
+        state["board"] = None
         return state
 
     # -- search space construction ------------------------------------------------
@@ -214,7 +246,13 @@ class TemplateProfiler:
     # -- evaluation -------------------------------------------------------------------
 
     def evaluate(self, template: SqlTemplate, values: Config) -> float | None:
-        """Instantiate + measure one configuration; None on any SQL error."""
+        """Instantiate + measure one configuration; None on any SQL error.
+
+        Governor errors — :class:`ResourceExceeded` and the retryable
+        :class:`TransientStorageError` — propagate instead of collapsing to
+        None: they are verdicts about the *template's resource behaviour*
+        (strike material), not about the SQL being malformed.
+        """
         if (
             self.config.use_fastpath
             and self._custom_metric is None
@@ -224,6 +262,8 @@ class TemplateProfiler:
             if compiled is not None:
                 try:
                     explain = compiled.explain(values)
+                except (ResourceExceeded, TransientStorageError):
+                    raise
                 except (KeyError, SqlError):
                     return None
                 if self.cost_metric == "cardinality":
@@ -238,7 +278,15 @@ class TemplateProfiler:
                 return float(self._custom_metric(sql, self.db))
             if self.cost_metric == "measured_time":
                 return self.db.execute(sql).elapsed_seconds
+            if self.cost_metric == "actual_rows":
+                # Deterministic execution-based cost: the result cardinality.
+                # Unlike measured_time it is a pure function of the query, so
+                # reproducibility tests and chaos campaigns can execute real
+                # plans (and trip real governor limits) with stable output.
+                return float(self.db.execute(sql).row_count)
             explain = self.db.explain(sql)
+        except (ResourceExceeded, TransientStorageError):
+            raise
         except SqlError:
             return None
         if self.cost_metric == "cardinality":
@@ -292,6 +340,79 @@ class TemplateProfiler:
     def instantiate(self, template: SqlTemplate, values: Config) -> str:
         return template.instantiate(values)
 
+    # -- resource governance --------------------------------------------------------
+
+    def _guard_for(self, template: SqlTemplate) -> TemplateGuard | None:
+        """A fresh per-template guard, or None when governance is off.
+
+        The fault RNG stream is seeded from (seed + offset, template id) —
+        disjoint from the sampling streams and independent of profiling
+        order, so fault sequences are identical serial or fanned out.
+        """
+        limits = GovernorLimits.from_config(self.config)
+        faults = self.config.engine_faults
+        has_faults = faults is not None and faults.active
+        if not limits.enabled and not has_faults:
+            return None
+        fault_rng = None
+        if has_faults:
+            fault_rng = np.random.default_rng(
+                [
+                    self.config.seed + GOVERNOR_SEED_OFFSET,
+                    zlib.crc32(template.template_id.encode()),
+                ]
+            )
+        return TemplateGuard(
+            template.template_id,
+            limits,
+            clock_name=self.config.governor_clock,
+            quarantine_after=self.config.quarantine_after,
+            faults=faults if has_faults else None,
+            fault_rng=fault_rng,
+        )
+
+    _STORAGE_RETRIES = 2  # extra attempts after an injected storage fault
+
+    def _evaluate_governed(
+        self, template: SqlTemplate, values: Config, guard: TemplateGuard
+    ):
+        """One governed evaluation: ``(cost | None, resource_error | None)``.
+
+        Mints a fresh governor per query (a fresh deadline, like
+        ``statement_timeout``), retries transient storage faults a bounded
+        number of times, and converts a tripped limit into strike material
+        for the caller instead of an exception.
+        """
+        telemetry = current_telemetry()
+        board = getattr(self, "board", None)
+        for attempt in range(self._STORAGE_RETRIES + 1):
+            governor = guard.governor()
+            ticket = None
+            if board is not None and board.armed:
+                ticket = board.register(
+                    guard.template_id, governor, time.monotonic()
+                )
+            try:
+                with use_governor(governor):
+                    cost = self.evaluate(template, values)
+                return cost, None
+            except ResourceExceeded as exc:
+                return None, exc
+            except TransientStorageError:
+                if telemetry.enabled:
+                    telemetry.count("governor.storage_retries")
+                if attempt == self._STORAGE_RETRIES:
+                    return None, None  # exhausted: an ordinary error
+            finally:
+                if ticket is not None:
+                    board.unregister(ticket)
+                guard.observe(governor)
+                if governor.faults_injected and telemetry.enabled:
+                    telemetry.count(
+                        "governor.faults_injected", governor.faults_injected
+                    )
+        return None, None  # unreachable; keeps type-checkers calm
+
     # -- profiling ----------------------------------------------------------------------
 
     def profile(
@@ -314,6 +435,19 @@ class TemplateProfiler:
                 telemetry.count("profiler.samples", len(profile.observations))
                 if profile.errors:
                     telemetry.count("profiler.errors", profile.errors)
+                if profile.resource_strikes:
+                    telemetry.count(
+                        "governor.strikes", profile.resource_strikes
+                    )
+                if profile.quarantined:
+                    telemetry.count("governor.quarantines")
+                    span.set(quarantined=True, reason=profile.quarantine_reason)
+                if profile.peak_bytes:
+                    telemetry.gauge(
+                        "governor.peak_bytes",
+                        profile.peak_bytes,
+                        template=template.template_id,
+                    )
         return profile
 
     def profile_many(
@@ -352,13 +486,11 @@ class TemplateProfiler:
                 template=template, space=ConfigSpace(), errors=1
             )
         profile = TemplateProfile(template=template, space=space)
+        guard = self._guard_for(template)
         if len(space) == 0:
             # No placeholders: the template has exactly one cost point.
-            cost = self.evaluate(template, {})
-            if cost is None:
-                profile.errors += 1
-            else:
-                profile.add({}, cost)
+            self._profile_one(profile, template, {}, guard)
+            self._finish_guard(profile, guard)
             return profile
         count = num_samples if num_samples is not None else (
             self.config.min_profile_samples
@@ -370,12 +502,45 @@ class TemplateProfiler:
         else:
             samples = lhs_configs(space, count, rng)
         for values in samples:
-            cost = self.evaluate(template, values)
-            if cost is None:
-                profile.errors += 1
-            else:
-                profile.add(values, cost)
+            if not self._profile_one(profile, template, values, guard):
+                break  # quarantined: stop burning budget on this template
+        self._finish_guard(profile, guard)
         return profile
+
+    def _profile_one(
+        self,
+        profile: TemplateProfile,
+        template: SqlTemplate,
+        values: Config,
+        guard: TemplateGuard | None,
+    ) -> bool:
+        """Evaluate one sample into *profile*; False once quarantined."""
+        if guard is None:
+            cost = self.evaluate(template, values)
+        else:
+            cost, resource_error = self._evaluate_governed(
+                template, values, guard
+            )
+            if resource_error is not None:
+                profile.errors += 1
+                return not guard.strike(resource_error, values)
+        if cost is None:
+            profile.errors += 1
+        else:
+            profile.add(values, cost)
+        return True
+
+    @staticmethod
+    def _finish_guard(
+        profile: TemplateProfile, guard: TemplateGuard | None
+    ) -> None:
+        if guard is None:
+            return
+        profile.quarantined = guard.quarantined
+        profile.resource_strikes = guard.strikes
+        profile.quarantine_reason = guard.last_reason
+        profile.offending_bindings = list(guard.offending_bindings)
+        profile.peak_bytes = guard.peak_bytes
 
     def profile_samples_per_template(
         self, total_queries: int, num_templates: int

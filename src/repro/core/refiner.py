@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.governor import QuarantineRecord
 from repro.llm import LLMClient, extract_sql, refine_template_prompt
 from repro.obs import current as current_telemetry
 from repro.workload import CostDistribution, SqlTemplate, TemplateSpec, check_template
@@ -29,6 +30,9 @@ class RefinementResult:
     accepted: list[SqlTemplate] = field(default_factory=list)
     pruned: int = 0
     refine_calls: int = 0
+    # Refined candidates that tripped governor limits and were benched
+    # (they are also pruned; the records preserve the why).
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
 
 
 class TemplateRefiner:
@@ -196,6 +200,12 @@ class TemplateRefiner:
                         continue
                     template = self._make_template(profile.template, new_sql)
                     new_profile = self.profiler.profile(template, profile_samples)
+                    if new_profile.quarantined:
+                        result.quarantined.append(
+                            QuarantineRecord.from_profile(
+                                new_profile, stage="refine"
+                            )
+                        )
                     pruned = self._prune(
                         new_profile, intervals, result, distribution
                     )
@@ -273,6 +283,10 @@ class TemplateRefiner:
         )
         new_profiles: list[TemplateProfile] = []
         for (j, template), new_profile in zip(tasks, candidate_profiles):
+            if new_profile.quarantined:
+                result.quarantined.append(
+                    QuarantineRecord.from_profile(new_profile, stage="refine")
+                )
             pruned = self._prune(new_profile, intervals, result, distribution)
             history.setdefault(j, []).append(
                 {

@@ -39,11 +39,23 @@ from __future__ import annotations
 
 import pickle
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from contextlib import nullcontext
 
 from repro.obs.telemetry import NULL, Telemetry, current, use_telemetry
 
 BACKENDS = ("thread", "process")
+
+#: In-flight tasks admitted per worker.  Submitting everything up front
+#: would queue the whole template list inside the pool; a bounded window
+#: keeps admission control meaningful (a stuck task stalls its window slot,
+#: not the process' memory) while still keeping every worker busy.
+ADMISSION_WINDOW_PER_WORKER = 2
 
 
 class _MetricsOnlyTelemetry:
@@ -124,6 +136,23 @@ class ParallelProfiler:
             return self._profile_process(templates, num_samples)
         return self._profile_thread(templates, num_samples)
 
+    def _watchdog(self):
+        """A Watchdog over the profiler's governor board, or None.
+
+        Thread backend only: workers share the parent's board, so a stuck
+        query is visible and cancellable from here.  Process workers run
+        their own interpreter — their board never leaves the child.
+        """
+        board = getattr(self.profiler, "board", None)
+        timeout = getattr(
+            self.profiler.config, "watchdog_timeout_seconds", None
+        )
+        if board is None or timeout is None:
+            return None
+        from repro.governor import Watchdog
+
+        return Watchdog(board, timeout)
+
     def _profile_thread(self, templates, num_samples) -> list:
         parent = current()
         if parent.enabled:
@@ -137,8 +166,17 @@ class ParallelProfiler:
             with use_telemetry(worker_telemetry):
                 return self.profiler.profile(template, num_samples)
 
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(run, templates))
+        watchdog = self._watchdog()
+        with watchdog or nullcontext():
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                results = _bounded_map(
+                    pool, run, templates, self._admission_limit()
+                )
+        if watchdog is not None and watchdog.cancellations and parent.enabled:
+            parent.metrics.count(
+                "governor.watchdog_cancellations", watchdog.cancellations
+            )
+        return results
 
     def _profile_process(self, templates, num_samples) -> list:
         parent = current()
@@ -147,8 +185,11 @@ class ParallelProfiler:
             initializer=_process_init,
             initargs=(self.profiler,),
         ) as pool:
-            outcomes = list(
-                pool.map(_process_profile, [(t, num_samples) for t in templates])
+            outcomes = _bounded_map(
+                pool,
+                _process_profile,
+                [(t, num_samples) for t in templates],
+                self._admission_limit(),
             )
         profiles = []
         for profile, metrics in outcomes:
@@ -156,6 +197,31 @@ class ParallelProfiler:
             if parent.enabled:
                 parent.metrics.merge(metrics)
         return profiles
+
+    def _admission_limit(self) -> int:
+        return max(self.workers * ADMISSION_WINDOW_PER_WORKER, 2)
+
+
+def _bounded_map(pool, fn, items, limit: int) -> list:
+    """``pool.map`` semantics (input order) with bounded in-flight work.
+
+    At most *limit* tasks are submitted at a time; a new task is admitted
+    only when one completes.  Worker exceptions propagate exactly as with
+    ``pool.map``.
+    """
+    items = list(items)
+    results: list = [None] * len(items)
+    pending: dict = {}
+    next_index = 0
+    while next_index < len(items) or pending:
+        while next_index < len(items) and len(pending) < limit:
+            future = pool.submit(fn, items[next_index])
+            pending[future] = next_index
+            next_index += 1
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            results[pending.pop(future)] = future.result()
+    return results
 
 
 def _picklable(profiler) -> bool:

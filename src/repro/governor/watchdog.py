@@ -1,0 +1,81 @@
+"""The profiling watchdog: a stuck worker becomes a strike, not a hang.
+
+Cooperative cancellation only works if somebody asks for it.  Inside one
+process the executor's own deadline checks normally do, but two gaps
+remain: a query stuck inside a single long numpy call between check
+points, and a custom cost metric that never ticks the governor at all.
+The watchdog closes both from the outside — a daemon thread that scans the
+:class:`~repro.governor.context.GovernorBoard` of in-flight queries and
+flips the cancel flag on any that has overrun its wall-clock allowance.
+The worker then raises :class:`~repro.sqldb.errors.QueryCancelled` at its
+next boundary, which the profiler converts into a quarantine strike — the
+run completes, minus one template, instead of hanging.
+
+The watchdog measures *real* time (``time.monotonic``), independent of the
+governor's possibly-simulated clock, and is therefore nondeterministic by
+nature.  It is off by default and never enabled in reproducibility tests;
+deterministic deadline behaviour comes from the governor itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .context import GovernorBoard
+
+
+class Watchdog:
+    """Cancel in-flight governors that outlive their wall-clock allowance."""
+
+    def __init__(
+        self,
+        board: GovernorBoard,
+        timeout_seconds: float,
+        poll_seconds: float = 0.02,
+    ):
+        if timeout_seconds <= 0:
+            raise ValueError(
+                f"watchdog timeout must be positive (got {timeout_seconds})"
+            )
+        self.board = board
+        self.timeout_seconds = float(timeout_seconds)
+        self.poll_seconds = float(poll_seconds)
+        self.cancellations = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "Watchdog":
+        self.start()
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self.board.armed = True
+        self._thread = threading.Thread(
+            target=self._run, name="repro-governor-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.board.armed = False
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_seconds):
+            now = time.monotonic()
+            for key, governor, started in self.board.snapshot():
+                if governor.cancelled:
+                    continue
+                overrun = now - started
+                if overrun > self.timeout_seconds:
+                    governor.cancel(
+                        f"watchdog: {key} stuck for {overrun:.2f}s "
+                        f"(allowance {self.timeout_seconds:g}s)"
+                    )
+                    self.cancellations += 1

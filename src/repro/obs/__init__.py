@@ -23,6 +23,7 @@ from .metrics import (
     metric_key,
 )
 from .report import (
+    governor_rows,
     render_report,
     render_report_file,
     split_events,
@@ -46,6 +47,7 @@ __all__ = [
     "Telemetry",
     "Tracer",
     "current",
+    "governor_rows",
     "metric_key",
     "read_events",
     "render_report",

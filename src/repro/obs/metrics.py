@@ -134,6 +134,20 @@ class MetricsRegistry:
             if key == name or key.startswith(prefix)
         )
 
+    def max_gauge(self, name: str) -> float | None:
+        """Largest value of a gauge across all label sets (None if unset).
+
+        The peak-of-peaks reading: ``governor.peak_bytes`` is recorded per
+        template, and the interesting stage-level number is the maximum.
+        """
+        prefix = name + "{"
+        values = [
+            value
+            for key, value in self._gauges.items()
+            if key == name or key.startswith(prefix)
+        ]
+        return max(values) if values else None
+
     def histogram(self, name: str, **labels) -> Histogram | None:
         return self._histograms.get(metric_key(name, labels))
 

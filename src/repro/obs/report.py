@@ -44,19 +44,23 @@ def split_events(events: list[dict]) -> tuple[list[dict], dict]:
     return spans, metrics
 
 
-def stage_rows(spans: list[dict]) -> list[dict]:
-    """Per-stage breakdown rows from the stage spans of the last run."""
+def _stage_spans(spans: list[dict]) -> list[dict]:
+    """The last run's stage spans (orphans accepted on degenerate traces)."""
     roots = [s for s in spans if s["name"] == ROOT_SPAN]
     if roots:
         root = roots[-1]
-        stages = [
+        return [
             s
             for s in spans
             if s.get("parent_id") == root["span_id"]
             and s["name"].startswith(STAGE_PREFIX)
         ]
-    else:  # degenerate trace: accept orphan stage spans
-        stages = [s for s in spans if s["name"].startswith(STAGE_PREFIX)]
+    return [s for s in spans if s["name"].startswith(STAGE_PREFIX)]
+
+
+def stage_rows(spans: list[dict]) -> list[dict]:
+    """Per-stage breakdown rows from the stage spans of the last run."""
+    stages = _stage_spans(spans)
     rows = []
     for span in stages:
         attrs = span.get("attributes", {})
@@ -107,6 +111,31 @@ def task_rows(metrics: dict) -> list[dict]:
     return rows
 
 
+# Governor deltas attached to stage spans (only when non-zero, so traces
+# from governor-free runs carry none of these keys).
+_GOVERNOR_FIELDS = (
+    ("governor_strikes", "strikes"),
+    ("governor_cancellations", "cancellations"),
+    ("governor_quarantines", "quarantines"),
+)
+
+
+def governor_rows(spans: list[dict]) -> list[dict]:
+    """Per-stage resource-governance rows; empty when the governor never
+    acted (the section is omitted entirely for such traces)."""
+    rows = []
+    for span in _stage_spans(spans):
+        attrs = span.get("attributes", {})
+        if not any(key.startswith("governor_") for key in attrs):
+            continue
+        row = {"stage": span["name"][len(STAGE_PREFIX):]}
+        for key, column in _GOVERNOR_FIELDS:
+            row[column] = int(attrs.get(key, 0))
+        row["peak_bytes"] = int(attrs.get("governor_peak_bytes", 0))
+        rows.append(row)
+    return rows
+
+
 def render_report(events: list[dict]) -> str:
     """The full human-readable report for one trace."""
     spans, metrics = split_events(events)
@@ -136,6 +165,22 @@ def render_report(events: list[dict]) -> str:
         sections.append(_format_table(
             [{"counter": k, "value": int(v)} for k, v in sorted(engine.items())],
             title="Engine counters",
+        ))
+    governor = governor_rows(spans)
+    if governor:
+        sections.append(_format_table(governor, title="Resource governance"))
+    governor_counters = {
+        key: value
+        for key, value in counters.items()
+        if key.startswith("governor.")
+    }
+    if governor_counters:
+        sections.append(_format_table(
+            [
+                {"counter": k, "value": int(v)}
+                for k, v in sorted(governor_counters.items())
+            ],
+            title="Governor counters",
         ))
     return "\n\n".join(sections)
 

@@ -11,12 +11,20 @@ small database while one of three deterministic disruptions plays out:
   fingerprint identically to an uninterrupted control run.
 * ``budget`` — a hard token ceiling is set low enough to trip mid-run;
   the run must degrade into a partial-but-valid aborted result.
+* ``engine`` — the faults move from the transport to the query engine: a
+  seeded :class:`~repro.governor.EngineFaultModel` storm (slow operators,
+  transient storage errors, spurious cancellations) plus tight governor
+  limits, on a planted template pool containing a pathological cross join.
+  The runaway template must end the run quarantined, the run must not
+  abort, and — because the governor runs on a simulated clock and costs
+  are ``actual_rows`` — two invocations must fingerprint identically.
 
 The acceptance bar mirrors ``repro.fuzz``: a campaign's report is a pure
-function of ``(seed, runs, intensity)`` — byte-identical JSON across
-repeats, no timestamps, no filesystem paths — and a campaign *passes* when
-every run either completed, aborted gracefully, or resumed bit-identically
-after its kill.  A stack trace escaping the pipeline is a failure.
+function of ``(seed, runs, intensity, scenario)`` — byte-identical JSON
+across repeats, no timestamps, no filesystem paths — and a campaign
+*passes* when every run either completed, aborted gracefully, or resumed
+bit-identically after its kill.  A stack trace escaping the pipeline is a
+failure.
 """
 
 from __future__ import annotations
@@ -28,13 +36,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.governor import EngineFaultModel
 from repro.llm import SimulatedLLM, TransportFaultModel
 from repro.obs import Telemetry, current as current_telemetry, use_telemetry
 
 from .client import CircuitBreakerPolicy, ResilientLLMClient, RetryPolicy
 from .clock import SimulatedClock
 
-SCENARIOS = ("storm", "kill", "budget")
+SCENARIOS = ("storm", "kill", "budget", "engine")
 
 
 class InjectedCrash(BaseException):
@@ -60,6 +69,10 @@ class ChaosReport:
     resumed_identical: int = 0
     transport_faults_injected: int = 0
     retry_attempts: int = 0
+    quarantines: int = 0
+    engine_faults_injected: int = 0
+    engine_runs_identical: int = 0
+    scenario_filter: str | None = None
     mismatches: list = field(default_factory=list)  # resume != control
     failures: list = field(default_factory=list)  # unhandled exceptions
 
@@ -80,6 +93,10 @@ class ChaosReport:
             "resumed_identical": self.resumed_identical,
             "transport_faults_injected": self.transport_faults_injected,
             "retry_attempts": self.retry_attempts,
+            "quarantines": self.quarantines,
+            "engine_faults_injected": self.engine_faults_injected,
+            "engine_runs_identical": self.engine_runs_identical,
+            "scenario_filter": self.scenario_filter,
             "mismatches": list(self.mismatches),
             "failures": list(self.failures),
             "ok": self.ok,
@@ -101,6 +118,7 @@ class _RunPlan:
     storm: TransportFaultModel
     kill_at_save: int
     max_tokens: int | None
+    engine_faults: EngineFaultModel | None = None
 
 
 class ChaosRunner:
@@ -112,12 +130,18 @@ class ChaosRunner:
         runs: int = 30,
         intensity: float = 0.3,
         db=None,
+        scenario: str | None = None,
     ):
         from repro.fuzz.runner import build_fuzz_database
 
+        if scenario is not None and scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown chaos scenario {scenario!r}; pick one of {SCENARIOS}"
+            )
         self.seed = seed
         self.runs = runs
         self.intensity = float(intensity)
+        self.scenario = scenario
         self.db = db if db is not None else build_fuzz_database(seed)
         # Small but complete: two specs exercising joins, aggregation, and
         # ordering; 16 target queries across 4 intervals.
@@ -133,7 +157,7 @@ class ChaosRunner:
 
     def _plan(self, index: int) -> _RunPlan:
         rng = np.random.default_rng([self.seed, index])
-        scenario = SCENARIOS[index % len(SCENARIOS)]
+        scenario = self.scenario or SCENARIOS[index % len(SCENARIOS)]
         # Split a bounded intensity across the five fault classes so retry
         # exhaustion stays rare; when it does happen, the run degrades
         # gracefully and both the control and resumed runs degrade alike.
@@ -146,6 +170,11 @@ class ChaosRunner:
             storm=TransportFaultModel.storm(storm_intensity),
             kill_at_save=int(rng.integers(1, 12)),
             max_tokens=int(rng.integers(2_000, 30_000)),
+            # Drawn last so adding the engine storm did not shift any
+            # pre-existing scenario's knobs for a given (seed, index).
+            engine_faults=EngineFaultModel.storm(
+                float(rng.uniform(0.3, 1.0)) * self.intensity
+            ),
         )
 
     # -- one pipeline invocation ----------------------------------------------------
@@ -187,6 +216,72 @@ class ChaosRunner:
             on_checkpoint_save=on_save,
         )
 
+    # -- the engine scenario --------------------------------------------------------
+
+    def _engine_templates(self):
+        """A planted pool: two healthy templates plus a runaway cross join.
+
+        The cross product pre-admits ``|users| * |orders|`` rows at the
+        first nested loop — over any sane row budget before a single row
+        materializes — so the runaway must be quarantined every run.
+        """
+        from repro.workload import SqlTemplate
+
+        return [
+            SqlTemplate(
+                template_id="engine_users",
+                sql="SELECT * FROM users WHERE users.age > {age}",
+            ),
+            SqlTemplate(
+                template_id="engine_orders",
+                sql=(
+                    "SELECT * FROM orders WHERE orders.amount > {amount} "
+                    "ORDER BY orders.amount"
+                ),
+            ),
+            SqlTemplate(
+                template_id="engine_runaway",
+                sql=(
+                    "SELECT * FROM users, orders, items "
+                    "WHERE users.age > {age}"
+                ),
+            ),
+        ]
+
+    def _engine_pipeline(self, plan: _RunPlan):
+        """One governed run: simulated clock + tight limits + engine storm.
+
+        ``actual_rows`` costs and the simulated clock make the whole run —
+        including every governor trip and injected fault — a pure function
+        of the plan, which is what lets the campaign demand bit-identical
+        fingerprints from back-to-back invocations.
+        """
+        from repro.core import BarberConfig, SQLBarber
+        from repro.workload import CostDistribution
+
+        config = BarberConfig(
+            seed=plan.barber_seed,
+            query_timeout_seconds=2.0,
+            governor_cost_per_row_seconds=1e-4,
+            memory_budget_mb=8.0,
+            row_budget=5_000,
+            governor_clock="simulated",
+            quarantine_after=2,
+            engine_faults=plan.engine_faults,
+        )
+        barber = SQLBarber(
+            self.db, llm=SimulatedLLM(seed=plan.llm_seed), config=config
+        )
+        distribution = CostDistribution.uniform(
+            0.0, 700.0, 12, 4, cost_type="actual_rows"
+        )
+        return barber.generate_workload(
+            self.specs,
+            distribution,
+            templates=self._engine_templates(),
+            telemetry=Telemetry(),
+        )
+
     # -- the campaign -----------------------------------------------------------------
 
     def run(self) -> ChaosReport:
@@ -195,6 +290,7 @@ class ChaosRunner:
             runs=self.runs,
             intensity=self.intensity,
             database=self.db.name,
+            scenario_filter=self.scenario,
         )
         telemetry = current_telemetry()
         with telemetry.span("chaos.run", seed=self.seed, runs=self.runs):
@@ -235,8 +331,38 @@ class ChaosRunner:
                     }
                 )
             self._check_degraded_shape(plan, result, report)
+        elif plan.scenario == "engine":
+            self._engine_run(plan, report)
         else:  # kill
             self._kill_and_resume(plan, report)
+
+    def _engine_run(self, plan: _RunPlan, report: ChaosReport) -> None:
+        result = self._engine_pipeline(plan)
+        self._record_outcome(result, report)
+        if result.fingerprint_json() == self._engine_pipeline(plan).fingerprint_json():
+            report.engine_runs_identical += 1
+        else:
+            report.mismatches.append(
+                {"run": plan.index, "scenario": plan.scenario}
+            )
+        if not any(
+            q.template_id == "engine_runaway" for q in result.quarantined
+        ):
+            report.failures.append(
+                {
+                    "run": plan.index,
+                    "scenario": plan.scenario,
+                    "error": "runaway cross join escaped quarantine",
+                }
+            )
+        if result.aborted:
+            report.failures.append(
+                {
+                    "run": plan.index,
+                    "scenario": plan.scenario,
+                    "error": f"engine run aborted: {result.abort_reason}",
+                }
+            )
 
     def _kill_and_resume(self, plan: _RunPlan, report: ChaosReport) -> None:
         control = self._pipeline(plan)
@@ -284,6 +410,10 @@ class ChaosRunner:
                 metrics.total("llm.transport.injected")
             )
             report.retry_attempts += int(metrics.total("llm.retry.attempts"))
+            report.quarantines += int(metrics.total("governor.quarantines"))
+            report.engine_faults_injected += int(
+                metrics.total("governor.faults_injected")
+            )
 
     def _check_degraded_shape(self, plan: _RunPlan, result, report) -> None:
         """An aborted run must still be a well-formed partial result."""
@@ -306,9 +436,18 @@ class ChaosRunner:
 
 
 def run_chaos_campaign(
-    seed: int = 0, runs: int = 30, intensity: float = 0.3
+    seed: int = 0,
+    runs: int = 30,
+    intensity: float = 0.3,
+    scenario: str | None = None,
 ) -> ChaosReport:
-    """Convenience wrapper used by the CLI and CI smoke job."""
-    runner = ChaosRunner(seed=seed, runs=runs, intensity=intensity)
+    """Convenience wrapper used by the CLI and CI smoke job.
+
+    *scenario* pins every run to one scenario instead of cycling through
+    all of :data:`SCENARIOS` — the CI governor gate uses ``"engine"``.
+    """
+    runner = ChaosRunner(
+        seed=seed, runs=runs, intensity=intensity, scenario=scenario
+    )
     with use_telemetry(Telemetry()):
         return runner.run()

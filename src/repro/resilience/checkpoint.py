@@ -92,13 +92,26 @@ def template_from_state(state: dict):
 
 
 def profile_to_state(profile) -> dict:
-    return {
+    state = {
         "template": template_to_state(profile.template),
         "observations": [
             [config, cost] for config, cost in profile.observations
         ],
         "errors": profile.errors,
     }
+    # Governor bookkeeping rides only when present, so pre-governor
+    # checkpoints (and fault-free runs) keep their exact old shape.
+    if profile.resource_strikes or profile.quarantined:
+        state["governor"] = {
+            "quarantined": profile.quarantined,
+            "resource_strikes": profile.resource_strikes,
+            "quarantine_reason": profile.quarantine_reason,
+            "offending_bindings": [
+                dict(b) for b in profile.offending_bindings
+            ],
+            "peak_bytes": profile.peak_bytes,
+        }
+    return state
 
 
 def profile_from_state(state: dict, profiler):
@@ -116,6 +129,15 @@ def profile_from_state(state: dict, profiler):
     for config, cost in state["observations"]:
         profile.add(config, cost)
     profile.errors = int(state.get("errors", 0))
+    governor = state.get("governor")
+    if governor is not None:
+        profile.quarantined = bool(governor["quarantined"])
+        profile.resource_strikes = int(governor["resource_strikes"])
+        profile.quarantine_reason = governor.get("quarantine_reason")
+        profile.offending_bindings = [
+            dict(b) for b in governor.get("offending_bindings", [])
+        ]
+        profile.peak_bytes = int(governor.get("peak_bytes", 0))
     return profile
 
 
@@ -182,6 +204,7 @@ def refinement_to_state(
         "accepted": [template_to_state(t) for t in result.accepted],
         "pruned": result.pruned,
         "refine_calls": result.refine_calls,
+        "quarantined": [r.to_dict() for r in result.quarantined],
         "history": {str(j): entries for j, entries in history.items()},
         "refined_counter": refined_counter,
         "phase": phase,
@@ -191,12 +214,17 @@ def refinement_to_state(
 
 def refinement_from_state(state: dict, profiler):
     from repro.core.refiner import RefinementResult
+    from repro.governor import QuarantineRecord
 
     return RefinementResult(
         profiles=[profile_from_state(p, profiler) for p in state["profiles"]],
         accepted=[template_from_state(t) for t in state["accepted"]],
         pruned=int(state["pruned"]),
         refine_calls=int(state["refine_calls"]),
+        quarantined=[
+            QuarantineRecord.from_dict(r)
+            for r in state.get("quarantined", [])
+        ],
     )
 
 

@@ -18,8 +18,14 @@ from .errors import (
     BindError,
     CatalogError,
     ExecutionError,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    ResourceExceeded,
+    RowBudgetExceeded,
     SqlError,
     SqlSyntaxError,
+    TransientStorageError,
     UnsupportedSqlError,
 )
 from .explain import ExplainResult
@@ -39,11 +45,17 @@ __all__ = [
     "ExplainResult",
     "ForeignKey",
     "IndexMeta",
+    "MemoryBudgetExceeded",
+    "QueryCancelled",
+    "QueryTimeout",
+    "ResourceExceeded",
+    "RowBudgetExceeded",
     "SelectStatement",
     "SqlError",
     "SqlSyntaxError",
     "SqlType",
     "Table",
+    "TransientStorageError",
     "UnsupportedSqlError",
     "date_to_days",
     "days_to_date",

@@ -177,14 +177,17 @@ class Database:
         try:
             plan = self.plan(sql)
             table = self._executor.execute(plan)
-        except SqlError:
+        except SqlError as exc:
             if telemetry.enabled:
                 telemetry.count("sqldb.execute.errors")
                 telemetry.count("sqldb.execute.calls")
                 telemetry.observe(
                     "sqldb.execute.seconds", time.perf_counter() - started
                 )
-            raise
+            # Execution-phase errors (including governor ResourceExceeded)
+            # leave positioned, like plan-phase ones; attach_source is
+            # idempotent, so already-attached errors pass through untouched.
+            raise exc.attach_source(sql)
         elapsed = time.perf_counter() - started
         if telemetry.enabled:
             telemetry.count("sqldb.execute.calls")
@@ -201,7 +204,10 @@ class Database:
         # hit/miss counters agree with plain ``explain``.
         estimates = self.explain_estimates(sql, compute=lambda: explain_plan(plan))
         started = time.perf_counter()
-        table = self._executor.execute(plan)
+        try:
+            table = self._executor.execute(plan)
+        except SqlError as exc:
+            raise exc.attach_source(sql)
         elapsed = time.perf_counter() - started
         return estimates, ExecutionResult(table=table, elapsed_seconds=elapsed)
 

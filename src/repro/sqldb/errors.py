@@ -88,3 +88,42 @@ class ExecutionError(SqlError):
 
 class UnsupportedSqlError(SqlError):
     """The statement is valid SQL but outside the supported dialect subset."""
+
+
+class ResourceExceeded(ExecutionError):
+    """A query ran into a governor limit (PostgreSQL's ``statement_timeout``
+    / ``work_mem`` analogues for the embedded engine).
+
+    Raised cooperatively at operator boundaries by the executor when a
+    :class:`~repro.governor.QueryGovernor` is installed.  The taxonomy below
+    lets the profiler distinguish a *pathological template* (strike →
+    quarantine) from an ordinary SQL error (count and move on).  The
+    position defaults to 0 so :meth:`SqlError.attach_source` can still
+    render a ``LINE 1: ...`` snippet pointing at the statement.
+    """
+
+    def __init__(self, message: str, position: int | None = 0):
+        super().__init__(message, position)
+
+
+class QueryTimeout(ResourceExceeded):
+    """The query exceeded its deadline (wall-clock or charged virtual time)."""
+
+
+class MemoryBudgetExceeded(ResourceExceeded):
+    """An operator's estimated materialized size exceeded the memory budget."""
+
+
+class RowBudgetExceeded(ResourceExceeded):
+    """The query processed (or would materialize) more rows than allowed."""
+
+
+class QueryCancelled(ResourceExceeded):
+    """The query was cancelled cooperatively (watchdog, injected fault)."""
+
+
+class TransientStorageError(ExecutionError):
+    """A retryable storage-layer hiccup (only ever raised by the seeded
+    :class:`~repro.governor.EngineFaultModel`; the in-memory store itself
+    cannot fail).  Callers retry a bounded number of times before treating
+    it as an ordinary execution error."""

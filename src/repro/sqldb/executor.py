@@ -13,6 +13,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+# Module-object import (not a name import): repro.governor.context and
+# repro.sqldb import each other, and either may begin initializing first.
+# Binding the module keeps the import cycle-safe in both directions; the
+# attribute is resolved at call time, when both modules are fully loaded.
+import repro.governor.context as _governor_context
+
 from . import ast_nodes as ast
 from .errors import ExecutionError
 from .expr_eval import EvalContext, SubqueryValue, Vec, evaluate, truthy
@@ -123,6 +129,25 @@ class Executor:
     def _run(
         self, node: PlanNode, subquery_values: dict[int, SubqueryValue]
     ) -> _Frame:
+        """One operator boundary — where the governor gets its say.
+
+        The materializing executor's analogue of a volcano ``next()`` call:
+        before an operator runs, the ambient governor (if any) checks the
+        deadline and injects engine faults; after it materializes, its
+        output frame is charged against the row and memory budgets.
+        """
+        governor = _governor_context.current_governor()
+        if governor is None:
+            return self._dispatch(node, subquery_values)
+        name = type(node).__name__
+        governor.begin_operator(name)
+        frame = self._dispatch(node, subquery_values)
+        governor.charge_frame(name, frame.row_count, _frame_bytes(frame))
+        return frame
+
+    def _dispatch(
+        self, node: PlanNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
         if isinstance(node, (SeqScanNode, IndexScanNode)):
             return self._run_scan(node, subquery_values)
         if isinstance(node, SubqueryScanNode):
@@ -197,6 +222,7 @@ class Executor:
             node.right_keys, left, right, subquery_values, prefer=right
         )
         # Build hash table on the right side.
+        governor = _governor_context.current_governor()
         table: dict[object, list[int]] = {}
         for i in np.flatnonzero(right_valid):
             table.setdefault(right_codes[i], []).append(int(i))
@@ -210,6 +236,10 @@ class Executor:
                 for j in bucket:
                     left_idx.append(int(i))
                     right_idx.append(j)
+                # A skewed key can explode the output quadratically; check
+                # the budgets periodically while the match list grows.
+                if governor is not None and len(left_idx) & 0x1FFF == 0:
+                    governor.admit(len(left_idx), 0, "HashJoinNode")
         li = np.array(left_idx, dtype=np.int64)
         ri = np.array(right_idx, dtype=np.int64)
         joined = _combine_frames(left.take(li), right.take(ri))
@@ -232,6 +262,17 @@ class Executor:
     ) -> _Frame:
         left = self._run(node.left, subquery_values)
         right = self._run(node.right, subquery_values)
+        governor = _governor_context.current_governor()
+        if governor is not None:
+            # Pre-admit the cross product before np.repeat materializes it —
+            # this is the operator that turns a hallucinated comma join into
+            # an allocation the process may not survive.
+            product = left.row_count * right.row_count
+            governor.admit(
+                product,
+                product * (_row_bytes(left) + _row_bytes(right)),
+                "NestedLoopJoinNode",
+            )
         li = np.repeat(np.arange(left.row_count), right.row_count)
         ri = np.tile(np.arange(right.row_count), left.row_count)
         joined = _combine_frames(left.take(li), right.take(ri))
@@ -284,11 +325,16 @@ class Executor:
         frame = self._run(node.child, subquery_values)
         if frame.row_count <= 1 or not node.order_items:
             return frame
+        governor = _governor_context.current_governor()
         context = frame.context(subquery_values)
         keys: list[np.ndarray] = []
         for order in node.order_items:
             vec = evaluate(order.expression, context)
             keys.append(_sort_key(vec, order.descending))
+            if governor is not None:
+                # Each key materializes a full-width float array; re-check
+                # between keys rather than only after the whole sort.
+                governor.check()
         # np.lexsort sorts by the last key first.
         order_idx = np.lexsort(tuple(reversed(keys)))
         return frame.take(order_idx)
@@ -353,6 +399,18 @@ class Executor:
             vec = evaluate(item.expression, context)
             columns[name] = vec.to_column(name)
         return _Frame(columns, 1)
+
+
+def _frame_bytes(frame: _Frame) -> int:
+    """Estimated bytes held by a materialized frame (governor accounting)."""
+    return sum(col.estimated_bytes for col in frame.columns.values())
+
+
+def _row_bytes(frame: _Frame) -> int:
+    """Estimated bytes per row of *frame* (1 minimum, so products stay > 0)."""
+    if frame.row_count == 0:
+        return 1
+    return max(_frame_bytes(frame) // frame.row_count, 1)
 
 
 # -- join helpers -------------------------------------------------------------------

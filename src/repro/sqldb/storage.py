@@ -15,6 +15,10 @@ import numpy as np
 from .errors import CatalogError
 from .types import SqlType
 
+#: Flat per-element payload estimate for object-dtype columns (a short
+#: CPython str is ~49 bytes plus the array's own 8-byte pointer).
+_OBJECT_PAYLOAD_BYTES = 48
+
 
 @dataclass
 class Column:
@@ -63,6 +67,22 @@ class Column:
             return self.data
         return self.data[~self.null_mask]
 
+    @property
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory size, for governor memory accounting.
+
+        ``nbytes`` is exact for primitive dtypes; object columns add a flat
+        per-element charge for the boxed payload (strings, dates) on top of
+        the pointer array, since measuring each object would cost more than
+        the accounting is worth.
+        """
+        total = int(self.data.nbytes)
+        if self.data.dtype == object:
+            total += _OBJECT_PAYLOAD_BYTES * len(self.data)
+        if self.null_mask is not None:
+            total += int(self.null_mask.nbytes)
+        return total
+
     @staticmethod
     def from_values(name: str, sql_type: SqlType, values: Sequence) -> "Column":
         """Build a column from a Python sequence, treating ``None`` as NULL."""
@@ -102,6 +122,11 @@ class Table:
     def column_names(self) -> list[str]:
         """Column names in declaration order."""
         return [c.name for c in self.columns]
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory size (sum of the columns' estimates)."""
+        return sum(c.estimated_bytes for c in self.columns)
 
     def column(self, name: str) -> Column:
         """Look up a column by name (CatalogError if absent)."""

@@ -1,0 +1,39 @@
+"""Shared fixtures for the governor suite: the fuzz database plus a
+planted template pool whose cross join is guaranteed to bust any sane
+row budget before materializing a single row."""
+
+import pytest
+
+from repro.fuzz.runner import build_fuzz_database
+from repro.workload import CostDistribution, SqlTemplate
+
+
+@pytest.fixture(scope="session")
+def gov_db():
+    return build_fuzz_database(0)
+
+
+@pytest.fixture()
+def planted_templates():
+    return [
+        SqlTemplate(
+            template_id="healthy_users",
+            sql="SELECT * FROM users WHERE users.age > {age}",
+        ),
+        SqlTemplate(
+            template_id="healthy_orders",
+            sql=(
+                "SELECT * FROM orders WHERE orders.amount > {amount} "
+                "ORDER BY orders.amount"
+            ),
+        ),
+        SqlTemplate(
+            template_id="runaway",
+            sql="SELECT * FROM users, orders, items WHERE users.age > {age}",
+        ),
+    ]
+
+
+@pytest.fixture()
+def rows_distribution():
+    return CostDistribution.uniform(0.0, 700.0, 12, 4, cost_type="actual_rows")

@@ -1,0 +1,175 @@
+"""QueryGovernor unit behaviour: limits, clocks, cancellation, faults."""
+
+import numpy as np
+import pytest
+
+from repro.core import BarberConfig
+from repro.governor import (
+    EngineFaultModel,
+    GovernorLimits,
+    QueryGovernor,
+    clock_for,
+    current_governor,
+    use_governor,
+)
+from repro.resilience.clock import SimulatedClock, SystemClock
+from repro.sqldb import (
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    ResourceExceeded,
+    RowBudgetExceeded,
+    SqlError,
+)
+
+
+class TestLimits:
+    def test_all_none_is_disabled(self):
+        assert not GovernorLimits().enabled
+
+    def test_any_ceiling_enables(self):
+        assert GovernorLimits(row_budget=10).enabled
+        assert GovernorLimits(query_timeout_seconds=1.0).enabled
+        assert GovernorLimits(memory_budget_bytes=1).enabled
+
+    def test_from_config_converts_megabytes(self):
+        limits = GovernorLimits.from_config(
+            BarberConfig(memory_budget_mb=2.0, row_budget=7)
+        )
+        assert limits.memory_budget_bytes == 2 * 1024 * 1024
+        assert limits.row_budget == 7
+        assert limits.query_timeout_seconds is None
+
+    def test_clock_for(self):
+        assert isinstance(clock_for("simulated"), SimulatedClock)
+        assert isinstance(clock_for("system"), SystemClock)
+
+
+class TestChecks:
+    def test_row_budget_trips(self):
+        gov = QueryGovernor(
+            GovernorLimits(row_budget=100), clock=SimulatedClock()
+        )
+        gov.charge_rows(100)
+        with pytest.raises(RowBudgetExceeded):
+            gov.charge_rows(1)
+
+    def test_memory_budget_trips_on_frame(self):
+        gov = QueryGovernor(
+            GovernorLimits(memory_budget_bytes=1_000), clock=SimulatedClock()
+        )
+        gov.charge_frame("SeqScanNode", 10, 999)
+        with pytest.raises(MemoryBudgetExceeded):
+            gov.charge_frame("SortNode", 10, 1_001)
+        assert gov.peak_bytes == 1_001
+
+    def test_charged_rows_trip_simulated_deadline(self):
+        # 0.01 virtual seconds per row, a 1s deadline: the 101st row is
+        # over the line — a pure function of the row count, no wall clock.
+        gov = QueryGovernor(
+            GovernorLimits(
+                query_timeout_seconds=1.0, cost_per_row_seconds=0.01
+            ),
+            clock=SimulatedClock(),
+        )
+        gov.charge_rows(99)
+        gov.check()
+        gov.charge_rows(2)
+        with pytest.raises(QueryTimeout):
+            gov.check()
+
+    def test_admit_refuses_before_materializing(self):
+        gov = QueryGovernor(
+            GovernorLimits(row_budget=1_000), clock=SimulatedClock()
+        )
+        with pytest.raises(RowBudgetExceeded, match="would materialize"):
+            gov.admit(10_000, 0, "NestedLoopJoinNode")
+        assert gov.rows_processed == 0  # refused, never charged
+
+    def test_admit_projects_charged_deadline(self):
+        gov = QueryGovernor(
+            GovernorLimits(
+                query_timeout_seconds=1.0, cost_per_row_seconds=0.001
+            ),
+            clock=SimulatedClock(),
+        )
+        gov.admit(500, 0, "NestedLoopJoinNode")  # 0.5s projected: fine
+        with pytest.raises(QueryTimeout, match="charged"):
+            gov.admit(2_000, 0, "NestedLoopJoinNode")
+
+    def test_cancel_raises_at_next_check(self):
+        gov = QueryGovernor(GovernorLimits(), clock=SimulatedClock())
+        gov.check()
+        gov.cancel("watchdog says no")
+        with pytest.raises(QueryCancelled, match="watchdog says no"):
+            gov.check()
+
+    def test_taxonomy_is_sql_error(self):
+        # Governor trips travel the engine's error channel: positioned,
+        # source-attachable, and catchable as SqlError at the boundary.
+        for cls in (
+            QueryTimeout, MemoryBudgetExceeded, RowBudgetExceeded,
+            QueryCancelled,
+        ):
+            error = cls("boom")
+            assert isinstance(error, ResourceExceeded)
+            assert isinstance(error, SqlError)
+            attached = error.attach_source("SELECT 1")
+            assert "SELECT 1" in attached.context_snippet()
+
+
+class TestAmbientInstallation:
+    def test_default_is_ungoverned(self):
+        assert current_governor() is None
+
+    def test_use_governor_scopes(self):
+        gov = QueryGovernor(GovernorLimits(), clock=SimulatedClock())
+        with use_governor(gov):
+            assert current_governor() is gov
+        assert current_governor() is None
+
+
+class TestFaultInjection:
+    def _governor(self, seed):
+        return QueryGovernor(
+            GovernorLimits(),
+            clock=SimulatedClock(),
+            faults=EngineFaultModel.storm(0.9),
+            fault_rng=np.random.default_rng(seed),
+        )
+
+    def _drive(self, gov, operators=200):
+        outcomes = []
+        for _ in range(operators):
+            try:
+                gov.begin_operator("SeqScanNode")
+                outcomes.append("ok")
+            except SqlError as error:
+                outcomes.append(type(error).__name__)
+        return outcomes
+
+    def test_same_seed_same_faults(self):
+        a, b = self._governor(42), self._governor(42)
+        assert self._drive(a) == self._drive(b)
+        assert a.faults_injected == b.faults_injected > 0
+
+    def test_different_seed_different_faults(self):
+        assert self._drive(self._governor(1)) != self._drive(self._governor(2))
+
+    def test_slow_operators_charge_not_sleep(self):
+        gov = QueryGovernor(
+            GovernorLimits(),
+            clock=SimulatedClock(),
+            faults=EngineFaultModel(slow_operator_rate=1.0),
+            fault_rng=np.random.default_rng(0),
+        )
+        gov.begin_operator("SortNode")
+        # The simulated clock never advanced; only charged time did.
+        assert gov.elapsed_seconds() > 0.0
+
+    def test_inactive_model_is_dropped(self):
+        gov = QueryGovernor(
+            GovernorLimits(), clock=SimulatedClock(),
+            faults=EngineFaultModel.none(),
+        )
+        assert gov.faults is None

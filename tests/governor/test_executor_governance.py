@@ -1,0 +1,87 @@
+"""The executor under governance: operator-boundary checks on real queries."""
+
+import pytest
+
+from repro.governor import GovernorLimits, QueryGovernor, clock_for, use_governor
+from repro.sqldb import (
+    MemoryBudgetExceeded,
+    QueryTimeout,
+    ResourceExceeded,
+    RowBudgetExceeded,
+)
+
+RUNAWAY = "SELECT * FROM users, orders, items WHERE users.age > 30"
+
+
+def governed(**limits):
+    return QueryGovernor(
+        GovernorLimits(**limits), clock=clock_for("simulated")
+    )
+
+
+class TestCrossJoinRefusal:
+    def test_row_budget_refuses_cross_product(self, gov_db):
+        gov = governed(row_budget=10_000)
+        with use_governor(gov):
+            with pytest.raises(RowBudgetExceeded, match="would materialize"):
+                gov_db.execute(RUNAWAY)
+        # Refused at pre-admission: well under the full 72k-row product.
+        assert gov.rows_processed < 10_000
+
+    def test_error_carries_source_snippet(self, gov_db):
+        with use_governor(governed(row_budget=10_000)):
+            with pytest.raises(ResourceExceeded) as excinfo:
+                gov_db.execute(RUNAWAY)
+        assert "SELECT * FROM users" in excinfo.value.context_snippet()
+
+    def test_memory_budget_refuses_cross_product(self, gov_db):
+        with use_governor(governed(memory_budget_bytes=64 * 1024)):
+            with pytest.raises(MemoryBudgetExceeded):
+                gov_db.execute(RUNAWAY)
+
+
+class TestOperatorBoundaries:
+    def test_memory_budget_trips_on_wide_scan(self, gov_db):
+        with use_governor(governed(memory_budget_bytes=1_000)):
+            with pytest.raises(MemoryBudgetExceeded):
+                gov_db.execute("SELECT * FROM orders")
+
+    def test_charged_deadline_trips_deterministically(self, gov_db):
+        gov = governed(query_timeout_seconds=0.01, cost_per_row_seconds=1e-3)
+        with use_governor(gov):
+            with pytest.raises(QueryTimeout):
+                gov_db.execute("SELECT * FROM orders ORDER BY orders.amount")
+
+    def test_generous_limits_change_nothing(self, gov_db):
+        sql = "SELECT * FROM orders WHERE orders.amount > 50.0"
+        bare = gov_db.execute(sql)
+        gov = governed(
+            query_timeout_seconds=300.0,
+            row_budget=10_000_000,
+            memory_budget_bytes=1 << 30,
+        )
+        with use_governor(gov):
+            ruled = gov_db.execute(sql)
+        assert ruled.row_count == bare.row_count
+        assert gov.rows_processed > 0
+        assert gov.peak_bytes > 0
+
+    def test_accounting_is_deterministic(self, gov_db):
+        stats = []
+        for _ in range(2):
+            gov = governed(row_budget=10_000_000)
+            with use_governor(gov):
+                gov_db.execute(
+                    "SELECT * FROM orders WHERE orders.amount > 10.0 "
+                    "ORDER BY orders.amount"
+                )
+            stats.append(gov.stats())
+        assert stats[0] == stats[1]
+
+    def test_ungoverned_execution_untouched(self, gov_db):
+        # No ambient governor: the pathological query is only survivable
+        # because the engine materializes it; it must still succeed.
+        result = gov_db.execute(
+            "SELECT COUNT(*) FROM users WHERE users.age > 30"
+        )
+        assert result.row_count == 1

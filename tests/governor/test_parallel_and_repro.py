@@ -1,0 +1,185 @@
+"""The reproducibility bar: a run with quarantined templates is
+bit-identical serial vs fanned-out, and across checkpoint/resume."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.fastpath.parallel import ADMISSION_WINDOW_PER_WORKER, _bounded_map
+from repro.llm import SimulatedLLM
+from repro.obs import Telemetry
+from repro.resilience import InjectedCrash
+
+SEED = 3
+
+
+def governed_barber(gov_db, **overrides):
+    base = dict(
+        seed=SEED,
+        row_budget=5_000,
+        query_timeout_seconds=2.0,
+        governor_cost_per_row_seconds=1e-4,
+        governor_clock="simulated",
+        quarantine_after=2,
+    )
+    base.update(overrides)
+    return SQLBarber(
+        gov_db, llm=SimulatedLLM(seed=SEED), config=BarberConfig(**base)
+    )
+
+
+def run(barber, planted_templates, rows_distribution, **kwargs):
+    return barber.generate_workload(
+        [],  # planted templates skip spec-driven generation
+        rows_distribution,
+        templates=list(planted_templates),
+        telemetry=Telemetry(),
+        **kwargs,
+    )
+
+
+class TestBoundedMap:
+    def test_results_in_input_order(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = _bounded_map(pool, lambda x: x * x, list(range(20)), 4)
+        assert results == [x * x for x in range(20)]
+
+    def test_in_flight_never_exceeds_limit(self):
+        lock = threading.Lock()
+        state = {"now": 0, "peak": 0}
+
+        def tracked(x):
+            with lock:
+                state["now"] += 1
+                state["peak"] = max(state["peak"], state["now"])
+            time.sleep(0.005)
+            with lock:
+                state["now"] -= 1
+            return x
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = _bounded_map(pool, tracked, list(range(30)), 3)
+        assert results == list(range(30))
+        assert state["peak"] <= 3
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            if x == 5:
+                raise RuntimeError("item 5")
+            return x
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="item 5"):
+                _bounded_map(pool, boom, list(range(10)), 2)
+
+    def test_admission_window_is_bounded(self):
+        assert ADMISSION_WINDOW_PER_WORKER >= 1
+
+
+class TestSerialParallelIdentity:
+    def test_quarantined_run_identical_across_backends(
+        self, gov_db, planted_templates, rows_distribution
+    ):
+        serial = run(
+            governed_barber(gov_db, workers=1),
+            planted_templates, rows_distribution,
+        )
+        fanned = run(
+            governed_barber(gov_db, workers=3, parallel_backend="thread"),
+            planted_templates, rows_distribution,
+        )
+        assert serial.quarantined  # the planted runaway was benched
+        assert any(
+            q.template_id == "runaway" for q in serial.quarantined
+        )
+        assert serial.fingerprint_json() == fanned.fingerprint_json()
+        assert [q.to_dict() for q in serial.quarantined] == [
+            q.to_dict() for q in fanned.quarantined
+        ]
+        assert serial.complete and fanned.complete
+
+    def test_watchdog_armed_run_still_completes(
+        self, gov_db, planted_templates, rows_distribution
+    ):
+        # A generous watchdog must never fire on a healthy run; this pins
+        # the arming/disarming plumbing through the parallel profiler.
+        result = run(
+            governed_barber(
+                gov_db, workers=2, watchdog_timeout_seconds=30.0
+            ),
+            planted_templates, rows_distribution,
+        )
+        assert result.complete
+        totals = result.telemetry.metrics.total(
+            "governor.watchdog_cancellations"
+        )
+        assert totals == 0
+
+
+class TestCheckpointResume:
+    def test_quarantine_survives_kill_and_resume(
+        self, gov_db, planted_templates, rows_distribution, tmp_path
+    ):
+        control = run(
+            governed_barber(gov_db),
+            planted_templates, rows_distribution,
+        )
+        assert control.quarantined
+
+        fired = {"saves": 0}
+
+        def killer(_manager, _payload):
+            fired["saves"] += 1
+            if fired["saves"] == 2:
+                raise InjectedCrash("dead after save #2")
+
+        barber = governed_barber(gov_db, checkpoint_every_templates=1)
+        with pytest.raises(InjectedCrash):
+            run(
+                barber, planted_templates, rows_distribution,
+                checkpoint_dir=str(tmp_path), on_checkpoint_save=killer,
+            )
+        resumed = run(
+            governed_barber(gov_db, checkpoint_every_templates=1),
+            planted_templates, rows_distribution,
+            checkpoint_dir=str(tmp_path), resume=True,
+        )
+        assert resumed.fingerprint_json() == control.fingerprint_json()
+        assert [q.to_dict() for q in resumed.quarantined] == [
+            q.to_dict() for q in control.quarantined
+        ]
+
+    def test_resume_after_profile_stage_keeps_records(
+        self, gov_db, planted_templates, rows_distribution, tmp_path
+    ):
+        # Kill late (after profiling finished) so the quarantine records
+        # must come back from the checkpoint, not from re-profiling.
+        control = run(
+            governed_barber(gov_db),
+            planted_templates, rows_distribution,
+        )
+        fired = {"saves": 0}
+
+        def killer(_manager, payload):
+            fired["saves"] += 1
+            if payload["state"].get("stage") == "refined":
+                raise InjectedCrash("dead after refine")
+
+        barber = governed_barber(gov_db)
+        with pytest.raises(InjectedCrash):
+            run(
+                barber, planted_templates, rows_distribution,
+                checkpoint_dir=str(tmp_path), on_checkpoint_save=killer,
+            )
+        resumed = run(
+            governed_barber(gov_db),
+            planted_templates, rows_distribution,
+            checkpoint_dir=str(tmp_path), resume=True,
+        )
+        assert resumed.fingerprint_json() == control.fingerprint_json()
+        assert [q.to_dict() for q in resumed.quarantined] == [
+            q.to_dict() for q in control.quarantined
+        ]

@@ -1,0 +1,73 @@
+"""The out-of-band watchdog: wall-clock, threads, deliberately small scale."""
+
+import time
+
+from repro.governor import (
+    GovernorBoard,
+    GovernorLimits,
+    QueryGovernor,
+    Watchdog,
+)
+from repro.resilience.clock import SystemClock
+from repro.sqldb import QueryCancelled
+
+
+def _governor():
+    return QueryGovernor(GovernorLimits(), clock=SystemClock())
+
+
+class TestWatchdog:
+    def test_arms_and_disarms_the_board(self):
+        board = GovernorBoard()
+        assert not board.armed
+        with Watchdog(board, timeout_seconds=5.0):
+            assert board.armed
+        assert not board.armed
+
+    def test_cancels_overdue_governor(self):
+        board = GovernorBoard()
+        governor = _governor()
+        with Watchdog(board, timeout_seconds=0.05, poll_seconds=0.01) as dog:
+            board.register("stuck_template", governor, time.monotonic())
+            deadline = time.monotonic() + 2.0
+            while not governor.cancelled and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert governor.cancelled
+        assert dog.cancellations == 1
+        try:
+            governor.check()
+            raise AssertionError("cancelled governor passed check()")
+        except QueryCancelled as error:
+            assert "watchdog" in str(error)
+            assert "stuck_template" in str(error)
+
+    def test_fresh_governor_left_alone(self):
+        board = GovernorBoard()
+        governor = _governor()
+        with Watchdog(board, timeout_seconds=10.0, poll_seconds=0.01):
+            ticket = board.register("fine", governor, time.monotonic())
+            time.sleep(0.05)
+            board.unregister(ticket)
+        assert not governor.cancelled
+
+    def test_unregistered_board_is_silent(self):
+        board = GovernorBoard()
+        with Watchdog(board, timeout_seconds=0.01, poll_seconds=0.01) as dog:
+            time.sleep(0.05)
+        assert dog.cancellations == 0
+
+
+class TestBoard:
+    def test_register_unregister_snapshot(self):
+        board = GovernorBoard()
+        governor = _governor()
+        ticket = board.register("a", governor, 0.0)
+        assert [key for key, _, _ in board.snapshot()] == ["a"]
+        board.unregister(ticket)
+        assert board.snapshot() == []
+
+    def test_double_unregister_is_harmless(self):
+        board = GovernorBoard()
+        ticket = board.register("a", _governor(), 0.0)
+        board.unregister(ticket)
+        board.unregister(ticket)

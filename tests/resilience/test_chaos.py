@@ -20,8 +20,8 @@ class TestInjectedCrash:
 class TestCampaign:
     @pytest.fixture(scope="class")
     def report(self):
-        # 6 runs = each scenario (storm/kill/budget) exercised twice.
-        return run_chaos_campaign(seed=1, runs=6, intensity=0.4)
+        # 8 runs = each scenario (storm/kill/budget/engine) exercised twice.
+        return run_chaos_campaign(seed=1, runs=8, intensity=0.4)
 
     def test_campaign_passes(self, report):
         assert report.ok, report.to_json()
@@ -29,7 +29,9 @@ class TestCampaign:
         assert report.mismatches == []
 
     def test_every_scenario_ran(self, report):
-        assert report.scenarios == {"storm": 2, "kill": 2, "budget": 2}
+        assert report.scenarios == {
+            "storm": 2, "kill": 2, "budget": 2, "engine": 2,
+        }
 
     def test_all_runs_accounted_for(self, report):
         assert report.completed + report.aborted >= report.runs
@@ -38,8 +40,15 @@ class TestCampaign:
         assert report.transport_faults_injected > 0
         assert report.retry_attempts > 0
 
+    def test_engine_runs_quarantined_and_identical(self, report):
+        # Both engine runs fingerprinted identically across their double
+        # invocation, injected engine faults, and benched the runaway.
+        assert report.engine_runs_identical == 2
+        assert report.engine_faults_injected > 0
+        assert report.quarantines > 0
+
     def test_report_is_byte_identical_across_repeats(self, report):
-        again = run_chaos_campaign(seed=1, runs=6, intensity=0.4)
+        again = run_chaos_campaign(seed=1, runs=8, intensity=0.4)
         assert again.to_json() == report.to_json()
 
     def test_report_json_has_no_environment_leakage(self, report):
@@ -47,22 +56,35 @@ class TestCampaign:
         assert "/tmp" not in text and "repro-chaos-" not in text
 
     def test_different_seed_different_campaign(self, report):
-        other = run_chaos_campaign(seed=2, runs=6, intensity=0.4)
+        other = run_chaos_campaign(seed=2, runs=8, intensity=0.4)
         assert other.ok
         assert other.to_json() != report.to_json()
 
 
 class TestRunnerPlanning:
     def test_plans_are_deterministic_and_scenario_cycled(self):
-        runner = ChaosRunner(seed=3, runs=6)
-        plans = [runner._plan(i) for i in range(6)]
-        again = [runner._plan(i) for i in range(6)]
+        runner = ChaosRunner(seed=3, runs=8)
+        plans = [runner._plan(i) for i in range(8)]
+        again = [runner._plan(i) for i in range(8)]
         assert plans == again
         assert [p.scenario for p in plans] == [
-            "storm", "kill", "budget", "storm", "kill", "budget",
+            "storm", "kill", "budget", "engine",
+            "storm", "kill", "budget", "engine",
         ]
 
+    def test_scenario_filter_pins_every_run(self):
+        runner = ChaosRunner(seed=3, runs=4, scenario="engine")
+        assert [runner._plan(i).scenario for i in range(4)] == ["engine"] * 4
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos scenario"):
+            ChaosRunner(seed=3, runs=1, scenario="volcano")
+
     def test_intensity_scales_the_storm(self):
-        calm = ChaosRunner(seed=3, runs=1, intensity=0.1)._plan(0).storm
-        wild = ChaosRunner(seed=3, runs=1, intensity=1.0)._plan(0).storm
-        assert wild.timeout_rate > calm.timeout_rate
+        calm = ChaosRunner(seed=3, runs=1, intensity=0.1)._plan(0)
+        wild = ChaosRunner(seed=3, runs=1, intensity=1.0)._plan(0)
+        assert wild.storm.timeout_rate > calm.storm.timeout_rate
+        assert (
+            wild.engine_faults.slow_operator_rate
+            > calm.engine_faults.slow_operator_rate
+        )
