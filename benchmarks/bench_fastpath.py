@@ -147,8 +147,15 @@ def bench_explain(db, corpus: list[str], repeats: int) -> dict:
     }
 
 
-def bench_profiling(db, samples: int, workers: int) -> dict:
-    """Serial vs process-parallel profile_many over the template set."""
+def bench_profiling(db, samples: int, workers: int, cpus: int) -> dict:
+    """Serial vs process-parallel profile_many over the template set.
+
+    Hardware-gated: profiling is pure CPU work, so on fewer than 2 CPUs the
+    parallel phase would only measure process timesharing.  The section is
+    then marked ``status: "skipped"`` with no speedup number at all (a
+    ``0.86`` "speedup" on one core is noise, not a fastpath regression),
+    and ``perf_gate`` ignores skipped sections.
+    """
     profiler = TemplateProfiler(db, BarberConfig(seed=0))
     profiler.profile_many(TEMPLATES[:2], 2)  # warm compile/import paths
     db.explain_cache.clear()
@@ -156,6 +163,20 @@ def bench_profiling(db, samples: int, workers: int) -> dict:
     started = time.perf_counter()
     serial = profiler.profile_many(TEMPLATES, samples, workers=1)
     serial_seconds = time.perf_counter() - started
+    result = {
+        "templates": len(TEMPLATES),
+        "samples_per_template": samples,
+        "workers": workers,
+        "backend": "process",
+        "serial_seconds": round(serial_seconds, 3),
+    }
+    if cpus < 2:
+        result["status"] = "skipped"
+        result["reason"] = (
+            f"parallel speedup needs >=2 CPUs (found {cpus}); a single-core "
+            "measurement reflects timesharing, not the fastpath"
+        )
+        return result
 
     db.explain_cache.clear()
     started = time.perf_counter()
@@ -168,15 +189,64 @@ def bench_profiling(db, samples: int, workers: int) -> dict:
         a.observations == b.observations and a.errors == b.errors
         for a, b in zip(serial, parallel)
     )
+    result.update(
+        status="measured",
+        parallel_seconds=round(parallel_seconds, 3),
+        speedup=round(serial_seconds / parallel_seconds, 2),
+        results_identical=identical,
+    )
+    return result
+
+
+def bench_profile_overhead(db, samples: int) -> dict:
+    """Armed vs unarmed operator profiling, on queries that actually execute.
+
+    Uses the ``actual_rows`` cost metric so every sample runs the executor
+    (``plan_cost`` never would), isolating what `use_telemetry(profile=True)`
+    costs at the operator boundaries.  Both phases run under a live
+    Telemetry, so the delta is the profiler alone, not metrics plumbing.
+    """
+    from repro.obs import Telemetry, use_telemetry
+
+    config = BarberConfig(seed=0)
+    subset = TEMPLATES[:6]
+    profiler = TemplateProfiler(db, config, cost_metric="actual_rows")
+    with use_telemetry(Telemetry()):
+        profiler.profile_many(subset, 2)  # warm compile/import paths
+
+    # Alternate armed/unarmed and keep the best of each: on a shared (or
+    # single-CPU) machine two long sequential phases pick up background
+    # drift that dwarfs the effect being measured.
+    repeats = 3
+    unarmed_times: list[float] = []
+    armed_times: list[float] = []
+    snapshot = None
+    for _ in range(repeats):
+        with use_telemetry(Telemetry()):
+            started = time.perf_counter()
+            profiler.profile_many(subset, samples)
+            unarmed_times.append(time.perf_counter() - started)
+
+        armed = Telemetry(profile=True)
+        with use_telemetry(armed):
+            started = time.perf_counter()
+            profiler.profile_many(subset, samples)
+            armed_times.append(time.perf_counter() - started)
+        snapshot = armed.profiler.snapshot()
+
+    unarmed_seconds = min(unarmed_times)
+    armed_seconds = min(armed_times)
     return {
-        "templates": len(TEMPLATES),
+        "templates": len(subset),
         "samples_per_template": samples,
-        "workers": workers,
-        "backend": "process",
-        "serial_seconds": round(serial_seconds, 3),
-        "parallel_seconds": round(parallel_seconds, 3),
-        "speedup": round(serial_seconds / parallel_seconds, 2),
-        "results_identical": identical,
+        "repeats": repeats,
+        "unarmed_seconds": round(unarmed_seconds, 4),
+        "armed_seconds": round(armed_seconds, 4),
+        "overhead_percent": round(
+            (armed_seconds / unarmed_seconds - 1.0) * 100.0, 2
+        ),
+        "profiled_queries": snapshot["queries"],
+        "operator_types": len(snapshot["operators"]),
     }
 
 
@@ -190,16 +260,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="instantiated statements per template")
     parser.add_argument("--samples", type=int, default=800,
                         help="profile samples per template")
+    parser.add_argument("--profile-samples", type=int, default=40,
+                        help="samples per template for the operator-profiler "
+                             "overhead phase (executes real queries)")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--output", "-o", default="BENCH_fastpath.json")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny CI configuration (fast, no thresholds)")
     parser.add_argument("--check", action="store_true",
                         help="fail unless speedups meet the acceptance bars "
-                             "(>=5x cached explain, >1.5x parallel profiling)")
+                             "(>=5x cached explain, >1.5x parallel profiling, "
+                             "<=10% armed-profiler overhead)")
     args = parser.parse_args(argv)
     if args.smoke:
-        args.scale, args.repeats, args.bindings, args.samples = 0.002, 2, 2, 8
+        args.scale, args.repeats, args.bindings = 0.002, 2, 2
+        args.samples, args.profile_samples = 8, 6
 
     db = build_tpch(scale=args.scale, seed=3)
     profiler = TemplateProfiler(db, BarberConfig(seed=0, use_fastpath=False))
@@ -211,7 +286,8 @@ def main(argv: list[str] | None = None) -> int:
         cpus = os.cpu_count() or 1
 
     explain = bench_explain(db, corpus, args.repeats)
-    profiling = bench_profiling(db, args.samples, args.workers)
+    profiling = bench_profiling(db, args.samples, args.workers, cpus)
+    profile_overhead = bench_profile_overhead(db, args.profile_samples)
     report = {
         "benchmark": "fastpath",
         "scale": args.scale,
@@ -219,18 +295,20 @@ def main(argv: list[str] | None = None) -> int:
         "cpus": cpus,
         "explain": explain,
         "profiling": profiling,
+        "profile_overhead": profile_overhead,
     }
-    profiling["parallel_threshold"] = (
-        "skipped_single_cpu"
-        if cpus < 2
-        else ("met" if profiling["speedup"] > 1.5 else "missed")
-    )
+    if profiling["status"] == "skipped":
+        profiling["parallel_threshold"] = "skipped_single_cpu"
+    else:
+        profiling["parallel_threshold"] = (
+            "met" if profiling["speedup"] > 1.5 else "missed"
+        )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(json.dumps(report, indent=2))
 
-    if not profiling["results_identical"]:
+    if profiling["status"] == "measured" and not profiling["results_identical"]:
         print("FAIL: parallel profiles diverged from serial", file=sys.stderr)
         return 1
     if args.check:
@@ -239,16 +317,21 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"cached explain speedup {explain['speedup']}x < 5x"
             )
-        if cpus < 2:
-            print(
-                "SKIP: parallel profiling threshold needs >=2 CPUs "
-                f"(found {cpus}); measured {profiling['speedup']}x is a "
-                "timesharing artifact",
-                file=sys.stderr,
-            )
+        if profiling["status"] == "skipped":
+            print(f"SKIP: {profiling['reason']}", file=sys.stderr)
         elif profiling["speedup"] <= 1.5:
             failures.append(
                 f"parallel profiling speedup {profiling['speedup']}x <= 1.5x"
+            )
+        if args.smoke:
+            # Smoke runs execute too few queries for the overhead ratio to
+            # mean anything; only full-scale runs enforce the 10% bar.
+            print("SKIP: overhead bar not enforced at smoke scale",
+                  file=sys.stderr)
+        elif profile_overhead["overhead_percent"] > 10.0:
+            failures.append(
+                "armed operator-profiler overhead "
+                f"{profile_overhead['overhead_percent']}% > 10%"
             )
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -7,6 +7,8 @@ Commands:
 * ``benchmarks``     — list the ten paper benchmarks (Table 1);
 * ``run-benchmark``  — run one method on one benchmark and print metrics;
 * ``trace-report``   — per-stage time/token/call breakdown of a trace file;
+* ``perf-report``    — tail-latency view of a trace: p50/p95/p99 per stage,
+  per operator, and per latency histogram;
 * ``fuzz``           — grammar-fuzz the SQL engine against its oracles;
 * ``chaos``          — run the pipeline under a seeded transport-fault
   storm with kills and budget exhaustion, verifying graceful degradation
@@ -35,7 +37,14 @@ from repro.benchsuite import (
 )
 from repro.core import BarberConfig, SQLBarber, schema_text
 from repro.datasets import build_database, dataset_names, redset_spec_workload
-from repro.obs import JsonlSink, LoggingSink, render_report_file, setup_logging
+from repro.obs import (
+    JsonlSink,
+    LoggingSink,
+    ProgressRenderer,
+    render_perf_report_file,
+    render_report_file,
+    setup_logging,
+)
 from repro.workload import CostDistribution, TemplateSpec
 
 logger = logging.getLogger("repro.cli")
@@ -146,8 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="JSONL output path (default: stdout summary only)")
     generate.add_argument(
         "--trace-out", default=None,
-        help="write the run's telemetry (spans + metrics) to this JSONL file; "
-             "inspect it with `repro trace-report`",
+        help="write the run's telemetry (spans + events + metrics) to this "
+             "JSONL file; inspect it with `repro trace-report` / "
+             "`repro perf-report`",
+    )
+    generate.add_argument(
+        "--profile", action="store_true",
+        help="arm the operator-level executor profiler: every executed plan "
+             "operator records rows/batches/self-time, aggregated into the "
+             "run summary and the trace (see `repro perf-report`)",
+    )
+    generate.add_argument(
+        "--progress", action="store_true",
+        help="stream live pipeline progress events (stages, templates, "
+             "checkpoints, retries) to stderr",
     )
 
     commands.add_parser("benchmarks", help="list the ten paper benchmarks")
@@ -182,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("trace", help="JSONL trace written with --trace-out")
 
+    perf = commands.add_parser(
+        "perf-report",
+        help="print p50/p95/p99 latency tables (per stage, per operator, "
+             "per histogram) from a trace file",
+    )
+    perf.add_argument("trace", help="JSONL trace written with --trace-out")
+
     fuzz = commands.add_parser(
         "fuzz",
         help="grammar-fuzz the SQL engine against its differential oracles",
@@ -204,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink", action="store_true",
         help="record failures without delta-debugging them first",
     )
+    fuzz.add_argument(
+        "--trace-out", default=None,
+        help="write the fuzz run's telemetry to this JSONL file",
+    )
 
     chaos = commands.add_parser(
         "chaos",
@@ -225,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["storm", "kill", "budget", "engine"],
         help="pin every run to one scenario instead of cycling "
              "(engine = governor limits + engine-side fault storm)",
+    )
+    chaos.add_argument(
+        "--trace-out", default=None,
+        help="write the campaign's telemetry to this JSONL file (flushed "
+             "per record, so it survives crashes)",
     )
     return parser
 
@@ -306,12 +343,15 @@ def cmd_generate(args) -> int:
             memory_budget_mb=args.memory_budget,
             row_budget=args.row_budget,
             quarantine_after=args.quarantine_after,
+            profile=args.profile,
         ),
         sinks=_telemetry_sinks(args.trace_out),
     )
+    subscribers = [ProgressRenderer(sys.stderr)] if args.progress else []
     result = barber.generate_workload(
         specs, distribution, time_budget_seconds=args.time_budget,
         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        subscribers=subscribers,
     )
     logger.info(
         "generated %d/%d queries in %.1fs; Wasserstein distance %.2f; "
@@ -360,6 +400,8 @@ def cmd_generate(args) -> int:
         "output": args.output,
         "trace": args.trace_out,
     }
+    if result.operator_profiles is not None:
+        summary["operator_profiles"] = result.operator_profiles["operators"]
     print(json.dumps(summary, indent=2))
     return 0 if result.complete else 1
 
@@ -409,6 +451,23 @@ def cmd_trace_report(args) -> int:
     return 0
 
 
+def cmd_perf_report(args) -> int:
+    """`repro perf-report`: tail-latency breakdown of a --trace-out file."""
+    try:
+        print(render_perf_report_file(args.trace))
+    except OSError as exc:
+        print(f"repro: error: cannot read trace file: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(
+            f"repro: error: {args.trace!r} is not a JSONL trace "
+            f"(line {exc.lineno}: {exc.msg})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     """`repro fuzz`: grammar-fuzz the engine; JSON report on stdout.
 
@@ -432,8 +491,14 @@ def cmd_fuzz(args) -> int:
         corpus=corpus,
         shrink=not args.no_shrink,
     )
-    with use_telemetry(Telemetry(sinks=[LoggingSink()])):
-        report = runner.run(args.budget)
+    telemetry = Telemetry(sinks=_telemetry_sinks(args.trace_out))
+    try:
+        with use_telemetry(telemetry):
+            report = runner.run(args.budget)
+    finally:
+        telemetry.finish()
+    if args.trace_out:
+        logger.info("telemetry trace written to %s", args.trace_out)
     print(report.to_json(), end="")
     logger.info(
         "fuzz: %d statements, %d disagreements, %d invalid",
@@ -456,8 +521,10 @@ def cmd_chaos(args) -> int:
 
     report = run_chaos_campaign(
         seed=args.seed, runs=args.runs, intensity=args.intensity,
-        scenario=args.scenario,
+        scenario=args.scenario, trace_path=args.trace_out,
     )
+    if args.trace_out:
+        logger.info("telemetry trace written to %s", args.trace_out)
     print(report.to_json(), end="")
     logger.info(
         "chaos: %d runs, %d completed, %d aborted, %d kills, "
@@ -478,6 +545,7 @@ def main(argv: list[str] | None = None) -> int:
         "benchmarks": cmd_benchmarks,
         "run-benchmark": cmd_run_benchmark,
         "trace-report": cmd_trace_report,
+        "perf-report": cmd_perf_report,
         "fuzz": cmd_fuzz,
         "chaos": cmd_chaos,
     }

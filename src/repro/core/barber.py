@@ -87,6 +87,9 @@ class WorkloadResult:
     # The run's Telemetry: trace tree (telemetry.tracer.roots) and metrics
     # (telemetry.metrics.snapshot()).
     telemetry: Telemetry | None = None
+    # Aggregated operator-level executor profile (ExecProfileCollector
+    # snapshot) when the run was armed with config.profile=True, else None.
+    operator_profiles: dict | None = None
     # Graceful degradation: a stage abort (budget exhausted, retries
     # exhausted, circuit stuck open) yields this partial-but-valid result
     # instead of an exception.  Resume from `checkpoint_path` if set.
@@ -220,6 +223,7 @@ class SQLBarber:
         """One `stage:<name>` span, recording duration + substrate deltas."""
         before = _substrate_totals(telemetry)
         before_peak = telemetry.metrics.max_gauge("governor.peak_bytes")
+        telemetry.event("stage_started", stage=name)
         started = time.perf_counter()
         with telemetry.span(f"stage:{name}") as span:
             try:
@@ -227,6 +231,9 @@ class SQLBarber:
             finally:
                 after = _substrate_totals(telemetry)
                 stage_seconds[name] = time.perf_counter() - started
+                telemetry.event(
+                    "stage_finished", stage=name, seconds=stage_seconds[name]
+                )
                 deltas = {key: after[key] - before[key] for key in after}
                 # Governor attributes appear only on stages with governor
                 # activity, so ungoverned runs keep their pre-governor spans.
@@ -250,6 +257,7 @@ class SQLBarber:
         checkpoint_dir: str | None = None,
         resume: bool = False,
         on_checkpoint_save=None,
+        subscribers=(),
     ) -> WorkloadResult:
         """The full pipeline: templates -> profile -> refine/prune -> BO search.
 
@@ -274,20 +282,35 @@ class SQLBarber:
                 on_save=on_checkpoint_save,
             )
         run_telemetry = (
-            telemetry if telemetry is not None else Telemetry(sinks=self.sinks)
-        )
-        with use_telemetry(run_telemetry):
-            result = self._generate_workload(
-                specs,
-                distribution,
-                templates,
-                time_budget_seconds,
-                run_telemetry,
-                manager,
-                resume,
+            telemetry
+            if telemetry is not None
+            else Telemetry(
+                sinks=self.sinks,
+                profile=self.config.profile,
+                subscribers=subscribers,
             )
-        run_telemetry.finish()
+        )
+        # finish() in a finally: abort paths — chaos InjectedCrash (a
+        # BaseException from the checkpoint-save hook), BudgetExhausted
+        # escaping a stage — must still flush and close the sinks, so a
+        # killed run's trace file ends on a complete record.
+        try:
+            with use_telemetry(run_telemetry):
+                result = self._generate_workload(
+                    specs,
+                    distribution,
+                    templates,
+                    time_budget_seconds,
+                    run_telemetry,
+                    manager,
+                    resume,
+                )
+        finally:
+            run_telemetry.finish()
         result.telemetry = run_telemetry
+        collector = getattr(run_telemetry, "profiler", None)
+        if collector is not None:
+            result.operator_profiles = collector.snapshot()
         return result
 
     def _generate_workload(
@@ -310,6 +333,19 @@ class SQLBarber:
 
         state = manager.load() if (manager is not None and resume) else None
         resume_stage = state.get("stage") if state is not None else None
+        collector = getattr(telemetry, "profiler", None)
+        if (
+            state is not None
+            and collector is not None
+            and state.get("obs_profile") is not None
+        ):
+            # Restore the operator-profile aggregate saved with the
+            # checkpoint, so a killed-and-resumed run's profile fingerprint
+            # matches an uninterrupted one's.
+            from repro.obs import ExecProfileCollector
+
+            collector = ExecProfileCollector.from_state(state["obs_profile"])
+            telemetry.profiler = collector
         if state is not None:
             # Rewind the LLM to the exact stream positions and spend the
             # saved run had — the resumed trajectory must coincide with an
@@ -355,8 +391,16 @@ class SQLBarber:
                     "llm_rng": self.llm.rng_state(),
                     "usage": usage_to_state(self.llm.usage),
                     "quarantined": [r.to_dict() for r in quarantined],
+                    "obs_profile": (
+                        collector.to_state() if collector is not None else None
+                    ),
                     **extra,
                 }
+            )
+            telemetry.event(
+                "checkpoint_saved",
+                stage=stage,
+                templates_done=len(templates or []),
             )
 
         with telemetry.span(
@@ -569,6 +613,14 @@ class SQLBarber:
                 aborted=aborted,
             )
 
+        cache = self.db.explain_cache.stats()
+        telemetry.event(
+            "cache_stats",
+            hits=cache["hits"],
+            misses=cache["misses"],
+            evictions=cache["evictions"],
+            size=cache["size"],
+        )
         # Stage boundaries are measured directly: the search trace offset is
         # everything that ran before the search stage started.
         setup = sum(stage_seconds[s] for s in PIPELINE_STAGES if s != "search")

@@ -108,6 +108,13 @@ class BarberConfig:
     # Nondeterministic by nature — never enable in reproducibility tests.
     watchdog_timeout_seconds: float | None = None
 
+    # -- repro.obs: observability --------------------------------------------------
+    # Arm the operator-level executor profiler for the run: every executed
+    # plan operator records rows/batches/self-time into the run's profile
+    # tree (WorkloadResult.operator_profiles).  Execution-only — it never
+    # changes what is generated, so checkpoints ignore it.
+    profile: bool = False
+
     # -- misc ----------------------------------------------------------------------
     time_budget_seconds: float | None = None
     unbound_placeholder_range: tuple[int, int] = (1, 1000)

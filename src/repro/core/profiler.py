@@ -132,6 +132,32 @@ class TemplateProfile:
         }
 
 
+def emit_profile_events(telemetry, profile: TemplateProfile) -> None:
+    """Publish one template's progress events to *telemetry*.
+
+    The payloads are pure functions of the finished profile — no wall
+    clocks, no worker identity — so a parallel parent can replay them in
+    input order and reproduce the serial event stream exactly (see
+    ``ParallelProfiler._replay_events``).
+    """
+    if not telemetry.enabled:
+        return
+    telemetry.event(
+        "template_profiled",
+        template_id=profile.template.template_id,
+        queries=len(profile.observations),
+        errors=profile.errors,
+        quarantined=profile.quarantined,
+    )
+    if profile.quarantined:
+        telemetry.event(
+            "template_quarantined",
+            template_id=profile.template.template_id,
+            reason=profile.quarantine_reason,
+            strikes=profile.resource_strikes,
+        )
+
+
 class TemplateProfiler:
     """Builds search spaces and profiles templates on the target database."""
 
@@ -448,6 +474,7 @@ class TemplateProfiler:
                         profile.peak_bytes,
                         template=template.template_id,
                     )
+        emit_profile_events(telemetry, profile)
         return profile
 
     def profile_many(

@@ -67,9 +67,13 @@ class _MetricsOnlyTelemetry:
 
     enabled = True
 
-    def __init__(self, metrics, lock: threading.Lock):
+    def __init__(self, metrics, lock: threading.Lock, profiler=None):
         self._metrics = metrics
         self._lock = lock
+        # The parent's ExecProfileCollector (or None): it carries its own
+        # lock and its aggregation is commutative, so workers record into
+        # it directly.
+        self.profiler = profiler
 
     def span(self, name, **attributes):
         return NULL.span(name, **attributes)
@@ -85,6 +89,11 @@ class _MetricsOnlyTelemetry:
     def observe(self, name, value, **labels) -> None:
         with self._lock:
             self._metrics.observe(name, value, **labels)
+
+    def event(self, name, **payload) -> None:
+        # Suppressed: the parent replays progress events in input order
+        # after gathering, so the event stream never depends on scheduling.
+        pass
 
     def emit(self, event) -> None:
         pass
@@ -104,11 +113,11 @@ def _process_init(profiler) -> None:
 
 
 def _process_profile(task):
-    template, num_samples = task
-    telemetry = Telemetry()
+    template, num_samples, profile_operators = task
+    telemetry = Telemetry(profile=profile_operators)
     with use_telemetry(telemetry):
         profile = _WORKER_PROFILER.profile(template, num_samples)
-    return profile, telemetry.metrics
+    return profile, telemetry.metrics, telemetry.profiler
 
 
 class ParallelProfiler:
@@ -157,7 +166,8 @@ class ParallelProfiler:
         parent = current()
         if parent.enabled:
             worker_telemetry = _MetricsOnlyTelemetry(
-                parent.metrics, threading.Lock()
+                parent.metrics, threading.Lock(),
+                profiler=getattr(parent, "profiler", None),
             )
         else:
             worker_telemetry = NULL
@@ -176,10 +186,12 @@ class ParallelProfiler:
             parent.metrics.count(
                 "governor.watchdog_cancellations", watchdog.cancellations
             )
+        self._replay_events(parent, results)
         return results
 
     def _profile_process(self, templates, num_samples) -> list:
         parent = current()
+        parent_collector = getattr(parent, "profiler", None)
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(templates)),
             initializer=_process_init,
@@ -188,15 +200,33 @@ class ParallelProfiler:
             outcomes = _bounded_map(
                 pool,
                 _process_profile,
-                [(t, num_samples) for t in templates],
+                [(t, num_samples, parent_collector is not None) for t in templates],
                 self._admission_limit(),
             )
         profiles = []
-        for profile, metrics in outcomes:
+        for profile, metrics, collector in outcomes:
             profiles.append(profile)
             if parent.enabled:
                 parent.metrics.merge(metrics)
+            if parent_collector is not None and collector is not None:
+                parent_collector.merge(collector)
+        self._replay_events(parent, profiles)
         return profiles
+
+    @staticmethod
+    def _replay_events(parent, profiles) -> None:
+        """Re-publish per-template progress events in input order.
+
+        Worker telemetry suppresses events (scheduling order must not leak
+        into the stream); the payloads are pure functions of the returned
+        profiles, so replaying here reproduces the serial stream exactly.
+        """
+        if not parent.enabled:
+            return
+        from repro.core.profiler import emit_profile_events
+
+        for profile in profiles:
+            emit_profile_events(parent, profile)
 
     def _admission_limit(self) -> int:
         return max(self.workers * ADMISSION_WINDOW_PER_WORKER, 2)

@@ -15,6 +15,7 @@ this package makes every run answer that directly:
 See DESIGN.md ("Observability") for the span and metric naming scheme.
 """
 
+from .events import EventBus, ProgressRenderer, event_fingerprint
 from .logging_setup import setup_logging
 from .metrics import (
     DEFAULT_SECONDS_BUCKETS,
@@ -22,8 +23,20 @@ from .metrics import (
     MetricsRegistry,
     metric_key,
 )
+from .profile import (
+    ExecProfileCollector,
+    OperatorProfile,
+    ProfileRun,
+    capture_profile,
+    render_profile,
+)
+from .quantiles import QuantileSketch
 from .report import (
     governor_rows,
+    latency_rows,
+    operator_rows,
+    render_perf_report,
+    render_perf_report_file,
     render_report,
     render_report_file,
     split_events,
@@ -36,6 +49,8 @@ from .tracing import Span, Tracer
 
 __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
+    "EventBus",
+    "ExecProfileCollector",
     "Histogram",
     "InMemoryCollector",
     "JsonlSink",
@@ -43,13 +58,24 @@ __all__ = [
     "MetricsRegistry",
     "NULL",
     "NullTelemetry",
+    "OperatorProfile",
+    "ProfileRun",
+    "ProgressRenderer",
+    "QuantileSketch",
     "Span",
     "Telemetry",
     "Tracer",
+    "capture_profile",
     "current",
+    "event_fingerprint",
     "governor_rows",
+    "latency_rows",
     "metric_key",
+    "operator_rows",
     "read_events",
+    "render_perf_report",
+    "render_perf_report_file",
+    "render_profile",
     "render_report",
     "render_report_file",
     "setup_logging",

@@ -12,6 +12,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
+from .quantiles import QuantileSketch
+
 # Latency buckets (seconds): micro-benchmark floor to multi-second tail.
 DEFAULT_SECONDS_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
@@ -30,7 +32,13 @@ def metric_key(name: str, labels: dict) -> str:
 @dataclass
 class Histogram:
     """Fixed-bucket histogram: counts[i] is observations <= buckets[i];
-    counts[-1] is the overflow bucket."""
+    counts[-1] is the overflow bucket.
+
+    Every observation also feeds a companion :class:`QuantileSketch`, so
+    snapshots report p50/p90/p95/p99 alongside the bucket counts — the
+    fixed edges answer "how many were slower than X", the sketch answers
+    "how slow was the tail", and both merge commutatively across workers.
+    """
 
     buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS
     counts: list[int] = field(default_factory=list)
@@ -38,6 +46,7 @@ class Histogram:
     total: float = 0.0
     min_value: float | None = None
     max_value: float | None = None
+    sketch: QuantileSketch = field(default_factory=QuantileSketch)
 
     def __post_init__(self):
         if not self.counts:
@@ -52,6 +61,7 @@ class Histogram:
             self.min_value = value
         if self.max_value is None or value > self.max_value:
             self.max_value = value
+        self.sketch.observe(max(value, 0.0))
 
     @property
     def mean(self) -> float:
@@ -73,6 +83,10 @@ class Histogram:
             self.max_value is None or other.max_value > self.max_value
         ):
             self.max_value = other.max_value
+        self.sketch.merge(other.sketch)
+
+    def quantile(self, q: float) -> float | None:
+        return self.sketch.quantile(q)
 
     def snapshot(self) -> dict:
         return {
@@ -81,6 +95,10 @@ class Histogram:
             "mean": self.mean,
             "min": self.min_value,
             "max": self.max_value,
+            "p50": self.sketch.quantile(0.5),
+            "p90": self.sketch.quantile(0.9),
+            "p95": self.sketch.quantile(0.95),
+            "p99": self.sketch.quantile(0.99),
             "buckets": [
                 [edge, count]
                 for edge, count in zip((*self.buckets, float("inf")), self.counts)

@@ -187,3 +187,87 @@ def render_report(events: list[dict]) -> str:
 
 def render_report_file(path: str) -> str:
     return render_report(read_events(path))
+
+
+# -- perf report (the ``repro perf-report`` implementation) --------------------
+
+
+def _quantile_columns(snapshot: dict) -> dict:
+    columns = {}
+    for q in ("p50", "p95", "p99"):
+        value = snapshot.get(q)
+        columns[q] = round(value, 6) if isinstance(value, (int, float)) else ""
+    return columns
+
+
+def latency_rows(metrics: dict) -> list[dict]:
+    """Per-histogram tail-latency rows (p50/p95/p99) from the snapshot."""
+    rows = []
+    for key, snapshot in metrics.get("histograms", {}).items():
+        rows.append({
+            "metric": key,
+            "count": snapshot.get("count", 0),
+            "mean": round(snapshot.get("mean", 0.0), 6),
+            **_quantile_columns(snapshot),
+        })
+    return rows
+
+
+def perf_stage_rows(spans: list[dict]) -> list[dict]:
+    """Per-stage timing rows — all runs in the trace, so resumed/chaos
+    traces show every attempt's stages."""
+    rows = []
+    for span in spans:
+        if not span["name"].startswith(STAGE_PREFIX):
+            continue
+        rows.append({
+            "stage": span["name"][len(STAGE_PREFIX):],
+            "seconds": round(span.get("duration_s", 0.0), 3),
+        })
+    return rows
+
+
+def operator_rows(events: list[dict]) -> list[dict]:
+    """Per-operator rows from the last ``profile`` record in the trace."""
+    profile: dict = {}
+    for event in events:
+        if event.get("type") == "profile":
+            profile = event.get("profile", {})
+    rows = []
+    for op, agg in profile.get("operators", {}).items():
+        rows.append({
+            "operator": op,
+            "calls": agg.get("calls", 0),
+            "rows": agg.get("rows", 0),
+            "self_seconds": round(agg.get("self_seconds", 0.0), 6),
+            **_quantile_columns(agg),
+        })
+    rows.sort(key=lambda r: (-r["self_seconds"], r["operator"]))
+    return rows
+
+
+def render_perf_report(events: list[dict]) -> str:
+    """Tail-latency-centric view of a trace: per stage, per operator, and
+    per latency histogram, with p50/p95/p99 where sketches exist."""
+    spans, metrics = split_events(events)
+    sections: list[str] = []
+    stages = perf_stage_rows(spans)
+    if stages:
+        sections.append(_format_table(stages, title="Stage timings"))
+    operators = operator_rows(events)
+    if operators:
+        sections.append(_format_table(
+            operators, title="Operator profile (self time, seconds)"
+        ))
+    latencies = latency_rows(metrics)
+    if latencies:
+        sections.append(_format_table(
+            latencies, title="Latency quantiles (seconds)"
+        ))
+    if not sections:
+        return "(trace carries no stage spans, operator profile, or histograms)"
+    return "\n\n".join(sections)
+
+
+def render_perf_report_file(path: str) -> str:
+    return render_perf_report(read_events(path))

@@ -39,15 +39,24 @@ class InMemoryCollector:
 
 
 class JsonlSink:
-    """Appends one JSON line per event to *path* (opened eagerly)."""
+    """Appends one JSON line per event to *path* (opened eagerly).
+
+    Each record is written and flushed atomically with respect to process
+    death: a chaos ``InjectedCrash`` or ``BudgetExhausted`` abort between
+    events leaves the file ending on a complete line, never mid-record.
+    Events are emitted at pipeline cadence (per stage/template, not per
+    row), so the per-record flush is cheap relative to what it records.
+    """
 
     def __init__(self, path: str):
         self.path = path
         self._handle = open(path, "w")
 
     def emit(self, event: dict) -> None:
-        self._handle.write(json.dumps(event, default=str))
-        self._handle.write("\n")
+        if self._handle.closed:
+            return
+        self._handle.write(json.dumps(event, default=str) + "\n")
+        self._handle.flush()
 
     def close(self) -> None:
         if not self._handle.closed:

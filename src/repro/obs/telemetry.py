@@ -18,6 +18,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from contextvars import ContextVar
 
+from .events import EventBus
 from .metrics import MetricsRegistry
 from .tracing import Tracer
 
@@ -47,6 +48,7 @@ class NullTelemetry:
     """Telemetry that records nothing; every call is a cheap no-op."""
 
     enabled = False
+    profiler = None
 
     def span(self, _name, **_attributes):
         return _NULL_SPAN
@@ -58,6 +60,9 @@ class NullTelemetry:
         pass
 
     def observe(self, _name, _value, **_labels) -> None:
+        pass
+
+    def event(self, _name, **_payload) -> None:
         pass
 
     def emit(self, _event) -> None:
@@ -75,10 +80,18 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, sinks=()):
+    def __init__(self, sinks=(), profile: bool = False, subscribers=()):
         self.sinks = [sink for sink in sinks if sink is not None]
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(on_end=self._span_ended)
+        self.bus = EventBus(subscribers)
+        if profile:
+            from .profile import ExecProfileCollector
+
+            self.profiler = ExecProfileCollector()
+        else:
+            self.profiler = None
+        self._event_seq = 0
         self._finished = False
 
     # -- tracing ---------------------------------------------------------------
@@ -101,6 +114,20 @@ class Telemetry:
     def observe(self, name: str, value: float, **labels) -> None:
         self.metrics.observe(name, value, **labels)
 
+    # -- events ----------------------------------------------------------------
+
+    def event(self, name: str, **payload) -> None:
+        """Publish a structured progress event to sinks and subscribers.
+
+        The payload must be derived from pipeline data, never wall clocks or
+        worker identity (timing fields are tolerated — the stream
+        fingerprint strips them; see :func:`~repro.obs.events.event_fingerprint`).
+        """
+        self._event_seq += 1
+        event = {"type": "event", "event": name, "seq": self._event_seq, **payload}
+        self.emit(event)
+        self.bus.publish(event)
+
     # -- export ----------------------------------------------------------------
 
     def emit(self, event: dict) -> None:
@@ -108,10 +135,22 @@ class Telemetry:
             sink.emit(event)
 
     def finish(self) -> None:
-        """Emit the final metrics snapshot and close every sink (idempotent)."""
+        """Emit the final metrics snapshot and close every sink (idempotent).
+
+        When operator profiling is armed, the aggregated profile goes out
+        first (as both a queryable ``profile`` record and a summary event).
+        """
         if self._finished:
             return
         self._finished = True
+        if self.profiler is not None:
+            snapshot = self.profiler.snapshot()
+            self.event(
+                "profile_summary",
+                queries=snapshot["queries"],
+                operators=len(snapshot["operators"]),
+            )
+            self.emit({"type": "profile", "profile": snapshot})
         self.emit({"type": "metrics", "metrics": self.metrics.snapshot()})
         for sink in self.sinks:
             sink.close()

@@ -210,7 +210,10 @@ class ChaosRunner:
         return barber.generate_workload(
             self.specs,
             self.distribution,
-            telemetry=Telemetry(),  # isolated per pipeline run
+            # Isolated per pipeline run (fingerprints stay a pure function
+            # of the plan), but progress events forward to the campaign's
+            # trace so an uploaded JSONL shows what each run did.
+            telemetry=Telemetry(subscribers=[current_telemetry().emit]),
             checkpoint_dir=checkpoint_dir,
             resume=resume,
             on_checkpoint_save=on_save,
@@ -279,7 +282,7 @@ class ChaosRunner:
             self.specs,
             distribution,
             templates=self._engine_templates(),
-            telemetry=Telemetry(),
+            telemetry=Telemetry(subscribers=[current_telemetry().emit]),
         )
 
     # -- the campaign -----------------------------------------------------------------
@@ -440,14 +443,27 @@ def run_chaos_campaign(
     runs: int = 30,
     intensity: float = 0.3,
     scenario: str | None = None,
+    trace_path: str | None = None,
 ) -> ChaosReport:
     """Convenience wrapper used by the CLI and CI smoke job.
 
     *scenario* pins every run to one scenario instead of cycling through
     all of :data:`SCENARIOS` — the CI governor gate uses ``"engine"``.
+    With *trace_path* set, the campaign's telemetry (spans, events, the
+    final metrics snapshot) is exported there as JSONL; the sink flushes
+    per record, so even a crashed campaign leaves a readable trace.
     """
     runner = ChaosRunner(
         seed=seed, runs=runs, intensity=intensity, scenario=scenario
     )
-    with use_telemetry(Telemetry()):
-        return runner.run()
+    sinks = []
+    if trace_path is not None:
+        from repro.obs import JsonlSink
+
+        sinks.append(JsonlSink(trace_path))
+    telemetry = Telemetry(sinks=sinks)
+    try:
+        with use_telemetry(telemetry):
+            return runner.run()
+    finally:
+        telemetry.finish()

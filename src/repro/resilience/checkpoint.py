@@ -240,6 +240,7 @@ _EXECUTION_ONLY_CONFIG_FIELDS = frozenset(
         "time_budget_seconds",
         "workers",
         "parallel_backend",
+        "profile",
     }
 )
 

@@ -270,6 +270,12 @@ class ResilientLLMClient(LLMClient):
                         task=task,
                         error=type(error).__name__,
                     )
+                    telemetry.event(
+                        "llm_retry",
+                        task=task,
+                        attempt=attempt,
+                        error=type(error).__name__,
+                    )
                 self._backoff(attempt, error, task)
                 continue
             breaker.record_success()

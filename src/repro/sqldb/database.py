@@ -194,6 +194,28 @@ class Database:
             telemetry.observe("sqldb.execute.seconds", elapsed)
         return ExecutionResult(table=table, elapsed_seconds=elapsed)
 
+    def execute_profiled(self, sql: str):
+        """Run *sql* with operator profiling and return (result, profile).
+
+        *profile* is the statement's :class:`~repro.obs.OperatorProfile`
+        tree — per-operator rows out, batches, and self/cumulative time —
+        regardless of whether ambient telemetry is armed.
+        """
+        from repro.obs import capture_profile
+
+        with capture_profile() as capture:
+            result = self.execute(sql)
+        return result, capture.profile
+
+    def explain_profile(self, sql: str) -> str:
+        """``EXPLAIN PROFILE <sql>``: execute and render the measured
+        operator tree (rows, batches, self/total time per operator)."""
+        from repro.obs import capture_profile
+
+        with capture_profile() as capture:
+            self.execute(sql)
+        return capture.render()
+
     def explain_analyze(self, sql: str) -> tuple[ExplainResult, ExecutionResult]:
         """``EXPLAIN ANALYZE``: the optimizer's estimates plus actual
         execution, in one call — the optimizer-regression-hunting primitive.

@@ -19,6 +19,11 @@ import numpy as np
 # attribute is resolved at call time, when both modules are fully loaded.
 import repro.governor.context as _governor_context
 
+# Same pattern for the operator profiler: the arming state is ambient
+# (contextvars set by repro.obs), read once per statement in execute() and
+# once per operator boundary in _run() — never inside a row loop.
+import repro.obs.profile as _obs_profile
+
 from . import ast_nodes as ast
 from .errors import ExecutionError
 from .expr_eval import EvalContext, SubqueryValue, Vec, evaluate, truthy
@@ -90,7 +95,29 @@ class Executor:
         self._catalog = catalog
 
     def execute(self, plan: Plan) -> Table:
-        """Run *plan* and return the result with its output column names."""
+        """Run *plan* and return the result with its output column names.
+
+        When operator profiling is armed (ambient telemetry with
+        ``profile=True``, or a :func:`~repro.obs.profile.capture_profile`
+        block), the outermost execute() of a statement opens a
+        :class:`~repro.obs.profile.ProfileRun`; nested execute() calls
+        (subquery scans, UNION branches) join the in-flight run so their
+        operators land under the enclosing operator's subtree.
+        """
+        if _obs_profile.ACTIVE_RUN.get() is None:
+            target = _obs_profile.capture_target()
+            if target is not None:
+                run = _obs_profile.ProfileRun()
+                token = _obs_profile.ACTIVE_RUN.set(run)
+                try:
+                    result = self._execute(plan)
+                finally:
+                    _obs_profile.ACTIVE_RUN.reset(token)
+                target.record(run.finalize())
+                return result
+        return self._execute(plan)
+
+    def _execute(self, plan: Plan) -> Table:
         subquery_values = {
             node_id: self._run_subplan(subplan.kind, subplan.plan)
             for node_id, subplan in plan.subplans.items()
@@ -134,11 +161,30 @@ class Executor:
         The materializing executor's analogue of a volcano ``next()`` call:
         before an operator runs, the ambient governor (if any) checks the
         deadline and injects engine faults; after it materializes, its
-        output frame is charged against the row and memory budgets.
+        output frame is charged against the row and memory budgets and (when
+        profiling is armed) recorded into the statement's profile tree.
         """
         governor = _governor_context.current_governor()
-        if governor is None:
+        run = _obs_profile.ACTIVE_RUN.get()
+        if governor is None and run is None:
             return self._dispatch(node, subquery_values)
+        if run is None:
+            return self._run_governed(governor, node, subquery_values)
+        profile, started = run.enter(node)
+        rows = 0
+        try:
+            if governor is None:
+                frame = self._dispatch(node, subquery_values)
+            else:
+                frame = self._run_governed(governor, node, subquery_values)
+            rows = frame.row_count
+            return frame
+        finally:
+            run.exit(profile, started, rows)
+
+    def _run_governed(
+        self, governor, node: PlanNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
         name = type(node).__name__
         governor.begin_operator(name)
         frame = self._dispatch(node, subquery_values)

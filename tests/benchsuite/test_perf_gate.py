@@ -1,0 +1,170 @@
+"""The perf-regression gate: planted slowdowns trip it, reruns don't."""
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_gate",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "perf_gate.py",
+)
+perf_gate = importlib.util.module_from_spec(_SPEC)
+sys.modules["perf_gate"] = perf_gate  # dataclasses resolve via sys.modules
+_SPEC.loader.exec_module(perf_gate)
+
+
+BASELINE = {
+    "benchmark": "fastpath",
+    "scale": 0.02,
+    "smoke": False,
+    "explain": {
+        "cold_seconds": 0.08,
+        "cached_seconds": 0.002,
+        "cold_ops_per_s": 3000.0,
+        "cached_ops_per_s": 100000.0,
+        "speedup": 33.0,
+    },
+    "profiling": {
+        "serial_seconds": 2.0,
+        "status": "skipped",
+        "reason": "single cpu",
+    },
+    "profile_overhead": {
+        "unarmed_seconds": 5.0,
+        "armed_seconds": 5.1,
+        "overhead_percent": 2.0,
+    },
+}
+
+GOVERNOR = {
+    "benchmark": "governor",
+    "smoke": False,
+    "off": {"best_seconds": 0.045, "mean_seconds": 0.05},
+    "armed": {"best_seconds": 0.047, "mean_seconds": 0.049},
+    "armed_overhead_percent": 3.3,
+}
+
+
+def write_reports(directory, *reports):
+    directory.mkdir(parents=True, exist_ok=True)
+    for report in reports:
+        path = directory / f"BENCH_{report['benchmark']}.json"
+        path.write_text(json.dumps(report))
+    return str(directory)
+
+
+class TestGateVerdicts:
+    def test_baseline_rerun_passes(self, tmp_path, capsys):
+        base = write_reports(tmp_path / "base", BASELINE, GOVERNOR)
+        cand = write_reports(tmp_path / "cand", BASELINE, GOVERNOR)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 0
+
+    def test_noisy_rerun_within_tolerance_passes(self, tmp_path):
+        noisy = copy.deepcopy(BASELINE)
+        noisy["explain"]["cold_seconds"] = 0.11  # 1.4x: noise, not regression
+        noisy["explain"]["speedup"] = 25.0
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", noisy)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 0
+
+    def test_planted_2x_slowdown_fails(self, tmp_path, capsys):
+        slow = copy.deepcopy(BASELINE)
+        slow["explain"]["cold_seconds"] = 0.17  # > 2x
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", slow)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_throughput_collapse_fails(self, tmp_path):
+        slow = copy.deepcopy(BASELINE)
+        slow["explain"]["cached_ops_per_s"] = 40000.0  # 2.5x fewer ops/s
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", slow)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 1
+
+    def test_speedup_collapse_fails(self, tmp_path):
+        slow = copy.deepcopy(BASELINE)
+        slow["explain"]["speedup"] = 10.0  # from 33x
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", slow)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 1
+
+    def test_overhead_jump_fails(self, tmp_path):
+        slow = copy.deepcopy(BASELINE)
+        slow["profile_overhead"]["overhead_percent"] = 40.0  # +38 points
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", slow)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 1
+
+    def test_overhead_noise_passes(self, tmp_path):
+        noisy = copy.deepcopy(BASELINE)
+        noisy["profile_overhead"]["overhead_percent"] = 9.0  # +7 points
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", noisy)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 0
+
+
+class TestSkippedAndScaleRules:
+    def test_skipped_sections_never_compared(self, tmp_path):
+        # Baseline measured the (now hardware-gated) section; the candidate
+        # skipped it.  Nothing under it may count as a regression — and a
+        # baseline that itself carries "status": "skipped" contributes
+        # nothing either.
+        measured = copy.deepcopy(BASELINE)
+        measured["profiling"] = {
+            "status": "measured",
+            "serial_seconds": 2.0,
+            "parallel_seconds": 1.0,
+            "speedup": 2.0,
+        }
+        skipped = copy.deepcopy(BASELINE)  # profiling: status skipped
+        base = write_reports(tmp_path / "base", measured)
+        cand = write_reports(tmp_path / "cand", skipped)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 0
+
+    def test_scale_mismatch_skips_time_metrics(self, tmp_path, capsys):
+        smoke = copy.deepcopy(BASELINE)
+        smoke["smoke"] = True
+        smoke["scale"] = 0.002
+        smoke["explain"]["cold_seconds"] = 0.9  # 11x "slower": smoke scale
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", smoke)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 0
+        assert "scale/smoke differ" in capsys.readouterr().out
+
+    def test_tiny_timings_below_noise_floor_ignored(self, tmp_path):
+        jittery = copy.deepcopy(BASELINE)
+        jittery["explain"]["cached_seconds"] = 0.008  # 4x of 2ms: clock noise
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", jittery)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 0
+
+    def test_new_benchmark_without_baseline_is_noted_not_failed(
+        self, tmp_path, capsys
+    ):
+        base = write_reports(tmp_path / "base", BASELINE)
+        cand = write_reports(tmp_path / "cand", BASELINE, GOVERNOR)
+        assert perf_gate.main(["--baseline", base, "--candidate", cand]) == 0
+        assert "new" in capsys.readouterr().out
+
+    def test_empty_directories_error(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cand").mkdir()
+        assert perf_gate.main(
+            ["--baseline", str(tmp_path / "base"),
+             "--candidate", str(tmp_path / "cand")]
+        ) == 2
+
+
+class TestAgainstRealReports:
+    def test_committed_reports_pass_against_themselves(self, capsys):
+        repo = Path(__file__).resolve().parents[2]
+        assert perf_gate.main(
+            ["--baseline", str(repo), "--candidate", str(repo)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 regressions" in out

@@ -1,0 +1,117 @@
+"""Observability determinism under parallelism.
+
+The PR's contract: operator-profile fingerprints and event-stream
+fingerprints are bit-identical serial vs parallel — thread or process
+backend, any worker count — because collectors merge commutatively and
+workers' events are replayed by the parent in input order.
+"""
+
+import pytest
+
+from repro.core import BarberConfig, TemplateProfiler
+from repro.datasets import build_tpch
+from repro.obs import InMemoryCollector, Telemetry, event_fingerprint, use_telemetry
+from repro.workload import SqlTemplate
+
+TEMPLATES = [
+    SqlTemplate(
+        "det_scan",
+        "select l_orderkey from lineitem where l_quantity < {v1}",
+    ),
+    SqlTemplate(
+        "det_join",
+        "select c_name, o_totalprice from customer c "
+        "join orders o on c.c_custkey = o.o_custkey "
+        "where o.o_totalprice > {v1}",
+    ),
+    SqlTemplate(
+        "det_group",
+        "select o_orderdate, count(*) from orders "
+        "where o_totalprice > {v1} group by o_orderdate limit 5",
+    ),
+]
+SAMPLES = 4
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_tpch(scale=0.002, seed=3)
+
+
+def profile_run(db, workers, backend=None, profile=True, sink=None):
+    """One profile_many pass under an armed telemetry; returns telemetry."""
+    profiler = TemplateProfiler(
+        db, BarberConfig(seed=0), cost_metric="actual_rows"
+    )
+    sinks = [sink] if sink is not None else []
+    telemetry = Telemetry(sinks=sinks, profile=profile)
+    with use_telemetry(telemetry):
+        kwargs = {"workers": workers}
+        if backend is not None:
+            kwargs["backend"] = backend
+        profiler.profile_many(TEMPLATES, SAMPLES, **kwargs)
+    return telemetry
+
+
+class TestProfileFingerprintParallel:
+    @pytest.fixture(scope="class")
+    def serial_fingerprint(self, db):
+        return profile_run(db, workers=1).profiler.fingerprint()
+
+    @pytest.mark.parametrize("workers", [2, 3, 5])
+    def test_thread_backend_matches_serial(self, db, workers, serial_fingerprint):
+        telemetry = profile_run(db, workers=workers, backend="thread")
+        assert telemetry.profiler.fingerprint() == serial_fingerprint
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_process_backend_matches_serial(self, db, workers, serial_fingerprint):
+        telemetry = profile_run(db, workers=workers, backend="process")
+        assert telemetry.profiler.fingerprint() == serial_fingerprint
+
+    def test_serial_reruns_are_identical(self, db, serial_fingerprint):
+        assert profile_run(db, workers=1).profiler.fingerprint() == (
+            serial_fingerprint
+        )
+
+    def test_fingerprint_counts_expected_queries(self, serial_fingerprint):
+        # actual_rows executes every sample once per template.
+        assert serial_fingerprint["queries"] == len(TEMPLATES) * SAMPLES
+
+
+class TestEventStreamParallel:
+    """Thread backend shares the explain cache with the serial path, so the
+    full event stream — including cache totals — must match bit-for-bit.
+    (Process workers keep private caches; their cache counters legitimately
+    differ, which is documented behaviour since the fastpath PR.)"""
+
+    def events_for(self, db, workers, backend=None):
+        sink = InMemoryCollector()
+        profile_run(db, workers=workers, backend=backend, sink=sink)
+        return event_fingerprint(sink.events)
+
+    @pytest.fixture(scope="class")
+    def serial_events(self, db):
+        return self.events_for(db, workers=1)
+
+    def test_serial_stream_nonempty(self, serial_events):
+        names = [e["event"] for e in serial_events]
+        assert names.count("template_profiled") == len(TEMPLATES)
+
+    @pytest.mark.parametrize("workers", [2, 3, 5])
+    def test_thread_stream_matches_serial(self, db, workers, serial_events):
+        assert self.events_for(db, workers=workers, backend="thread") == (
+            serial_events
+        )
+
+    def test_process_stream_matches_serial(self, db, serial_events):
+        assert self.events_for(db, workers=2, backend="process") == (
+            serial_events
+        )
+
+    def test_profiled_events_in_input_order(self, serial_events):
+        profiled = [
+            e["template_id"]
+            for e in serial_events
+            if e["event"] == "template_profiled"
+        ]
+        assert profiled == [t.template_id for t in TEMPLATES]

@@ -1,0 +1,202 @@
+"""Event bus, event envelopes, fingerprinting, and the progress renderer."""
+
+import io
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.fuzz.runner import build_fuzz_database
+from repro.obs import (
+    EventBus,
+    InMemoryCollector,
+    NullTelemetry,
+    ProgressRenderer,
+    Telemetry,
+    event_fingerprint,
+)
+from repro.workload import CostDistribution, TemplateSpec
+
+
+class TestEventBus:
+    def test_publishes_to_all_subscribers(self):
+        seen_a, seen_b = [], []
+        bus = EventBus([seen_a.append])
+        bus.subscribe(seen_b.append)
+        bus.publish({"event": "x"})
+        assert seen_a == seen_b == [{"event": "x"}]
+
+    def test_unsubscribe_stops_delivery(self):
+        seen = []
+        bus = EventBus()
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.publish({"event": "x"})
+        assert seen == []
+
+    def test_crashing_subscriber_is_detached_not_fatal(self):
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("renderer died")
+
+        bus = EventBus([bad, seen.append])
+        bus.publish({"event": "a"})  # must not raise
+        bus.publish({"event": "b"})
+        assert seen == [{"event": "a"}, {"event": "b"}]
+        assert len(bus) == 1
+
+    def test_none_subscribers_filtered_at_construction(self):
+        assert len(EventBus([None, None])) == 0
+
+
+class TestTelemetryEvents:
+    def test_event_envelope_and_sequence(self):
+        sink = InMemoryCollector()
+        telemetry = Telemetry(sinks=[sink])
+        telemetry.event("stage_started", stage="profile")
+        telemetry.event("stage_finished", stage="profile", seconds=0.5)
+        events = [e for e in sink.events if e["type"] == "event"]
+        assert [e["seq"] for e in events] == [1, 2]
+        assert events[0]["event"] == "stage_started"
+        assert events[0]["stage"] == "profile"
+
+    def test_events_reach_bus_subscribers(self):
+        seen = []
+        telemetry = Telemetry(subscribers=[seen.append])
+        telemetry.event("checkpoint_saved", stage="profile", templates_done=2)
+        assert len(seen) == 1
+        assert seen[0]["templates_done"] == 2
+
+    def test_null_telemetry_event_is_noop(self):
+        NullTelemetry().event("stage_started", stage="x")  # must not raise
+
+
+class TestEventFingerprint:
+    def test_keeps_only_event_records(self):
+        stream = [
+            {"type": "span", "name": "s"},
+            {"type": "event", "event": "stage_started", "seq": 1, "stage": "a"},
+            {"type": "metrics", "counters": {}},
+        ]
+        fingerprint = event_fingerprint(stream)
+        assert len(fingerprint) == 1
+        assert fingerprint[0]["event"] == "stage_started"
+
+    def test_strips_wall_clock_keys_recursively(self):
+        stream = [{
+            "type": "event", "event": "stage_finished", "seq": 2,
+            "stage": "profile", "seconds": 1.23,
+            "nested": {"p95": 0.9, "rows": 5, "inner": [{"mean": 1.0, "n": 2}]},
+        }]
+        fingerprint = event_fingerprint(stream)
+        assert fingerprint == [{
+            "type": "event", "event": "stage_finished", "seq": 2,
+            "stage": "profile", "nested": {"rows": 5, "inner": [{"n": 2}]},
+        }]
+
+
+class TestProgressRenderer:
+    def render(self, events, verbose=False):
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream, verbose=verbose)
+        for event in events:
+            renderer(event)
+        return stream.getvalue()
+
+    def test_renders_stage_and_template_lines(self):
+        output = self.render([
+            {"type": "event", "event": "stage_started", "seq": 1,
+             "stage": "profile"},
+            {"type": "event", "event": "template_profiled", "seq": 2,
+             "template_id": "t0", "queries": 8, "errors": 0,
+             "quarantined": False},
+            {"type": "event", "event": "stage_finished", "seq": 3,
+             "stage": "profile", "seconds": 0.25},
+        ])
+        lines = output.splitlines()
+        assert lines[0] == "[profile] started"
+        assert lines[1] == "  profiled t0: 8 queries, 0 errors"
+        assert lines[2] == "[profile] finished in 0.25s"
+
+    def test_ignores_spans_and_uninteresting_events(self):
+        output = self.render([
+            {"type": "span", "name": "generate_workload"},
+            {"type": "event", "event": "obscure_internal", "seq": 1, "x": 1},
+        ])
+        assert output == ""
+
+    def test_verbose_renders_unknown_events_generically(self):
+        output = self.render(
+            [{"type": "event", "event": "obscure_internal", "seq": 1,
+              "zebra": 2, "apple": 1}],
+            verbose=True,
+        )
+        assert output.strip() == "obscure_internal apple=1 zebra=2"
+
+    def test_quarantine_and_retry_lines(self):
+        output = self.render([
+            {"type": "event", "event": "template_quarantined", "seq": 1,
+             "template_id": "t3", "reason": "timeout", "strikes": 2},
+            {"type": "event", "event": "llm_retry", "seq": 2,
+             "task": "refine", "attempt": 1, "error": "LLMTimeoutError"},
+        ])
+        assert "quarantined t3: timeout" in output
+        assert "retry refine attempt 1: LLMTimeoutError" in output
+
+
+class TestPipelineEventStream:
+    """A real generate_workload run publishes the documented progress events
+    in a deterministic, monotonically sequenced stream."""
+
+    @pytest.fixture(scope="class")
+    def events(self):
+        sink = InMemoryCollector()
+        barber = SQLBarber(
+            build_fuzz_database(0),
+            config=BarberConfig(seed=0, checkpoint_every_templates=1),
+            sinks=[sink],
+        )
+        specs = [TemplateSpec(spec_id="a", num_joins=1)]
+        distribution = CostDistribution.uniform(0.0, 200.0, 8, 3)
+        barber.generate_workload(specs, distribution)
+        return [e for e in sink.events if e["type"] == "event"]
+
+    def test_stage_events_bracket_each_stage(self, events):
+        names = [e["event"] for e in events]
+        for stage in ("templates", "profile", "refine", "search"):
+            started = names.index("stage_started")
+            assert started >= 0
+        starts = [e["stage"] for e in events if e["event"] == "stage_started"]
+        finishes = [e["stage"] for e in events if e["event"] == "stage_finished"]
+        assert starts == ["templates", "profile", "refine", "search"]
+        assert finishes == starts
+
+    def test_template_profiled_events_present(self, events):
+        profiled = [e for e in events if e["event"] == "template_profiled"]
+        assert profiled
+        assert all("template_id" in e and "queries" in e for e in profiled)
+
+    def test_cache_stats_event_last_ish(self, events):
+        cache_events = [e for e in events if e["event"] == "cache_stats"]
+        assert len(cache_events) == 1
+        assert set(cache_events[0]) >= {"hits", "misses", "evictions", "size"}
+
+    def test_seq_strictly_increasing(self, events):
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_stream_fingerprint_reproducible(self):
+        def run():
+            sink = InMemoryCollector()
+            barber = SQLBarber(
+                build_fuzz_database(0),
+                config=BarberConfig(seed=0),
+                sinks=[sink],
+            )
+            specs = [TemplateSpec(spec_id="a", num_joins=1)]
+            distribution = CostDistribution.uniform(0.0, 200.0, 8, 3)
+            barber.generate_workload(specs, distribution)
+            return event_fingerprint(sink.events)
+
+        assert run() == run()

@@ -108,3 +108,127 @@ class TestRegistryHistograms:
         assert snap["counters"] == {"c{task=x}": 2}
         assert snap["gauges"] == {"g": 1.0}
         assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestHistogramQuantiles:
+    def test_snapshot_reports_sketch_quantiles(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 3.0, 3.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["p50"] == pytest.approx(1.5, rel=0.02)
+        assert snap["p99"] == pytest.approx(3.0, rel=0.02)
+
+    def test_quantile_delegates_to_sketch(self):
+        hist = Histogram(buckets=(1.0,))
+        assert hist.quantile(0.5) is None
+        hist.observe(2.0)
+        assert hist.quantile(0.5) == pytest.approx(2.0, rel=0.02)
+
+    def test_negative_observation_clamped_for_sketch(self):
+        # Bucket counts keep the raw value; the sketch floors it at zero.
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(-0.5)
+        assert hist.count == 1
+        assert hist.quantile(0.5) == 0.0
+
+
+class TestHistogramMerge:
+    def test_merge_empty_into_nonempty_is_identity(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        before = hist.snapshot()
+        hist.merge(Histogram(buckets=(1.0, 2.0)))
+        assert hist.snapshot() == before
+
+    def test_merge_nonempty_into_empty_copies_everything(self):
+        source = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            source.observe(value)
+        target = Histogram(buckets=(1.0, 2.0))
+        target.merge(source)
+        assert target.snapshot() == source.snapshot()
+
+    def test_mismatched_buckets_raise_without_partial_merge(self):
+        target = Histogram(buckets=(1.0, 2.0))
+        target.observe(0.5)
+        other = Histogram(buckets=(1.0, 4.0))
+        other.observe(3.0)
+        before = target.snapshot()
+        with pytest.raises(ValueError, match="different buckets"):
+            target.merge(other)
+        assert target.snapshot() == before  # raise happens before any fold
+
+    def test_merge_after_snapshot_keeps_accumulating(self):
+        # snapshot() is a pure read: merging afterwards must keep working
+        # and the next snapshot must reflect the merged state.
+        target = Histogram(buckets=(1.0, 2.0))
+        target.observe(0.5)
+        first = target.snapshot()
+        other = Histogram(buckets=(1.0, 2.0))
+        other.observe(1.5)
+        target.merge(other)
+        second = target.snapshot()
+        assert first["count"] == 1
+        assert second["count"] == 2
+        assert second["p99"] == pytest.approx(1.5, rel=0.02)
+
+    def test_merge_matches_serial_observation(self):
+        values = [0.1, 0.9, 1.1, 1.9, 3.5, 0.4, 2.2, 1.0]
+        serial = Histogram(buckets=(1.0, 2.0))
+        for value in values:
+            serial.observe(value)
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 2.0))
+        for index, value in enumerate(values):
+            (a if index % 2 else b).observe(value)
+        a.merge(b)
+        assert a.counts == serial.counts
+        assert a.sketch.snapshot() == serial.sketch.snapshot()
+
+
+class TestCanonicalOrdering:
+    """Regression: keys and snapshots must be label-order and
+    insertion-order insensitive, or parallel merges stop being
+    bit-identical."""
+
+    def test_metric_key_ignores_label_insertion_order(self):
+        forward = metric_key("m", {"a": 1, "b": 2, "task": "x"})
+        backward = metric_key("m", {"task": "x", "b": 2, "a": 1})
+        assert forward == backward == "m{a=1,b=2,task=x}"
+
+    def test_counter_labels_in_any_order_hit_one_key(self):
+        registry = MetricsRegistry()
+        registry.count("calls", task="a", stage="s")
+        registry.count("calls", stage="s", task="a")
+        assert registry.counter_value("calls", task="a", stage="s") == 2
+        assert len(registry.snapshot()["counters"]) == 1
+
+    def test_snapshot_is_insertion_order_insensitive(self):
+        first = MetricsRegistry()
+        second = MetricsRegistry()
+        for name, task in [("x", "t1"), ("y", "t2"), ("x", "t2")]:
+            first.count(name, task=task)
+        for name, task in [("x", "t2"), ("y", "t2"), ("x", "t1")]:
+            second.count(name, task=task)
+        first.observe("lat", 0.01, stage="b")
+        first.observe("lat", 0.02, stage="a")
+        second.observe("lat", 0.02, stage="a")
+        second.observe("lat", 0.01, stage="b")
+        first.gauge("g", 1.0, z="z")
+        second.gauge("g", 1.0, z="z")
+        a, b = first.snapshot(), second.snapshot()
+        assert a == b
+        assert list(a["counters"]) == sorted(a["counters"])
+        assert list(a["histograms"]) == sorted(a["histograms"])
+
+    def test_merged_snapshot_sorted_regardless_of_source_order(self):
+        base = MetricsRegistry()
+        late = MetricsRegistry()
+        late.count("zzz.calls")
+        late.count("aaa.calls")
+        base.count("mmm.calls")
+        base.merge(late)
+        assert list(base.snapshot()["counters"]) == [
+            "aaa.calls", "mmm.calls", "zzz.calls",
+        ]

@@ -1,0 +1,67 @@
+"""``repro perf-report``: stage, operator, and latency-quantile tables
+rendered from a JSONL trace of a profiled run."""
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.fuzz.runner import build_fuzz_database
+from repro.obs import (
+    JsonlSink,
+    Telemetry,
+    read_events,
+    render_perf_report,
+    render_perf_report_file,
+)
+from repro.workload import CostDistribution, TemplateSpec
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("perf") / "trace.jsonl"
+    barber = SQLBarber(
+        build_fuzz_database(0),
+        config=BarberConfig(seed=0, profile=True),
+    )
+    telemetry = Telemetry(sinks=[JsonlSink(str(path))], profile=True)
+    specs = [TemplateSpec(spec_id="a", num_joins=1)]
+    # actual_rows is an executing cost metric: every profiled sample runs
+    # the engine, so the operator profiler has plans to record.
+    distribution = CostDistribution.uniform(
+        0.0, 200.0, 8, 3, cost_type="actual_rows"
+    )
+    barber.generate_workload(specs, distribution, telemetry=telemetry)
+    return str(path)
+
+
+class TestPerfReport:
+    def test_all_three_sections_render(self, trace_path):
+        report = render_perf_report_file(trace_path)
+        assert "Stage timings" in report
+        assert "Operator profile" in report
+        assert "Latency quantiles" in report
+
+    def test_stage_rows_cover_pipeline_stages(self, trace_path):
+        report = render_perf_report_file(trace_path)
+        for stage in ("templates", "profile", "refine", "search"):
+            assert stage in report
+
+    def test_operator_rows_present_with_quantiles(self, trace_path):
+        report = render_perf_report_file(trace_path)
+        assert "p50" in report and "p95" in report and "p99" in report
+        # At least a scan shows up in any executed plan.
+        assert "Scan" in report
+
+    def test_latency_histograms_listed(self, trace_path):
+        report = render_perf_report_file(trace_path)
+        assert "sqldb.execute.seconds" in report
+
+    def test_empty_trace_renders_fallback(self):
+        assert "no" in render_perf_report([]).lower()
+
+    def test_unprofiled_trace_omits_operator_section(self, tmp_path):
+        path = tmp_path / "plain.jsonl"
+        telemetry = Telemetry(sinks=[JsonlSink(str(path))])
+        telemetry.event("stage_started", stage="x")
+        telemetry.finish()
+        report = render_perf_report(read_events(str(path)))
+        assert "Operator profile" not in report

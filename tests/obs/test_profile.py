@@ -1,0 +1,219 @@
+"""Operator-level executor profiling: trees, aggregation, determinism.
+
+Covers the ``EXPLAIN PROFILE`` surface (``Database.explain_profile`` /
+``execute_profiled``), the ambient arming points, the collector's
+aggregation and checkpoint transport, and — critically — that the
+fingerprint is timing-free and merge-stable.
+"""
+
+import pytest
+
+from repro.datasets import build_tpch
+from repro.obs import (
+    ExecProfileCollector,
+    NullTelemetry,
+    OperatorProfile,
+    Telemetry,
+    capture_profile,
+    render_profile,
+    use_telemetry,
+)
+from repro.obs.profile import ACTIVE_RUN, _strip_timings
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_tpch(scale=0.002, seed=3)
+
+
+JOIN_SQL = (
+    "select c_name, o_totalprice from customer c "
+    "join orders o on c.c_custkey = o.o_custkey "
+    "where o.o_totalprice > 1000 order by o_totalprice limit 5"
+)
+
+
+class TestCaptureProfile:
+    def test_execute_profiled_returns_result_and_tree(self, db):
+        result, profile = db.execute_profiled(
+            "select n_name from nation where n_regionkey = 1"
+        )
+        assert result.row_count == profile.rows_out
+        assert profile.batches == 1
+        node_types = [node.node_type for node in profile.iter_nodes()]
+        assert any("Scan" in t for t in node_types)
+
+    def test_explain_profile_renders_rows_and_times(self, db):
+        text = db.explain_profile(JOIN_SQL)
+        assert "rows=" in text and "batches=" in text
+        assert "self=" in text and "total=" in text
+        # Plan shape is visible: the join sits above its inputs.
+        lines = text.splitlines()
+        assert any("Join" in line for line in lines)
+        assert len(lines) >= 3
+
+    def test_rows_out_matches_execution(self, db):
+        executed = db.execute(JOIN_SQL)
+        _, profile = db.execute_profiled(JOIN_SQL)
+        assert profile.rows_out == executed.row_count
+
+    def test_capture_outranks_run_telemetry_collector(self, db):
+        telemetry = Telemetry(profile=True)
+        with use_telemetry(telemetry):
+            db.execute("select n_name from nation")
+            with capture_profile() as capture:
+                db.execute("select r_name from region")
+        assert capture.profile is not None
+        # The captured statement did not also land in the run collector.
+        assert telemetry.profiler.queries == 1
+
+    def test_total_time_covers_children(self, db):
+        _, profile = db.execute_profiled(JOIN_SQL)
+        for node in profile.iter_nodes():
+            child_total = sum(c.total_seconds for c in node.children)
+            assert node.total_seconds >= child_total - 1e-9
+            assert node.self_seconds >= 0.0
+
+
+class TestUnarmedPath:
+    def test_unarmed_execution_records_nothing(self, db):
+        with use_telemetry(Telemetry()):  # metrics on, profiler off
+            db.execute(JOIN_SQL)
+        assert ACTIVE_RUN.get() is None
+
+    def test_null_telemetry_has_no_profiler(self):
+        assert NullTelemetry().profiler is None
+
+    def test_results_identical_armed_vs_unarmed(self, db):
+        plain = db.execute(JOIN_SQL)
+        armed, _ = db.execute_profiled(JOIN_SQL)
+        assert armed.table.column_names == plain.table.column_names
+        for mine, theirs in zip(armed.table.columns, plain.table.columns):
+            assert mine.data.tolist() == theirs.data.tolist()
+
+
+class TestRunTelemetryCollection:
+    def test_profile_true_collects_every_statement(self, db):
+        telemetry = Telemetry(profile=True)
+        with use_telemetry(telemetry):
+            db.execute("select n_name from nation")
+            db.execute("select n_name from nation")
+            db.execute("select r_name from region")
+        snapshot = telemetry.profiler.snapshot()
+        assert snapshot["queries"] == 3
+        # Two identical statements folded into one plan entry.
+        plan_queries = sorted(p["queries"] for p in snapshot["plans"])
+        assert plan_queries == [1, 2]
+
+    def test_operator_aggregate_reports_quantiles(self, db):
+        telemetry = Telemetry(profile=True)
+        with use_telemetry(telemetry):
+            for _ in range(4):
+                db.execute("select n_name from nation where n_regionkey = 0")
+        operators = telemetry.profiler.snapshot()["operators"]
+        assert operators
+        for agg in operators.values():
+            assert agg["calls"] >= 4 or agg["calls"] >= 1
+            assert set(agg) >= {"calls", "rows", "self_seconds", "p50", "p95", "p99"}
+
+
+class TestCollectorSemantics:
+    def tree(self, rows=5, seconds=0.25):
+        child = OperatorProfile(
+            "SeqScan", detail="t", est_rows=10.0, rows_out=rows,
+            batches=1, self_seconds=seconds / 2, total_seconds=seconds / 2,
+        )
+        return OperatorProfile(
+            "Limit", est_rows=5.0, rows_out=rows, batches=1,
+            self_seconds=seconds / 2, total_seconds=seconds,
+            children=[child],
+        )
+
+    def test_same_shape_trees_merge(self):
+        collector = ExecProfileCollector()
+        collector.record([self.tree(rows=5)])
+        collector.record([self.tree(rows=7)])
+        snapshot = collector.snapshot()
+        assert snapshot["queries"] == 2
+        assert len(snapshot["plans"]) == 1
+        assert snapshot["plans"][0]["plan"]["rows_out"] == 12
+
+    def test_collector_merge_matches_serial_record(self):
+        serial = ExecProfileCollector()
+        a, b = ExecProfileCollector(), ExecProfileCollector()
+        for index in range(6):
+            tree_for = self.tree(rows=index)
+            serial.record([self.tree(rows=index)])
+            (a if index % 2 else b).record([tree_for])
+        a.merge(b)
+        assert a.fingerprint() == serial.fingerprint()
+
+    def test_fingerprint_strips_all_timing_keys(self):
+        collector = ExecProfileCollector()
+        collector.record([self.tree()])
+        fingerprint = collector.fingerprint()
+
+        def walk(value):
+            if isinstance(value, dict):
+                for key, inner in value.items():
+                    assert key not in {
+                        "self_seconds", "total_seconds", "p50", "p95", "p99",
+                        "min", "max",
+                    }
+                    walk(inner)
+            elif isinstance(value, list):
+                for item in value:
+                    walk(item)
+
+        walk(fingerprint)
+        assert fingerprint["queries"] == 1
+        assert fingerprint["plans"][0]["plan"]["rows_out"] == 5
+
+    def test_state_roundtrip_preserves_fingerprint(self):
+        collector = ExecProfileCollector()
+        collector.record([self.tree(rows=3)])
+        collector.record([self.tree(rows=4)])
+        restored = ExecProfileCollector.from_state(collector.to_state())
+        assert restored.fingerprint() == collector.fingerprint()
+
+    def test_restored_collector_keeps_aggregating_under_same_key(self):
+        # The kill/resume property: recording the same plan shape after a
+        # restore must fold into the restored entry, not create a second.
+        collector = ExecProfileCollector()
+        collector.record([self.tree(rows=3)])
+        restored = ExecProfileCollector.from_state(collector.to_state())
+        restored.record([self.tree(rows=3)])
+
+        reference = ExecProfileCollector()
+        reference.record([self.tree(rows=3)])
+        reference.record([self.tree(rows=3)])
+        assert restored.fingerprint() == reference.fingerprint()
+
+    def test_multi_root_combined_before_keying(self):
+        subplan = OperatorProfile("SeqScan", detail="s", rows_out=1, batches=1)
+        main = self.tree(rows=2)
+        collector = ExecProfileCollector()
+        collector.record([subplan, main])
+        snapshot = collector.snapshot()
+        assert len(snapshot["plans"]) == 1
+        assert snapshot["plans"][0]["plan"]["operator"] == "Query"
+        restored = ExecProfileCollector.from_state(collector.to_state())
+        restored.record(
+            [OperatorProfile("SeqScan", detail="s", rows_out=1, batches=1),
+             self.tree(rows=2)]
+        )
+        assert len(restored.snapshot()["plans"]) == 1
+
+
+class TestRendering:
+    def test_render_profile_main_plan_first_subplans_after(self):
+        subplan = OperatorProfile("SeqScan", detail="sub", rows_out=1, batches=1)
+        main = OperatorProfile("Limit", rows_out=2, batches=1)
+        text = render_profile([subplan, main])
+        lines = text.splitlines()
+        assert lines[0].startswith("Limit")
+        assert "SubPlan 1" in text
+
+    def test_strip_timings_handles_nested_lists(self):
+        payload = {"a": [{"seconds": 1.0, "rows": 2}], "p95": 0.1}
+        assert _strip_timings(payload) == {"a": [{"rows": 2}]}

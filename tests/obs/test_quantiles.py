@@ -1,0 +1,122 @@
+"""Streaming quantile sketches: accuracy, and merge() bit-identity.
+
+The sketch backs every histogram's p50/p95/p99 and must satisfy the
+parallel-determinism contract: merging per-worker sketches — in any
+partitioning, at any worker count — yields a snapshot bit-identical to
+the serial one.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.obs import QuantileSketch
+
+
+def observed(values):
+    sketch = QuantileSketch()
+    for value in values:
+        sketch.observe(value)
+    return sketch
+
+
+class TestAccuracy:
+    def test_relative_error_bound(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0.001, 50.0) for _ in range(5000)]
+        sketch = observed(values)
+        ordered = sorted(values)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+            estimate = sketch.quantile(q)
+            assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_single_value(self):
+        sketch = observed([3.25])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert sketch.quantile(q) == pytest.approx(3.25, rel=0.02)
+
+    def test_empty_sketch_quantile_is_none(self):
+        assert QuantileSketch().quantile(0.5) is None
+
+    def test_zeros_tracked_in_zero_bucket(self):
+        sketch = observed([0.0, 0.0, 5.0])
+        assert sketch.count == 3
+        assert sketch.quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_negative_values_rejected(self):
+        # Histogram clamps to zero before feeding the sketch; the sketch
+        # itself refuses silently-wrong negatives.
+        with pytest.raises(ValueError, match="non-negative"):
+            QuantileSketch().observe(-1.0)
+
+    def test_quantile_clamped_to_observed_range(self):
+        sketch = observed([1.0, 2.0, 4.0])
+        assert sketch.quantile(0.0) >= 1.0
+        assert sketch.quantile(1.0) <= 4.0
+
+
+class TestMergeBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5, 8])
+    def test_partitioned_merge_matches_serial(self, workers):
+        rng = random.Random(11)
+        values = [rng.expovariate(2.0) for _ in range(2000)]
+        serial = observed(values)
+
+        parts = [QuantileSketch() for _ in range(workers)]
+        for index, value in enumerate(values):
+            parts[index % workers].observe(value)
+        merged = QuantileSketch()
+        for part in parts:
+            merged.merge(part)
+
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_merge_order_is_irrelevant(self):
+        rng = random.Random(3)
+        values = [rng.uniform(0.01, 9.0) for _ in range(600)]
+        a, b, c = observed(values[::3]), observed(values[1::3]), observed(values[2::3])
+
+        forward = QuantileSketch()
+        for part in (a, b, c):
+            forward.merge(part)
+        backward = QuantileSketch()
+        for part in (c, b, a):
+            backward.merge(part)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_empty_into_nonempty_is_identity(self):
+        sketch = observed([1.0, 2.0])
+        before = sketch.snapshot()
+        sketch.merge(QuantileSketch())
+        assert sketch.snapshot() == before
+
+    def test_merge_nonempty_into_empty_copies(self):
+        source = observed([0.5, 1.5, 2.5])
+        target = QuantileSketch()
+        target.merge(source)
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_does_not_alias_source_buckets(self):
+        source = observed([1.0])
+        target = QuantileSketch()
+        target.merge(source)
+        target.observe(1.0)
+        assert source.count == 1
+
+
+class TestSnapshotAndPickle:
+    def test_snapshot_reports_standard_quantiles(self):
+        snap = observed([0.1 * i for i in range(1, 101)]).snapshot()
+        assert set(snap) >= {"count", "p50", "p90", "p95", "p99"}
+        assert snap["count"] == 100
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+    def test_pickle_roundtrip_preserves_snapshot(self):
+        rng = random.Random(5)
+        sketch = observed([rng.uniform(0.01, 4.0) for _ in range(50)])
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone.snapshot() == sketch.snapshot()
+        clone.observe(1.0)
+        assert clone.count == sketch.count + 1

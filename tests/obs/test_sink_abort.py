@@ -1,0 +1,104 @@
+"""JSONL trace sinks on abort paths.
+
+A trace that dies with the process is worthless exactly when it matters
+most, so :class:`JsonlSink` flushes per record: after an injected crash or
+a budget abort the file on disk must end on a complete, parseable line.
+"""
+
+import json
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.fuzz.runner import build_fuzz_database
+from repro.llm import SimulatedLLM
+from repro.obs import JsonlSink, Telemetry, read_events
+from repro.resilience import InjectedCrash, ResilientLLMClient
+from repro.resilience.clock import SimulatedClock
+
+
+def run_with_sink(trace_path, tmp_path, kill_at=None, max_tokens=None):
+    inner = SimulatedLLM(seed=5)
+    llm = inner
+    if max_tokens is not None:
+        llm = ResilientLLMClient(
+            inner, clock=SimulatedClock(), max_tokens=max_tokens
+        )
+    barber = SQLBarber(
+        build_fuzz_database(0),
+        llm=llm,
+        config=BarberConfig(seed=5, checkpoint_every_templates=1),
+    )
+    from repro.workload import CostDistribution, TemplateSpec
+
+    specs = [
+        TemplateSpec(spec_id="a", num_joins=1),
+        TemplateSpec(spec_id="b", num_joins=0),
+    ]
+    distribution = CostDistribution.uniform(0.0, 200.0, 8, 3)
+    saves = {"count": 0}
+
+    def killer(manager, payload):
+        saves["count"] += 1
+        if kill_at is not None and saves["count"] == kill_at:
+            raise InjectedCrash(f"dead after save #{kill_at}")
+
+    telemetry = Telemetry(sinks=[JsonlSink(str(trace_path))])
+    return barber.generate_workload(
+        specs,
+        distribution,
+        telemetry=telemetry,
+        checkpoint_dir=tmp_path,
+        on_checkpoint_save=killer,
+    )
+
+
+class TestJsonlSinkFlushOnAbort:
+    @pytest.mark.parametrize("kill_at", [1, 3])
+    def test_trace_complete_after_injected_crash(self, tmp_path, kill_at):
+        trace = tmp_path / "trace.jsonl"
+        with pytest.raises(InjectedCrash):
+            run_with_sink(trace, tmp_path / "ckpt", kill_at=kill_at)
+
+        raw = trace.read_text()
+        assert raw, "trace empty after crash"
+        assert raw.endswith("\n"), "last record truncated mid-line"
+        events = read_events(str(trace))
+        for event in events:  # every line parsed back as a dict
+            assert isinstance(event, dict) and "type" in event
+        # Events recorded before the kill made it to disk.  The crash is
+        # raised from inside save #kill_at, so exactly the earlier saves
+        # produced their checkpoint_saved events.
+        names = [e.get("event") for e in events if e.get("type") == "event"]
+        assert "stage_started" in names
+        assert names.count("checkpoint_saved") == kill_at - 1
+
+    def test_trace_complete_after_budget_abort(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        result = run_with_sink(trace, tmp_path / "ckpt", max_tokens=9_000)
+        assert result.aborted
+        raw = trace.read_text()
+        assert raw.endswith("\n")
+        events = read_events(str(trace))
+        assert any(e.get("type") == "event" for e in events)
+
+    def test_emit_after_close_is_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit({"type": "event", "event": "a", "seq": 1})
+        sink.close()
+        sink.emit({"type": "event", "event": "b", "seq": 2})  # no raise
+        sink.close()  # idempotent
+        assert len(read_events(str(path))) == 1
+
+    def test_every_line_is_valid_json_mid_stream(self, tmp_path):
+        # Read the file while the sink is still open: per-record flush means
+        # a concurrent reader (tail -f, a dashboard) always sees whole lines.
+        path = tmp_path / "live.jsonl"
+        sink = JsonlSink(str(path))
+        for index in range(5):
+            sink.emit({"type": "event", "event": "tick", "seq": index})
+            lines = path.read_text().splitlines()
+            assert len(lines) == index + 1
+            json.loads(lines[-1])
+        sink.close()

@@ -1,0 +1,110 @@
+"""Operator profiles across kill/resume.
+
+The collector's state rides in every checkpoint, so a killed-and-resumed
+profiled run must produce the same profile fingerprint (and the same
+``WorkloadResult.operator_profiles`` determinism surface) as a run that
+never crashed.
+"""
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.llm import SimulatedLLM
+from repro.obs import Telemetry
+from repro.obs.profile import _strip_timings
+from repro.resilience import InjectedCrash
+from repro.workload import CostDistribution
+
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def exec_distribution():
+    # An executing cost metric: profiled samples actually run the engine.
+    return CostDistribution.uniform(
+        0.0, 200.0, 16, 4, cost_type="actual_rows"
+    )
+
+
+def run_profiled(db, specs, distribution, **kwargs):
+    barber = SQLBarber(
+        db,
+        llm=SimulatedLLM(seed=SEED),
+        config=BarberConfig(
+            seed=SEED, checkpoint_every_templates=1, profile=True
+        ),
+    )
+    return barber.generate_workload(
+        specs, distribution, telemetry=Telemetry(profile=True), **kwargs
+    )
+
+
+class TestProfiledResult:
+    def test_result_carries_operator_profiles(
+        self, chaos_db, tiny_specs, exec_distribution
+    ):
+        result = run_profiled(chaos_db, tiny_specs, exec_distribution)
+        profiles = result.operator_profiles
+        assert profiles is not None
+        assert profiles["queries"] > 0
+        assert profiles["operators"]
+        assert profiles["plans"]
+
+    def test_unprofiled_result_has_none(
+        self, chaos_db, tiny_specs, tiny_distribution
+    ):
+        barber = SQLBarber(
+            chaos_db,
+            llm=SimulatedLLM(seed=SEED),
+            config=BarberConfig(seed=SEED),
+        )
+        result = barber.generate_workload(tiny_specs, tiny_distribution)
+        assert result.operator_profiles is None
+
+    def test_profile_flag_does_not_change_run_key(
+        self, tmp_path, chaos_db, tiny_specs, exec_distribution
+    ):
+        # profile is execution-only config: a checkpoint written by an
+        # unprofiled run resumes under a profiled one (and vice versa).
+        barber = SQLBarber(
+            chaos_db,
+            llm=SimulatedLLM(seed=SEED),
+            config=BarberConfig(seed=SEED, checkpoint_every_templates=1),
+        )
+        plain = barber.generate_workload(
+            tiny_specs, exec_distribution, checkpoint_dir=tmp_path
+        )
+        resumed = run_profiled(
+            chaos_db, tiny_specs, exec_distribution,
+            checkpoint_dir=tmp_path, resume=True,
+        )
+        assert resumed.fingerprint_json() == plain.fingerprint_json()
+
+
+class TestKillResumeProfileFingerprint:
+    @pytest.mark.parametrize("kill_at", [2, 5, 9])
+    def test_profile_fingerprint_survives_kill(
+        self, kill_at, tmp_path, chaos_db, tiny_specs, exec_distribution
+    ):
+        reference = run_profiled(chaos_db, tiny_specs, exec_distribution)
+        saves = {"count": 0}
+
+        def killer(manager, payload):
+            saves["count"] += 1
+            if saves["count"] == kill_at:
+                raise InjectedCrash(f"dead after save #{kill_at}")
+
+        try:
+            outcome = run_profiled(
+                chaos_db, tiny_specs, exec_distribution,
+                checkpoint_dir=tmp_path, on_checkpoint_save=killer,
+            )
+        except InjectedCrash:
+            outcome = run_profiled(
+                chaos_db, tiny_specs, exec_distribution,
+                checkpoint_dir=tmp_path, resume=True,
+            )
+        assert outcome.fingerprint_json() == reference.fingerprint_json()
+        assert _strip_timings(outcome.operator_profiles) == _strip_timings(
+            reference.operator_profiles
+        )

@@ -147,3 +147,96 @@ class TestFuzz:
         assert code == 0
         # Clean run: no entries written, directory untouched or empty.
         assert not list(corpus_dir.glob("*.json")) if corpus_dir.exists() else True
+
+
+class TestObservabilityCli:
+    GENERATE_BASE = [
+        "generate", "--db", "tpch", "--scale", "0.002",
+        "--queries", "8", "--intervals", "2", "--cost-max", "600",
+        "--spec", "one join and two predicate values",
+        "--time-budget", "60",
+    ]
+
+    def test_generate_profile_adds_operator_summary(self, capsys):
+        code = main([
+            *self.GENERATE_BASE, "--cost-type", "actual_rows", "--profile",
+        ])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "operator_profiles" in summary
+        operators = summary["operator_profiles"]
+        assert operators  # actual_rows executes, so plans were profiled
+        for agg in operators.values():
+            assert {"calls", "rows", "p95"} <= set(agg)
+
+    def test_generate_without_profile_has_no_operator_summary(self, capsys):
+        assert main(list(self.GENERATE_BASE)) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "operator_profiles" not in summary
+
+    def test_generate_progress_renders_stages_to_stderr(self, capsys):
+        code = main([*self.GENERATE_BASE, "--progress"])
+        assert code == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout stays machine-clean
+        assert "[templates] started" in captured.err
+        assert "[search] finished" in captured.err
+        assert "profiled" in captured.err
+
+    def test_profile_events_in_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            *self.GENERATE_BASE, "--cost-type", "actual_rows",
+            "--profile", "--trace-out", str(trace),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        types = [e["type"] for e in events]
+        assert "event" in types and "profile" in types
+        profile = next(e for e in events if e["type"] == "profile")
+        assert profile["profile"]["queries"] > 0
+
+    def test_perf_report_renders_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main([
+            *self.GENERATE_BASE, "--cost-type", "actual_rows",
+            "--profile", "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["perf-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Stage timings" in out
+        assert "Operator profile" in out
+        assert "p95" in out
+
+    def test_perf_report_missing_file_errors(self, capsys):
+        assert main(["perf-report", "/nonexistent/trace.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_fuzz_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "fuzz.jsonl"
+        code = main([
+            "fuzz", "--seed", "7", "--budget", "30",
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert any(e["type"] == "metrics" for e in events)
+
+    def test_chaos_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "chaos.jsonl"
+        code = main([
+            "chaos", "--seed", "7", "--runs", "2", "--intensity", "0.3",
+            "--trace-out", str(trace),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert events, "chaos trace empty"
+        names = [e.get("event") for e in events if e["type"] == "event"]
+        assert "stage_started" in names
