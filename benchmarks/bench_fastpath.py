@@ -9,8 +9,12 @@ Measures, on the bundled TPC-H:
 
 * cold EXPLAIN throughput (cache disabled, full parse/bind/plan per call)
   vs cached throughput (same statements repeated, served from the cache);
-* serial vs parallel ``profile_many`` wall-clock (process backend, so the
-  planning work actually overlaps under the GIL);
+* batched re-costing throughput (``CompiledTemplate.explain_many`` plan
+  replay, cache disabled) vs the cold per-binding loop — the ``vectorized``
+  section, gated at >=5x;
+* serial vs parallel ``profile_many`` wall-clock (process backend with
+  chunked work units, so the planning work actually overlaps under the GIL
+  and IPC is amortized across a chunk);
 * the cache hit rate of the cached phase.
 
 Writes ``BENCH_fastpath.json`` (see ``--output``).  ``--check`` additionally
@@ -147,6 +151,75 @@ def bench_explain(db, corpus: list[str], repeats: int) -> dict:
     }
 
 
+def bench_vectorized(db, bindings_per_template: int, repeats: int) -> dict:
+    """Batched re-costing (``CompiledTemplate.explain_many``) vs cold loop.
+
+    The vectorization tentpole's profiling bar: re-costing N bindings of a
+    compiled template in one batched pass must be >=5x faster than N cold
+    parse/bind/plan EXPLAINs.  Both sides run with the EXPLAIN cache
+    disabled — the subject is re-costing throughput, not cache hits — and
+    the batched results are verified byte-identical to the cold ones
+    before any timing is believed (``results_identical``).
+    ``replayed_fraction`` reports how much of the corpus took the
+    plan-replay fast path rather than the substitution fallback.
+    """
+    from repro.obs import Telemetry, use_telemetry
+
+    profiler = TemplateProfiler(db, BarberConfig(seed=0))
+    db.set_explain_cache(False)
+    corpus = []
+    for i, template in enumerate(TEMPLATES):
+        space = profiler.build_space(template)
+        rng = np.random.default_rng([7, i])
+        bindings = lhs_configs(space, bindings_per_template, rng)
+        compiled = profiler._compiled_for(template)
+        if compiled is None:
+            continue  # reported via compiled_templates below
+        corpus.append((template, compiled, bindings))
+
+    identical = True
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        for template, compiled, bindings in corpus:
+            batched = compiled.explain_many(bindings)
+            for values, fast in zip(bindings, batched):
+                if fast != db.explain(template.instantiate(values)):
+                    identical = False
+    replayed = telemetry.metrics.total("fastpath.compiled.replayed")
+    total_bindings = sum(len(b) for _, _, b in corpus)
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for _template, compiled, bindings in corpus:
+            compiled.explain_many(bindings)
+    batched_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for template, _compiled, bindings in corpus:
+            for values in bindings:
+                db.explain(template.instantiate(values))
+    cold_seconds = time.perf_counter() - started
+    db.set_explain_cache(True)
+
+    calls = repeats * total_bindings
+    batched_ops = calls / batched_seconds
+    cold_ops = calls / cold_seconds
+    return {
+        "templates": len(TEMPLATES),
+        "compiled_templates": len(corpus),
+        "bindings_per_template": bindings_per_template,
+        "repeats": repeats,
+        "results_identical": identical,
+        "replayed_fraction": round(replayed / max(total_bindings, 1), 3),
+        "batched_seconds": round(batched_seconds, 4),
+        "cold_seconds": round(cold_seconds, 4),
+        "batched_ops_per_s": round(batched_ops, 1),
+        "cold_ops_per_s": round(cold_ops, 1),
+        "speedup": round(batched_ops / cold_ops, 2),
+    }
+
+
 def bench_profiling(db, samples: int, workers: int, cpus: int) -> dict:
     """Serial vs process-parallel profile_many over the template set.
 
@@ -258,6 +331,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="passes over the explain corpus per phase")
     parser.add_argument("--bindings", type=int, default=4,
                         help="instantiated statements per template")
+    parser.add_argument("--vec-bindings", type=int, default=40,
+                        help="bindings per template for the batched "
+                             "re-costing (vectorized) phase")
     parser.add_argument("--samples", type=int, default=800,
                         help="profile samples per template")
     parser.add_argument("--profile-samples", type=int, default=40,
@@ -269,12 +345,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="tiny CI configuration (fast, no thresholds)")
     parser.add_argument("--check", action="store_true",
                         help="fail unless speedups meet the acceptance bars "
-                             "(>=5x cached explain, >1.5x parallel profiling, "
+                             "(>=5x cached explain, >=5x batched re-costing, "
+                             ">1.5x parallel profiling, "
                              "<=10% armed-profiler overhead)")
     args = parser.parse_args(argv)
     if args.smoke:
         args.scale, args.repeats, args.bindings = 0.002, 2, 2
         args.samples, args.profile_samples = 8, 6
+        args.vec_bindings = 8
 
     db = build_tpch(scale=args.scale, seed=3)
     profiler = TemplateProfiler(db, BarberConfig(seed=0, use_fastpath=False))
@@ -286,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
         cpus = os.cpu_count() or 1
 
     explain = bench_explain(db, corpus, args.repeats)
+    vectorized = bench_vectorized(db, args.vec_bindings, args.repeats)
     profiling = bench_profiling(db, args.samples, args.workers, cpus)
     profile_overhead = bench_profile_overhead(db, args.profile_samples)
     report = {
@@ -294,6 +373,7 @@ def main(argv: list[str] | None = None) -> int:
         "smoke": args.smoke,
         "cpus": cpus,
         "explain": explain,
+        "vectorized": vectorized,
         "profiling": profiling,
         "profile_overhead": profile_overhead,
     }
@@ -311,11 +391,19 @@ def main(argv: list[str] | None = None) -> int:
     if profiling["status"] == "measured" and not profiling["results_identical"]:
         print("FAIL: parallel profiles diverged from serial", file=sys.stderr)
         return 1
+    if not vectorized["results_identical"]:
+        print("FAIL: batched re-costing diverged from cold EXPLAIN",
+              file=sys.stderr)
+        return 1
     if args.check:
         failures = []
         if explain["speedup"] < 5.0:
             failures.append(
                 f"cached explain speedup {explain['speedup']}x < 5x"
+            )
+        if vectorized["speedup"] < 5.0:
+            failures.append(
+                f"batched re-costing speedup {vectorized['speedup']}x < 5x"
             )
         if profiling["status"] == "skipped":
             print(f"SKIP: {profiling['reason']}", file=sys.stderr)

@@ -144,8 +144,18 @@ class CompiledTemplate:
         self._render_types = {
             info.name: info.sql_type for info in template.placeholders
         }
+        # Per-placeholder (name, expected bound type, render type), hoisted
+        # out of the per-binding type-guard loop in _replan.
+        self._guard_specs = [
+            (
+                name,
+                self._placeholder_types.get(name, SqlType.INTEGER),
+                self._render_types.get(name),
+            )
+            for name in template.placeholder_names
+        ]
         self._lock = threading.Lock()
-        self._state: tuple[int, BoundQuery] | None = None
+        self._state: tuple[int, BoundQuery, object | None] | None = None
         self._bound()  # compile eagerly so failures surface at build time
 
     @property
@@ -153,15 +163,27 @@ class CompiledTemplate:
         return self._template
 
     def _bound(self) -> BoundQuery:
+        return self._compiled_state()[1]
+
+    def _replayer(self):
+        """The pre-resolved planner replay for the current statistics epoch,
+        or ``None`` when the statement's plan shape cannot be replayed."""
+        return self._compiled_state()[2]
+
+    def _compiled_state(self) -> tuple[int, BoundQuery, object | None]:
         epoch = self._db.catalog.statistics_epoch
         with self._lock:
             if self._state is None or self._state[0] != epoch:
+                from .batch import PlanReplayer
+
                 statement = parse_select(self._template.sql)
                 binder = Binder(
                     self._db.catalog, placeholder_types=self._placeholder_types
                 )
-                self._state = (epoch, binder.bind(statement))
-            return self._state[1]
+                bound = binder.bind(statement)
+                replayer = PlanReplayer.build(self._db, bound, self._render_types)
+                self._state = (epoch, bound, replayer)
+            return self._state
 
     def explain(self, values: Mapping[str, object]) -> ExplainResult:
         """EXPLAIN the template instantiated with *values*.
@@ -175,17 +197,83 @@ class CompiledTemplate:
             sql, compute=lambda: self._replan(sql, values)
         )
 
+    def explain_many(self, bindings) -> list[ExplainResult]:
+        """EXPLAIN the template under every binding in *bindings*.
+
+        Equivalent to ``[self.explain(values) for values in bindings]`` —
+        same results, same errors, same telemetry counters, same cache
+        interaction — and counted as one batched re-costing pass.  The
+        per-binding work is a :class:`~repro.fastpath.batch.PlanReplayer`
+        replay when the plan shape supports it, so re-costing thousands of
+        bindings costs one planner resolution plus a scalar cost replay per
+        binding.  With the EXPLAIN cache disabled there is no cache state
+        to maintain, so the batch also skips the per-call SQL rendering and
+        cache dispatch; with it enabled every binding goes through the
+        normal cache-aware path (hits and stored entries must match).
+        """
+        bindings = list(bindings)
+        telemetry = current_telemetry()
+        telemetry.count("fastpath.compiled.batches")
+        telemetry.count("fastpath.compiled.batched_explains", len(bindings))
+        db = self._db
+        replayer = self._replayer()
+        if replayer is None or db._explain_cache_enabled:
+            return [self.explain(values) for values in bindings]
+        results: list[ExplainResult] = []
+        for values in bindings:
+            literals: dict[str, object] = {}
+            mismatch = False
+            deferred_bind_error: BindError | None = None
+            # Mirror the per-call error order: instantiate's per-name
+            # errors (missing placeholder, integer overflow) fire in place;
+            # BindError only ever comes from _replan's type guard, which
+            # runs after the whole statement rendered — defer it.
+            for name, expected, render_type in self._guard_specs:
+                if name not in values:
+                    raise KeyError(f"no value for placeholder {{{name}}}")
+                try:
+                    literal = literal_expression(values[name], render_type)
+                except BindError as exc:
+                    if deferred_bind_error is None:
+                        deferred_bind_error = exc
+                    continue
+                literals[name] = literal
+                if bound_literal_type(literal) is not expected:
+                    mismatch = True
+                    break
+            if mismatch:
+                # Rare re-plan-cold binding: take the full per-call path
+                # (including instantiation, whose errors take precedence).
+                results.append(self.explain(values))
+                continue
+            if deferred_bind_error is not None:
+                raise deferred_bind_error
+            results.append(
+                db._record_explain(
+                    lambda r=replayer, v=values, l=literals: r.explain(v, l)
+                )
+            )
+            telemetry.count("fastpath.compiled.explains")
+            telemetry.count("fastpath.compiled.replayed")
+        return results
+
     def _replan(self, sql: str, values: Mapping[str, object]) -> ExplainResult:
         bound = self._bound()
-        for name in self._template.placeholder_names:
-            expected = self._placeholder_types.get(name, SqlType.INTEGER)
-            actual = bound_literal_type(
-                literal_expression(values[name], self._render_types.get(name))
-            )
-            if actual is not expected:
+        literals: dict[str, object] = {}
+        for name, expected, render_type in self._guard_specs:
+            literal = literal_expression(values[name], render_type)
+            literals[name] = literal
+            if bound_literal_type(literal) is not expected:
                 # The value binds differently than the compiled assumption
                 # (e.g. out-of-int32-range); re-plan cold for this call.
                 return explain_plan(self._db.plan(sql))
+        replayer = self._replayer()
+        if replayer is not None:
+            result = replayer.explain(values, literals)
+            telemetry = current_telemetry()
+            telemetry.count("fastpath.compiled.explains")
+            telemetry.count("fastpath.compiled.replayed")
+            return result
         statement = substitute_placeholders(
             bound.statement, values, self._render_types
         )

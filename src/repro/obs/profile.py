@@ -141,10 +141,14 @@ class ProfileRun:
         self._stack.append(profile)
         return profile, self.clock()
 
-    def exit(self, profile: OperatorProfile, started: float, rows: int) -> None:
+    def exit(
+        self, profile: OperatorProfile, started: float, rows: int, batches: int = 1
+    ) -> None:
         profile.total_seconds += self.clock() - started
         profile.rows_out += rows
-        profile.batches += 1
+        # The row executor materializes once per operator (batches=1); the
+        # vectorized executor reports how many output batches it emitted.
+        profile.batches += batches
         self._stack.pop()
 
     def finalize(self) -> list[OperatorProfile]:

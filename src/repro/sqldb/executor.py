@@ -661,7 +661,11 @@ def _compute_aggregate(
     group_counts = np.bincount(codes[valid], minlength=num_groups)
     empty = group_counts == 0
     if name in ("sum", "avg"):
-        sums = np.bincount(codes[valid], weights=values[valid], minlength=num_groups)
+        # bincount returns int64 (not the weights' dtype) when the input is
+        # empty; a DOUBLE sum column must stay float64 even with no rows.
+        sums = np.bincount(
+            codes[valid], weights=values[valid], minlength=num_groups
+        ).astype(np.float64)
         if name == "sum":
             out_type = SqlType.DOUBLE if arg.sql_type is SqlType.DOUBLE else SqlType.BIGINT
             data = sums if out_type is SqlType.DOUBLE else np.round(sums).astype(np.int64)

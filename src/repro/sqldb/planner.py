@@ -137,6 +137,9 @@ class Planner:
     def __init__(self, catalog: Catalog):
         self._catalog = catalog
         self._binder = Binder(catalog)
+        # Plans are stamped eligible for the vectorized executor; the
+        # database decides per-plan whether every operator is supported.
+        self.use_vectorized = True
 
     def plan(self, bound: BoundQuery) -> Plan:
         statement = bound.statement
@@ -153,6 +156,7 @@ class Planner:
             subplans=subplans,
             output_names=bound.output_names,
             output_types=bound.output_types,
+            use_vectorized=self.use_vectorized,
         )
 
     def _plan_compound(self, bound: BoundQuery) -> Plan:
@@ -179,6 +183,7 @@ class Planner:
             subplans={},
             output_names=bound.output_names,
             output_types=bound.output_types,
+            use_vectorized=self.use_vectorized,
         )
 
     # -- subquery expressions ---------------------------------------------------

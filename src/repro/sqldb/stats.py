@@ -11,6 +11,7 @@ values.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,16 +43,23 @@ class Histogram:
 
     def fraction_below(self, value: float) -> float:
         """Estimated fraction of histogram values strictly below *value*."""
-        bounds = self.bounds
+        # Bisect over a cached Python list: same index and same float
+        # arithmetic as np.searchsorted over the ndarray (NaN sorts last
+        # either way), without the per-call numpy scalar overhead — this
+        # sits on the per-binding re-costing hot path.
+        bounds = self.__dict__.get("_bounds_list")
+        if bounds is None:
+            bounds = self.bounds.tolist()
+            self._bounds_list = bounds
         if self.num_buckets == 0:
             return 0.5
         if value <= bounds[0]:
             return 0.0
         if value >= bounds[-1]:
             return 1.0
-        bucket = int(np.searchsorted(bounds, value, side="right")) - 1
+        bucket = bisect_right(bounds, value) - 1
         bucket = min(bucket, self.num_buckets - 1)
-        low, high = float(bounds[bucket]), float(bounds[bucket + 1])
+        low, high = bounds[bucket], bounds[bucket + 1]
         within = 0.5 if high <= low else (value - low) / (high - low)
         return (bucket + within) / self.num_buckets
 
@@ -87,9 +95,20 @@ class ColumnStats:
         nonnull = 1.0 - self.null_fraction
         if nonnull <= 0.0:
             return 0.0
-        for mcv, fraction in zip(self.mcv_values, self.mcv_fractions):
-            if _values_equal(mcv, value):
-                return fraction
+        # Compare against Python-native MCV values (cached): numpy scalar
+        # equality costs a ufunc dispatch per MCV, and this loop runs for
+        # every equality/range estimate on the re-costing hot path.  The
+        # values are identical, so the matches (and fractions) are too.
+        mcvs = self.__dict__.get("_mcv_native")
+        if mcvs is None:
+            mcvs = [_to_python(v) for v in self.mcv_values]
+            self._mcv_native = mcvs
+        for mcv, fraction in zip(mcvs, self.mcv_fractions):
+            try:
+                if mcv == value:
+                    return fraction
+            except Exception:
+                pass
         remaining_fraction = max(nonnull - self.mcv_total_fraction, 0.0)
         remaining_distinct = max(self.distinct_count - len(self.mcv_values), 1.0)
         if _is_numeric(value) and self.min_value is not None:
@@ -122,8 +141,10 @@ class ColumnStats:
             raise ValueError(f"not a range operator: {op}")
         # MCVs are folded into the histogram fraction proportionally, which is
         # a simplification of PostgreSQL's split accounting but monotone in
-        # the predicate value — the property the BO loop needs.
-        return float(np.clip(fraction, 0.0, 1.0)) * nonnull
+        # the predicate value — the property the BO loop needs.  Scalar
+        # min/max clamps exactly like np.clip here, including NaN
+        # passthrough (max(nan, 0.0) keeps the NaN first argument).
+        return float(min(max(fraction, 0.0), 1.0)) * nonnull
 
     def between_selectivity(self, low, high) -> float:
         if low is None or high is None:
@@ -132,7 +153,7 @@ class ColumnStats:
         if self.histogram is None or not (_is_numeric(low) and _is_numeric(high)):
             return DEFAULT_RANGE_SELECTIVITY * nonnull * 0.5
         fraction = self.histogram.fraction_between(float(low), float(high))
-        return float(np.clip(fraction, 0.0, 1.0)) * nonnull
+        return float(min(max(fraction, 0.0), 1.0)) * nonnull
 
 
 def like_selectivity(pattern: str) -> float:
@@ -235,13 +256,6 @@ def _is_numeric(value) -> bool:
     return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
         value, bool
     )
-
-
-def _values_equal(a, b) -> bool:
-    try:
-        return bool(a == b)
-    except Exception:
-        return False
 
 
 def _to_python(value):

@@ -1,0 +1,29 @@
+"""Vectorized columnar execution: batches, kernels, and the batch executor.
+
+``repro.sqldb.vec`` is the row executor's batch-at-a-time twin.  It is
+selected per-plan by the planner's ``use_vectorized`` flag (see
+``Database.set_vectorized``) and is proven semantically identical to the
+row path by the differential battery in
+``tests/sqldb/test_vec_differential.py`` and the ``vec-vs-row`` fuzz
+oracle.
+"""
+
+from .batch import VecColumn, VecFrame, frame_bytes
+from .executor import DEFAULT_BATCH_SIZE, VecExecutor, supports
+from .expr import VecEvalContext, constant, logical_and, logical_or, negate_bool, truthy, veval
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "VecColumn",
+    "VecEvalContext",
+    "VecExecutor",
+    "VecFrame",
+    "constant",
+    "frame_bytes",
+    "logical_and",
+    "logical_or",
+    "negate_bool",
+    "supports",
+    "truthy",
+    "veval",
+]

@@ -1,0 +1,267 @@
+"""Columnar batches over stdlib containers for the vectorized executor.
+
+A :class:`VecColumn` is the vectorized path's unit of data: a flat container
+of values (``array('q')`` for 64-bit integers and dates, ``array('d')`` for
+doubles, plain lists for text and booleans) plus an optional validity mask —
+a list of bools where ``True`` marks NULL, mirroring the numpy
+``null_mask`` convention of :class:`repro.sqldb.storage.Column`.
+
+Mask *presence* is semantically meaningful for parity with the row
+executor: operations drop an all-False mask exactly where the numpy path
+drops one (``mask.any()`` checks), and keep a present-but-all-False mask
+exactly where the numpy path keeps one (slicing).  Governor byte accounting
+depends on this (a present mask is charged), so the rules are mirrored
+rather than normalized.
+
+Values at masked (NULL) slots are *garbage with defined content*: the same
+fill the numpy path carries (0 / 0.0 / False, and ``None`` for object
+columns).  They are deliberately kept and propagated through arithmetic
+because the row executor's kernels compute over full arrays — including
+masked slots — and some error checks (``sqrt`` of a negative, date parses)
+fire on that garbage.  Bit-parity requires computing the same garbage.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+from ..storage import Column
+from ..types import SqlType
+
+#: Container kind per column: int64 / float64 / bool / object.  This is the
+#: vec analogue of a numpy dtype and is tracked separately from ``sql_type``
+#: because the row executor can legitimately hold e.g. a BIGINT-typed vector
+#: in an object array (``coalesce`` over mixed argument types widens the
+#: container without changing the SQL type).
+KIND_INT = "i"
+KIND_FLOAT = "f"
+KIND_BOOL = "b"
+KIND_OBJECT = "o"
+
+_CANONICAL_KIND = {
+    SqlType.INTEGER: KIND_INT,
+    SqlType.BIGINT: KIND_INT,
+    SqlType.DATE: KIND_INT,
+    SqlType.DOUBLE: KIND_FLOAT,
+    SqlType.BOOLEAN: KIND_BOOL,
+    SqlType.TEXT: KIND_OBJECT,
+}
+
+_NUMPY_DTYPE = {
+    KIND_INT: np.int64,
+    KIND_FLOAT: np.float64,
+    KIND_BOOL: np.bool_,
+    KIND_OBJECT: object,
+}
+
+#: Governor byte accounting, mirroring ``Column.estimated_bytes``: numpy
+#: item widths plus the 48-byte payload estimate per object element.
+_BYTE_WIDTH = {KIND_INT: 8, KIND_FLOAT: 8, KIND_BOOL: 1, KIND_OBJECT: 8 + 48}
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+
+def canonical_kind(sql_type: SqlType) -> str:
+    return _CANONICAL_KIND[sql_type]
+
+
+def wrap_i64(value: int) -> int:
+    """Wrap a Python int to int64 two's-complement (numpy overflow parity)."""
+    if _I64_MIN <= value <= _I64_MAX:
+        return value
+    return (value - _I64_MIN) % (2**64) + _I64_MIN
+
+
+def float_to_i64(value: float) -> int:
+    """``np.float64 -> np.int64`` C-cast parity: truncate toward zero;
+    NaN/inf/out-of-range collapse to INT64_MIN (x86 ``cvttsd2si``)."""
+    if value != value:  # NaN
+        return _I64_MIN
+    if value <= _I64_MIN or value >= float(_I64_MAX):
+        return _I64_MIN if value < 0 or value >= float(_I64_MAX) else _I64_MAX
+    return int(value)
+
+
+def _storage(kind: str, values):
+    if kind == KIND_INT:
+        return array("q", values)
+    if kind == KIND_FLOAT:
+        return array("d", values)
+    return list(values)
+
+
+class VecColumn:
+    """One column of a batch: values + optional validity mask (True=NULL)."""
+
+    __slots__ = ("values", "mask", "sql_type", "kind")
+
+    def __init__(self, values, mask, sql_type: SqlType, kind: str | None = None):
+        self.values = values
+        self.mask = mask
+        self.sql_type = sql_type
+        self.kind = kind if kind is not None else _CANONICAL_KIND[sql_type]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def from_numpy(column: Column, start: int = 0, stop: int | None = None) -> "VecColumn":
+        """A batch slice of a stored numpy column, [start, stop)."""
+        stop = len(column.data) if stop is None else stop
+        data = column.data[start:stop]
+        kind = KIND_OBJECT if data.dtype == object else _CANONICAL_KIND[column.sql_type]
+        values = list(data) if kind == KIND_OBJECT else _storage(kind, data.tolist())
+        mask = None
+        if column.null_mask is not None:
+            mask = [bool(m) for m in column.null_mask[start:stop]]
+        return VecColumn(values, mask, column.sql_type, kind)
+
+    @staticmethod
+    def filled(value, count: int, sql_type: SqlType, kind: str | None = None) -> "VecColumn":
+        kind = kind if kind is not None else _CANONICAL_KIND[sql_type]
+        return VecColumn(_storage(kind, [value] * count), None, sql_type, kind)
+
+    # -- conversion -----------------------------------------------------------
+
+    def to_numpy(self, name: str) -> Column:
+        """Materialize as a numpy storage column (final result assembly)."""
+        dtype = _NUMPY_DTYPE[self.kind]
+        if self.kind == KIND_OBJECT:
+            data = np.empty(len(self.values), dtype=object)
+            for i, v in enumerate(self.values):
+                data[i] = v
+        else:
+            data = np.array(self.values, dtype=dtype)
+        mask = None
+        if self.mask is not None:
+            mask = np.array(self.mask, dtype=bool)
+        return Column(name, self.sql_type, data, mask)
+
+    # -- slicing --------------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "VecColumn":
+        mask = None if self.mask is None else self.mask[start:stop]
+        return VecColumn(self.values[start:stop], mask, self.sql_type, self.kind)
+
+    def filter(self, keep: list) -> "VecColumn":
+        if len(keep) != len(self.values):
+            # Row-executor parity: numpy boolean indexing raises when the
+            # mask length mismatches (HAVING over an empty global aggregate
+            # produces a 1-row frame whose columns hold 0 values).
+            np.zeros(len(self.values))[np.asarray(keep, dtype=bool)]
+        values = _storage(
+            self.kind, (v for v, k in zip(self.values, keep) if k)
+        )
+        mask = None
+        if self.mask is not None:
+            mask = [m for m, k in zip(self.mask, keep) if k]
+        return VecColumn(values, mask, self.sql_type, self.kind)
+
+    def take(self, indices) -> "VecColumn":
+        values = _storage(self.kind, (self.values[i] for i in indices))
+        mask = None
+        if self.mask is not None:
+            mask = [self.mask[i] for i in indices]
+        return VecColumn(values, mask, self.sql_type, self.kind)
+
+    @staticmethod
+    def concat(parts: list["VecColumn"]) -> "VecColumn":
+        """Concatenate batches of one logical column.
+
+        The mask is present iff any part carries one (absent parts
+        contribute all-valid runs) — matching what a whole-column numpy
+        operation would have produced before the column was batched.
+        """
+        first = parts[0]
+        values = _storage(first.kind, (v for p in parts for v in p.values))
+        mask = None
+        if any(p.mask is not None for p in parts):
+            mask = []
+            for p in parts:
+                mask.extend(p.mask if p.mask is not None else [False] * len(p))
+        return VecColumn(values, mask, first.sql_type, first.kind)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def estimated_bytes(self) -> int:
+        total = _BYTE_WIDTH[self.kind] * len(self.values)
+        if self.mask is not None:
+            total += len(self.mask)
+        return total
+
+    def null_fill(self):
+        """The garbage value the numpy path stores at a NULL slot."""
+        if self.kind == KIND_OBJECT:
+            return None
+        if self.kind == KIND_FLOAT:
+            return 0.0
+        if self.kind == KIND_BOOL:
+            return False
+        return 0
+
+
+class VecFrame:
+    """An intermediate batch: qualified columns plus aggregate side-band."""
+
+    __slots__ = ("columns", "row_count", "aggregate_values")
+
+    def __init__(
+        self,
+        columns: dict[str, VecColumn],
+        row_count: int,
+        aggregate_values: dict[int, VecColumn] | None = None,
+    ):
+        self.columns = columns
+        self.row_count = row_count
+        self.aggregate_values = aggregate_values or {}
+
+    def filter(self, keep: list) -> "VecFrame":
+        columns = {name: col.filter(keep) for name, col in self.columns.items()}
+        aggregates = {
+            key: col.filter(keep) for key, col in self.aggregate_values.items()
+        }
+        return VecFrame(columns, sum(1 for k in keep if k), aggregates)
+
+    def take(self, indices) -> "VecFrame":
+        columns = {name: col.take(indices) for name, col in self.columns.items()}
+        aggregates = {
+            key: col.take(indices) for key, col in self.aggregate_values.items()
+        }
+        return VecFrame(columns, len(indices), aggregates)
+
+    def slice(self, start: int, stop: int) -> "VecFrame":
+        columns = {
+            name: col.slice(start, stop) for name, col in self.columns.items()
+        }
+        aggregates = {
+            key: col.slice(start, stop)
+            for key, col in self.aggregate_values.items()
+        }
+        return VecFrame(columns, max(stop - start, 0), aggregates)
+
+    @staticmethod
+    def concat(frames: list["VecFrame"]) -> "VecFrame":
+        """Concatenate batches into one whole frame (barrier operators)."""
+        if len(frames) == 1:
+            return frames[0]
+        first = frames[0]
+        columns = {
+            name: VecColumn.concat([f.columns[name] for f in frames])
+            for name in first.columns
+        }
+        aggregates = {
+            key: VecColumn.concat([f.aggregate_values[key] for f in frames])
+            for key in first.aggregate_values
+        }
+        return VecFrame(columns, sum(f.row_count for f in frames), aggregates)
+
+
+def frame_bytes(frame: VecFrame) -> int:
+    """Estimated bytes held by a batch (governor accounting parity)."""
+    return sum(col.estimated_bytes for col in frame.columns.values())

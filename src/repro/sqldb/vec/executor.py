@@ -1,0 +1,670 @@
+"""Batch-at-a-time plan execution over columnar stdlib batches.
+
+The vectorized twin of :class:`repro.sqldb.executor.Executor`.  Operators
+run operator-at-a-time but produce *lists of batches* instead of one
+materialized frame: scans emit ``batch_size``-row slices of the stored
+table, and pipeline operators (filter, projection, inner hash-join probe,
+limit) preserve batch structure.  Barrier operators (aggregate, sort,
+distinct, outer-join append) concatenate their input to a single frame
+because their semantics are inherently whole-input.
+
+Parity contract with the row executor, enforced by the differential
+battery (``tests/sqldb/test_vec_differential.py``):
+
+* identical result rows, row order, column names/types and null masks;
+* identical governor accounting in single-batch mode (``begin_operator``
+  exactly once per operator so fault-injection RNG draws line up, one
+  ``charge_frame`` per output batch — totals equal the row executor's
+  because charges are additive);
+* identical error type + message in single-batch mode (multi-batch runs
+  may surface a different batch's error first, so the battery compares
+  those message-agnostically).
+
+The governor keeps its guarantees with *partial-batch accounting*: budgets
+are charged at batch boundaries, so a tripped budget reflects only the
+batches charged so far rather than the operator's full output.
+"""
+
+from __future__ import annotations
+
+import repro.governor.context as _governor_context
+import repro.obs.profile as _obs_profile
+
+from .. import ast_nodes as ast
+from ..catalog import Catalog
+from ..errors import ExecutionError
+from ..plan_nodes import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    HashJoinNode,
+    IndexScanNode,
+    LimitNode,
+    Plan,
+    PlanNode,
+    ProjectNode,
+    ResultNode,
+    SeqScanNode,
+    SortNode,
+)
+from ..storage import Column, Table
+from ..types import SqlType
+from .batch import (
+    KIND_FLOAT,
+    KIND_INT,
+    KIND_OBJECT,
+    VecColumn,
+    VecFrame,
+    float_to_i64,
+    frame_bytes,
+    wrap_i64,
+)
+from .expr import VecEvalContext, truthy, veval
+
+DEFAULT_BATCH_SIZE = 1024
+
+_SUPPORTED_NODES = (
+    SeqScanNode,
+    IndexScanNode,
+    HashJoinNode,
+    FilterNode,
+    AggregateNode,
+    SortNode,
+    ProjectNode,
+    DistinctNode,
+    LimitNode,
+    ResultNode,
+)
+
+
+def supports(plan: Plan) -> bool:
+    """Whether every operator in *plan* has a vectorized implementation.
+
+    Subplans (subquery expressions), UNION branches, subquery scans, and
+    nested-loop joins fall back to the row executor wholesale.
+    """
+    if plan.subplans:
+        return False
+    return _supports_node(plan.root)
+
+
+def _supports_node(node: PlanNode) -> bool:
+    if not isinstance(node, _SUPPORTED_NODES):
+        return False
+    if isinstance(node, HashJoinNode):
+        return _supports_node(node.left) and _supports_node(node.right)
+    child = getattr(node, "child", None)
+    if child is not None:
+        return _supports_node(child)
+    return True
+
+
+class VecExecutor:
+    """Executes physical plans batch-at-a-time against the catalog."""
+
+    def __init__(self, catalog: Catalog, batch_size: int = DEFAULT_BATCH_SIZE):
+        self._catalog = catalog
+        self._batch_size = batch_size
+
+    def execute(self, plan: Plan) -> Table:
+        """Run *plan* and return the result with its output column names."""
+        if _obs_profile.ACTIVE_RUN.get() is None:
+            target = _obs_profile.capture_target()
+            if target is not None:
+                run = _obs_profile.ProfileRun()
+                token = _obs_profile.ACTIVE_RUN.set(run)
+                try:
+                    result = self._execute(plan)
+                finally:
+                    _obs_profile.ACTIVE_RUN.reset(token)
+                target.record(run.finalize())
+                return result
+        return self._execute(plan)
+
+    def _execute(self, plan: Plan) -> Table:
+        frame = VecFrame.concat(self._run(plan.root))
+        names = list(frame.columns.keys())
+        if plan.output_names and len(names) == len(plan.output_names):
+            names = list(plan.output_names)
+        columns = [
+            col.to_numpy(name)
+            for name, col in zip(names, frame.columns.values())
+        ]
+        return Table("result", columns)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _run(self, node: PlanNode) -> list[VecFrame]:
+        """One operator boundary — governor and profiler integration.
+
+        ``begin_operator`` fires exactly once per operator (fault-injection
+        RNG draws depend on the call sequence), while ``charge_frame`` fires
+        once per output batch: row/memory budgets are charged at batch
+        boundaries and a tripped budget reflects the partial charge.
+        """
+        governor = _governor_context.current_governor()
+        run = _obs_profile.ACTIVE_RUN.get()
+        if governor is None and run is None:
+            return self._dispatch(node)
+        if run is None:
+            return self._run_governed(governor, node)
+        profile, started = run.enter(node)
+        rows = 0
+        batches = 1
+        try:
+            if governor is None:
+                frames = self._dispatch(node)
+            else:
+                frames = self._run_governed(governor, node)
+            rows = sum(f.row_count for f in frames)
+            batches = len(frames)
+            return frames
+        finally:
+            run.exit(profile, started, rows, batches=batches)
+
+    def _run_governed(self, governor, node: PlanNode) -> list[VecFrame]:
+        name = type(node).__name__
+        governor.begin_operator(name)
+        frames = self._dispatch(node)
+        for frame in frames:
+            governor.charge_frame(name, frame.row_count, frame_bytes(frame))
+        return frames
+
+    def _dispatch(self, node: PlanNode) -> list[VecFrame]:
+        if isinstance(node, (SeqScanNode, IndexScanNode)):
+            return self._run_scan(node)
+        if isinstance(node, HashJoinNode):
+            return self._run_hash_join(node)
+        if isinstance(node, FilterNode):
+            return [
+                self._apply_filter(frame, node.condition)
+                for frame in self._run(node.child)
+            ]
+        if isinstance(node, AggregateNode):
+            return self._run_aggregate(node)
+        if isinstance(node, SortNode):
+            return self._run_sort(node)
+        if isinstance(node, ProjectNode):
+            return [self._project(frame, node) for frame in self._run(node.child)]
+        if isinstance(node, DistinctNode):
+            return self._run_distinct(node)
+        if isinstance(node, LimitNode):
+            return self._run_limit(node)
+        if isinstance(node, ResultNode):
+            return self._run_result(node)
+        raise ExecutionError(f"cannot execute node {type(node).__name__}")
+
+    # -- scans -----------------------------------------------------------------
+
+    def _run_scan(self, node: SeqScanNode | IndexScanNode) -> list[VecFrame]:
+        data = self._catalog.data(node.table_name)
+        frames = []
+        total = data.row_count
+        size = max(self._batch_size, 1)
+        for start in range(0, max(total, 1), size):
+            stop = min(start + size, total)
+            columns = {
+                f"{node.binding}.{col.name}": VecColumn.from_numpy(col, start, stop)
+                for col in data.columns
+            }
+            frames.append(
+                self._apply_filter(
+                    VecFrame(columns, stop - start), node.filter
+                )
+            )
+        return frames
+
+    def _apply_filter(
+        self, frame: VecFrame, condition: ast.Expression | None
+    ) -> VecFrame:
+        if condition is None:
+            return frame
+        keep = truthy(veval(condition, _context(frame)))
+        return frame.filter(keep)
+
+    # -- joins -----------------------------------------------------------------
+
+    def _run_hash_join(self, node: HashJoinNode) -> list[VecFrame]:
+        left_frames = self._run(node.left)
+        right = VecFrame.concat(self._run(node.right))
+        # Key-evaluation order matters for error parity: the row executor
+        # evaluates left keys before right keys.
+        left_keys = [_join_key_codes(node.left_keys, f) for f in left_frames]
+        right_codes, right_valid = _join_key_codes(node.right_keys, right)
+        governor = _governor_context.current_governor()
+        table: dict[object, list[int]] = {}
+        for i, ok in enumerate(right_valid):
+            if ok:
+                table.setdefault(right_codes[i], []).append(i)
+        matched_left: list[bool] = [False] * sum(f.row_count for f in left_frames)
+        matched_right = [False] * right.row_count
+        joined_frames: list[VecFrame] = []
+        offset = 0
+        pairs = 0
+        for left, (left_codes, left_valid) in zip(left_frames, left_keys):
+            li: list[int] = []
+            ri: list[int] = []
+            for i, ok in enumerate(left_valid):
+                if not ok:
+                    continue
+                bucket = table.get(left_codes[i])
+                if bucket:
+                    for j in bucket:
+                        li.append(i)
+                        ri.append(j)
+                        pairs += 1
+                        if governor is not None and pairs & 0x1FFF == 0:
+                            governor.admit(pairs, 0, "HashJoinNode")
+            joined = _combine_frames(left.take(li), right.take(ri))
+            if node.residual is not None:
+                keep = truthy(veval(node.residual, _context(joined)))
+                joined = joined.filter(keep)
+                li = [v for v, k in zip(li, keep) if k]
+                ri = [v for v, k in zip(ri, keep) if k]
+            for v in li:
+                matched_left[offset + v] = True
+            for v in ri:
+                matched_right[v] = True
+            joined_frames.append(joined)
+            offset += left.row_count
+        if node.join_type == "inner":
+            return joined_frames
+        joined = VecFrame.concat(joined_frames)
+        left = VecFrame.concat(left_frames)
+        if node.join_type in ("left", "full"):
+            joined = _append_outer_rows(
+                joined, left, right, [not m for m in matched_left], side="left"
+            )
+        if node.join_type in ("right", "full"):
+            joined = _append_outer_rows(
+                joined, left, right, [not m for m in matched_right], side="right"
+            )
+        return [joined]
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _run_aggregate(self, node: AggregateNode) -> list[VecFrame]:
+        child = VecFrame.concat(self._run(node.child))
+        context = _context(child)
+        if node.group_exprs:
+            key_vecs = [veval(g, context) for g in node.group_exprs]
+            codes, num_groups = _factorize_many(key_vecs, child.row_count)
+        else:
+            codes = [0] * child.row_count
+            num_groups = 1  # global aggregate: one group even over zero rows
+        representatives = _first_index_per_group(codes, num_groups, child.row_count)
+        aggregates: dict[int, VecColumn] = {}
+        for call in node.aggregate_calls:
+            if id(call) not in aggregates:
+                aggregates[id(call)] = _compute_aggregate(
+                    call, codes, num_groups, context
+                )
+        frame = child.take(representatives)
+        frame.aggregate_values = aggregates
+        frame.row_count = num_groups
+        if node.having is not None:
+            keep = truthy(veval(node.having, _context(frame)))
+            frame = frame.filter(keep)
+        return [frame]
+
+    # -- sort / distinct / limit / project / result ----------------------------
+
+    def _run_sort(self, node: SortNode) -> list[VecFrame]:
+        frames = self._run(node.child)
+        total = sum(f.row_count for f in frames)
+        if total <= 1 or not node.order_items:
+            return frames
+        frame = VecFrame.concat(frames)
+        governor = _governor_context.current_governor()
+        context = _context(frame)
+        keys: list[list] = []
+        for order in node.order_items:
+            vec = veval(order.expression, context)
+            keys.append(_sort_key(vec, order.descending))
+            if governor is not None:
+                governor.check()
+        order_idx = sorted(
+            range(frame.row_count),
+            key=lambda i: tuple((k[i] != k[i], k[i]) for k in keys),
+        )
+        return [frame.take(order_idx)]
+
+    def _run_distinct(self, node: DistinctNode) -> list[VecFrame]:
+        frames = self._run(node.child)
+        if sum(f.row_count for f in frames) == 0:
+            return frames
+        frame = VecFrame.concat(frames)
+        codes, num_groups = _factorize_many(
+            list(frame.columns.values()), frame.row_count
+        )
+        firsts = _first_index_per_group(codes, num_groups, frame.row_count)
+        firsts.sort()  # keep first occurrences in their original order
+        return [frame.take(firsts)]
+
+    def _run_limit(self, node: LimitNode) -> list[VecFrame]:
+        frames = self._run(node.child)
+        start = node.offset or 0
+        stop = (
+            sum(f.row_count for f in frames)
+            if node.limit is None
+            else start + node.limit
+        )
+        out: list[VecFrame] = []
+        position = 0
+        for frame in frames:
+            lo = max(start - position, 0)
+            hi = min(stop - position, frame.row_count)
+            if hi > lo:
+                out.append(frame.slice(lo, hi))
+            position += frame.row_count
+        if not out:
+            out.append(frames[0].slice(0, 0))
+        return out
+
+    def _project(self, frame: VecFrame, node: ProjectNode) -> VecFrame:
+        context = _context(frame)
+        columns: dict[str, VecColumn] = {}
+        for name, item in zip(node.output_names, node.items):
+            vec = veval(item.expression, context)
+            # to_column parity: an all-False mask is dropped at projection.
+            mask = vec.mask if vec.mask is not None and any(vec.mask) else None
+            columns[name] = VecColumn(vec.values, mask, vec.sql_type, vec.kind)
+        return VecFrame(columns, frame.row_count)
+
+    def _run_result(self, node: ResultNode) -> list[VecFrame]:
+        context = VecEvalContext({}, 1, {})
+        columns: dict[str, VecColumn] = {}
+        for name, item in zip(node.output_names, node.items):
+            vec = veval(item.expression, context)
+            mask = vec.mask if vec.mask is not None and any(vec.mask) else None
+            columns[name] = VecColumn(vec.values, mask, vec.sql_type, vec.kind)
+        return [VecFrame(columns, 1)]
+
+
+def _context(frame: VecFrame) -> VecEvalContext:
+    return VecEvalContext(frame.columns, frame.row_count, frame.aggregate_values)
+
+
+# -- join helpers -------------------------------------------------------------
+
+
+def _join_key_codes(
+    keys: list[ast.Expression], frame: VecFrame
+) -> tuple[list, list]:
+    """Evaluate join keys on *frame* and hash them to comparable codes."""
+    context = _context(frame)
+    vecs = [veval(k, context) for k in keys]
+    valid = [True] * frame.row_count
+    for vec in vecs:
+        if vec.mask is not None:
+            valid = [ok and not m for ok, m in zip(valid, vec.mask)]
+    normalized = []
+    for vec in vecs:
+        if vec.sql_type is SqlType.TEXT:
+            normalized.append([str(v) for v in vec.values])
+        else:
+            # float() mirrors astype(float64): hash/eq match the row
+            # executor's np.float64 dict keys, including NaN never matching.
+            normalized.append([float(v) for v in vec.values])
+    if len(normalized) == 1:
+        codes = normalized[0]
+    else:
+        codes = [tuple(col[i] for col in normalized) for i in range(frame.row_count)]
+    return codes, valid
+
+
+def _combine_frames(left: VecFrame, right: VecFrame) -> VecFrame:
+    columns = dict(left.columns)
+    for name, col in right.columns.items():
+        if name in columns:
+            raise ExecutionError(f"duplicate column binding {name!r} in join")
+        columns[name] = col
+    return VecFrame(columns, left.row_count)
+
+
+def _append_outer_rows(
+    joined: VecFrame,
+    left: VecFrame,
+    right: VecFrame,
+    unmatched: list,
+    side: str,
+) -> VecFrame:
+    count = sum(1 for m in unmatched if m)
+    if count == 0:
+        return joined
+    preserved = left if side == "left" else right
+    null_side = right if side == "left" else left
+    indices = [i for i, m in enumerate(unmatched) if m]
+    preserved_rows = preserved.take(indices)
+    columns: dict[str, VecColumn] = {}
+    for name in joined.columns:
+        if name in preserved.columns:
+            source = preserved_rows.columns[name]
+        else:
+            proto = null_side.columns[name]
+            source = VecColumn(
+                [proto.null_fill()] * count,
+                [True] * count,
+                proto.sql_type,
+                proto.kind,
+            )
+        existing = joined.columns[name]
+        kind = (
+            KIND_OBJECT
+            if existing.kind == KIND_OBJECT or source.kind == KIND_OBJECT
+            else existing.kind
+        )
+        merged_data = list(existing.values) + list(source.values)
+        existing_mask = (
+            list(existing.mask)
+            if existing.mask is not None
+            else [False] * len(existing)
+        )
+        source_mask = (
+            list(source.mask) if source.mask is not None else [False] * len(source)
+        )
+        merged_mask = existing_mask + source_mask
+        columns[name] = VecColumn(
+            merged_data,
+            merged_mask if any(merged_mask) else None,
+            existing.sql_type,
+            kind,
+        )
+    return VecFrame(columns, joined.row_count + count)
+
+
+# -- grouping helpers ---------------------------------------------------------
+
+
+def _rank_codes(values: list) -> list:
+    """Dense ascending-rank codes — the np.unique(return_inverse) mirror.
+
+    NaNs collapse to one trailing code (numpy's ``equal_nan=True``); -0.0
+    and 0.0 share a code (they compare equal under sort-and-dedupe).
+    """
+    distinct = {}
+    for v in values:
+        if not (isinstance(v, float) and v != v):
+            distinct[v] = None
+    ranked = sorted(distinct)
+    ranks = {v: i for i, v in enumerate(ranked)}
+    nan_rank = len(ranked)
+    return [
+        nan_rank if isinstance(v, float) and v != v else ranks[v] for v in values
+    ]
+
+
+def _factorize(vec: VecColumn) -> list:
+    """Dense integer codes for *vec* values; NULL gets its own code (0)."""
+    if vec.sql_type is SqlType.TEXT or vec.kind == KIND_OBJECT:
+        codes = _rank_codes([str(v) for v in vec.values])
+    else:
+        codes = _rank_codes(list(vec.values))
+    codes = [c + 1 for c in codes]
+    if vec.mask is not None:
+        codes = [0 if m else c for c, m in zip(codes, vec.mask)]
+    return codes
+
+
+def _factorize_many(vecs: list[VecColumn], row_count: int) -> tuple[list, int]:
+    """Combine per-key codes into dense group ids; returns (codes, #groups)."""
+    if row_count == 0:
+        return [], 0
+    combined = [0] * row_count
+    for vec in vecs:
+        codes = _factorize(vec)
+        radix = max(codes) + 1
+        # int64 wraparound parity with the numpy combination arithmetic.
+        combined = [wrap_i64(c * radix + k) for c, k in zip(combined, codes)]
+    dense = _rank_codes(combined)
+    return dense, max(dense) + 1
+
+
+def _first_index_per_group(codes: list, num_groups: int, row_count: int) -> list:
+    if row_count == 0:
+        # Global aggregate over an empty input: a single synthetic group with
+        # no representative row (the take() of an empty index set).
+        return []
+    firsts: dict[int, int] = {}
+    for i, code in enumerate(codes):
+        if code not in firsts:
+            firsts[code] = i
+    return [firsts[code] for code in sorted(firsts)]
+
+
+def _compute_aggregate(
+    call: ast.FunctionCall,
+    codes: list,
+    num_groups: int,
+    context: VecEvalContext,
+) -> VecColumn:
+    name = call.name
+    row_count = len(codes)
+    if name == "count" and (not call.args or isinstance(call.args[0], ast.Star)):
+        counts = [0] * num_groups
+        for c in codes:
+            counts[c] += 1
+        return VecColumn(counts, None, SqlType.BIGINT, KIND_INT)
+    arg = veval(call.args[0], context)
+    valid = (
+        [not m for m in arg.mask] if arg.mask is not None else [True] * row_count
+    )
+    if call.distinct:
+        arg_codes = _factorize(arg)
+        pair_codes = [
+            wrap_i64(c * (row_count + 1) + a) for c, a in zip(codes, arg_codes)
+        ]
+        seen: set = set()
+        keep = []
+        for p in pair_codes:
+            keep.append(p not in seen)
+            seen.add(p)
+        valid = [v and k for v, k in zip(valid, keep)]
+    if name == "count":
+        counts = [0] * num_groups
+        for c, ok in zip(codes, valid):
+            if ok:
+                counts[c] += 1
+        return VecColumn(counts, None, SqlType.BIGINT, KIND_INT)
+    if arg.sql_type is SqlType.TEXT:
+        # MIN/MAX over text: per-group reduction in group-code order.
+        out: list = [None] * num_groups
+        for group in range(num_groups):
+            strings = [
+                str(v)
+                for v, c, ok in zip(arg.values, codes, valid)
+                if ok and c == group
+            ]
+            if strings:
+                out[group] = min(strings) if name == "min" else max(strings)
+        mask = [v is None for v in out]
+        return VecColumn(
+            out, mask if any(mask) else None, SqlType.TEXT, KIND_OBJECT
+        )
+    values = [float(v) for v in arg.values]
+    group_counts = [0] * num_groups
+    for c, ok in zip(codes, valid):
+        if ok:
+            group_counts[c] += 1
+    empty = [c == 0 for c in group_counts]
+    if name in ("sum", "avg"):
+        # Accumulate in row order — the same order np.bincount's weighted
+        # accumulation visits rows, so float sums are bit-identical.
+        sums = [0.0] * num_groups
+        for c, v, ok in zip(codes, values, valid):
+            if ok:
+                sums[c] += v
+        if name == "sum":
+            if arg.sql_type is SqlType.DOUBLE:
+                return VecColumn(
+                    sums, empty if any(empty) else None, SqlType.DOUBLE, KIND_FLOAT
+                )
+            data = [_rint_to_i64(s) for s in sums]
+            return VecColumn(
+                data, empty if any(empty) else None, SqlType.BIGINT, KIND_INT
+            )
+        means = [
+            0.0 if e else s / max(c, 1)
+            for s, c, e in zip(sums, group_counts, empty)
+        ]
+        return VecColumn(
+            means, empty if any(empty) else None, SqlType.DOUBLE, KIND_FLOAT
+        )
+    # min / max: sequential fold in row order per group (reduceat parity,
+    # including NaN propagation through np.minimum/np.maximum).
+    result = [0.0] * num_groups
+    started = [False] * num_groups
+    for c, v, ok in zip(codes, values, valid):
+        if not ok:
+            continue
+        if not started[c]:
+            result[c] = v
+            started[c] = True
+        else:
+            result[c] = _fold_minmax(result[c], v, name == "min")
+    out_type = (
+        arg.sql_type
+        if arg.sql_type.is_numeric or arg.sql_type is SqlType.DATE
+        else SqlType.DOUBLE
+    )
+    if out_type in (SqlType.INTEGER, SqlType.BIGINT, SqlType.DATE):
+        data = [float_to_i64(v) for v in result]
+        return VecColumn(data, empty if any(empty) else None, out_type, KIND_INT)
+    return VecColumn(result, empty if any(empty) else None, out_type, KIND_FLOAT)
+
+
+def _fold_minmax(acc: float, v: float, is_min: bool) -> float:
+    # np.minimum/np.maximum: NaN poisons; on ties the *second* operand wins
+    # (visible only through the sign of zero).
+    if acc != acc or v != v:
+        return float("nan")
+    if is_min:
+        return acc if acc < v else v
+    return acc if acc > v else v
+
+
+def _rint_to_i64(value: float) -> int:
+    """np.round(x).astype(int64) parity: banker's rounding, then C-cast."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return float_to_i64(value)
+    return float_to_i64(round(value))
+
+
+def _sort_key(vec: VecColumn, descending: bool) -> list:
+    """Map a column to floats where ascending sort gives SQL order.
+
+    PostgreSQL defaults: NULLS LAST for ASC, NULLS FIRST for DESC — both
+    fall out of mapping NULL to +inf and negating for DESC.  NaN data values
+    sort after everything in either direction (numpy argsort behaviour);
+    the caller's tuple key handles that via an is-NaN flag.
+    """
+    if vec.sql_type is SqlType.TEXT or vec.kind == KIND_OBJECT:
+        key = [float(c) for c in _rank_codes([str(v) for v in vec.values])]
+    else:
+        key = [float(v) for v in vec.values]
+    if descending:
+        key = [-v for v in key]
+    if vec.mask is not None:
+        inf = float("-inf") if descending else float("inf")
+        key = [inf if m else v for v, m in zip(key, vec.mask)]
+    return key

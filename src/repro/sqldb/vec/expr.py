@@ -1,0 +1,665 @@
+"""Batch expression evaluation over stdlib containers with Kleene 3VL.
+
+This is the vectorized twin of :mod:`repro.sqldb.expr_eval`.  Every arm is
+an independent implementation over :class:`VecColumn` (lists / ``array``
+containers + validity masks) rather than numpy arrays, but the *semantics*
+are mirrored operation-for-operation so the two evaluators are bit-identical
+— including error messages, mask-presence decisions, integer wraparound,
+float-cast truncation, and computation over garbage values at NULL slots.
+
+Two deliberate exceptions to "stdlib only": transcendental kernels
+(sqrt/exp/ln/log/power/round) and EXTRACT's calendar math route the float
+payload through the *same numpy ufuncs* the row evaluator uses.  On this
+platform ``np.exp``/``np.log10``/``np.power`` differ from ``math.*`` in the
+last ulp (SIMD polynomial vs libm), so a pure-Python implementation could
+never be bit-identical.  The engine logic around them — masks, 3VL,
+batching, coercion — is all new code, which is what the differential
+battery is exercising.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from .. import ast_nodes as ast
+from ..errors import ExecutionError, UnsupportedSqlError
+from ..expr_eval import like_to_regex
+from ..types import SqlType, date_to_days, parse_type_name
+from .batch import (
+    KIND_BOOL,
+    KIND_FLOAT,
+    KIND_INT,
+    KIND_OBJECT,
+    VecColumn,
+    float_to_i64,
+    wrap_i64,
+)
+
+_KIND_FOR_TYPE = {
+    SqlType.TEXT: KIND_OBJECT,
+    SqlType.BOOLEAN: KIND_BOOL,
+    SqlType.DOUBLE: KIND_FLOAT,
+    SqlType.BIGINT: KIND_INT,
+    SqlType.INTEGER: KIND_INT,
+    SqlType.DATE: KIND_INT,
+}
+
+
+class VecEvalContext:
+    """Everything an expression needs to evaluate over one batch."""
+
+    def __init__(
+        self,
+        columns: dict[str, VecColumn],
+        row_count: int,
+        aggregate_values: dict[int, VecColumn] | None = None,
+    ):
+        self.columns = columns
+        self.row_count = row_count
+        self.aggregate_values = aggregate_values or {}
+
+    def column(self, binding: str | None, name: str) -> VecColumn:
+        key = f"{binding}.{name}" if binding else name
+        if key in self.columns:
+            return self.columns[key]
+        if binding is None:
+            matches = [v for k, v in self.columns.items() if k.endswith(f".{name}")]
+            if len(matches) == 1:
+                return matches[0]
+        raise ExecutionError(f"column {key!r} not found at execution time")
+
+
+def constant(value, length: int) -> VecColumn:
+    if value is None:
+        return VecColumn([0.0] * length, [True] * length, SqlType.DOUBLE, KIND_FLOAT)
+    if isinstance(value, bool):
+        return VecColumn([value] * length, None, SqlType.BOOLEAN, KIND_BOOL)
+    if isinstance(value, (int, np.integer)):
+        return VecColumn([int(value)] * length, None, SqlType.BIGINT, KIND_INT)
+    if isinstance(value, (float, np.floating)):
+        return VecColumn([float(value)] * length, None, SqlType.DOUBLE, KIND_FLOAT)
+    if isinstance(value, (str,)):
+        return VecColumn([value] * length, None, SqlType.TEXT, KIND_OBJECT)
+    if isinstance(value, datetime.date):
+        return VecColumn(
+            [date_to_days(value)] * length, None, SqlType.DATE, KIND_INT
+        )
+    raise ExecutionError(f"unsupported literal type: {type(value).__name__}")
+
+
+def veval(expression: ast.Expression, context: VecEvalContext) -> VecColumn:
+    """Evaluate *expression* over the batch described by *context*."""
+    if isinstance(expression, ast.Literal):
+        return constant(expression.value, context.row_count)
+    if isinstance(expression, ast.Placeholder):
+        raise ExecutionError(
+            f"cannot execute a template containing placeholder {{{expression.name}}}"
+        )
+    if isinstance(expression, ast.ColumnRef):
+        return context.column(expression.table, expression.column)
+    if isinstance(expression, ast.FunctionCall):
+        if id(expression) in context.aggregate_values:
+            return context.aggregate_values[id(expression)]
+        if expression.is_aggregate:
+            raise ExecutionError(
+                f"aggregate {expression.name.upper()} evaluated outside aggregation"
+            )
+        return _scalar_function(expression, context)
+    if isinstance(expression, ast.BinaryOp):
+        return _binary(expression, context)
+    if isinstance(expression, ast.UnaryOp):
+        return _unary(expression, context)
+    if isinstance(expression, ast.IsNull):
+        operand = veval(expression.operand, context)
+        is_null = (
+            list(operand.mask)
+            if operand.mask is not None
+            else [False] * len(operand)
+        )
+        result = [not v for v in is_null] if expression.negated else is_null
+        return VecColumn(result, None, SqlType.BOOLEAN, KIND_BOOL)
+    if isinstance(expression, ast.Between):
+        operand = veval(expression.operand, context)
+        low = veval(expression.low, context)
+        high = veval(expression.high, context)
+        ge = _compare(operand, low, ">=")
+        le = _compare(operand, high, "<=")
+        result = logical_and(ge, le)
+        return negate_bool(result) if expression.negated else result
+    if isinstance(expression, ast.InList):
+        operand = veval(expression.operand, context)
+        result: VecColumn | None = None
+        for item in expression.items:
+            value = veval(item, context)
+            eq = _compare(operand, value, "=")
+            result = eq if result is None else logical_or(result, eq)
+        assert result is not None
+        return negate_bool(result) if expression.negated else result
+    if isinstance(expression, ast.InSubquery):
+        raise ExecutionError("IN subquery was not pre-executed")
+    if isinstance(expression, ast.Exists):
+        raise ExecutionError("EXISTS subquery was not pre-executed")
+    if isinstance(expression, ast.ScalarSubquery):
+        raise ExecutionError("scalar subquery was not pre-executed")
+    if isinstance(expression, ast.Like):
+        return _like(expression, context)
+    if isinstance(expression, ast.Cast):
+        return _cast(expression, context)
+    if isinstance(expression, ast.CaseWhen):
+        return _case(expression, context)
+    if isinstance(expression, ast.Star):
+        raise ExecutionError("'*' cannot be evaluated as a scalar expression")
+    raise UnsupportedSqlError(f"unsupported expression: {type(expression).__name__}")
+
+
+# -- kind casts (numpy astype parity) -----------------------------------------
+
+
+def _as_bool(column: VecColumn) -> list:
+    return [bool(v) for v in column.values]
+
+
+def _as_float(values) -> list:
+    # float() raises the same TypeError numpy's object->float64 cast raises
+    # when it meets a None garbage value; that parity is intentional.
+    return [float(v) for v in values]
+
+
+def _as_i64(column: VecColumn) -> list:
+    # numpy astype(int64): C truncation from float64, PyNumber_Long from
+    # object (so ``int(nan)`` raises ValueError exactly like numpy).
+    if column.kind == KIND_FLOAT:
+        return [float_to_i64(v) for v in column.values]
+    if column.kind == KIND_OBJECT:
+        return [int(v) for v in column.values]
+    return [int(v) for v in column.values]
+
+
+# -- boolean helpers (Kleene three-valued logic) -------------------------------
+
+
+def truthy(column: VecColumn) -> list:
+    """Collapse a boolean column to a filter mask: NULL counts as false."""
+    values = _as_bool(column)
+    if column.mask is not None:
+        values = [v and not m for v, m in zip(values, column.mask)]
+    return values
+
+
+def logical_and(a: VecColumn, b: VecColumn) -> VecColumn:
+    av, bv = _as_bool(a), _as_bool(b)
+    am = a.mask if a.mask is not None else [False] * len(av)
+    bm = b.mask if b.mask is not None else [False] * len(bv)
+    data = []
+    mask = []
+    any_null = False
+    for x, y, mx, my in zip(av, bv, am, bm):
+        false_side = (not x and not mx) or (not y and not my)
+        null = (mx or my) and not false_side
+        any_null = any_null or null
+        data.append(x and y and not null)
+        mask.append(null)
+    return VecColumn(data, mask if any_null else None, SqlType.BOOLEAN, KIND_BOOL)
+
+
+def logical_or(a: VecColumn, b: VecColumn) -> VecColumn:
+    av, bv = _as_bool(a), _as_bool(b)
+    am = a.mask if a.mask is not None else [False] * len(av)
+    bm = b.mask if b.mask is not None else [False] * len(bv)
+    data = []
+    mask = []
+    any_null = False
+    for x, y, mx, my in zip(av, bv, am, bm):
+        true_side = (x and not mx) or (y and not my)
+        null = (mx or my) and not true_side
+        any_null = any_null or null
+        data.append(true_side)
+        mask.append(null)
+    return VecColumn(data, mask if any_null else None, SqlType.BOOLEAN, KIND_BOOL)
+
+
+def negate_bool(column: VecColumn) -> VecColumn:
+    data = [not v for v in _as_bool(column)]
+    return VecColumn(data, column.mask, SqlType.BOOLEAN, KIND_BOOL)
+
+
+# -- operators ----------------------------------------------------------------
+
+
+def _binary(expression: ast.BinaryOp, context: VecEvalContext) -> VecColumn:
+    op = expression.op
+    if op == "and":
+        return logical_and(
+            veval(expression.left, context), veval(expression.right, context)
+        )
+    if op == "or":
+        return logical_or(
+            veval(expression.left, context), veval(expression.right, context)
+        )
+    left = veval(expression.left, context)
+    right = veval(expression.right, context)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(left, right, op)
+    if op == "||":
+        return _concat(left, right)
+    return _arithmetic(left, right, op)
+
+
+def _combined_mask(left: VecColumn, right: VecColumn) -> list | None:
+    if left.mask is None and right.mask is None:
+        return None
+    lm = left.mask if left.mask is not None else [False] * len(left)
+    rm = right.mask if right.mask is not None else [False] * len(right)
+    combined = [a or b for a, b in zip(lm, rm)]
+    return combined if any(combined) else None
+
+
+def _text_to_days(values) -> list:
+    out = []
+    for value in values:
+        try:
+            out.append(date_to_days(str(value)))
+        except ValueError as exc:
+            raise ExecutionError(f"invalid date literal: {value!r}") from exc
+    return out
+
+
+def _coerce_pair(left: VecColumn, right: VecColumn) -> tuple[list, list, SqlType]:
+    """Bring both operands to a common comparable representation."""
+    lt, rt = left.sql_type, right.sql_type
+    if lt is SqlType.DATE and rt is SqlType.TEXT:
+        return list(left.values), _text_to_days(right.values), SqlType.DATE
+    if rt is SqlType.DATE and lt is SqlType.TEXT:
+        return _text_to_days(left.values), list(right.values), SqlType.DATE
+    if lt is SqlType.TEXT or rt is SqlType.TEXT:
+        return list(left.values), list(right.values), SqlType.TEXT
+    if lt is SqlType.BOOLEAN or rt is SqlType.BOOLEAN:
+        return _as_bool(left), _as_bool(right), SqlType.BOOLEAN
+    if lt is SqlType.DOUBLE or rt is SqlType.DOUBLE:
+        return _as_float(left.values), _as_float(right.values), SqlType.DOUBLE
+    return _as_i64(left), _as_i64(right), SqlType.BIGINT
+
+
+_COMPARE_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compare(left: VecColumn, right: VecColumn, op: str) -> VecColumn:
+    lv, rv, common = _coerce_pair(left, right)
+    if common is SqlType.TEXT:
+        lv = [str(v) for v in lv]
+        rv = [str(v) for v in rv]
+    fn = _COMPARE_OPS[op]
+    result = [bool(fn(a, b)) for a, b in zip(lv, rv)]
+    mask = _combined_mask(left, right)
+    if mask is not None:
+        result = [v and not m for v, m in zip(result, mask)]
+    return VecColumn(result, mask, SqlType.BOOLEAN, KIND_BOOL)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _concat(left: VecColumn, right: VecColumn) -> VecColumn:
+    data = [f"{_fmt(a)}{_fmt(b)}" for a, b in zip(left.values, right.values)]
+    return VecColumn(data, _combined_mask(left, right), SqlType.TEXT, KIND_OBJECT)
+
+
+def _arithmetic(left: VecColumn, right: VecColumn, op: str) -> VecColumn:
+    lt, rt = left.sql_type, right.sql_type
+    mask = _combined_mask(left, right)
+    if lt is SqlType.DATE and rt.is_numeric and op in ("+", "-"):
+        rv = _as_i64(right)
+        if op == "+":
+            data = [wrap_i64(a + b) for a, b in zip(left.values, rv)]
+        else:
+            data = [wrap_i64(a - b) for a, b in zip(left.values, rv)]
+        return VecColumn(data, mask, SqlType.DATE, KIND_INT)
+    if lt is SqlType.DATE and rt is SqlType.DATE and op == "-":
+        data = [wrap_i64(a - b) for a, b in zip(left.values, right.values)]
+        return VecColumn(data, mask, SqlType.INTEGER, KIND_INT)
+    if not (lt.is_numeric and rt.is_numeric):
+        raise ExecutionError(f"operator {op} over {lt.value} and {rt.value}")
+    use_float = SqlType.DOUBLE in (lt, rt) or op == "/"
+    if use_float:
+        lv = _as_float(left.values)
+        rv = _as_float(right.values)
+    else:
+        lv = _as_i64(left)
+        rv = _as_i64(right)
+    valid = (
+        [not m for m in mask] if mask is not None else [True] * len(lv)
+    )
+    if op == "+":
+        data = [a + b for a, b in zip(lv, rv)]
+    elif op == "-":
+        data = [a - b for a, b in zip(lv, rv)]
+    elif op == "*":
+        data = [a * b for a, b in zip(lv, rv)]
+    elif op in ("/", "%"):
+        if any(b == 0 and ok for b, ok in zip(rv, valid)):
+            raise ExecutionError("division by zero")
+        safe = [1 if b == 0 else b for b in rv]
+        if op == "/":
+            data = [a / b for a, b in zip(lv, safe)]
+        else:
+            # Python % is floored modulo for ints and floats — same as np.mod.
+            data = [a % b for a, b in zip(lv, safe)]
+    else:  # pragma: no cover
+        raise UnsupportedSqlError(f"operator {op}")
+    if not use_float:
+        data = [wrap_i64(v) for v in data]
+    result_type = SqlType.DOUBLE if use_float else SqlType.BIGINT
+    kind = KIND_FLOAT if use_float else KIND_INT
+    return VecColumn(data, mask, result_type, kind)
+
+
+def _unary(expression: ast.UnaryOp, context: VecEvalContext) -> VecColumn:
+    operand = veval(expression.operand, context)
+    if expression.op == "not":
+        return negate_bool(operand)
+    if expression.op == "-":
+        if not operand.sql_type.is_numeric:
+            raise ExecutionError(f"cannot negate {operand.sql_type.value}")
+        if operand.kind == KIND_INT:
+            data = [wrap_i64(-v) for v in operand.values]
+        else:
+            data = [-v for v in operand.values]
+        return VecColumn(data, operand.mask, operand.sql_type, operand.kind)
+    raise UnsupportedSqlError(f"unary operator {expression.op}")
+
+
+# -- LIKE / CAST / CASE -------------------------------------------------------
+
+
+def _like(expression: ast.Like, context: VecEvalContext) -> VecColumn:
+    operand = veval(expression.operand, context)
+    pattern_vec = veval(expression.pattern, context)
+    mask = _combined_mask(operand, pattern_vec)
+    valid = [not m for m in mask] if mask is not None else [True] * len(operand)
+    patterns = pattern_vec.values
+    result = [False] * len(operand)
+    for i, ok in enumerate(valid):
+        if ok:
+            regex = like_to_regex(str(patterns[i]), expression.case_insensitive)
+            result[i] = bool(regex.match(str(operand.values[i])))
+    if expression.negated:
+        result = [(not v) and ok for v, ok in zip(result, valid)]
+    return VecColumn(result, mask, SqlType.BOOLEAN, KIND_BOOL)
+
+
+def _cast(expression: ast.Cast, context: VecEvalContext) -> VecColumn:
+    operand = veval(expression.operand, context)
+    try:
+        target = parse_type_name(expression.type_name)
+    except ValueError as exc:
+        raise ExecutionError(str(exc)) from None
+    if target is operand.sql_type:
+        return operand
+    if target.is_numeric:
+        if operand.sql_type is SqlType.TEXT:
+            try:
+                data = [float(v) for v in operand.values]
+            except ValueError as exc:
+                raise ExecutionError(f"invalid numeric cast: {exc}") from None
+        else:
+            data = _as_float(operand.values)
+        if target in (SqlType.INTEGER, SqlType.BIGINT):
+            data = [float_to_i64(v) for v in data]
+            return VecColumn(data, operand.mask, target, KIND_INT)
+        return VecColumn(data, operand.mask, target, KIND_FLOAT)
+    if target is SqlType.TEXT:
+        data = [_fmt(v) for v in operand.values]
+        return VecColumn(data, operand.mask, SqlType.TEXT, KIND_OBJECT)
+    if target is SqlType.DATE:
+        if operand.sql_type is SqlType.TEXT:
+            return VecColumn(
+                _text_to_days(operand.values), operand.mask, SqlType.DATE, KIND_INT
+            )
+        return VecColumn(_as_i64(operand), operand.mask, SqlType.DATE, KIND_INT)
+    if target is SqlType.BOOLEAN:
+        return VecColumn(_as_bool(operand), operand.mask, SqlType.BOOLEAN, KIND_BOOL)
+    raise ExecutionError(f"unsupported cast target {target.value}")
+
+
+def _container_fill(kind: str, sql_type: SqlType, length: int) -> list:
+    # CASE builds its result container from the first WHEN value: object
+    # None-fill for TEXT, dtype zeros otherwise (an object container with a
+    # non-TEXT type still zero-fills, matching np.zeros(dtype=object)).
+    if sql_type is SqlType.TEXT:
+        return [None] * length
+    if kind == KIND_FLOAT:
+        return [0.0] * length
+    if kind == KIND_BOOL:
+        return [False] * length
+    return [0] * length
+
+
+def _assign_cast(container_kind: str, value, value_kind: str):
+    """Mirror numpy fancy-assignment casting into an existing container."""
+    if container_kind == KIND_OBJECT:
+        return value
+    if container_kind == KIND_FLOAT:
+        return float(value)
+    if container_kind == KIND_BOOL:
+        return bool(value)
+    if value_kind == KIND_FLOAT:
+        return float_to_i64(value)
+    return int(value)
+
+
+def _case(expression: ast.CaseWhen, context: VecEvalContext) -> VecColumn:
+    length = context.row_count
+    decided = [False] * length
+    result_data: list | None = None
+    result_kind = KIND_OBJECT
+    result_mask = [False] * length
+    result_type = SqlType.TEXT
+    for condition, value in expression.whens:
+        cond_vec = veval(condition, context)
+        take = [t and not d for t, d in zip(truthy(cond_vec), decided)]
+        value_vec = veval(value, context)
+        if result_data is None:
+            result_type = value_vec.sql_type
+            result_kind = value_vec.kind
+            result_data = _container_fill(result_kind, result_type, length)
+            result_mask = [True] * length
+        for i, t in enumerate(take):
+            if t:
+                result_data[i] = _assign_cast(
+                    result_kind, value_vec.values[i], value_vec.kind
+                )
+                result_mask[i] = (
+                    value_vec.mask[i] if value_vec.mask is not None else False
+                )
+                decided[i] = True
+    remaining = [not d for d in decided]
+    if expression.default is not None and any(remaining):
+        default_vec = veval(expression.default, context)
+        if result_data is None:
+            result_type = default_vec.sql_type
+            result_kind = default_vec.kind
+            result_data = _container_fill(result_kind, result_type, length)
+            result_mask = [True] * length
+        if result_kind != default_vec.kind and result_kind != KIND_OBJECT:
+            result_data = [float(v) for v in result_data]
+            result_kind = KIND_FLOAT
+            result_type = SqlType.DOUBLE
+        for i, r in enumerate(remaining):
+            if r:
+                result_data[i] = _assign_cast(
+                    result_kind, default_vec.values[i], default_vec.kind
+                )
+                result_mask[i] = (
+                    default_vec.mask[i] if default_vec.mask is not None else False
+                )
+    if result_data is None:  # pragma: no cover - parser requires WHEN
+        result_data = [None] * length
+    mask = result_mask if any(result_mask) else None
+    return VecColumn(result_data, mask, result_type, result_kind)
+
+
+# -- scalar functions ---------------------------------------------------------
+
+
+def _scalar_function(call: ast.FunctionCall, context: VecEvalContext) -> VecColumn:
+    name = call.name
+    args = [veval(arg, context) for arg in call.args]
+    if name == "coalesce":
+        return _coalesce(args, context.row_count)
+    if name in ("greatest", "least"):
+        return _greatest_least(args, name == "greatest")
+    if name == "concat":
+        result = args[0]
+        for other in args[1:]:
+            result = _concat(result, other)
+        return result
+    if name == "extract":
+        return _extract(args)
+    if name in ("substr", "substring"):
+        return _substring(args)
+    if name in ("upper", "lower"):
+        func = str.upper if name == "upper" else str.lower
+        data = [func(str(v)) for v in args[0].values]
+        return VecColumn(data, args[0].mask, SqlType.TEXT, KIND_OBJECT)
+    if name == "length":
+        data = [len(str(v)) for v in args[0].values]
+        return VecColumn(data, args[0].mask, SqlType.INTEGER, KIND_INT)
+    if name in ("abs", "floor", "ceil", "sqrt", "exp", "ln", "log"):
+        arg = args[0]
+        values = _as_float(arg.values)
+        if name == "abs":
+            data = [abs(v) for v in values]
+            out_type = arg.sql_type if arg.sql_type.is_numeric else SqlType.DOUBLE
+            if out_type is not SqlType.DOUBLE:
+                return VecColumn(
+                    [float_to_i64(v) for v in data], arg.mask, out_type, KIND_INT
+                )
+            return VecColumn(data, arg.mask, out_type, KIND_FLOAT)
+        if name in ("floor", "ceil"):
+            func = np.floor if name == "floor" else np.ceil
+            data = [float_to_i64(v) for v in func(np.array(values)).tolist()]
+            return VecColumn(data, arg.mask, SqlType.BIGINT, KIND_INT)
+        if name == "sqrt":
+            if any(v < 0 for v in values):
+                raise ExecutionError("cannot take square root of a negative number")
+            ufunc = np.sqrt
+        elif name == "exp":
+            ufunc = np.exp
+        else:
+            if any(v <= 0 for v in values):
+                raise ExecutionError(
+                    "cannot take logarithm of a non-positive number"
+                )
+            ufunc = np.log if name == "ln" else np.log10
+        data = ufunc(np.array(values, dtype=np.float64)).tolist()
+        return VecColumn(data, arg.mask, SqlType.DOUBLE, KIND_FLOAT)
+    if name == "round":
+        arg = args[0]
+        digits = int(np.asarray(args[1].values)[0]) if len(args) > 1 else 0
+        data = np.round(
+            np.array(_as_float(arg.values), dtype=np.float64), digits
+        ).tolist()
+        return VecColumn(data, arg.mask, SqlType.DOUBLE, KIND_FLOAT)
+    if name == "mod":
+        return _arithmetic(args[0], args[1], "%")
+    if name == "power":
+        data = np.power(
+            np.array(_as_float(args[0].values), dtype=np.float64),
+            np.array(_as_float(args[1].values), dtype=np.float64),
+        ).tolist()
+        return VecColumn(
+            data, _combined_mask(args[0], args[1]), SqlType.DOUBLE, KIND_FLOAT
+        )
+    raise UnsupportedSqlError(f"function {name}() is not implemented")
+
+
+def _substring(args: list[VecColumn]) -> VecColumn:
+    if len(args) < 2:
+        raise ExecutionError("substr() requires at least two arguments")
+    source = args[0]
+    starts = _as_i64(args[1])
+    lengths = _as_i64(args[2]) if len(args) > 2 else None
+    out = []
+    for i, value in enumerate(source.values):
+        text = str(value)
+        begin = max(int(starts[i]) - 1, 0)
+        if lengths is None:
+            out.append(text[begin:])
+        else:
+            out.append(text[begin : begin + max(int(lengths[i]), 0)])
+    mask = source.mask
+    for other in args[1:]:
+        mask = _combined_mask(VecColumn(out, mask, SqlType.TEXT, KIND_OBJECT), other)
+    return VecColumn(out, mask, SqlType.TEXT, KIND_OBJECT)
+
+
+def _coalesce(args: list[VecColumn], length: int) -> VecColumn:
+    if not args:
+        raise ExecutionError("COALESCE requires arguments")
+    result = args[0]
+    data = list(result.values)
+    kind = result.kind
+    mask = list(result.mask) if result.mask is not None else [False] * length
+    for other in args[1:]:
+        fill = [
+            m and not (other.mask[i] if other.mask is not None else False)
+            for i, m in enumerate(mask)
+        ]
+        if kind != other.kind:
+            kind = KIND_OBJECT
+        for i, f in enumerate(fill):
+            if f:
+                data[i] = (
+                    other.values[i]
+                    if kind == KIND_OBJECT
+                    else _assign_cast(kind, other.values[i], other.kind)
+                )
+                mask[i] = False
+    return VecColumn(data, mask if any(mask) else None, result.sql_type, kind)
+
+
+def _greatest_least(args: list[VecColumn], greatest: bool) -> VecColumn:
+    result = args[0]
+    for other in args[1:]:
+        lv, rv, common = _coerce_pair(result, other)
+        if greatest:
+            picked = [a if a >= b else b for a, b in zip(lv, rv)]
+        else:
+            picked = [a if a <= b else b for a, b in zip(lv, rv)]
+        result = VecColumn(
+            picked, _combined_mask(result, other), common, _KIND_FOR_TYPE[common]
+        )
+    return result
+
+
+def _extract(args: list[VecColumn]) -> VecColumn:
+    part = str(np.asarray(args[0].values, dtype=object)[0]).lower()
+    days = np.array(_as_i64(args[1]), dtype=np.int64)
+    epoch = np.datetime64("1970-01-01")
+    dates = epoch + days.astype("timedelta64[D]")
+    years = dates.astype("datetime64[Y]").astype(int) + 1970
+    if part == "year":
+        out = years
+    elif part == "month":
+        months = dates.astype("datetime64[M]").astype(int)
+        out = months % 12 + 1
+    elif part == "day":
+        month_start = dates.astype("datetime64[M]").astype("datetime64[D]")
+        out = (dates - month_start).astype(int) + 1
+    else:
+        raise ExecutionError(f"EXTRACT field {part!r} not supported")
+    return VecColumn(
+        out.astype(np.int64).tolist(), args[1].mask, SqlType.INTEGER, KIND_INT
+    )

@@ -85,16 +85,28 @@ class SqlTemplate:
 
         Raises :class:`KeyError` if a placeholder has no value.
         """
+        # The (name, token, sql_type) substitution plan only depends on the
+        # placeholders list, which callers replace wholesale (never mutate
+        # in place) — cache it keyed on that list's identity, since this
+        # runs once per binding in the profiling loops.
+        cached = self.__dict__.get("_instantiate_plan")
+        if cached is None or cached[0] is not self.placeholders:
+            info_by_name = {p.name: p for p in self.placeholders}
+            plan = [
+                (
+                    name,
+                    f"{{{name}}}",
+                    info.sql_type if (info := info_by_name.get(name)) else None,
+                )
+                for name in self.placeholder_names
+            ]
+            cached = (self.placeholders, plan)
+            self._instantiate_plan = cached
         sql = self.sql
-        info_by_name = {p.name: p for p in self.placeholders}
-        for name in self.placeholder_names:
+        for name, token, sql_type in cached[1]:
             if name not in values:
                 raise KeyError(f"no value for placeholder {{{name}}}")
-            info = info_by_name.get(name)
-            literal = render_literal(
-                values[name], info.sql_type if info else None
-            )
-            sql = sql.replace(f"{{{name}}}", literal)
+            sql = sql.replace(token, render_literal(values[name], sql_type))
         return sql
 
     def with_sql(self, sql: str, template_id: str) -> "SqlTemplate":

@@ -124,3 +124,51 @@ def test_unknown_backend_rejected(db):
     profiler = TemplateProfiler(db, BarberConfig(seed=5))
     with pytest.raises(ValueError):
         ParallelProfiler(profiler, workers=2, backend="greenlet")
+
+
+class TestChunkedWorkUnits:
+    """Templates are submitted in contiguous chunks, not one per task."""
+
+    def test_chunks_concatenate_to_the_input(self):
+        from repro.fastpath.parallel import _chunks
+
+        items = list(range(103))
+        for workers in (1, 2, 3, 4, 8):
+            chunks = _chunks(items, workers)
+            assert [x for c in chunks for x in c] == items
+            assert all(c for c in chunks)  # no empty work units
+
+    def test_chunk_count_amortizes_ipc(self):
+        from repro.fastpath.parallel import CHUNK_UNITS_PER_WORKER, _chunks
+
+        items = list(range(256))
+        workers = 4
+        chunks = _chunks(items, workers)
+        # Enough chunks to balance the tail, few enough that each task
+        # carries many items (the IPC amortization the bench measures).
+        assert len(chunks) <= workers * CHUNK_UNITS_PER_WORKER
+        assert len(chunks) >= workers
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 16
+
+    def test_fewer_items_than_chunks(self):
+        from repro.fastpath.parallel import _chunks
+
+        assert _chunks([], 4) == []
+        assert _chunks([1], 4) == [[1]]
+        assert _chunks([1, 2, 3], 8) == [[1], [2], [3]]
+
+    def test_chunked_thread_run_matches_serial_on_many_templates(self, db):
+        # More templates than workers * CHUNK_UNITS_PER_WORKER forces
+        # multi-template chunks through the real pool path.
+        templates = [
+            SqlTemplate(
+                f"chunk_{i}",
+                "select l_orderkey from lineitem where l_quantity < {v1} "
+                f"and l_linenumber <= {{v2}}",
+            )
+            for i in range(10)
+        ]
+        profiler = TemplateProfiler(db, BarberConfig(seed=5))
+        serial = [profiler.profile(t, 3) for t in templates]
+        parallel = ParallelProfiler(profiler, workers=2, backend="thread")
+        assert_identical(parallel.profile_many(templates, 3), serial)

@@ -1,0 +1,242 @@
+"""The governor under the vectorized executor.
+
+The vec executor charges the governor at *batch boundaries*: one
+``begin_operator`` per operator, one ``charge_frame`` per output batch.
+In single-batch mode (batch size >= table cardinality) the accounting is
+bit-identical to the row executor; in multi-batch mode budgets trip with
+partial-batch accounting — the charge reflects the batches materialized
+so far, never the operator's full output.  Quarantine decisions must not
+depend on the executor or on fan-out.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.core import BarberConfig, SQLBarber
+from repro.governor import GovernorLimits, QueryGovernor, clock_for, use_governor
+from repro.llm import SimulatedLLM
+from repro.obs import Telemetry
+from repro.sqldb import (
+    MemoryBudgetExceeded,
+    QueryTimeout,
+    RowBudgetExceeded,
+)
+from repro.sqldb.errors import QueryCancelled
+
+SEED = 3
+
+ORDERS_SCAN = "SELECT * FROM orders WHERE orders.amount > 10.0"
+ORDERS_SORTED = ORDERS_SCAN + " ORDER BY orders.amount"
+GROUPED = (
+    "SELECT orders.status, count(*) AS n, sum(orders.amount) AS total "
+    "FROM orders GROUP BY orders.status"
+)
+JOINED = (
+    "SELECT users.name, orders.amount FROM users "
+    "JOIN orders ON users.user_id = orders.user_id "
+    "WHERE orders.amount > 50.0"
+)
+
+
+def governed(**limits):
+    return QueryGovernor(GovernorLimits(**limits), clock=clock_for("simulated"))
+
+
+@contextlib.contextmanager
+def vectorized(db, enabled, batch_size=None):
+    db.set_vectorized(enabled, batch_size=batch_size)
+    try:
+        yield
+    finally:
+        db.set_vectorized(True, batch_size=1024)
+
+
+class TestSingleBatchAccountingParity:
+    """Batch size >= every table: charges equal the row executor's."""
+
+    @pytest.mark.parametrize(
+        "sql", [ORDERS_SCAN, ORDERS_SORTED, GROUPED, JOINED]
+    )
+    def test_stats_identical_to_row_executor(self, gov_db, sql):
+        stats = {}
+        for label, vec in (("row", False), ("vec", True)):
+            gov = governed(row_budget=10_000_000, memory_budget_bytes=1 << 30)
+            with vectorized(gov_db, vec, batch_size=4096):
+                with use_governor(gov):
+                    result = gov_db.execute(sql)
+            stats[label] = (result.row_count, gov.stats())
+        assert stats["row"] == stats["vec"], sql
+        assert stats["vec"][1]["rows_processed"] > 0
+
+    def test_rows_processed_is_deterministic_under_vec(self, gov_db):
+        seen = []
+        for _ in range(2):
+            gov = governed(row_budget=10_000_000)
+            with vectorized(gov_db, True, batch_size=4096):
+                with use_governor(gov):
+                    gov_db.execute(ORDERS_SORTED)
+            seen.append(gov.stats())
+        assert seen[0] == seen[1]
+
+
+class TestBatchBoundaryBudgets:
+    """Budgets trip at batch boundaries with partial-batch accounting."""
+
+    def test_row_budget_trips_partway_through_the_scan(self, gov_db):
+        gov = governed(row_budget=100)
+        with vectorized(gov_db, True, batch_size=16):
+            with use_governor(gov):
+                with pytest.raises(RowBudgetExceeded):
+                    gov_db.execute("SELECT * FROM orders")
+        # Partial-batch accounting: only the batches charged before the
+        # trip are on the meter — never the full 600-row scan output.
+        assert 100 < gov.rows_processed < 600
+        # The overshoot is bounded by one batch.
+        assert gov.rows_processed <= 100 + 16
+
+    def test_same_error_type_as_the_row_executor(self, gov_db):
+        outcomes = {}
+        for label, vec in (("row", False), ("vec", True)):
+            gov = governed(row_budget=100)
+            with vectorized(gov_db, vec, batch_size=16):
+                with use_governor(gov):
+                    with pytest.raises(RowBudgetExceeded) as excinfo:
+                        gov_db.execute("SELECT * FROM orders")
+            outcomes[label] = type(excinfo.value).__name__
+        assert outcomes["row"] == outcomes["vec"]
+
+    def test_memory_budget_trips_in_single_batch_mode(self, gov_db):
+        with vectorized(gov_db, True, batch_size=4096):
+            with use_governor(governed(memory_budget_bytes=1_000)):
+                with pytest.raises(MemoryBudgetExceeded):
+                    gov_db.execute("SELECT * FROM orders")
+
+    def test_charged_deadline_trips_under_vec(self, gov_db):
+        gov = governed(query_timeout_seconds=0.01, cost_per_row_seconds=1e-3)
+        with vectorized(gov_db, True, batch_size=64):
+            with use_governor(gov):
+                with pytest.raises(QueryTimeout):
+                    gov_db.execute(ORDERS_SORTED)
+
+    def test_generous_limits_change_nothing_under_vec(self, gov_db):
+        with vectorized(gov_db, True, batch_size=32):
+            bare = gov_db.execute(ORDERS_SCAN)
+            gov = governed(
+                query_timeout_seconds=300.0,
+                row_budget=10_000_000,
+                memory_budget_bytes=1 << 30,
+            )
+            with use_governor(gov):
+                ruled = gov_db.execute(ORDERS_SCAN)
+        assert ruled.row_count == bare.row_count
+        assert gov.rows_processed > 0
+
+
+class _CancelAtBatch(QueryGovernor):
+    """Flips the cooperative-cancel flag after *after* charged batches."""
+
+    def __init__(self, limits, after, **kwargs):
+        super().__init__(limits, **kwargs)
+        self.charged_batches = 0
+        self._after = after
+
+    def charge_frame(self, node_name, rows, est_bytes):
+        super().charge_frame(node_name, rows, est_bytes)
+        self.charged_batches += 1
+        if self.charged_batches == self._after:
+            self.cancel("test: batch boundary reached")
+
+
+class TestCooperativeCancel:
+    def test_pre_cancelled_governor_refuses_the_query(self, gov_db):
+        gov = governed()
+        gov.cancel("benched before start")
+        with vectorized(gov_db, True, batch_size=16):
+            with use_governor(gov):
+                with pytest.raises(QueryCancelled, match="benched"):
+                    gov_db.execute("SELECT * FROM orders")
+
+    def test_cancel_lands_at_the_next_batch_boundary(self, gov_db):
+        gov = _CancelAtBatch(
+            GovernorLimits(row_budget=10_000_000),
+            after=3,
+            clock=clock_for("simulated"),
+        )
+        with vectorized(gov_db, True, batch_size=16):
+            with use_governor(gov):
+                with pytest.raises(QueryCancelled):
+                    gov_db.execute("SELECT * FROM orders")
+        # Cancelled cooperatively: a handful of batches got charged, the
+        # rest of the 600-row scan never did.
+        assert gov.charged_batches >= 3
+        assert gov.rows_processed < 600
+
+
+def governed_barber(gov_db, **overrides):
+    base = dict(
+        seed=SEED,
+        row_budget=5_000,
+        query_timeout_seconds=2.0,
+        governor_cost_per_row_seconds=1e-4,
+        governor_clock="simulated",
+        quarantine_after=2,
+        use_vectorized=True,
+        vec_batch_size=64,  # multi-batch on every fuzz-db table
+    )
+    base.update(overrides)
+    return SQLBarber(
+        gov_db, llm=SimulatedLLM(seed=SEED), config=BarberConfig(**base)
+    )
+
+
+def run(barber, planted_templates, rows_distribution):
+    return barber.generate_workload(
+        [],
+        rows_distribution,
+        templates=list(planted_templates),
+        telemetry=Telemetry(),
+    )
+
+
+class TestQuarantineUnderVectorization:
+    def test_serial_and_parallel_runs_bit_identical(
+        self, gov_db, planted_templates, rows_distribution
+    ):
+        serial = run(
+            governed_barber(gov_db, workers=1),
+            planted_templates, rows_distribution,
+        )
+        fanned = run(
+            governed_barber(gov_db, workers=3, parallel_backend="thread"),
+            planted_templates, rows_distribution,
+        )
+        assert any(q.template_id == "runaway" for q in serial.quarantined)
+        assert serial.fingerprint_json() == fanned.fingerprint_json()
+        assert [q.to_dict() for q in serial.quarantined] == [
+            q.to_dict() for q in fanned.quarantined
+        ]
+        assert serial.complete and fanned.complete
+
+    def test_quarantine_decisions_match_the_row_executor(
+        self, gov_db, planted_templates, rows_distribution
+    ):
+        vec = run(
+            governed_barber(gov_db),
+            planted_templates, rows_distribution,
+        )
+        row = run(
+            governed_barber(gov_db, use_vectorized=False),
+            planted_templates, rows_distribution,
+        )
+        # Decisions (who got benched, and why-type) match; the embedded
+        # trip message may not — partial-batch accounting charges fewer
+        # rows before tripping than the row executor's whole-frame charge,
+        # and the message quotes that number.
+        assert [q.template_id for q in vec.quarantined] == [
+            q.template_id for q in row.quarantined
+        ]
+        assert any(q.template_id == "runaway" for q in vec.quarantined)
+        assert vec.complete and row.complete
