@@ -1,0 +1,196 @@
+"""DML engine benchmark: write-path throughput and the cost of mixing.
+
+Standalone (not a pytest-benchmark figure — run it directly):
+
+    PYTHONPATH=src python benchmarks/bench_dml.py           # full run
+    PYTHONPATH=src python benchmarks/bench_dml.py --smoke   # CI smoke
+
+Two measurements:
+
+* **Write throughput** — rows/s for each DML kind against the fuzz
+  database's 600-row ``orders`` table, best-of-N on a fresh database per
+  repeat (DELETE shrinks the table and INSERT grows it, so reuse would
+  skew later repeats).  ``insert`` is a bulk INSERT ... SELECT (one
+  statement appending 600 rows), ``insert_single_row`` measures the
+  per-statement path with 1-row VALUES statements, ``update`` assigns an
+  arithmetic expression to every row, and ``delete`` removes every row.
+
+* **Mixed-vs-select overhead** — the same end-to-end pipeline with and
+  without ``workload_mix=(0.5, 0.2, 0.2, 0.1)``.  The mixer swaps
+  searched SELECTs for grammar DML costed via EXPLAIN (it never
+  executes), so the overhead is grammar rendering plus EXPLAIN — the
+  report pins it as ``mixed_overhead_percent`` and both variants must be
+  bit-identical across repeats.
+
+Writes ``BENCH_dml.json`` (see ``--output``); metric keys follow the
+``perf_gate`` conventions (``*_per_second`` higher-is-better,
+``*overhead_percent`` additive).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import BarberConfig, SQLBarber
+from repro.fuzz.runner import build_fuzz_database
+from repro.llm import SimulatedLLM
+from repro.obs import Telemetry
+from repro.workload import CostDistribution, TemplateSpec
+
+SEED = 11
+MIX = (0.5, 0.2, 0.2, 0.1)
+
+SPECS = [
+    TemplateSpec(spec_id="bench_a", num_joins=1, num_aggregations=1),
+    TemplateSpec(spec_id="bench_b", num_joins=0, require_order_by=True),
+]
+DISTRIBUTION = CostDistribution.uniform(0.0, 200.0, 16, 4)
+
+BULK_INSERT = (
+    "INSERT INTO orders (order_id, user_id, item_id, amount, status, "
+    "order_date) "
+    "SELECT s0.order_id, s0.user_id, s0.item_id, s0.amount, s0.status, "
+    "s0.order_date FROM orders AS s0"
+)
+UPDATE_ALL = "UPDATE orders SET amount = orders.amount + 1.0"
+DELETE_ALL = "DELETE FROM orders WHERE orders.amount > -1.0 OR orders.amount IS NULL"
+
+
+def _timed_rows(db, sql: str) -> tuple[int, float]:
+    started = time.perf_counter()
+    result = db.execute(sql)
+    elapsed = time.perf_counter() - started
+    [(rows,)] = result.table.rows()
+    return int(rows), elapsed
+
+
+def bench_kind(kind: str, repeats: int) -> dict:
+    """Best-of-N rows/s for one DML kind, fresh database per repeat."""
+    best_rate, total_rows = 0.0, 0
+    for _ in range(repeats):
+        db = build_fuzz_database(0)
+        if kind == "insert":
+            rows, elapsed = _timed_rows(db, BULK_INSERT)
+        elif kind == "insert_single_row":
+            base = db.catalog.table("orders").row_count
+            started = time.perf_counter()
+            count = 100
+            for i in range(count):
+                db.execute(
+                    f"INSERT INTO orders (order_id, user_id, status) "
+                    f"VALUES ({base + i}, 0, 'bench')"
+                )
+            elapsed = time.perf_counter() - started
+            rows = count
+        elif kind == "update":
+            rows, elapsed = _timed_rows(db, UPDATE_ALL)
+        elif kind == "delete":
+            rows, elapsed = _timed_rows(db, DELETE_ALL)
+            assert db.catalog.table("orders").row_count == 0
+        else:
+            raise ValueError(kind)
+        best_rate = max(best_rate, rows / elapsed)
+        total_rows = rows
+    return {
+        "repeats": repeats,
+        "rows_per_statement": total_rows if kind != "insert_single_row" else 1,
+        "rows_per_second": round(best_rate, 1),
+    }
+
+
+def run_pipeline(mix) -> tuple[float, str, int]:
+    db = build_fuzz_database(0)
+    barber = SQLBarber(
+        db,
+        llm=SimulatedLLM(seed=SEED),
+        config=BarberConfig(seed=SEED, workload_mix=mix),
+    )
+    started = time.perf_counter()
+    result = barber.generate_workload(SPECS, DISTRIBUTION, telemetry=Telemetry())
+    elapsed = time.perf_counter() - started
+    dml = sum(
+        1
+        for q in result.workload.queries
+        if (q.template_id or "").startswith("mix_")
+    )
+    return elapsed, result.fingerprint_json(), dml
+
+
+def bench_pipeline(mix, repeats: int) -> tuple[dict, int]:
+    times, fingerprints, dml = [], set(), 0
+    for _ in range(repeats):
+        seconds, fingerprint, dml = run_pipeline(mix)
+        times.append(seconds)
+        fingerprints.add(fingerprint)
+    entry = {
+        "repeats": repeats,
+        "best_seconds": round(min(times), 4),
+        "mean_seconds": round(sum(times) / len(times), 4),
+        "deterministic": len(fingerprints) == 1,
+        "dml_statements": dml,
+    }
+    return entry, len(fingerprints)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=9,
+                        help="runs per measurement (best-of is reported)")
+    parser.add_argument("--output", "-o", default="BENCH_dml.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration (fast, no thresholds)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless mixing overhead < 25%")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.repeats = 3
+
+    # Warm imports, the parser, and the plan cache off the clock.
+    warm = build_fuzz_database(0)
+    warm.execute(UPDATE_ALL)
+
+    throughput = {
+        kind: bench_kind(kind, args.repeats)
+        for kind in ("insert", "insert_single_row", "update", "delete")
+    }
+    select_only, select_variants = bench_pipeline(None, args.repeats)
+    mixed, mixed_variants = bench_pipeline(MIX, args.repeats)
+
+    overhead = (
+        (mixed["best_seconds"] - select_only["best_seconds"])
+        / select_only["best_seconds"] * 100.0
+    )
+    report = {
+        "benchmark": "dml",
+        "smoke": args.smoke,
+        "throughput": throughput,
+        "select_only": select_only,
+        "mixed": mixed,
+        "mixed_overhead_percent": round(overhead, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+
+    if select_variants != 1 or mixed_variants != 1:
+        print("FAIL: pipeline fingerprints varied across repeats",
+              file=sys.stderr)
+        return 1
+    if mixed["dml_statements"] == 0:
+        print("FAIL: the mixed pipeline produced no DML", file=sys.stderr)
+        return 1
+    if args.check and overhead >= 25.0:
+        print(
+            f"FAIL: workload mixing overhead {overhead:.2f}% >= 25%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from --checkpoint-dir's checkpoint; the resumed run "
              "is bit-identical to an uninterrupted one",
     )
+    generate.add_argument(
+        "--workload-mix", default=None, metavar="S,I,U,D",
+        help="emit a mixed read/write workload: comma-separated fractions "
+             "of SELECT, INSERT, UPDATE, DELETE statements summing to 1 "
+             "(e.g. 0.5,0.2,0.2,0.1); DML is drawn deterministically per "
+             "--seed from the schema-aware grammar and costed via EXPLAIN",
+    )
     generate.add_argument("--output", "-o", default=None,
                           help="JSONL output path (default: stdout summary only)")
     generate.add_argument(
@@ -337,6 +344,14 @@ def cmd_generate(args) -> int:
     db = build_database(args.db, scale=args.scale)
     if args.no_explain_cache:
         db.set_explain_cache(False)
+    workload_mix = None
+    if args.workload_mix:
+        from repro.workload.mixer import parse_mix
+
+        try:
+            workload_mix = parse_mix(args.workload_mix)
+        except ValueError as exc:
+            raise SystemExit(f"repro: error: --workload-mix: {exc}")
     specs = _load_specs(args)
     distribution = _build_distribution(args)
     logger.info("target distribution:\n%s", histogram_text(distribution))
@@ -354,6 +369,7 @@ def cmd_generate(args) -> int:
             quarantine_after=args.quarantine_after,
             profile=args.profile,
             use_vectorized=not args.no_vectorized,
+            workload_mix=workload_mix,
             **(
                 {"vec_batch_size": args.vec_batch_size}
                 if args.vec_batch_size is not None
@@ -411,6 +427,12 @@ def cmd_generate(args) -> int:
         "abort_stage": result.abort_stage,
         "abort_reason": result.abort_reason,
         "quarantined": [record.to_dict() for record in result.quarantined],
+        "workload_mix": args.workload_mix,
+        "dml_statements": sum(
+            1
+            for q in result.workload
+            if (q.template_id or "").startswith("mix_")
+        ),
         "checkpoint": result.checkpoint_path,
         "output": args.output,
         "trace": args.trace_out,

@@ -639,6 +639,25 @@ class SQLBarber:
             trace = []
             workload = Workload(queries=[], name=distribution.name)
             tracker = DistributionTracker(target=distribution)
+        if self.config.workload_mix is not None and workload.queries:
+            # Deterministic read/write interleave: a seeded post-pass swaps
+            # a fraction of the searched SELECTs for grammar-built DML,
+            # costed via EXPLAIN (estimates only — nothing executes here,
+            # so resumed and parallel runs fingerprint identically).
+            from repro.workload.mixer import WorkloadMixer
+
+            workload = WorkloadMixer(self.db, self.config.seed).mix(
+                workload, self.config.workload_mix
+            )
+            if telemetry.enabled:
+                telemetry.count(
+                    "workload.mixed_dml",
+                    value=sum(
+                        1
+                        for q in workload.queries
+                        if (q.template_id or "").startswith("mix_")
+                    ),
+                )
         return WorkloadResult(
             workload=workload,
             tracker=tracker,

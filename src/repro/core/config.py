@@ -127,6 +127,16 @@ class BarberConfig:
     # changes what is generated, so checkpoints ignore it.
     profile: bool = False
 
+    # -- repro.workload.mixer: mixed read/write workloads --------------------------
+    # Fractions (select, insert, update, delete) of the final workload, or
+    # None (the default) for an all-SELECT output.  Mixing is a
+    # deterministic post-pass over the search result: the statement at
+    # position i depends only on (seed, i) and the schema, so mixed
+    # workloads stay byte-identical across runs and worker counts.  DML
+    # replacements are drawn from the fuzz grammar and costed via EXPLAIN,
+    # which never executes them.
+    workload_mix: tuple[float, float, float, float] | None = None
+
     # -- misc ----------------------------------------------------------------------
     time_budget_seconds: float | None = None
     unbound_placeholder_range: tuple[int, int] = (1, 1000)
@@ -188,6 +198,18 @@ class BarberConfig:
                 f"BarberConfig.checkpoint_every_templates must be >= 1 "
                 f"(got {self.checkpoint_every_templates})"
             )
+        if self.workload_mix is not None:
+            mix = self.workload_mix
+            if (
+                len(mix) != 4
+                or any(f < 0 for f in mix)
+                or abs(sum(mix) - 1.0) > 1e-6
+            ):
+                raise ValueError(
+                    f"BarberConfig.workload_mix must be four non-negative "
+                    f"(select, insert, update, delete) fractions summing "
+                    f"to 1 (got {mix!r}); use None for all-SELECT output"
+                )
         _positive("query_timeout_seconds", self.query_timeout_seconds)
         _positive("memory_budget_mb", self.memory_budget_mb)
         _positive("row_budget", self.row_budget)

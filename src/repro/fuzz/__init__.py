@@ -20,13 +20,21 @@ Entry point: ``python -m repro fuzz --seed S --budget N`` or
 """
 
 from .corpus import Corpus, CorpusEntry
-from .grammar import GRAMMAR_VERSION, FuzzGrammar, GeneratedStatement
+from .grammar import (
+    DML_SHAPES,
+    GRAMMAR_VERSION,
+    SELECT_SHAPES,
+    FuzzGrammar,
+    GeneratedStatement,
+)
 from .oracles import SKIPPED, Disagreement, Oracle, default_oracles
 from .runner import FuzzReport, FuzzRunner, build_fuzz_database
 from .shrink import clause_count, shrink_sql
 
 __all__ = [
+    "DML_SHAPES",
     "GRAMMAR_VERSION",
+    "SELECT_SHAPES",
     "FuzzGrammar",
     "GeneratedStatement",
     "Oracle",

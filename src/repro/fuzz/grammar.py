@@ -31,17 +31,28 @@ from repro.sqldb.sql_render import render_statement
 from repro.sqldb.stats import ColumnStats
 from repro.sqldb.types import SqlType, days_to_date
 
-GRAMMAR_VERSION = "1"
+GRAMMAR_VERSION = "2"  # v2: DML shapes (INSERT/UPDATE/DELETE)
 
 # Statement-shape weights (pyrqg-style production table).
 _SHAPES = [
-    ("simple", 34),
-    ("join", 22),
-    ("aggregate", 16),
-    ("union", 8),
-    ("subquery", 12),
-    ("derived", 8),
+    ("simple", 30),
+    ("join", 20),
+    ("aggregate", 14),
+    ("union", 7),
+    ("subquery", 11),
+    ("derived", 7),
+    ("insert", 6),
+    ("update", 7),
+    ("delete", 4),
 ]
+
+#: The write-path shapes added in grammar v2.  Read-only harnesses (the
+#: vec differential battery, tightening checks) filter these out; the DML
+#: differential battery filters everything else out.
+DML_SHAPES = frozenset({"insert", "update", "delete"})
+
+#: The original read-only statement shapes.
+SELECT_SHAPES = frozenset(name for name, _ in _SHAPES) - DML_SHAPES
 
 _NUMERIC_OPS = ["=", "<>", "<", "<=", ">", ">="]
 _TEXT_OPS = ["=", "<>", "<", ">"]
@@ -104,8 +115,31 @@ class FuzzGrammar:
             tightened_sql=render_statement(tightened) if tightened else None,
         )
 
-    def statements(self, count: int, start: int = 0) -> list[GeneratedStatement]:
-        return [self.statement(start + i) for i in range(count)]
+    def statements(
+        self,
+        count: int,
+        start: int = 0,
+        shapes: frozenset[str] | set[str] | None = None,
+    ) -> list[GeneratedStatement]:
+        """The first *count* statements from index *start* on.
+
+        With *shapes*, the stream is filtered to those statement shapes:
+        indexes keep advancing until *count* matching statements are
+        collected, so the result is still a deterministic pure function of
+        (seed, version, schema, shapes) — filtering never re-rolls any
+        statement's RNG.  Every shape has positive weight, so the walk
+        terminates.
+        """
+        if shapes is None:
+            return [self.statement(start + i) for i in range(count)]
+        out: list[GeneratedStatement] = []
+        index = start
+        while len(out) < count:
+            gen = self.statement(index)
+            if gen.shape in shapes:
+                out.append(gen)
+            index += 1
+        return out
 
     def predicate(
         self,
@@ -292,6 +326,113 @@ class FuzzGrammar:
             where=outer_where,
         )
         return stmt, outer_scope
+
+    # -- DML shapes ------------------------------------------------------------
+    #
+    # DML statements are valid by construction like the SELECT shapes: the
+    # column list always covers every NOT NULL (and primary key) column, and
+    # literals come from the target column's own statistics.  Tightening is
+    # skipped (there is no monotone row-count relation to assert); instead
+    # the DmlEpochOracle and the differential reference model check them.
+
+    def _insert_columns(self, table: str, rng) -> list[_Col]:
+        """Target columns: all NOT NULL / PK columns plus a random subset."""
+        meta = self.catalog.table(table)
+        scope = self.columns_of(table)
+        required = {
+            c.name
+            for c in meta.columns
+            if not c.column_type.nullable or c.name in meta.primary_key
+        }
+        chosen = [c for c in scope if c.name in required]
+        optional = [c for c in scope if c.name not in required]
+        for col in optional:
+            if rng.random() < 0.7:
+                chosen.append(col)
+        if not chosen:
+            chosen = [rng.choice(scope)]
+        # Keep table column order so rendered SQL is stable.
+        order = {c.name: i for i, c in enumerate(scope)}
+        return sorted(chosen, key=lambda c: order[c.name])
+
+    def _nullable(self, col: _Col) -> bool:
+        meta = self.catalog.table(col.table)
+        return (
+            meta.column(col.name).column_type.nullable
+            and col.name not in meta.primary_key
+        )
+
+    def _shape_insert(self, rng) -> tuple[ast.InsertStatement, list[_Col]]:
+        table = self._pick_table(rng)
+        targets = self._insert_columns(table, rng)
+        names = [c.name for c in targets]
+        if rng.random() < 0.2:
+            # INSERT ... SELECT from the same table: types line up by
+            # construction; LIMIT bounds the growth per statement.
+            source = ast.SelectStatement(
+                select_items=[
+                    ast.SelectItem(ast.ColumnRef(column=c.name, table="s0"))
+                    for c in targets
+                ],
+                from_clause=ast.TableRef(table, alias="s0"),
+                where=self._maybe_where(
+                    self.columns_of(table, "s0"), rng, 0.7,
+                    allow_subqueries=False,
+                ),
+                limit=rng.choice([1, 2, 5]),
+            )
+            stmt = ast.InsertStatement(
+                target=ast.TableRef(table), columns=names, source=source
+            )
+            return stmt, []
+        rows = []
+        for _ in range(rng.choice([1, 1, 2, 3])):
+            row: list[ast.Expression] = []
+            for col in targets:
+                if self._nullable(col) and rng.random() < 0.1:
+                    row.append(ast.Literal(None))
+                else:
+                    row.append(self._literal(col, rng))
+            rows.append(row)
+        stmt = ast.InsertStatement(
+            target=ast.TableRef(table), columns=names, rows=rows
+        )
+        return stmt, []
+
+    def _shape_update(self, rng) -> tuple[ast.UpdateStatement, list[_Col]]:
+        table = self._pick_table(rng)
+        # UPDATE targets bind under the bare table name (no alias).
+        scope = self.columns_of(table)
+        k = min(len(scope), rng.choice([1, 1, 2]))
+        assignments = []
+        for col in rng.sample(scope, k=k):
+            roll = rng.random()
+            if self._nullable(col) and roll < 0.08:
+                value: ast.Expression = ast.Literal(None)
+            elif col.sql_type.is_numeric and roll < 0.4:
+                value = ast.BinaryOp(
+                    rng.choice(["+", "-"]),
+                    col.ref(),
+                    ast.Literal(rng.choice([1, 2, 10])),
+                )
+            else:
+                value = self._literal(col, rng)
+            assignments.append(ast.Assignment(col.name, value))
+        stmt = ast.UpdateStatement(
+            target=ast.TableRef(table),
+            assignments=assignments,
+            where=self._maybe_where(scope, rng, 0.85, allow_subqueries=False),
+        )
+        return stmt, []
+
+    def _shape_delete(self, rng) -> tuple[ast.DeleteStatement, list[_Col]]:
+        table = self._pick_table(rng)
+        scope = self.columns_of(table)
+        stmt = ast.DeleteStatement(
+            target=ast.TableRef(table),
+            where=self._maybe_where(scope, rng, 0.9, allow_subqueries=False),
+        )
+        return stmt, []
 
     # -- clause helpers --------------------------------------------------------
 
@@ -632,4 +773,11 @@ def _copy_expression(expr: ast.Expression) -> ast.Expression:
     return copy.deepcopy(expr)
 
 
-__all__ = ["GRAMMAR_VERSION", "FuzzGrammar", "GeneratedStatement", "days_to_date"]
+__all__ = [
+    "DML_SHAPES",
+    "GRAMMAR_VERSION",
+    "SELECT_SHAPES",
+    "FuzzGrammar",
+    "GeneratedStatement",
+    "days_to_date",
+]

@@ -18,6 +18,10 @@ contract agree on a generated statement:
   estimator's invariants (finite non-negative costs, ``total >= startup``,
   LIMIT respected) and with predicate monotonicity (ANDing a conjunct
   never yields more rows);
+* :class:`DmlEpochOracle` — committed DML bumps the statistics epoch, so
+  a probe SELECT warmed into the EXPLAIN cache before the write re-costs
+  after it and matches both the cold pipeline and the table's actual
+  post-mutation row count;
 * :class:`VecVsRowOracle` — the vectorized executor returns exactly the
   row executor's table (names, SQL types, dtypes, NULL masks, and rows in
   order, floats compared bit-level) on every vec-eligible plan.
@@ -45,7 +49,7 @@ from repro.sqldb import ast_nodes as ast
 from repro.sqldb.database import Database
 from repro.sqldb.errors import SqlError
 from repro.sqldb.explain import ExplainResult, explain_plan
-from repro.sqldb.parser import parse_select
+from repro.sqldb.parser import parse_sql
 from repro.sqldb.plan_nodes import PlanNode
 from repro.sqldb.sql_render import render_statement
 from repro.sqldb.vec import supports as vec_supports
@@ -115,9 +119,9 @@ class RoundTripOracle(Oracle):
     name = "round_trip"
 
     def check(self, ctx, gen):
-        original = parse_select(gen.sql)
+        original = parse_sql(gen.sql)
         rendered = render_statement(original)
-        reparsed = parse_select(rendered)
+        reparsed = parse_sql(rendered)
         if original != reparsed:
             return f"AST changed across render round-trip: {rendered!r}"
         cold_a = explain_plan(ctx.db.plan(gen.sql))
@@ -153,7 +157,7 @@ def templatize(sql: str, db: Database) -> tuple[SqlTemplate | None, dict]:
     WHERE, or only literal shapes the template machinery cannot re-render
     canonically).
     """
-    statement = parse_select(sql)
+    statement = parse_sql(sql)
     if not isinstance(statement, ast.SelectStatement) or statement.where is None:
         return None, {}
     values: dict[str, object] = {}
@@ -329,7 +333,7 @@ class ExecutionOracle(Oracle):
             return detail
         result = db.execute(gen.sql)
         rows = result.row_count
-        statement = parse_select(gen.sql)
+        statement = parse_sql(gen.sql)
         if (
             isinstance(statement, ast.SelectStatement)
             and statement.limit is not None
@@ -376,6 +380,50 @@ class ExecutionOracle(Oracle):
             detail = self._node_sanity(child)
             if detail:
                 return detail
+        return None
+
+
+class DmlEpochOracle(Oracle):
+    """Committed DML invalidates every cached costing of its target table.
+
+    The stale-cache trap this hunts: a SELECT probe's EXPLAIN result is
+    warmed into the cache, the statement mutates the table, and a later
+    ``explain`` serves the pre-mutation estimate.  The engine's contract is
+    that every committed DML bumps ``statistics_epoch`` (the cache key), so
+    the post-DML probe must re-cost — and because ``note_mutation``
+    refreshes the catalog row count, the fresh estimate of an unfiltered
+    scan equals the table's actual row count exactly.
+    """
+
+    name = "dml_epoch"
+
+    def check(self, ctx, gen):
+        db = ctx.db
+        statement = parse_sql(gen.sql)
+        if not ast.is_dml(statement):
+            return SKIPPED
+        target = statement.target.name
+        probe = f"SELECT * FROM {target}"
+        db.explain_estimates(probe)  # warm the cache at the current epoch
+        before = db.catalog.statistics_epoch
+        db.execute(gen.sql)
+        after = db.catalog.statistics_epoch
+        if after <= before:
+            return (
+                f"statistics_epoch did not advance across committed DML "
+                f"({before} -> {after})"
+            )
+        cached = db.explain_estimates(probe)  # epoch moved: must re-cost
+        cold = explain_plan(db.plan(probe))
+        detail = _diff("post-DML cached vs cold probe", cached, cold)
+        if detail:
+            return detail
+        actual = db.catalog.table(target).row_count
+        if round(cached.estimated_rows) != actual:
+            return (
+                f"post-DML probe estimates {cached.estimated_rows} rows but "
+                f"table {target} holds {actual} — stale costing served"
+            )
         return None
 
 
@@ -453,6 +501,7 @@ def default_oracles() -> list[Oracle]:
         ExplainCacheOracle(),
         CompiledTemplateOracle(),
         ExecutionOracle(),
+        DmlEpochOracle(),
         VecVsRowOracle(),
         ParallelProfilerOracle(),
     ]
@@ -466,6 +515,7 @@ __all__ = [
     "RoundTripOracle",
     "ExplainCacheOracle",
     "CompiledTemplateOracle",
+    "DmlEpochOracle",
     "ParallelProfilerOracle",
     "ExecutionOracle",
     "VecVsRowOracle",

@@ -21,7 +21,7 @@ import copy
 from typing import Callable
 
 from repro.sqldb import ast_nodes as ast
-from repro.sqldb.parser import parse_select
+from repro.sqldb.parser import parse_sql
 from repro.sqldb.sql_render import render_statement
 
 #: Upper bound on candidates tried per round, to keep shrinking O(seconds).
@@ -36,7 +36,7 @@ def shrink_sql(
     """The smallest statement (by candidate order) still failing
     *still_fails*.  Returns *sql* unchanged when nothing smaller fails."""
     try:
-        current = parse_select(sql)
+        current = parse_sql(sql)
     except Exception:
         return sql
     current_sql = render_statement(current)
@@ -63,9 +63,21 @@ def clause_count(sql: str) -> int:
     """A size metric for reproducers: boolean leaves in WHERE/HAVING plus
     joins, grouping, ordering, set-operation branches, and extra select
     items.  A 'minimal' reproducer per the acceptance bar has <= 3."""
-    statement = parse_select(sql)
+    statement = parse_sql(sql)
     if isinstance(statement, ast.CompoundSelect):
         return sum(clause_count(render_statement(s)) for s in statement.selects)
+    if isinstance(statement, ast.InsertStatement):
+        count = max(len(statement.rows) - 1, 0)
+        if statement.source is not None:
+            count += clause_count(render_statement(statement.source))
+        return count
+    if isinstance(statement, (ast.UpdateStatement, ast.DeleteStatement)):
+        count = 0
+        if isinstance(statement, ast.UpdateStatement):
+            count += max(len(statement.assignments) - 1, 0)
+        if statement.where is not None:
+            count += _leaves(statement.where)
+        return count
     count = 0
     count += max(len(statement.select_items) - 1, 0)
     if statement.where is not None:
@@ -111,6 +123,40 @@ def _candidates(statement):
 
 
 def _statement_candidates(statement):
+    if isinstance(statement, ast.InsertStatement):
+        # Fewer VALUES rows, then a simplified source SELECT.  Candidates
+        # that break the column/expression arity simply fail validation in
+        # the caller's predicate and are discarded.
+        if len(statement.rows) > 1:
+            for i in range(len(statement.rows)):
+                clone = copy.deepcopy(statement)
+                clone.rows = [clone.rows[i]]
+                yield clone
+        if statement.source is not None:
+            for sub in _statement_candidates(statement.source):
+                clone = copy.deepcopy(statement)
+                clone.source = sub
+                yield clone
+        return
+    if isinstance(statement, (ast.UpdateStatement, ast.DeleteStatement)):
+        if statement.where is not None:
+            clone = copy.deepcopy(statement)
+            clone.where = None
+            yield clone
+        if (
+            isinstance(statement, ast.UpdateStatement)
+            and len(statement.assignments) > 1
+        ):
+            for i in range(len(statement.assignments)):
+                clone = copy.deepcopy(statement)
+                clone.assignments = [clone.assignments[i]]
+                yield clone
+        if statement.where is not None:
+            for expr in _expression_candidates(statement.where):
+                clone = copy.deepcopy(statement)
+                clone.where = expr
+                yield clone
+        return
     if isinstance(statement, ast.CompoundSelect):
         # Each branch alone, then the chain minus one branch.
         for branch in statement.selects:

@@ -10,13 +10,21 @@ Public surface::
     db.execute("SELECT * FROM users LIMIT 5")  # actual rows
 """
 
-from .ast_nodes import SelectStatement, find_placeholders
+from .ast_nodes import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    find_placeholders,
+    is_dml,
+)
 from .catalog import Catalog, ForeignKey, IndexMeta
 from .database import Database, ExecutionResult
 from .ddl import parse_ddl, run_script, split_statements
 from .errors import (
     BindError,
     CatalogError,
+    ConstraintError,
     ExecutionError,
     MemoryBudgetExceeded,
     QueryCancelled,
@@ -29,7 +37,7 @@ from .errors import (
     UnsupportedSqlError,
 )
 from .explain import ExplainResult
-from .parser import parse_select
+from .parser import parse_select, parse_sql
 from .storage import Column, Table
 from .types import ColumnType, SqlType, date_to_days, days_to_date
 
@@ -39,12 +47,15 @@ __all__ = [
     "CatalogError",
     "Column",
     "ColumnType",
+    "ConstraintError",
     "Database",
+    "DeleteStatement",
     "ExecutionError",
     "ExecutionResult",
     "ExplainResult",
     "ForeignKey",
     "IndexMeta",
+    "InsertStatement",
     "MemoryBudgetExceeded",
     "QueryCancelled",
     "QueryTimeout",
@@ -57,11 +68,14 @@ __all__ = [
     "Table",
     "TransientStorageError",
     "UnsupportedSqlError",
+    "UpdateStatement",
     "date_to_days",
     "days_to_date",
     "find_placeholders",
+    "is_dml",
     "parse_ddl",
     "parse_select",
+    "parse_sql",
     "run_script",
     "split_statements",
 ]

@@ -259,6 +259,63 @@ class CompoundSelect(Node):
         return any(op == "union" for op in self.ops)
 
 
+@dataclass
+class Assignment(Node):
+    """One ``column = expression`` pair in an UPDATE SET clause."""
+
+    column: str
+    value: Expression
+    position: Optional[int] = field(default=None, compare=False, repr=False)
+
+
+@dataclass
+class InsertStatement(Node):
+    """``INSERT INTO t [(cols)] VALUES (...), ...`` or ``INSERT INTO t
+    [(cols)] SELECT ...``.
+
+    Exactly one of ``rows`` (non-empty) and ``source`` (a SELECT) is set.
+    """
+
+    target: TableRef
+    columns: Optional[list[str]] = None  # None = all columns, in table order
+    rows: list[list[Expression]] = field(default_factory=list)
+    source: Optional[Union[SelectStatement, CompoundSelect]] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+        for row in self.rows:
+            for expression in row:
+                yield expression
+        if self.source is not None:
+            yield self.source
+
+
+@dataclass
+class UpdateStatement(Node):
+    """``UPDATE t SET col = expr [, ...] [WHERE ...]``."""
+
+    target: TableRef
+    assignments: list[Assignment] = field(default_factory=list)
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DeleteStatement(Node):
+    """``DELETE FROM t [WHERE ...]``."""
+
+    target: TableRef
+    where: Optional[Expression] = None
+
+
+#: The three data-modification statement types, as one isinstance target.
+DML_STATEMENTS = (InsertStatement, UpdateStatement, DeleteStatement)
+
+
+def is_dml(node: Node) -> bool:
+    """True when *node* is an INSERT/UPDATE/DELETE statement."""
+    return isinstance(node, DML_STATEMENTS)
+
+
 def find_placeholders(node: Node) -> list[str]:
     """Return the names of all placeholders under *node*, in document order,
     without duplicates."""

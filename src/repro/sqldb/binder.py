@@ -100,9 +100,14 @@ class Scope:
 
 @dataclass
 class BoundQuery:
-    """A bound statement: the AST plus its scope and output schema."""
+    """A bound statement: the AST plus its scope and output schema.
 
-    statement: ast.SelectStatement
+    DML statements (INSERT/UPDATE/DELETE) bind to a one-column
+    ``rows_affected BIGINT`` output schema — executing them yields a single
+    row carrying the affected-row count, PostgreSQL command-tag style.
+    """
+
+    statement: ast.SelectStatement | ast.CompoundSelect | ast.InsertStatement | ast.UpdateStatement | ast.DeleteStatement
     scope: Scope
     output_names: list[str]
     output_types: list[SqlType]
@@ -127,10 +132,23 @@ class Binder:
         self._placeholder_types = placeholder_types
 
     def bind(
-        self, statement: ast.SelectStatement | ast.CompoundSelect
+        self,
+        statement: (
+            ast.SelectStatement
+            | ast.CompoundSelect
+            | ast.InsertStatement
+            | ast.UpdateStatement
+            | ast.DeleteStatement
+        ),
     ) -> BoundQuery:
         if isinstance(statement, ast.CompoundSelect):
             return self._bind_compound(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self._bind_insert(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._bind_update(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._bind_delete(statement)
         scope = self._build_scope(statement.from_clause)
         statement.select_items = self._expand_stars(statement.select_items, scope)
         for item in statement.select_items:
@@ -183,6 +201,137 @@ class Binder:
                         f"{types[index].value} and {branch_type.value}"
                     )
         return BoundQuery(statement, Scope(), list(first.output_names), types)
+
+    # -- DML binding ----------------------------------------------------------
+
+    def _dml_result(self, statement, scope: Scope) -> BoundQuery:
+        """Every DML statement binds to a ``rows_affected BIGINT`` schema."""
+        return BoundQuery(statement, scope, ["rows_affected"], [SqlType.BIGINT])
+
+    def _target_meta(self, ref: ast.TableRef):
+        if not self._catalog.has_table(ref.name):
+            raise BindError(
+                f'relation "{ref.name}" does not exist', position=ref.position
+            )
+        return self._catalog.table(ref.name)
+
+    def _bind_insert(self, statement: ast.InsertStatement) -> BoundQuery:
+        meta = self._target_meta(statement.target)
+        if statement.columns is None:
+            targets = list(meta.columns)
+        else:
+            seen: set[str] = set()
+            targets = []
+            for name in statement.columns:
+                if not meta.has_column(name):
+                    raise BindError(
+                        f'column "{name}" of relation "{meta.name}" '
+                        "does not exist"
+                    )
+                if name in seen:
+                    raise BindError(
+                        f'column "{name}" specified more than once'
+                    )
+                seen.add(name)
+                targets.append(meta.column(name))
+        empty = Scope()
+        if statement.source is not None:
+            bound_source = self.bind(statement.source)
+            if len(bound_source.output_types) != len(targets):
+                raise BindError(
+                    f"INSERT has {len(bound_source.output_types)} expressions "
+                    f"but {len(targets)} target columns"
+                )
+            for target, source_type in zip(targets, bound_source.output_types):
+                self._check_writable(None, source_type, target)
+        else:
+            for row in statement.rows:
+                if len(row) != len(targets):
+                    raise BindError(
+                        f"INSERT has {len(row)} expressions but "
+                        f"{len(targets)} target columns"
+                    )
+                for target, value in zip(targets, row):
+                    value_type = self._bind_expression(
+                        value, empty, allow_aggregates=False
+                    )
+                    self._check_writable(value, value_type, target)
+        return self._dml_result(statement, empty)
+
+    def _bind_update(self, statement: ast.UpdateStatement) -> BoundQuery:
+        meta = self._target_meta(statement.target)
+        scope = Scope()
+        scope.add(
+            RelationSchema(
+                binding=statement.target.binding_name,
+                columns={c.name: c.sql_type for c in meta.columns},
+            )
+        )
+        assigned: set[str] = set()
+        for assignment in statement.assignments:
+            if not meta.has_column(assignment.column):
+                raise BindError(
+                    f'column "{assignment.column}" of relation '
+                    f'"{meta.name}" does not exist',
+                    position=assignment.position,
+                )
+            if assignment.column in assigned:
+                raise BindError(
+                    f'multiple assignments to same column "{assignment.column}"',
+                    position=assignment.position,
+                )
+            assigned.add(assignment.column)
+            value_type = self._bind_expression(
+                assignment.value, scope, allow_aggregates=False
+            )
+            self._check_writable(
+                assignment.value, value_type, meta.column(assignment.column)
+            )
+        if statement.where is not None:
+            self._bind_expression(statement.where, scope, allow_aggregates=False)
+        return self._dml_result(statement, scope)
+
+    def _bind_delete(self, statement: ast.DeleteStatement) -> BoundQuery:
+        meta = self._target_meta(statement.target)
+        scope = Scope()
+        scope.add(
+            RelationSchema(
+                binding=statement.target.binding_name,
+                columns={c.name: c.sql_type for c in meta.columns},
+            )
+        )
+        if statement.where is not None:
+            self._bind_expression(statement.where, scope, allow_aggregates=False)
+        return self._dml_result(statement, scope)
+
+    def _check_writable(
+        self,
+        expression: ast.Expression | None,
+        value_type: SqlType,
+        target,
+    ) -> None:
+        """Reject writes whose static type cannot coerce into the column.
+
+        An explicit NULL literal is always bindable — nullability is a
+        *runtime* constraint (ConstraintError), not a binder one, matching
+        how a real system reports ``null value violates not-null`` only on
+        execution.
+        """
+        if isinstance(expression, ast.Literal) and expression.value is None:
+            return
+        column_type = target.sql_type
+        if value_type is column_type:
+            return
+        if value_type.is_numeric and column_type.is_numeric:
+            return
+        # ISO date strings are writable into DATE columns (and dates render
+        # back as TEXT), mirroring the comparison rule in _check_comparable.
+        if {value_type, column_type} == {SqlType.TEXT, SqlType.DATE}:
+            return
+        raise BindError(
+            f'column "{target.name}" is of type {column_type.value} '
+            f"but expression is of type {value_type.value}"
+        )
 
     # -- scope construction ---------------------------------------------------
 

@@ -11,10 +11,48 @@ from dataclasses import dataclass, field
 
 from .errors import CatalogError
 from .stats import ColumnStats, analyze_column
-from .storage import Table
+from .storage import Column, Table
 from .types import ColumnType, SqlType
 
 PAGE_SIZE_BYTES = 8192
+
+
+class PhysicalIndex:
+    """An equality-lookup structure over one column: value -> row positions.
+
+    The executor's DML operators keep these consistent with the table data
+    (see :meth:`Catalog.note_mutation`): INSERT appends positions
+    incrementally, UPDATE drops only the indexes of assigned columns, and
+    DELETE — which renumbers rows — drops every index of the table for a
+    lazy rebuild on the next lookup.  Values are stored in their *storage*
+    representation (e.g. DATE as int days since the epoch), matching what a
+    scan of the column would compare against.
+    """
+
+    def __init__(self, column: Column):
+        self.entries: dict[object, list[int]] = {}
+        self.null_positions: list[int] = []
+        self.append_rows(column, 0)
+
+    def append_rows(self, column: Column, start: int) -> None:
+        """Index rows ``start..len(column)-1`` (incremental INSERT path)."""
+        data = column.data
+        null_mask = column.null_mask
+        for position in range(start, len(data)):
+            if null_mask is not None and null_mask[position]:
+                self.null_positions.append(position)
+                continue
+            value = data[position]
+            key = value.item() if hasattr(value, "item") else value
+            self.entries.setdefault(key, []).append(position)
+
+    def lookup(self, value: object) -> list[int]:
+        """Row positions holding *value* (ascending); NULL finds nothing."""
+        if value is None:
+            return []
+        if hasattr(value, "item"):
+            value = value.item()
+        return list(self.entries.get(value, []))
 
 
 @dataclass(frozen=True)
@@ -114,6 +152,10 @@ class Catalog:
         self._foreign_keys: list[ForeignKey] = []
         self._indexes: dict[str, list[IndexMeta]] = {}
         self._statistics_epoch = 0
+        # Per-table DML mutation counters (the cheap invalidation signal)
+        # and the lazily-built physical index structures they govern.
+        self._mutation_counts: dict[str, int] = {}
+        self._physical_indexes: dict[tuple[str, str], PhysicalIndex] = {}
 
     @property
     def statistics_epoch(self) -> int:
@@ -180,6 +222,75 @@ class Catalog:
             raise CatalogError(f"index {index.name!r} already exists")
         existing.append(index)
         self.bump_statistics_epoch()
+
+    def note_mutation(
+        self,
+        name: str,
+        data: Table,
+        *,
+        appended: int | None = None,
+        changed_columns: list[str] | None = None,
+    ) -> None:
+        """Publish *data* as the committed contents of *name* after DML.
+
+        This is the single commit point of the write path: the executor
+        materializes a statement's full result first and hands it over here,
+        so a failure anywhere earlier (constraint violation, governor budget
+        trip) leaves the old table untouched — statement-level rollback.
+
+        Bookkeeping on commit:
+
+        * ``row_count`` is refreshed (page counts follow), but column
+          statistics are *not* recomputed — like a real system, stale stats
+          persist until ``reanalyze``; what matters is that they are served
+          consistently, which the epoch bump below guarantees.
+        * The per-table mutation counter advances and the physical indexes
+          are maintained: ``appended=k`` (INSERT) extends built indexes with
+          the last *k* row positions; ``changed_columns`` (UPDATE — row
+          positions stable) drops only the affected columns' indexes; plain
+          calls (DELETE — rows renumbered) drop every index of the table.
+        * The statistics epoch bumps, so the EXPLAIN cache and every
+          ``CompiledTemplate`` re-cost instead of serving stale estimates.
+        """
+        meta = self.table(name)
+        self._data[name] = data
+        meta.row_count = data.row_count
+        self._mutation_counts[name] = self._mutation_counts.get(name, 0) + 1
+        if appended is not None and appended >= 0:
+            start = data.row_count - appended
+            for (table, column), index in self._physical_indexes.items():
+                if table == name:
+                    index.append_rows(data.column(column), start)
+        elif changed_columns is not None:
+            for column in changed_columns:
+                self._physical_indexes.pop((name, column), None)
+        else:
+            for key in [k for k in self._physical_indexes if k[0] == name]:
+                del self._physical_indexes[key]
+        self.bump_statistics_epoch()
+
+    def mutation_count(self, name: str) -> int:
+        """How many committed DML statements have touched *name*."""
+        self.table(name)
+        return self._mutation_counts.get(name, 0)
+
+    def index_lookup(self, table: str, column: str, value: object) -> list[int]:
+        """Equality lookup through the physical index on (table, column).
+
+        Builds the index lazily from the current data on first use; DML
+        maintenance keeps it consistent afterwards (see
+        :meth:`note_mutation`).  *value* must be in storage representation
+        (DATE as int days).  ``None`` returns the NULL row positions.
+        """
+        self.table(table).column(column)
+        key = (table, column)
+        index = self._physical_indexes.get(key)
+        if index is None:
+            index = PhysicalIndex(self.data(table).column(column))
+            self._physical_indexes[key] = index
+        if value is None:
+            return list(index.null_positions)
+        return index.lookup(value)
 
     def reanalyze(self, name: str) -> TableMeta:
         """Recompute row count and column statistics of *name* from its data.

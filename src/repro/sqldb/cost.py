@@ -19,6 +19,10 @@ CPU_INDEX_TUPLE_COST = 0.005
 CPU_OPERATOR_COST = 0.0025
 HASH_ENTRY_COST = 1.5 * CPU_OPERATOR_COST
 SORT_COMPARE_COST = 2.0 * CPU_OPERATOR_COST
+#: Per-row cost of a storage mutation (heap write), on top of the cost of
+#: producing the row.  Twice CPU_TUPLE_COST: a write touches the page twice
+#: (copy-out + publish) in the copy-on-write storage layer.
+WRITE_TUPLE_COST = 2.0 * CPU_TUPLE_COST
 
 
 @dataclass(frozen=True)
@@ -106,6 +110,20 @@ def aggregate_cost(
 
 def project_cost(child: Cost, rows: float, expr_ops: int) -> Cost:
     return Cost(child.startup, child.total + rows * expr_ops * CPU_OPERATOR_COST)
+
+
+def dml_cost(child: Cost, rows_written: float, index_count: int) -> Cost:
+    """INSERT/UPDATE/DELETE: child produces the rows, the write applies them.
+
+    The whole input must be materialized before the commit publishes, so
+    startup is the child's total; each written row then pays the heap write
+    plus one index-entry maintenance charge per affected index.
+    """
+    rows_written = max(rows_written, 0.0)
+    write = rows_written * (
+        WRITE_TUPLE_COST + index_count * CPU_INDEX_TUPLE_COST
+    )
+    return Cost(child.total, child.total + write)
 
 
 def limit_cost(child: Cost, child_rows: float, limit_rows: float) -> Cost:

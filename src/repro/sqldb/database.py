@@ -22,7 +22,7 @@ from .catalog import Catalog, ForeignKey, IndexMeta
 from .errors import SqlError
 from .executor import Executor
 from .explain import ExplainResult, explain_plan
-from .parser import parse_select
+from .parser import parse_sql
 from .plan_nodes import Plan
 from .planner import Planner
 from .storage import Table
@@ -126,9 +126,17 @@ class Database:
         self,
         data: Table,
         primary_key: list[str] | None = None,
+        column_types=None,
     ) -> None:
-        """Register *data* as a base table (statistics are gathered eagerly)."""
-        self._catalog.register_table(data, primary_key=primary_key)
+        """Register *data* as a base table (statistics are gathered eagerly).
+
+        *column_types* optionally maps column names to
+        :class:`~repro.sqldb.types.ColumnType` so NOT NULL constraints are
+        recorded in the catalog — the DML path enforces them at runtime.
+        """
+        self._catalog.register_table(
+            data, column_types=column_types, primary_key=primary_key
+        )
 
     def add_foreign_key(
         self, table: str, column: str, ref_table: str, ref_column: str
@@ -150,7 +158,7 @@ class Database:
         :meth:`~repro.sqldb.errors.SqlError.context_snippet`.
         """
         try:
-            statement = parse_select(sql)
+            statement = parse_sql(sql)
             bound = self._binder.bind(statement)
             return self._planner.plan(bound)
         except SqlError as exc:

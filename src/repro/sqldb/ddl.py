@@ -32,7 +32,7 @@ from .database import Database
 from .errors import SqlSyntaxError, UnsupportedSqlError
 from .lexer import Token, TokenType, tokenize
 from .storage import Table
-from .types import SqlType, date_to_days, parse_type_name
+from .types import ColumnType, SqlType, date_to_days, parse_type_name
 
 
 @dataclass
@@ -417,9 +417,16 @@ def _materialize(db: Database, definition: CreateTable, rows: list[list[object]]
         for i, column in enumerate(definition.columns)
     }
     types = {c.name: c.sql_type for c in definition.columns}
+    # Record nullability in the catalog so the DML engine can enforce NOT
+    # NULL at runtime (the load-time check above only covers script rows).
+    column_types = {
+        c.name: ColumnType(c.sql_type, nullable=not c.not_null)
+        for c in definition.columns
+    }
     db.create_table(
         Table.from_dict(definition.name, data, types),
         primary_key=definition.primary_key or None,
+        column_types=column_types,
     )
     for column, ref_table, ref_column in definition.foreign_keys:
         db.add_foreign_key(definition.name, column, ref_table, ref_column)

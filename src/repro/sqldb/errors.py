@@ -86,6 +86,14 @@ class ExecutionError(SqlError):
     """A runtime failure while executing a plan (division by zero, etc.)."""
 
 
+class ConstraintError(ExecutionError):
+    """A DML statement violated a table constraint (NOT NULL, arity/type).
+
+    Raised before the statement's result is published, so the table is
+    left exactly as it was (statement-level rollback).
+    """
+
+
 class UnsupportedSqlError(SqlError):
     """The statement is valid SQL but outside the supported dialect subset."""
 

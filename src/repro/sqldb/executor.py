@@ -25,16 +25,18 @@ import repro.governor.context as _governor_context
 import repro.obs.profile as _obs_profile
 
 from . import ast_nodes as ast
-from .errors import ExecutionError
+from .errors import ConstraintError, ExecutionError
 from .expr_eval import EvalContext, SubqueryValue, Vec, evaluate, truthy
 from .catalog import Catalog
 from .plan_nodes import (
     AggregateNode,
     AppendNode,
+    DeleteNode,
     DistinctNode,
     FilterNode,
     HashJoinNode,
     IndexScanNode,
+    InsertNode,
     LimitNode,
     NestedLoopJoinNode,
     Plan,
@@ -44,9 +46,10 @@ from .plan_nodes import (
     SeqScanNode,
     SortNode,
     SubqueryScanNode,
+    UpdateNode,
 )
 from .storage import Column, Table
-from .types import SqlType
+from .types import SqlType, date_to_days, days_to_date
 
 
 @dataclass
@@ -219,6 +222,12 @@ class Executor:
             return self._run_result(node, subquery_values)
         if isinstance(node, AppendNode):
             return self._run_append(node)
+        if isinstance(node, InsertNode):
+            return self._run_insert(node, subquery_values)
+        if isinstance(node, UpdateNode):
+            return self._run_update(node, subquery_values)
+        if isinstance(node, DeleteNode):
+            return self._run_delete(node, subquery_values)
         raise ExecutionError(f"cannot execute node {type(node).__name__}")
 
     # -- scans --------------------------------------------------------------------
@@ -445,6 +454,253 @@ class Executor:
             vec = evaluate(item.expression, context)
             columns[name] = vec.to_column(name)
         return _Frame(columns, 1)
+
+    # -- DML --------------------------------------------------------------------------
+    #
+    # The write path is statement-level-atomic: each operator materializes
+    # the statement's complete effect on a *new* Table first, and only then
+    # publishes it through Catalog.note_mutation (the single commit point).
+    # Any error raised earlier — constraint violation, governor budget trip,
+    # injected fault — leaves the stored table untouched.
+
+    @staticmethod
+    def _dml_frame(count: int) -> _Frame:
+        """The one-row ``rows_affected`` result every DML statement returns."""
+        column = Column(
+            "rows_affected", SqlType.BIGINT, np.array([count], dtype=np.int64)
+        )
+        return _Frame({"rows_affected": column}, 1)
+
+    def _run_insert(
+        self, node: InsertNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        meta = self._catalog.table(node.table_name)
+        data = self._catalog.data(node.table_name)
+        incoming: dict[str, list] = {}
+        if node.source is not None:
+            result = self.execute(node.source)
+            count = result.row_count
+            for target_name, col in zip(node.columns, result.columns):
+                target_type = meta.column(target_name).sql_type
+                incoming[target_name] = [
+                    _convert_write_value(
+                        value, col.sql_type, target_type, meta.name, target_name
+                    )
+                    for value in _column_python_values(col)
+                ]
+        else:
+            count = len(node.rows)
+            incoming = {name: [] for name in node.columns}
+            context = EvalContext({}, 1, {}, subquery_values)
+            for row in node.rows:
+                for target_name, expression in zip(node.columns, row):
+                    vec = evaluate(expression, context)
+                    is_null = vec.mask is not None and bool(vec.mask[0])
+                    value = None if is_null else _to_python(vec.data[0])
+                    incoming[target_name].append(
+                        _convert_write_value(
+                            value,
+                            vec.sql_type,
+                            meta.column(target_name).sql_type,
+                            meta.name,
+                            target_name,
+                        )
+                    )
+        governor = _governor_context.current_governor()
+        if governor is not None:
+            governor.admit(count, count * meta.row_width, "InsertNode")
+        pieces: list[Column] = []
+        for column_meta in meta.columns:
+            values = incoming.get(column_meta.name, [None] * count)
+            _reject_nulls(meta, column_meta.name, values)
+            pieces.append(
+                Column.from_values(column_meta.name, column_meta.sql_type, values)
+            )
+        new_table = data.append_rows(Table(meta.name, pieces))
+        if governor is not None:
+            governor.charge_rows(count)
+        self._catalog.note_mutation(meta.name, new_table, appended=count)
+        return self._dml_frame(count)
+
+    def _run_update(
+        self, node: UpdateNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        meta = self._catalog.table(node.table_name)
+        data, frame, keep = self._mutation_scan(node.child, subquery_values)
+        positions = np.flatnonzero(keep)
+        count = int(len(positions))
+        governor = _governor_context.current_governor()
+        if governor is not None:
+            governor.admit(count, count * meta.row_width, "UpdateNode")
+        # Assignments are evaluated over the *matched* rows only, so an
+        # expression that would error on an unmatched row (1/y with y = 0,
+        # say) cannot fail a statement whose WHERE excludes that row.
+        context = frame.filter(keep).context(subquery_values)
+        new_table = data
+        for assignment in node.assignments:
+            vec = evaluate(assignment.value, context)
+            column_meta = meta.column(assignment.column)
+            values = []
+            for i in range(count):
+                is_null = vec.mask is not None and bool(vec.mask[i])
+                value = None if is_null else _to_python(vec.data[i])
+                values.append(
+                    _convert_write_value(
+                        value,
+                        vec.sql_type,
+                        column_meta.sql_type,
+                        meta.name,
+                        assignment.column,
+                    )
+                )
+            _reject_nulls(meta, assignment.column, values)
+            old = new_table.column(assignment.column)
+            new_data = old.data.copy()
+            new_mask = (
+                old.null_mask.copy()
+                if old.null_mask is not None
+                else np.zeros(len(old), dtype=bool)
+            )
+            for position, value in zip(positions, values):
+                if value is None:
+                    new_mask[position] = True
+                    new_data[position] = None if new_data.dtype == object else 0
+                else:
+                    new_data[position] = value
+                    new_mask[position] = False
+            new_table = new_table.with_column(
+                Column(
+                    old.name,
+                    old.sql_type,
+                    new_data,
+                    new_mask if new_mask.any() else None,
+                )
+            )
+        if governor is not None:
+            governor.charge_rows(count)
+        self._catalog.note_mutation(
+            meta.name,
+            new_table,
+            changed_columns=[a.column for a in node.assignments],
+        )
+        return self._dml_frame(count)
+
+    def _run_delete(
+        self, node: DeleteNode, subquery_values: dict[int, SubqueryValue]
+    ) -> _Frame:
+        meta = self._catalog.table(node.table_name)
+        data, frame, keep = self._mutation_scan(node.child, subquery_values)
+        count = int(keep.sum())
+        governor = _governor_context.current_governor()
+        if governor is not None:
+            governor.admit(count, 0, "DeleteNode")
+        new_table = data.filter(~keep)
+        if governor is not None:
+            governor.charge_rows(count)
+        self._catalog.note_mutation(meta.name, new_table)
+        return self._dml_frame(count)
+
+    def _mutation_scan(
+        self,
+        scan: PlanNode,
+        subquery_values: dict[int, SubqueryValue],
+    ) -> tuple[Table, _Frame, np.ndarray]:
+        """Run an UPDATE/DELETE child scan, keeping base-table row positions.
+
+        The regular scan operator loses positions when it filters, and the
+        write path needs them to address rows in place — so the scan is
+        inlined here, with the same governor boundary (fault injection,
+        deadline check, frame charge) the dispatcher would have applied.
+        """
+        if not isinstance(scan, (SeqScanNode, IndexScanNode)):
+            raise ExecutionError(
+                f"unexpected DML child operator {type(scan).__name__}"
+            )
+        governor = _governor_context.current_governor()
+        name = type(scan).__name__
+        if governor is not None:
+            governor.begin_operator(name)
+        data = self._catalog.data(scan.table_name)
+        columns = {f"{scan.binding}.{c.name}": c for c in data.columns}
+        frame = _Frame(columns, data.row_count)
+        if scan.filter is not None:
+            keep = truthy(evaluate(scan.filter, frame.context(subquery_values)))
+        else:
+            keep = np.ones(data.row_count, dtype=bool)
+        if governor is not None:
+            governor.charge_frame(name, data.row_count, _frame_bytes(frame))
+        return data, frame, keep
+
+
+def _column_python_values(column: Column) -> list:
+    """A column's values as Python objects, NULL as ``None``."""
+    values = []
+    for i in range(len(column)):
+        if column.null_mask is not None and column.null_mask[i]:
+            values.append(None)
+        else:
+            values.append(_to_python(column.data[i]))
+    return values
+
+
+def _convert_write_value(
+    value, source_type: SqlType, target_type: SqlType, table: str, column: str
+):
+    """Coerce one value into the target column's storage representation.
+
+    Mirrors the DDL loader's coercions (ISO date text -> epoch days, numeric
+    widening/narrowing); a value the column type cannot hold is a
+    :class:`ConstraintError`, the runtime counterpart of the binder's static
+    type check.
+    """
+    if value is None:
+        return None
+    if hasattr(value, "item"):
+        value = value.item()
+    try:
+        if source_type is SqlType.DATE and target_type is SqlType.TEXT:
+            return days_to_date(int(value)).isoformat()
+        if target_type is SqlType.DATE:
+            if isinstance(value, str):
+                return date_to_days(value)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(value)
+            return int(value)
+        if target_type in (SqlType.INTEGER, SqlType.BIGINT):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(value)
+            return int(value)
+        if target_type is SqlType.DOUBLE:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(value)
+            return float(value)
+        if target_type is SqlType.BOOLEAN:
+            if not isinstance(value, (bool, int)):
+                raise ValueError(value)
+            return bool(value)
+        if not isinstance(value, str):  # TEXT
+            raise ValueError(value)
+        return value
+    except ValueError:
+        raise ConstraintError(
+            f'invalid value {value!r} for column "{column}" of type '
+            f"{target_type.value} in table {table!r}"
+        ) from None
+
+
+def _reject_nulls(meta, column_name: str, values: list) -> None:
+    """NOT NULL enforcement (declared or implied by the primary key)."""
+    column_meta = meta.column(column_name)
+    nullable = (
+        column_meta.column_type.nullable
+        and column_name not in meta.primary_key
+    )
+    if nullable or not any(value is None for value in values):
+        return
+    raise ConstraintError(
+        f'null value in column "{column_name}" of relation '
+        f'"{meta.name}" violates not-null constraint'
+    )
 
 
 def _frame_bytes(frame: _Frame) -> int:

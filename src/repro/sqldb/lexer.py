@@ -28,6 +28,7 @@ KEYWORDS = frozenset(
     count sum avg min max
     true false
     create table primary key foreign references index unique insert into values
+    update set delete
     integer bigint double precision text date boolean varchar char numeric
     decimal float real extract interval substring
     """.split()

@@ -31,8 +31,17 @@ _NON_RESERVED = frozenset(
     """
     key primary foreign references index unique table insert into values
     create date text integer bigint boolean double precision varchar char
-    numeric decimal float real interval
+    numeric decimal float real interval update set delete
     """.split()
+)
+
+#: Any statement :func:`parse_sql` can return.
+SqlStatement = (
+    ast.SelectStatement
+    | ast.CompoundSelect
+    | ast.InsertStatement
+    | ast.UpdateStatement
+    | ast.DeleteStatement
 )
 
 
@@ -45,6 +54,22 @@ def parse_select(sql: str) -> ast.SelectStatement | ast.CompoundSelect:
     try:
         parser = _Parser(tokenize(sql))
         statement = parser.parse_statement()
+        parser.expect_end()
+    except SqlSyntaxError as exc:
+        raise exc.attach_source(sql)
+    return statement
+
+
+def parse_sql(sql: str) -> SqlStatement:
+    """Parse any supported statement: SELECT or DML (INSERT/UPDATE/DELETE).
+
+    The statement kind is dispatched on the leading keyword, so a SELECT
+    parses exactly as :func:`parse_select` would parse it (same AST, same
+    errors).  Syntax errors carry attached source like ``parse_select``'s.
+    """
+    try:
+        parser = _Parser(tokenize(sql))
+        statement = parser.parse_any_statement()
         parser.expect_end()
     except SqlSyntaxError as exc:
         raise exc.attach_source(sql)
@@ -111,6 +136,81 @@ class _Parser:
             self._error("unexpected trailing input")
 
     # -- statements --------------------------------------------------------
+
+    def parse_any_statement(self) -> "SqlStatement":
+        token = self._current
+        if token.matches_keyword("insert"):
+            return self._parse_insert()
+        if token.matches_keyword("update"):
+            return self._parse_update()
+        if token.matches_keyword("delete"):
+            return self._parse_delete()
+        return self.parse_statement()
+
+    def _parse_insert(self) -> ast.InsertStatement:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        position = self._current.position
+        name = self._expect_identifier("table name")
+        target = ast.TableRef(name=name, position=position)
+        columns: list[str] | None = None
+        if self._accept_punct("("):
+            columns = [self._expect_identifier("column name")]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        if self._accept_keyword("values"):
+            rows = [self._parse_value_row()]
+            while self._accept_punct(","):
+                rows.append(self._parse_value_row())
+            return ast.InsertStatement(target=target, columns=columns, rows=rows)
+        if self._current.matches_keyword("select"):
+            source = self.parse_statement()
+            return ast.InsertStatement(
+                target=target, columns=columns, source=source
+            )
+        self._error("expected VALUES or SELECT in INSERT")
+        raise AssertionError("unreachable")
+
+    def _parse_value_row(self) -> list[ast.Expression]:
+        self._expect_punct("(")
+        row = [self._parse_expression()]
+        while self._accept_punct(","):
+            row.append(self._parse_expression())
+        self._expect_punct(")")
+        return row
+
+    def _parse_update(self) -> ast.UpdateStatement:
+        self._expect_keyword("update")
+        position = self._current.position
+        name = self._expect_identifier("table name")
+        target = ast.TableRef(name=name, position=position)
+        self._expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self._parse_expression() if self._accept_keyword("where") else None
+        return ast.UpdateStatement(
+            target=target, assignments=assignments, where=where
+        )
+
+    def _parse_assignment(self) -> ast.Assignment:
+        position = self._current.position
+        column = self._expect_identifier("column name")
+        if self._accept_operator("=") is None:
+            self._error('expected "=" in SET assignment')
+        return ast.Assignment(
+            column=column, value=self._parse_expression(), position=position
+        )
+
+    def _parse_delete(self) -> ast.DeleteStatement:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        position = self._current.position
+        name = self._expect_identifier("table name")
+        target = ast.TableRef(name=name, position=position)
+        where = self._parse_expression() if self._accept_keyword("where") else None
+        return ast.DeleteStatement(target=target, where=where)
 
     def parse_statement(self) -> ast.SelectStatement | ast.CompoundSelect:
         statement = self._parse_select()

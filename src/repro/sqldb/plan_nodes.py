@@ -262,6 +262,68 @@ class ResultNode(PlanNode):
 
 
 @dataclass
+class InsertNode(PlanNode):
+    """INSERT: append literal rows or a source plan's output to a table.
+
+    ``est_rows`` is the estimated number of rows written; the node's own
+    output is always the single ``rows_affected`` row.
+    """
+
+    table_name: str = ""
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[ast.Expression]] = field(default_factory=list)
+    source: Optional["Plan"] = None
+
+    @property
+    def node_type(self) -> str:
+        return "Insert"
+
+    def describe(self) -> str:
+        return f"on {self.table_name}"
+
+    def children(self) -> list[PlanNode]:
+        return [self.source.root] if self.source is not None else []
+
+
+@dataclass
+class UpdateNode(PlanNode):
+    """UPDATE: rewrite assigned columns of the rows its child scan matches."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    table_name: str = ""
+    assignments: list[ast.Assignment] = field(default_factory=list)
+
+    @property
+    def node_type(self) -> str:
+        return "Update"
+
+    def describe(self) -> str:
+        columns = ", ".join(a.column for a in self.assignments)
+        return f"on {self.table_name} set {columns}"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class DeleteNode(PlanNode):
+    """DELETE: remove the rows its child scan matches."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    table_name: str = ""
+
+    @property
+    def node_type(self) -> str:
+        return "Delete"
+
+    def describe(self) -> str:
+        return f"on {self.table_name}"
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
 class SubPlan:
     """An uncorrelated subquery expression, planned once and cached."""
 

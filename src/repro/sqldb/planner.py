@@ -27,10 +27,12 @@ from .errors import UnsupportedSqlError
 from .plan_nodes import (
     AggregateNode,
     AppendNode,
+    DeleteNode,
     DistinctNode,
     FilterNode,
     HashJoinNode,
     IndexScanNode,
+    InsertNode,
     LimitNode,
     NestedLoopJoinNode,
     Plan,
@@ -41,6 +43,7 @@ from .plan_nodes import (
     SortNode,
     SubPlan,
     SubqueryScanNode,
+    UpdateNode,
 )
 from .selectivity import count_operators, estimate_selectivity
 from .stats import join_selectivity
@@ -143,6 +146,10 @@ class Planner:
 
     def plan(self, bound: BoundQuery) -> Plan:
         statement = bound.statement
+        if isinstance(statement, ast.InsertStatement):
+            return self._plan_insert(bound)
+        if isinstance(statement, (ast.UpdateStatement, ast.DeleteStatement)):
+            return self._plan_mutation(bound)
         if isinstance(statement, ast.CompoundSelect):
             return self._plan_compound(bound)
         subplans = self._plan_subqueries(statement)
@@ -185,6 +192,128 @@ class Planner:
             output_types=bound.output_types,
             use_vectorized=self.use_vectorized,
         )
+
+    # -- DML -------------------------------------------------------------------
+
+    def _plan_insert(self, bound: BoundQuery) -> Plan:
+        statement: ast.InsertStatement = bound.statement  # type: ignore[assignment]
+        meta = self._catalog.table(statement.target.name)
+        columns = (
+            list(statement.columns)
+            if statement.columns is not None
+            else meta.column_names
+        )
+        index_count = len(self._catalog.indexes_of(meta.name))
+        if statement.source is not None:
+            source_plan = self.plan(self._binder.bind(statement.source))
+            est_rows = max(source_plan.est_rows, 0.0)
+            child_cost = costs.Cost(
+                source_plan.startup_cost, source_plan.total_cost
+            )
+            root = InsertNode(
+                est_rows=est_rows,
+                cost=costs.dml_cost(child_cost, est_rows, index_count),
+                table_name=meta.name,
+                columns=columns,
+                source=source_plan,
+            )
+        else:
+            est_rows = float(len(statement.rows))
+            expr_ops = sum(
+                count_operators(value)
+                for row in statement.rows
+                for value in row
+            )
+            child_cost = costs.Cost(0.0, expr_ops * costs.CPU_OPERATOR_COST)
+            root = InsertNode(
+                est_rows=est_rows,
+                cost=costs.dml_cost(child_cost, est_rows, index_count),
+                table_name=meta.name,
+                columns=columns,
+                rows=statement.rows,
+            )
+        return Plan(
+            root=root,
+            subplans=self._plan_clause_subqueries(
+                [v for row in statement.rows for v in row]
+            ),
+            output_names=bound.output_names,
+            output_types=bound.output_types,
+            use_vectorized=False,
+        )
+
+    def _plan_mutation(self, bound: BoundQuery) -> Plan:
+        """UPDATE/DELETE: a pushed-filter scan of the target feeds the write."""
+        statement = bound.statement
+        context = _QueryContext()
+        pushed = split_conjuncts(statement.where)
+        scan = self._plan_base_scan(statement.target, pushed, context)
+        child = scan.node
+        meta = self._catalog.table(statement.target.name)
+        clauses: list[ast.Expression] = list(pushed)
+        if isinstance(statement, ast.UpdateStatement):
+            clauses.extend(a.value for a in statement.assignments)
+            assigned = {a.column for a in statement.assignments}
+            index_count = sum(
+                1
+                for index in self._catalog.indexes_of(meta.name)
+                if index.column in assigned
+            )
+            expr_ops = sum(
+                count_operators(a.value) for a in statement.assignments
+            )
+            cost = costs.dml_cost(
+                child.cost.plus(child.est_rows * expr_ops * costs.CPU_OPERATOR_COST),
+                child.est_rows,
+                index_count,
+            )
+            root: PlanNode = UpdateNode(
+                est_rows=child.est_rows,
+                cost=cost,
+                child=child,
+                table_name=meta.name,
+                assignments=statement.assignments,
+            )
+        else:
+            index_count = len(self._catalog.indexes_of(meta.name))
+            root = DeleteNode(
+                est_rows=child.est_rows,
+                cost=costs.dml_cost(child.cost, child.est_rows, index_count),
+                child=child,
+                table_name=meta.name,
+            )
+        subplans = self._plan_clause_subqueries(clauses)
+        subplan_cost = sum(s.plan.root.cost.total for s in subplans.values())
+        if subplan_cost:
+            root.cost = root.cost.plus(subplan_cost)
+        return Plan(
+            root=root,
+            subplans=subplans,
+            output_names=bound.output_names,
+            output_types=bound.output_types,
+            use_vectorized=False,
+        )
+
+    def _plan_clause_subqueries(
+        self, clauses: list[ast.Expression]
+    ) -> dict[int, SubPlan]:
+        """Subquery expressions reachable from DML clauses (WHERE, SET, VALUES)."""
+        subplans: dict[int, SubPlan] = {}
+        for clause in clauses:
+            for node in shallow_walk(clause):
+                if isinstance(node, ast.InSubquery):
+                    subplans[id(node)] = SubPlan(
+                        "in", self._plan_nested(node.subquery)
+                    )
+                elif isinstance(node, ast.Exists):
+                    subplans[id(node)] = SubPlan(
+                        "exists", self._plan_nested(node.subquery)
+                    )
+                elif isinstance(node, ast.ScalarSubquery):
+                    subplans[id(node)] = SubPlan(
+                        "scalar", self._plan_nested(node.subquery)
+                    )
+        return subplans
 
     # -- subquery expressions ---------------------------------------------------
 

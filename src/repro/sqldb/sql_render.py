@@ -20,7 +20,34 @@ _PRECEDENCE = {
 }
 
 
-def render_statement(statement: ast.SelectStatement | ast.CompoundSelect) -> str:
+def render_statement(statement: ast.Node) -> str:
+    if isinstance(statement, ast.InsertStatement):
+        parts = [f"INSERT INTO {statement.target.name}"]
+        if statement.columns is not None:
+            parts.append("(" + ", ".join(statement.columns) + ")")
+        if statement.source is not None:
+            parts.append(render_statement(statement.source))
+        else:
+            rows = ", ".join(
+                "(" + ", ".join(render_expression(v) for v in row) + ")"
+                for row in statement.rows
+            )
+            parts.append(f"VALUES {rows}")
+        return " ".join(parts)
+    if isinstance(statement, ast.UpdateStatement):
+        assignments = ", ".join(
+            f"{a.column} = {render_expression(a.value)}"
+            for a in statement.assignments
+        )
+        text = f"UPDATE {statement.target.name} SET {assignments}"
+        if statement.where is not None:
+            text += " WHERE " + render_expression(statement.where)
+        return text
+    if isinstance(statement, ast.DeleteStatement):
+        text = f"DELETE FROM {statement.target.name}"
+        if statement.where is not None:
+            text += " WHERE " + render_expression(statement.where)
+        return text
     if isinstance(statement, ast.CompoundSelect):
         parts = [render_statement(statement.selects[0])]
         for op, branch in zip(statement.ops, statement.selects[1:]):

@@ -83,6 +83,25 @@ class Column:
             total += int(self.null_mask.nbytes)
         return total
 
+    def append(self, other: "Column") -> "Column":
+        """This column followed by *other*'s rows (same type, new arrays)."""
+        data = np.concatenate([self.data, other.data])
+        if self.null_mask is None and other.null_mask is None:
+            mask = None
+        else:
+            left = (
+                self.null_mask
+                if self.null_mask is not None
+                else np.zeros(len(self.data), dtype=bool)
+            )
+            right = (
+                other.null_mask
+                if other.null_mask is not None
+                else np.zeros(len(other.data), dtype=bool)
+            )
+            mask = np.concatenate([left, right])
+        return Column(self.name, self.sql_type, data, mask)
+
     @staticmethod
     def from_values(name: str, sql_type: SqlType, values: Sequence) -> "Column":
         """Build a column from a Python sequence, treating ``None`` as NULL."""
@@ -156,6 +175,36 @@ class Table:
                    None if c.null_mask is None else c.null_mask[:n])
             for c in self.columns
         ])
+
+    def append_rows(self, rows: "Table") -> "Table":
+        """A new table with *rows* appended positionally (DML INSERT).
+
+        *rows* must carry one column per column of this table, in order;
+        names on the incoming columns are ignored (the target's names win).
+        """
+        if len(rows.columns) != len(self.columns):
+            raise ValueError(
+                f"cannot append {len(rows.columns)} columns to "
+                f"{len(self.columns)}-column table {self.name!r}"
+            )
+        appended = [
+            mine.append(
+                Column(mine.name, mine.sql_type, new.data, new.null_mask)
+            )
+            for mine, new in zip(self.columns, rows.columns)
+        ]
+        return Table(self.name, appended)
+
+    def with_column(self, column: Column) -> "Table":
+        """A new table with the same-named column replaced (DML UPDATE)."""
+        if column.name not in self._by_name:
+            raise CatalogError(
+                f"no column {column.name!r} in table {self.name!r}"
+            )
+        return Table(
+            self.name,
+            [column if c.name == column.name else c for c in self.columns],
+        )
 
     def rows(self) -> Iterable[tuple]:
         """Iterate rows as tuples (NULL becomes ``None``); for tests/demos."""

@@ -2,6 +2,7 @@
 
 from .analyzer import TemplateStructure, analyze_sql, analyze_statement, check_template
 from .distribution import CostDistribution, DistributionTracker
+from .mixer import STATEMENT_KINDS, WorkloadMixer, parse_mix, validate_mix
 from .placeholders import infer_placeholder_bindings
 from .query import GeneratedQuery, Workload
 from .replay import QueryOutcome, ReplayReport, replay_workload
@@ -16,7 +17,11 @@ __all__ = [
     "GeneratedQuery",
     "QueryOutcome",
     "ReplayReport",
+    "STATEMENT_KINDS",
     "StructuralMix",
+    "WorkloadMixer",
+    "parse_mix",
+    "validate_mix",
     "replay_workload",
     "WorkloadReport",
     "describe_workload",

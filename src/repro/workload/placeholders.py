@@ -36,6 +36,9 @@ def _scan_statement(
         for branch in statement.selects:
             _scan_statement(branch, catalog, found)
         return
+    if ast.is_dml(statement):
+        _scan_dml(statement, catalog, found)
+        return
     bindings = _binding_map(statement.from_clause, catalog)
     clauses: list[ast.Expression] = [i.expression for i in statement.select_items]
     if statement.where is not None:
@@ -52,6 +55,57 @@ def _scan_statement(
                 _scan_statement(node.subquery, catalog, found)
     for clause in clauses:
         _scan_expression(clause, bindings, catalog, found)
+
+
+def _scan_dml(
+    statement: ast.Node, catalog: Catalog, found: dict[str, PlaceholderInfo]
+) -> None:
+    """Attribute placeholders inside INSERT/UPDATE/DELETE statements.
+
+    DML binds under the bare target-table name (no aliases), so the
+    binding map is the single target table; a placeholder assigned or
+    inserted *into* a column inherits that column's domain the same way a
+    comparison against it would.
+    """
+    target = statement.target.name
+    bindings = {target: target} if catalog.has_table(target) else {}
+    if isinstance(statement, ast.InsertStatement):
+        columns = statement.columns or (
+            list(catalog.table(target).column_names)
+            if catalog.has_table(target)
+            else []
+        )
+        for row in statement.rows:
+            for column_name, value in zip(columns, row):
+                name = _placeholder_of(value)
+                if name is not None:
+                    _record(
+                        name,
+                        ast.ColumnRef(column=column_name, table=target),
+                        "insert",
+                        bindings,
+                        catalog,
+                        found,
+                    )
+                _scan_expression(value, bindings, catalog, found)
+        if statement.source is not None:
+            _scan_statement(statement.source, catalog, found)
+        return
+    if isinstance(statement, ast.UpdateStatement):
+        for assignment in statement.assignments:
+            name = _placeholder_of(assignment.value)
+            if name is not None:
+                _record(
+                    name,
+                    ast.ColumnRef(column=assignment.column, table=target),
+                    "set",
+                    bindings,
+                    catalog,
+                    found,
+                )
+            _scan_expression(assignment.value, bindings, catalog, found)
+    if statement.where is not None:
+        _scan_expression(statement.where, bindings, catalog, found)
 
 
 def _binding_map(

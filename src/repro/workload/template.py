@@ -13,7 +13,7 @@ import datetime
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.sqldb import SelectStatement, days_to_date, find_placeholders, parse_select
+from repro.sqldb import SelectStatement, days_to_date, find_placeholders, parse_sql
 from repro.sqldb.types import SqlType
 
 
@@ -75,9 +75,13 @@ class SqlTemplate:
         return find_placeholders(self.parse())
 
     def parse(self) -> SelectStatement:
-        """Parse (and cache) the template text."""
+        """Parse (and cache) the template text.
+
+        Templates are usually SELECTs, but mixed read/write workloads carry
+        DML templates too — ``parse_sql`` accepts every statement kind.
+        """
         if self._parsed is None:
-            self._parsed = parse_select(self.sql)
+            self._parsed = parse_sql(self.sql)
         return self._parsed
 
     def instantiate(self, values: Mapping[str, object]) -> str:

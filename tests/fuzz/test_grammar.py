@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from repro.fuzz import FuzzGrammar, build_fuzz_database
-from repro.sqldb.parser import parse_select
+from repro.fuzz import DML_SHAPES, SELECT_SHAPES, FuzzGrammar, build_fuzz_database
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.parser import parse_sql
 
 
 class TestDeterminism:
@@ -46,23 +47,63 @@ class TestValidity:
 
     def test_every_statement_parses_standalone(self, grammar):
         for gen in grammar.statements(60):
-            parse_select(gen.sql)
+            parse_sql(gen.sql)
 
 
 class TestCoverage:
     def test_all_shapes_appear(self, grammar):
-        shapes = {g.shape for g in grammar.statements(150)}
-        assert shapes == {
-            "simple",
-            "join",
-            "aggregate",
-            "union",
-            "subquery",
-            "derived",
-        }
+        shapes = {g.shape for g in grammar.statements(200)}
+        assert shapes == SELECT_SHAPES | DML_SHAPES
 
     def test_tightened_variants_are_generated(self, grammar):
         tightened = [g for g in grammar.statements(120) if g.tightened_sql]
         assert len(tightened) > 20
         for gen in tightened[:10]:
             assert gen.tightened_sql != gen.sql
+
+    def test_shape_filter_keeps_pure_stream(self, grammar):
+        dml = grammar.statements(30, shapes=DML_SHAPES)
+        assert len(dml) == 30
+        assert {g.shape for g in dml} <= DML_SHAPES
+        # Filtering selects from the same pure stream: every filtered
+        # statement appears at its own index in the unfiltered stream.
+        full = grammar.statements(max(g.index for g in dml) + 1)
+        for gen in dml:
+            assert full[gen.index] == gen
+
+    def test_select_filter_excludes_dml(self, grammar):
+        selects = grammar.statements(40, shapes=SELECT_SHAPES)
+        assert {g.shape for g in selects} <= SELECT_SHAPES
+
+
+class TestDmlShapes:
+    """The v2 write-path productions are valid by construction."""
+
+    def dml(self, grammar, count=60):
+        return grammar.statements(count, shapes=DML_SHAPES)
+
+    def test_all_dml_shapes_appear(self, grammar):
+        assert {g.shape for g in self.dml(grammar)} == set(DML_SHAPES)
+
+    def test_dml_statements_are_never_tightened(self, grammar):
+        for gen in self.dml(grammar):
+            assert gen.tightened_sql is None, gen.sql
+
+    def test_inserts_cover_every_not_null_column(self, fuzz_db, grammar):
+        for gen in self.dml(grammar):
+            statement = parse_sql(gen.sql)
+            if not isinstance(statement, ast.InsertStatement):
+                continue
+            meta = fuzz_db.catalog.table(statement.target.name)
+            required = {
+                c.name
+                for c in meta.columns
+                if not c.column_type.nullable or c.name in meta.primary_key
+            }
+            assert required <= set(statement.columns or []), gen.sql
+
+    def test_dml_statements_plan_and_parse(self, fuzz_db, grammar):
+        for gen in self.dml(grammar):
+            ok, error = fuzz_db.validate(gen.sql)
+            assert ok, f"statement {gen.index} rejected: {error}\n{gen.sql}"
+            assert ast.is_dml(parse_sql(gen.sql))

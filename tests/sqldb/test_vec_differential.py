@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.fuzz import FuzzGrammar, build_fuzz_database
+from repro.fuzz import SELECT_SHAPES, FuzzGrammar, build_fuzz_database
 from repro.sqldb.errors import SqlError
 from repro.sqldb.plan_nodes import HashJoinNode
 from repro.sqldb.vec import supports as vec_supports
@@ -38,7 +38,12 @@ def db():
 
 @pytest.fixture(scope="module")
 def sweep(db):
-    return FuzzGrammar(db.catalog, seed=23).statements(GRAMMAR_SWEEP)
+    # Read-only shapes: this battery compares the two *read* executors, and
+    # a DML statement would mutate the shared fixture database mid-sweep.
+    # The write path has its own differential net (test_dml_differential).
+    return FuzzGrammar(db.catalog, seed=23).statements(
+        GRAMMAR_SWEEP, shapes=SELECT_SHAPES
+    )
 
 
 def corpus_sqls() -> list[str]:

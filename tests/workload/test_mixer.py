@@ -1,0 +1,163 @@
+"""The workload mixer: parsing, determinism, side-effect freedom.
+
+The ``--workload-mix`` contract: the keep-or-replace decision and the
+replacement DML at position *i* are a pure function of ``(seed, i)`` and
+the schema.  Mixing therefore commutes with everything — prefix-stable,
+byte-identical across runs, invariant to how the SELECTs were produced —
+and costs its DML through EXPLAIN only, so it can never mutate the
+database it mixes against.
+"""
+
+import pytest
+
+from repro.core import BarberConfig
+from repro.fuzz import build_fuzz_database
+from repro.sqldb import parse_sql
+from repro.sqldb import ast_nodes as ast
+from repro.workload import (
+    STATEMENT_KINDS,
+    GeneratedQuery,
+    Workload,
+    WorkloadMixer,
+    parse_mix,
+    validate_mix,
+)
+
+MIX = (0.5, 0.2, 0.2, 0.1)
+
+
+def select_workload(n=60):
+    return Workload(
+        queries=[
+            GeneratedQuery(
+                sql=f"SELECT t0.user_id FROM users AS t0 WHERE t0.age > {20 + i}",
+                cost=float(i),
+                template_id=f"sel_{i}",
+                cost_type="estimated_rows",
+            )
+            for i in range(n)
+        ],
+        name="reads",
+    )
+
+
+class TestParseMix:
+    def test_parses_the_documented_example(self):
+        assert parse_mix("0.5,0.2,0.2,0.1") == MIX
+
+    def test_whitespace_tolerated(self):
+        assert parse_mix(" 0.5 , 0.2 ,0.2, 0.1 ") == MIX
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("0.5,0.5", "four comma-separated"),
+            ("0.5,0.2,0.2,0.1,0.0", "four comma-separated"),
+            ("a,b,c,d", "non-numeric"),
+            ("0.5,0.2,0.2,0.2", "sum to 1"),
+            ("1.2,-0.2,0.0,0.0", "non-negative"),
+        ],
+    )
+    def test_malformed_input_rejected(self, text, match):
+        with pytest.raises(ValueError, match=match):
+            parse_mix(text)
+
+    def test_validate_accepts_lists_and_tuples(self):
+        assert validate_mix([1.0, 0.0, 0.0, 0.0]) == (1.0, 0.0, 0.0, 0.0)
+
+    def test_config_validates_the_mix(self):
+        with pytest.raises(ValueError, match="workload_mix"):
+            BarberConfig(workload_mix=(0.9, 0.9, 0.0, 0.0))
+        assert BarberConfig(workload_mix=MIX).workload_mix == MIX
+
+
+class TestMixing:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return build_fuzz_database(0)
+
+    def test_mix_is_deterministic(self, db):
+        a = WorkloadMixer(db, seed=7).mix(select_workload(), MIX)
+        b = WorkloadMixer(db, seed=7).mix(select_workload(), MIX)
+        assert [q.to_json() for q in a.queries] == [
+            q.to_json() for q in b.queries
+        ]
+
+    def test_different_seeds_differ(self, db):
+        a = WorkloadMixer(db, seed=1).mix(select_workload(), MIX)
+        b = WorkloadMixer(db, seed=2).mix(select_workload(), MIX)
+        assert [q.sql for q in a.queries] != [q.sql for q in b.queries]
+
+    def test_mix_is_prefix_stable(self, db):
+        short = WorkloadMixer(db, seed=7).mix(select_workload(20), MIX)
+        long = WorkloadMixer(db, seed=7).mix(select_workload(60), MIX)
+        assert [q.to_json() for q in short.queries] == [
+            q.to_json() for q in long.queries[:20]
+        ]
+
+    def test_kept_selects_are_shared_untouched(self, db):
+        source = select_workload()
+        mixed = WorkloadMixer(db, seed=7).mix(source, MIX)
+        assert len(mixed.queries) == len(source.queries)
+        kept = [
+            (i, q)
+            for i, q in enumerate(mixed.queries)
+            if not (q.template_id or "").startswith("mix_")
+        ]
+        assert kept
+        for i, query in kept:
+            assert query is source.queries[i]  # same frozen object
+
+    def test_replacements_are_valid_dml_with_position_ids(self, db):
+        mixed = WorkloadMixer(db, seed=7).mix(select_workload(), MIX)
+        swapped = [
+            (i, q)
+            for i, q in enumerate(mixed.queries)
+            if (q.template_id or "").startswith("mix_")
+        ]
+        assert swapped
+        for i, query in swapped:
+            kind = query.template_id.split("_")[1]
+            assert kind in STATEMENT_KINDS[1:]
+            assert query.template_id == f"mix_{kind}_{i}"
+            assert ast.is_dml(parse_sql(query.sql))
+            ok, error = db.validate(query.sql)
+            assert ok, f"{error}\n{query.sql}"
+            assert query.cost_type == "estimated_rows"
+
+    def test_fractions_are_respected_at_scale(self, db):
+        n = 600
+        mixed = WorkloadMixer(db, seed=7).mix(select_workload(n), MIX)
+        counts = {kind: 0 for kind in STATEMENT_KINDS}
+        for query in mixed.queries:
+            if (query.template_id or "").startswith("mix_"):
+                counts[query.template_id.split("_")[1]] += 1
+            else:
+                counts["select"] += 1
+        for kind, fraction in zip(STATEMENT_KINDS, MIX):
+            assert counts[kind] == pytest.approx(n * fraction, rel=0.35), counts
+
+    def test_all_select_mix_is_identity(self, db):
+        source = select_workload()
+        mixed = WorkloadMixer(db, seed=7).mix(source, (1.0, 0.0, 0.0, 0.0))
+        assert mixed.queries == source.queries
+
+    def test_mixing_never_mutates_the_database(self, db):
+        epoch = db.catalog.statistics_epoch
+        counters = {
+            t: db.catalog.mutation_count(t) for t in db.catalog.table_names
+        }
+        rows = {
+            t: db.catalog.table(t).row_count for t in db.catalog.table_names
+        }
+        WorkloadMixer(db, seed=7).mix(select_workload(200), (0.0, 0.4, 0.3, 0.3))
+        assert db.catalog.statistics_epoch == epoch
+        for table in db.catalog.table_names:
+            assert db.catalog.mutation_count(table) == counters[table]
+            assert db.catalog.table(table).row_count == rows[table]
+
+    def test_input_workload_is_not_modified(self, db):
+        source = select_workload()
+        before = [q.to_json() for q in source.queries]
+        WorkloadMixer(db, seed=7).mix(source, MIX)
+        assert [q.to_json() for q in source.queries] == before
