@@ -49,11 +49,13 @@ SPECS = [
 ]
 DISTRIBUTION = CostDistribution.uniform(0.0, 200.0, 16, 4)
 
+# order_id is the primary key, which the engine enforces on INSERT — the
+# self-join doubling offsets the copied keys past the existing range.
 BULK_INSERT = (
     "INSERT INTO orders (order_id, user_id, item_id, amount, status, "
     "order_date) "
-    "SELECT s0.order_id, s0.user_id, s0.item_id, s0.amount, s0.status, "
-    "s0.order_date FROM orders AS s0"
+    "SELECT s0.order_id + 100000, s0.user_id, s0.item_id, s0.amount, "
+    "s0.status, s0.order_date FROM orders AS s0"
 )
 UPDATE_ALL = "UPDATE orders SET amount = orders.amount + 1.0"
 DELETE_ALL = "DELETE FROM orders WHERE orders.amount > -1.0 OR orders.amount IS NULL"

@@ -1,0 +1,230 @@
+"""Serve-layer load harness: tail latency under concurrent tenants.
+
+Standalone (not a pytest-benchmark figure — run it directly):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full run
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke   # CI smoke
+
+Three measurements against a real :class:`BackgroundServer` (asyncio
+listener + worker threads) on an ephemeral port:
+
+* **Submission latency** — HTTP round-trip of ``POST /v1/jobs`` while the
+  worker pool is busy; the front door must answer from the admission
+  verdict, never from job execution.  Reported as p50/p99 from a
+  :class:`~repro.obs.QuantileSketch` (the same sketch the perf reports
+  use).
+* **End-to-end job latency** — submit → terminal state, polled by each
+  tenant thread, plus completed-jobs-per-second throughput for the whole
+  storm.
+* **Rejection latency** — against a zero-depth queue, every submission is
+  a 429; fast explicit refusal is the backpressure contract, so its p99
+  is gated too.
+
+Writes ``BENCH_serve.json``; metric keys follow the ``perf_gate``
+conventions (``*_seconds`` lower-is-better, ``*_per_second``
+higher-is-better).  The run fails if any job is lost, any job fails, or
+any rejection lacks a retry hint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+from repro.obs import QuantileSketch
+from repro.serve import (
+    BackgroundServer,
+    ServeClient,
+    ServeConfig,
+    ServeCore,
+    ServeServer,
+    TenantQuota,
+)
+
+TENANTS = ("acme", "globex", "initech")
+
+
+def payload(tenant: str, seed: int) -> dict:
+    return {
+        "tenant": tenant,
+        "seed": seed,
+        "specs": [{"num_joins": 1}],
+        "queries": 8,
+        "intervals": 2,
+        "priority": seed % 10,
+    }
+
+
+def start_service(tmp_root: str, workers: int, max_queue_depth: int):
+    server = ServeServer(
+        ServeCore(
+            ServeConfig(
+                workers=workers,
+                max_queue_depth=max_queue_depth,
+                default_quota=TenantQuota(
+                    max_concurrent_jobs=workers, max_queued_jobs=max_queue_depth
+                ),
+                checkpoint_root=tmp_root,
+            )
+        ),
+        port=0,
+        worker_poll_seconds=0.005,
+    )
+    background = BackgroundServer(server)
+    return background, background.start()
+
+
+def run_load(url: str, jobs: int, tenants: int) -> dict:
+    """The storm: *tenants* client threads push *jobs* jobs total."""
+    submit_sketch = QuantileSketch()
+    e2e_sketch = QuantileSketch()
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def tenant_loop(index: int) -> None:
+        client = ServeClient(url)
+        tenant = TENANTS[index % len(TENANTS)]
+        for seed in range(index, jobs, tenants):
+            body = payload(tenant, seed)
+            started = time.perf_counter()
+            status, response, _headers = client.submit(body)
+            submit_elapsed = time.perf_counter() - started
+            if status != 202:
+                # Bounded queue under load: honor the hint and retry.
+                retry_after = response.get("retry_after_seconds") or 0.05
+                time.sleep(min(retry_after, 0.5))
+                status, response, _headers = client.submit(body)
+                if status != 202:
+                    with lock:
+                        errors.append(f"submission stuck at {status}")
+                    continue
+            final = client.wait_for(
+                response["job_id"], timeout_seconds=300.0, poll_seconds=0.01
+            )
+            e2e_elapsed = time.perf_counter() - started
+            with lock:
+                submit_sketch.observe(submit_elapsed)
+                e2e_sketch.observe(e2e_elapsed)
+                if final["state"] != "completed":
+                    errors.append(
+                        f"{final['job_id']} ended {final['state']}: "
+                        f"{final.get('error')}"
+                    )
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=tenant_loop, args=(i,)) for i in range(tenants)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "tenants": tenants,
+        "errors": errors,
+        "submit_p50_seconds": round(submit_sketch.quantile(0.5) or 0.0, 5),
+        "submit_p99_seconds": round(submit_sketch.quantile(0.99) or 0.0, 5),
+        "job_p50_seconds": round(e2e_sketch.quantile(0.5) or 0.0, 4),
+        "job_p99_seconds": round(e2e_sketch.quantile(0.99) or 0.0, 4),
+        "jobs_per_second": round(e2e_sketch.count / wall, 2),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def run_rejection_storm(tmp_root: str, submissions: int) -> dict:
+    """Zero-depth queue: every answer must be a fast, explicit 429."""
+    background, url = start_service(tmp_root, workers=1, max_queue_depth=0)
+    sketch = QuantileSketch()
+    missing_hints = 0
+    try:
+        client = ServeClient(url)
+        for seed in range(submissions):
+            started = time.perf_counter()
+            status, body, headers = client.submit(payload("storm", seed))
+            sketch.observe(time.perf_counter() - started)
+            if status != 429:
+                missing_hints += 1
+            elif "retry-after" not in headers:
+                missing_hints += 1
+    finally:
+        background.drain_and_stop()
+    return {
+        "submissions": submissions,
+        "missing_hints": missing_hints,
+        "reject_p50_seconds": round(sketch.quantile(0.5) or 0.0, 5),
+        "reject_p99_seconds": round(sketch.quantile(0.99) or 0.0, 5),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=24,
+                        help="total jobs across all tenant threads")
+    parser.add_argument("--tenants", type=int, default=3,
+                        help="concurrent client threads")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="service worker threads")
+    parser.add_argument("--rejections", type=int, default=50,
+                        help="submissions in the queue-full storm")
+    parser.add_argument("--output", "-o", default="BENCH_serve.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI configuration (fast, no thresholds)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.jobs, args.tenants, args.workers, args.rejections = 6, 2, 2, 10
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp_root:
+        background, url = start_service(
+            tmp_root + "/load", args.workers, max_queue_depth=args.jobs
+        )
+        try:
+            # Warm the pipeline (imports, parser, plan cache) off the clock.
+            warm_client = ServeClient(url)
+            _, warm, _ = warm_client.submit(payload("warmup", 999))
+            warm_client.wait_for(warm["job_id"], timeout_seconds=120.0)
+
+            load = run_load(url, jobs=args.jobs, tenants=args.tenants)
+            core = background.server.core
+            lost = core.audit_lost_jobs()
+        finally:
+            background.drain_and_stop()
+        rejection = run_rejection_storm(tmp_root + "/reject", args.rejections)
+
+    report = {
+        "benchmark": "serve",
+        "smoke": args.smoke,
+        "workers": args.workers,
+        "load": {k: v for k, v in load.items() if k != "errors"},
+        "rejection": rejection,
+        "lost_jobs": lost,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(report, indent=2))
+
+    if load["errors"]:
+        print(f"FAIL: {load['errors']}", file=sys.stderr)
+        return 1
+    if lost:
+        print(f"FAIL: lost jobs {lost}", file=sys.stderr)
+        return 1
+    if rejection["missing_hints"]:
+        print(
+            f"FAIL: {rejection['missing_hints']} rejection(s) were not "
+            f"explicit 429s with Retry-After",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,13 @@ Commands:
 * ``fuzz``           — grammar-fuzz the SQL engine against its oracles;
 * ``chaos``          — run the pipeline under a seeded transport-fault
   storm with kills and budget exhaustion, verifying graceful degradation
-  and bit-identical resume.
+  and bit-identical resume (``--scenario serve`` attacks the job service
+  instead);
+* ``serve``          — run the multi-tenant generation job service
+  (SIGTERM drains gracefully: in-flight jobs checkpoint, queued jobs stay
+  accountable);
+* ``submit``         — submit one generation job to a running service;
+* ``jobs``           — list jobs (or show one) on a running service.
 
 Output discipline: *data* (schema text, tables, JSON summaries, reports)
 goes to stdout; *diagnostics* (progress, target histograms) go through the
@@ -270,14 +276,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--scenario", default=None,
-        choices=["storm", "kill", "budget", "engine"],
+        choices=["storm", "kill", "budget", "engine", "serve"],
         help="pin every run to one scenario instead of cycling "
-             "(engine = governor limits + engine-side fault storm)",
+             "(engine = governor limits + engine-side fault storm; "
+             "serve = worker kills, queue storms, deadline expiry, and "
+             "poisoned specs against the job service)",
     )
     chaos.add_argument(
         "--trace-out", default=None,
         help="write the campaign's telemetry to this JSONL file (flushed "
              "per record, so it survives crashes)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant generation job service (HTTP/JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 = pick a free one; the bound port is logged)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads executing jobs",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=32,
+        help="global queue bound; submissions past it get an explicit 429 "
+             "with a Retry-After hint",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts (original + crash resumes) per job before it fails",
+    )
+    serve.add_argument(
+        "--checkpoint-root", default="serve-checkpoints", metavar="DIR",
+        help="per-job checkpoint directories live under here "
+             "(checkpointing is always on)",
+    )
+
+    submit = commands.add_parser(
+        "submit", help="submit one generation job to a running service"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8642")
+    submit.add_argument("--tenant", default="cli")
+    submit.add_argument("--priority", type=int, default=4,
+                        help="0 (batch) .. 9 (interactive)")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--specs-file", default=None,
+        help="JSON file: a list of spec objects (num_joins, order_by, ...)",
+    )
+    submit.add_argument("--queries", type=int, default=16)
+    submit.add_argument("--intervals", type=int, default=4)
+    submit.add_argument("--cost-min", type=float, default=0.0)
+    submit.add_argument("--cost-max", type=float, default=200.0)
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="end-to-end deadline (queue wait included)")
+    submit.add_argument("--max-tokens", type=int, default=None)
+    submit.add_argument("--max-cost-dollars", type=float, default=None)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job reaches a terminal state",
+    )
+
+    jobs = commands.add_parser(
+        "jobs", help="list jobs (or show one) on a running service"
+    )
+    jobs.add_argument("--url", default="http://127.0.0.1:8642")
+    jobs.add_argument("job_id", nargs="?", default=None,
+                      help="show one job instead of the full table")
+    jobs.add_argument(
+        "--stats", action="store_true",
+        help="print service counters (queue depth, rejections, tenants) "
+             "instead of the job table",
     )
     return parser
 
@@ -572,6 +646,118 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    """`repro serve`: run the job service until SIGTERM/SIGINT, then drain.
+
+    The drain is the graceful-shutdown contract: admission stops (503 +
+    Retry-After), every in-flight job stops at its next durable checkpoint
+    and is recorded CHECKPOINTED (resumable), queued jobs stay accountable
+    in the job table.  The drain summary is printed as JSON on stdout.
+    """
+    import asyncio
+    import signal
+
+    from repro.serve import ServeConfig, ServeCore, ServeServer
+
+    core = ServeCore(
+        ServeConfig(
+            workers=args.workers,
+            max_queue_depth=args.max_queue_depth,
+            max_attempts=args.max_attempts,
+            checkpoint_root=args.checkpoint_root,
+        )
+    )
+    server = ServeServer(core, host=args.host, port=args.port)
+
+    async def _run() -> dict:
+        await server.start()
+        logger.info(
+            "serving on http://%s:%d (%d workers, queue depth %d); "
+            "SIGTERM drains gracefully",
+            server.host, server.port, args.workers, args.max_queue_depth,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        return await server.serve_until(stop)
+
+    summary = asyncio.run(_run())
+    logger.info(
+        "drained: %d job(s) checkpointed/queued for resume",
+        summary.get("running", 0) + summary.get("queued", 0),
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """`repro submit`: POST one job; JSON response (or final state) on stdout."""
+    from repro.serve import ServeClient, ServeClientError
+
+    payload = {
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "seed": args.seed,
+        "queries": args.queries,
+        "intervals": args.intervals,
+        "cost_min": args.cost_min,
+        "cost_max": args.cost_max,
+    }
+    if args.specs_file:
+        with open(args.specs_file) as handle:
+            payload["specs"] = json.load(handle)
+    else:
+        payload["specs"] = [{"num_joins": 1}]
+    for key, value in (
+        ("deadline_seconds", args.deadline),
+        ("max_tokens", args.max_tokens),
+        ("max_cost_dollars", args.max_cost_dollars),
+    ):
+        if value is not None:
+            payload[key] = value
+    client = ServeClient(args.url)
+    try:
+        status, body, headers = client.submit(payload)
+        if status != 202:
+            retry_after = headers.get("retry-after")
+            logger.warning(
+                "submission rejected (%d%s): %s",
+                status,
+                f", retry after {retry_after}s" if retry_after else "",
+                body.get("reason", body.get("error", "")),
+            )
+            print(json.dumps(body, indent=2, sort_keys=True))
+            return 1
+        if args.wait:
+            body = client.wait_for(body["job_id"])
+        print(json.dumps(body, indent=2, sort_keys=True))
+        return 0 if body.get("state") != "failed" else 1
+    except ServeClientError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_jobs(args) -> int:
+    """`repro jobs`: the service's job table / one job / counters, as JSON."""
+    from repro.serve import ServeClient, ServeClientError
+
+    client = ServeClient(args.url)
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.job_id:
+            status, body = client.job(args.job_id)
+            print(json.dumps(body, indent=2, sort_keys=True))
+            return 0 if status == 200 else 1
+        print(json.dumps(client.jobs(), indent=2, sort_keys=True))
+        return 0
+    except ServeClientError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -585,6 +771,9 @@ def main(argv: list[str] | None = None) -> int:
         "perf-report": cmd_perf_report,
         "fuzz": cmd_fuzz,
         "chaos": cmd_chaos,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
     }
     return handlers[args.command](args)
 

@@ -281,10 +281,14 @@ class SQLBarber:
         """
         manager = None
         if checkpoint_dir is not None:
+            # lock_owner turns on directory locking: two processes resuming
+            # the same checkpoint directory is a config error, caught here
+            # as LockHeld instead of as silently interleaved writes.
             manager = CheckpointManager(
                 checkpoint_dir,
                 run_key(specs, distribution, self.config, self.db.name),
                 on_save=on_checkpoint_save,
+                lock_owner=f"barber:{self.db.name}",
             )
         run_telemetry = (
             telemetry
@@ -312,6 +316,12 @@ class SQLBarber:
                 )
         finally:
             run_telemetry.finish()
+            # Release the checkpoint-directory lock on every exit path —
+            # including chaos InjectedCrash (a BaseException).  A *real*
+            # process death skips this, leaving a lockfile with a dead pid
+            # that the next acquire detects and takes over.
+            if manager is not None:
+                manager.close()
         result.telemetry = run_telemetry
         collector = getattr(run_telemetry, "profiler", None)
         if collector is not None:

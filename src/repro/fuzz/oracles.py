@@ -47,7 +47,7 @@ from repro.fastpath.compiled import (
 from repro.fastpath.parallel import ParallelProfiler
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.database import Database
-from repro.sqldb.errors import SqlError
+from repro.sqldb.errors import ConstraintError, SqlError
 from repro.sqldb.explain import ExplainResult, explain_plan
 from repro.sqldb.parser import parse_sql
 from repro.sqldb.plan_nodes import PlanNode
@@ -331,7 +331,20 @@ class ExecutionOracle(Oracle):
         detail = self._estimate_sanity(estimates, plan.root)
         if detail:
             return detail
-        result = db.execute(gen.sql)
+        epoch_before = db.catalog.statistics_epoch
+        try:
+            result = db.execute(gen.sql)
+        except ConstraintError:
+            # A constraint rejection (duplicate key, NOT NULL) is a valid
+            # execution outcome — but it must be a *complete* rollback:
+            # nothing published, so the statistics epoch cannot have moved.
+            if db.catalog.statistics_epoch != epoch_before:
+                return (
+                    "constraint violation advanced the statistics epoch "
+                    f"({epoch_before} -> {db.catalog.statistics_epoch}): "
+                    "partial effects were published"
+                )
+            return None
         rows = result.row_count
         statement = parse_sql(gen.sql)
         if (
@@ -406,7 +419,24 @@ class DmlEpochOracle(Oracle):
         probe = f"SELECT * FROM {target}"
         db.explain_estimates(probe)  # warm the cache at the current epoch
         before = db.catalog.statistics_epoch
-        db.execute(gen.sql)
+        rows_before = db.catalog.table(target).row_count
+        try:
+            db.execute(gen.sql)
+        except ConstraintError:
+            # Rejected statement: statement-level rollback means no commit,
+            # no epoch bump, no row-count change — the warm cache entry is
+            # still the correct one.
+            if db.catalog.statistics_epoch != before:
+                return (
+                    "constraint violation bumped the statistics epoch "
+                    f"({before} -> {db.catalog.statistics_epoch})"
+                )
+            if db.catalog.table(target).row_count != rows_before:
+                return (
+                    f"constraint violation changed {target} row count "
+                    f"({rows_before} -> {db.catalog.table(target).row_count})"
+                )
+            return None
         after = db.catalog.statistics_epoch
         if after <= before:
             return (

@@ -23,6 +23,7 @@ from .checkpoint import (
 )
 from .chaos import ChaosReport, ChaosRunner, InjectedCrash, run_chaos_campaign
 from .clock import Clock, SimulatedClock, SystemClock
+from .lock import DirectoryLock, LockError, LockHeld
 from .client import (
     CircuitBreaker,
     CircuitBreakerPolicy,
@@ -39,7 +40,10 @@ __all__ = [
     "CircuitBreaker",
     "CircuitBreakerPolicy",
     "Clock",
+    "DirectoryLock",
     "InjectedCrash",
+    "LockError",
+    "LockHeld",
     "ResilientLLMClient",
     "RetryPolicy",
     "SimulatedClock",

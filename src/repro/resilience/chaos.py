@@ -449,10 +449,20 @@ def run_chaos_campaign(
 
     *scenario* pins every run to one scenario instead of cycling through
     all of :data:`SCENARIOS` — the CI governor gate uses ``"engine"``.
+    ``"serve"`` dispatches to the serve-layer campaign
+    (:func:`repro.serve.chaos.run_serve_chaos`), which attacks the job
+    service instead of a single pipeline run; its report has the same
+    ``ok``/``to_json`` surface the CLI consumes.
     With *trace_path* set, the campaign's telemetry (spans, events, the
     final metrics snapshot) is exported there as JSONL; the sink flushes
     per record, so even a crashed campaign leaves a readable trace.
     """
+    if scenario == "serve":
+        from repro.serve.chaos import run_serve_chaos
+
+        return run_serve_chaos(
+            seed=seed, runs=runs, intensity=intensity, trace_path=trace_path
+        )
     runner = ChaosRunner(
         seed=seed, runs=runs, intensity=intensity, scenario=scenario
     )

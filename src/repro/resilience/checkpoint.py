@@ -279,6 +279,13 @@ class CheckpointManager:
     ``on_save(manager, payload)`` fires *after* each durable write — the
     chaos harness uses it to simulate a process dying right after its k-th
     checkpoint hit disk.
+
+    With *lock_owner* set, construction acquires a
+    :class:`~repro.resilience.lock.DirectoryLock` on the directory
+    (raising :class:`~repro.resilience.lock.LockHeld` if another live
+    holder has it), each save refreshes the lock heartbeat, and
+    :meth:`close` releases it.  A holder that died without releasing is
+    taken over automatically — dead pid or expired heartbeat.
     """
 
     def __init__(
@@ -286,11 +293,18 @@ class CheckpointManager:
         directory: str | os.PathLike,
         run_key: str,
         on_save: Callable | None = None,
+        lock_owner: str | None = None,
     ):
         self.directory = Path(directory)
         self.run_key = run_key
         self.on_save = on_save
         self.saves = 0
+        self.lock = None
+        if lock_owner is not None:
+            from repro.resilience.lock import DirectoryLock
+
+            self.lock = DirectoryLock(self.directory, owner=lock_owner)
+            self.lock.acquire()
 
     @property
     def path(self) -> Path:
@@ -309,6 +323,8 @@ class CheckpointManager:
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
         os.replace(tmp, self.path)
         self.saves += 1
+        if self.lock is not None and self.lock.held:
+            self.lock.heartbeat()
         from repro.obs import current as current_telemetry
 
         telemetry = current_telemetry()
@@ -317,6 +333,11 @@ class CheckpointManager:
         if self.on_save is not None:
             self.on_save(self, payload)
         return self.path
+
+    def close(self) -> None:
+        """Release the directory lock (no-op when lockless or already lost)."""
+        if self.lock is not None:
+            self.lock.release()
 
     def load(self) -> dict | None:
         """The saved state, None when no checkpoint exists yet.

@@ -1,0 +1,51 @@
+"""A multi-tenant job service around the SQLBarber pipeline.
+
+Layered so every piece is testable without the one above it:
+
+``jobs``       the unit of work (JobRequest validation, Job lifecycle)
+``admission``  quota/budget verdicts (TenantQuota, AdmissionController)
+``core``       the lock-guarded state machine (queue, accounts, quarantine)
+``runner``     one job through SQLBarber (checkpointed, deadline-bounded)
+``http``       the asyncio front door + worker-thread pool
+``client``     a stdlib HTTP client (CLI, bench, tests)
+``chaos``      the seeded serve chaos campaign (kills, storms, poison)
+"""
+
+from .admission import AdmissionController, Rejection, TenantAccount, TenantQuota
+from .chaos import ServeChaosReport, ServeChaosRunner, run_serve_chaos
+from .client import ServeClient, ServeClientError
+from .core import ServeConfig, ServeCore
+from .http import BackgroundServer, ServeServer
+from .jobs import BadRequest, Job, JobRequest, JobState
+from .runner import (
+    KILL_POINTS,
+    DrainRequested,
+    JobOutcome,
+    JobRunner,
+    WorkerKilled,
+)
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundServer",
+    "BadRequest",
+    "DrainRequested",
+    "Job",
+    "JobOutcome",
+    "JobRequest",
+    "JobRunner",
+    "JobState",
+    "KILL_POINTS",
+    "Rejection",
+    "run_serve_chaos",
+    "ServeChaosReport",
+    "ServeChaosRunner",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeCore",
+    "ServeServer",
+    "TenantAccount",
+    "TenantQuota",
+    "WorkerKilled",
+]

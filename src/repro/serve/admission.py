@@ -1,0 +1,190 @@
+"""Admission control: who gets into the queue, and who gets a 429.
+
+The same arithmetic the resource governor applies to queries —
+hard ceilings checked *before* spending, explicit refusals instead of
+silent degradation — applied to tenants.  Each tenant carries a
+:class:`TenantQuota` (concurrent jobs, queued jobs, lifetime token and
+dollar budgets); a :class:`TenantAccount` tracks what the tenant has
+consumed; and :class:`AdmissionController.admit` renders the verdict for
+one submission against the account, the global queue, and the service
+state.
+
+Refusals are always explicit and machine-readable: a :class:`Rejection`
+carries an HTTP-style status, a stable ``code``, a human reason, and —
+when waiting could help — a deterministic ``retry_after_seconds`` derived
+from queue depth and nominal job duration.  Nothing is ever silently
+dropped; the serve chaos campaign audits that every submission produced
+either a job or a rejection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant ceilings.  None = unlimited."""
+
+    max_concurrent_jobs: int = 2
+    max_queued_jobs: int = 8
+    max_tokens: int | None = None
+    max_cost_dollars: float | None = None
+
+
+@dataclass
+class TenantAccount:
+    """What one tenant currently holds and has historically spent.
+
+    Token/dollar spend accumulates over the service lifetime from every
+    finished attempt (completed, failed, or checkpointed — the LLM billed
+    them all), mirroring how the budget guard meters a single run.
+    """
+
+    tenant: str
+    quota: TenantQuota
+    queued: int = 0
+    running: int = 0
+    tokens_spent: int = 0
+    dollars_spent: float = 0.0
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+
+    def remaining_tokens(self) -> int | None:
+        if self.quota.max_tokens is None:
+            return None
+        return max(0, self.quota.max_tokens - self.tokens_spent)
+
+    def remaining_dollars(self) -> float | None:
+        if self.quota.max_cost_dollars is None:
+            return None
+        return max(0.0, self.quota.max_cost_dollars - self.dollars_spent)
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "queued": self.queued,
+            "running": self.running,
+            "tokens_spent": self.tokens_spent,
+            "dollars_spent": round(self.dollars_spent, 6),
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+        }
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """An explicit refusal: status, stable code, reason, optional hint."""
+
+    status: int  # HTTP-style: 429, 503, 422
+    code: str
+    reason: str
+    retry_after_seconds: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "code": self.code,
+            "reason": self.reason,
+            "retry_after_seconds": self.retry_after_seconds,
+        }
+
+
+@dataclass
+class AdmissionController:
+    """Render admit/reject verdicts for submissions.
+
+    Stateless over jobs — it reads the account and queue depth it is
+    handed, so the serve core stays the single owner of mutable state.
+    """
+
+    max_queue_depth: int = 32
+    workers: int = 2
+    nominal_job_seconds: float = 2.0
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: dict = field(default_factory=dict)  # tenant -> TenantQuota
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def retry_after(self, queue_depth: int) -> float:
+        """Deterministic back-off hint: how long until a slot should free.
+
+        One queue drain is roughly ``depth / workers`` nominal job times;
+        clients that honor the hint arrive when capacity plausibly exists
+        instead of hammering a full queue.
+        """
+        drains = math.ceil(max(queue_depth, 1) / max(self.workers, 1))
+        return round(self.nominal_job_seconds * drains, 3)
+
+    def admit(
+        self,
+        account: TenantAccount,
+        queue_depth: int,
+        *,
+        draining: bool = False,
+        spec_quarantined: bool = False,
+    ) -> Rejection | None:
+        """None = admitted; otherwise the explicit rejection to return."""
+        if draining:
+            return Rejection(
+                status=503,
+                code="draining",
+                reason="service is draining; not accepting new jobs",
+                retry_after_seconds=self.retry_after(queue_depth),
+            )
+        if spec_quarantined:
+            return Rejection(
+                status=422,
+                code="spec_quarantined",
+                reason=(
+                    "this spec pack repeatedly crashed workers and is "
+                    "quarantined; change the spec before resubmitting"
+                ),
+            )
+        if queue_depth >= self.max_queue_depth:
+            return Rejection(
+                status=429,
+                code="queue_full",
+                reason=(
+                    f"global queue is full "
+                    f"({queue_depth}/{self.max_queue_depth})"
+                ),
+                retry_after_seconds=self.retry_after(queue_depth),
+            )
+        quota = account.quota
+        if account.queued >= quota.max_queued_jobs:
+            return Rejection(
+                status=429,
+                code="tenant_queue_full",
+                reason=(
+                    f"tenant {account.tenant!r} already has "
+                    f"{account.queued} queued jobs "
+                    f"(quota {quota.max_queued_jobs})"
+                ),
+                retry_after_seconds=self.retry_after(account.queued),
+            )
+        remaining_tokens = account.remaining_tokens()
+        if remaining_tokens is not None and remaining_tokens <= 0:
+            return Rejection(
+                status=429,
+                code="tokens_exhausted",
+                reason=(
+                    f"tenant {account.tenant!r} spent "
+                    f"{account.tokens_spent} tokens of a "
+                    f"{quota.max_tokens} budget"
+                ),
+            )
+        remaining_dollars = account.remaining_dollars()
+        if remaining_dollars is not None and remaining_dollars <= 0.0:
+            return Rejection(
+                status=429,
+                code="dollars_exhausted",
+                reason=(
+                    f"tenant {account.tenant!r} spent "
+                    f"${account.dollars_spent:.4f} of a "
+                    f"${quota.max_cost_dollars:.4f} budget"
+                ),
+            )
+        return None

@@ -1,0 +1,477 @@
+"""Serve-layer chaos: kills, queue storms, deadline expiries, poison.
+
+The pipeline chaos campaign (:mod:`repro.resilience.chaos`) attacks one
+run; this one attacks the *service*: a seeded plan of tenants and jobs is
+driven through a real :class:`~repro.serve.core.ServeCore` and
+:class:`~repro.serve.runner.JobRunner` — inline, single-threaded, on a
+:class:`~repro.resilience.clock.SimulatedClock` — while four disruption
+classes play out:
+
+* **worker kills** — :class:`WorkerKilled` raised after a planned
+  checkpoint save; the core requeues, the next claim resumes, and the
+  resumed job's fingerprint must equal an uninterrupted twin's.
+* **queue-full storms** — a submission burst past the bounded queue;
+  every overflow must come back as an explicit 429 with a retry-after
+  hint, never a silent drop.
+* **deadline expiries** — slow (simulated) workers age the queue past
+  some jobs' deadlines; those must be shed as EXPIRED at dispatch.
+* **poisoned specs** — payloads that validate shallowly but
+  deterministically fail in the worker; repeats must trip the spec
+  quarantine and subsequent submissions must be rejected 422.
+
+Some runs instead drain mid-campaign (kills and drain are separate runs —
+the resumed-twin audit needs every killed job to actually resume),
+proving queued work survives a shutdown as accountable state.
+
+The acceptance bar matches ``repro fuzz`` and ``repro chaos``: the report
+is a pure function of ``(seed, runs, intensity)`` — byte-identical JSON
+across invocations, no timestamps, no paths — the lost-job audit must
+come back empty after every run, and every resumed job must fingerprint
+bit-identically to its twin.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import Telemetry, current as current_telemetry, use_telemetry
+from repro.resilience.clock import SimulatedClock
+
+from .admission import TenantQuota
+from .core import ServeConfig, ServeCore
+from .jobs import Job, JobRequest, JobState
+from .runner import JobRunner, WorkerKilled
+
+#: Spec shapes rotated across jobs (aliases exercised on purpose).
+_SPEC_SHAPES = (
+    {"num_joins": 1, "num_aggregations": 1},
+    {"num_joins": 0, "order_by": True},
+    {"num_tables": 2},
+)
+
+_TENANTS = ("acme", "globex", "initech")
+
+
+@dataclass
+class ServeChaosReport:
+    """Deterministic summary of one serve chaos campaign."""
+
+    seed: int
+    runs: int
+    intensity: float
+    submitted: int = 0
+    accepted: int = 0
+    rejections: dict = field(default_factory=dict)  # code -> count
+    completed: int = 0
+    failed: int = 0
+    expired: int = 0
+    queued_at_drain: int = 0
+    kills_fired: int = 0
+    resumed_identical: int = 0
+    poisoned: int = 0
+    quarantined_specs: int = 0
+    quarantine_rejections: int = 0
+    drained_runs: int = 0
+    lost_jobs: list = field(default_factory=list)
+    mismatches: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
+
+    @property
+    def aborted(self) -> int:
+        """CLI-compat alias: jobs that ended in a non-completed terminal
+        state (failed or expired) — explicit outcomes, not losses."""
+        return self.failed + self.expired
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.failures
+            and not self.mismatches
+            and not self.lost_jobs
+            and self.kills_fired == self.resumed_identical
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": "serve",
+            "seed": self.seed,
+            "runs": self.runs,
+            "intensity": self.intensity,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejections": dict(sorted(self.rejections.items())),
+            "completed": self.completed,
+            "failed": self.failed,
+            "expired": self.expired,
+            "queued_at_drain": self.queued_at_drain,
+            "kills_fired": self.kills_fired,
+            "resumed_identical": self.resumed_identical,
+            "poisoned": self.poisoned,
+            "quarantined_specs": self.quarantined_specs,
+            "quarantine_rejections": self.quarantine_rejections,
+            "drained_runs": self.drained_runs,
+            "lost_jobs": list(self.lost_jobs),
+            "mismatches": list(self.mismatches),
+            "failures": list(self.failures),
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+@dataclass(frozen=True)
+class _JobPlan:
+    tenant: str
+    priority: int
+    seed: int
+    shape: int
+    poison: bool
+    kill_at_save: int | None
+    deadline_seconds: float | None
+    service_seconds: float  # simulated wall time one execution "takes"
+
+
+@dataclass(frozen=True)
+class _RunPlan:
+    index: int
+    max_queue_depth: int
+    jobs: tuple
+    storm_extra: int  # extra submissions past capacity in the burst
+    drain_after: int | None  # executions before a mid-campaign drain
+
+
+class ServeChaosRunner:
+    """Drive seeded storms through a real core + runner, inline.
+
+    Inline and single-threaded on purpose: the worker-thread plumbing has
+    its own tests; chaos wants a deterministic interleaving so two runs
+    with the same seed produce byte-identical reports.
+    """
+
+    def __init__(self, seed: int = 0, runs: int = 4, intensity: float = 0.3):
+        self.seed = seed
+        self.runs = runs
+        self.intensity = float(intensity)
+
+    # -- planning -----------------------------------------------------------------
+
+    def _plan(self, index: int) -> _RunPlan:
+        rng = np.random.default_rng([self.seed, index])
+        num_jobs = int(rng.integers(5, 9))
+        drain_after = (
+            int(rng.integers(1, max(num_jobs // 2, 2)))
+            if rng.random() < 0.25
+            else None
+        )
+        jobs = []
+        for _ in range(num_jobs):
+            poison = bool(rng.random() < 0.15 * (1 + self.intensity))
+            # Kills only in non-drain runs: a drain truncates execution,
+            # and the audit demands every fired kill leads to a verified
+            # resume.  The rng draw happens regardless so the rest of the
+            # plan is unaffected by the drain coin-flip.
+            kill_drawn = (
+                int(rng.integers(1, 8))
+                if (not poison and rng.random() < 0.35)
+                else None
+            )
+            kill = kill_drawn if drain_after is None else None
+            # Kills and deadlines are mutually exclusive per job: the
+            # resumed-twin comparison needs a deadline-free execution.
+            deadline = (
+                float(rng.uniform(0.5, 4.0))
+                if (kill_drawn is None and not poison and rng.random() < 0.3)
+                else None
+            )
+            jobs.append(
+                _JobPlan(
+                    tenant=_TENANTS[int(rng.integers(0, len(_TENANTS)))],
+                    priority=int(rng.integers(0, 10)),
+                    seed=int(rng.integers(1, 2**16)),
+                    shape=int(rng.integers(0, len(_SPEC_SHAPES))),
+                    poison=poison,
+                    kill_at_save=kill,
+                    deadline_seconds=deadline,
+                    service_seconds=float(rng.uniform(0.2, 1.5)),
+                )
+            )
+        return _RunPlan(
+            index=index,
+            max_queue_depth=int(rng.integers(4, 8)),
+            jobs=tuple(jobs),
+            storm_extra=int(rng.integers(3, 7)),
+            drain_after=drain_after,
+        )
+
+    @staticmethod
+    def _payload(plan: _JobPlan) -> dict:
+        payload = {
+            "tenant": plan.tenant,
+            "priority": plan.priority,
+            "seed": plan.seed,
+            "specs": [dict(_SPEC_SHAPES[plan.shape])],
+            "queries": 8,
+            "intervals": 2,
+        }
+        if plan.poison:
+            # Shallow validation passes; distribution construction in the
+            # worker fails deterministically.
+            payload["cost_min"] = 500.0
+            payload["cost_max"] = 100.0
+        if plan.deadline_seconds is not None:
+            payload["deadline_seconds"] = plan.deadline_seconds
+        return payload
+
+    # -- one campaign run ----------------------------------------------------------
+
+    def _one_run(self, plan: _RunPlan, report: ServeChaosReport) -> None:
+        clock = SimulatedClock()
+        workdir = tempfile.mkdtemp(prefix="repro-serve-chaos-")
+        core = ServeCore(
+            ServeConfig(
+                workers=2,
+                max_queue_depth=plan.max_queue_depth,
+                # Generous tenant quotas: this scenario storms the *global*
+                # queue; tenant-quota math has its own unit coverage.
+                default_quota=TenantQuota(
+                    max_concurrent_jobs=2, max_queued_jobs=32
+                ),
+                poison_quarantine_after=2,
+                checkpoint_root=workdir,
+            ),
+            clock=clock,
+        )
+        try:
+            self._submit_storm(plan, core, report)
+            self._execute_all(plan, core, report, clock)
+            self._poison_aftermath(plan, core, report)
+            report.lost_jobs.extend(
+                f"run{plan.index}:{job_id}" for job_id in core.audit_lost_jobs()
+            )
+            report.quarantined_specs += len(core.quarantined_specs)
+            for job in core.jobs.values():
+                if job.state == JobState.COMPLETED:
+                    report.completed += 1
+                elif job.state == JobState.FAILED:
+                    report.failed += 1
+                    if "poisoned spec" in (job.error or ""):
+                        report.poisoned += 1
+                elif job.state == JobState.EXPIRED:
+                    report.expired += 1
+                elif job.state == JobState.QUEUED:
+                    report.queued_at_drain += 1
+                elif job.state == JobState.RUNNING:
+                    report.failures.append(
+                        {
+                            "run": plan.index,
+                            "error": f"{job.job_id} still RUNNING at audit",
+                        }
+                    )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def _submit_storm(self, plan, core, report) -> None:
+        """The full burst up front: accepted jobs queue, overflow must be
+        explicitly rejected with a retry hint."""
+        payloads = [self._payload(job) for job in plan.jobs]
+        # The storm: resubmit the first payloads beyond queue capacity.
+        for extra in range(plan.storm_extra):
+            payloads.append(self._payload(plan.jobs[extra % len(plan.jobs)]))
+        for payload in payloads:
+            report.submitted += 1
+            status, body = core.submit(payload)
+            if status == 202:
+                report.accepted += 1
+                continue
+            code = body.get("code", body.get("error", "unknown"))
+            report.rejections[code] = report.rejections.get(code, 0) + 1
+            if (
+                status == 429
+                and code in ("queue_full", "tenant_queue_full")
+                and body.get("retry_after_seconds") is None
+            ):
+                report.failures.append(
+                    {
+                        "run": plan.index,
+                        "error": f"429 {code} without retry-after",
+                    }
+                )
+
+    def _execute_all(self, plan, core, report, clock) -> None:
+        """Inline worker loop: claim → (maybe kill) → finish, slow workers
+        aging the queue between executions."""
+        plan_cache: dict = {}
+        executions = 0
+        while True:
+            job = core.claim("chaos-worker")
+            if job is None:
+                break
+            job_plan = self._match_plan(plan, job, plan_cache)
+            outcome = self._execute(job, job_plan, core, report, plan.index)
+            if outcome is not None:
+                core.finish(job, outcome)
+            executions += 1
+            # Slow worker: the queue ages while this job "ran".
+            clock.advance(
+                job_plan.service_seconds if job_plan is not None else 0.5
+            )
+            if plan.drain_after is not None and executions == plan.drain_after:
+                core.drain()
+                report.drained_runs += 1
+                # Post-drain submissions must be explicitly refused.
+                report.submitted += 1
+                status, _body = core.submit(self._payload(plan.jobs[0]))
+                if status != 503:
+                    report.failures.append(
+                        {
+                            "run": plan.index,
+                            "error": f"drain admitted a job (status {status})",
+                        }
+                    )
+                else:
+                    report.rejections["draining"] = (
+                        report.rejections.get("draining", 0) + 1
+                    )
+                # Workers stop claiming: queued jobs stay queued — still
+                # accountable, which the post-run audit verifies.
+                break
+
+    def _match_plan(self, plan, job: Job, cache) -> _JobPlan | None:
+        """Recover which _JobPlan produced this job (payloads can repeat —
+        any plan with the same payload is behaviorally identical)."""
+        key = job.request.spec_key() + f":{job.request.priority}"
+        if key not in cache:
+            cache[key] = None
+            for candidate in plan.jobs:
+                request = JobRequest.from_payload(self._payload(candidate))
+                if request.spec_key() + f":{candidate.priority}" == key:
+                    cache[key] = candidate
+                    break
+        return cache[key]
+
+    def _execute(self, job, job_plan, core, report, run_index) -> dict | None:
+        """One attempt; returns the outcome for finish(), or None when the
+        attempt ended in requeue (kill) instead."""
+        kill_at = (
+            job_plan.kill_at_save
+            if (
+                job_plan is not None
+                and job_plan.kill_at_save is not None
+                and job.attempts == 1
+            )
+            else None
+        )
+
+        def on_point(point: str) -> None:
+            if kill_at is not None and point == f"checkpoint_save:{kill_at}":
+                raise WorkerKilled(f"chaos kill at {point}")
+
+        runner = JobRunner(clock=core.clock, on_point=on_point)
+        resume = job.resume
+        max_tokens = core.effective_max_tokens(job)
+        try:
+            outcome = runner.run(job, resume=resume, max_tokens=max_tokens)
+        except WorkerKilled:
+            report.kills_fired += 1
+            core.requeue_after_crash(job)
+            return None
+        if resume and not outcome.error:
+            # The job survived a kill: its fingerprint must match an
+            # uninterrupted twin run under identical knobs.
+            twin = self._twin_fingerprint(job, max_tokens)
+            if twin == outcome.result["fingerprint"]:
+                report.resumed_identical += 1
+            else:
+                report.mismatches.append({"run": run_index, "job": job.job_id})
+        return outcome.to_core()
+
+    def _twin_fingerprint(self, job: Job, max_tokens: int | None) -> str:
+        """Run the same request uninterrupted (no checkpoint dir, fresh
+        clock — nothing about the service's history may leak in)."""
+        twin = Job(
+            job_id=f"{job.job_id}-twin",
+            request=job.request,
+            checkpoint_dir=None,
+        )
+        runner = JobRunner(clock=SimulatedClock())
+        outcome = runner.run(twin, max_tokens=max_tokens)
+        if outcome.error or not outcome.result:
+            return f"twin-failed: {outcome.error}"
+        return outcome.result["fingerprint"]
+
+    def _poison_aftermath(self, plan, core, report) -> None:
+        """Resubmit every poisoned payload: quarantined specs must now be
+        refused at admission with 422."""
+        if core.draining:
+            return  # drain rejections already proven above
+        for job_plan in plan.jobs:
+            if not job_plan.poison:
+                continue
+            payload = self._payload(job_plan)
+            report.submitted += 1
+            status, body = core.submit(payload)
+            if status == 202:
+                # Not yet quarantined (fewer strikes than the threshold) —
+                # legitimate; run the job out so the audit stays clean.
+                report.accepted += 1
+                claimed = core.claim("chaos-worker")
+                while claimed is not None:
+                    runner = JobRunner(clock=core.clock)
+                    outcome = runner.run(claimed)
+                    core.finish(claimed, outcome.to_core())
+                    claimed = core.claim("chaos-worker")
+            else:
+                code = body.get("code", "unknown")
+                report.rejections[code] = report.rejections.get(code, 0) + 1
+                if code == "spec_quarantined":
+                    report.quarantine_rejections += 1
+
+    # -- the campaign ----------------------------------------------------------------
+
+    def run(self) -> ServeChaosReport:
+        report = ServeChaosReport(
+            seed=self.seed, runs=self.runs, intensity=self.intensity
+        )
+        telemetry = current_telemetry()
+        with telemetry.span("serve_chaos.run", seed=self.seed, runs=self.runs):
+            for index in range(self.runs):
+                plan = self._plan(index)
+                try:
+                    self._one_run(plan, report)
+                except Exception as error:  # the bar: never a stack trace
+                    report.failures.append(
+                        {
+                            "run": index,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    )
+                    telemetry.count("serve_chaos.failures")
+                telemetry.count("serve_chaos.runs")
+        return report
+
+
+def run_serve_chaos(
+    seed: int = 0,
+    runs: int = 4,
+    intensity: float = 0.3,
+    trace_path: str | None = None,
+) -> ServeChaosReport:
+    """CLI/CI entry point, mirroring ``run_chaos_campaign``'s shape."""
+    runner = ServeChaosRunner(seed=seed, runs=runs, intensity=intensity)
+    sinks = []
+    if trace_path is not None:
+        from repro.obs import JsonlSink
+
+        sinks.append(JsonlSink(trace_path))
+    telemetry = Telemetry(sinks=sinks)
+    try:
+        with use_telemetry(telemetry):
+            return runner.run()
+    finally:
+        telemetry.finish()

@@ -1,0 +1,387 @@
+"""The serve core: a deterministic, lock-guarded job state machine.
+
+:class:`ServeCore` owns every piece of mutable service state — the
+priority queue, the job table, tenant accounts, the poisoned-spec
+quarantine ledger, and the drain flag — behind one mutex.  It is
+deliberately synchronous and transport-free: the asyncio HTTP layer, the
+thread worker pool, the load harness, and the chaos campaign all drive
+the same core, so the chaos campaign's invariants (explicit verdicts,
+zero lost jobs) hold verbatim for the real server.
+
+Time comes from a pluggable :class:`~repro.resilience.clock.Clock`;
+under :class:`~repro.resilience.clock.SimulatedClock` every deadline
+expiry and retry-after hint is a pure function of the submission
+sequence, which is what makes the serve chaos reports byte-identical
+across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs import current as current_telemetry
+from repro.resilience.clock import Clock, SystemClock
+
+from .admission import AdmissionController, TenantAccount, TenantQuota
+from .jobs import BadRequest, Job, JobRequest, JobState
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service-level tunables (the request-level ones ride in JobRequest)."""
+
+    workers: int = 2
+    max_queue_depth: int = 32
+    nominal_job_seconds: float = 2.0
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: dict = field(default_factory=dict)  # tenant -> TenantQuota
+    #: Worker-crashing failures one spec_key survives before quarantine.
+    poison_quarantine_after: int = 2
+    #: Attempts (original + resumes) one job gets before it fails for good.
+    max_attempts: int = 3
+    checkpoint_root: str = "serve-checkpoints"
+
+
+class ServeCore:
+    """Admission → queue → dispatch → completion, under one lock."""
+
+    def __init__(self, config: ServeConfig, clock: Clock | None = None):
+        self.config = config
+        self.clock = clock if clock is not None else SystemClock()
+        self.admission = AdmissionController(
+            max_queue_depth=config.max_queue_depth,
+            workers=config.workers,
+            nominal_job_seconds=config.nominal_job_seconds,
+            default_quota=config.default_quota,
+            quotas=dict(config.quotas),
+        )
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._heap: list = []  # (-priority, seq, job_id)
+        self.jobs: dict[str, Job] = {}
+        self.accounts: dict[str, TenantAccount] = {}
+        self.draining = False
+        #: spec_key -> worker-crash count; keys past the threshold are
+        #: quarantined for every tenant (the governor's strike ledger,
+        #: applied to specs instead of templates).
+        self.spec_strikes: dict[str, int] = {}
+        self.quarantined_specs: set[str] = set()
+        self.rejections: dict[str, int] = {}  # code -> count
+
+    # -- submission -------------------------------------------------------------------
+
+    def submit(self, payload) -> tuple[int, dict]:
+        """One submission → (HTTP-style status, response body).
+
+        Every outcome is explicit: 202 with a job id, 400 for a malformed
+        payload, or the admission controller's rejection verbatim.
+        """
+        try:
+            request = JobRequest.from_payload(payload)
+        except BadRequest as error:
+            with self._lock:
+                self._count_rejection("bad_request")
+            return 400, {"error": "bad_request", "reason": str(error)}
+        with self._lock:
+            account = self._account(request.tenant)
+            verdict = self.admission.admit(
+                account,
+                queue_depth=len(self._heap),
+                draining=self.draining,
+                spec_quarantined=request.spec_key() in self.quarantined_specs,
+            )
+            if verdict is not None:
+                self._count_rejection(verdict.code)
+                return verdict.status, verdict.to_dict()
+            now = self.clock.now()
+            seq = next(self._seq)
+            job = Job(
+                job_id=f"job-{seq:04d}",
+                request=request,
+                submitted_at=now,
+                deadline_at=(
+                    now + request.deadline_seconds
+                    if request.deadline_seconds is not None
+                    else None
+                ),
+                checkpoint_dir=str(
+                    Path(self.config.checkpoint_root) / f"job-{seq:04d}"
+                ),
+            )
+            job.events.append((JobState.QUEUED, now))
+            self.jobs[job.job_id] = job
+            heapq.heappush(self._heap, (-request.priority, seq, job.job_id))
+            account.queued += 1
+            account.jobs_submitted += 1
+            self._count("serve.submitted", tenant=request.tenant)
+            return 202, {
+                "job_id": job.job_id,
+                "state": job.state,
+                "queue_depth": len(self._heap),
+            }
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def claim(self, worker: str) -> Job | None:
+        """Hand the highest-priority runnable job to *worker*.
+
+        Load shedding happens here: a queued job whose deadline already
+        lapsed is moved to EXPIRED (an explicit terminal state, visible in
+        the job table) instead of burning a worker slot on a result nobody
+        is waiting for.  Jobs whose tenant is at its concurrency quota are
+        skipped this round but stay queued.
+        """
+        with self._lock:
+            now = self.clock.now()
+            deferred: list = []
+            claimed: Job | None = None
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                job = self.jobs[entry[2]]
+                if job.deadline_at is not None and now >= job.deadline_at:
+                    job.transition(JobState.EXPIRED, now)
+                    job.finished_at = now
+                    job.error = (
+                        f"deadline expired after "
+                        f"{now - job.submitted_at:.3f}s in queue"
+                    )
+                    account = self._account(job.request.tenant)
+                    account.queued -= 1
+                    self._count("serve.expired", tenant=job.request.tenant)
+                    continue
+                account = self._account(job.request.tenant)
+                if account.running >= account.quota.max_concurrent_jobs:
+                    deferred.append(entry)
+                    continue
+                claimed = job
+                break
+            for entry in deferred:
+                heapq.heappush(self._heap, entry)
+            if claimed is None:
+                return None
+            account = self._account(claimed.request.tenant)
+            account.queued -= 1
+            account.running += 1
+            claimed.transition(JobState.RUNNING, now)
+            claimed.started_at = (
+                claimed.started_at if claimed.started_at is not None else now
+            )
+            claimed.attempts += 1
+            claimed.worker = worker
+            if not claimed.budget_frozen:
+                # Freeze the token ceiling at first dispatch: a resume must
+                # run under the budget the original attempt had, or the
+                # abort point moves and bit-identical resume breaks.  (The
+                # ceiling is execution-only in the checkpoint run key, so
+                # the checkpoint itself loads either way.)
+                remaining = account.remaining_tokens()
+                ceilings = [
+                    c
+                    for c in (claimed.request.max_tokens, remaining)
+                    if c is not None
+                ]
+                claimed.effective_max_tokens = (
+                    min(ceilings) if ceilings else None
+                )
+                claimed.budget_frozen = True
+            self._count("serve.claimed", tenant=claimed.request.tenant)
+            return claimed
+
+    def effective_max_tokens(self, job: Job) -> int | None:
+        """The job's frozen token ceiling (set at first claim)."""
+        return job.effective_max_tokens
+
+    # -- completion -------------------------------------------------------------------
+
+    def finish(self, job: Job, outcome: dict) -> None:
+        """Record a finished attempt: COMPLETED, or FAILED with a reason."""
+        with self._lock:
+            now = self.clock.now()
+            account = self._account(job.request.tenant)
+            account.running -= 1
+            self._bill(account, outcome)
+            if outcome.get("error"):
+                job.error = str(outcome["error"])
+                job.transition(JobState.FAILED, now)
+                self._strike_if_poisoned(job, outcome)
+                self._count("serve.failed", tenant=job.request.tenant)
+            else:
+                job.result = outcome.get("result")
+                job.transition(JobState.COMPLETED, now)
+                account.jobs_completed += 1
+                self._count("serve.completed", tenant=job.request.tenant)
+            job.finished_at = now
+            job.worker = None
+
+    def requeue_after_crash(self, job: Job, outcome: dict | None = None) -> None:
+        """A worker died mid-job: put the job back, flagged for resume.
+
+        The job's checkpoint directory holds its progress; the next claim
+        resumes from it and — by the checkpoint layer's contract —
+        fingerprints bit-identically to an uninterrupted run.  Past
+        ``max_attempts`` the job fails instead: a job that kills every
+        worker that touches it is a poison pill, and its spec_key takes a
+        quarantine strike.
+        """
+        with self._lock:
+            now = self.clock.now()
+            account = self._account(job.request.tenant)
+            account.running -= 1
+            self._bill(account, outcome or {})
+            if job.attempts >= self.config.max_attempts:
+                job.error = (
+                    f"gave up after {job.attempts} attempts "
+                    f"(worker died each time)"
+                )
+                job.transition(JobState.FAILED, now)
+                job.finished_at = now
+                job.worker = None
+                self._strike(job.request.spec_key())
+                self._count("serve.poisoned", tenant=job.request.tenant)
+                return
+            job.resume = True
+            job.worker = None
+            job.transition(JobState.QUEUED, now)
+            heapq.heappush(
+                self._heap,
+                (-job.request.priority, next(self._seq), job.job_id),
+            )
+            account.queued += 1
+            self._count("serve.requeued", tenant=job.request.tenant)
+
+    def checkpoint_for_drain(self, job: Job, outcome: dict | None = None) -> None:
+        """Drain landed mid-job: progress is on disk, mark it resumable."""
+        with self._lock:
+            now = self.clock.now()
+            account = self._account(job.request.tenant)
+            account.running -= 1
+            self._bill(account, outcome or {})
+            job.resume = True
+            job.worker = None
+            job.transition(JobState.CHECKPOINTED, now)
+            job.finished_at = now
+            self._count("serve.checkpointed", tenant=job.request.tenant)
+
+    @staticmethod
+    def _bill(account: TenantAccount, outcome: dict) -> None:
+        """Charge an attempt's spend to the tenant (lock already held).
+
+        Every attempt bills — completed, failed, crashed, or drained —
+        because the LLM metered all of them; this is the same
+        spend-is-spend rule the budget guard applies within a run.
+        """
+        account.tokens_spent += int(outcome.get("tokens", 0))
+        account.dollars_spent += float(outcome.get("dollars", 0.0))
+
+    def _strike_if_poisoned(self, job: Job, outcome: dict) -> None:
+        if outcome.get("poison"):
+            self._strike(job.request.spec_key())
+
+    def _strike(self, spec_key: str) -> None:
+        strikes = self.spec_strikes.get(spec_key, 0) + 1
+        self.spec_strikes[spec_key] = strikes
+        if strikes >= self.config.poison_quarantine_after:
+            self.quarantined_specs.add(spec_key)
+            self._count("serve.spec_quarantined")
+
+    # -- drain ------------------------------------------------------------------------
+
+    def drain(self) -> dict:
+        """Stop admitting; report what is in flight and what is queued.
+
+        Queued jobs stay queued (their checkpoint dirs are empty; they are
+        fully described by their requests and can be resubmitted or
+        re-served after restart).  Running jobs are the workers'
+        responsibility: the drain event makes each one checkpoint at its
+        next save point and hand the job to :meth:`checkpoint_for_drain`.
+        """
+        with self._lock:
+            self.draining = True
+            self._count("serve.drain")
+            return {
+                "draining": True,
+                "queued": sum(
+                    1
+                    for j in self.jobs.values()
+                    if j.state == JobState.QUEUED
+                ),
+                "running": sum(
+                    1
+                    for j in self.jobs.values()
+                    if j.state == JobState.RUNNING
+                ),
+            }
+
+    # -- introspection ------------------------------------------------------------------
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def jobs_snapshot(self) -> list[dict]:
+        with self._lock:
+            return [
+                self.jobs[job_id].to_dict() for job_id in sorted(self.jobs)
+            ]
+
+    def stats(self) -> dict:
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "draining": self.draining,
+                "queue_depth": len(self._heap),
+                "jobs": dict(sorted(states.items())),
+                "rejections": dict(sorted(self.rejections.items())),
+                "quarantined_specs": len(self.quarantined_specs),
+                "tenants": {
+                    name: self.accounts[name].to_dict()
+                    for name in sorted(self.accounts)
+                },
+            }
+
+    def audit_lost_jobs(self) -> list[str]:
+        """Job ids in no accountable state — must always be empty.
+
+        Accountable = terminal, queued, or running.  The serve chaos
+        campaign calls this after every storm; a non-empty answer is the
+        one unforgivable serving bug (work accepted, then vanished).
+        """
+        with self._lock:
+            queued_ids = {entry[2] for entry in self._heap}
+            lost = []
+            for job_id, job in sorted(self.jobs.items()):
+                if job.state in JobState.TERMINAL:
+                    continue
+                if job.state == JobState.QUEUED and job_id in queued_ids:
+                    continue
+                if job.state == JobState.RUNNING and job.worker is not None:
+                    continue
+                lost.append(job_id)
+            return lost
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _account(self, tenant: str) -> TenantAccount:
+        account = self.accounts.get(tenant)
+        if account is None:
+            account = TenantAccount(
+                tenant=tenant, quota=self.admission.quota_for(tenant)
+            )
+            self.accounts[tenant] = account
+        return account
+
+    def _count_rejection(self, code: str) -> None:
+        """Tally one explicit refusal (caller holds the lock)."""
+        self.rejections[code] = self.rejections.get(code, 0) + 1
+        self._count("serve.rejected", code=code)
+
+    def _count(self, name: str, **attrs) -> None:
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count(name, **attrs)

@@ -1,0 +1,244 @@
+"""The serve layer's unit of work: a tenant's generation job.
+
+A :class:`JobRequest` is the validated form of one ``POST /v1/jobs`` body
+— tenant, priority, a spec pack, a cost distribution, and optional
+deadline/budget limits.  Validation is *shallow on purpose*: it proves
+the payload is well-typed and self-consistent, not that the pipeline will
+like it.  A payload that validates but deterministically crashes the
+pipeline (a "poisoned spec") is a runtime failure the serve core counts
+toward spec quarantine — admission cannot afford to dry-run every job.
+
+A :class:`Job` is one request's lifecycle inside the service.  States:
+
+    QUEUED ──▶ RUNNING ──▶ COMPLETED
+      │           │──────▶ FAILED        (pipeline raised; may quarantine)
+      │           │──────▶ CHECKPOINTED  (drain: saved, resumable)
+      │           │──────▶ QUEUED        (worker died: requeued for resume)
+      └─────────▶ EXPIRED                (deadline lapsed while queued)
+
+Every transition is explicit — a job is never silently dropped; the
+chaos campaign's zero-lost-jobs invariant audits exactly this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.workload import CostDistribution, TemplateSpec
+
+
+class BadRequest(Exception):
+    """A submission payload that fails shallow validation (HTTP 400)."""
+
+
+class JobState:
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    EXPIRED = "expired"
+    CHECKPOINTED = "checkpointed"
+
+    #: States a job can never leave (CHECKPOINTED is terminal for *this*
+    #: service lifetime — the checkpoint outlives the process).
+    TERMINAL = frozenset({COMPLETED, FAILED, EXPIRED, CHECKPOINTED})
+
+
+#: Priorities: 0 (batch) .. 9 (interactive).  Higher runs first.
+MIN_PRIORITY, MAX_PRIORITY = 0, 9
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated generation request."""
+
+    tenant: str
+    priority: int = 4
+    seed: int = 0
+    specs: tuple = ()  # tuple of spec payload dicts
+    queries: int = 16
+    intervals: int = 4
+    cost_min: float = 0.0
+    cost_max: float = 200.0
+    cost_type: str = "plan_cost"
+    deadline_seconds: float | None = None
+    max_tokens: int | None = None
+    max_cost_dollars: float | None = None
+    query_timeout_seconds: float | None = None
+
+    @classmethod
+    def from_payload(cls, payload) -> "JobRequest":
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        known = set(cls.__dataclass_fields__)
+        unknown = set(payload) - known
+        if unknown:
+            raise BadRequest(f"unknown fields: {sorted(unknown)}")
+        tenant = payload.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            raise BadRequest("'tenant' must be a non-empty string")
+        priority = payload.get("priority", 4)
+        if not isinstance(priority, int) or not (
+            MIN_PRIORITY <= priority <= MAX_PRIORITY
+        ):
+            raise BadRequest(
+                f"'priority' must be an integer in "
+                f"[{MIN_PRIORITY}, {MAX_PRIORITY}]"
+            )
+        specs = payload.get("specs") or ()
+        if not isinstance(specs, (list, tuple)) or not all(
+            isinstance(s, dict) for s in specs
+        ):
+            raise BadRequest("'specs' must be a list of spec objects")
+        if not specs:
+            raise BadRequest("'specs' must contain at least one spec")
+        for check in ("queries", "intervals", "seed"):
+            value = payload.get(check, getattr(cls, check, 0))
+            if check in payload and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise BadRequest(f"'{check}' must be an integer")
+        if payload.get("queries", 16) < 1 or payload.get("intervals", 4) < 1:
+            raise BadRequest("'queries' and 'intervals' must be >= 1")
+        for bound in (
+            "deadline_seconds",
+            "max_cost_dollars",
+            "query_timeout_seconds",
+        ):
+            value = payload.get(bound)
+            if value is not None and (
+                not isinstance(value, (int, float)) or value <= 0
+            ):
+                raise BadRequest(f"'{bound}' must be a positive number")
+        max_tokens = payload.get("max_tokens")
+        if max_tokens is not None and (
+            not isinstance(max_tokens, int) or max_tokens <= 0
+        ):
+            raise BadRequest("'max_tokens' must be a positive integer")
+        # Deliberately NOT validated: cost_min < cost_max.  Distribution
+        # construction happens in the worker; an inverted range is the
+        # canonical "poisoned spec" that admission lets through and the
+        # quarantine ledger catches.
+        return cls(
+            tenant=tenant,
+            priority=priority,
+            seed=int(payload.get("seed", 0)),
+            specs=tuple(dict(s) for s in specs),
+            queries=int(payload.get("queries", 16)),
+            intervals=int(payload.get("intervals", 4)),
+            cost_min=float(payload.get("cost_min", 0.0)),
+            cost_max=float(payload.get("cost_max", 200.0)),
+            cost_type=str(payload.get("cost_type", "plan_cost")),
+            deadline_seconds=payload.get("deadline_seconds"),
+            max_tokens=max_tokens,
+            max_cost_dollars=payload.get("max_cost_dollars"),
+            query_timeout_seconds=payload.get("query_timeout_seconds"),
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "seed": self.seed,
+            "specs": [dict(s) for s in self.specs],
+            "queries": self.queries,
+            "intervals": self.intervals,
+            "cost_min": self.cost_min,
+            "cost_max": self.cost_max,
+            "cost_type": self.cost_type,
+            "deadline_seconds": self.deadline_seconds,
+            "max_tokens": self.max_tokens,
+            "max_cost_dollars": self.max_cost_dollars,
+            "query_timeout_seconds": self.query_timeout_seconds,
+        }
+
+    def spec_key(self) -> str:
+        """Content identity of the *work* (not the tenant/priority wrapper).
+
+        The quarantine ledger keys on this: a spec pack that keeps
+        crashing workers is quarantined for every tenant and priority.
+        """
+        body = {
+            "specs": [dict(s) for s in self.specs],
+            "seed": self.seed,
+            "queries": self.queries,
+            "intervals": self.intervals,
+            "cost_min": self.cost_min,
+            "cost_max": self.cost_max,
+            "cost_type": self.cost_type,
+        }
+        blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def build_specs(self) -> list[TemplateSpec]:
+        return [
+            TemplateSpec.from_json(dict(payload), spec_id=f"{self.tenant}_{i}")
+            for i, payload in enumerate(self.specs)
+        ]
+
+    def build_distribution(self) -> CostDistribution:
+        if self.cost_min >= self.cost_max:
+            raise ValueError(
+                f"cost_min {self.cost_min} must be < cost_max {self.cost_max}"
+            )
+        return CostDistribution.uniform(
+            self.cost_min,
+            self.cost_max,
+            self.queries,
+            self.intervals,
+            cost_type=self.cost_type,
+        )
+
+
+@dataclass
+class Job:
+    """One request's lifecycle in the service."""
+
+    job_id: str
+    request: JobRequest
+    state: str = JobState.QUEUED
+    submitted_at: float = 0.0  # core-clock time of admission
+    started_at: float | None = None
+    finished_at: float | None = None
+    deadline_at: float | None = None  # absolute, core-clock
+    attempts: int = 0
+    worker: str | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False  # next execution resumes a checkpoint
+    # Token ceiling frozen at first dispatch: min(request cap, tenant's
+    # remaining budget *then*).  Frozen so a crash-resume executes under
+    # the budget the original attempt had — a drifting ceiling would move
+    # the abort point and break bit-identical resume.
+    effective_max_tokens: int | None = None
+    budget_frozen: bool = False
+    result: dict | None = None
+    error: str | None = None
+    events: list = field(default_factory=list)  # (state, clock-time) audit
+
+    def transition(self, state: str, at: float) -> None:
+        if self.state in JobState.TERMINAL:
+            raise ValueError(
+                f"job {self.job_id} is terminal ({self.state}); "
+                f"cannot move to {state}"
+            )
+        self.state = state
+        self.events.append((state, at))
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.request.tenant,
+            "priority": self.request.priority,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "deadline_at": self.deadline_at,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "resume": self.resume,
+            "result": self.result,
+            "error": self.error,
+        }

@@ -517,6 +517,7 @@ class Executor:
                 Column.from_values(column_meta.name, column_meta.sql_type, values)
             )
         new_table = data.append_rows(Table(meta.name, pieces))
+        _enforce_unique(self._catalog, meta, new_table)
         if governor is not None:
             governor.charge_rows(count)
         self._catalog.note_mutation(meta.name, new_table, appended=count)
@@ -576,6 +577,12 @@ class Executor:
                     new_mask if new_mask.any() else None,
                 )
             )
+        _enforce_unique(
+            self._catalog,
+            meta,
+            new_table,
+            changed_columns={a.column for a in node.assignments},
+        )
         if governor is not None:
             governor.charge_rows(count)
         self._catalog.note_mutation(
@@ -630,6 +637,98 @@ class Executor:
         if governor is not None:
             governor.charge_frame(name, data.row_count, _frame_bytes(frame))
         return data, frame, keep
+
+
+def _unique_constraints(
+    catalog, meta, changed_columns: set[str] | None
+) -> list[tuple[str, tuple[str, ...]]]:
+    """The uniqueness constraints a write into *meta* must satisfy.
+
+    The primary key is one (possibly composite) constraint; every unique
+    index contributes a single-column one.  A unique index whose column is
+    the sole primary-key column restates the PK (the catalog auto-creates
+    those), so it is folded away.  With *changed_columns* given (UPDATE),
+    constraints over untouched columns are skipped: the statement cannot
+    have introduced a duplicate there.
+    """
+    constraints: list[tuple[str, tuple[str, ...]]] = []
+    pk = tuple(meta.primary_key)
+    if pk:
+        constraints.append((f"{meta.name}_pkey", pk))
+    for index in catalog.indexes_of(meta.name):
+        if not index.unique:
+            continue
+        if pk == (index.column,):
+            continue
+        constraints.append((index.name, (index.column,)))
+    if changed_columns is not None:
+        constraints = [
+            entry
+            for entry in constraints
+            if any(column in changed_columns for column in entry[1])
+        ]
+    return constraints
+
+
+def _enforce_unique(
+    catalog, meta, new_table: Table, changed_columns: set[str] | None = None
+) -> None:
+    """Reject *new_table* if any PK/unique-index constraint has a duplicate.
+
+    Runs on the statement's fully-materialized result *before* it is
+    published through ``note_mutation``, so a violation rolls the statement
+    back completely (the stored table is never touched).  Rows with a NULL
+    anywhere in the key never conflict, matching SQL unique-index
+    semantics.  The error is positioned (offset 0) so ``attach_source``
+    renders a ``LINE 1: ...`` caret snippet like every other engine error.
+    """
+    for constraint, key_columns in _unique_constraints(
+        catalog, meta, changed_columns
+    ):
+        duplicate = _first_duplicate_key(new_table, key_columns)
+        if duplicate is None:
+            continue
+        keys = ", ".join(key_columns)
+        values = ", ".join(repr(v) for v in duplicate)
+        raise ConstraintError(
+            f'duplicate key value violates unique constraint "{constraint}" '
+            f"(Key ({keys})=({values}) already exists)",
+            position=0,
+        )
+
+
+def _first_duplicate_key(
+    table: Table, key_columns: tuple[str, ...]
+) -> tuple | None:
+    """The first duplicated key tuple among non-NULL keys, or None."""
+    columns = [table.column(name) for name in key_columns]
+    if len(columns) == 1:
+        column = columns[0]
+        data = column.data
+        if column.null_mask is not None:
+            data = data[~column.null_mask]
+        if len(data) <= 1:
+            return None
+        values, counts = np.unique(data, return_counts=True)
+        dupes = values[counts > 1]
+        if len(dupes):
+            return (_to_python(dupes[0]),)
+        return None
+    seen: set[tuple] = set()
+    for position in range(table.row_count):
+        key = []
+        for column in columns:
+            if column.null_mask is not None and column.null_mask[position]:
+                key = None
+                break
+            key.append(_to_python(column.data[position]))
+        if key is None:
+            continue
+        key = tuple(key)
+        if key in seen:
+            return key
+        seen.add(key)
+    return None
 
 
 def _column_python_values(column: Column) -> list:

@@ -1,0 +1,93 @@
+"""Admission control: explicit verdicts, deterministic retry hints."""
+
+import pytest
+
+from repro.serve import AdmissionController, TenantAccount, TenantQuota
+
+
+@pytest.fixture
+def controller():
+    return AdmissionController(
+        max_queue_depth=4, workers=2, nominal_job_seconds=2.0
+    )
+
+
+def account(quota=None, **kwargs):
+    return TenantAccount(
+        tenant="t", quota=quota or TenantQuota(), **kwargs
+    )
+
+
+class TestVerdicts:
+    def test_admits_when_everything_has_room(self, controller):
+        assert controller.admit(account(), queue_depth=0) is None
+
+    def test_draining_rejects_with_503(self, controller):
+        verdict = controller.admit(account(), queue_depth=0, draining=True)
+        assert verdict.status == 503
+        assert verdict.code == "draining"
+        assert verdict.retry_after_seconds is not None
+
+    def test_quarantined_spec_rejects_with_422(self, controller):
+        verdict = controller.admit(
+            account(), queue_depth=0, spec_quarantined=True
+        )
+        assert verdict.status == 422
+        assert verdict.code == "spec_quarantined"
+
+    def test_full_global_queue_rejects_with_429(self, controller):
+        verdict = controller.admit(account(), queue_depth=4)
+        assert verdict.status == 429
+        assert verdict.code == "queue_full"
+        assert verdict.retry_after_seconds > 0
+
+    def test_tenant_queue_quota_rejects_with_429(self, controller):
+        verdict = controller.admit(
+            account(TenantQuota(max_queued_jobs=1), queued=1), queue_depth=0
+        )
+        assert verdict.code == "tenant_queue_full"
+        assert verdict.status == 429
+
+    def test_token_budget_exhaustion_rejects(self, controller):
+        acct = account(TenantQuota(max_tokens=100), tokens_spent=100)
+        verdict = controller.admit(acct, queue_depth=0)
+        assert verdict.code == "tokens_exhausted"
+        assert verdict.status == 429
+
+    def test_dollar_budget_exhaustion_rejects(self, controller):
+        acct = account(
+            TenantQuota(max_cost_dollars=1.0), dollars_spent=1.0
+        )
+        verdict = controller.admit(acct, queue_depth=0)
+        assert verdict.code == "dollars_exhausted"
+
+    def test_partial_budget_still_admits(self, controller):
+        acct = account(TenantQuota(max_tokens=100), tokens_spent=99)
+        assert controller.admit(acct, queue_depth=0) is None
+
+    def test_draining_wins_over_other_reasons(self, controller):
+        verdict = controller.admit(
+            account(), queue_depth=10, draining=True, spec_quarantined=True
+        )
+        assert verdict.code == "draining"
+
+
+class TestRetryAfter:
+    def test_scales_with_queue_depth(self, controller):
+        assert controller.retry_after(2) == 2.0  # one drain of 2 workers
+        assert controller.retry_after(4) == 4.0
+        assert controller.retry_after(5) == 6.0  # ceil(5/2) = 3 drains
+
+    def test_is_deterministic(self, controller):
+        assert controller.retry_after(7) == controller.retry_after(7)
+
+
+class TestAccounts:
+    def test_remaining_is_none_when_unlimited(self):
+        acct = account()
+        assert acct.remaining_tokens() is None
+        assert acct.remaining_dollars() is None
+
+    def test_remaining_never_negative(self):
+        acct = account(TenantQuota(max_tokens=10), tokens_spent=25)
+        assert acct.remaining_tokens() == 0

@@ -1,0 +1,148 @@
+"""The kill sweep: die at EVERY interruption point, lose nothing.
+
+For one representative job, enumerate every point the runner can be
+interrupted at — the named :data:`KILL_POINTS` plus every dynamic
+``checkpoint_save:<n>`` the job actually performs — and at each one:
+
+* kill the worker there (:class:`WorkerKilled`) → the core must requeue
+  the job (never lose it) and the resumed execution must fingerprint
+  bit-identically to an uninterrupted baseline;
+* drain there (:class:`DrainRequested`, save points only — drain lands
+  only on durable state) → the job must be CHECKPOINTED and a fresh
+  process resuming its checkpoint dir must fingerprint identically.
+"""
+
+import pytest
+
+from repro.resilience.clock import SimulatedClock
+from repro.serve import (
+    KILL_POINTS,
+    DrainRequested,
+    Job,
+    JobRequest,
+    JobRunner,
+    JobState,
+    ServeConfig,
+    ServeCore,
+    WorkerKilled,
+)
+
+REQUEST = JobRequest(
+    tenant="sweep",
+    seed=11,
+    specs=({"num_joins": 1, "num_aggregations": 1},),
+    queries=8,
+    intervals=2,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One uninterrupted run: the reference fingerprint + the save points."""
+    seen = []
+    outcome = JobRunner(clock=SimulatedClock(), on_point=seen.append).run(
+        Job(
+            job_id="baseline",
+            request=REQUEST,
+            checkpoint_dir=str(tmp_path_factory.mktemp("base") / "ckpt"),
+        )
+    )
+    assert outcome.error is None
+    save_points = tuple(
+        p for p in seen if p.startswith("checkpoint_save:")
+    )
+    assert save_points, "checkpointing must always be on"
+    return outcome.result["fingerprint"], save_points
+
+
+def all_points(baseline):
+    return list(KILL_POINTS) + list(baseline[1])
+
+
+def make_core(tmp_path):
+    return ServeCore(
+        ServeConfig(
+            workers=1,
+            max_queue_depth=4,
+            checkpoint_root=str(tmp_path / "ckpts"),
+            max_attempts=3,
+        ),
+        clock=SimulatedClock(),
+    )
+
+
+def kill_at(target):
+    def on_point(point):
+        if point == target:
+            raise WorkerKilled(point)
+
+    return on_point
+
+
+def drain_at(target):
+    def on_point(point):
+        if point == target:
+            raise DrainRequested(point)
+
+    return on_point
+
+
+class TestKillSweep:
+    def test_every_point_requeues_and_resumes_identically(
+        self, baseline, tmp_path
+    ):
+        reference, _saves = baseline
+        for index, point in enumerate(all_points(baseline)):
+            core = make_core(tmp_path / f"kill-{index}")
+            status, body = core.submit(REQUEST.to_payload())
+            assert status == 202
+            job = core.claim("victim")
+            runner = JobRunner(clock=core.clock, on_point=kill_at(point))
+            with pytest.raises(WorkerKilled):
+                runner.run(job, resume=job.resume)
+            core.requeue_after_crash(job)
+            # Invariant 1: the job is never lost, at any kill point.
+            assert core.audit_lost_jobs() == [], f"lost at {point}"
+            assert job.state == JobState.QUEUED
+            # Invariant 2: the resume completes bit-identically.
+            job = core.claim("successor")
+            assert job is not None, f"no job to resume at {point}"
+            assert job.resume is True
+            outcome = JobRunner(clock=core.clock).run(job, resume=True)
+            assert outcome.error is None, f"resume failed at {point}"
+            assert (
+                outcome.result["fingerprint"] == reference
+            ), f"fingerprint diverged after kill at {point}"
+            core.finish(job, outcome.to_core())
+            assert job.state == JobState.COMPLETED
+            assert core.audit_lost_jobs() == []
+
+
+class TestDrainSweep:
+    def test_every_save_point_checkpoints_and_resumes_identically(
+        self, baseline, tmp_path
+    ):
+        reference, save_points = baseline
+        for index, point in enumerate(save_points):
+            core = make_core(tmp_path / f"drain-{index}")
+            core.submit(REQUEST.to_payload())
+            job = core.claim("drainee")
+            runner = JobRunner(clock=core.clock, on_point=drain_at(point))
+            with pytest.raises(DrainRequested):
+                runner.run(job, resume=job.resume)
+            core.checkpoint_for_drain(job)
+            assert job.state == JobState.CHECKPOINTED
+            assert core.audit_lost_jobs() == [], f"lost at {point}"
+            # A "new process" resumes the same checkpoint directory.
+            revived = Job(
+                job_id=job.job_id,
+                request=job.request,
+                checkpoint_dir=job.checkpoint_dir,
+            )
+            outcome = JobRunner(clock=SimulatedClock()).run(
+                revived, resume=True
+            )
+            assert outcome.error is None, f"revive failed at {point}"
+            assert (
+                outcome.result["fingerprint"] == reference
+            ), f"fingerprint diverged after drain at {point}"

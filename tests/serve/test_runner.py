@@ -1,0 +1,124 @@
+"""JobRunner: one job through SQLBarber behind the serving guard rails."""
+
+import pytest
+
+from repro.resilience.clock import SimulatedClock
+from repro.serve import Job, JobOutcome, JobRequest, JobRunner, WorkerKilled
+
+
+def request(**overrides):
+    fields = {
+        "tenant": "t",
+        "seed": 7,
+        "specs": ({"num_joins": 1},),
+        "queries": 8,
+        "intervals": 2,
+    }
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+def job(tmp_path=None, **overrides):
+    return Job(
+        job_id="job-0001",
+        request=request(**overrides),
+        checkpoint_dir=str(tmp_path / "ckpt") if tmp_path else None,
+    )
+
+
+class TestOutcomes:
+    def test_successful_run_produces_fingerprint(self, tmp_path):
+        outcome = JobRunner(clock=SimulatedClock()).run(job(tmp_path))
+        assert outcome.error is None
+        assert outcome.result["queries"] == 8
+        assert len(outcome.result["fingerprint"]) == 64
+        assert outcome.tokens > 0
+
+    def test_same_request_same_fingerprint(self, tmp_path):
+        first = JobRunner(clock=SimulatedClock()).run(
+            job(tmp_path / "a")
+        )
+        second = JobRunner(clock=SimulatedClock()).run(
+            job(tmp_path / "b")
+        )
+        assert (
+            first.result["fingerprint"] == second.result["fingerprint"]
+        )
+
+    def test_inverted_cost_range_is_poison_not_crash(self, tmp_path):
+        outcome = JobRunner(clock=SimulatedClock()).run(
+            job(tmp_path, cost_min=500.0, cost_max=100.0)
+        )
+        assert outcome.poison is True
+        assert "poisoned spec" in outcome.error
+        assert outcome.result is None
+
+    def test_deadline_in_the_past_aborts_gracefully(self, tmp_path):
+        clock = SimulatedClock(start=100.0)
+        j = job(tmp_path)
+        j.deadline_at = 50.0  # already lapsed: the LLM client refuses calls
+        outcome = JobRunner(clock=clock).run(j)
+        # The pipeline converts deadline pressure into an aborted-but-
+        # valid partial result, not an exception.
+        assert outcome.error is None
+        assert outcome.result["aborted"] is True
+
+    def test_to_core_round_trip(self):
+        outcome = JobOutcome(tokens=5, dollars=0.1, result={"x": 1})
+        assert outcome.to_core() == {
+            "error": None,
+            "poison": False,
+            "tokens": 5,
+            "dollars": 0.1,
+            "result": {"x": 1},
+        }
+
+
+class TestKillPoints:
+    def test_named_points_fire_in_order(self, tmp_path):
+        seen = []
+        runner = JobRunner(clock=SimulatedClock(), on_point=seen.append)
+        runner.run(job(tmp_path))
+        named = [p for p in seen if not p.startswith("checkpoint_save:")]
+        assert named == [
+            "claimed",
+            "db_built",
+            "client_built",
+            "pipeline_done",
+            "outcome_built",
+        ]
+        saves = [p for p in seen if p.startswith("checkpoint_save:")]
+        assert saves, "checkpointing must always be on"
+
+    def test_worker_killed_escapes_uncaught(self, tmp_path):
+        def kill(point):
+            if point == "db_built":
+                raise WorkerKilled(point)
+
+        runner = JobRunner(clock=SimulatedClock(), on_point=kill)
+        with pytest.raises(WorkerKilled):
+            runner.run(job(tmp_path))
+
+    def test_worker_killed_is_not_an_exception(self):
+        assert not issubclass(WorkerKilled, Exception)
+        assert issubclass(WorkerKilled, BaseException)
+
+
+class TestResume:
+    def test_resume_after_kill_fingerprints_identically(self, tmp_path):
+        baseline = JobRunner(clock=SimulatedClock()).run(
+            job(tmp_path / "base")
+        )
+
+        def kill(point):
+            if point == "checkpoint_save:2":
+                raise WorkerKilled(point)
+
+        victim = job(tmp_path / "killed")
+        with pytest.raises(WorkerKilled):
+            JobRunner(clock=SimulatedClock(), on_point=kill).run(victim)
+        resumed = JobRunner(clock=SimulatedClock()).run(victim, resume=True)
+        assert resumed.error is None
+        assert (
+            resumed.result["fingerprint"] == baseline.result["fingerprint"]
+        )

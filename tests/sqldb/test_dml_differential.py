@@ -48,6 +48,7 @@ class RefModel:
         self.required: dict[str, set[str]] = {}
         self.order: dict[str, list[str]] = {}
         self.tables: dict[str, list[dict]] = {}
+        self.unique: dict[str, list[tuple[str, ...]]] = {}
         for name in db.catalog.table_names:
             meta = db.catalog.table(name)
             self.order[name] = list(meta.column_names)
@@ -61,6 +62,16 @@ class RefModel:
                 dict(zip(meta.column_names, row))
                 for row in db.catalog.data(name).rows()
             ]
+            # Uniqueness constraints, mirroring the engine's folding rule:
+            # the (possibly composite) primary key plus every unique index
+            # that is not just a restatement of a single-column PK.
+            keys: list[tuple[str, ...]] = []
+            if meta.primary_key:
+                keys.append(tuple(meta.primary_key))
+            for index in db.catalog.indexes_of(name):
+                if index.unique and tuple(meta.primary_key) != (index.column,):
+                    keys.append((index.column,))
+            self.unique[name] = keys
 
     # -- statement application --------------------------------------------------
 
@@ -93,6 +104,7 @@ class RefModel:
             for column in self.required[name]:
                 if row[column] is None:
                     raise RefConstraint(f"{name}.{column} is NOT NULL")
+        self._check_unique(name, self.tables[name] + staged)
         self.tables[name].extend(staged)
         return len(staged)
 
@@ -114,11 +126,12 @@ class RefModel:
             for column, value in changes.items():
                 if value is None and column in self.required[name]:
                     raise RefConstraint(f"{name}.{column} is NOT NULL")
+        assigned = {a.column for a in statement.assignments}
+        updated = list(self.tables[name])
         for position, changes in staged:
-            self.tables[name][position] = {
-                **self.tables[name][position],
-                **changes,
-            }
+            updated[position] = {**updated[position], **changes}
+        self._check_unique(name, updated, changed=assigned)
+        self.tables[name] = updated
         return len(staged)
 
     def _delete(self, statement: ast.DeleteStatement) -> int:
@@ -160,6 +173,28 @@ class RefModel:
             for position, row in enumerate(self.tables[name])
             if where is None or _eval(where, row, types)[0] is True
         ]
+
+    def _check_unique(
+        self, name: str, rows: list[dict], changed: set[str] | None = None
+    ) -> None:
+        """PK/unique-index enforcement over the would-be final table.
+
+        NULL-containing keys never conflict; with *changed* given (UPDATE)
+        constraints over untouched columns are skipped, like the engine.
+        """
+        for key_columns in self.unique[name]:
+            if changed is not None and not (set(key_columns) & changed):
+                continue
+            seen = set()
+            for row in rows:
+                key = tuple(row[column] for column in key_columns)
+                if any(value is None for value in key):
+                    continue
+                if key in seen:
+                    raise RefConstraint(
+                        f"duplicate key {key!r} in {name}{key_columns}"
+                    )
+                seen.add(key)
 
     def _coerce(self, table: str, column: str, value):
         """Mirror of the engine's write-side storage coercions."""
