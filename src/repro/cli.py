@@ -276,11 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--scenario", default=None,
-        choices=["storm", "kill", "budget", "engine", "serve"],
+        choices=["storm", "kill", "budget", "engine", "serve", "restart"],
         help="pin every run to one scenario instead of cycling "
              "(engine = governor limits + engine-side fault storm; "
              "serve = worker kills, queue storms, deadline expiry, and "
-             "poisoned specs against the job service)",
+             "poisoned specs against the job service; restart = kill the "
+             "whole service at every journaled transition point and "
+             "recover from the durable job store)",
     )
     chaos.add_argument(
         "--trace-out", default=None,
@@ -314,6 +316,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-root", default="serve-checkpoints", metavar="DIR",
         help="per-job checkpoint directories live under here "
              "(checkpointing is always on)",
+    )
+    serve.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable job journal directory: every lifecycle transition "
+             "is journaled there and a restart replays it, so accepted "
+             "jobs survive process death (omit for an ephemeral service)",
+    )
+    serve.add_argument(
+        "--journal-fsync", default="rotate",
+        choices=["always", "rotate", "off"],
+        help="journal durability: always = fsync every append (survives "
+             "OS crash), rotate = fsync at segment seals/snapshots/exit "
+             "(survives process death; an OS crash can drop the unsealed "
+             "tail, which recovery quarantines), off = benchmarks only",
+    )
+    serve.add_argument(
+        "--requests-per-window", type=int, default=None, metavar="N",
+        help="per-tenant rate limit: N requests per --window-seconds "
+             "(token bucket; over-limit submissions get 429 rate_limited "
+             "with an exact Retry-After)",
+    )
+    serve.add_argument(
+        "--window-seconds", type=float, default=60.0,
+        help="rate-limit window length (with --requests-per-window)",
+    )
+    serve.add_argument(
+        "--burst", type=int, default=None,
+        help="rate-limit bucket capacity (default: one window's worth)",
     )
 
     submit = commands.add_parser(
@@ -637,12 +667,20 @@ def cmd_chaos(args) -> int:
     if args.trace_out:
         logger.info("telemetry trace written to %s", args.trace_out)
     print(report.to_json(), end="")
-    logger.info(
-        "chaos: %d runs, %d completed, %d aborted, %d kills, "
-        "%d resumed identical, %d failures",
-        report.runs, report.completed, report.aborted, report.kills_fired,
-        report.resumed_identical, len(report.failures),
-    )
+    if args.scenario == "restart":
+        logger.info(
+            "restart chaos: %d runs, %d sweep points, %d/%d recovery pairs "
+            "identical, %d failures",
+            report.runs, report.sweep_points, report.pairs_identical,
+            report.recovery_pairs, len(report.failures),
+        )
+    else:
+        logger.info(
+            "chaos: %d runs, %d completed, %d aborted, %d kills, "
+            "%d resumed identical, %d failures",
+            report.runs, report.completed, report.aborted, report.kills_fired,
+            report.resumed_identical, len(report.failures),
+        )
     return 0 if report.ok else 1
 
 
@@ -657,16 +695,39 @@ def cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from repro.serve import ServeConfig, ServeCore, ServeServer
+    from repro.serve import ServeConfig, ServeCore, ServeServer, TenantQuota
 
-    core = ServeCore(
-        ServeConfig(
-            workers=args.workers,
-            max_queue_depth=args.max_queue_depth,
-            max_attempts=args.max_attempts,
-            checkpoint_root=args.checkpoint_root,
-        )
+    config = ServeConfig(
+        workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        max_attempts=args.max_attempts,
+        checkpoint_root=args.checkpoint_root,
+        default_quota=TenantQuota(
+            requests_per_window=args.requests_per_window,
+            window_seconds=args.window_seconds,
+            burst=args.burst,
+        ),
+        state_dir=args.state_dir,
+        journal_fsync=args.journal_fsync,
     )
+    if args.state_dir:
+        # Durable mode: replay whatever a previous lifetime journaled.
+        # A dead holder's lock is taken over via its staleness rules; a
+        # *live* one raises LockHeld — one service per state dir.
+        core = ServeCore.recover(config)
+        recovery = core.recovery or {}
+        logger.info(
+            "recovered state dir %s: %d record(s) replayed, "
+            "%d running requeued, %d checkpointed resumed, "
+            "%d quarantined damage item(s)",
+            args.state_dir,
+            recovery.get("records_replayed", 0),
+            recovery.get("requeued_running", 0),
+            recovery.get("resumed_checkpointed", 0),
+            len(recovery.get("quarantined", [])),
+        )
+    else:
+        core = ServeCore(config)
     server = ServeServer(core, host=args.host, port=args.port)
 
     async def _run() -> dict:
@@ -683,6 +744,17 @@ def cmd_serve(args) -> int:
         return await server.serve_until(stop)
 
     summary = asyncio.run(_run())
+    if core.recovery is not None:
+        summary["recovery"] = {
+            key: core.recovery.get(key)
+            for key in (
+                "records_replayed",
+                "requeued_running",
+                "resumed_checkpointed",
+                "quarantined_counts",
+                "clean_shutdown",
+            )
+        }
     logger.info(
         "drained: %d job(s) checkpointed/queued for resume",
         summary.get("running", 0) + summary.get("queued", 0),

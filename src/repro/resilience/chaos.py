@@ -451,8 +451,11 @@ def run_chaos_campaign(
     all of :data:`SCENARIOS` — the CI governor gate uses ``"engine"``.
     ``"serve"`` dispatches to the serve-layer campaign
     (:func:`repro.serve.chaos.run_serve_chaos`), which attacks the job
-    service instead of a single pipeline run; its report has the same
-    ``ok``/``to_json`` surface the CLI consumes.
+    service instead of a single pipeline run, and ``"restart"`` to the
+    durable-store campaign
+    (:func:`repro.serve.restart_chaos.run_restart_chaos`), which kills
+    the whole service at every journaled transition point; both reports
+    have the same ``ok``/``to_json`` surface the CLI consumes.
     With *trace_path* set, the campaign's telemetry (spans, events, the
     final metrics snapshot) is exported there as JSONL; the sink flushes
     per record, so even a crashed campaign leaves a readable trace.
@@ -461,6 +464,12 @@ def run_chaos_campaign(
         from repro.serve.chaos import run_serve_chaos
 
         return run_serve_chaos(
+            seed=seed, runs=runs, intensity=intensity, trace_path=trace_path
+        )
+    if scenario == "restart":
+        from repro.serve.restart_chaos import run_restart_chaos
+
+        return run_restart_chaos(
             seed=seed, runs=runs, intensity=intensity, trace_path=trace_path
         )
     runner = ChaosRunner(

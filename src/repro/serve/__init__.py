@@ -2,21 +2,35 @@
 
 Layered so every piece is testable without the one above it:
 
-``jobs``       the unit of work (JobRequest validation, Job lifecycle)
-``admission``  quota/budget verdicts (TenantQuota, AdmissionController)
-``core``       the lock-guarded state machine (queue, accounts, quarantine)
-``runner``     one job through SQLBarber (checkpointed, deadline-bounded)
-``http``       the asyncio front door + worker-thread pool
-``client``     a stdlib HTTP client (CLI, bench, tests)
-``chaos``      the seeded serve chaos campaign (kills, storms, poison)
+``jobs``           the unit of work (JobRequest validation, Job lifecycle)
+``admission``      quota/budget/rate verdicts (TenantQuota, RateLimiter)
+``store``          the write-ahead job journal (segments, snapshots, faults)
+``core``           the lock-guarded state machine (queue, accounts, recovery)
+``runner``         one job through SQLBarber (checkpointed, deadline-bounded)
+``http``           the asyncio front door + worker-thread pool
+``client``         a stdlib HTTP client (CLI, bench, tests)
+``chaos``          the seeded serve chaos campaign (kills, storms, poison)
+``restart_chaos``  the kill-the-whole-service sweep over the durable store
 """
 
-from .admission import AdmissionController, Rejection, TenantAccount, TenantQuota
+from .admission import (
+    CONSUMING_REJECTION_CODES,
+    AdmissionController,
+    RateLimiter,
+    Rejection,
+    TenantAccount,
+    TenantQuota,
+)
 from .chaos import ServeChaosReport, ServeChaosRunner, run_serve_chaos
 from .client import ServeClient, ServeClientError
 from .core import ServeConfig, ServeCore
 from .http import BackgroundServer, ServeServer
 from .jobs import BadRequest, Job, JobRequest, JobState
+from .restart_chaos import (
+    RestartChaosReport,
+    RestartChaosRunner,
+    run_restart_chaos,
+)
 from .runner import (
     KILL_POINTS,
     DrainRequested,
@@ -24,19 +38,26 @@ from .runner import (
     JobRunner,
     WorkerKilled,
 )
+from .store import JobStore, StoreFaultModel
 
 __all__ = [
     "AdmissionController",
     "BackgroundServer",
     "BadRequest",
+    "CONSUMING_REJECTION_CODES",
     "DrainRequested",
     "Job",
     "JobOutcome",
     "JobRequest",
     "JobRunner",
     "JobState",
+    "JobStore",
     "KILL_POINTS",
+    "RateLimiter",
     "Rejection",
+    "RestartChaosReport",
+    "RestartChaosRunner",
+    "run_restart_chaos",
     "run_serve_chaos",
     "ServeChaosReport",
     "ServeChaosRunner",
@@ -45,6 +66,7 @@ __all__ = [
     "ServeConfig",
     "ServeCore",
     "ServeServer",
+    "StoreFaultModel",
     "TenantAccount",
     "TenantQuota",
     "WorkerKilled",

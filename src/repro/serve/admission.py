@@ -22,15 +22,110 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+#: Rejection codes issued *after* the rate-limit check — their request
+#: consumed a rate token.  Journal replay re-feeds these (and accepted
+#: submissions) into the limiter to rebuild exact bucket state.
+CONSUMING_REJECTION_CODES = frozenset(
+    {"queue_full", "tenant_queue_full", "tokens_exhausted",
+     "dollars_exhausted"}
+)
+
 
 @dataclass(frozen=True)
 class TenantQuota:
-    """Per-tenant ceilings.  None = unlimited."""
+    """Per-tenant ceilings.  None = unlimited.
+
+    ``requests_per_window`` arms time-windowed rate limiting: a token
+    bucket refilled at ``requests_per_window / window_seconds`` tokens
+    per second up to ``burst`` capacity (default: one window's worth).
+    Unlike the lifetime token/dollar budgets — which only ever run *out*
+    — the bucket recovers with time, so a tenant is throttled per
+    window, not cut off forever.
+    """
 
     max_concurrent_jobs: int = 2
     max_queued_jobs: int = 8
     max_tokens: int | None = None
     max_cost_dollars: float | None = None
+    requests_per_window: int | None = None
+    window_seconds: float = 60.0
+    burst: int | None = None
+
+    def bucket_capacity(self) -> float:
+        if self.requests_per_window is None:
+            return 0.0
+        return float(
+            self.burst if self.burst is not None else self.requests_per_window
+        )
+
+    def refill_rate(self) -> float:
+        """Tokens per second (0 when rate limiting is unarmed)."""
+        if self.requests_per_window is None:
+            return 0.0
+        return self.requests_per_window / max(self.window_seconds, 1e-9)
+
+
+class RateLimiter:
+    """Deterministic per-tenant token buckets on the core's clock.
+
+    Pure arithmetic over the ``now`` values it is handed — no wall-clock
+    reads — so under :class:`~repro.resilience.clock.SimulatedClock` the
+    verdict sequence (and every ``retry_after_seconds`` hint) is a pure
+    function of the submission timeline, and journal replay can rebuild
+    the exact bucket state by re-feeding the recorded timestamps.
+    """
+
+    def __init__(self):
+        #: tenant -> [tokens, last_refill_at]
+        self.buckets: dict[str, list[float]] = {}
+
+    def _refill(self, tenant: str, quota: TenantQuota, now: float) -> list:
+        capacity = quota.bucket_capacity()
+        bucket = self.buckets.get(tenant)
+        if bucket is None:
+            bucket = [capacity, now]
+            self.buckets[tenant] = bucket
+        elapsed = max(now - bucket[1], 0.0)
+        bucket[0] = min(capacity, bucket[0] + elapsed * quota.refill_rate())
+        bucket[1] = now
+        return bucket
+
+    def check(
+        self, tenant: str, quota: TenantQuota, now: float
+    ) -> float | None:
+        """Consume one token; None = allowed, else exact seconds until
+        the next token exists."""
+        if quota.requests_per_window is None:
+            return None
+        bucket = self._refill(tenant, quota, now)
+        if bucket[0] >= 1.0:
+            bucket[0] -= 1.0
+            return None
+        return round((1.0 - bucket[0]) / quota.refill_rate(), 6)
+
+    def force(self, tenant: str, quota: TenantQuota, at: float) -> None:
+        """Journal replay: re-apply a consumption that happened at *at*."""
+        if quota.requests_per_window is None:
+            return
+        bucket = self._refill(tenant, quota, at)
+        bucket[0] = max(bucket[0] - 1.0, 0.0)
+
+    def state(self) -> dict:
+        return {
+            tenant: [round(b[0], 9), b[1]]
+            for tenant, b in sorted(self.buckets.items())
+        }
+
+    def restore(self, state: dict) -> None:
+        self.buckets = {
+            tenant: [float(b[0]), float(b[1])]
+            for tenant, b in state.items()
+        }
+
+    def shift(self, delta: float) -> None:
+        """Rebase refill times onto a new process's clock origin."""
+        for bucket in self.buckets.values():
+            bucket[1] += delta
 
 
 @dataclass
@@ -104,6 +199,7 @@ class AdmissionController:
     nominal_job_seconds: float = 2.0
     default_quota: TenantQuota = field(default_factory=TenantQuota)
     quotas: dict = field(default_factory=dict)  # tenant -> TenantQuota
+    limiter: RateLimiter = field(default_factory=RateLimiter)
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default_quota)
@@ -125,14 +221,29 @@ class AdmissionController:
         *,
         draining: bool = False,
         spec_quarantined: bool = False,
+        now: float | None = None,
     ) -> Rejection | None:
-        """None = admitted; otherwise the explicit rejection to return."""
+        """None = admitted; otherwise the explicit rejection to return.
+
+        Check order is part of the contract (journal replay re-derives
+        rate-bucket state from it): draining and quarantine verdicts are
+        free — they consume no rate token; everything at and past the
+        rate check does.  *now* is the core clock's time; without it the
+        rate check is skipped (legacy callers, rate limiting unarmed).
+        """
         if draining:
+            # No retry hint on purpose: drain ends in process exit, not
+            # in freed capacity, so there is no honest number to give.
+            # Clients should retry after the service restarts (the
+            # durable job store carries all accepted work across).
             return Rejection(
                 status=503,
                 code="draining",
-                reason="service is draining; not accepting new jobs",
-                retry_after_seconds=self.retry_after(queue_depth),
+                reason=(
+                    "service is draining toward shutdown; retry after "
+                    "it restarts — accepted jobs are journaled and "
+                    "survive the restart"
+                ),
             )
         if spec_quarantined:
             return Rejection(
@@ -143,6 +254,20 @@ class AdmissionController:
                     "quarantined; change the spec before resubmitting"
                 ),
             )
+        quota = account.quota
+        if now is not None:
+            wait = self.limiter.check(account.tenant, quota, now)
+            if wait is not None:
+                return Rejection(
+                    status=429,
+                    code="rate_limited",
+                    reason=(
+                        f"tenant {account.tenant!r} exceeded "
+                        f"{quota.requests_per_window} requests per "
+                        f"{quota.window_seconds:g}s window"
+                    ),
+                    retry_after_seconds=wait,
+                )
         if queue_depth >= self.max_queue_depth:
             return Rejection(
                 status=429,
@@ -153,7 +278,6 @@ class AdmissionController:
                 ),
                 retry_after_seconds=self.retry_after(queue_depth),
             )
-        quota = account.quota
         if account.queued >= quota.max_queued_jobs:
             return Rejection(
                 status=429,

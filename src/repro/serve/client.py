@@ -81,6 +81,11 @@ class ServeClient:
     def drain(self) -> dict:
         return self.request("POST", "/v1/drain")[1]
 
+    def recovery(self) -> dict | None:
+        """The service's recovery report, or None if it started fresh
+        (no durable state dir, or nothing to replay)."""
+        return self.stats().get("recovery")
+
     def wait_for(
         self,
         job_id: str,

@@ -4,21 +4,47 @@
 priority queue, the job table, tenant accounts, the poisoned-spec
 quarantine ledger, and the drain flag — behind one mutex.  It is
 deliberately synchronous and transport-free: the asyncio HTTP layer, the
-thread worker pool, the load harness, and the chaos campaign all drive
-the same core, so the chaos campaign's invariants (explicit verdicts,
-zero lost jobs) hold verbatim for the real server.
+thread worker pool, the load harness, and the chaos campaigns all drive
+the same core, so the chaos invariants (explicit verdicts, zero lost
+jobs) hold verbatim for the real server.
 
 Time comes from a pluggable :class:`~repro.resilience.clock.Clock`;
 under :class:`~repro.resilience.clock.SimulatedClock` every deadline
 expiry and retry-after hint is a pure function of the submission
 sequence, which is what makes the serve chaos reports byte-identical
 across runs.
+
+**Durability.**  With a :class:`~repro.serve.store.JobStore` attached,
+every lifecycle transition is journaled *after* it mutates state, while
+the core lock is still held — the journal is therefore a serialized
+history of the state machine, and :meth:`ServeCore.recover` replays it
+into a fresh process:
+
+* queued jobs re-enter the priority heap in their original
+  priority-FIFO order (the heap sequence number is journaled);
+* jobs that were RUNNING at the moment of death go back through the
+  existing :meth:`requeue_after_crash` strike path, so a job that keeps
+  killing whole *services* poisons out exactly like one that kills
+  workers;
+* CHECKPOINTED jobs are resurrected to QUEUED with ``resume=True`` —
+  their checkpoint dirs carry the progress, and the checkpoint layer's
+  contract makes the finished fingerprint bit-identical to an
+  uninterrupted run;
+* tenant ledgers (token/dollar spend, lifetime counts), spec-quarantine
+  strikes, rejection counters, and rate-limiter buckets are all
+  reconstructed from the same records.
+
+Recovery is damage-tolerant: whatever the store quarantined (torn
+tails, bit flips, truncated segments) plus any record that no longer
+applies (e.g. one referencing a job whose submission record was lost)
+lands in ``core.recovery`` — a machine-readable report surfaced through
+``stats()`` and the serve summary — and ``audit_lost_jobs()`` must come
+back empty afterwards, exactly as it must after any storm.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,8 +52,14 @@ from pathlib import Path
 from repro.obs import current as current_telemetry
 from repro.resilience.clock import Clock, SystemClock
 
-from .admission import AdmissionController, TenantAccount, TenantQuota
+from .admission import (
+    CONSUMING_REJECTION_CODES,
+    AdmissionController,
+    TenantAccount,
+    TenantQuota,
+)
 from .jobs import BadRequest, Job, JobRequest, JobState
+from .store import JobStore
 
 
 @dataclass(frozen=True)
@@ -44,12 +76,24 @@ class ServeConfig:
     #: Attempts (original + resumes) one job gets before it fails for good.
     max_attempts: int = 3
     checkpoint_root: str = "serve-checkpoints"
+    #: Directory for the durable job journal; None = ephemeral service
+    #: (accepted work dies with the process, the pre-journal behavior).
+    state_dir: str | None = None
+    #: "always" | "rotate" | "off" — see :mod:`repro.serve.store`.
+    journal_fsync: str = "rotate"
+    segment_max_records: int = 512
+    compact_after_segments: int = 4
 
 
 class ServeCore:
     """Admission → queue → dispatch → completion, under one lock."""
 
-    def __init__(self, config: ServeConfig, clock: Clock | None = None):
+    def __init__(
+        self,
+        config: ServeConfig,
+        clock: Clock | None = None,
+        store: JobStore | None = None,
+    ):
         self.config = config
         self.clock = clock if clock is not None else SystemClock()
         self.admission = AdmissionController(
@@ -60,17 +104,38 @@ class ServeCore:
             quotas=dict(config.quotas),
         )
         self._lock = threading.Lock()
-        self._seq = itertools.count(1)
+        self._next_seq = 1
         self._heap: list = []  # (-priority, seq, job_id)
         self.jobs: dict[str, Job] = {}
         self.accounts: dict[str, TenantAccount] = {}
         self.draining = False
+        #: Set when a drain ran to completion in *this* process lifetime
+        #: (journaled as a terminal ``drained`` record).
+        self.drained = False
         #: spec_key -> worker-crash count; keys past the threshold are
         #: quarantined for every tenant (the governor's strike ledger,
         #: applied to specs instead of templates).
         self.spec_strikes: dict[str, int] = {}
         self.quarantined_specs: set[str] = set()
         self.rejections: dict[str, int] = {}  # code -> count
+        self.store = store
+        #: Machine-readable recovery report (None unless built by recover()).
+        self.recovery: dict | None = None
+        if store is not None:
+            store.snapshot_provider = self._snapshot
+
+    @classmethod
+    def open_store(cls, config: ServeConfig, **store_kwargs) -> JobStore:
+        """The config's journal store (state_dir must be set)."""
+        if not config.state_dir:
+            raise ValueError("ServeConfig.state_dir is not set")
+        return JobStore(
+            Path(config.state_dir),
+            fsync_policy=config.journal_fsync,
+            segment_max_records=config.segment_max_records,
+            compact_after_segments=config.compact_after_segments,
+            **store_kwargs,
+        )
 
     # -- submission -------------------------------------------------------------------
 
@@ -78,27 +143,37 @@ class ServeCore:
         """One submission → (HTTP-style status, response body).
 
         Every outcome is explicit: 202 with a job id, 400 for a malformed
-        payload, or the admission controller's rejection verbatim.
+        payload, or the admission controller's rejection verbatim.  An
+        accepted submission is journaled before the 202 leaves this
+        method — the ACK *is* the durability contract.
         """
         try:
             request = JobRequest.from_payload(payload)
         except BadRequest as error:
             with self._lock:
                 self._count_rejection("bad_request")
+                self._journal(
+                    "rejected", {"tenant": None, "code": "bad_request"}
+                )
             return 400, {"error": "bad_request", "reason": str(error)}
         with self._lock:
+            now = self.clock.now()
             account = self._account(request.tenant)
             verdict = self.admission.admit(
                 account,
                 queue_depth=len(self._heap),
                 draining=self.draining,
                 spec_quarantined=request.spec_key() in self.quarantined_specs,
+                now=now,
             )
             if verdict is not None:
                 self._count_rejection(verdict.code)
+                self._journal(
+                    "rejected",
+                    {"tenant": request.tenant, "code": verdict.code},
+                )
                 return verdict.status, verdict.to_dict()
-            now = self.clock.now()
-            seq = next(self._seq)
+            seq = self._take_seq()
             job = Job(
                 job_id=f"job-{seq:04d}",
                 request=request,
@@ -113,11 +188,22 @@ class ServeCore:
                 ),
             )
             job.events.append((JobState.QUEUED, now))
+            job.heap_seq = seq
             self.jobs[job.job_id] = job
             heapq.heappush(self._heap, (-request.priority, seq, job.job_id))
             account.queued += 1
             account.jobs_submitted += 1
             self._count("serve.submitted", tenant=request.tenant)
+            self._journal(
+                "submitted",
+                {
+                    "job_id": job.job_id,
+                    "heap_seq": seq,
+                    "payload": request.to_payload(),
+                    "deadline_at": job.deadline_at,
+                    "checkpoint_dir": job.checkpoint_dir,
+                },
+            )
             return 202, {
                 "job_id": job.job_id,
                 "state": job.state,
@@ -152,6 +238,9 @@ class ServeCore:
                     account = self._account(job.request.tenant)
                     account.queued -= 1
                     self._count("serve.expired", tenant=job.request.tenant)
+                    self._journal(
+                        "expired", {"job_id": job.job_id, "error": job.error}
+                    )
                     continue
                 account = self._account(job.request.tenant)
                 if account.running >= account.quota.max_concurrent_jobs:
@@ -189,6 +278,16 @@ class ServeCore:
                 )
                 claimed.budget_frozen = True
             self._count("serve.claimed", tenant=claimed.request.tenant)
+            self._journal(
+                "claimed",
+                {
+                    "job_id": claimed.job_id,
+                    "worker": worker,
+                    "attempts": claimed.attempts,
+                    "started_at": claimed.started_at,
+                    "effective_max_tokens": claimed.effective_max_tokens,
+                },
+            )
             return claimed
 
     def effective_max_tokens(self, job: Job) -> int | None:
@@ -216,6 +315,18 @@ class ServeCore:
                 self._count("serve.completed", tenant=job.request.tenant)
             job.finished_at = now
             job.worker = None
+            self._journal(
+                "finished",
+                {
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "error": job.error,
+                    "result": job.result,
+                    "tokens": int(outcome.get("tokens", 0)),
+                    "dollars": float(outcome.get("dollars", 0.0)),
+                    "poison": bool(outcome.get("poison")),
+                },
+            )
 
     def requeue_after_crash(self, job: Job, outcome: dict | None = None) -> None:
         """A worker died mid-job: put the job back, flagged for resume.
@@ -225,13 +336,16 @@ class ServeCore:
         fingerprints bit-identically to an uninterrupted run.  Past
         ``max_attempts`` the job fails instead: a job that kills every
         worker that touches it is a poison pill, and its spec_key takes a
-        quarantine strike.
+        quarantine strike.  Service recovery routes every job that was
+        RUNNING at process death through this same path.
         """
         with self._lock:
             now = self.clock.now()
             account = self._account(job.request.tenant)
             account.running -= 1
             self._bill(account, outcome or {})
+            tokens = int((outcome or {}).get("tokens", 0))
+            dollars = float((outcome or {}).get("dollars", 0.0))
             if job.attempts >= self.config.max_attempts:
                 job.error = (
                     f"gave up after {job.attempts} attempts "
@@ -242,16 +356,35 @@ class ServeCore:
                 job.worker = None
                 self._strike(job.request.spec_key())
                 self._count("serve.poisoned", tenant=job.request.tenant)
+                self._journal(
+                    "gave_up",
+                    {
+                        "job_id": job.job_id,
+                        "error": job.error,
+                        "tokens": tokens,
+                        "dollars": dollars,
+                    },
+                )
                 return
             job.resume = True
             job.worker = None
             job.transition(JobState.QUEUED, now)
+            seq = self._take_seq()
+            job.heap_seq = seq
             heapq.heappush(
-                self._heap,
-                (-job.request.priority, next(self._seq), job.job_id),
+                self._heap, (-job.request.priority, seq, job.job_id)
             )
             account.queued += 1
             self._count("serve.requeued", tenant=job.request.tenant)
+            self._journal(
+                "requeued",
+                {
+                    "job_id": job.job_id,
+                    "heap_seq": seq,
+                    "tokens": tokens,
+                    "dollars": dollars,
+                },
+            )
 
     def checkpoint_for_drain(self, job: Job, outcome: dict | None = None) -> None:
         """Drain landed mid-job: progress is on disk, mark it resumable."""
@@ -265,6 +398,14 @@ class ServeCore:
             job.transition(JobState.CHECKPOINTED, now)
             job.finished_at = now
             self._count("serve.checkpointed", tenant=job.request.tenant)
+            self._journal(
+                "checkpointed",
+                {
+                    "job_id": job.job_id,
+                    "tokens": int((outcome or {}).get("tokens", 0)),
+                    "dollars": float((outcome or {}).get("dollars", 0.0)),
+                },
+            )
 
     @staticmethod
     def _bill(account: TenantAccount, outcome: dict) -> None:
@@ -293,15 +434,16 @@ class ServeCore:
     def drain(self) -> dict:
         """Stop admitting; report what is in flight and what is queued.
 
-        Queued jobs stay queued (their checkpoint dirs are empty; they are
-        fully described by their requests and can be resubmitted or
-        re-served after restart).  Running jobs are the workers'
-        responsibility: the drain event makes each one checkpoint at its
-        next save point and hand the job to :meth:`checkpoint_for_drain`.
+        Queued jobs stay queued — journaled, fully described by their
+        requests, and recovered by the next process.  Running jobs are the
+        workers' responsibility: the drain event makes each one checkpoint
+        at its next save point and hand the job to
+        :meth:`checkpoint_for_drain`.
         """
         with self._lock:
             self.draining = True
             self._count("serve.drain")
+            self._journal("drain", {})
             return {
                 "draining": True,
                 "queued": sum(
@@ -315,6 +457,21 @@ class ServeCore:
                     if j.state == JobState.RUNNING
                 ),
             }
+
+    def mark_drained(self) -> None:
+        """Drain ran to completion: journal the terminal ``drained`` record.
+
+        Called once the worker pool has quiesced (every in-flight job is
+        CHECKPOINTED or terminal).  The record tells the *next* process
+        lifetime that this one ended cleanly — recovery reports
+        ``clean_shutdown`` instead of treating the state dir as a crash.
+        """
+        with self._lock:
+            if self.drained or not self.draining:
+                return
+            self.drained = True
+            self._count("serve.drained")
+            self._journal("drained", {})
 
     # -- introspection ------------------------------------------------------------------
 
@@ -333,8 +490,10 @@ class ServeCore:
             states: dict[str, int] = {}
             for job in self.jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
-            return {
+            stats = {
                 "draining": self.draining,
+                "drained": self.drained,
+                "durable": self.store is not None,
                 "queue_depth": len(self._heap),
                 "jobs": dict(sorted(states.items())),
                 "rejections": dict(sorted(self.rejections.items())),
@@ -344,13 +503,17 @@ class ServeCore:
                     for name in sorted(self.accounts)
                 },
             }
+            if self.recovery is not None:
+                stats["recovery"] = self.recovery
+            return stats
 
     def audit_lost_jobs(self) -> list[str]:
         """Job ids in no accountable state — must always be empty.
 
         Accountable = terminal, queued, or running.  The serve chaos
-        campaign calls this after every storm; a non-empty answer is the
-        one unforgivable serving bug (work accepted, then vanished).
+        campaign calls this after every storm — and after every recovery —
+        because a non-empty answer is the one unforgivable serving bug
+        (work accepted, then vanished).
         """
         with self._lock:
             queued_ids = {entry[2] for entry in self._heap}
@@ -365,7 +528,356 @@ class ServeCore:
                 lost.append(job_id)
             return lost
 
+    def close(self) -> None:
+        """Release the journal (fsync + directory lock).  Idempotent."""
+        if self.store is not None:
+            self.store.close()
+
+    # -- durable state ------------------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """The full durable state, canonical-JSON-able.
+
+        This is both the compaction payload and the restart chaos
+        scenario's equality witness: two recoveries of the same journal
+        must produce byte-identical snapshots.
+        """
+        with self._lock:
+            return self._snapshot()
+
+    def _snapshot(self) -> dict:
+        """Lock already held (or core not yet shared)."""
+        return {
+            "next_seq": self._next_seq,
+            "draining": self.draining,
+            "drained": self.drained,
+            "last_at": self.clock.now(),
+            "jobs": {
+                job_id: self.jobs[job_id].to_state()
+                for job_id in sorted(self.jobs)
+            },
+            "accounts": {
+                name: {
+                    "tokens_spent": account.tokens_spent,
+                    "dollars_spent": account.dollars_spent,
+                    "jobs_submitted": account.jobs_submitted,
+                    "jobs_completed": account.jobs_completed,
+                }
+                for name, account in sorted(self.accounts.items())
+            },
+            "spec_strikes": dict(sorted(self.spec_strikes.items())),
+            "quarantined_specs": sorted(self.quarantined_specs),
+            "rejections": dict(sorted(self.rejections.items())),
+            "limiter": self.admission.limiter.state(),
+        }
+
+    # -- recovery -----------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        config: ServeConfig,
+        clock: Clock | None = None,
+        *,
+        takeover: bool = False,
+        on_append=None,
+        track_appends: bool = False,
+    ) -> "ServeCore":
+        """A fresh core carrying the journaled state of a dead one.
+
+        Opens ``config.state_dir`` (acquiring its lock — a genuinely dead
+        previous holder is taken over via the lock's staleness rules;
+        *takeover* force-breaks it for in-process restart simulation),
+        loads the newest valid snapshot, replays newer journal segments,
+        then repairs what death interrupted: RUNNING jobs are requeued
+        through the crash-strike path, CHECKPOINTED jobs are resurrected
+        as QUEUED resumes, tenant queued/running counts and the priority
+        heap are rebuilt from final job states.  Never raises for journal
+        damage — see ``core.recovery`` for what was quarantined.
+        """
+        store = cls.open_store(
+            config,
+            takeover=takeover,
+            on_append=on_append,
+            track_appends=track_appends,
+        )
+        snapshot, records, quarantined = store.recover()
+        core = cls(config, clock=clock, store=store)
+        core._rebuild(snapshot, records, quarantined)
+        return core
+
+    def _rebuild(
+        self, snapshot: dict | None, records: list, quarantined: list
+    ) -> None:
+        report = {
+            "snapshot_loaded": snapshot is not None,
+            "records_replayed": 0,
+            "quarantined": list(quarantined),
+            "requeued_running": 0,
+            "resumed_checkpointed": 0,
+            "was_draining": False,
+            "clean_shutdown": False,
+        }
+        last_at = 0.0
+        if snapshot is not None:
+            last_at = max(last_at, self._restore_snapshot(snapshot))
+        for record in records:
+            try:
+                problem = self._apply_record(record)
+            except Exception as error:  # damaged data must never crash recovery
+                problem = f"{type(error).__name__}: {error}"
+            if problem is not None:
+                report["quarantined"].append(
+                    {
+                        "kind": "unreplayable_record",
+                        "where": f"{record.get('t')}#{record.get('n')}",
+                        "detail": problem,
+                    }
+                )
+                continue
+            report["records_replayed"] += 1
+            last_at = max(last_at, float(record.get("at", 0.0)))
+        report["was_draining"] = self.draining
+        report["clean_shutdown"] = self.drained
+        self._fix_up(report, last_at)
+        counts = {
+            kind: sum(
+                1 for q in report["quarantined"] if q["kind"] == kind
+            )
+            for kind in sorted(
+                {q["kind"] for q in report["quarantined"]}
+            )
+        }
+        report["quarantined_counts"] = counts
+        self.recovery = report
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("serve.store.recovered")
+            telemetry.count(
+                "serve.store.records_replayed",
+                value=report["records_replayed"],
+            )
+            for kind, count in counts.items():
+                telemetry.count(
+                    "serve.store.quarantined", kind=kind, value=count
+                )
+        self._journal(
+            "recovered",
+            {
+                "records_replayed": report["records_replayed"],
+                "quarantined": counts,
+                "requeued_running": report["requeued_running"],
+                "resumed_checkpointed": report["resumed_checkpointed"],
+            },
+        )
+
+    def _restore_snapshot(self, state: dict) -> float:
+        self._next_seq = int(state["next_seq"])
+        self.draining = bool(state["draining"])
+        self.drained = bool(state["drained"])
+        self.jobs = {
+            job_id: Job.from_state(job_state)
+            for job_id, job_state in state["jobs"].items()
+        }
+        for name, ledger in state["accounts"].items():
+            account = self._account(name)
+            account.tokens_spent = int(ledger["tokens_spent"])
+            account.dollars_spent = float(ledger["dollars_spent"])
+            account.jobs_submitted = int(ledger["jobs_submitted"])
+            account.jobs_completed = int(ledger["jobs_completed"])
+        self.spec_strikes = {
+            k: int(v) for k, v in state["spec_strikes"].items()
+        }
+        self.quarantined_specs = set(state["quarantined_specs"])
+        self.rejections = {k: int(v) for k, v in state["rejections"].items()}
+        self.admission.limiter.restore(state.get("limiter", {}))
+        return float(state.get("last_at", 0.0))
+
+    def _apply_record(self, record: dict) -> str | None:
+        """Replay one journal record; a string return quarantines it."""
+        rtype, at, data = record["t"], float(record["at"]), record["d"]
+        if rtype == "rejected":
+            code = str(data["code"])
+            self.rejections[code] = self.rejections.get(code, 0) + 1
+            tenant = data.get("tenant")
+            if tenant is not None:
+                self._account(tenant)  # live submit created it too
+                if code in CONSUMING_REJECTION_CODES:
+                    self.admission.limiter.force(
+                        tenant, self.admission.quota_for(tenant), at
+                    )
+            return None
+        if rtype == "submitted":
+            request = JobRequest.from_payload(data["payload"])
+            job = Job(
+                job_id=str(data["job_id"]),
+                request=request,
+                submitted_at=at,
+                deadline_at=data.get("deadline_at"),
+                checkpoint_dir=data.get("checkpoint_dir"),
+            )
+            job.events.append((JobState.QUEUED, at))
+            job.heap_seq = int(data["heap_seq"])
+            self.jobs[job.job_id] = job
+            account = self._account(request.tenant)
+            account.jobs_submitted += 1
+            self.admission.limiter.force(
+                request.tenant, self.admission.quota_for(request.tenant), at
+            )
+            self._bump_seq(job.heap_seq)
+            return None
+        if rtype == "drain":
+            self.draining = True
+            return None
+        if rtype == "drained":
+            self.drained = True
+            return None
+        if rtype == "recovered":
+            return None
+        job = self.jobs.get(str(data.get("job_id")))
+        if job is None:
+            return (
+                f"references job {data.get('job_id')!r} whose submission "
+                f"record was lost"
+            )
+        account = self._account(job.request.tenant)
+        if rtype == "claimed":
+            job.transition(JobState.RUNNING, at, force=True)
+            job.worker = str(data["worker"])
+            job.attempts = int(data["attempts"])
+            job.started_at = data.get("started_at", at)
+            job.effective_max_tokens = data.get("effective_max_tokens")
+            job.budget_frozen = True
+            return None
+        if rtype == "expired":
+            job.transition(JobState.EXPIRED, at, force=True)
+            job.finished_at = at
+            job.error = data.get("error")
+            return None
+        if rtype == "finished":
+            job.error = data.get("error")
+            job.result = data.get("result")
+            job.transition(str(data["state"]), at, force=True)
+            job.finished_at = at
+            job.worker = None
+            account.tokens_spent += int(data.get("tokens", 0))
+            account.dollars_spent += float(data.get("dollars", 0.0))
+            if job.state == JobState.COMPLETED:
+                account.jobs_completed += 1
+            if data.get("poison"):
+                self._strike(job.request.spec_key())
+            return None
+        if rtype == "gave_up":
+            job.error = data.get("error")
+            job.transition(JobState.FAILED, at, force=True)
+            job.finished_at = at
+            job.worker = None
+            account.tokens_spent += int(data.get("tokens", 0))
+            account.dollars_spent += float(data.get("dollars", 0.0))
+            self._strike(job.request.spec_key())
+            return None
+        if rtype in ("requeued", "resumed"):
+            job.transition(JobState.QUEUED, at, force=True)
+            job.resume = True
+            job.worker = None
+            job.finished_at = None
+            job.heap_seq = int(data["heap_seq"])
+            account.tokens_spent += int(data.get("tokens", 0))
+            account.dollars_spent += float(data.get("dollars", 0.0))
+            self._bump_seq(job.heap_seq)
+            return None
+        if rtype == "checkpointed":
+            job.transition(JobState.CHECKPOINTED, at, force=True)
+            job.resume = True
+            job.worker = None
+            job.finished_at = at
+            account.tokens_spent += int(data.get("tokens", 0))
+            account.dollars_spent += float(data.get("dollars", 0.0))
+            return None
+        return f"unknown record type {rtype!r}"
+
+    def _fix_up(self, report: dict, last_at: float) -> None:
+        """Repair what process death interrupted (after replay)."""
+        # Rebuild queue/running accounting and the heap from final states.
+        for account in self.accounts.values():
+            account.queued = 0
+            account.running = 0
+        self._heap = []
+        for job_id in sorted(self.jobs):
+            job = self.jobs[job_id]
+            account = self._account(job.request.tenant)
+            if job.state == JobState.QUEUED:
+                account.queued += 1
+                heapq.heappush(
+                    self._heap,
+                    (-job.request.priority, job.heap_seq, job.job_id),
+                )
+            elif job.state == JobState.RUNNING:
+                account.running += 1
+        # Rebase forward-looking times onto this process's clock: the old
+        # clock died with the old process (monotonic clocks do not span
+        # restarts), so each pending deadline keeps its *remaining*
+        # budget relative to the journal's last event.
+        shift = self.clock.now() - last_at
+        if shift != 0.0:
+            for job in self.jobs.values():
+                if (
+                    job.deadline_at is not None
+                    and job.state not in JobState.TERMINAL
+                ):
+                    job.deadline_at += shift
+            self.admission.limiter.shift(shift)
+        # A fresh process accepts work again, whatever the old one was doing.
+        self.draining = False
+        self.drained = False
+        # RUNNING jobs lost their worker with the process: the existing
+        # crash path decides requeue-for-resume vs. poison-strike.
+        for job_id in sorted(self.jobs):
+            job = self.jobs[job_id]
+            if job.state == JobState.RUNNING:
+                self.requeue_after_crash(job)
+                report["requeued_running"] += 1
+        # CHECKPOINTED jobs were terminal only for the dead lifetime:
+        # their checkpoints resume bit-identically, so put them back.
+        for job_id in sorted(self.jobs):
+            job = self.jobs[job_id]
+            if job.state == JobState.CHECKPOINTED:
+                with self._lock:
+                    now = self.clock.now()
+                    job.transition(JobState.QUEUED, now, force=True)
+                    job.resume = True
+                    job.finished_at = None
+                    seq = self._take_seq()
+                    job.heap_seq = seq
+                    heapq.heappush(
+                        self._heap,
+                        (-job.request.priority, seq, job.job_id),
+                    )
+                    self._account(job.request.tenant).queued += 1
+                    self._count(
+                        "serve.resumed_checkpointed",
+                        tenant=job.request.tenant,
+                    )
+                    self._journal(
+                        "resumed", {"job_id": job.job_id, "heap_seq": seq}
+                    )
+                report["resumed_checkpointed"] += 1
+
     # -- internals ----------------------------------------------------------------------
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _bump_seq(self, seen: int) -> None:
+        if seen >= self._next_seq:
+            self._next_seq = seen + 1
+
+    def _journal(self, rtype: str, data: dict) -> None:
+        """Append one transition record (caller holds the lock)."""
+        if self.store is not None:
+            self.store.append(rtype, data, at=self.clock.now())
 
     def _account(self, tenant: str) -> TenantAccount:
         account = self.accounts.get(tenant)

@@ -247,7 +247,14 @@ class ServeServer:
         summary = self.begin_drain()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self._join_workers, timeout_seconds)
+        # Workers are quiet: every in-flight job reached CHECKPOINTED or a
+        # terminal state.  Journal the terminal `drained` record so the
+        # next lifetime knows this one ended cleanly, then let go of the
+        # state dir so it can take over without staleness heuristics.
+        self.core.mark_drained()
         await self.stop()
+        self.core.close()
+        summary["drained"] = self.core.drained
         return summary
 
     def _join_workers(self, timeout_seconds: float) -> None:

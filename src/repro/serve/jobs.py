@@ -215,16 +215,79 @@ class Job:
     budget_frozen: bool = False
     result: dict | None = None
     error: str | None = None
+    #: Heap tie-breaker from the most recent enqueue (submit or requeue)
+    #: — journaled so recovery rebuilds the exact priority-FIFO order.
+    heap_seq: int = 0
     events: list = field(default_factory=list)  # (state, clock-time) audit
 
-    def transition(self, state: str, at: float) -> None:
-        if self.state in JobState.TERMINAL:
+    def transition(self, state: str, at: float, *, force: bool = False) -> None:
+        """Move to *state*, recording the audit event.
+
+        Terminal states are one-way for a live service; *force* is the
+        recovery path's resurrection override — a CHECKPOINTED job is
+        terminal only for the process lifetime that checkpointed it, and
+        a restart legitimately moves it back to QUEUED.
+        """
+        if not force and self.state in JobState.TERMINAL:
             raise ValueError(
                 f"job {self.job_id} is terminal ({self.state}); "
                 f"cannot move to {state}"
             )
         self.state = state
         self.events.append((state, at))
+
+    def to_state(self) -> dict:
+        """The job's complete durable form (journal snapshots + replay).
+
+        Unlike :meth:`to_dict` (the API view), this round-trips — the
+        request payload, budget freeze, resume flag, and the full event
+        audit all survive, so a recovered job is field-for-field the job
+        that was lost.
+        """
+        return {
+            "job_id": self.job_id,
+            "payload": self.request.to_payload(),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "deadline_at": self.deadline_at,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "checkpoint_dir": self.checkpoint_dir,
+            "resume": self.resume,
+            "effective_max_tokens": self.effective_max_tokens,
+            "budget_frozen": self.budget_frozen,
+            "result": self.result,
+            "error": self.error,
+            "heap_seq": self.heap_seq,
+            "events": [[state, at] for state, at in self.events],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Job":
+        job = cls(
+            job_id=str(state["job_id"]),
+            request=JobRequest.from_payload(state["payload"]),
+            state=str(state["state"]),
+            submitted_at=float(state["submitted_at"]),
+            started_at=state.get("started_at"),
+            finished_at=state.get("finished_at"),
+            deadline_at=state.get("deadline_at"),
+            attempts=int(state.get("attempts", 0)),
+            worker=state.get("worker"),
+            checkpoint_dir=state.get("checkpoint_dir"),
+            resume=bool(state.get("resume", False)),
+            effective_max_tokens=state.get("effective_max_tokens"),
+            budget_frozen=bool(state.get("budget_frozen", False)),
+            result=state.get("result"),
+            error=state.get("error"),
+            heap_seq=int(state.get("heap_seq", 0)),
+        )
+        job.events = [
+            (str(name), float(at)) for name, at in state.get("events", [])
+        ]
+        return job
 
     def to_dict(self) -> dict:
         return {

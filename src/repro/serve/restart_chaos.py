@@ -1,0 +1,667 @@
+"""Restart chaos: kill the whole service at every journaled transition.
+
+The serve chaos scenario kills *workers*; this one kills the *process*.
+A seeded campaign drives a durable :class:`~repro.serve.core.ServeCore`
+(journaling every transition through a
+:class:`~repro.serve.store.JobStore`) on a
+:class:`~repro.resilience.clock.SimulatedClock`, while the store records
+the exact on-disk journal size after every single append.  The sweep
+then simulates SIGKILL at *every* one of those transition points by
+materializing a copy of the state directory truncated to that point's
+byte sizes — the precise bytes a dead process would have left — and
+recovering a fresh core from it.  At every point:
+
+* recovery never raises, and ``audit_lost_jobs()`` is empty;
+* two independent recoveries of the same bytes produce **byte-identical**
+  state snapshots (canonical JSON compared as strings);
+* at selected points the recovered service is run to completion and
+  every completed job's fingerprint must equal the uninterrupted
+  baseline's (or, for jobs the baseline never finished — e.g. drain
+  checkpoints — an uninterrupted twin run's);
+* at the final point, recovering the *recovered* directory again must
+  reproduce the same state (recovery is idempotent), and a campaign that
+  ended in a graceful drain must be reported as a clean shutdown.
+
+A second phase feeds each campaign's journal to the seeded
+:class:`~repro.serve.store.StoreFaultModel` — torn tail, truncated
+segment, bit flip — and asserts recovery still completes with the damage
+quarantined into the machine-readable report, never a crash or a silent
+drop.
+
+Like every chaos campaign here, the report is a pure function of
+``(seed, runs, intensity)``: no timestamps, no paths — byte-identical
+JSON across invocations, which is what the CI smoke ``cmp``s.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import Telemetry, current as current_telemetry, use_telemetry
+from repro.resilience.checkpoint import canonical_json
+from repro.resilience.clock import SimulatedClock
+
+from .admission import TenantQuota
+from .chaos import _SPEC_SHAPES, _TENANTS
+from .core import ServeConfig, ServeCore
+from .jobs import Job, JobState
+from .runner import DrainRequested, JobRunner, WorkerKilled
+from .store import StoreFaultModel
+
+
+@dataclass
+class RestartChaosReport:
+    """Deterministic summary of one restart chaos campaign."""
+
+    seed: int
+    runs: int
+    intensity: float
+    submitted: int = 0
+    accepted: int = 0
+    rejections: dict = field(default_factory=dict)  # code -> count
+    sweep_points: int = 0
+    recovery_pairs: int = 0
+    pairs_identical: int = 0
+    idempotent_recoveries: int = 0
+    clean_shutdowns: int = 0
+    completions_checked: int = 0
+    fingerprints_identical: int = 0
+    resumed_from_checkpoint: int = 0
+    faults: dict = field(default_factory=dict)  # kind -> counts
+    lost_jobs: list = field(default_factory=list)
+    mismatches: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.failures
+            and not self.mismatches
+            and not self.lost_jobs
+            and self.sweep_points > 0
+            and self.pairs_identical == self.recovery_pairs
+            and self.fingerprints_identical == self.completions_checked
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": "restart",
+            "seed": self.seed,
+            "runs": self.runs,
+            "intensity": self.intensity,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejections": dict(sorted(self.rejections.items())),
+            "sweep_points": self.sweep_points,
+            "recovery_pairs": self.recovery_pairs,
+            "pairs_identical": self.pairs_identical,
+            "idempotent_recoveries": self.idempotent_recoveries,
+            "clean_shutdowns": self.clean_shutdowns,
+            "completions_checked": self.completions_checked,
+            "fingerprints_identical": self.fingerprints_identical,
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
+            "faults": {
+                kind: dict(sorted(counts.items()))
+                for kind, counts in sorted(self.faults.items())
+            },
+            "lost_jobs": list(self.lost_jobs),
+            "mismatches": list(self.mismatches),
+            "failures": list(self.failures),
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+@dataclass(frozen=True)
+class _JobPlan:
+    tenant: str
+    priority: int
+    seed: int
+    shape: int
+    poison: bool
+    kill_at_save: int | None
+    service_seconds: float
+
+
+@dataclass(frozen=True)
+class _RunPlan:
+    index: int
+    max_queue_depth: int
+    jobs: tuple
+    storm_extra: int
+    drain_after: int | None  # executions before a graceful drain, or None
+
+
+class RestartChaosRunner:
+    """Kill-the-whole-service sweep over a seeded durable campaign."""
+
+    #: Run the recovered service to completion at every Nth sweep point
+    #: (plus always the final one) — full re-execution at every point
+    #: would re-run the pipeline hundreds of times for no extra coverage.
+    FULL_RECOVERY_STRIDE = 9
+
+    def __init__(self, seed: int = 0, runs: int = 3, intensity: float = 0.3):
+        self.seed = seed
+        self.runs = runs
+        self.intensity = float(intensity)
+
+    # -- planning ---------------------------------------------------------------------
+
+    def _plan(self, index: int) -> _RunPlan:
+        rng = np.random.default_rng([self.seed, 0xBE57A27, index])
+        num_jobs = int(rng.integers(4, 8))
+        drain_after = (
+            int(rng.integers(1, max(num_jobs // 2, 2)))
+            if rng.random() < 0.5
+            else None
+        )
+        jobs = []
+        for _ in range(num_jobs):
+            poison = bool(rng.random() < 0.15 * (1 + self.intensity))
+            kill = (
+                int(rng.integers(1, 5))
+                if (not poison and rng.random() < 0.3 * (1 + self.intensity))
+                else None
+            )
+            jobs.append(
+                _JobPlan(
+                    tenant=_TENANTS[int(rng.integers(0, len(_TENANTS)))],
+                    priority=int(rng.integers(0, 10)),
+                    seed=int(rng.integers(1, 2**16)),
+                    shape=int(rng.integers(0, len(_SPEC_SHAPES))),
+                    poison=poison,
+                    kill_at_save=kill,
+                    service_seconds=float(rng.uniform(0.2, 1.0)),
+                )
+            )
+        return _RunPlan(
+            index=index,
+            max_queue_depth=int(rng.integers(5, 9)),
+            jobs=tuple(jobs),
+            storm_extra=int(rng.integers(2, 5)),
+            drain_after=drain_after,
+        )
+
+    @staticmethod
+    def _payload(plan: _JobPlan) -> dict:
+        payload = {
+            "tenant": plan.tenant,
+            "priority": plan.priority,
+            "seed": plan.seed,
+            "specs": [dict(_SPEC_SHAPES[plan.shape])],
+            "queries": 8,
+            "intervals": 2,
+        }
+        if plan.poison:
+            payload["cost_min"] = 500.0
+            payload["cost_max"] = 100.0
+        return payload
+
+    def _config(
+        self, plan: _RunPlan, state_dir: str, checkpoint_root: str
+    ) -> ServeConfig:
+        return ServeConfig(
+            workers=2,
+            max_queue_depth=plan.max_queue_depth,
+            default_quota=TenantQuota(
+                max_concurrent_jobs=2, max_queued_jobs=32
+            ),
+            quotas={
+                # One tenant runs rate-limited so the journal carries
+                # rate_limited rejections and live bucket state — both
+                # must survive recovery like everything else.
+                _TENANTS[0]: TenantQuota(
+                    max_concurrent_jobs=2,
+                    max_queued_jobs=32,
+                    requests_per_window=4,
+                    window_seconds=30.0,
+                ),
+            },
+            poison_quarantine_after=2,
+            checkpoint_root=checkpoint_root,
+            state_dir=state_dir,
+            journal_fsync="off",  # same-process file reads; speed
+            segment_max_records=6,  # force rotation + seals into the sweep
+            compact_after_segments=0,  # keep every segment: the sweep
+            # truncates them to reconstruct each transition point
+        )
+
+    # -- the baseline campaign ----------------------------------------------------------
+
+    def _run_campaign(
+        self, plan: _RunPlan, state_dir: str, checkpoint_root: str
+    ) -> tuple[dict, list, bool]:
+        """Drive the campaign to its natural end, journaling everything.
+
+        Returns ``(baseline, append_log, drained)`` — per-job baseline
+        fingerprints, the per-append byte-size log the sweep truncates
+        to, and whether the run ended in a graceful drain.
+        """
+        clock = SimulatedClock()
+        config = self._config(plan, state_dir, checkpoint_root)
+        store = ServeCore.open_store(config, track_appends=True)
+        core = ServeCore(config, clock=clock, store=store)
+        baseline: dict = {"fingerprints": {}, "job_plans": {}}
+        submitted = accepted = 0
+        rejections: dict = {}
+        payload_plans = list(plan.jobs) + [
+            plan.jobs[extra % len(plan.jobs)]
+            for extra in range(plan.storm_extra)
+        ]
+        for job_plan in payload_plans:
+            submitted += 1
+            status, body = core.submit(self._payload(job_plan))
+            if status == 202:
+                accepted += 1
+                baseline["job_plans"][body["job_id"]] = job_plan
+            else:
+                code = body.get("code", body.get("error", "unknown"))
+                rejections[code] = rejections.get(code, 0) + 1
+        drained = False
+        executions = 0
+        while True:
+            job = core.claim("restart-worker")
+            if job is None:
+                break
+            job_plan = baseline["job_plans"].get(job.job_id)
+            outcome = self._execute(core, job, job_plan)
+            if outcome is not None:
+                core.finish(job, outcome)
+                if job.state == JobState.COMPLETED and job.result:
+                    baseline["fingerprints"][job.job_id] = job.result[
+                        "fingerprint"
+                    ]
+            executions += 1
+            clock.advance(
+                job_plan.service_seconds if job_plan is not None else 0.5
+            )
+            if plan.drain_after is not None and executions >= plan.drain_after:
+                core.drain()
+                submitted += 1
+                status, body = core.submit(self._payload(plan.jobs[0]))
+                code = body.get("code", "unknown")
+                rejections[code] = rejections.get(code, 0) + 1
+                self._drain_checkpoint_one(core)
+                core.mark_drained()
+                drained = True
+                break
+        core.close()
+        baseline["submitted"] = submitted
+        baseline["accepted"] = accepted
+        baseline["rejections"] = rejections
+        return baseline, list(store.append_log), drained
+
+    def _execute(self, core, job: Job, job_plan) -> dict | None:
+        """One inline attempt; None when it ended in a kill-requeue."""
+        kill_at = (
+            job_plan.kill_at_save
+            if (
+                job_plan is not None
+                and job_plan.kill_at_save is not None
+                and job.attempts == 1
+            )
+            else None
+        )
+
+        def on_point(point: str) -> None:
+            if kill_at is not None and point == f"checkpoint_save:{kill_at}":
+                raise WorkerKilled(f"restart chaos kill at {point}")
+
+        runner = JobRunner(clock=core.clock, on_point=on_point)
+        try:
+            outcome = runner.run(
+                job,
+                resume=job.resume,
+                max_tokens=core.effective_max_tokens(job),
+            )
+        except WorkerKilled:
+            core.requeue_after_crash(job)
+            return None
+        return outcome.to_core()
+
+    @staticmethod
+    def _drain_checkpoint_one(core) -> None:
+        """Mimic one worker checkpointing out under drain, so drained
+        journals carry a CHECKPOINTED job for recovery to resume."""
+        job = core.claim("restart-worker")
+        if job is None:
+            return
+
+        def on_point(point: str) -> None:
+            if point.startswith("checkpoint_save:"):
+                raise DrainRequested(f"drain at {point}")
+
+        runner = JobRunner(clock=core.clock, on_point=on_point)
+        try:
+            outcome = runner.run(
+                job,
+                resume=job.resume,
+                max_tokens=core.effective_max_tokens(job),
+            )
+        except DrainRequested:
+            core.checkpoint_for_drain(job)
+        else:
+            core.finish(job, outcome.to_core())
+
+    # -- the sweep ----------------------------------------------------------------------
+
+    @staticmethod
+    def _materialize(source: Path, sizes: dict, dest: Path) -> None:
+        """The exact on-disk bytes at one transition point: every segment
+        that existed then, truncated to its recorded size."""
+        dest.mkdir(parents=True, exist_ok=True)
+        for name, size in sizes.items():
+            data = (source / name).read_bytes()[:size]
+            (dest / name).write_bytes(data)
+
+    def _recover(self, plan: _RunPlan, state_dir: str, checkpoint_root: str):
+        config = self._config(plan, str(state_dir), checkpoint_root)
+        return ServeCore.recover(config, clock=SimulatedClock())
+
+    def _sweep(
+        self,
+        plan: _RunPlan,
+        state_dir: Path,
+        checkpoint_root: str,
+        baseline: dict,
+        append_log: list,
+        drained: bool,
+        report: RestartChaosReport,
+        scratch: Path,
+    ) -> None:
+        twins: dict = {}
+        for point, sizes in enumerate(append_log):
+            final = point == len(append_log) - 1
+            full = final or point % self.FULL_RECOVERY_STRIDE == 0
+            copies = [scratch / f"p{point}-a", scratch / f"p{point}-b"]
+            for copy in copies:
+                self._materialize(state_dir, sizes, copy)
+            try:
+                self._sweep_point(
+                    plan,
+                    copies,
+                    checkpoint_root,
+                    baseline,
+                    report,
+                    twins,
+                    point=point,
+                    full=full,
+                    final=final,
+                    drained=drained,
+                )
+            finally:
+                for copy in copies:
+                    shutil.rmtree(copy, ignore_errors=True)
+            report.sweep_points += 1
+
+    def _sweep_point(
+        self,
+        plan: _RunPlan,
+        copies: list,
+        checkpoint_root: str,
+        baseline: dict,
+        report: RestartChaosReport,
+        twins: dict,
+        *,
+        point: int,
+        full: bool,
+        final: bool,
+        drained: bool,
+    ) -> None:
+        where = f"run{plan.index}:point{point}"
+        cores = [
+            self._recover(plan, copy, checkpoint_root) for copy in copies
+        ]
+        try:
+            lost = cores[0].audit_lost_jobs()
+            if lost:
+                report.lost_jobs.append({"where": where, "jobs": lost})
+            snapshots = [
+                canonical_json(core.state_snapshot()) for core in cores
+            ]
+            report.recovery_pairs += 1
+            if snapshots[0] == snapshots[1]:
+                report.pairs_identical += 1
+            else:
+                report.mismatches.append(
+                    {"where": where, "what": "recovery pair differs"}
+                )
+            if final and drained:
+                if cores[0].recovery.get("clean_shutdown"):
+                    report.clean_shutdowns += 1
+                else:
+                    report.failures.append(
+                        {
+                            "where": where,
+                            "error": "drained journal not seen as clean",
+                        }
+                    )
+            if full:
+                self._run_to_completion(
+                    cores[0], baseline, report, twins, where
+                )
+            if final:
+                cores[1].close()  # idempotent; frees the dir lock for re-entry
+                self._check_idempotent(
+                    plan, copies[1], checkpoint_root, snapshots[1],
+                    report, where,
+                )
+        finally:
+            for core in cores:
+                core.close()
+
+    def _run_to_completion(
+        self, core, baseline, report, twins, where: str
+    ) -> None:
+        """Finish everything the recovered service still owes, then hold
+        each completion's fingerprint against the uninterrupted truth."""
+        while True:
+            job = core.claim("recovered-worker")
+            if job is None:
+                break
+            resumed = job.resume
+            outcome = self._execute(
+                core, job, baseline["job_plans"].get(job.job_id)
+            )
+            if outcome is None:
+                continue  # planned kill replays identically post-recovery
+            core.finish(job, outcome)
+            if job.state != JobState.COMPLETED or not job.result:
+                continue
+            if resumed:
+                report.resumed_from_checkpoint += 1
+            report.completions_checked += 1
+            expected = baseline["fingerprints"].get(
+                job.job_id
+            ) or self._twin_fingerprint(job, twins)
+            if job.result["fingerprint"] == expected:
+                report.fingerprints_identical += 1
+            else:
+                report.mismatches.append(
+                    {
+                        "where": where,
+                        "what": f"{job.job_id} fingerprint diverged",
+                    }
+                )
+        lost = core.audit_lost_jobs()
+        if lost:
+            report.lost_jobs.append({"where": f"{where}:done", "jobs": lost})
+
+    @staticmethod
+    def _twin_fingerprint(job: Job, twins: dict) -> str:
+        """Uninterrupted-run fingerprint for a request the baseline never
+        finished (cached per spec: payloads repeat across the storm)."""
+        key = job.request.spec_key()
+        if key not in twins:
+            twin = Job(
+                job_id=f"{job.job_id}-twin",
+                request=job.request,
+                checkpoint_dir=None,
+            )
+            outcome = JobRunner(clock=SimulatedClock()).run(twin)
+            twins[key] = (
+                outcome.result["fingerprint"]
+                if outcome.result and not outcome.error
+                else f"twin-failed: {outcome.error}"
+            )
+        return twins[key]
+
+    def _check_idempotent(
+        self,
+        plan: _RunPlan,
+        state_dir,
+        checkpoint_root: str,
+        first_snapshot: str,
+        report: RestartChaosReport,
+        where: str,
+    ) -> None:
+        """Recovering a recovered directory must change nothing: the fix-up
+        records the first recovery journaled replay to the same state."""
+        core = self._recover(plan, state_dir, checkpoint_root)
+        try:
+            if canonical_json(core.state_snapshot()) == first_snapshot:
+                report.idempotent_recoveries += 1
+            else:
+                report.mismatches.append(
+                    {"where": where, "what": "second recovery diverged"}
+                )
+        finally:
+            core.close()
+
+    # -- fault injection ----------------------------------------------------------------
+
+    def _fault_phase(
+        self,
+        plan: _RunPlan,
+        state_dir: Path,
+        checkpoint_root: str,
+        report: RestartChaosReport,
+        scratch: Path,
+    ) -> None:
+        faults = StoreFaultModel(seed=self.seed * 1000 + plan.index)
+        for kind in StoreFaultModel.KINDS:
+            counts = report.faults.setdefault(
+                kind, {"attempted": 0, "injected": 0, "quarantined": 0}
+            )
+            counts["attempted"] += 1
+            copy = scratch / f"fault-{plan.index}-{kind}"
+            shutil.copytree(
+                state_dir,
+                copy,
+                ignore=shutil.ignore_patterns("lock.json"),
+            )
+            try:
+                injected = getattr(faults, kind)(copy)
+                if injected is None:
+                    continue
+                counts["injected"] += 1
+                try:
+                    core = self._recover(plan, copy, checkpoint_root)
+                except Exception as error:
+                    report.failures.append(
+                        {
+                            "where": f"run{plan.index}:fault:{kind}",
+                            "error": (
+                                f"recovery raised {type(error).__name__}: "
+                                f"{error}"
+                            ),
+                        }
+                    )
+                    continue
+                try:
+                    if core.recovery and core.recovery.get("quarantined"):
+                        counts["quarantined"] += 1
+                    lost = core.audit_lost_jobs()
+                    if lost:
+                        report.lost_jobs.append(
+                            {
+                                "where": f"run{plan.index}:fault:{kind}",
+                                "jobs": lost,
+                            }
+                        )
+                finally:
+                    core.close()
+            finally:
+                shutil.rmtree(copy, ignore_errors=True)
+
+    # -- the campaign -------------------------------------------------------------------
+
+    def run(self) -> RestartChaosReport:
+        report = RestartChaosReport(
+            seed=self.seed, runs=self.runs, intensity=self.intensity
+        )
+        telemetry = current_telemetry()
+        with telemetry.span(
+            "restart_chaos.run", seed=self.seed, runs=self.runs
+        ):
+            for index in range(self.runs):
+                plan = self._plan(index)
+                scratch = Path(
+                    tempfile.mkdtemp(prefix="repro-restart-chaos-")
+                )
+                try:
+                    state_dir = scratch / "state"
+                    checkpoint_root = str(scratch / "checkpoints")
+                    baseline, append_log, drained = self._run_campaign(
+                        plan, str(state_dir), checkpoint_root
+                    )
+                    report.submitted += baseline["submitted"]
+                    report.accepted += baseline["accepted"]
+                    for code, count in baseline["rejections"].items():
+                        report.rejections[code] = (
+                            report.rejections.get(code, 0) + count
+                        )
+                    self._sweep(
+                        plan,
+                        state_dir,
+                        checkpoint_root,
+                        baseline,
+                        append_log,
+                        drained,
+                        report,
+                        scratch,
+                    )
+                    self._fault_phase(
+                        plan, state_dir, checkpoint_root, report, scratch
+                    )
+                except Exception as error:  # the bar: never a stack trace
+                    report.failures.append(
+                        {
+                            "run": index,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    )
+                    telemetry.count("restart_chaos.failures")
+                finally:
+                    shutil.rmtree(scratch, ignore_errors=True)
+                telemetry.count("restart_chaos.runs")
+        return report
+
+
+def run_restart_chaos(
+    seed: int = 0,
+    runs: int = 3,
+    intensity: float = 0.3,
+    trace_path: str | None = None,
+) -> RestartChaosReport:
+    """CLI/CI entry point, mirroring ``run_serve_chaos``'s shape."""
+    runner = RestartChaosRunner(seed=seed, runs=runs, intensity=intensity)
+    sinks = []
+    if trace_path is not None:
+        from repro.obs import JsonlSink
+
+        sinks.append(JsonlSink(trace_path))
+    telemetry = Telemetry(sinks=sinks)
+    try:
+        with use_telemetry(telemetry):
+            return runner.run()
+    finally:
+        telemetry.finish()

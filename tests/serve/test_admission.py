@@ -26,7 +26,11 @@ class TestVerdicts:
         verdict = controller.admit(account(), queue_depth=0, draining=True)
         assert verdict.status == 503
         assert verdict.code == "draining"
-        assert verdict.retry_after_seconds is not None
+        # No retry hint on purpose: drain ends in process exit, not in
+        # freed capacity — clients retry after the restart, and the
+        # durable store carries every accepted job across it.
+        assert verdict.retry_after_seconds is None
+        assert "restart" in verdict.reason
 
     def test_quarantined_spec_rejects_with_422(self, controller):
         verdict = controller.admit(

@@ -174,7 +174,11 @@ class TestDrain:
         status, body, headers = client.submit(job_payload())
         assert status == 503
         assert body["code"] == "draining"
-        assert "retry-after" in headers
+        # Deliberately no Retry-After: drain ends in process exit, not
+        # freed capacity — the body says to retry after the restart.
+        assert "retry-after" not in headers
+        assert body["retry_after_seconds"] is None
+        assert "restart" in body["reason"]
         assert client.health()["status"] == "draining"
 
     def test_graceful_stop_accounts_every_job(self, tmp_path):
